@@ -1,0 +1,175 @@
+//! Accelerator configuration: pipeline counts, clocking, and the component
+//! latencies measured in the paper (Fig. 10).
+
+use pulse_sim::SimTime;
+
+/// Per-component timing of one pulse accelerator.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelTiming {
+    /// 100 Gbps network stack processing per packet, each direction
+    /// (Fig. 10: 426.3 ns).
+    pub net_stack: SimTime,
+    /// Scheduler dispatch decision (Fig. 10: 5.1 ns).
+    pub scheduler: SimTime,
+    /// TCAM translation + protection (Fig. 10: 47 ns).
+    pub tcam: SimTime,
+    /// On-chip interconnect (Fig. 10: 22 ns).
+    pub interconnect: SimTime,
+    /// Memory controller + DRAM array access (Fig. 10: 110 ns).
+    pub dram_access: SimTime,
+    /// DRAM channel bandwidth per accelerator, bytes/second (§6: capped at
+    /// 25 GB/s, the FPGA's peak through the vendor interconnect IP).
+    pub dram_bytes_per_sec: u64,
+    /// Logic pipeline time per instruction (250 MHz ⇒ 4 ns).
+    pub insn_time: SimTime,
+}
+
+impl Default for AccelTiming {
+    fn default() -> Self {
+        AccelTiming {
+            net_stack: SimTime::from_nanos_f64(426.3),
+            scheduler: SimTime::from_nanos_f64(5.1),
+            tcam: SimTime::from_nanos(47),
+            interconnect: SimTime::from_nanos(22),
+            dram_access: SimTime::from_nanos(110),
+            dram_bytes_per_sec: 25_000_000_000,
+            insn_time: SimTime::from_nanos(4),
+        }
+    }
+}
+
+impl AccelTiming {
+    /// The "w/o interconnect IP" variant of Appendix C.2: direct per-pipe
+    /// channel wiring raises peak bandwidth to 34 GB/s.
+    pub fn without_interconnect_ip() -> AccelTiming {
+        AccelTiming {
+            dram_bytes_per_sec: 34_000_000_000,
+            interconnect: SimTime::from_nanos(8),
+            ..AccelTiming::default()
+        }
+    }
+
+    /// `t_d` — memory-pipeline occupancy and latency for one window fetch.
+    pub fn fetch_time(&self, bytes: u32) -> SimTime {
+        self.tcam
+            + self.interconnect
+            + self.dram_access
+            + SimTime::serialization(bytes as u64, self.dram_bytes_per_sec * 8)
+    }
+
+    /// Compute time for `insns` executed instructions.
+    pub fn logic_time(&self, insns: u32) -> SimTime {
+        self.insn_time * insns as u64
+    }
+}
+
+/// How pipelines are organized (§4.2 / Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineOrg {
+    /// pulse's disaggregated design: `m` logic pipelines and `n` memory
+    /// pipelines, multiplexed by the scheduler over `m + n` workspaces.
+    Disaggregated {
+        /// Logic pipeline count (`m`).
+        logic: usize,
+        /// Memory pipeline count (`n`).
+        memory: usize,
+    },
+    /// The traditional coupled (multi-core) baseline: `k` cores, each
+    /// fusing a logic and a memory pipeline; an iteration occupies its core
+    /// for the full `t_d + t_c`.
+    Coupled {
+        /// Core count.
+        cores: usize,
+    },
+}
+
+impl PipelineOrg {
+    /// Number of workspaces the scheduler manages: `m + n` for the
+    /// disaggregated design (§4.2), one per core when coupled.
+    pub fn workspaces(&self) -> usize {
+        match *self {
+            PipelineOrg::Disaggregated { logic, memory } => logic + memory,
+            PipelineOrg::Coupled { cores } => cores,
+        }
+    }
+
+    /// The accelerator-specific offload threshold `η = m/n` (§4.2).
+    pub fn eta(&self) -> f64 {
+        match *self {
+            PipelineOrg::Disaggregated { logic, memory } => logic as f64 / memory as f64,
+            PipelineOrg::Coupled { .. } => 1.0,
+        }
+    }
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelConfig {
+    /// Pipeline organization.
+    pub org: PipelineOrg,
+    /// Component timing.
+    pub timing: AccelTiming,
+    /// Per-offload iteration budget (`MAX_ITER`, §3).
+    pub max_iters: u32,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            // The paper's deployment: η = 0.75 via 3 logic + 4 memory
+            // pipelines and 7 workspaces per accelerator (§4.2).
+            org: PipelineOrg::Disaggregated {
+                logic: 3,
+                memory: 4,
+            },
+            timing: AccelTiming::default(),
+            max_iters: pulse_isa::DEFAULT_MAX_ITERS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_deployment() {
+        let cfg = AccelConfig::default();
+        assert_eq!(cfg.org.workspaces(), 7);
+        assert!((cfg.org.eta() - 0.75).abs() < 1e-9);
+        let t = cfg.timing;
+        assert!((t.net_stack.as_nanos_f64() - 426.3).abs() < 1e-9);
+        assert!((t.scheduler.as_nanos_f64() - 5.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fetch_time_composition() {
+        let t = AccelTiming::default();
+        // 47 + 22 + 110 + 10.24 (256 B @ 25 GB/s)
+        assert!((t.fetch_time(256).as_nanos_f64() - 189.24).abs() < 0.05);
+        // Smaller windows fetch faster but keep the fixed path.
+        assert!(t.fetch_time(8) > SimTime::from_nanos(179));
+        assert!(t.fetch_time(8) < t.fetch_time(256));
+    }
+
+    #[test]
+    fn logic_time_is_4ns_per_insn() {
+        let t = AccelTiming::default();
+        assert_eq!(t.logic_time(3), SimTime::from_nanos(12));
+    }
+
+    #[test]
+    fn no_interconnect_variant_is_faster() {
+        let a = AccelTiming::default();
+        let b = AccelTiming::without_interconnect_ip();
+        assert!(b.fetch_time(256) < a.fetch_time(256));
+        assert!(b.dram_bytes_per_sec > a.dram_bytes_per_sec);
+    }
+
+    #[test]
+    fn coupled_workspaces_equal_cores() {
+        let org = PipelineOrg::Coupled { cores: 3 };
+        assert_eq!(org.workspaces(), 3);
+        assert_eq!(org.eta(), 1.0);
+    }
+}

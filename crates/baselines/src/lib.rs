@@ -1,0 +1,24 @@
+//! # pulse-baselines
+//!
+//! The systems pulse is compared against in §6:
+//!
+//! | system | model |
+//! |---|---|
+//! | **Cache-based** (Fastswap) | CPU-node execution over a 4 KiB-page LRU; misses pay fault software + RTT + page wire time through a serialized swap pipe |
+//! | **RPC** | traversals run on Xeon worker cores at the owning memory node; node crossings bounce through the CPU node |
+//! | **RPC-ARM** | same, on wimpy Cortex-A72 SmartNIC cores |
+//! | **Cache+RPC** (AIFM) | an object LRU at the CPU node short-circuits hot objects; misses take the RPC path with TCP-stack overhead |
+//!
+//! All four run the exact same [`AppRequest`](pulse_workloads::AppRequest)
+//! streams as pulse — functionally identical results, different timing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lru;
+mod systems;
+
+pub use lru::LruSet;
+pub use systems::{
+    run_rpc, run_swap_cache, BaselineReport, CpuModel, NetModel, RpcConfig, RpcFlavor, SwapConfig,
+};

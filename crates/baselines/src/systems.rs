@@ -1,0 +1,638 @@
+//! The compared systems (§6): Fastswap-style cache-based paging, RPC on
+//! server-class CPUs, RPC on wimpy ARM SmartNIC cores, and AIFM-style
+//! Cache+RPC.
+//!
+//! Every baseline executes the *same* [`AppRequest`] streams as pulse,
+//! functionally (results are bit-identical) and then prices them through
+//! its own timing model. Requests run closed-loop with a fixed number of
+//! outstanding clients, sharing contended resources (CPU threads / RPC
+//! workers, the CPU-node link, per-node DRAM channels, the swap pipe).
+
+use crate::lru::LruSet;
+use pulse_mem::ClusterMemory;
+use pulse_sim::{
+    LatencyHistogram, LatencySummary, SerialResource, ServerPool, SimTime,
+};
+use pulse_workloads::{execute_functional, Access, AppRequest};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Network constants shared with the pulse cluster: one endpoint→endpoint
+/// hop through the switch.
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    /// One-way latency (two link propagations + the switch pipeline).
+    pub one_way: SimTime,
+    /// Link bandwidth, bits per second.
+    pub bits_per_sec: u64,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel {
+            one_way: SimTime::from_micros(3) + SimTime::from_nanos(600),
+            bits_per_sec: 100_000_000_000,
+        }
+    }
+}
+
+/// A CPU's execution parameters for traversal replay.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModel {
+    /// Per-instruction time for traversal logic.
+    pub insn_time: SimTime,
+    /// Local DRAM access latency (dependent pointer chase step).
+    pub dram_latency: SimTime,
+}
+
+impl CpuModel {
+    /// Xeon Gold 6240-class core.
+    pub fn xeon() -> CpuModel {
+        CpuModel {
+            insn_time: SimTime::from_picos(444),
+            dram_latency: SimTime::from_nanos(90),
+        }
+    }
+
+    /// Bluefield-2 Cortex-A72-class core: slower issue, slower memory path.
+    pub fn arm_cortex_a72() -> CpuModel {
+        CpuModel {
+            insn_time: SimTime::from_picos(1_550),
+            dram_latency: SimTime::from_nanos(150),
+        }
+    }
+}
+
+/// What a baseline run measured.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// System label ("Cache-based", "RPC", ...).
+    pub label: &'static str,
+    /// Requests completed.
+    pub completed: u64,
+    /// Latency distribution.
+    pub latency: LatencySummary,
+    /// Requests per simulated second.
+    pub throughput: f64,
+    /// Total time attributed to pointer traversal (Fig. 2(a)'s numerator).
+    pub traversal_time: SimTime,
+    /// Total request-resident time (Fig. 2(a)'s denominator).
+    pub total_time: SimTime,
+    /// Bytes moved over the CPU-node link.
+    pub net_bytes: u64,
+    /// Bytes touched in disaggregated memory.
+    pub mem_bytes: u64,
+    /// Cache hit ratio (page or object cache), if the system has one.
+    pub cache_hit_ratio: Option<f64>,
+    /// End of the last request.
+    pub makespan: SimTime,
+}
+
+impl BaselineReport {
+    /// Fraction of execution time spent in pointer traversals (Fig. 2(a)).
+    pub fn traversal_fraction(&self) -> f64 {
+        if self.total_time == SimTime::ZERO {
+            return 0.0;
+        }
+        self.traversal_time.as_picos() as f64 / self.total_time.as_picos() as f64
+    }
+}
+
+/// Closed-loop driver: `concurrency` clients issue `requests` in order;
+/// `serve(idx, start) -> (end, traversal_pure, total_pure)` prices one
+/// request. The *pure* times exclude cross-request queueing and feed the
+/// Fig. 2(a) execution-time split; the latency histogram uses wall time.
+fn closed_loop(
+    total: usize,
+    concurrency: usize,
+    mut serve: impl FnMut(usize, SimTime) -> (SimTime, SimTime, SimTime),
+) -> (LatencySummary, SimTime, SimTime, SimTime) {
+    assert!(concurrency > 0 && total > 0);
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..concurrency.min(total))
+        .map(|c| Reverse((SimTime::ZERO, c)))
+        .collect();
+    let mut next_idx = concurrency.min(total);
+    let mut hist = LatencyHistogram::new();
+    let mut makespan = SimTime::ZERO;
+    let mut traversal_total = SimTime::ZERO;
+    let mut busy_total = SimTime::ZERO;
+    let mut served = 0usize;
+    let mut issued: Vec<usize> = (0..concurrency.min(total)).collect();
+    while let Some(Reverse((ready, client))) = heap.pop() {
+        let idx = issued[client];
+        let (end, traversal, busy) = serve(idx, ready);
+        hist.record(end - ready);
+        busy_total += busy;
+        traversal_total += traversal;
+        makespan = makespan.max(end);
+        served += 1;
+        if next_idx < total {
+            issued[client] = next_idx;
+            next_idx += 1;
+            heap.push(Reverse((end, client)));
+        }
+        if served == total {
+            break;
+        }
+    }
+    (hist.summary(), makespan, traversal_total, busy_total)
+}
+
+// ------------------------------------------------------------- Cache-based
+
+/// Fastswap-style swap cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapConfig {
+    /// CPU-node DRAM used as page cache, bytes (2 GB in §6, scaled).
+    pub cache_bytes: u64,
+    /// Page size (4 KiB).
+    pub page_bytes: u64,
+    /// Kernel fault-handling software cost per major fault.
+    pub fault_software: SimTime,
+    /// Swap-subsystem per-page service (reclaim + I/O issue) — the
+    /// "could not evict pages fast enough" ceiling of §6.1.
+    pub swap_service: SimTime,
+    /// Application threads at the CPU node.
+    pub threads: usize,
+    /// CPU model.
+    pub cpu: CpuModel,
+    /// Network constants.
+    pub net: NetModel,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            cache_bytes: 64 << 20,
+            page_bytes: 4096,
+            fault_software: SimTime::from_micros(5),
+            swap_service: SimTime::from_micros(4),
+            threads: 16,
+            cpu: CpuModel::xeon(),
+            net: NetModel::default(),
+        }
+    }
+}
+
+/// Runs the cache-based (swap) system over a request stream.
+///
+/// Every memory access in every request probes a 4 KiB-page LRU; misses pay
+/// fault software + a network round trip + page transfer, serialized
+/// through the swap pipe.
+pub fn run_swap_cache(
+    mem: &mut ClusterMemory,
+    requests: &[AppRequest],
+    concurrency: usize,
+    cfg: SwapConfig,
+) -> BaselineReport {
+    let mut lru = LruSet::new((cfg.cache_bytes / cfg.page_bytes).max(1) as usize);
+    let mut swap_pipe = SerialResource::new(u64::MAX); // fixed service per page
+    let mut threads = ServerPool::new(cfg.threads);
+    let mut net_bytes = 0u64;
+    let mut mem_bytes = 0u64;
+    let page_wire = SimTime::serialization(cfg.page_bytes, cfg.net.bits_per_sec);
+    let miss_cost = cfg.fault_software + cfg.net.one_way * 2 + page_wire;
+
+    // Pre-execute functionally (results + traces).
+    let traces: Vec<(Vec<Access>, SimTime)> = requests
+        .iter()
+        .map(|r| {
+            let run = execute_functional(mem, r, 1 << 20).expect("functional run");
+            (run.accesses, r.cpu_work)
+        })
+        .collect();
+
+    // All contended resources are booked at the request's admission time so
+    // bookings stay time-ordered across the closed loop (see module docs);
+    // completion is the max over the uncontended path and each contended
+    // resource's grant plus its downstream path.
+    let (latency, makespan, traversal_total, latency_total) =
+        closed_loop(requests.len(), concurrency, |idx, ready| {
+            let (accesses, cpu_work) = &traces[idx];
+            let mut pure = SimTime::ZERO;
+            let mut traversal_pure = SimTime::ZERO;
+            let mut misses = 0u64;
+            for a in accesses {
+                let mut cost = cfg.cpu.insn_time * a.insns as u64;
+                let first = a.addr / cfg.page_bytes;
+                let last = (a.addr + a.len.max(1) as u64 - 1) / cfg.page_bytes;
+                for page in first..=last {
+                    if lru.touch(page) {
+                        cost += cfg.cpu.dram_latency;
+                    } else {
+                        cost += miss_cost;
+                        misses += 1;
+                        net_bytes += cfg.page_bytes;
+                        mem_bytes += cfg.page_bytes;
+                    }
+                }
+                pure += cost;
+                if a.traversal {
+                    traversal_pure += cost;
+                }
+            }
+            pure += *cpu_work;
+            // An application thread hosts the request end-to-end.
+            let slot = threads.acquire(ready, pure);
+            // The swap subsystem serves this request's misses.
+            let mut pipe_end = slot.grant.start;
+            if misses > 0 {
+                let g = swap_pipe.acquire_for(slot.grant.start, cfg.swap_service * misses);
+                pipe_end = g.end + cfg.net.one_way * 2 + cfg.fault_software + *cpu_work;
+            }
+            let end = (slot.grant.start + pure).max(pipe_end);
+            (end, traversal_pure, pure)
+        });
+
+    BaselineReport {
+        label: "Cache-based",
+        completed: requests.len() as u64,
+        latency,
+        throughput: requests.len() as f64 / makespan.as_secs_f64().max(1e-12),
+        traversal_time: traversal_total,
+        total_time: latency_total,
+        net_bytes,
+        mem_bytes,
+        cache_hit_ratio: Some(lru.hit_ratio()),
+        makespan,
+    }
+}
+
+// ------------------------------------------------------------------- RPC
+
+/// Which RPC flavour to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcFlavor {
+    /// DPDK RPC on Xeon memory-node CPUs.
+    Rpc,
+    /// RPC on wimpy ARM SmartNIC cores.
+    RpcArm,
+    /// AIFM: an object cache at the CPU node in front of a TCP-based RPC.
+    CacheRpc,
+}
+
+/// RPC system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcConfig {
+    /// Flavour.
+    pub flavor: RpcFlavor,
+    /// Worker cores per memory node (Xeon: the minimum that saturates
+    /// 25 GB/s of dependent chasing ≈ 10; ARM: the Bluefield-2's 8).
+    pub workers_per_node: usize,
+    /// Per-request server software time (rx parse + handler + tx).
+    pub request_software: SimTime,
+    /// Extra per-request overhead for the TCP-based stack (Cache+RPC only;
+    /// §6.1 attributes AIFM's latency gap to it).
+    pub tcp_extra: SimTime,
+    /// CPU-node object cache (Cache+RPC only), bytes.
+    pub object_cache_bytes: u64,
+    /// Cached object granularity (the 8 KiB application object).
+    pub object_bytes: u64,
+    /// Memory-node DRAM bandwidth each node serves.
+    pub dram_bytes_per_sec: u64,
+    /// Network constants.
+    pub net: NetModel,
+}
+
+impl RpcConfig {
+    /// The paper's RPC-on-Xeon setup.
+    pub fn rpc() -> RpcConfig {
+        RpcConfig {
+            flavor: RpcFlavor::Rpc,
+            workers_per_node: 10,
+            request_software: SimTime::from_nanos(850),
+            tcp_extra: SimTime::ZERO,
+            object_cache_bytes: 0,
+            object_bytes: 8192,
+            dram_bytes_per_sec: 25_000_000_000,
+            net: NetModel::default(),
+        }
+    }
+
+    /// RPC on the Bluefield-2's ARM cores.
+    pub fn rpc_arm() -> RpcConfig {
+        RpcConfig {
+            flavor: RpcFlavor::RpcArm,
+            workers_per_node: 8,
+            request_software: SimTime::from_micros(3),
+            ..RpcConfig::rpc()
+        }
+    }
+
+    /// AIFM-style Cache+RPC with a 2 GB-class (scaled) object cache.
+    pub fn cache_rpc(cache_bytes: u64) -> RpcConfig {
+        RpcConfig {
+            flavor: RpcFlavor::CacheRpc,
+            tcp_extra: SimTime::from_micros(2),
+            object_cache_bytes: cache_bytes,
+            ..RpcConfig::rpc()
+        }
+    }
+
+    fn cpu(&self) -> CpuModel {
+        match self.flavor {
+            RpcFlavor::RpcArm => CpuModel::arm_cortex_a72(),
+            _ => CpuModel::xeon(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self.flavor {
+            RpcFlavor::Rpc => "RPC",
+            RpcFlavor::RpcArm => "RPC-ARM",
+            RpcFlavor::CacheRpc => "Cache+RPC",
+        }
+    }
+}
+
+/// Runs an RPC-family system over a request stream.
+///
+/// Traversals execute on the owning memory node's worker cores; a traversal
+/// that crosses onto another node bounces through the CPU node (the
+/// "return to the CPU node whenever the traversal accesses a pointer on
+/// another memory node" penalty of §5 that pulse's in-network routing
+/// removes).
+pub fn run_rpc(
+    mem: &mut ClusterMemory,
+    requests: &[AppRequest],
+    concurrency: usize,
+    cfg: RpcConfig,
+) -> BaselineReport {
+    let nodes = mem.node_count();
+    let cpu = cfg.cpu();
+    let mut workers: Vec<ServerPool> = (0..nodes)
+        .map(|_| ServerPool::new(cfg.workers_per_node))
+        .collect();
+    let mut dram: Vec<SerialResource> = (0..nodes)
+        .map(|_| SerialResource::new(cfg.dram_bytes_per_sec.saturating_mul(8)))
+        .collect();
+    // The CPU-node's receive direction (responses) is the only link pipe
+    // that ever approaches saturation in these workloads.
+    let mut link_rx = SerialResource::new(cfg.net.bits_per_sec);
+    let mut object_cache = (cfg.object_cache_bytes > 0)
+        .then(|| LruSet::new((cfg.object_cache_bytes / cfg.object_bytes).max(1) as usize));
+    let mut net_bytes = 0u64;
+    let mut mem_bytes = 0u64;
+
+    struct Priced {
+        /// (owner node, traversal time, bytes, is_traversal) segments.
+        segments: Vec<(usize, SimTime, u64, bool)>,
+        crossings: u64,
+        cpu_work: SimTime,
+        response_bytes: u64,
+        object_addr: Option<u64>,
+    }
+
+    // Pre-execute and segment the traces by owning node.
+    let priced: Vec<Priced> = requests
+        .iter()
+        .map(|r| {
+            let run = execute_functional(mem, r, 1 << 20).expect("functional run");
+            let mut segments: Vec<(usize, SimTime, u64, bool)> = Vec::new();
+            let mut crossings = 0u64;
+            let mut object_addr = None;
+            for a in &run.accesses {
+                let owner = mem.owner_of(a.addr).unwrap_or(0);
+                let step = if a.traversal {
+                    cpu.dram_latency + cpu.insn_time * a.insns as u64
+                } else {
+                    object_addr = Some(a.addr);
+                    SimTime::serialization(a.len as u64, cfg.dram_bytes_per_sec * 8)
+                };
+                match segments.last_mut() {
+                    Some((node, t, b, trav)) if *node == owner && *trav == a.traversal => {
+                        *t += step;
+                        *b += a.len as u64;
+                    }
+                    last => {
+                        if let Some((node, ..)) = last {
+                            if *node != owner && a.traversal {
+                                crossings += 1;
+                            }
+                        }
+                        segments.push((owner, step, a.len as u64, a.traversal));
+                    }
+                }
+            }
+            let response_bytes = 128
+                + r.response_extra_bytes as u64
+                + r.object_io.map_or(0, |io| if io.write { 0 } else { io.len as u64 });
+            Priced {
+                segments,
+                crossings,
+                cpu_work: r.cpu_work,
+                response_bytes,
+                object_addr,
+            }
+        })
+        .collect();
+
+    let (latency, makespan, traversal_total, latency_total) =
+        closed_loop(requests.len(), concurrency, |idx, ready| {
+            let p = &priced[idx];
+            // Cache+RPC: a hit in the object cache spares the object's wire
+            // transfer, but the traversal still runs remotely — the index
+            // itself lives in disaggregated memory, which is why the paper
+            // finds "data structure-aware caching is not beneficial" here.
+            let mut response_bytes = p.response_bytes;
+            if let (Some(cache), Some(addr)) = (object_cache.as_mut(), p.object_addr) {
+                if cache.touch(addr / cfg.object_bytes) {
+                    response_bytes = 128;
+                }
+            }
+            // Uncontended path time.
+            let mut traversal = SimTime::ZERO;
+            let mut service = SimTime::ZERO;
+            let mut bounce = SimTime::ZERO;
+            for (i, &(_, svc_time, _, is_trav)) in p.segments.iter().enumerate() {
+                service += svc_time + cfg.request_software;
+                if i > 0 {
+                    bounce += cfg.net.one_way * 2; // CPU-node bounce per hop
+                    net_bytes += 256;
+                }
+                if is_trav {
+                    traversal += svc_time;
+                }
+            }
+            let _ = p.crossings; // folded into the per-segment bounce
+            let response_wire =
+                SimTime::serialization(response_bytes, cfg.net.bits_per_sec);
+            net_bytes += 128 + response_bytes;
+            let pure = cfg.net.one_way * 2
+                + cfg.tcp_extra * 2
+                + service
+                + bounce
+                + response_wire
+                + p.cpu_work;
+            // Contended bookings, all at admission time (time-ordered
+            // across the closed loop).
+            let depart = ready + cfg.net.one_way; // reaches the first node
+            let mut worker_end = depart;
+            for &(node, svc_time, bytes, _) in &p.segments {
+                let w = workers[node].acquire(depart, svc_time + cfg.request_software);
+                let d = dram[node].acquire(depart, bytes);
+                mem_bytes += bytes;
+                worker_end = worker_end.max(w.grant.end).max(d.end);
+            }
+            let rx = link_rx.acquire(worker_end + cfg.net.one_way, response_bytes);
+            let end = (ready + pure)
+                .max(worker_end + cfg.net.one_way + response_wire + p.cpu_work)
+                .max(rx.end + p.cpu_work);
+            (end, traversal, pure)
+        });
+
+    BaselineReport {
+        label: cfg.label(),
+        completed: requests.len() as u64,
+        latency,
+        throughput: requests.len() as f64 / makespan.as_secs_f64().max(1e-12),
+        traversal_time: traversal_total,
+        total_time: latency_total,
+        net_bytes,
+        mem_bytes,
+        cache_hit_ratio: object_cache.map(|c| c.hit_ratio()),
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_ds::BuildCtx;
+    use pulse_mem::{ClusterAllocator, Placement};
+    use pulse_workloads::{Application, WebService, WebServiceConfig, Distribution};
+
+    fn webservice_setup_dist(
+        keys: u64,
+        object_bytes: u32,
+        distribution: Distribution,
+    ) -> (ClusterMemory, Vec<AppRequest>) {
+        let mut mem = ClusterMemory::new(4);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+        let mut app = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            WebService::build(
+                &mut ctx,
+                WebServiceConfig {
+                    keys,
+                    object_bytes,
+                    distribution,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let reqs: Vec<AppRequest> = (0..300).map(|_| app.next_request()).collect();
+        (mem, reqs)
+    }
+
+    fn webservice_setup(keys: u64, object_bytes: u32) -> (ClusterMemory, Vec<AppRequest>) {
+        webservice_setup_dist(keys, object_bytes, Distribution::Zipfian)
+    }
+
+    #[test]
+    fn swap_cache_is_orders_of_magnitude_slower_than_rpc() {
+        let (mut mem, reqs) = webservice_setup_dist(200_000, 512, Distribution::Uniform);
+        // ~105 MB working set with a ~5 MB hash index spread over ~1200
+        // pages; a 1 MiB cache forces traversal pages to miss.
+        let swap = run_swap_cache(
+            &mut mem,
+            &reqs,
+            8,
+            SwapConfig {
+                cache_bytes: 1 << 20,
+                ..SwapConfig::default()
+            },
+        );
+        let rpc = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
+        let ratio =
+            swap.latency.mean.as_nanos_f64() / rpc.latency.mean.as_nanos_f64();
+        // Fig. 7: cache-based is 9-34x slower than offloading systems.
+        assert!(ratio > 5.0, "swap/rpc latency ratio {ratio}");
+        assert!(swap.cache_hit_ratio.unwrap() < 0.999);
+        assert!(swap.throughput < rpc.throughput);
+    }
+
+    #[test]
+    fn warm_small_working_set_mostly_hits() {
+        let (mut mem, reqs) = webservice_setup(200, 8192); // ~1.7 MB
+        let swap = run_swap_cache(
+            &mut mem,
+            &reqs,
+            4,
+            SwapConfig {
+                cache_bytes: 64 << 20, // everything fits
+                ..SwapConfig::default()
+            },
+        );
+        assert!(
+            swap.cache_hit_ratio.unwrap() > 0.5,
+            "hit ratio {:?}",
+            swap.cache_hit_ratio
+        );
+    }
+
+    #[test]
+    fn rpc_arm_is_slower_than_rpc() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let rpc = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc());
+        let arm = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc_arm());
+        assert!(
+            arm.latency.mean > rpc.latency.mean,
+            "arm {} vs rpc {}",
+            arm.latency.mean,
+            rpc.latency.mean
+        );
+        assert!(arm.throughput <= rpc.throughput * 1.05);
+    }
+
+    #[test]
+    fn cache_rpc_latency_not_better_than_rpc() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let rpc = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc());
+        let aifm = run_rpc(&mut mem, &reqs, 16, RpcConfig::cache_rpc(4 << 20));
+        // §6.1: "Cache+RPC incurs higher latency than RPC ... and does not
+        // outperform RPC".
+        assert!(
+            aifm.latency.mean.as_nanos_f64() >= rpc.latency.mean.as_nanos_f64() * 0.9,
+            "aifm {} rpc {}",
+            aifm.latency.mean,
+            rpc.latency.mean
+        );
+        assert!(aifm.cache_hit_ratio.is_some());
+    }
+
+    #[test]
+    fn traversal_fraction_grows_as_cache_shrinks() {
+        // Fig. 2(a)'s core observation.
+        let (mut mem, reqs) = webservice_setup_dist(200_000, 512, Distribution::Uniform);
+        let mut fractions = Vec::new();
+        for shift in [0u64, 3, 5] {
+            let cache = (16u64 << 20) >> shift; // 16 MB, 2 MB, 0.5 MB
+            let rep = run_swap_cache(
+                &mut mem,
+                &reqs,
+                8,
+                SwapConfig {
+                    cache_bytes: cache,
+                    ..SwapConfig::default()
+                },
+            );
+            fractions.push(rep.traversal_fraction());
+        }
+        assert!(
+            fractions[0] < fractions[2],
+            "traversal fraction should grow with smaller caches: {fractions:?}"
+        );
+        assert!(fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let (mut mem, reqs) = webservice_setup(1_000, 8192);
+        let a = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
+        let b = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
+        assert_eq!(a.latency.mean, b.latency.mean);
+        assert_eq!(a.net_bytes, b.net_bytes);
+    }
+}

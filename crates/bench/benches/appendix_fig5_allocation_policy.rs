@@ -1,0 +1,79 @@
+//! Appendix Fig. 5: random vs partitioned allocation for distributed trees.
+
+use pulse_bench::{banner, kops, us};
+use pulse_core::{ClusterConfig, PulseCluster};
+use pulse_ds::{BuildCtx, TreePlacement};
+use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_workloads::{
+    Application, Btrdb, BtrdbConfig, WiredTiger, WiredTigerConfig,
+};
+
+fn run(app: &str, partitioned: bool) -> pulse_core::ClusterReport {
+    let nodes = 2;
+    let mut mem = ClusterMemory::new(nodes);
+    let mut alloc = ClusterAllocator::new(
+        if partitioned {
+            Placement::Striped
+        } else {
+            Placement::Random { seed: 77 }
+        },
+        4096,
+    );
+    let placement = if partitioned {
+        TreePlacement::Partitioned { nodes }
+    } else {
+        TreePlacement::Policy
+    };
+    let reqs = {
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        if app == "WiredTiger-d" {
+            let mut a = WiredTiger::build(
+                &mut ctx,
+                WiredTigerConfig {
+                    keys: 60_000,
+                    placement,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            (0..250).map(|_| a.next_request()).collect::<Vec<_>>()
+        } else {
+            let mut a = Btrdb::build(
+                &mut ctx,
+                BtrdbConfig {
+                    duration_secs: 900,
+                    window_secs: 2,
+                    placement,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            (0..250).map(|_| a.next_request()).collect::<Vec<_>>()
+        }
+    };
+    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+    cluster.run(reqs, 16)
+}
+
+fn main() {
+    banner("Appendix Fig. 5", "allocation policy: random vs key-partitioned trees");
+    println!(
+        "{:<14} {:<12} | {:>10} {:>10} {:>10}",
+        "workload", "policy", "lat(us)", "tput K/s", "crossings"
+    );
+    for app in ["WiredTiger-d", "BTrDB-d"] {
+        let rand = run(app, false);
+        let part = run(app, true);
+        for (label, rep) in [("random", &rand), ("partitioned", &part)] {
+            println!(
+                "{:<14} {:<12} | {:>10} {:>10} {:>10}",
+                app, label, us(rep.latency.mean), kops(rep.throughput), rep.crossings
+            );
+        }
+        println!(
+            "{:<14} random/partitioned latency = {:.1}x (paper: 3.7-10.8x)\n",
+            "",
+            rand.latency.mean.as_nanos_f64() / part.latency.mean.as_nanos_f64()
+        );
+    }
+}

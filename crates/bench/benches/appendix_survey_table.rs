@@ -1,0 +1,24 @@
+//! Appendix Fig. 1(a): survey of traversal time in prior studies.
+//! Static data transcribed from the paper — printed for completeness, not
+//! measured (marked as such).
+
+use pulse_bench::banner;
+
+fn main() {
+    banner("Appendix Fig. 1(a)", "survey of pointer-traversal time (paper-reported, not measured)");
+    let rows = [
+        ("GraphChi [97]", "~93%"),
+        ("MonetDB [77]", "70-97%"),
+        ("GC in Spark [159]", "~72%"),
+        ("VoltDB [34]", "up to 49.55%"),
+        ("MemC3 [63]", "up to 21.15%"),
+        ("DBx1000 [157]", "~9%"),
+        ("Memcached [30]", "~7%"),
+    ];
+    println!("{:<22} {:>16}", "application", "% time traversing");
+    for (app, pct) in rows {
+        println!("{app:<22} {pct:>16}");
+    }
+    println!("\n(verbatim from the paper's survey; our measured counterpart is");
+    println!(" Fig. 2(a)'s bench)");
+}

@@ -1,0 +1,90 @@
+//! Fig. 9: pulse vs pulse-acc (return-to-CPU crossings), single &
+//! distributed.
+
+use pulse_bench::{banner, build_app, kops, us, AppKind};
+use pulse_core::{ClusterConfig, PulseCluster, PulseMode};
+use pulse_ds::TreePlacement;
+use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_ds::BuildCtx;
+use pulse_workloads::{
+    Application, Btrdb, BtrdbConfig, Distribution, WiredTiger, WiredTigerConfig, YcsbWorkload,
+};
+
+fn run(kind: AppKind, nodes: usize, mode: PulseMode) -> pulse_core::ClusterReport {
+    // Use *striped* placement (Policy) so traversals genuinely cross nodes.
+    let (mem, reqs) = match kind {
+        AppKind::WiredTiger => {
+            let mut mem = ClusterMemory::new(nodes);
+            let mut alloc = ClusterAllocator::new(Placement::Striped, 64 << 10);
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            let mut app = WiredTiger::build(
+                &mut ctx,
+                WiredTigerConfig {
+                    keys: 60_000,
+                    placement: TreePlacement::Policy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let reqs = (0..200).map(|_| app.next_request()).collect::<Vec<_>>();
+            (mem, reqs)
+        }
+        AppKind::Btrdb(w) => {
+            let mut mem = ClusterMemory::new(nodes);
+            let mut alloc = ClusterAllocator::new(Placement::Striped, 64 << 10);
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            let mut app = Btrdb::build(
+                &mut ctx,
+                BtrdbConfig {
+                    duration_secs: 900,
+                    window_secs: w,
+                    placement: TreePlacement::Policy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let reqs = (0..200).map(|_| app.next_request()).collect::<Vec<_>>();
+            (mem, reqs)
+        }
+        other => build_app(other, nodes, Distribution::Zipfian, 200, 2 << 20),
+    };
+    let mut cluster = PulseCluster::new(
+        ClusterConfig {
+            mode,
+            ..ClusterConfig::default()
+        },
+        mem,
+    );
+    cluster.run(reqs, 16)
+}
+
+fn main() {
+    banner("Fig. 9", "impact of in-network distributed traversals (pulse vs pulse-acc)");
+    println!(
+        "{:<18} {:>8} | {:>10} {:>10} {:>9} | {:>10} {:>10}",
+        "workload", "setting", "pulse(us)", "acc(us)", "acc/pulse", "pulse K/s", "acc K/s"
+    );
+    for kind in [
+        AppKind::WebService(YcsbWorkload::C),
+        AppKind::WiredTiger,
+        AppKind::Btrdb(1),
+    ] {
+        for (label, nodes) in [("single", 1usize), ("distrib", 4)] {
+            let p = run(kind, nodes, PulseMode::Pulse);
+            let a = run(kind, nodes, PulseMode::PulseAcc);
+            println!(
+                "{:<18} {:>8} | {:>10} {:>10} {:>8.2}x | {:>10} {:>10}",
+                kind.label(),
+                label,
+                us(p.latency.mean),
+                us(a.latency.mean),
+                a.latency.mean.as_nanos_f64() / p.latency.mean.as_nanos_f64(),
+                kops(p.throughput),
+                kops(a.throughput),
+            );
+        }
+    }
+    println!();
+    println!("paper shape: identical on one node; pulse-acc 1.02-1.15x higher");
+    println!("latency distributed; throughput unchanged (bandwidth-bound).");
+}

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the substrate: ISA interpretation, program
+//! encode/decode, and cluster-memory access.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pulse_dispatch::{compile, samples};
+use pulse_isa::{decode_program, encode_program, Interpreter, IterState, MemBus};
+use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    // A 64-node chain for interpreter walks.
+    let mut mem = ClusterMemory::new(1);
+    let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 16);
+    let addrs: Vec<u64> = (0..64).map(|_| alloc.alloc(&mut mem, 24).unwrap()).collect();
+    for (i, &a) in addrs.iter().enumerate() {
+        mem.write_word(a, i as u64, 8).unwrap();
+        mem.write_word(a + 8, i as u64, 8).unwrap();
+        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8).unwrap();
+    }
+    let prog = compile(&samples::hash_find_spec()).unwrap();
+
+    c.bench_function("interp_64_hop_traversal", |b| {
+        let mut interp = Interpreter::new();
+        b.iter(|| {
+            let mut st = IterState::new(&prog, addrs[0]);
+            st.set_scratch_u64(0, 63);
+            let run = interp
+                .run_traversal(&prog, &mut st, &mut mem, 4096)
+                .unwrap();
+            black_box(run.iterations)
+        })
+    });
+
+    c.bench_function("program_encode", |b| {
+        b.iter(|| black_box(encode_program(&prog).len()))
+    });
+
+    let bytes = encode_program(&prog);
+    c.bench_function("program_decode_validate", |b| {
+        b.iter(|| black_box(decode_program(&bytes).unwrap().len()))
+    });
+
+    c.bench_function("cluster_memory_read_word", |b| {
+        b.iter(|| black_box(mem.read_word(addrs[32], 8).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! # pulse-bench
+//!
+//! Shared drivers for the benchmark harness that regenerates every table
+//! and figure of the paper's evaluation. Each `benches/*.rs` target is a
+//! thin `main()` over these builders; `cargo bench` runs them all and
+//! prints paper-style rows (paper value ⇒ measured value).
+//!
+//! Working sets are scaled from the paper's multi-GB deployments (factors
+//! printed by each bench); every run is deterministic.
+
+#![warn(missing_docs)]
+
+use pulse_baselines::{run_rpc, run_swap_cache, BaselineReport, RpcConfig, SwapConfig};
+use pulse_core::{ClusterConfig, ClusterReport, PulseCluster, PulseMode};
+use pulse_ds::{BuildCtx, TreePlacement};
+use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_workloads::{
+    AppRequest, Application, Btrdb, BtrdbConfig, Distribution, WebService, WebServiceConfig,
+    WiredTiger, WiredTigerConfig, YcsbWorkload,
+};
+
+/// Default extent granularity for end-to-end runs (the scaled analogue of
+/// LegoOS's 2 MB allocations).
+pub const DEFAULT_GRANULARITY: u64 = 2 << 20;
+
+/// A workload cell of Fig. 7/8/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// WebService under a YCSB mix.
+    WebService(YcsbWorkload),
+    /// WiredTiger under YCSB-E.
+    WiredTiger,
+    /// BTrDB at a window resolution (seconds).
+    Btrdb(u64),
+}
+
+impl AppKind {
+    /// Figure label.
+    pub fn label(&self) -> String {
+        match self {
+            AppKind::WebService(w) => format!("WebService {w}"),
+            AppKind::WiredTiger => "WiredTiger YCSB-E".into(),
+            AppKind::Btrdb(w) => format!("BTrDB res:{w}s"),
+        }
+    }
+}
+
+/// Builds an application deployment and pre-generates its request stream.
+pub fn build_app(
+    kind: AppKind,
+    nodes: usize,
+    dist: Distribution,
+    requests: usize,
+    granularity: u64,
+) -> (ClusterMemory, Vec<AppRequest>) {
+    let mut mem = ClusterMemory::new(nodes);
+    let mut alloc = ClusterAllocator::new(Placement::Striped, granularity);
+    let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+    let reqs: Vec<AppRequest> = match kind {
+        AppKind::WebService(workload) => {
+            let mut app = WebService::build(
+                &mut ctx,
+                WebServiceConfig {
+                    keys: 6_000,
+                    distribution: dist,
+                    workload,
+                    ..Default::default()
+                },
+            )
+            .expect("build webservice");
+            (0..requests).map(|_| app.next_request()).collect()
+        }
+        AppKind::WiredTiger => {
+            let mut app = WiredTiger::build(
+                &mut ctx,
+                WiredTigerConfig {
+                    keys: 60_000,
+                    distribution: dist,
+                    placement: TreePlacement::Partitioned { nodes },
+                    ..Default::default()
+                },
+            )
+            .expect("build wiredtiger");
+            (0..requests).map(|_| app.next_request()).collect()
+        }
+        AppKind::Btrdb(window) => {
+            let mut app = Btrdb::build(
+                &mut ctx,
+                BtrdbConfig {
+                    duration_secs: 900,
+                    window_secs: window,
+                    placement: TreePlacement::Partitioned { nodes },
+                    ..Default::default()
+                },
+            )
+            .expect("build btrdb");
+            (0..requests).map(|_| app.next_request()).collect()
+        }
+    };
+    (mem, reqs)
+}
+
+/// Runs the pulse cluster over a deployment.
+pub fn run_pulse(
+    kind: AppKind,
+    nodes: usize,
+    dist: Distribution,
+    requests: usize,
+    mode: PulseMode,
+    concurrency: usize,
+) -> ClusterReport {
+    let (mem, reqs) = build_app(kind, nodes, dist, requests, DEFAULT_GRANULARITY);
+    let mut cluster = PulseCluster::new(
+        ClusterConfig {
+            mode,
+            ..ClusterConfig::default()
+        },
+        mem,
+    );
+    cluster.run(reqs, concurrency)
+}
+
+/// Runs every baseline over a (fresh) deployment; returns
+/// `[cache-based, rpc, rpc-arm, cache+rpc]`.
+pub fn run_baselines(
+    kind: AppKind,
+    nodes: usize,
+    dist: Distribution,
+    requests: usize,
+    concurrency: usize,
+) -> Vec<BaselineReport> {
+    let (mut mem, reqs) = build_app(kind, nodes, dist, requests, DEFAULT_GRANULARITY);
+    let swap = run_swap_cache(
+        &mut mem,
+        &reqs,
+        concurrency,
+        SwapConfig {
+            cache_bytes: 8 << 20, // 2 GB scaled by the working-set factor
+            ..SwapConfig::default()
+        },
+    );
+    let rpc = run_rpc(&mut mem, &reqs, concurrency, RpcConfig::rpc());
+    let arm = run_rpc(&mut mem, &reqs, concurrency, RpcConfig::rpc_arm());
+    let aifm = run_rpc(&mut mem, &reqs, concurrency, RpcConfig::cache_rpc(8 << 20));
+    vec![swap, rpc, arm, aifm]
+}
+
+/// Prints a standard bench banner.
+pub fn banner(figure: &str, what: &str) {
+    println!("==============================================================");
+    println!("{figure} — {what}");
+    println!("(deterministic simulation; working sets scaled ~1/1000 of the");
+    println!(" paper's testbed, all swept ratios preserved; see DESIGN.md)");
+    println!("==============================================================");
+}
+
+/// Formats microseconds with two decimals.
+pub fn us(t: pulse_sim::SimTime) -> String {
+    format!("{:8.2}", t.as_micros_f64())
+}
+
+/// Formats a throughput in Kops/s.
+pub fn kops(ops_per_sec: f64) -> String {
+    format!("{:9.1}", ops_per_sec / 1e3)
+}
+
+/// Latency is measured at light load and throughput at heavy load, as the
+/// paper's closed-loop clients do; returns `(latency report, peak report)`.
+pub fn run_pulse_both(
+    kind: AppKind,
+    nodes: usize,
+    dist: Distribution,
+    requests: usize,
+    mode: PulseMode,
+) -> (ClusterReport, ClusterReport) {
+    let lat = run_pulse(kind, nodes, dist, requests, mode, 8);
+    let peak = run_pulse(kind, nodes, dist, requests, mode, 128);
+    (lat, peak)
+}
+
+/// Baseline counterpart of [`run_pulse_both`]; reports are
+/// `[cache-based, rpc, rpc-arm, cache+rpc]` pairs `(latency, peak)`.
+pub fn run_baselines_both(
+    kind: AppKind,
+    nodes: usize,
+    dist: Distribution,
+    requests: usize,
+) -> Vec<(BaselineReport, BaselineReport)> {
+    let lat = run_baselines(kind, nodes, dist, requests, 8);
+    let peak = run_baselines(kind, nodes, dist, requests, 128);
+    lat.into_iter().zip(peak).collect()
+}

@@ -1,0 +1,692 @@
+//! The rack-scale pulse simulation: CPU node + programmable switch +
+//! per-memory-node accelerators, executing application requests end-to-end
+//! with full functional fidelity and event-driven timing.
+//!
+//! This is the system Fig. 7/9 evaluate. Two modes exist:
+//!
+//! * [`PulseMode::Pulse`] — in-network distributed traversals (§5): a
+//!   memory node that hits a remote pointer returns the in-flight packet to
+//!   the switch, which re-routes it to the owning node at line rate.
+//! * [`PulseMode::PulseAcc`] — the Fig. 9 ablation: in-flight returns go
+//!   back to the *CPU node*, which re-issues them (half a round trip plus
+//!   software overhead more expensive per crossing).
+
+use pulse_accel::{AccelConfig, AccelEvent, AccelOutput, Accelerator};
+use pulse_mem::{ClusterMemory, GlobalRangeMap, NodeId, Perms, RangeTable};
+use pulse_net::{
+    CodeBlob, Endpoint, IterPacket, IterStatus, LinkConfig, Link, Packet, RequestId, Route,
+    Switch, SwitchConfig,
+};
+use pulse_sim::{Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime};
+use pulse_workloads::{AddrSource, AppRequest};
+use std::collections::HashMap;
+
+/// Distributed-traversal handling mode (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PulseMode {
+    /// In-switch rerouting (the pulse design).
+    Pulse,
+    /// Return-to-CPU on every crossing (the `pulse-acc` ablation).
+    PulseAcc,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Accelerator configuration (identical per node).
+    pub accel: AccelConfig,
+    /// Endpoint link parameters.
+    pub link: LinkConfig,
+    /// Switch parameters.
+    pub switch: SwitchConfig,
+    /// Crossing-handling mode.
+    pub mode: PulseMode,
+    /// CPU-node dispatch-engine overhead per packet sent.
+    pub dispatch_overhead: SimTime,
+    /// CPU-node software cost to re-issue a bounced/limited traversal.
+    pub reissue_overhead: SimTime,
+    /// TCAM capacity per node-local translation table.
+    pub tcam_capacity: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            accel: AccelConfig::default(),
+            link: LinkConfig::default(),
+            switch: SwitchConfig::default(),
+            mode: PulseMode::Pulse,
+            dispatch_overhead: SimTime::from_nanos(300),
+            reissue_overhead: SimTime::from_micros(1),
+            tcam_capacity: 4096,
+        }
+    }
+}
+
+/// Aggregate measurements of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests terminated by faults/invalid pointers.
+    pub faulted: u64,
+    /// End-to-end latency distribution.
+    pub latency: LatencySummary,
+    /// Requests per simulated second.
+    pub throughput: f64,
+    /// Mid-traversal node crossings (switch reroutes in pulse mode, CPU
+    /// bounces in pulse-acc mode).
+    pub crossings: u64,
+    /// Bytes that crossed the CPU node's link (both directions).
+    pub net_bytes: u64,
+    /// Bytes served by memory-node DRAM (windows + objects).
+    pub mem_bytes: u64,
+    /// Mean accelerator memory-pipeline utilization.
+    pub memory_util: f64,
+    /// Mean accelerator logic-pipeline utilization.
+    pub logic_util: f64,
+    /// End of the last completion.
+    pub makespan: SimTime,
+    /// Sum of per-accelerator iteration counts.
+    pub iterations: u64,
+}
+
+impl ClusterReport {
+    /// Mean DRAM bandwidth consumed per memory node, bytes/second.
+    pub fn mem_bandwidth_per_node(&self, nodes: usize) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        self.mem_bytes as f64 / self.makespan.as_secs_f64() / nodes as f64
+    }
+
+    /// CPU-link bandwidth in Gbps.
+    pub fn net_gbps(&self) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        self.net_bytes as f64 * 8.0 / self.makespan.as_secs_f64() / 1e9
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// CPU node injects request `idx`.
+    Issue(usize),
+    /// Packet reaches the switch ingress (with its source endpoint).
+    AtSwitch(Packet, Endpoint),
+    /// Packet reaches memory node `n`.
+    AtMem(NodeId, Packet),
+    /// Packet reaches the CPU node.
+    AtCpu(Packet),
+    /// Accelerator-internal event.
+    Accel(NodeId, AccelEvent),
+    /// CPU-node post-processing for a request finished.
+    Finished(RequestId, bool),
+}
+
+#[derive(Debug)]
+struct ReqState {
+    req: AppRequest,
+    stage: usize,
+    issued_at: SimTime,
+    last_state: Option<pulse_isa::IterState>,
+}
+
+/// The pulse rack.
+#[derive(Debug)]
+pub struct PulseCluster {
+    cfg: ClusterConfig,
+    mem: ClusterMemory,
+    accels: Vec<Accelerator>,
+    switch: Switch,
+    links: Vec<Link>,
+    cpu_link: Link,
+    /// Per-node DMA engines serving plain object reads/writes.
+    dma: Vec<SerialResource>,
+    inflight: HashMap<RequestId, ReqState>,
+    next_seq: u64,
+    // Measurements.
+    hist: LatencyHistogram,
+    completed: u64,
+    faulted: u64,
+    crossings: u64,
+    mem_bytes_extra: u64,
+    makespan: SimTime,
+}
+
+/// Fixed DMA-engine setup latency for plain reads/writes at a memory node.
+const DMA_SETUP: SimTime = SimTime::from_nanos(500);
+
+impl PulseCluster {
+    /// Builds a cluster over already-populated memory. The switch's global
+    /// table and every node's TCAM are snapshotted from the memory layout,
+    /// so structures must be built before cluster construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node's translation ranges exceed the TCAM capacity.
+    pub fn new(cfg: ClusterConfig, mem: ClusterMemory) -> PulseCluster {
+        let nodes = mem.node_count();
+        let switch = Switch::new(cfg.switch, GlobalRangeMap::new(&mem.all_ranges()));
+        let accels = (0..nodes)
+            .map(|n| {
+                let ranges: Vec<(u64, u64, Perms)> = mem
+                    .node_ranges(n)
+                    .iter()
+                    .map(|&(s, e)| (s, e, Perms::RW))
+                    .collect();
+                let table = RangeTable::build(cfg.tcam_capacity, &ranges)
+                    .expect("node ranges fit the TCAM");
+                Accelerator::new(cfg.accel, n, table)
+            })
+            .collect();
+        PulseCluster {
+            accels,
+            switch,
+            links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
+            cpu_link: Link::new(cfg.link),
+            dma: (0..nodes)
+                .map(|_| SerialResource::new(cfg.accel.timing.dram_bytes_per_sec * 8))
+                .collect(),
+            inflight: HashMap::new(),
+            next_seq: 0,
+            hist: LatencyHistogram::new(),
+            completed: 0,
+            faulted: 0,
+            crossings: 0,
+            mem_bytes_extra: 0,
+            makespan: SimTime::ZERO,
+            cfg,
+            mem,
+        }
+    }
+
+    /// Gives the memory back (e.g. to run another system on the same data).
+    pub fn into_memory(self) -> ClusterMemory {
+        self.mem
+    }
+
+    /// Read-only view of the rack memory.
+    pub fn memory(&self) -> &ClusterMemory {
+        &self.mem
+    }
+
+    /// Per-node accelerator statistics.
+    pub fn accelerators(&self) -> &[Accelerator] {
+        &self.accels
+    }
+
+    /// Runs `requests` closed-loop with `concurrency` outstanding.
+    pub fn run(&mut self, requests: Vec<AppRequest>, concurrency: usize) -> ClusterReport {
+        assert!(concurrency > 0 && !requests.is_empty());
+        let total = requests.len();
+        let mut drv: Driver<Ev> = Driver::new();
+        let mut pending: Vec<AppRequest> = requests;
+        pending.reverse(); // pop() issues in order
+        let mut next_to_issue = 0usize;
+        for c in 0..concurrency.min(total) {
+            drv.schedule_at(SimTime::from_nanos(10 * c as u64), Ev::Issue(next_to_issue));
+            next_to_issue += 1;
+        }
+
+        let mut queue: Vec<AppRequest> = Vec::new();
+        queue.reserve(total);
+        while let Some(r) = pending.pop() {
+            queue.push(r);
+        }
+
+        while let Some(ev) = drv.next_event() {
+            let now = drv.now();
+            match ev {
+                Ev::Issue(idx) => {
+                    let req = queue[idx].clone();
+                    let id = RequestId {
+                        cpu: 0,
+                        seq: self.next_seq,
+                    };
+                    self.next_seq += 1;
+                    let st = ReqState {
+                        req,
+                        stage: 0,
+                        issued_at: now,
+                        last_state: None,
+                    };
+                    self.inflight.insert(id, st);
+                    self.send_stage(&mut drv, now, id);
+                }
+                Ev::AtSwitch(pkt, from) => self.at_switch(&mut drv, now, pkt, from),
+                Ev::AtMem(n, pkt) => self.at_mem(&mut drv, now, n, pkt),
+                Ev::Accel(n, aev) => {
+                    let outs = self.accels[n].step(now, aev, &mut self.mem);
+                    self.absorb(&mut drv, n, outs);
+                }
+                Ev::AtCpu(pkt) => self.at_cpu(&mut drv, now, pkt),
+                Ev::Finished(id, ok) => {
+                    let st = self.inflight.remove(&id).expect("request inflight");
+                    self.hist.record(now - st.issued_at);
+                    self.makespan = self.makespan.max(now);
+                    if ok {
+                        self.completed += 1;
+                    } else {
+                        self.faulted += 1;
+                    }
+                    if next_to_issue < total {
+                        drv.schedule_at(now, Ev::Issue(next_to_issue));
+                        next_to_issue += 1;
+                    }
+                }
+            }
+        }
+
+        let horizon = self.makespan.max(SimTime::from_picos(1));
+        let nodes = self.accels.len();
+        let mem_bytes: u64 = self
+            .accels
+            .iter()
+            .map(|a| a.stats().dram_bytes)
+            .sum::<u64>()
+            + self.mem_bytes_extra;
+        ClusterReport {
+            completed: self.completed,
+            faulted: self.faulted,
+            latency: self.hist.summary(),
+            throughput: self.completed as f64 / horizon.as_secs_f64(),
+            crossings: self.crossings,
+            net_bytes: self.cpu_link.tx_bytes() + self.cpu_link.rx_bytes(),
+            mem_bytes,
+            memory_util: self
+                .accels
+                .iter()
+                .map(|a| a.memory_utilization(horizon))
+                .sum::<f64>()
+                / nodes as f64,
+            logic_util: self
+                .accels
+                .iter()
+                .map(|a| a.logic_utilization(horizon))
+                .sum::<f64>()
+                / nodes as f64,
+            makespan: self.makespan,
+            iterations: self.accels.iter().map(|a| a.stats().iterations).sum(),
+        }
+    }
+
+    /// Builds and transmits the current traversal stage (or object I/O) of
+    /// request `id` from the CPU node.
+    fn send_stage(&mut self, drv: &mut Driver<Ev>, now: SimTime, id: RequestId) {
+        let (pkt, _stage) = {
+            let st = self.inflight.get(&id).expect("inflight");
+            if st.stage < st.req.traversals.len() {
+                let stage = &st.req.traversals[st.stage];
+                let state = stage.init_state(st.last_state.as_ref());
+                (
+                    Packet::Iter(IterPacket {
+                        id,
+                        code: CodeBlob::new(stage.program.clone()),
+                        state,
+                        status: IterStatus::InFlight,
+                        piggyback_bytes: 0,
+                    }),
+                    st.stage,
+                )
+            } else if let Some(io) = st.req.object_io {
+                let addr = resolve_addr(io.addr, st.last_state.as_ref());
+                let pkt = if io.write {
+                    Packet::Write {
+                        id,
+                        addr,
+                        len: io.len,
+                    }
+                } else {
+                    Packet::Read {
+                        id,
+                        addr,
+                        len: io.len,
+                    }
+                };
+                (pkt, st.stage)
+            } else {
+                // Nothing remote left: straight to completion.
+                let cpu_work = st.req.cpu_work;
+                drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
+                return;
+            }
+        };
+        let depart = now + self.cfg.dispatch_overhead;
+        let arrive = self.cpu_link.tx(depart, pkt.wire_bytes());
+        drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(0)));
+    }
+
+    fn at_switch(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet, from: Endpoint) {
+        let mut route = self.switch.route(&pkt);
+        // Count crossings and apply the pulse-acc ablation: an in-flight
+        // iterator arriving *from a memory node* is a mid-traversal
+        // crossing.
+        if let (Packet::Iter(ip), Endpoint::Mem(_)) = (&pkt, from) {
+            if matches!(ip.status, IterStatus::InFlight) {
+                self.crossings += 1;
+                if self.cfg.mode == PulseMode::PulseAcc {
+                    route = Route::To(Endpoint::Cpu(pkt.id().cpu));
+                }
+            }
+        }
+        match route {
+            Route::To(ep) => {
+                let egress_done = self.switch.forward(now, &pkt, ep);
+                let arrive = egress_done + self.cfg.link.propagation;
+                match ep {
+                    Endpoint::Mem(n) => drv.schedule_at(arrive, Ev::AtMem(n, pkt)),
+                    Endpoint::Cpu(_) => {
+                        // Count bytes entering the CPU link (rx direction).
+                        let arrive = self.cpu_link.rx(egress_done, pkt.wire_bytes());
+                        drv.schedule_at(arrive, Ev::AtCpu(pkt));
+                    }
+                }
+            }
+            Route::InvalidPointer { requester } => {
+                // Notify the CPU of the invalid pointer (§5).
+                let egress_done = self.switch.forward(now, &pkt, requester);
+                let arrive = self.cpu_link.rx(egress_done, 128);
+                if let Packet::Iter(mut ip) = pkt {
+                    ip.status = IterStatus::Faulted {
+                        fault: pulse_isa::MemFault::NotMapped {
+                            addr: ip.state.cur_ptr,
+                        },
+                    };
+                    drv.schedule_at(arrive, Ev::AtCpu(Packet::Iter(ip)));
+                }
+            }
+        }
+    }
+
+    fn at_mem(&mut self, drv: &mut Driver<Ev>, now: SimTime, n: NodeId, pkt: Packet) {
+        match pkt {
+            Packet::Iter(ip) => {
+                let outs = self.accels[n].on_packet(now, ip);
+                self.absorb(drv, n, outs);
+            }
+            Packet::Read { id, addr, len } => {
+                let _ = addr;
+                let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
+                self.mem_bytes_extra += len as u64;
+                let reply = Packet::ReadReply { id, len };
+                let arrive = self.links[n].tx(g.end, reply.wire_bytes());
+                drv.schedule_at(arrive, Ev::AtSwitch(reply, Endpoint::Mem(n)));
+            }
+            Packet::Write { id, addr, len } => {
+                let _ = addr;
+                let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
+                self.mem_bytes_extra += len as u64;
+                let reply = Packet::WriteAck { id };
+                let arrive = self.links[n].tx(g.end, reply.wire_bytes());
+                drv.schedule_at(arrive, Ev::AtSwitch(reply, Endpoint::Mem(n)));
+            }
+            Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
+                unreachable!("replies never route to memory nodes")
+            }
+        }
+    }
+
+    /// Feeds accelerator outputs back into the event loop, applying the
+    /// near-memory gather: a final-stage `Done` response picks up the
+    /// request's object in place when it lives on the same node.
+    fn absorb(&mut self, drv: &mut Driver<Ev>, n: NodeId, outs: Vec<AccelOutput>) {
+        for out in outs {
+            match out {
+                AccelOutput::Internal { at, event } => drv.schedule_at(at, Ev::Accel(n, event)),
+                AccelOutput::Depart { at, mut pkt } => {
+                    if let IterStatus::Done { .. } = pkt.status {
+                        if let Some(st) = self.inflight.get(&pkt.id) {
+                            let is_final_stage = st.stage + 1 == st.req.traversals.len();
+                            if is_final_stage {
+                                if let Some(io) = st.req.object_io {
+                                    if !io.write {
+                                        let addr = resolve_addr(io.addr, Some(&pkt.state));
+                                        if self.mem.owner_of(addr) == Some(n) {
+                                            // Gather: DMA the object into the
+                                            // response right here.
+                                            let g = self.dma[n].acquire(at, io.len as u64);
+                                            self.mem_bytes_extra += io.len as u64;
+                                            pkt.piggyback_bytes = io.len;
+                                            let wire = Packet::Iter(pkt.clone()).wire_bytes();
+                                            let arrive = self.links[n].tx(g.end, wire);
+                                            drv.schedule_at(
+                                                arrive,
+                                                Ev::AtSwitch(
+                                                    Packet::Iter(pkt),
+                                                    Endpoint::Mem(n),
+                                                ),
+                                            );
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let wire = Packet::Iter(pkt.clone()).wire_bytes();
+                    let arrive = self.links[n].tx(at, wire);
+                    drv.schedule_at(arrive, Ev::AtSwitch(Packet::Iter(pkt), Endpoint::Mem(n)));
+                }
+            }
+        }
+    }
+
+    fn at_cpu(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet) {
+        let id = pkt.id();
+        match pkt {
+            Packet::Iter(ip) => match ip.status {
+                IterStatus::Done { .. } => {
+                    let gathered = ip.piggyback_bytes > 0;
+                    let (advance, cpu_work) = {
+                        let st = self.inflight.get_mut(&id).expect("inflight");
+                        st.last_state = Some(ip.state);
+                        st.stage += 1;
+                        let more_traversals = st.stage < st.req.traversals.len();
+                        let needs_io = st.req.object_io.is_some() && !gathered;
+                        (more_traversals || needs_io, st.req.cpu_work)
+                    };
+                    if advance {
+                        self.send_stage(drv, now, id);
+                    } else {
+                        drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
+                    }
+                }
+                IterStatus::InFlight => {
+                    // pulse-acc bounce: the CPU re-issues toward the right
+                    // node; the switch will route it by cur_ptr.
+                    let depart = now + self.cfg.reissue_overhead;
+                    let wire = Packet::Iter(ip.clone()).wire_bytes();
+                    let arrive = self.cpu_link.tx(depart, wire);
+                    drv.schedule_at(arrive, Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(0)));
+                }
+                IterStatus::IterLimit => {
+                    // Continuation: fresh budget, same state (§3).
+                    let mut ip = ip;
+                    ip.status = IterStatus::InFlight;
+                    ip.state.iters_done = 0;
+                    let depart = now + self.cfg.reissue_overhead;
+                    let wire = Packet::Iter(ip.clone()).wire_bytes();
+                    let arrive = self.cpu_link.tx(depart, wire);
+                    drv.schedule_at(arrive, Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(0)));
+                }
+                IterStatus::Faulted { .. } => {
+                    drv.schedule_at(now, Ev::Finished(id, false));
+                }
+            },
+            Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
+                let cpu_work = self
+                    .inflight
+                    .get(&id)
+                    .expect("inflight")
+                    .req
+                    .cpu_work;
+                drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
+            }
+            Packet::Read { .. } | Packet::Write { .. } => {
+                unreachable!("requests never route to the CPU node")
+            }
+        }
+    }
+}
+
+fn resolve_addr(src: AddrSource, state: Option<&pulse_isa::IterState>) -> u64 {
+    match src {
+        AddrSource::Fixed(a) => a,
+        AddrSource::FromScratch(off) => state
+            .expect("address depends on a traversal result")
+            .scratch_u64(off as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_ds::BuildCtx;
+    use pulse_mem::{ClusterAllocator, Placement};
+    use pulse_workloads::{
+        execute_functional, Application, Distribution, WebService, WebServiceConfig,
+        WiredTiger, WiredTigerConfig,
+    };
+
+    fn webservice_cluster(
+        nodes: usize,
+        keys: u64,
+        granularity: u64,
+    ) -> (ClusterMemory, Vec<AppRequest>, Vec<u64>) {
+        webservice_cluster_opts(nodes, keys, granularity, true)
+    }
+
+    fn webservice_cluster_opts(
+        nodes: usize,
+        keys: u64,
+        granularity: u64,
+        partition: bool,
+    ) -> (ClusterMemory, Vec<AppRequest>, Vec<u64>) {
+        let mut mem = ClusterMemory::new(nodes);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, granularity);
+        let mut app = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            WebService::build(
+                &mut ctx,
+                WebServiceConfig {
+                    keys,
+                    distribution: Distribution::Zipfian,
+                    partition_by_bucket: partition,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let reqs: Vec<AppRequest> = (0..120).map(|_| app.next_request()).collect();
+        // Ground truth: expected object addresses per request.
+        let expected: Vec<u64> = reqs
+            .iter()
+            .map(|r| {
+                let run = execute_functional(&mut mem, r, 1 << 20).unwrap();
+                run.response.final_state.unwrap().scratch_u64(8)
+            })
+            .collect();
+        (mem, reqs, expected)
+    }
+
+    #[test]
+    fn single_node_webservice_completes_correctly() {
+        let (mem, reqs, _) = webservice_cluster(1, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let report = cluster.run(reqs, 8);
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.faulted, 0);
+        assert_eq!(report.crossings, 0, "single node never crosses");
+        // Latency: RTT (~7 us) + ~48 iterations + object gather; must land
+        // in the 10-40 us band of Fig. 7's single-node pulse.
+        let mean_us = report.latency.mean.as_micros_f64();
+        assert!((8.0..45.0).contains(&mean_us), "mean {mean_us} us");
+    }
+
+    #[test]
+    fn multi_node_crossings_appear_with_small_extents() {
+        // Unpartitioned chains striped at 4 KiB must cross constantly.
+        let (mem, reqs, _) = webservice_cluster_opts(4, 2_000, 4096, false);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let report = cluster.run(reqs, 8);
+        assert_eq!(report.completed + report.faulted, 120);
+        assert_eq!(report.faulted, 0);
+        assert!(
+            report.crossings > 0,
+            "4 KiB striping must force hash-chain crossings"
+        );
+    }
+
+    #[test]
+    fn pulse_acc_mode_is_slower_when_crossing() {
+        let mk = || webservice_cluster_opts(4, 2_000, 4096, false);
+        let (mem, reqs, _) = mk();
+        let mut pulse = PulseCluster::new(ClusterConfig::default(), mem);
+        let rep_pulse = pulse.run(reqs, 4);
+        let (mem, reqs, _) = mk();
+        let mut acc = PulseCluster::new(
+            ClusterConfig {
+                mode: PulseMode::PulseAcc,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let rep_acc = acc.run(reqs, 4);
+        assert!(rep_pulse.crossings > 0);
+        assert!(
+            rep_acc.latency.mean > rep_pulse.latency.mean,
+            "pulse {} vs pulse-acc {}",
+            rep_pulse.latency.mean,
+            rep_acc.latency.mean
+        );
+    }
+
+    #[test]
+    fn wiredtiger_two_stage_requests_complete() {
+        let mut mem = ClusterMemory::new(2);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+        let mut app = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            WiredTiger::build(
+                &mut ctx,
+                WiredTigerConfig {
+                    keys: 20_000,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let reqs: Vec<AppRequest> = (0..60).map(|_| app.next_request()).collect();
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let report = cluster.run(reqs, 8);
+        assert_eq!(report.completed, 60);
+        assert!(report.iterations > 60 * 8, "descent + scan iterations");
+    }
+
+    #[test]
+    fn throughput_scales_with_memory_nodes() {
+        // Fig. 7's second trend: more memory nodes, more accelerators,
+        // higher throughput.
+        let tput = |nodes: usize| {
+            let (mem, reqs, _) = webservice_cluster(nodes, 4_000, 1 << 21);
+            let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+            cluster.run(reqs, 32).throughput
+        };
+        let t1 = tput(1);
+        let t4 = tput(4);
+        assert!(t4 > t1 * 1.5, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    fn report_bandwidth_accessors() {
+        let (mem, reqs, _) = webservice_cluster(2, 1_000, 1 << 20);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let report = cluster.run(reqs, 8);
+        assert!(report.net_gbps() > 0.0);
+        assert!(report.mem_bandwidth_per_node(2) > 0.0);
+        assert!(report.memory_util > 0.0);
+        assert!(report.makespan > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pulse-core
+//!
+//! The framework facade: the full rack-scale pulse simulation.
+//!
+//! * [`PulseCluster`] — CPU node + programmable switch + one accelerator
+//!   per memory node, executing application requests end-to-end: compiled
+//!   iterator offloads travel as packets, traversals really execute against
+//!   disaggregated memory, remote pointers reroute through the switch (§5),
+//!   continuations resume on iteration-budget expiry (§3), and WebService's
+//!   objects ride responses via near-memory gather.
+//! * [`PulseMode::PulseAcc`] — the Fig. 9 ablation that bounces crossings
+//!   through the CPU node instead of the switch.
+//! * [`cxl_study`] — the §7/Fig. 12 CXL-interconnect model.
+//!
+//! # Examples
+//!
+//! ```
+//! use pulse_core::{ClusterConfig, PulseCluster};
+//! use pulse_ds::BuildCtx;
+//! use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+//! use pulse_workloads::{Application, WebService, WebServiceConfig};
+//!
+//! // Build a (small) WebService deployment over two memory nodes...
+//! let mut mem = ClusterMemory::new(2);
+//! let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+//! let mut app = {
+//!     let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+//!     WebService::build(&mut ctx, WebServiceConfig { keys: 500, ..Default::default() })?
+//! };
+//! let requests: Vec<_> = (0..20).map(|_| app.next_request()).collect();
+//!
+//! // ...and run it on the pulse rack.
+//! let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+//! let report = cluster.run(requests, 4);
+//! assert_eq!(report.completed, 20);
+//! assert!(report.latency.mean.as_micros_f64() > 5.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod cxl;
+
+pub use cluster::{ClusterConfig, ClusterReport, PulseCluster, PulseMode};
+pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};

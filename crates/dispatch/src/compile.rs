@@ -1,0 +1,658 @@
+//! The IR → PULSE ISA compiler: window inference (load coalescing) and code
+//! generation.
+//!
+//! §4.1: "pulse's dispatch engine infers the range of memory locations
+//! accessed relative to `cur_ptr` in the `next()` and `end()` functions via
+//! static analysis and aggregates these accesses into a single large LOAD
+//! (of up to 256 B) at the beginning of each iteration."
+
+use crate::spec::{CondExpr, Expr, IterSpec, Stmt};
+use pulse_isa::{
+    Operand, Place, Program, ProgramBuilder, ProgramError, Reg, Width, MAX_LOAD_BYTES,
+    NUM_REGS,
+};
+use std::fmt;
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Some control path neither advances nor finishes — the iterator could
+    /// fall off the end of an iteration.
+    NonTerminating,
+    /// The fields referenced around `cur_ptr` span more than
+    /// [`MAX_LOAD_BYTES`]; no single coalesced LOAD can cover them.
+    WindowTooLarge {
+        /// Required window size in bytes.
+        required: u32,
+    },
+    /// Expression nesting exhausted the register file.
+    OutOfRegisters,
+    /// The generated program failed ISA validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NonTerminating => {
+                write!(f, "a control path ends without advance/finish")
+            }
+            CompileError::WindowTooLarge { required } => write!(
+                f,
+                "node fields span {required} bytes; the coalesced LOAD is capped at {MAX_LOAD_BYTES}"
+            ),
+            CompileError::OutOfRegisters => {
+                write!(f, "expression nesting exceeds the {NUM_REGS}-register file")
+            }
+            CompileError::Invalid(e) => write!(f, "generated program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::Invalid(e)
+    }
+}
+
+/// The inferred coalesced-load window of a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPlan {
+    /// Lowest referenced byte offset relative to `cur_ptr`.
+    pub min_off: i32,
+    /// One past the highest referenced byte.
+    pub max_end: i32,
+}
+
+impl WindowPlan {
+    /// Window length in bytes.
+    pub fn len(&self) -> u32 {
+        (self.max_end - self.min_off) as u32
+    }
+
+    /// Whether the spec references any node field at all.
+    pub fn is_empty(&self) -> bool {
+        self.max_end == self.min_off
+    }
+}
+
+fn scan_expr(e: &Expr, plan: &mut Option<WindowPlan>) {
+    match e {
+        Expr::Field { off, width } => {
+            let end = off + width.bytes() as i32;
+            match plan {
+                Some(p) => {
+                    p.min_off = p.min_off.min(*off);
+                    p.max_end = p.max_end.max(end);
+                }
+                None => {
+                    *plan = Some(WindowPlan {
+                        min_off: *off,
+                        max_end: end,
+                    })
+                }
+            }
+        }
+        Expr::Deref { base, .. } => scan_expr(base, plan),
+        Expr::Binop { a, b, .. } => {
+            scan_expr(a, plan);
+            scan_expr(b, plan);
+        }
+        Expr::Not(a) => scan_expr(a, plan),
+        Expr::Const(_) | Expr::CurPtr | Expr::Scratch { .. } => {}
+    }
+}
+
+fn scan_stmts(stmts: &[Stmt], plan: &mut Option<WindowPlan>) {
+    for s in stmts {
+        match s {
+            Stmt::SetScratch { value, .. } => scan_expr(value, plan),
+            Stmt::StoreMem { base, value, .. } => {
+                scan_expr(base, plan);
+                scan_expr(value, plan);
+            }
+            Stmt::If { cond, then, els } => {
+                scan_expr(&cond.a, plan);
+                scan_expr(&cond.b, plan);
+                scan_stmts(then, plan);
+                scan_stmts(els, plan);
+            }
+            Stmt::Advance { next } => scan_expr(next, plan),
+            Stmt::Finish { code } => scan_expr(code, plan),
+        }
+    }
+}
+
+/// Infers the coalesced window: the tight `[min, max)` byte range of all
+/// `Field` references relative to `cur_ptr`.
+///
+/// # Errors
+///
+/// [`CompileError::WindowTooLarge`] if the span exceeds the 256 B LOAD cap.
+pub fn infer_window(spec: &IterSpec) -> Result<WindowPlan, CompileError> {
+    let mut plan = None;
+    scan_stmts(&spec.body, &mut plan);
+    // A spec referencing no node field still performs the per-iteration
+    // fetch of at least one word (the hardware always issues the LOAD).
+    let plan = plan.unwrap_or(WindowPlan {
+        min_off: 0,
+        max_end: 8,
+    });
+    if plan.len() > MAX_LOAD_BYTES {
+        return Err(CompileError::WindowTooLarge {
+            required: plan.len(),
+        });
+    }
+    Ok(plan)
+}
+
+struct Codegen {
+    b: ProgramBuilder,
+    window: WindowPlan,
+    next_reg: u8,
+}
+
+impl Codegen {
+    /// Translates a node-field offset into a window-buffer offset.
+    fn node_operand(&self, off: i32, width: Width) -> Operand {
+        let rel = off - self.window.min_off;
+        debug_assert!(rel >= 0);
+        Operand::Node {
+            off: rel as u16,
+            width,
+        }
+    }
+
+    fn alloc_reg(&mut self) -> Result<Reg, CompileError> {
+        if self.next_reg >= NUM_REGS {
+            return Err(CompileError::OutOfRegisters);
+        }
+        let r = Reg::new(self.next_reg);
+        self.next_reg += 1;
+        Ok(r)
+    }
+
+    /// Evaluates `e` to an operand, emitting instructions as needed.
+    /// Leaf expressions become direct operands (no register pressure).
+    fn eval(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        Ok(match e {
+            Expr::Const(v) => Operand::Imm(*v),
+            Expr::CurPtr => Operand::CurPtr,
+            Expr::Field { off, width } => self.node_operand(*off, *width),
+            Expr::Scratch { off, width } => Operand::Sp {
+                off: *off,
+                width: *width,
+            },
+            Expr::Deref { base, off, width } => {
+                let base_op = self.eval(base)?;
+                let dst = self.alloc_reg()?;
+                self.b.load(dst, base_op, *off, *width);
+                Operand::Reg(dst)
+            }
+            Expr::Binop { op, a, b } => {
+                let av = self.eval(a)?;
+                let bv = self.eval(b)?;
+                let dst = self.alloc_reg()?;
+                self.b.alu(*op, dst, av, bv);
+                Operand::Reg(dst)
+            }
+            Expr::Not(a) => {
+                let av = self.eval(a)?;
+                let dst = self.alloc_reg()?;
+                self.b.not(dst, av);
+                Operand::Reg(dst)
+            }
+        })
+    }
+
+    fn gen_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            // Registers are statement-scoped: each statement restarts the
+            // allocator (values never flow between statements except via
+            // the scratchpad, matching the iterator contract).
+            self.next_reg = 0;
+            match s {
+                Stmt::SetScratch { off, width, value } => {
+                    let dst = Place::Sp {
+                        off: *off,
+                        width: *width,
+                    };
+                    // Peephole: the ISA supports ALU results written
+                    // directly to the scratchpad (§4.1 "register operations
+                    // directly on the scratch_pad"), saving the extra MOVE.
+                    match value {
+                        Expr::Binop { op, a, b } => {
+                            let av = self.eval(a)?;
+                            let bv = self.eval(b)?;
+                            self.b.alu(*op, dst, av, bv);
+                        }
+                        Expr::Not(a) => {
+                            let av = self.eval(a)?;
+                            self.b.not(dst, av);
+                        }
+                        other => {
+                            let v = self.eval(other)?;
+                            self.b.mov(dst, v);
+                        }
+                    }
+                }
+                Stmt::StoreMem {
+                    base,
+                    off,
+                    width,
+                    value,
+                } => {
+                    let base_op = self.eval(base)?;
+                    let v = self.eval(value)?;
+                    self.b.store(base_op, *off, v, *width);
+                }
+                Stmt::If { cond, then, els } => {
+                    let CondExpr { cond: cc, a, b } = cond;
+                    let av = self.eval(a)?;
+                    let bv = self.eval(b)?;
+                    if els.is_empty() {
+                        let skip = self.b.label();
+                        self.b.cmp_jump(cc.negate(), av, bv, skip);
+                        self.gen_stmts(then)?;
+                        self.b.bind(skip);
+                    } else {
+                        let else_l = self.b.label();
+                        let end_l = self.b.label();
+                        self.b.cmp_jump(cc.negate(), av, bv, else_l);
+                        self.gen_stmts(then)?;
+                        // Skip the jump if the branch already terminated;
+                        // emitting it would create dead code past RETURN.
+                        if !block_ends_terminal(then) {
+                            self.b.jump(end_l);
+                        }
+                        self.b.bind(else_l);
+                        self.gen_stmts(els)?;
+                        self.b.bind(end_l);
+                    }
+                }
+                Stmt::Advance { next } => {
+                    let v = self.eval(next)?;
+                    self.b.next_iter(v);
+                }
+                Stmt::Finish { code } => {
+                    let v = self.eval(code)?;
+                    self.b.ret(v);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn block_ends_terminal(stmts: &[Stmt]) -> bool {
+    match stmts.last() {
+        Some(Stmt::Advance { .. }) | Some(Stmt::Finish { .. }) => true,
+        Some(Stmt::If { then, els, .. }) => {
+            !els.is_empty() && block_ends_terminal(then) && block_ends_terminal(els)
+        }
+        _ => false,
+    }
+}
+
+/// Compiles an [`IterSpec`] to a validated PULSE [`Program`].
+///
+/// # Errors
+///
+/// * [`CompileError::NonTerminating`] if a path misses advance/finish,
+/// * [`CompileError::WindowTooLarge`] if field references span > 256 B,
+/// * [`CompileError::OutOfRegisters`] on pathological expression nesting,
+/// * [`CompileError::Invalid`] if the generated code fails ISA validation
+///   (e.g. exceeding the per-iteration instruction cap).
+pub fn compile(spec: &IterSpec) -> Result<Program, CompileError> {
+    if !spec.all_paths_terminate() {
+        return Err(CompileError::NonTerminating);
+    }
+    let window = infer_window(spec)?;
+    let mut b = ProgramBuilder::new(spec.name.clone(), window.len().max(8), spec.scratch_len);
+    b.window_offset(window.min_off);
+    let mut cg = Codegen {
+        b,
+        window,
+        next_reg: 0,
+    };
+    cg.gen_stmts(&spec.body)?;
+    Ok(cg.b.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_isa::{AluOp, Cond, Instruction, Interpreter, IterState, MemBus, VecMem};
+
+    /// The unordered_map::find of Listing 3, as an IterSpec.
+    /// Node: key u64 @0, value u64 @8, next u64 @16.
+    /// Scratch: search key @0, result @8.
+    pub(crate) fn hash_find_spec() -> IterSpec {
+        IterSpec::new(
+            "unordered_map::find",
+            16,
+            vec![
+                Stmt::if_then(
+                    CondExpr::new(Cond::Eq, Expr::field_u64(0), Expr::scratch_u64(0)),
+                    vec![
+                        Stmt::SetScratch {
+                            off: 8,
+                            width: Width::B8,
+                            value: Expr::field_u64(8),
+                        },
+                        Stmt::Finish {
+                            code: Expr::Const(0),
+                        },
+                    ],
+                ),
+                Stmt::if_then(
+                    CondExpr::new(Cond::Eq, Expr::field_u64(16), Expr::Const(0)),
+                    vec![Stmt::Finish {
+                        code: Expr::Const(1),
+                    }],
+                ),
+                Stmt::Advance {
+                    next: Expr::field_u64(16),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn window_inference_is_tight() {
+        let spec = hash_find_spec();
+        let w = infer_window(&spec).unwrap();
+        assert_eq!((w.min_off, w.max_end), (0, 24));
+        assert_eq!(w.len(), 24);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn window_handles_negative_offsets() {
+        let spec = IterSpec::new(
+            "neg",
+            8,
+            vec![
+                Stmt::SetScratch {
+                    off: 0,
+                    width: Width::B8,
+                    value: Expr::field_u64(-16),
+                },
+                Stmt::Finish {
+                    code: Expr::field_u64(8),
+                },
+            ],
+        );
+        let w = infer_window(&spec).unwrap();
+        assert_eq!((w.min_off, w.max_end), (-16, 16));
+        let prog = compile(&spec).unwrap();
+        assert_eq!(prog.window().off, -16);
+        assert_eq!(prog.window().len, 32);
+    }
+
+    #[test]
+    fn oversized_window_rejected() {
+        // Fields at 0 and 500 span 508 bytes: no single 256 B LOAD covers
+        // them.
+        let spec = IterSpec::new(
+            "big",
+            8,
+            vec![
+                Stmt::SetScratch {
+                    off: 0,
+                    width: Width::B8,
+                    value: Expr::add(Expr::field_u64(0), Expr::field_u64(500)),
+                },
+                Stmt::Finish {
+                    code: Expr::Const(0),
+                },
+            ],
+        );
+        assert_eq!(
+            infer_window(&spec).unwrap_err(),
+            CompileError::WindowTooLarge { required: 508 }
+        );
+    }
+
+    #[test]
+    fn far_field_alone_gets_tight_window() {
+        // A single field at offset 500 needs only an 8-byte window starting
+        // at +500 — the window is relative, not anchored at cur_ptr.
+        let spec = IterSpec::new(
+            "far",
+            8,
+            vec![Stmt::Finish {
+                code: Expr::field_u64(500),
+            }],
+        );
+        let w = infer_window(&spec).unwrap();
+        assert_eq!((w.min_off, w.max_end), (500, 508));
+        let prog = compile(&spec).unwrap();
+        assert_eq!(prog.window().off, 500);
+        assert_eq!(prog.window().len, 8);
+    }
+
+    #[test]
+    fn coalescing_eliminates_explicit_loads() {
+        // Three field references, one window load, zero LOAD instructions.
+        let prog = compile(&hash_find_spec()).unwrap();
+        assert_eq!(prog.extra_loads(), 0, "{}", prog.disassemble());
+        assert!(!prog.has_stores());
+    }
+
+    #[test]
+    fn non_terminating_spec_rejected() {
+        let spec = IterSpec::new(
+            "bad",
+            8,
+            vec![Stmt::SetScratch {
+                off: 0,
+                width: Width::B8,
+                value: Expr::Const(1),
+            }],
+        );
+        assert_eq!(compile(&spec).unwrap_err(), CompileError::NonTerminating);
+    }
+
+    #[test]
+    fn compiled_hash_find_runs_correctly() {
+        let prog = compile(&hash_find_spec()).unwrap();
+        // Three-node chain at 0x1000.
+        let mut m = VecMem::new(0x1000, 256);
+        for (i, (k, v)) in [(5u64, 50u64), (6, 60), (7, 70)].iter().enumerate() {
+            let a = 0x1000 + i as u64 * 24;
+            m.write_word(a, *k, 8).unwrap();
+            m.write_word(a + 8, *v, 8).unwrap();
+            let next = if i < 2 { a + 24 } else { 0 };
+            m.write_word(a + 16, next, 8).unwrap();
+        }
+        let mut interp = Interpreter::new();
+        // Hit on the last node.
+        let mut st = IterState::new(&prog, 0x1000);
+        st.set_scratch_u64(0, 7);
+        let run = interp.run_traversal(&prog, &mut st, &mut m, 64).unwrap();
+        assert_eq!(run.return_code, Some(0));
+        assert_eq!(st.scratch_u64(8), 70);
+        assert_eq!(run.iterations, 3);
+        // Miss.
+        let mut st = IterState::new(&prog, 0x1000);
+        st.set_scratch_u64(0, 42);
+        let run = interp.run_traversal(&prog, &mut st, &mut m, 64).unwrap();
+        assert_eq!(run.return_code, Some(1));
+    }
+
+    #[test]
+    fn if_else_compiles_both_arms() {
+        // code = (sp[0] < 10) ? 1 : 2
+        let spec = IterSpec::new(
+            "sel",
+            8,
+            vec![Stmt::If {
+                cond: CondExpr::new(Cond::LtU, Expr::scratch_u64(0), Expr::Const(10)),
+                then: vec![Stmt::Finish {
+                    code: Expr::Const(1),
+                }],
+                els: vec![Stmt::Finish {
+                    code: Expr::Const(2),
+                }],
+            }],
+        );
+        let prog = compile(&spec).unwrap();
+        let mut m = VecMem::new(0, 64);
+        let mut interp = Interpreter::new();
+        for (sp, want) in [(5u64, 1u64), (10, 2), (11, 2)] {
+            let mut st = IterState::new(&prog, 0);
+            st.set_scratch_u64(0, sp);
+            let run = interp.run_traversal(&prog, &mut st, &mut m, 4).unwrap();
+            assert_eq!(run.return_code, Some(want), "sp={sp}");
+        }
+    }
+
+    #[test]
+    fn if_else_with_fallthrough_then_branch() {
+        // then branch does NOT terminate: must emit the skip jump.
+        let spec = IterSpec::new(
+            "ft",
+            16,
+            vec![
+                Stmt::If {
+                    cond: CondExpr::new(Cond::Eq, Expr::scratch_u64(0), Expr::Const(1)),
+                    then: vec![Stmt::SetScratch {
+                        off: 8,
+                        width: Width::B8,
+                        value: Expr::Const(100),
+                    }],
+                    els: vec![Stmt::SetScratch {
+                        off: 8,
+                        width: Width::B8,
+                        value: Expr::Const(200),
+                    }],
+                },
+                Stmt::Finish {
+                    code: Expr::scratch_u64(8),
+                },
+            ],
+        );
+        let prog = compile(&spec).unwrap();
+        let mut m = VecMem::new(0, 64);
+        let mut interp = Interpreter::new();
+        let mut st = IterState::new(&prog, 0);
+        st.set_scratch_u64(0, 1);
+        let run = interp.run_traversal(&prog, &mut st, &mut m, 4).unwrap();
+        assert_eq!(run.return_code, Some(100));
+        let mut st = IterState::new(&prog, 0);
+        st.set_scratch_u64(0, 9);
+        let run = interp.run_traversal(&prog, &mut st, &mut m, 4).unwrap();
+        assert_eq!(run.return_code, Some(200));
+    }
+
+    #[test]
+    fn deref_compiles_to_explicit_load() {
+        let spec = IterSpec::new(
+            "deref",
+            16,
+            vec![
+                Stmt::SetScratch {
+                    off: 8,
+                    width: Width::B8,
+                    value: Expr::Deref {
+                        base: Box::new(Expr::field_u64(0)),
+                        off: 0,
+                        width: Width::B8,
+                    },
+                },
+                Stmt::Finish {
+                    code: Expr::Const(0),
+                },
+            ],
+        );
+        let prog = compile(&spec).unwrap();
+        assert_eq!(prog.extra_loads(), 1);
+        // And it works: node[0] holds a pointer to a cell holding 777.
+        let mut m = VecMem::new(0x100, 256);
+        m.write_word(0x100, 0x180, 8).unwrap();
+        m.write_word(0x180, 777, 8).unwrap();
+        let mut st = IterState::new(&prog, 0x100);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 4)
+            .unwrap();
+        assert_eq!(run.return_code, Some(0));
+        assert_eq!(st.scratch_u64(8), 777);
+    }
+
+    #[test]
+    fn store_mem_compiles_and_executes() {
+        let spec = IterSpec::new(
+            "bump",
+            8,
+            vec![
+                Stmt::StoreMem {
+                    base: Expr::CurPtr,
+                    off: 8,
+                    width: Width::B8,
+                    value: Expr::add(Expr::field_u64(8), Expr::Const(1)),
+                },
+                Stmt::Finish {
+                    code: Expr::Const(0),
+                },
+            ],
+        );
+        let prog = compile(&spec).unwrap();
+        assert!(prog.has_stores());
+        let mut m = VecMem::new(0x100, 64);
+        m.write_word(0x108, 41, 8).unwrap();
+        let mut st = IterState::new(&prog, 0x100);
+        Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 4)
+            .unwrap();
+        assert_eq!(m.read_word(0x108, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn deep_nesting_runs_out_of_registers() {
+        // Build a 20-deep Not chain: each level needs a fresh register.
+        let mut e = Expr::Const(1);
+        for _ in 0..20 {
+            e = Expr::Not(Box::new(e));
+        }
+        let spec = IterSpec::new("deep", 8, vec![Stmt::Finish { code: e }]);
+        assert_eq!(compile(&spec).unwrap_err(), CompileError::OutOfRegisters);
+    }
+
+    #[test]
+    fn empty_field_spec_gets_default_window() {
+        let spec = IterSpec::new(
+            "nofields",
+            8,
+            vec![Stmt::Finish {
+                code: Expr::Const(0),
+            }],
+        );
+        let prog = compile(&spec).unwrap();
+        assert_eq!(prog.window().len, 8);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CompileError::NonTerminating,
+            CompileError::WindowTooLarge { required: 300 },
+            CompileError::OutOfRegisters,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn generated_code_has_no_backward_jumps() {
+        let prog = compile(&hash_find_spec()).unwrap();
+        for (pc, insn) in prog.insns().iter().enumerate() {
+            if let Instruction::CmpJump { target, .. } | Instruction::Jump { target } = insn {
+                assert!(*target as usize > pc);
+            }
+        }
+        let _ = AluOp::Add; // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,324 @@
+//! The iterator IR (`IterSpec`).
+//!
+//! The paper's dispatch engine lowers C++ iterator methods (`next()` +
+//! `end()`) to PULSE ISA through LLVM (§4.1). This workspace has no C++
+//! front-end, so data-structure libraries describe their per-iteration logic
+//! in this small IR instead — the same shape LLVM's analysis pass would
+//! extract: straight-line expressions over the current node's fields and the
+//! scratchpad, conditionals, and the two iterator verbs `Advance`
+//! (≙ `NEXT_ITER`) and `Finish` (≙ `RETURN`).
+//!
+//! The IR is deliberately loop-free: bounded loops (e.g. scanning the ≤8
+//! keys of a B-tree node, Listing 8) are unrolled by the data-structure
+//! code generator before reaching the compiler, matching §4.1's rule that
+//! only loops unrollable to a fixed instruction count are admissible.
+
+use pulse_isa::{AluOp, Cond, Width};
+
+/// A value-producing expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer constant.
+    Const(i64),
+    /// The current traversal pointer.
+    CurPtr,
+    /// A field of the current node: `*(cur_ptr + off)`, coalesced into the
+    /// per-iteration window load by the compiler.
+    Field {
+        /// Byte offset from `cur_ptr`.
+        off: i32,
+        /// Field width.
+        width: Width,
+    },
+    /// A scratchpad word.
+    Scratch {
+        /// Byte offset into the scratchpad.
+        off: u16,
+        /// Access width.
+        width: Width,
+    },
+    /// A secondary dereference `*(base + off)` that cannot be coalesced —
+    /// compiles to an explicit `LOAD` costing an extra memory trip.
+    Deref {
+        /// Address-producing expression.
+        base: Box<Expr>,
+        /// Byte displacement.
+        off: i32,
+        /// Access width.
+        width: Width,
+    },
+    /// A binary ALU operation.
+    Binop {
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+    /// Bitwise NOT.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// 8-byte field at `off`.
+    pub fn field_u64(off: i32) -> Expr {
+        Expr::Field {
+            off,
+            width: Width::B8,
+        }
+    }
+
+    /// 8-byte scratchpad word at `off`.
+    pub fn scratch_u64(off: u16) -> Expr {
+        Expr::Scratch {
+            off,
+            width: Width::B8,
+        }
+    }
+
+    /// `a <op> b` convenience constructor.
+    pub fn binop(op: AluOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binop {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::binop(AluOp::Add, a, b)
+    }
+}
+
+/// A comparison used by [`Stmt::If`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondExpr {
+    /// Condition code.
+    pub cond: Cond,
+    /// Left comparand.
+    pub a: Expr,
+    /// Right comparand.
+    pub b: Expr,
+}
+
+impl CondExpr {
+    /// Builds `a <cond> b`.
+    pub fn new(cond: Cond, a: Expr, b: Expr) -> CondExpr {
+        CondExpr { cond, a, b }
+    }
+}
+
+/// One statement of per-iteration logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `scratch[off] = value`.
+    SetScratch {
+        /// Destination byte offset.
+        off: u16,
+        /// Store width.
+        width: Width,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `*(base + off) = value` — a data-structure modification (write path).
+    StoreMem {
+        /// Address-producing expression.
+        base: Expr,
+        /// Byte displacement.
+        off: i32,
+        /// Store width.
+        width: Width,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if cond { then } else { els }`; branches may terminate or fall
+    /// through to the following statement.
+    If {
+        /// The branch condition.
+        cond: CondExpr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Fallthrough branch (may be empty).
+        els: Vec<Stmt>,
+    },
+    /// `cur_ptr = next; yield to the scheduler` (≙ `NEXT_ITER`).
+    Advance {
+        /// The next pointer.
+        next: Expr,
+    },
+    /// Terminate the traversal with a status code (≙ `RETURN`).
+    Finish {
+        /// Status code expression.
+        code: Expr,
+    },
+}
+
+impl Stmt {
+    /// `if cond { then }` with an empty else.
+    pub fn if_then(cond: CondExpr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then,
+            els: Vec::new(),
+        }
+    }
+}
+
+/// A complete iterator specification: what a data-structure library hands
+/// the dispatch engine for one traversal operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterSpec {
+    /// Human-readable name (e.g. `"btree::internal_locate"`).
+    pub name: String,
+    /// Per-iteration logic; every control path must end in
+    /// [`Stmt::Advance`] or [`Stmt::Finish`].
+    pub body: Vec<Stmt>,
+    /// Scratchpad bytes this iterator uses.
+    pub scratch_len: u16,
+}
+
+impl IterSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, scratch_len: u16, body: Vec<Stmt>) -> IterSpec {
+        IterSpec {
+            name: name.into(),
+            body,
+            scratch_len,
+        }
+    }
+
+    /// Whether every control path through `body` ends in a terminator.
+    pub fn all_paths_terminate(&self) -> bool {
+        fn block_terminates(stmts: &[Stmt]) -> bool {
+            match stmts.last() {
+                None => false,
+                Some(Stmt::Advance { .. }) | Some(Stmt::Finish { .. }) => true,
+                Some(Stmt::If { then, els, .. }) => block_terminates(then) && block_terminates(els),
+                Some(_) => false,
+            }
+        }
+        block_terminates(&self.body)
+    }
+
+    /// Whether the spec modifies memory (write-path operation).
+    pub fn has_stores(&self) -> bool {
+        fn stmt_has(s: &Stmt) -> bool {
+            match s {
+                Stmt::StoreMem { .. } => true,
+                Stmt::If { then, els, .. } => {
+                    then.iter().any(stmt_has) || els.iter().any(stmt_has)
+                }
+                _ => false,
+            }
+        }
+        self.body.iter().any(stmt_has)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finish0() -> Stmt {
+        Stmt::Finish {
+            code: Expr::Const(0),
+        }
+    }
+
+    #[test]
+    fn termination_check_accepts_terminal_tail() {
+        let spec = IterSpec::new("t", 8, vec![finish0()]);
+        assert!(spec.all_paths_terminate());
+        let spec = IterSpec::new(
+            "t",
+            8,
+            vec![Stmt::Advance {
+                next: Expr::field_u64(0),
+            }],
+        );
+        assert!(spec.all_paths_terminate());
+    }
+
+    #[test]
+    fn termination_check_requires_both_branches() {
+        let cond = CondExpr::new(Cond::Eq, Expr::Const(0), Expr::Const(0));
+        // then terminates, else empty, and it's the last statement: not total.
+        let spec = IterSpec::new("t", 8, vec![Stmt::if_then(cond.clone(), vec![finish0()])]);
+        assert!(!spec.all_paths_terminate());
+        // Both branches terminate: total.
+        let spec = IterSpec::new(
+            "t",
+            8,
+            vec![Stmt::If {
+                cond: cond.clone(),
+                then: vec![finish0()],
+                els: vec![Stmt::Advance {
+                    next: Expr::field_u64(0),
+                }],
+            }],
+        );
+        assert!(spec.all_paths_terminate());
+        // If followed by a terminator: total even with fall-through branch.
+        let spec = IterSpec::new(
+            "t",
+            8,
+            vec![
+                Stmt::if_then(cond, vec![finish0()]),
+                Stmt::Advance {
+                    next: Expr::field_u64(0),
+                },
+            ],
+        );
+        assert!(spec.all_paths_terminate());
+    }
+
+    #[test]
+    fn empty_body_does_not_terminate() {
+        assert!(!IterSpec::new("t", 8, vec![]).all_paths_terminate());
+    }
+
+    #[test]
+    fn store_detection_recurses() {
+        let store = Stmt::StoreMem {
+            base: Expr::CurPtr,
+            off: 8,
+            width: Width::B8,
+            value: Expr::Const(1),
+        };
+        let spec = IterSpec::new(
+            "t",
+            8,
+            vec![
+                Stmt::If {
+                    cond: CondExpr::new(Cond::Eq, Expr::Const(0), Expr::Const(0)),
+                    then: vec![store, finish0()],
+                    els: vec![finish0()],
+                },
+            ],
+        );
+        assert!(spec.has_stores());
+        let pure = IterSpec::new("t", 8, vec![finish0()]);
+        assert!(!pure.has_stores());
+    }
+
+    #[test]
+    fn expr_helpers() {
+        assert_eq!(
+            Expr::field_u64(8),
+            Expr::Field {
+                off: 8,
+                width: Width::B8
+            }
+        );
+        assert_eq!(
+            Expr::add(Expr::Const(1), Expr::Const(2)),
+            Expr::Binop {
+                op: AluOp::Add,
+                a: Box::new(Expr::Const(1)),
+                b: Box::new(Expr::Const(2)),
+            }
+        );
+    }
+}

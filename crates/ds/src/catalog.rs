@@ -1,0 +1,211 @@
+//! The Table 1/5 catalogue: the thirteen data structures pulse ports, each
+//! mapped to its shared internal base function — used by the `table5`
+//! bench to validate and print the full matrix.
+
+use pulse_dispatch::IterSpec;
+
+/// Which library a ported structure comes from (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Library {
+    /// C++ standard library containers.
+    Stl,
+    /// Boost (incl. Boost.Intrusive trees).
+    Boost,
+    /// Google `cpp-btree`.
+    Google,
+}
+
+/// Structure category (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Chain-shaped (lists, hash chains).
+    List,
+    /// Tree-shaped.
+    Tree,
+}
+
+/// One catalogue row.
+#[derive(Debug)]
+pub struct PortedStructure {
+    /// Structure name as the paper lists it.
+    pub name: &'static str,
+    /// Source library.
+    pub library: Library,
+    /// Category.
+    pub category: Category,
+    /// The internal base function several APIs share (Table 5).
+    pub base_function: &'static str,
+    /// Produces the structure's offloaded iterator spec.
+    pub spec: fn() -> IterSpec,
+}
+
+/// The thirteen ported structures (Table 1), in the paper's order.
+pub fn catalog() -> Vec<PortedStructure> {
+    use crate::bst::SearchTree;
+    use crate::hash::HashMapDs;
+    use crate::list::LinkedList;
+    use crate::btree::GoogleBTree;
+    vec![
+        PortedStructure {
+            name: "std::list",
+            library: Library::Stl,
+            category: Category::List,
+            base_function: "std::find(start, end, value)",
+            spec: LinkedList::find_spec,
+        },
+        PortedStructure {
+            name: "std::forward_list",
+            library: Library::Stl,
+            category: Category::List,
+            base_function: "std::find(start, end, value)",
+            spec: LinkedList::find_spec,
+        },
+        PortedStructure {
+            name: "std::map",
+            library: Library::Stl,
+            category: Category::Tree,
+            base_function: "_M_lower_bound(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "std::multimap",
+            library: Library::Stl,
+            category: Category::Tree,
+            base_function: "_M_lower_bound(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "std::set",
+            library: Library::Stl,
+            category: Category::Tree,
+            base_function: "_M_lower_bound(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "std::multiset",
+            library: Library::Stl,
+            category: Category::Tree,
+            base_function: "_M_lower_bound(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "boost::bimap",
+            library: Library::Boost,
+            category: Category::List,
+            base_function: "find(key, hash)",
+            spec: HashMapDs::find_spec,
+        },
+        PortedStructure {
+            name: "boost::unordered_map",
+            library: Library::Boost,
+            category: Category::List,
+            base_function: "find(key, hash)",
+            spec: HashMapDs::find_spec,
+        },
+        PortedStructure {
+            name: "boost::unordered_set",
+            library: Library::Boost,
+            category: Category::List,
+            base_function: "find(key, hash)",
+            spec: HashMapDs::find_spec,
+        },
+        PortedStructure {
+            name: "boost::avl_set",
+            library: Library::Boost,
+            category: Category::Tree,
+            base_function: "lower_bound_loop(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "boost::splay_set",
+            library: Library::Boost,
+            category: Category::Tree,
+            base_function: "lower_bound_loop(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "boost::sg_set (scapegoat)",
+            library: Library::Boost,
+            category: Category::Tree,
+            base_function: "lower_bound_loop(x, y, key)",
+            spec: SearchTree::lower_bound_spec,
+        },
+        PortedStructure {
+            name: "google::btree",
+            library: Library::Google,
+            category: Category::Tree,
+            base_function: "internal_locate_plain_compare(key, iter)",
+            spec: GoogleBTree::locate_spec,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_dispatch::{DispatchEngine, OffloadDecision};
+
+    #[test]
+    fn exactly_thirteen_structures() {
+        assert_eq!(catalog().len(), 13);
+    }
+
+    #[test]
+    fn every_structure_compiles_and_offloads() {
+        let engine = DispatchEngine::default();
+        for s in catalog() {
+            let spec = (s.spec)();
+            let c = engine
+                .prepare(&spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(
+                c.decision,
+                OffloadDecision::Offload,
+                "{} ratio {}",
+                s.name,
+                c.analysis.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_base_functions_share_programs() {
+        // Table 5's point: same internal function => same compiled code.
+        let cat = catalog();
+        let by_base = |base: &str| -> Vec<String> {
+            cat.iter()
+                .filter(|s| s.base_function == base)
+                .map(|s| {
+                    let p = pulse_dispatch::compile(&(s.spec)()).unwrap();
+                    p.disassemble()
+                        .lines()
+                        .skip(1) // drop the name banner
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                })
+                .collect()
+        };
+        for base in [
+            "std::find(start, end, value)",
+            "_M_lower_bound(x, y, key)",
+            "find(key, hash)",
+            "lower_bound_loop(x, y, key)",
+        ] {
+            let progs = by_base(base);
+            assert!(progs.len() >= 2, "{base} shared by several structures");
+            assert!(
+                progs.windows(2).all(|w| w[0] == w[1]),
+                "{base} compiles identically for all users"
+            );
+        }
+    }
+
+    #[test]
+    fn library_counts_match_table1() {
+        let cat = catalog();
+        let stl = cat.iter().filter(|s| s.library == Library::Stl).count();
+        let boost = cat.iter().filter(|s| s.library == Library::Boost).count();
+        let google = cat.iter().filter(|s| s.library == Library::Google).count();
+        assert_eq!((stl, boost, google), (6, 6, 1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared plumbing for structures living in simulated memory.
+
+use pulse_isa::{IterState, MemBus, MemFault, Program};
+use pulse_mem::{ClusterAllocator, ClusterMemory, MemError};
+use std::fmt;
+
+/// Errors raised while building or querying a structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsError {
+    /// Memory shaping failed (allocator / extent errors).
+    Mem(MemError),
+    /// A host-side read/write of simulated memory faulted.
+    Access(MemFault),
+    /// The structure is empty and the operation needs at least one node.
+    Empty,
+}
+
+impl fmt::Display for DsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsError::Mem(e) => write!(f, "memory error: {e}"),
+            DsError::Access(e) => write!(f, "access fault: {e}"),
+            DsError::Empty => write!(f, "structure is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}
+
+impl From<MemError> for DsError {
+    fn from(e: MemError) -> Self {
+        DsError::Mem(e)
+    }
+}
+
+impl From<MemFault> for DsError {
+    fn from(e: MemFault) -> Self {
+        DsError::Access(e)
+    }
+}
+
+/// The building context: the rack's memory plus the placement-policy
+/// allocator, passed to every structure builder.
+#[derive(Debug)]
+pub struct BuildCtx<'a> {
+    /// The rack's memory.
+    pub mem: &'a mut ClusterMemory,
+    /// The extent allocator (placement policy inside).
+    pub alloc: &'a mut ClusterAllocator,
+}
+
+impl<'a> BuildCtx<'a> {
+    /// Creates a context.
+    pub fn new(mem: &'a mut ClusterMemory, alloc: &'a mut ClusterAllocator) -> Self {
+        BuildCtx { mem, alloc }
+    }
+
+    /// Allocates `size` bytes by policy.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, DsError> {
+        Ok(self.alloc.alloc(self.mem, size)?)
+    }
+
+    /// Allocates `size` bytes pinned to `node`.
+    pub fn alloc_on(&mut self, node: usize, size: u64) -> Result<u64, DsError> {
+        Ok(self.alloc.alloc_on(self.mem, node, size)?)
+    }
+
+    /// Writes a u64 field.
+    pub fn put(&mut self, addr: u64, off: i64, v: u64) -> Result<(), DsError> {
+        Ok(self
+            .mem
+            .write_word(addr.wrapping_add(off as u64), v, 8)?)
+    }
+
+    /// Reads a u64 field.
+    pub fn get(&mut self, addr: u64, off: i64) -> Result<u64, DsError> {
+        Ok(self.mem.read_word(addr.wrapping_add(off as u64), 8)?)
+    }
+}
+
+/// Prepares the traversal's initial [`IterState`] with the scratchpad
+/// pre-populated word-by-word — the `init()` step that always runs at the
+/// CPU node (§3).
+pub fn init_state(program: &Program, cur_ptr: u64, scratch_words: &[(u16, u64)]) -> IterState {
+    let mut st = IterState::new(program, cur_ptr);
+    for &(off, v) in scratch_words {
+        st.set_scratch_u64(off as usize, v);
+    }
+    st
+}
+
+/// FNV-1a — the deterministic hash shared by the hash-table builders and
+/// their CPU-side `init()` (bucket selection must agree between build and
+/// query time).
+pub fn fnv1a(key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_mem::Placement;
+
+    #[test]
+    fn build_ctx_round_trips_fields() {
+        let mut mem = ClusterMemory::new(2);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 4096);
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let a = ctx.alloc(64).unwrap();
+        ctx.put(a, 8, 1234).unwrap();
+        assert_eq!(ctx.get(a, 8).unwrap(), 1234);
+        let b = ctx.alloc_on(1, 64).unwrap();
+        assert_eq!(ctx.mem.owner_of(b), Some(1));
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spread() {
+        assert_eq!(fnv1a(42), fnv1a(42));
+        let mut buckets = [0u32; 16];
+        for k in 0..10_000u64 {
+            buckets[(fnv1a(k) % 16) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(min > 400 && max < 900, "spread {buckets:?}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!DsError::Empty.to_string().is_empty());
+        assert!(!DsError::Access(MemFault::NotMapped { addr: 1 })
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Ergonomic, forward-label program construction.
+
+use crate::ops::{AluOp, Cond, Operand, Place, Width};
+use crate::program::{Instruction, NodeWindow, Program, ProgramError};
+
+/// A forward-reference label handed out by [`ProgramBuilder::label`].
+///
+/// Labels may be used as jump targets before they are bound; [`ProgramBuilder::finish`]
+/// patches all references and rejects unbound labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s.
+///
+/// Only *forward* control flow is expressible, matching the ISA's
+/// eBPF-style restriction: a label can only be bound after every jump that
+/// references it, so a backwards jump cannot be constructed.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_isa::{Cond, Operand, ProgramBuilder};
+///
+/// // Walk a singly-linked list until the 8-byte key at offset 0 matches.
+/// let mut b = ProgramBuilder::new("list::find", 16, 16);
+/// let found = b.label();
+/// b.cmp_jump(Cond::Eq, Operand::node_u64(0), Operand::sp_u64(0), found);
+/// b.next_iter(Operand::node_u64(8)); // follow `next`
+/// b.bind(found);
+/// b.ret(Operand::Imm(0));
+/// let prog = b.finish()?;
+/// assert_eq!(prog.len(), 3);
+/// # Ok::<(), pulse_isa::ProgramError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    window: NodeWindow,
+    scratch_len: u16,
+    insns: Vec<Instruction>,
+    /// label id -> bound pc
+    bound: Vec<Option<u32>>,
+    /// (insn index, label id) pairs awaiting patching
+    patches: Vec<(usize, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose node window is `[cur_ptr, cur_ptr + window_len)`.
+    pub fn new(name: impl Into<String>, window_len: u32, scratch_len: u16) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            window: NodeWindow::from_start(window_len),
+            scratch_len,
+            insns: Vec::new(),
+            bound: Vec::new(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// Overrides the window displacement (for layouts where useful fields
+    /// start before `cur_ptr`).
+    pub fn window_offset(&mut self, off: i32) -> &mut Self {
+        self.window.off = off;
+        self
+    }
+
+    /// Allocates an unbound forward label.
+    pub fn label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label binds exactly once).
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.bound[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insns.len() as u32);
+        self
+    }
+
+    fn push(&mut self, insn: Instruction) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Emits `dst = a <op> b`.
+    pub fn alu(
+        &mut self,
+        op: AluOp,
+        dst: impl Into<Place>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Instruction::Alu {
+            op,
+            dst: dst.into(),
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// Emits `dst = a + b`.
+    pub fn add(
+        &mut self,
+        dst: impl Into<Place>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// Emits `dst = !a`.
+    pub fn not(&mut self, dst: impl Into<Place>, a: impl Into<Operand>) -> &mut Self {
+        self.push(Instruction::Not {
+            dst: dst.into(),
+            a: a.into(),
+        })
+    }
+
+    /// Emits `dst = src`.
+    pub fn mov(&mut self, dst: impl Into<Place>, src: impl Into<Operand>) -> &mut Self {
+        self.push(Instruction::Move {
+            dst: dst.into(),
+            src: src.into(),
+        })
+    }
+
+    /// Emits an explicit memory load.
+    pub fn load(
+        &mut self,
+        dst: impl Into<Place>,
+        base: impl Into<Operand>,
+        off: i32,
+        width: Width,
+    ) -> &mut Self {
+        self.push(Instruction::Load {
+            dst: dst.into(),
+            base: base.into(),
+            off,
+            width,
+        })
+    }
+
+    /// Emits an explicit memory store.
+    pub fn store(
+        &mut self,
+        base: impl Into<Operand>,
+        off: i32,
+        src: impl Into<Operand>,
+        width: Width,
+    ) -> &mut Self {
+        self.push(Instruction::Store {
+            base: base.into(),
+            off,
+            src: src.into(),
+            width,
+        })
+    }
+
+    /// Emits `COMPARE a, b; JUMP_<cond> label`.
+    pub fn cmp_jump(
+        &mut self,
+        cond: Cond,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.patches.push((self.insns.len(), label.0));
+        self.push(Instruction::CmpJump {
+            cond,
+            a: a.into(),
+            b: b.into(),
+            target: u32::MAX, // patched in finish()
+        })
+    }
+
+    /// Emits an unconditional forward jump.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.patches.push((self.insns.len(), label.0));
+        self.push(Instruction::Jump { target: u32::MAX })
+    }
+
+    /// Emits `NEXT_ITER next`.
+    pub fn next_iter(&mut self, next: impl Into<Operand>) -> &mut Self {
+        self.push(Instruction::NextIter { next: next.into() })
+    }
+
+    /// Emits `RETURN code`.
+    pub fn ret(&mut self, code: impl Into<Operand>) -> &mut Self {
+        self.push(Instruction::Return { code: code.into() })
+    }
+
+    /// Patches labels and validates the finished program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ProgramError`] from validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound — that is a programming
+    /// error in the caller, not a data error.
+    pub fn finish(mut self) -> Result<Program, ProgramError> {
+        for (idx, label) in self.patches.drain(..) {
+            let target = self.bound[label]
+                .unwrap_or_else(|| panic!("label {label} referenced but never bound"));
+            match &mut self.insns[idx] {
+                Instruction::CmpJump { target: t, .. } | Instruction::Jump { target: t } => {
+                    *t = target;
+                }
+                other => unreachable!("patch points at non-jump {other:?}"),
+            }
+        }
+        Program::new(self.name, self.window, self.insns, self.scratch_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Reg;
+
+    #[test]
+    fn builds_branching_program() {
+        let mut b = ProgramBuilder::new("t", 24, 16);
+        let not_found = b.label();
+        let done = b.label();
+        b.cmp_jump(
+            Cond::Ne,
+            Operand::node_u64(0),
+            Operand::sp_u64(0),
+            not_found,
+        );
+        b.mov(Place::sp_u64(8), Operand::node_u64(8));
+        b.jump(done);
+        b.bind(not_found);
+        b.next_iter(Operand::node_u64(16));
+        b.bind(done);
+        b.ret(Operand::Imm(0));
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 5);
+        // Check the patched targets.
+        match p.insns()[0] {
+            Instruction::CmpJump { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("{other:?}"),
+        }
+        match p.insns()[2] {
+            Instruction::Jump { target } => assert_eq!(target, 4),
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut b = ProgramBuilder::new("t", 0, 0); // zero window
+        b.ret(Operand::Imm(0));
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t", 8, 0);
+        let l = b.label();
+        b.jump(l);
+        b.ret(Operand::Imm(0));
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("t", 8, 0);
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn helper_emitters_produce_expected_shapes() {
+        let r0 = Reg::new(0);
+        let mut b = ProgramBuilder::new("t", 32, 8);
+        b.add(r0, Operand::CurPtr, 8i64);
+        b.not(Reg::new(1), r0);
+        b.load(Reg::new(2), r0, 4, Width::B4);
+        b.store(r0, 0, Operand::Imm(7), Width::B8);
+        b.next_iter(r0);
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 5);
+        assert!(p.has_stores());
+        assert_eq!(p.extra_loads(), 1);
+    }
+
+    #[test]
+    fn window_offset_is_applied() {
+        let mut b = ProgramBuilder::new("t", 8, 0);
+        b.window_offset(-8);
+        b.ret(Operand::Imm(0));
+        let p = b.finish().unwrap();
+        assert_eq!(p.window().off, -8);
+    }
+}

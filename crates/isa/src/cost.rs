@@ -1,0 +1,117 @@
+//! Instruction-timing cost model.
+//!
+//! §4.1: "pulse exploits the known execution time of its accelerators in
+//! terms of time per compute instruction, `t_i`, to determine
+//! `t_c = t_i · N`, where `N` is the number of instructions per iteration."
+//!
+//! Because the ISA only has forward jumps, every instruction executes at
+//! most once per iteration and the program length is a sound static bound
+//! for `N`. The same model, with a different `t_i`, prices traversals on the
+//! Xeon and ARM CPU baselines.
+
+use crate::interp::IterTrace;
+use crate::program::Program;
+use pulse_sim::SimTime;
+
+/// Per-instruction timing for an execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Time per compute instruction (`t_i`).
+    pub insn_time: SimTime,
+}
+
+impl CostModel {
+    /// The PULSE accelerator's logic pipeline: 250 MHz, one instruction per
+    /// cycle ⇒ 4 ns per instruction (§4.2 implementation).
+    pub fn pulse_accelerator() -> CostModel {
+        CostModel {
+            insn_time: SimTime::from_nanos(4),
+        }
+    }
+
+    /// A server-class x86 core (Xeon Gold 6240, 2.6 GHz). The paper observes
+    /// RPC latency benefits from "9× higher CPU clock rates" than the
+    /// 250 MHz FPGA, i.e. ≈0.44 ns per traversal instruction once
+    /// superscalar issue is folded in.
+    pub fn xeon() -> CostModel {
+        CostModel {
+            insn_time: SimTime::from_picos(444),
+        }
+    }
+
+    /// A wimpy SmartNIC core (Bluefield-2 Cortex-A72): lower clock and
+    /// narrower issue, ≈3.5× slower per instruction than the Xeon on this
+    /// pointer-chasing profile.
+    pub fn arm_cortex_a72() -> CostModel {
+        CostModel {
+            insn_time: SimTime::from_picos(1_550),
+        }
+    }
+
+    /// Static worst-case compute time for one iteration: `t_c = t_i · N`
+    /// with `N` = the longest acyclic path through the program — exact for
+    /// this ISA because jumps are forward-only (§4.1).
+    pub fn static_iteration_cost(&self, program: &Program) -> SimTime {
+        self.insn_time * program.longest_path() as u64
+    }
+
+    /// Actual compute time of an executed iteration.
+    pub fn runtime_iteration_cost(&self, trace: &IterTrace) -> SimTime {
+        self.insn_time * trace.insns_executed as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ops::Operand;
+
+    fn program_of_len(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("t", 8, 8);
+        for _ in 0..n - 1 {
+            b.mov(crate::ops::Reg::new(0), Operand::Imm(1));
+        }
+        b.ret(Operand::Imm(0));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn static_cost_scales_with_length() {
+        let m = CostModel::pulse_accelerator();
+        assert_eq!(
+            m.static_iteration_cost(&program_of_len(3)),
+            SimTime::from_nanos(12)
+        );
+        assert_eq!(
+            m.static_iteration_cost(&program_of_len(10)),
+            SimTime::from_nanos(40)
+        );
+    }
+
+    #[test]
+    fn engines_are_ordered_by_speed() {
+        let accel = CostModel::pulse_accelerator().insn_time;
+        let xeon = CostModel::xeon().insn_time;
+        let arm = CostModel::arm_cortex_a72().insn_time;
+        assert!(xeon < arm, "xeon faster than arm");
+        assert!(arm < accel, "arm faster per-insn than 250MHz pipeline");
+        // The paper's "9x higher CPU clock rates" claim.
+        let ratio = accel.as_picos() as f64 / xeon.as_picos() as f64;
+        assert!((8.0..10.0).contains(&ratio), "xeon/accel ratio {ratio}");
+    }
+
+    #[test]
+    fn runtime_cost_uses_executed_count() {
+        use crate::interp::{IterOutcome, IterTrace};
+        let m = CostModel::pulse_accelerator();
+        let trace = IterTrace {
+            insns_executed: 5,
+            extra_loads: 0,
+            stores: 0,
+            window_bytes: 64,
+            outcome: IterOutcome::Continue,
+        };
+        assert_eq!(m.runtime_iteration_cost(&trace), SimTime::from_nanos(20));
+    }
+}

@@ -1,0 +1,591 @@
+//! Functional interpreter for PULSE programs.
+//!
+//! The interpreter implements exactly the execution model of §4.2: at the
+//! start of each iteration the *memory pipeline* fetches the coalesced node
+//! window at `cur_ptr`; then the *logic pipeline* runs the instruction
+//! stream against registers, the scratchpad, and the fetched window, ending
+//! in `NEXT_ITER` (update `cur_ptr`, repeat) or `RETURN` (yield scratchpad).
+//!
+//! Timing is *not* modelled here — the accelerator, RPC baselines and CPU
+//! fallback all charge their own costs around the same functional core, so
+//! the semantics of a traversal are identical on every execution engine.
+
+use crate::membus::{MemBus, MemFault};
+use crate::ops::{AluOp, Operand, Place, NUM_REGS};
+use crate::program::{Instruction, Program};
+use std::fmt;
+
+/// A runtime execution fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A memory access failed (translation/protection/straddle).
+    Mem(MemFault),
+    /// `DIV` by zero at instruction `pc`.
+    DivideByZero {
+        /// The faulting instruction index.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mem(m) => write!(f, "memory fault: {m}"),
+            Fault::DivideByZero { pc } => write!(f, "divide by zero at @{pc}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<MemFault> for Fault {
+    fn from(m: MemFault) -> Fault {
+        Fault::Mem(m)
+    }
+}
+
+/// The mutable per-request state that travels with an iterator offload:
+/// exactly the continuation of §5 — `cur_ptr`, the scratchpad, and the
+/// iteration count already consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterState {
+    /// The current traversal pointer.
+    pub cur_ptr: u64,
+    /// Developer-managed persistent state (§3).
+    pub scratch: Vec<u8>,
+    /// Iterations executed so far (across continuations).
+    pub iters_done: u32,
+}
+
+impl IterState {
+    /// Fresh state for a program, with a zeroed scratchpad of the program's
+    /// declared size.
+    pub fn new(program: &Program, cur_ptr: u64) -> IterState {
+        IterState {
+            cur_ptr,
+            scratch: vec![0; program.scratch_len() as usize],
+            iters_done: 0,
+        }
+    }
+
+    /// Reads the 8-byte little-endian word at scratchpad offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the scratchpad.
+    pub fn scratch_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.scratch[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes an 8-byte little-endian word at scratchpad offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off + 8` exceeds the scratchpad.
+    pub fn set_scratch_u64(&mut self, off: usize, v: u64) {
+        self.scratch[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// How one iteration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterOutcome {
+    /// `NEXT_ITER` executed; `cur_ptr` has been updated.
+    Continue,
+    /// `RETURN` executed with this status code; traversal complete.
+    Done {
+        /// Value of the `RETURN` operand.
+        code: u64,
+    },
+}
+
+/// Measured facts about one executed iteration, consumed by timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterTrace {
+    /// Instructions the logic pipeline executed (incl. the terminal).
+    pub insns_executed: u32,
+    /// Explicit `LOAD`s beyond the coalesced window (extra memory trips).
+    pub extra_loads: u32,
+    /// `STORE`s executed (memory-pipeline write trips).
+    pub stores: u32,
+    /// Bytes fetched by the coalesced window load.
+    pub window_bytes: u32,
+    /// How the iteration ended.
+    pub outcome: IterOutcome,
+}
+
+/// Result of running a traversal to completion (or to its iteration budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraversalRun {
+    /// Iterations executed in *this* run (not counting prior continuations).
+    pub iterations: u32,
+    /// Total instructions executed across those iterations.
+    pub total_insns: u64,
+    /// Total explicit loads and stores.
+    pub total_extra_loads: u64,
+    /// Total stores.
+    pub total_stores: u64,
+    /// `Some(code)` if `RETURN` was reached; `None` if the iteration budget
+    /// expired first (the CPU node may issue a continuation, §3).
+    pub return_code: Option<u64>,
+}
+
+impl TraversalRun {
+    /// Whether the traversal reached `RETURN`.
+    pub fn completed(&self) -> bool {
+        self.return_code.is_some()
+    }
+}
+
+/// Executes PULSE programs one iteration at a time.
+///
+/// The interpreter is engine-agnostic: [`Interpreter::run_iteration`] is used
+/// by the accelerator model (which charges pipeline time around it), by the
+/// RPC baselines (which charge CPU time), and directly by tests.
+#[derive(Debug, Default)]
+pub struct Interpreter {
+    window_buf: Vec<u8>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs a single iteration: window fetch, then logic to a terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::Mem`] if the window fetch or an explicit access
+    /// faults, or [`Fault::DivideByZero`] on a zero divisor. On fault,
+    /// `state` is left as of the fault point (the scratchpad still travels
+    /// back for diagnosis, as on the hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.scratch` is smaller than the program's declared
+    /// scratch length (caller bug).
+    pub fn run_iteration(
+        &mut self,
+        program: &Program,
+        state: &mut IterState,
+        bus: &mut dyn MemBus,
+    ) -> Result<IterTrace, Fault> {
+        assert!(
+            state.scratch.len() >= program.scratch_len() as usize,
+            "scratchpad smaller than program requirement"
+        );
+        let window = program.window();
+        let base = state.cur_ptr.wrapping_add(window.off as i64 as u64);
+        self.window_buf.resize(window.len as usize, 0);
+        bus.read(base, &mut self.window_buf)?;
+
+        let mut regs = [0u64; NUM_REGS as usize];
+        let mut pc: u32 = 0;
+        let mut executed: u32 = 0;
+        let mut extra_loads: u32 = 0;
+        let mut stores: u32 = 0;
+        let insns = program.insns();
+
+        loop {
+            let insn = insns[pc as usize];
+            executed += 1;
+            match insn {
+                Instruction::Alu { op, dst, a, b } => {
+                    let av = self.read_operand(a, &regs, state);
+                    let bv = self.read_operand(b, &regs, state);
+                    let v = match op {
+                        AluOp::Add => av.wrapping_add(bv),
+                        AluOp::Sub => av.wrapping_sub(bv),
+                        AluOp::Mul => av.wrapping_mul(bv),
+                        AluOp::Div => {
+                            if bv == 0 {
+                                return Err(Fault::DivideByZero { pc });
+                            }
+                            av / bv
+                        }
+                        AluOp::And => av & bv,
+                        AluOp::Or => av | bv,
+                    };
+                    self.write_place(dst, v, &mut regs, state);
+                }
+                Instruction::Not { dst, a } => {
+                    let av = self.read_operand(a, &regs, state);
+                    self.write_place(dst, !av, &mut regs, state);
+                }
+                Instruction::Move { dst, src } => {
+                    let v = self.read_operand(src, &regs, state);
+                    self.write_place(dst, v, &mut regs, state);
+                }
+                Instruction::Load {
+                    dst,
+                    base,
+                    off,
+                    width,
+                } => {
+                    let addr = self
+                        .read_operand(base, &regs, state)
+                        .wrapping_add(off as i64 as u64);
+                    let v = bus.read_word(addr, width.bytes())?;
+                    self.write_place(dst, v, &mut regs, state);
+                    extra_loads += 1;
+                }
+                Instruction::Store {
+                    base,
+                    off,
+                    src,
+                    width,
+                } => {
+                    let addr = self
+                        .read_operand(base, &regs, state)
+                        .wrapping_add(off as i64 as u64);
+                    let v = self.read_operand(src, &regs, state);
+                    bus.write_word(addr, v, width.bytes())?;
+                    stores += 1;
+                }
+                Instruction::CmpJump { cond, a, b, target } => {
+                    let av = self.read_operand(a, &regs, state);
+                    let bv = self.read_operand(b, &regs, state);
+                    if cond.eval(av, bv) {
+                        pc = target;
+                        continue;
+                    }
+                }
+                Instruction::Jump { target } => {
+                    pc = target;
+                    continue;
+                }
+                Instruction::NextIter { next } => {
+                    state.cur_ptr = self.read_operand(next, &regs, state);
+                    state.iters_done += 1;
+                    return Ok(IterTrace {
+                        insns_executed: executed,
+                        extra_loads,
+                        stores,
+                        window_bytes: window.len,
+                        outcome: IterOutcome::Continue,
+                    });
+                }
+                Instruction::Return { code } => {
+                    let code = self.read_operand(code, &regs, state);
+                    state.iters_done += 1;
+                    return Ok(IterTrace {
+                        insns_executed: executed,
+                        extra_loads,
+                        stores,
+                        window_bytes: window.len,
+                        outcome: IterOutcome::Done { code },
+                    });
+                }
+            }
+            pc += 1;
+            // Validation guarantees the last instruction is terminal, so pc
+            // can never run past the end.
+            debug_assert!((pc as usize) < insns.len());
+        }
+    }
+
+    /// Runs iterations until `RETURN`, a fault, or `max_iters` total
+    /// iterations on this `state` (the `execute()` loop of Listing 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Fault`]; hitting the iteration budget is *not*
+    /// an error (`return_code` is `None` and the state is a valid
+    /// continuation).
+    pub fn run_traversal(
+        &mut self,
+        program: &Program,
+        state: &mut IterState,
+        bus: &mut dyn MemBus,
+        max_iters: u32,
+    ) -> Result<TraversalRun, Fault> {
+        let mut run = TraversalRun {
+            iterations: 0,
+            total_insns: 0,
+            total_extra_loads: 0,
+            total_stores: 0,
+            return_code: None,
+        };
+        while state.iters_done < max_iters {
+            let trace = self.run_iteration(program, state, bus)?;
+            run.iterations += 1;
+            run.total_insns += trace.insns_executed as u64;
+            run.total_extra_loads += trace.extra_loads as u64;
+            run.total_stores += trace.stores as u64;
+            if let IterOutcome::Done { code } = trace.outcome {
+                run.return_code = Some(code);
+                break;
+            }
+        }
+        Ok(run)
+    }
+
+    fn read_operand(&self, op: Operand, regs: &[u64], state: &IterState) -> u64 {
+        match op {
+            Operand::Imm(v) => v as u64,
+            Operand::Reg(r) => regs[r.index() as usize],
+            Operand::CurPtr => state.cur_ptr,
+            Operand::Sp { off, width } => {
+                read_le(&state.scratch, off as usize, width.bytes() as usize)
+            }
+            Operand::Node { off, width } => {
+                read_le(&self.window_buf, off as usize, width.bytes() as usize)
+            }
+        }
+    }
+
+    fn write_place(&self, place: Place, v: u64, regs: &mut [u64], state: &mut IterState) {
+        match place {
+            Place::Reg(r) => regs[r.index() as usize] = v,
+            Place::Sp { off, width } => {
+                let bytes = v.to_le_bytes();
+                let n = width.bytes() as usize;
+                state.scratch[off as usize..off as usize + n].copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+fn read_le(buf: &[u8], off: usize, n: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[..n].copy_from_slice(&buf[off..off + n]);
+    u64::from_le_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::membus::VecMem;
+    use crate::ops::{Cond, Operand, Place, Reg, Width};
+
+    /// Builds a linked list of (key, value, next) nodes in a VecMem and
+    /// returns (memory, head address).
+    fn build_list(entries: &[(u64, u64)]) -> (VecMem, u64) {
+        let base = 0x1000;
+        let node_size = 24u64;
+        let mut m = VecMem::new(base, entries.len() * node_size as usize + 64);
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            let addr = base + i as u64 * node_size;
+            let next = if i + 1 < entries.len() {
+                addr + node_size
+            } else {
+                0
+            };
+            m.write_word(addr, k, 8).unwrap();
+            m.write_word(addr + 8, v, 8).unwrap();
+            m.write_word(addr + 16, next, 8).unwrap();
+        }
+        (m, base)
+    }
+
+    /// The paper's Listing 3: `unordered_map::find` as a PULSE program.
+    /// Scratch layout: [0..8) search key, [8..16) result value, code 0=found
+    /// 1=absent.
+    fn list_find_program() -> Program {
+        let mut b = ProgramBuilder::new("list::find", 24, 16);
+        let miss = b.label();
+        let absent = b.label();
+        b.cmp_jump(Cond::Ne, Operand::node_u64(0), Operand::sp_u64(0), miss);
+        b.mov(Place::sp_u64(8), Operand::node_u64(8));
+        b.ret(Operand::Imm(0));
+        b.bind(miss);
+        b.cmp_jump(Cond::Eq, Operand::node_u64(16), Operand::Imm(0), absent);
+        b.next_iter(Operand::node_u64(16));
+        b.bind(absent);
+        b.ret(Operand::Imm(1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn list_find_hits() {
+        let (mut m, head) = build_list(&[(10, 100), (20, 200), (30, 300)]);
+        let prog = list_find_program();
+        let mut st = IterState::new(&prog, head);
+        st.set_scratch_u64(0, 20);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 64)
+            .unwrap();
+        assert_eq!(run.return_code, Some(0));
+        assert_eq!(run.iterations, 2); // node 10, then node 20
+        assert_eq!(st.scratch_u64(8), 200);
+    }
+
+    #[test]
+    fn list_find_misses() {
+        let (mut m, head) = build_list(&[(10, 100), (20, 200)]);
+        let prog = list_find_program();
+        let mut st = IterState::new(&prog, head);
+        st.set_scratch_u64(0, 99);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 64)
+            .unwrap();
+        assert_eq!(run.return_code, Some(1));
+        assert_eq!(run.iterations, 2);
+    }
+
+    #[test]
+    fn iteration_budget_yields_continuation() {
+        // 10-node list, budget of 4: should stop with no return code and a
+        // resumable state.
+        let entries: Vec<(u64, u64)> = (0..10).map(|i| (i, i * 10)).collect();
+        let (mut m, head) = build_list(&entries);
+        let prog = list_find_program();
+        let mut st = IterState::new(&prog, head);
+        st.set_scratch_u64(0, 9); // last node
+        let mut interp = Interpreter::new();
+        let run = interp.run_traversal(&prog, &mut st, &mut m, 4).unwrap();
+        assert_eq!(run.return_code, None);
+        assert_eq!(run.iterations, 4);
+        assert_eq!(st.iters_done, 4);
+        // Continue from the continuation (fresh budget window).
+        let run2 = interp.run_traversal(&prog, &mut st, &mut m, 64).unwrap();
+        assert_eq!(run2.return_code, Some(0));
+        assert_eq!(st.scratch_u64(8), 90);
+        assert_eq!(st.iters_done, 10);
+    }
+
+    #[test]
+    fn window_fetch_fault_propagates() {
+        let mut m = VecMem::new(0x1000, 64);
+        let prog = list_find_program();
+        let mut st = IterState::new(&prog, 0xdead_0000);
+        let err = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 8)
+            .unwrap_err();
+        assert!(matches!(err, Fault::Mem(MemFault::NotMapped { .. })));
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let mut b = ProgramBuilder::new("div0", 8, 8);
+        b.alu(
+            crate::ops::AluOp::Div,
+            Reg::new(0),
+            Operand::Imm(1),
+            Operand::sp_u64(0), // zeroed scratch
+        );
+        b.ret(Operand::Imm(0));
+        let prog = b.finish().unwrap();
+        let mut m = VecMem::new(0, 64);
+        let mut st = IterState::new(&prog, 0);
+        let err = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 8)
+            .unwrap_err();
+        assert_eq!(err, Fault::DivideByZero { pc: 0 });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn alu_semantics() {
+        // Compute sp[0] = (5 + 3) * 2 - 1 = 15, sp[8] = 0xF0 & 0x0F | 0x10.
+        let mut b = ProgramBuilder::new("alu", 8, 16);
+        let r0 = Reg::new(0);
+        b.add(r0, Operand::Imm(5), Operand::Imm(3));
+        b.alu(crate::ops::AluOp::Mul, r0, r0, Operand::Imm(2));
+        b.alu(crate::ops::AluOp::Sub, r0, r0, Operand::Imm(1));
+        b.mov(Place::sp_u64(0), r0);
+        b.alu(
+            crate::ops::AluOp::And,
+            Reg::new(1),
+            Operand::Imm(0xF0),
+            Operand::Imm(0x0F),
+        );
+        b.alu(
+            crate::ops::AluOp::Or,
+            Reg::new(1),
+            Reg::new(1),
+            Operand::Imm(0x10),
+        );
+        b.mov(Place::sp_u64(8), Reg::new(1));
+        b.ret(Operand::Imm(0));
+        let prog = b.finish().unwrap();
+        let mut m = VecMem::new(0, 64);
+        let mut st = IterState::new(&prog, 0);
+        Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 1)
+            .unwrap();
+        assert_eq!(st.scratch_u64(0), 15);
+        assert_eq!(st.scratch_u64(8), 0x10);
+    }
+
+    #[test]
+    fn not_and_widths() {
+        let mut b = ProgramBuilder::new("w", 8, 16);
+        b.not(Reg::new(0), Operand::Imm(0));
+        b.mov(
+            Place::Sp {
+                off: 0,
+                width: Width::B4,
+            },
+            Reg::new(0),
+        ); // truncates to 0xFFFF_FFFF
+        b.ret(Operand::Imm(0));
+        let prog = b.finish().unwrap();
+        let mut m = VecMem::new(0, 8);
+        let mut st = IterState::new(&prog, 0);
+        Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 1)
+            .unwrap();
+        assert_eq!(st.scratch_u64(0), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn explicit_load_store_roundtrip_and_counts() {
+        let mut b = ProgramBuilder::new("ls", 8, 8);
+        let r0 = Reg::new(0);
+        b.load(r0, Operand::Imm(0x40), 0, Width::B8);
+        b.add(r0, r0, Operand::Imm(1));
+        b.store(Operand::Imm(0x48), 0, r0, Width::B8);
+        b.ret(r0);
+        let prog = b.finish().unwrap();
+        let mut m = VecMem::new(0, 128);
+        m.write_word(0x40, 41, 8).unwrap();
+        let mut st = IterState::new(&prog, 0);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 1)
+            .unwrap();
+        assert_eq!(run.return_code, Some(42));
+        assert_eq!(run.total_extra_loads, 1);
+        assert_eq!(run.total_stores, 1);
+        assert_eq!(m.read_word(0x48, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn registers_do_not_persist_across_iterations() {
+        // Iteration 1 sets r0 = 7 then NEXT_ITERs; iteration 2 returns r0,
+        // which must be 0 again (registers are iteration-scoped).
+        let mut b = ProgramBuilder::new("regs", 8, 8);
+        let second = b.label();
+        b.cmp_jump(Cond::Eq, Operand::sp_u64(0), Operand::Imm(1), second);
+        b.mov(Place::sp_u64(0), Operand::Imm(1));
+        b.mov(Reg::new(0), Operand::Imm(7));
+        b.next_iter(Operand::CurPtr);
+        b.bind(second);
+        b.ret(Reg::new(0));
+        let prog = b.finish().unwrap();
+        let mut m = VecMem::new(0, 64);
+        let mut st = IterState::new(&prog, 0);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 4)
+            .unwrap();
+        assert_eq!(run.return_code, Some(0));
+        assert_eq!(run.iterations, 2);
+    }
+
+    #[test]
+    fn trace_reports_window_bytes_and_insn_count() {
+        let prog = list_find_program();
+        let (mut m, head) = build_list(&[(1, 2)]);
+        let mut st = IterState::new(&prog, head);
+        st.set_scratch_u64(0, 1);
+        let trace = Interpreter::new()
+            .run_iteration(&prog, &mut st, &mut m)
+            .unwrap();
+        assert_eq!(trace.window_bytes, 24);
+        assert_eq!(trace.insns_executed, 3); // cmp (false), mov, return
+        assert_eq!(trace.outcome, IterOutcome::Done { code: 0 });
+    }
+}

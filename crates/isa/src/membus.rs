@@ -1,0 +1,224 @@
+//! The memory interface the interpreter executes against, and its faults.
+
+use std::fmt;
+
+/// Why a memory access failed.
+///
+/// On a memory node, `NotMapped` means "no local translation entry" — the
+/// accelerator turns it into a reroute to the switch, which either finds the
+/// owning node in its global table or reports an invalid pointer to the CPU
+/// node (§5's hierarchical translation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// The address has no translation at this node.
+    NotMapped {
+        /// Faulting virtual address.
+        addr: u64,
+    },
+    /// The address is mapped but the access violates its permissions.
+    Protection {
+        /// Faulting virtual address.
+        addr: u64,
+    },
+    /// The access straddles a mapping boundary (data-structure nodes never
+    /// span nodes; the allocator guarantees this, so hitting it indicates a
+    /// corrupted pointer).
+    Split {
+        /// Faulting virtual address.
+        addr: u64,
+    },
+}
+
+impl MemFault {
+    /// The faulting address.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            MemFault::NotMapped { addr }
+            | MemFault::Protection { addr }
+            | MemFault::Split { addr } => addr,
+        }
+    }
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::NotMapped { addr } => write!(f, "address {addr:#x} is not mapped"),
+            MemFault::Protection { addr } => {
+                write!(f, "access to {addr:#x} violates page permissions")
+            }
+            MemFault::Split { addr } => {
+                write!(f, "access at {addr:#x} straddles a mapping boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Byte-addressable memory as seen by an execution engine.
+///
+/// Implemented by the memory-node arena (local view), the cluster memory
+/// (global view used by host-side builders and the RPC baselines), and test
+/// memories.
+pub trait MemBus {
+    /// Reads `buf.len()` bytes at virtual address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the range is unmapped, protected, or
+    /// straddles a mapping boundary.
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault>;
+
+    /// Writes `data` at virtual address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if the range is unmapped, read-only, or
+    /// straddles a mapping boundary.
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault>;
+
+    /// Reads an unsigned little-endian word of `width` bytes, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fault from [`MemBus::read`].
+    fn read_word(&mut self, addr: u64, width_bytes: u32) -> Result<u64, MemFault> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf[..width_bytes as usize])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fault from [`MemBus::write`].
+    fn write_word(&mut self, addr: u64, value: u64, width_bytes: u32) -> Result<(), MemFault> {
+        let bytes = value.to_le_bytes();
+        self.write(addr, &bytes[..width_bytes as usize])
+    }
+}
+
+/// A flat test memory starting at a base virtual address.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_isa::{MemBus, VecMem};
+///
+/// let mut m = VecMem::new(0x1000, 64);
+/// m.write_word(0x1008, 0xdead_beef, 8)?;
+/// assert_eq!(m.read_word(0x1008, 8)?, 0xdead_beef);
+/// assert!(m.read_word(0x0, 8).is_err());
+/// # Ok::<(), pulse_isa::MemFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecMem {
+    base: u64,
+    data: Vec<u8>,
+}
+
+impl VecMem {
+    /// Creates `size` zeroed bytes mapped at `[base, base + size)`.
+    pub fn new(base: u64, size: usize) -> Self {
+        VecMem {
+            base,
+            data: vec![0; size],
+        }
+    }
+
+    /// Base virtual address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn range(&self, addr: u64, len: usize) -> Result<std::ops::Range<usize>, MemFault> {
+        let start = addr
+            .checked_sub(self.base)
+            .ok_or(MemFault::NotMapped { addr })? as usize;
+        let end = start.checked_add(len).ok_or(MemFault::NotMapped { addr })?;
+        if end > self.data.len() {
+            return Err(MemFault::NotMapped { addr });
+        }
+        Ok(start..end)
+    }
+}
+
+impl MemBus for VecMem {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        let r = self.range(addr, buf.len())?;
+        buf.copy_from_slice(&self.data[r]);
+        Ok(())
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let r = self.range(addr, data.len())?;
+        self.data[r].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vecmem_read_write_roundtrip() {
+        let mut m = VecMem::new(0x100, 32);
+        m.write(0x100, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        m.read(0x100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(m.base(), 0x100);
+        assert_eq!(m.len(), 32);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn vecmem_bounds_checked() {
+        let mut m = VecMem::new(0x100, 8);
+        let mut buf = [0u8; 4];
+        assert!(m.read(0xff, &mut buf).is_err()); // below base
+        assert!(m.read(0x106, &mut buf).is_err()); // runs past end
+        assert!(m.write(0x105, &[0; 4]).is_err());
+        // Exactly at the end is fine.
+        assert!(m.read(0x104, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn word_helpers_are_little_endian_and_zero_extending() {
+        let mut m = VecMem::new(0, 16);
+        m.write_word(0, 0x1122_3344_5566_7788, 8).unwrap();
+        assert_eq!(m.read_word(0, 1).unwrap(), 0x88);
+        assert_eq!(m.read_word(0, 2).unwrap(), 0x7788);
+        assert_eq!(m.read_word(0, 4).unwrap(), 0x5566_7788);
+        assert_eq!(m.read_word(0, 8).unwrap(), 0x1122_3344_5566_7788);
+        // Partial write truncates.
+        m.write_word(8, 0xAABB_CCDD, 2).unwrap();
+        assert_eq!(m.read_word(8, 8).unwrap(), 0xCCDD);
+    }
+
+    #[test]
+    fn fault_accessors_and_display() {
+        let faults = [
+            MemFault::NotMapped { addr: 0x10 },
+            MemFault::Protection { addr: 0x20 },
+            MemFault::Split { addr: 0x30 },
+        ];
+        for f in faults {
+            assert!(f.addr() >= 0x10);
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

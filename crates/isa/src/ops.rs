@@ -1,0 +1,379 @@
+//! Instruction operands: registers, widths, value sources and destinations.
+
+use std::fmt;
+
+/// Number of general-purpose registers in a PULSE logic pipeline.
+pub const NUM_REGS: u8 = 16;
+
+/// A general-purpose 64-bit register (`r0`–`r15`).
+///
+/// Registers are *iteration-scoped*: the logic pipeline clears them at the
+/// start of each iteration. State that must survive across iterations (or
+/// across memory nodes during a distributed traversal) lives in the
+/// scratchpad, exactly as §3 of the paper prescribes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates register `rN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < NUM_REGS, "register index out of range");
+        Reg(n)
+    }
+
+    /// The register index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// `rN` without the bounds check, for the decoder's validated input.
+    pub(crate) const fn from_raw(n: u8) -> Option<Reg> {
+        if n < NUM_REGS {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Access width for scratchpad, node-buffer, and memory operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl Width {
+    /// The width in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    pub(crate) const fn to_code(self) -> u8 {
+        match self {
+            Width::B1 => 0,
+            Width::B2 => 1,
+            Width::B4 => 2,
+            Width::B8 => 3,
+        }
+    }
+
+    pub(crate) const fn from_code(c: u8) -> Option<Width> {
+        match c {
+            0 => Some(Width::B1),
+            1 => Some(Width::B2),
+            2 => Some(Width::B4),
+            3 => Some(Width::B8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.bytes())
+    }
+}
+
+/// A value source.
+///
+/// Sub-8-byte reads zero-extend; values needing signed semantics are stored
+/// as full 8-byte words and compared with the signed condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A 64-bit immediate (stored sign-agnostic as the raw bit pattern).
+    Imm(i64),
+    /// A general-purpose register.
+    Reg(Reg),
+    /// The current traversal pointer.
+    CurPtr,
+    /// The scratchpad at byte offset `off`.
+    Sp {
+        /// Byte offset into the scratchpad.
+        off: u16,
+        /// Access width.
+        width: Width,
+    },
+    /// The node buffer (the coalesced per-iteration LOAD window, §4.1) at
+    /// byte offset `off`.
+    Node {
+        /// Byte offset into the loaded window.
+        off: u16,
+        /// Access width.
+        width: Width,
+    },
+}
+
+impl Operand {
+    /// Convenience constructor for an 8-byte scratchpad word.
+    pub const fn sp_u64(off: u16) -> Operand {
+        Operand::Sp {
+            off,
+            width: Width::B8,
+        }
+    }
+
+    /// Convenience constructor for an 8-byte node-buffer word.
+    pub const fn node_u64(off: u16) -> Operand {
+        Operand::Node {
+            off,
+            width: Width::B8,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Imm(v) => write!(f, "#{v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::CurPtr => write!(f, "cur_ptr"),
+            Operand::Sp { off, width } => write!(f, "sp[{off}:{width}]"),
+            Operand::Node { off, width } => write!(f, "node[{off}:{width}]"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// A value destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// The scratchpad at byte offset `off` (sub-8-byte stores truncate).
+    Sp {
+        /// Byte offset into the scratchpad.
+        off: u16,
+        /// Store width.
+        width: Width,
+    },
+}
+
+impl Place {
+    /// Convenience constructor for an 8-byte scratchpad word.
+    pub const fn sp_u64(off: u16) -> Place {
+        Place::Sp {
+            off,
+            width: Width::B8,
+        }
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Reg(r) => write!(f, "{r}"),
+            Place::Sp { off, width } => write!(f, "sp[{off}:{width}]"),
+        }
+    }
+}
+
+impl From<Reg> for Place {
+    fn from(r: Reg) -> Place {
+        Place::Reg(r)
+    }
+}
+
+/// Binary ALU operations (Table 2, "ALU" class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; divide-by-zero faults the traversal.
+    Div,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions (Table 2, "Branch" class: `COMPARE` + `JUMP_{EQ,NEQ,LT,…}`).
+///
+/// The `…U` variants compare as unsigned 64-bit, the `…S` variants as signed
+/// two's-complement — needed by BTrDB's min/max aggregation over signed
+/// fixed-point readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    LtU,
+    LeU,
+    GtU,
+    GeU,
+    LtS,
+    LeS,
+    GtS,
+    GeS,
+}
+
+impl Cond {
+    /// Evaluates the condition on raw 64-bit values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::LtU => a < b,
+            Cond::LeU => a <= b,
+            Cond::GtU => a > b,
+            Cond::GeU => a >= b,
+            Cond::LtS => (a as i64) < (b as i64),
+            Cond::LeS => (a as i64) <= (b as i64),
+            Cond::GtS => (a as i64) > (b as i64),
+            Cond::GeS => (a as i64) >= (b as i64),
+        }
+    }
+
+    /// The condition testing the opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::LtU => Cond::GeU,
+            Cond::LeU => Cond::GtU,
+            Cond::GtU => Cond::LeU,
+            Cond::GeU => Cond::LtU,
+            Cond::LtS => Cond::GeS,
+            Cond::LeS => Cond::GtS,
+            Cond::GtS => Cond::LeS,
+            Cond::GeS => Cond::LtS,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::LtU => "ltu",
+            Cond::LeU => "leu",
+            Cond::GtU => "gtu",
+            Cond::GeU => "geu",
+            Cond::LtS => "lts",
+            Cond::LeS => "les",
+            Cond::GtS => "gts",
+            Cond::GeS => "ges",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(15).index(), 15);
+        assert_eq!(Reg::from_raw(16), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn width_codes_roundtrip() {
+        for w in [Width::B1, Width::B2, Width::B4, Width::B8] {
+            assert_eq!(Width::from_code(w.to_code()), Some(w));
+        }
+        assert_eq!(Width::from_code(9), None);
+    }
+
+    #[test]
+    fn cond_eval_unsigned_vs_signed() {
+        let neg1 = (-1i64) as u64;
+        assert!(Cond::GtU.eval(neg1, 1)); // huge unsigned
+        assert!(Cond::LtS.eval(neg1, 1)); // negative signed
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::LeU.eval(5, 5));
+        assert!(Cond::GeS.eval(5, 5));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_opposite() {
+        let all = [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::LtU,
+            Cond::LeU,
+            Cond::GtU,
+            Cond::GeU,
+            Cond::LtS,
+            Cond::LeS,
+            Cond::GtS,
+            Cond::GeS,
+        ];
+        for c in all {
+            assert_eq!(c.negate().negate(), c);
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 3), (7, 7)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b), "{c} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::new(3).to_string(), "r3");
+        assert_eq!(Operand::Imm(-4).to_string(), "#-4");
+        assert_eq!(Operand::sp_u64(8).to_string(), "sp[8:8b]");
+        assert_eq!(Operand::node_u64(16).to_string(), "node[16:8b]");
+        assert_eq!(Operand::CurPtr.to_string(), "cur_ptr");
+        assert_eq!(Place::sp_u64(0).to_string(), "sp[0:8b]");
+    }
+}

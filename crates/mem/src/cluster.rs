@@ -1,0 +1,365 @@
+//! The rack's memory: every extent on every node, with global and
+//! node-local access views.
+
+use crate::extent::{Extent, NodeId, Perms};
+use pulse_isa::{MemBus, MemFault};
+use std::fmt;
+
+/// Errors raised when shaping the address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The new extent overlaps an existing one.
+    Overlap {
+        /// Start of the offending new extent.
+        start: u64,
+    },
+    /// The node id is out of range.
+    BadNode(NodeId),
+    /// Extent length was zero.
+    EmptyExtent,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Overlap { start } => {
+                write!(f, "extent at {start:#x} overlaps an existing extent")
+            }
+            MemError::BadNode(n) => write!(f, "memory node {n} does not exist"),
+            MemError::EmptyExtent => write!(f, "extent length must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// All disaggregated memory in the rack.
+///
+/// `ClusterMemory` is the ground truth: the global [`MemBus`] view is used
+/// by host-side structure builders and the swap/RPC baselines, while
+/// [`ClusterMemory::local_bus`] provides the restricted per-node view the
+/// accelerator executes against (anything off-node faults `NotMapped`,
+/// which the accelerator turns into a switch reroute, §5).
+///
+/// # Examples
+///
+/// ```
+/// use pulse_mem::{ClusterMemory, Perms};
+/// use pulse_isa::MemBus;
+///
+/// let mut mem = ClusterMemory::new(2);
+/// mem.add_extent(0x1000, 0x1000, 0, Perms::RW)?;
+/// mem.add_extent(0x2000, 0x1000, 1, Perms::RW)?;
+/// mem.write_word(0x2008, 42, 8)?;
+/// assert_eq!(mem.read_word(0x2008, 8)?, 42);
+/// assert_eq!(mem.owner_of(0x2008), Some(1));
+///
+/// // Node 0 cannot see node 1's bytes.
+/// let mut local = mem.local_bus(0);
+/// assert!(local.read_word(0x2008, 8).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusterMemory {
+    /// Extents sorted by start address.
+    extents: Vec<Extent>,
+    node_count: usize,
+}
+
+impl ClusterMemory {
+    /// Creates empty memory spread over `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    pub fn new(node_count: usize) -> Self {
+        assert!(node_count > 0, "need at least one memory node");
+        ClusterMemory {
+            extents: Vec::new(),
+            node_count,
+        }
+    }
+
+    /// Number of memory nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Maps `[start, start+len)` onto `node`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on overlap with an existing extent, a bad node id, or zero
+    /// length.
+    pub fn add_extent(
+        &mut self,
+        start: u64,
+        len: u64,
+        node: NodeId,
+        perms: Perms,
+    ) -> Result<(), MemError> {
+        if len == 0 {
+            return Err(MemError::EmptyExtent);
+        }
+        if node >= self.node_count {
+            return Err(MemError::BadNode(node));
+        }
+        let idx = self.extents.partition_point(|e| e.start < start);
+        if idx > 0 && self.extents[idx - 1].end() > start {
+            return Err(MemError::Overlap { start });
+        }
+        if idx < self.extents.len() && self.extents[idx].start < start + len {
+            return Err(MemError::Overlap { start });
+        }
+        self.extents.insert(idx, Extent::new(start, len, node, perms));
+        Ok(())
+    }
+
+    /// Changes the permissions of the extent containing `addr`.
+    ///
+    /// Returns `false` if no extent contains `addr`.
+    pub fn set_perms(&mut self, addr: u64, perms: Perms) -> bool {
+        match self.extent_index(addr) {
+            Some(i) => {
+                self.extents[i].perms = perms;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn extent_index(&self, addr: u64) -> Option<usize> {
+        let idx = self.extents.partition_point(|e| e.start <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let e = &self.extents[idx - 1];
+        e.contains(addr).then_some(idx - 1)
+    }
+
+    /// The node owning `addr`, if any — the switch's global translation.
+    pub fn owner_of(&self, addr: u64) -> Option<NodeId> {
+        self.extent_index(addr).map(|i| self.extents[i].node)
+    }
+
+    /// All `(start, end, node)` ranges — the source for the switch's global
+    /// table and each node's local TCAM entries.
+    pub fn all_ranges(&self) -> Vec<(u64, u64, NodeId)> {
+        self.extents
+            .iter()
+            .map(|e| (e.start, e.end(), e.node))
+            .collect()
+    }
+
+    /// `(start, end)` ranges owned by one node.
+    pub fn node_ranges(&self, node: NodeId) -> Vec<(u64, u64)> {
+        self.extents
+            .iter()
+            .filter(|e| e.node == node)
+            .map(|e| (e.start, e.end()))
+            .collect()
+    }
+
+    /// Total mapped bytes on `node`.
+    pub fn node_bytes(&self, node: NodeId) -> u64 {
+        self.extents
+            .iter()
+            .filter(|e| e.node == node)
+            .map(|e| e.data.len() as u64)
+            .sum()
+    }
+
+    /// Access restricted to one node's extents (faults elsewhere).
+    pub fn local_bus(&mut self, node: NodeId) -> LocalBus<'_> {
+        LocalBus { mem: self, node }
+    }
+
+    fn access(
+        &mut self,
+        addr: u64,
+        len: usize,
+        write: bool,
+        node_filter: Option<NodeId>,
+    ) -> Result<&mut Extent, MemFault> {
+        let i = self
+            .extent_index(addr)
+            .ok_or(MemFault::NotMapped { addr })?;
+        let e = &self.extents[i];
+        if let Some(node) = node_filter {
+            if e.node != node {
+                return Err(MemFault::NotMapped { addr });
+            }
+        }
+        if addr + len as u64 > e.end() {
+            return Err(MemFault::Split { addr });
+        }
+        let ok = if write {
+            e.perms.can_write()
+        } else {
+            e.perms.can_read()
+        };
+        if !ok {
+            return Err(MemFault::Protection { addr });
+        }
+        Ok(&mut self.extents[i])
+    }
+
+    fn do_read(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        node: Option<NodeId>,
+    ) -> Result<(), MemFault> {
+        let len = buf.len();
+        let e = self.access(addr, len, false, node)?;
+        let off = (addr - e.start) as usize;
+        buf.copy_from_slice(&e.data[off..off + len]);
+        Ok(())
+    }
+
+    fn do_write(&mut self, addr: u64, data: &[u8], node: Option<NodeId>) -> Result<(), MemFault> {
+        let e = self.access(addr, data.len(), true, node)?;
+        let off = (addr - e.start) as usize;
+        e.data[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+impl MemBus for ClusterMemory {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.do_read(addr, buf, None)
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.do_write(addr, data, None)
+    }
+}
+
+/// A [`MemBus`] view confined to one memory node: addresses owned by other
+/// nodes fault with `NotMapped` — the signal the accelerator converts into a
+/// reroute through the switch.
+#[derive(Debug)]
+pub struct LocalBus<'a> {
+    mem: &'a mut ClusterMemory,
+    node: NodeId,
+}
+
+impl MemBus for LocalBus<'_> {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.mem.do_read(addr, buf, Some(self.node))
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.mem.do_write(addr, data, Some(self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_mem() -> ClusterMemory {
+        let mut m = ClusterMemory::new(2);
+        m.add_extent(0x1000, 0x1000, 0, Perms::RW).unwrap();
+        m.add_extent(0x2000, 0x1000, 1, Perms::RW).unwrap();
+        m
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = two_node_mem();
+        assert_eq!(
+            m.add_extent(0x1800, 0x1000, 0, Perms::RW),
+            Err(MemError::Overlap { start: 0x1800 })
+        );
+        assert_eq!(
+            m.add_extent(0x0800, 0x1000, 0, Perms::RW),
+            Err(MemError::Overlap { start: 0x0800 })
+        );
+        // Adjacent is fine.
+        assert!(m.add_extent(0x3000, 0x10, 0, Perms::RW).is_ok());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let mut m = ClusterMemory::new(1);
+        assert_eq!(m.add_extent(0, 0, 0, Perms::RW), Err(MemError::EmptyExtent));
+        assert_eq!(m.add_extent(0, 8, 3, Perms::RW), Err(MemError::BadNode(3)));
+        assert!(!MemError::EmptyExtent.to_string().is_empty());
+    }
+
+    #[test]
+    fn ownership_and_ranges() {
+        let m = two_node_mem();
+        assert_eq!(m.owner_of(0x1000), Some(0));
+        assert_eq!(m.owner_of(0x1fff), Some(0));
+        assert_eq!(m.owner_of(0x2000), Some(1));
+        assert_eq!(m.owner_of(0x3000), None);
+        assert_eq!(m.owner_of(0), None);
+        assert_eq!(m.all_ranges().len(), 2);
+        assert_eq!(m.node_ranges(1), vec![(0x2000, 0x3000)]);
+        assert_eq!(m.node_bytes(0), 0x1000);
+    }
+
+    #[test]
+    fn global_read_write() {
+        let mut m = two_node_mem();
+        m.write_word(0x1010, 0xabcd, 8).unwrap();
+        assert_eq!(m.read_word(0x1010, 8).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn local_bus_hides_remote_extents() {
+        let mut m = two_node_mem();
+        m.write_word(0x2010, 7, 8).unwrap();
+        {
+            let mut n1 = m.local_bus(1);
+            assert_eq!(n1.read_word(0x2010, 8).unwrap(), 7);
+        }
+        let mut n0 = m.local_bus(0);
+        let err = n0.read_word(0x2010, 8).unwrap_err();
+        assert_eq!(err, MemFault::NotMapped { addr: 0x2010 });
+    }
+
+    #[test]
+    fn split_access_faults() {
+        let mut m = two_node_mem();
+        // 8-byte read crossing the 0x2000 boundary.
+        let err = m.read_word(0x1ffc, 8).unwrap_err();
+        assert_eq!(err, MemFault::Split { addr: 0x1ffc });
+    }
+
+    #[test]
+    fn protection_enforced() {
+        let mut m = two_node_mem();
+        assert!(m.set_perms(0x1000, Perms::READ));
+        let err = m.write_word(0x1000, 1, 8).unwrap_err();
+        assert_eq!(err, MemFault::Protection { addr: 0x1000 });
+        // Reads still work.
+        assert!(m.read_word(0x1000, 8).is_ok());
+        // NONE blocks both.
+        assert!(m.set_perms(0x1000, Perms::NONE));
+        assert!(m.read_word(0x1000, 8).is_err());
+        // Unmapped set_perms reports false.
+        assert!(!m.set_perms(0x9999_0000, Perms::RW));
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = two_node_mem();
+        assert_eq!(
+            m.read_word(0x5000, 8).unwrap_err(),
+            MemFault::NotMapped { addr: 0x5000 }
+        );
+        assert_eq!(
+            m.write_word(0, 1, 8).unwrap_err(),
+            MemFault::NotMapped { addr: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory node")]
+    fn zero_nodes_panics() {
+        let _ = ClusterMemory::new(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Extents: the unit of memory placement across memory nodes.
+//!
+//! Disaggregated allocators place memory in fixed-granularity chunks (1 GB in
+//! MIND, 2 MB in LegoOS, down to pages in Fastswap — §2.1). We call one such
+//! chunk an *extent*: a contiguous virtual-address range whose bytes live
+//! entirely on one memory node.
+
+use std::fmt;
+
+/// Identifies a memory node in the rack (dense, zero-based).
+pub type NodeId = usize;
+
+/// Access permissions for an extent (the protection bits the memory
+/// pipeline checks, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// Read permission bit.
+    pub const READ: Perms = Perms(0b01);
+    /// Write permission bit.
+    pub const WRITE: Perms = Perms(0b10);
+    /// Read + write.
+    pub const RW: Perms = Perms(0b11);
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+
+    /// Whether reads are allowed.
+    pub fn can_read(self) -> bool {
+        self.0 & Perms::READ.0 != 0
+    }
+
+    /// Whether writes are allowed.
+    pub fn can_write(self) -> bool {
+        self.0 & Perms::WRITE.0 != 0
+    }
+
+    /// Union of two permission sets.
+    pub fn union(self, other: Perms) -> Perms {
+        Perms(self.0 | other.0)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.can_read() { "r" } else { "-" },
+            if self.can_write() { "w" } else { "-" }
+        )
+    }
+}
+
+/// A contiguous VA range `[start, start+len)` resident on one node.
+#[derive(Debug, Clone)]
+pub struct Extent {
+    /// First virtual address.
+    pub start: u64,
+    /// Owning memory node.
+    pub node: NodeId,
+    /// Permissions.
+    pub perms: Perms,
+    /// Backing bytes (length = extent length).
+    pub data: Vec<u8>,
+}
+
+impl Extent {
+    /// Creates a zero-filled extent.
+    pub fn new(start: u64, len: u64, node: NodeId, perms: Perms) -> Extent {
+        Extent {
+            start,
+            node,
+            perms,
+            data: vec![0; len as usize],
+        }
+    }
+
+    /// One past the last address.
+    pub fn end(&self) -> u64 {
+        self.start + self.data.len() as u64
+    }
+
+    /// Whether `addr` lies inside this extent.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perms_bits() {
+        assert!(Perms::RW.can_read() && Perms::RW.can_write());
+        assert!(Perms::READ.can_read() && !Perms::READ.can_write());
+        assert!(!Perms::NONE.can_read() && !Perms::NONE.can_write());
+        assert_eq!(Perms::READ.union(Perms::WRITE), Perms::RW);
+        assert_eq!(Perms::RW.to_string(), "rw");
+        assert_eq!(Perms::READ.to_string(), "r-");
+    }
+
+    #[test]
+    fn extent_geometry() {
+        let e = Extent::new(0x1000, 0x100, 2, Perms::RW);
+        assert_eq!(e.end(), 0x1100);
+        assert!(e.contains(0x1000));
+        assert!(e.contains(0x10ff));
+        assert!(!e.contains(0x1100));
+        assert!(!e.contains(0xfff));
+        assert_eq!(e.node, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pulse-net
+//!
+//! The rack network substrate: the packet format iterator offloads travel
+//! in, the programmable switch that routes them by `cur_ptr` (§5), the
+//! endpoint links, and the dispatch engine's retransmission tracker (§4.1).
+//!
+//! Requests and responses deliberately share one format ([`IterPacket`]):
+//! code + `cur_ptr` + scratchpad + status. A memory node that discovers the
+//! next pointer is remote simply marks the packet in-flight and sends it
+//! back to the switch, which re-routes it — the distributed-continuation
+//! mechanism at the heart of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use pulse_mem::GlobalRangeMap;
+//! use pulse_net::{Endpoint, Packet, RequestId, Route, Switch, SwitchConfig};
+//! use pulse_sim::SimTime;
+//!
+//! let table = GlobalRangeMap::new(&[(0x1000, 0x2000, 0)]);
+//! let mut sw = Switch::new(SwitchConfig::default(), table);
+//! let pkt = Packet::Read { id: RequestId { cpu: 0, seq: 1 }, addr: 0x1800, len: 64 };
+//! match sw.route(&pkt) {
+//!     Route::To(ep) => {
+//!         let departed = sw.forward(SimTime::ZERO, &pkt, ep);
+//!         assert_eq!(ep, Endpoint::Mem(0));
+//!         assert!(departed > SimTime::ZERO);
+//!     }
+//!     Route::InvalidPointer { .. } => unreachable!(),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod link;
+mod packet;
+mod retx;
+mod switch;
+mod wire;
+
+pub use link::{Link, LinkConfig};
+pub use packet::{
+    CodeBlob, CpuId, Endpoint, IterPacket, IterStatus, Packet, RequestId, FRAME_HEADER_BYTES,
+    PULSE_HEADER_BYTES,
+};
+pub use retx::{Delivery, RetxTracker};
+pub use switch::{Route, Switch, SwitchConfig};
+pub use wire::{decode_packet, encode_packet, WireError};

@@ -1,0 +1,199 @@
+//! Loss recovery at the dispatch engine.
+//!
+//! §4.1: "To recover from packet drops, the dispatch engine embeds a request
+//! ID ... maintains a timer per request, and transparently retransmits
+//! requests on timeout." The tracker also deduplicates late responses that
+//! race with a retransmission.
+
+use crate::packet::RequestId;
+use pulse_sim::SimTime;
+use std::collections::HashMap;
+
+/// Outcome of delivering a response to the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// First response for this request — hand it to the application.
+    Accepted,
+    /// The request was already completed (late duplicate after a retransmit).
+    Duplicate,
+    /// The id was never registered (stray packet).
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    deadline: SimTime,
+    retries: u32,
+}
+
+/// Per-CPU-node retransmission state.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_net::{Delivery, RequestId, RetxTracker};
+/// use pulse_sim::SimTime;
+///
+/// let mut rt = RetxTracker::new(SimTime::from_millis(1), 3);
+/// let id = RequestId { cpu: 0, seq: 1 };
+/// rt.on_send(id, SimTime::ZERO);
+/// // Nothing due before the timeout...
+/// assert!(rt.due(SimTime::from_micros(10)).is_empty());
+/// // ...the request is due after it.
+/// assert_eq!(rt.due(SimTime::from_millis(2)), vec![id]);
+/// assert_eq!(rt.on_response(id), Delivery::Accepted);
+/// assert_eq!(rt.on_response(id), Delivery::Duplicate);
+/// ```
+#[derive(Debug)]
+pub struct RetxTracker {
+    timeout: SimTime,
+    max_retries: u32,
+    pending: HashMap<RequestId, Pending>,
+    completed: HashMap<RequestId, ()>,
+    retransmits: u64,
+    gave_up: u64,
+}
+
+impl RetxTracker {
+    /// Creates a tracker with a fixed timeout and retry budget.
+    pub fn new(timeout: SimTime, max_retries: u32) -> RetxTracker {
+        RetxTracker {
+            timeout,
+            max_retries,
+            pending: HashMap::new(),
+            completed: HashMap::new(),
+            retransmits: 0,
+            gave_up: 0,
+        }
+    }
+
+    /// Registers a (re)transmission at `now`.
+    pub fn on_send(&mut self, id: RequestId, now: SimTime) {
+        let deadline = now + self.timeout;
+        self.pending
+            .entry(id)
+            .and_modify(|p| p.deadline = deadline)
+            .or_insert(Pending {
+                deadline,
+                retries: 0,
+            });
+    }
+
+    /// Records a response arrival.
+    pub fn on_response(&mut self, id: RequestId) -> Delivery {
+        if self.pending.remove(&id).is_some() {
+            self.completed.insert(id, ());
+            Delivery::Accepted
+        } else if self.completed.contains_key(&id) {
+            Delivery::Duplicate
+        } else {
+            Delivery::Unknown
+        }
+    }
+
+    /// Requests whose timer expired by `now`; each returned id has its timer
+    /// re-armed and retry count bumped. Requests exceeding the retry budget
+    /// are dropped (and counted in [`RetxTracker::gave_up`]) rather than
+    /// returned.
+    pub fn due(&mut self, now: SimTime) -> Vec<RequestId> {
+        let mut out = Vec::new();
+        let mut dead = Vec::new();
+        for (&id, p) in self.pending.iter_mut() {
+            if p.deadline <= now {
+                if p.retries >= self.max_retries {
+                    dead.push(id);
+                } else {
+                    p.retries += 1;
+                    p.deadline = now + self.timeout;
+                    out.push(id);
+                }
+            }
+        }
+        for id in dead {
+            self.pending.remove(&id);
+            self.gave_up += 1;
+        }
+        self.retransmits += out.len() as u64;
+        out.sort_unstable(); // deterministic order
+        out
+    }
+
+    /// Requests still awaiting a response.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total retransmissions issued.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Requests abandoned after exhausting retries.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(seq: u64) -> RequestId {
+        RequestId { cpu: 0, seq }
+    }
+
+    #[test]
+    fn response_before_timeout_completes() {
+        let mut rt = RetxTracker::new(SimTime::from_micros(100), 3);
+        rt.on_send(id(1), SimTime::ZERO);
+        assert_eq!(rt.outstanding(), 1);
+        assert_eq!(rt.on_response(id(1)), Delivery::Accepted);
+        assert_eq!(rt.outstanding(), 0);
+        assert!(rt.due(SimTime::from_secs(1)).is_empty());
+        assert_eq!(rt.retransmits(), 0);
+    }
+
+    #[test]
+    fn timeout_triggers_retransmit_then_gives_up() {
+        let mut rt = RetxTracker::new(SimTime::from_micros(10), 2);
+        rt.on_send(id(5), SimTime::ZERO);
+        // First expiry: retry 1.
+        assert_eq!(rt.due(SimTime::from_micros(10)), vec![id(5)]);
+        // Second expiry: retry 2.
+        assert_eq!(rt.due(SimTime::from_micros(20)), vec![id(5)]);
+        // Third expiry: budget exhausted, dropped.
+        assert!(rt.due(SimTime::from_micros(30)).is_empty());
+        assert_eq!(rt.gave_up(), 1);
+        assert_eq!(rt.outstanding(), 0);
+        assert_eq!(rt.retransmits(), 2);
+        // A very late response is now unknown.
+        assert_eq!(rt.on_response(id(5)), Delivery::Unknown);
+    }
+
+    #[test]
+    fn duplicate_responses_after_retransmit_detected() {
+        let mut rt = RetxTracker::new(SimTime::from_micros(10), 3);
+        rt.on_send(id(9), SimTime::ZERO);
+        let _ = rt.due(SimTime::from_micros(11)); // retransmitted
+        assert_eq!(rt.on_response(id(9)), Delivery::Accepted); // original arrives late
+        assert_eq!(rt.on_response(id(9)), Delivery::Duplicate); // retransmit's reply
+    }
+
+    #[test]
+    fn due_returns_sorted_ids() {
+        let mut rt = RetxTracker::new(SimTime::from_micros(1), 5);
+        for s in [3u64, 1, 2] {
+            rt.on_send(id(s), SimTime::ZERO);
+        }
+        assert_eq!(rt.due(SimTime::from_micros(2)), vec![id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn resend_rearms_timer() {
+        let mut rt = RetxTracker::new(SimTime::from_micros(10), 3);
+        rt.on_send(id(1), SimTime::ZERO);
+        rt.on_send(id(1), SimTime::from_micros(8)); // app-level resend
+        assert!(rt.due(SimTime::from_micros(12)).is_empty(), "timer re-armed");
+        assert_eq!(rt.due(SimTime::from_micros(18)), vec![id(1)]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Deterministic event queue.
+//!
+//! The queue orders events by `(time, insertion sequence)`, so events
+//! scheduled for the same instant dequeue in insertion order. That total
+//! order is what makes every simulation in this workspace bit-reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload tagged with its due time and a tiebreak sequence number.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event priority queue.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t.as_picos(), ev), (10_000, "early"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// The due time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A simulation clock plus an event queue — the core driver loop state.
+///
+/// Components in this workspace are written as state machines whose handlers
+/// return new timed events; `Driver` is the minimal harness that advances
+/// the clock monotonically through them.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::{Driver, SimTime};
+///
+/// let mut drv: Driver<u32> = Driver::new();
+/// drv.schedule_in(SimTime::from_nanos(5), 1);
+/// let mut seen = vec![];
+/// while let Some(ev) = drv.next_event() {
+///     seen.push((drv.now().as_picos(), ev));
+/// }
+/// assert_eq!(seen, vec![(5_000, 1)]);
+/// ```
+#[derive(Debug)]
+pub struct Driver<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Driver<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Driver<E> {
+    /// Creates a driver starting at time zero.
+    pub fn new() -> Self {
+        Driver {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — hardware cannot send signals backwards
+    /// in time, and allowing it would silently corrupt causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        self.queue.push(at, payload);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        let at = self.now + delay;
+        self.queue.push(at, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its due time.
+    pub fn next_event(&mut self) -> Option<E> {
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some(ev)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 'c');
+        q.push(SimTime::from_nanos(10), 'a');
+        q.push(SimTime::from_nanos(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn driver_advances_monotonically() {
+        let mut drv: Driver<&str> = Driver::new();
+        drv.schedule_in(SimTime::from_nanos(50), "b");
+        drv.schedule_in(SimTime::from_nanos(10), "a");
+        assert_eq!(drv.next_event(), Some("a"));
+        assert_eq!(drv.now(), SimTime::from_nanos(10));
+        // Scheduling relative to the advanced clock.
+        drv.schedule_in(SimTime::from_nanos(15), "c");
+        assert_eq!(drv.next_event(), Some("c"));
+        assert_eq!(drv.now(), SimTime::from_nanos(25));
+        assert_eq!(drv.next_event(), Some("b"));
+        assert_eq!(drv.now(), SimTime::from_nanos(50));
+        assert!(drv.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut drv: Driver<u8> = Driver::new();
+        drv.schedule_in(SimTime::from_nanos(10), 1);
+        let _ = drv.next_event();
+        drv.schedule_at(SimTime::from_nanos(5), 2);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Shared-resource contention models.
+//!
+//! Two primitives cover every piece of contended hardware in the rack:
+//!
+//! * [`SerialResource`] — a pipe that serves one transfer at a time at a fixed
+//!   byte rate (a network link, a DRAM channel, a switch port). Requests are
+//!   served in arrival order; the model tracks the earliest time the pipe is
+//!   free again.
+//! * [`ServerPool`] — `k` identical servers with deterministic service times
+//!   (logic pipelines, memory pipelines, RPC worker cores).
+
+use crate::time::SimTime;
+
+/// A serially-shared pipe with a fixed bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::{SerialResource, SimTime};
+///
+/// // A 100 Gbps link.
+/// let mut link = SerialResource::new(100_000_000_000);
+/// let a = link.acquire(SimTime::ZERO, 1250); // 100 ns of wire time
+/// let b = link.acquire(SimTime::ZERO, 1250); // queued behind `a`
+/// assert_eq!(a.start, SimTime::ZERO);
+/// assert_eq!(b.start, a.end);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SerialResource {
+    bits_per_sec: u64,
+    next_free: SimTime,
+    busy_time: SimTime,
+    bytes_moved: u64,
+}
+
+/// The time window a [`SerialResource`] granted to one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service begins (>= request time).
+    pub start: SimTime,
+    /// When service completes.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time spent waiting before service started.
+    pub fn queueing(&self, requested_at: SimTime) -> SimTime {
+        self.start.saturating_sub(requested_at)
+    }
+}
+
+impl SerialResource {
+    /// Creates a pipe with the given bandwidth in bits per second.
+    pub fn new(bits_per_sec: u64) -> Self {
+        SerialResource {
+            bits_per_sec,
+            next_free: SimTime::ZERO,
+            busy_time: SimTime::ZERO,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Reserves the pipe for `bytes` starting no earlier than `now`.
+    pub fn acquire(&mut self, now: SimTime, bytes: u64) -> Grant {
+        let start = now.max(self.next_free);
+        let dur = SimTime::serialization(bytes, self.bits_per_sec);
+        let end = start + dur;
+        self.next_free = end;
+        self.busy_time += dur;
+        self.bytes_moved += bytes;
+        Grant { start, end }
+    }
+
+    /// Reserves the pipe for a fixed occupancy rather than a byte count.
+    pub fn acquire_for(&mut self, now: SimTime, dur: SimTime) -> Grant {
+        let start = now.max(self.next_free);
+        let end = start + dur;
+        self.next_free = end;
+        self.busy_time += dur;
+        Grant { start, end }
+    }
+
+    /// Earliest instant the pipe is idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total bytes that have been granted.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Fraction of `[0, horizon]` the pipe spent busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_picos() as f64 / horizon.as_picos() as f64).min(1.0)
+    }
+
+    /// Configured bandwidth in bits per second.
+    pub fn bits_per_sec(&self) -> u64 {
+        self.bits_per_sec
+    }
+}
+
+/// A pool of `k` identical servers with deterministic service times.
+///
+/// `acquire` picks the server that frees up earliest — i.e. a central queue
+/// feeding identical units, which matches how the pulse scheduler assigns
+/// iterator steps to pipelines ("signals *one of* the memory pipelines").
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::{ServerPool, SimTime};
+///
+/// let mut pipes = ServerPool::new(2);
+/// let t = SimTime::from_nanos(100);
+/// let a = pipes.acquire(SimTime::ZERO, t);
+/// let b = pipes.acquire(SimTime::ZERO, t);
+/// let c = pipes.acquire(SimTime::ZERO, t);
+/// assert_eq!(a.grant.start, SimTime::ZERO);
+/// assert_eq!(b.grant.start, SimTime::ZERO); // second pipeline
+/// assert_eq!(c.grant.start, t);             // queued behind the earliest
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    next_free: Vec<SimTime>,
+    busy_time: SimTime,
+    served: u64,
+}
+
+/// The outcome of a [`ServerPool::acquire`]: which server and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolGrant {
+    /// Index of the server that takes the job.
+    pub server: usize,
+    /// Service window.
+    pub grant: Grant,
+}
+
+impl ServerPool {
+    /// Creates a pool of `k` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "a server pool needs at least one server");
+        ServerPool {
+            next_free: vec![SimTime::ZERO; k],
+            busy_time: SimTime::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.next_free.len()
+    }
+
+    /// Always false; pools have at least one server.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Assigns a job of length `service` to the earliest-free server.
+    pub fn acquire(&mut self, now: SimTime, service: SimTime) -> PoolGrant {
+        let (server, &free) = self
+            .next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("pool is non-empty");
+        let start = now.max(free);
+        let end = start + service;
+        self.next_free[server] = end;
+        self.busy_time += service;
+        self.served += 1;
+        PoolGrant {
+            server,
+            grant: Grant { start, end },
+        }
+    }
+
+    /// Earliest time any server is free.
+    pub fn earliest_free(&self) -> SimTime {
+        *self.next_free.iter().min().expect("pool is non-empty")
+    }
+
+    /// Number of jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean per-server utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let cap = horizon.as_picos() as f64 * self.next_free.len() as f64;
+        (self.busy_time.as_picos() as f64 / cap).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_resource_serializes_transfers() {
+        let mut r = SerialResource::new(8_000_000_000_000); // 1 TB/s => 1 ns per 1000 B
+        let g1 = r.acquire(SimTime::ZERO, 1000);
+        let g2 = r.acquire(SimTime::ZERO, 1000);
+        assert_eq!(g1.end, SimTime::from_nanos(1));
+        assert_eq!(g2.start, g1.end);
+        assert_eq!(g2.queueing(SimTime::ZERO), SimTime::from_nanos(1));
+        assert_eq!(r.bytes_moved(), 2000);
+    }
+
+    #[test]
+    fn serial_resource_idles_between_requests() {
+        let mut r = SerialResource::new(8_000_000_000_000);
+        let _ = r.acquire(SimTime::ZERO, 1000);
+        // Arriving long after the pipe went idle: no queueing.
+        let g = r.acquire(SimTime::from_micros(5), 1000);
+        assert_eq!(g.start, SimTime::from_micros(5));
+        assert_eq!(g.queueing(SimTime::from_micros(5)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn serial_resource_utilization() {
+        let mut r = SerialResource::new(8_000_000_000_000);
+        let _ = r.acquire(SimTime::ZERO, 1000); // busy 1 ns
+        let u = r.utilization(SimTime::from_nanos(4));
+        assert!((u - 0.25).abs() < 1e-9, "{u}");
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pool_spreads_then_queues() {
+        let mut p = ServerPool::new(3);
+        let svc = SimTime::from_nanos(10);
+        let servers: Vec<usize> = (0..6).map(|_| p.acquire(SimTime::ZERO, svc).server).collect();
+        // First three land on distinct servers; the rest reuse them.
+        let mut first: Vec<usize> = servers[..3].to_vec();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1, 2]);
+        assert_eq!(p.served(), 6);
+        // All six jobs finish by 20 ns (two rounds of 10 ns on 3 servers).
+        assert_eq!(p.earliest_free(), SimTime::from_nanos(20));
+    }
+
+    #[test]
+    fn pool_utilization_full_when_saturated() {
+        let mut p = ServerPool::new(2);
+        for _ in 0..4 {
+            p.acquire(SimTime::ZERO, SimTime::from_nanos(5));
+        }
+        let u = p.utilization(SimTime::from_nanos(10));
+        assert!((u - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_pool_panics() {
+        let _ = ServerPool::new(0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Measurement collection: latency histograms, counters, and summaries.
+//!
+//! Latency distributions in the evaluation span four orders of magnitude
+//! (sub-microsecond accelerator hops to near-millisecond swap-cache
+//! traversals), so the histogram uses logarithmic buckets with bounded
+//! relative error, in the spirit of HDR histograms.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Number of linear sub-buckets per power of two (~1.5% relative error).
+const SUB_BUCKETS: usize = 64;
+const SUB_BITS: u32 = 6;
+
+/// A log-bucketed histogram of `SimTime` samples.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::{LatencyHistogram, SimTime};
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=100u64 {
+///     h.record(SimTime::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).as_micros_f64();
+/// assert!((45.0..=55.0).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ps: u128,
+    min: Option<SimTime>,
+    max: Option<SimTime>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(ps: u64) -> usize {
+        if ps < SUB_BUCKETS as u64 {
+            return ps as usize;
+        }
+        let msb = 63 - ps.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((ps >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let exp = (index / SUB_BUCKETS) as u32 + SUB_BITS - 1;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << exp;
+        let step = 1u64 << (exp - SUB_BITS);
+        // Midpoint of the bucket keeps percentile error centered.
+        base + sub * step + step / 2
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, t: SimTime) {
+        let ps = t.as_picos();
+        let idx = Self::bucket_index(ps);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        self.min = Some(self.min.map_or(t, |m| m.min(t)));
+        self.max = Some(self.max.map_or(t, |m| m.max(t)));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of all samples (exact, not bucketed).
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_picos((self.sum_ps / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> SimTime {
+        self.min.unwrap_or(SimTime::ZERO)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimTime {
+        self.max.unwrap_or(SimTime::ZERO)
+    }
+
+    /// The value at or below which `p` percent of samples fall.
+    ///
+    /// `p` is clamped to `[0, 100]`. Returns [`SimTime::ZERO`] when empty.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Self::bucket_value(idx);
+                let v = v
+                    .max(self.min.map_or(0, SimTime::as_picos))
+                    .min(self.max.map_or(u64::MAX, SimTime::as_picos));
+                return SimTime::from_picos(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Condensed summary (count/mean/p50/p99/min/max).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p99: self.percentile(99.0),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// A condensed latency summary, convenient for table rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+    /// Median.
+    pub p50: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+    /// Minimum.
+    pub min: SimTime,
+    /// Maximum.
+    pub max: SimTime,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} min={} max={}",
+            self.count, self.mean, self.p50, self.p99, self.min, self.max
+        )
+    }
+}
+
+/// Running mean/variance over `f64` observations (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 when fewer than two samples).
+    pub fn population_std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Counts an event rate over simulated time (ops, bytes, packets...).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RateCounter {
+    total: u64,
+}
+
+impl RateCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` occurrences.
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Total occurrences so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Occurrences per simulated second over `elapsed`.
+    pub fn per_second(&self, elapsed: SimTime) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total as f64 / s
+        }
+    }
+
+    /// Interprets the counter as bytes and reports gigabits per second.
+    pub fn gbps(&self, elapsed: SimTime) -> f64 {
+        self.per_second(elapsed) * 8.0 / 1e9
+    }
+
+    /// Interprets the counter as bytes and reports gigabytes per second.
+    pub fn gigabytes_per_second(&self, elapsed: SimTime) -> f64 {
+        self.per_second(elapsed) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_picos(3));
+        h.record(SimTime::from_picos(3));
+        h.record(SimTime::from_picos(7));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min().as_picos(), 3);
+        assert_eq!(h.max().as_picos(), 7);
+        assert_eq!(h.percentile(50.0).as_picos(), 3);
+        assert_eq!(h.percentile(100.0).as_picos(), 7);
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        let v = SimTime::from_micros(123);
+        h.record(v);
+        let got = h.percentile(50.0).as_picos() as f64;
+        let want = v.as_picos() as f64;
+        assert!((got - want).abs() / want < 0.02, "{got} vs {want}");
+    }
+
+    #[test]
+    fn histogram_percentiles_ordered() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimTime::from_nanos(i));
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        let p50_ns = p50.as_nanos_f64();
+        assert!((4800.0..=5200.0).contains(&p50_ns), "p50={p50_ns}");
+        let p99_ns = p99.as_nanos_f64();
+        assert!((9700.0..=10_000.0).contains(&p99_ns), "p99={p99_ns}");
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_nanos(100));
+        h.record(SimTime::from_nanos(300));
+        assert_eq!(h.mean(), SimTime::from_nanos(200));
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimTime::from_nanos(10));
+        b.record(SimTime::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), SimTime::from_nanos(10));
+        assert_eq!(a.max(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(99.0), SimTime::ZERO);
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn rate_counter_reports_rates() {
+        let mut c = RateCounter::new();
+        c.add(25_000_000_000); // 25 GB in one simulated second
+        let t = SimTime::from_secs(1);
+        assert!((c.gigabytes_per_second(t) - 25.0).abs() < 1e-9);
+        assert!((c.gbps(t) - 200.0).abs() < 1e-9);
+        assert_eq!(c.per_second(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_nanos(5));
+        assert!(!h.summary().to_string().is_empty());
+    }
+}

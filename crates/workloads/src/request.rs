@@ -1,0 +1,190 @@
+//! The application-request abstraction every execution engine consumes.
+//!
+//! An [`AppRequest`] is a small dataflow: one or more offloadable traversal
+//! stages (each an already-compiled PULSE program plus its `init()`
+//! state), optionally followed by a bulk object read/write, CPU-node
+//! post-processing (WebService's encrypt+compress), and extra response
+//! payload (WiredTiger's scanned values). pulse, the RPC baselines, and
+//! the swap-cache baseline all execute the same requests — only *where*
+//! and *how fast* each stage runs differs.
+
+use pulse_isa::{IterState, Program};
+use pulse_sim::SimTime;
+use std::sync::Arc;
+
+/// Where a traversal stage starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartPtr {
+    /// A pointer known at `init()` time (root, bucket sentinel, ...).
+    Fixed(u64),
+    /// Read from the previous stage's final scratchpad at this byte offset
+    /// (e.g. the leaf address a B+Tree descent leaves at `SP_LEAF`).
+    FromPrevScratch(u16),
+}
+
+/// One offloadable traversal stage.
+#[derive(Debug, Clone)]
+pub struct TraversalStage {
+    /// The compiled iterator.
+    pub program: Arc<Program>,
+    /// Start pointer.
+    pub start: StartPtr,
+    /// `(offset, value)` words `init()` writes into the scratchpad.
+    pub scratch_init: Vec<(u16, u64)>,
+}
+
+impl TraversalStage {
+    /// Builds the stage's initial [`IterState`] given the previous stage's
+    /// final scratchpad (if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage needs a previous scratchpad and none is given.
+    pub fn init_state(&self, prev_scratch: Option<&IterState>) -> IterState {
+        let cur_ptr = match self.start {
+            StartPtr::Fixed(p) => p,
+            StartPtr::FromPrevScratch(off) => prev_scratch
+                .expect("stage chained off a previous traversal")
+                .scratch_u64(off as usize),
+        };
+        let mut st = IterState::new(&self.program, cur_ptr);
+        for &(off, v) in &self.scratch_init {
+            st.set_scratch_u64(off as usize, v);
+        }
+        st
+    }
+}
+
+/// Address source for bulk object I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrSource {
+    /// Known up front.
+    Fixed(u64),
+    /// Taken from the final traversal stage's scratchpad at this offset
+    /// (e.g. the object pointer a hash lookup returns).
+    FromScratch(u16),
+}
+
+/// Bulk object I/O following the traversal stages.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectIo {
+    /// Address of the object.
+    pub addr: AddrSource,
+    /// Bytes moved.
+    pub len: u32,
+    /// Write (true) or read (false).
+    pub write: bool,
+}
+
+/// A complete application request.
+#[derive(Debug, Clone)]
+pub struct AppRequest {
+    /// Traversal stages, executed in order; stage `i+1` may consume stage
+    /// `i`'s scratchpad.
+    pub traversals: Vec<TraversalStage>,
+    /// Optional bulk read/write after the traversals.
+    pub object_io: Option<ObjectIo>,
+    /// CPU-node post-processing (encryption, compression, rendering).
+    pub cpu_work: SimTime,
+    /// Extra bytes the final response carries beyond the scratchpad
+    /// (scan results, aggregation series).
+    pub response_extra_bytes: u32,
+}
+
+impl AppRequest {
+    /// A request consisting of a single traversal.
+    pub fn traversal_only(stage: TraversalStage) -> AppRequest {
+        AppRequest {
+            traversals: vec![stage],
+            object_io: None,
+            cpu_work: SimTime::ZERO,
+            response_extra_bytes: 0,
+        }
+    }
+
+    /// Whether any stage of this request touches remote memory at all.
+    pub fn is_empty(&self) -> bool {
+        self.traversals.is_empty() && self.object_io.is_none()
+    }
+}
+
+/// What a completed request reports back (used by verification and by the
+/// per-figure harnesses).
+#[derive(Debug, Clone)]
+pub struct AppResponse {
+    /// Final scratchpad of the last traversal stage.
+    pub final_state: Option<IterState>,
+    /// Total pointer-chase iterations executed across stages.
+    pub iterations: u64,
+    /// Memory-node boundary crossings observed during the traversals.
+    pub node_crossings: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_isa::{Instruction, NodeWindow, Operand};
+
+    fn prog() -> Arc<Program> {
+        Arc::new(
+            Program::new(
+                "t",
+                NodeWindow::from_start(8),
+                vec![Instruction::Return {
+                    code: Operand::Imm(0),
+                }],
+                32,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fixed_start_builds_state() {
+        let st = TraversalStage {
+            program: prog(),
+            start: StartPtr::Fixed(0x1000),
+            scratch_init: vec![(0, 42), (8, 7)],
+        }
+        .init_state(None);
+        assert_eq!(st.cur_ptr, 0x1000);
+        assert_eq!(st.scratch_u64(0), 42);
+        assert_eq!(st.scratch_u64(8), 7);
+    }
+
+    #[test]
+    fn chained_start_reads_previous_scratch() {
+        let mut prev = IterState::new(&prog(), 0);
+        prev.set_scratch_u64(16, 0xBEEF);
+        let st = TraversalStage {
+            program: prog(),
+            start: StartPtr::FromPrevScratch(16),
+            scratch_init: vec![],
+        }
+        .init_state(Some(&prev));
+        assert_eq!(st.cur_ptr, 0xBEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "chained off a previous traversal")]
+    fn chained_start_without_prev_panics() {
+        let _ = TraversalStage {
+            program: prog(),
+            start: StartPtr::FromPrevScratch(0),
+            scratch_init: vec![],
+        }
+        .init_state(None);
+    }
+
+    #[test]
+    fn traversal_only_shape() {
+        let r = AppRequest::traversal_only(TraversalStage {
+            program: prog(),
+            start: StartPtr::Fixed(1),
+            scratch_init: vec![],
+        });
+        assert!(!r.is_empty());
+        assert!(r.object_io.is_none());
+        assert_eq!(r.cpu_work, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! YCSB core-workload operation mixes (A, B, C, E).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One YCSB operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// In-place update.
+    Update,
+    /// Range scan.
+    Scan,
+    /// Insert.
+    Insert,
+}
+
+/// A YCSB workload letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 50% read / 50% update.
+    A,
+    /// 95% read / 5% update.
+    B,
+    /// 100% read.
+    C,
+    /// 95% scan / 5% insert.
+    E,
+}
+
+impl YcsbWorkload {
+    /// Draws an operation kind for this mix.
+    pub fn draw(self, rng: &mut StdRng) -> OpKind {
+        let p: f64 = rng.random();
+        match self {
+            YcsbWorkload::A => {
+                if p < 0.5 {
+                    OpKind::Read
+                } else {
+                    OpKind::Update
+                }
+            }
+            YcsbWorkload::B => {
+                if p < 0.95 {
+                    OpKind::Read
+                } else {
+                    OpKind::Update
+                }
+            }
+            YcsbWorkload::C => OpKind::Read,
+            YcsbWorkload::E => {
+                if p < 0.95 {
+                    OpKind::Scan
+                } else {
+                    OpKind::Insert
+                }
+            }
+        }
+    }
+
+    /// Display label matching the paper's figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "YCSB-A",
+            YcsbWorkload::B => "YCSB-B",
+            YcsbWorkload::C => "YCSB-C",
+            YcsbWorkload::E => "YCSB-E",
+        }
+    }
+}
+
+impl std::fmt::Display for YcsbWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn fractions(w: YcsbWorkload) -> (f64, f64, f64, f64) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            let idx = match w.draw(&mut rng) {
+                OpKind::Read => 0,
+                OpKind::Update => 1,
+                OpKind::Scan => 2,
+                OpKind::Insert => 3,
+            };
+            counts[idx] += 1;
+        }
+        let f = |i: usize| counts[i] as f64 / n as f64;
+        (f(0), f(1), f(2), f(3))
+    }
+
+    #[test]
+    fn mixes_match_spec() {
+        let (r, u, _, _) = fractions(YcsbWorkload::A);
+        assert!((r - 0.5).abs() < 0.01 && (u - 0.5).abs() < 0.01);
+        let (r, u, _, _) = fractions(YcsbWorkload::B);
+        assert!((r - 0.95).abs() < 0.01 && (u - 0.05).abs() < 0.01);
+        let (r, _, _, _) = fractions(YcsbWorkload::C);
+        assert_eq!(r, 1.0);
+        let (_, _, s, i) = fractions(YcsbWorkload::E);
+        assert!((s - 0.95).abs() < 0.01 && (i - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(YcsbWorkload::A.to_string(), "YCSB-A");
+        assert_eq!(YcsbWorkload::E.label(), "YCSB-E");
+    }
+}

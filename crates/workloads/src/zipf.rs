@@ -1,0 +1,223 @@
+//! Key-distribution choosers: YCSB's scrambled Zipfian and uniform.
+//!
+//! The evaluation drives WebService and WiredTiger with "YCSB ... with Zipf
+//! distribution [58]" and repeats the appendix experiments with uniform
+//! keys. The Zipfian generator is the Gray et al. construction YCSB uses
+//! (θ = 0.99), wrapped in an FNV scramble so popular keys scatter over the
+//! keyspace instead of clustering at 0.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A source of keys in `[0, n)`.
+pub trait KeyChooser: std::fmt::Debug {
+    /// Draws the next key.
+    fn next_key(&mut self, rng: &mut StdRng) -> u64;
+    /// The keyspace size.
+    fn keyspace(&self) -> u64;
+}
+
+/// Uniform keys over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct UniformChooser {
+    n: u64,
+}
+
+impl UniformChooser {
+    /// Creates a chooser over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "empty keyspace");
+        UniformChooser { n }
+    }
+}
+
+impl KeyChooser for UniformChooser {
+    fn next_key(&mut self, rng: &mut StdRng) -> u64 {
+        rng.random_range(0..self.n)
+    }
+
+    fn keyspace(&self) -> u64 {
+        self.n
+    }
+}
+
+/// YCSB's default skew parameter.
+pub const YCSB_ZIPFIAN_THETA: f64 = 0.99;
+
+/// Zipfian keys over `[0, n)` (Gray et al.), optionally scrambled.
+#[derive(Debug, Clone)]
+pub struct ZipfianChooser {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+impl ZipfianChooser {
+    /// Creates the YCSB scrambled Zipfian over `[0, n)` with θ = 0.99.
+    pub fn scrambled(n: u64) -> Self {
+        Self::with_theta(n, YCSB_ZIPFIAN_THETA, true)
+    }
+
+    /// Full-control constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or θ ∉ (0, 1).
+    pub fn with_theta(n: u64, theta: f64, scramble: bool) -> Self {
+        assert!(n > 0, "empty keyspace");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfianChooser {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    fn raw_next(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+impl KeyChooser for ZipfianChooser {
+    fn next_key(&mut self, rng: &mut StdRng) -> u64 {
+        let raw = self.raw_next(rng.random::<f64>());
+        if self.scramble {
+            crate::fnv_scramble(raw) % self.n
+        } else {
+            raw
+        }
+    }
+
+    fn keyspace(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Which distribution an experiment uses (the paper sweeps both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// YCSB scrambled Zipfian, θ = 0.99.
+    Zipfian,
+    /// Uniform.
+    Uniform,
+}
+
+impl Distribution {
+    /// Instantiates a chooser over `[0, n)`.
+    pub fn chooser(self, n: u64) -> Box<dyn KeyChooser> {
+        match self {
+            Distribution::Zipfian => Box::new(ZipfianChooser::scrambled(n)),
+            Distribution::Uniform => Box::new(UniformChooser::new(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_keyspace_evenly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = UniformChooser::new(10);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[c.next_key(&mut rng) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&x| (9_000..11_000).contains(&x)), "{counts:?}");
+    }
+
+    #[test]
+    fn unscrambled_zipfian_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = ZipfianChooser::with_theta(1000, 0.99, false);
+        let mut head = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if c.next_key(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 over 1000 keys, the top-10 should absorb a large
+        // fraction (~40%+) of accesses.
+        let frac = head as f64 / total as f64;
+        assert!(frac > 0.35, "head fraction {frac}");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = ZipfianChooser::scrambled(1000);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[c.next_key(&mut rng) as usize] += 1;
+        }
+        // Still skewed: the most popular key dominates...
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 5_000, "max count {max}");
+        // ...but the hottest keys are not all in the low ids.
+        let hot_positions: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..1000).collect();
+            idx.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+            idx.into_iter().take(5).collect()
+        };
+        assert!(
+            hot_positions.iter().any(|&p| p > 100),
+            "hot keys scattered: {hot_positions:?}"
+        );
+    }
+
+    #[test]
+    fn keys_always_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dist in [Distribution::Zipfian, Distribution::Uniform] {
+            let mut c = dist.chooser(37);
+            for _ in 0..10_000 {
+                assert!(c.next_key(&mut rng) < 37);
+            }
+            assert_eq!(c.keyspace(), 37);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = ZipfianChooser::scrambled(500);
+            (0..50).map(|_| c.next_key(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,49 @@
+//! BTrDB-style stateful window aggregation over synthetic μPMU telemetry:
+//! sum/min/max/count accumulate in the iterator's scratchpad (§3's
+//! "stateful traversals").
+//!
+//! ```sh
+//! cargo run --example btrdb_aggregate
+//! ```
+
+use pulse_repro::dispatch::compile;
+use pulse_repro::ds::{decode_located_leaf, BtrdbTree, BuildCtx, TreePlacement};
+use pulse_repro::isa::Interpreter;
+use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_repro::workloads::{upmu_generate, Channel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 10 minutes of 120 Hz voltage telemetry.
+    let samples = upmu_generate(Channel::Voltage, 600, 42);
+    let mut mem = ClusterMemory::new(2);
+    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+    let tree = {
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        BtrdbTree::build(&mut ctx, &samples, TreePlacement::Partitioned { nodes: 2 })?
+    };
+    println!("stored {} samples, tree height {}", tree.samples(), tree.height());
+
+    let locate = compile(&BtrdbTree::locate_spec())?;
+    let agg = compile(&BtrdbTree::aggregate_spec())?;
+    let mut interp = Interpreter::new();
+
+    for window_s in [1u64, 2, 4, 8] {
+        let t0 = 120_000_000_000; // 2 minutes in
+        let t1 = t0 + window_s * 1_000_000_000;
+        let mut st = tree.init_locate(&locate, t0);
+        let d = interp.run_traversal(&locate, &mut st, &mut mem, 4096)?;
+        let leaf = decode_located_leaf(&st);
+        let mut st2 = tree.init_aggregate(&agg, leaf, t0, t1);
+        let a = interp.run_traversal(&agg, &mut st2, &mut mem, 4096)?;
+        let (sum, min, max, n) = BtrdbTree::decode_aggregate(&st2);
+        println!(
+            "window {window_s}s: n={n} mean={:.3}V min={:.3}V max={:.3}V \
+             ({} iterations)",
+            sum as f64 / n as f64 / 1e6,
+            min as f64 / 1e6,
+            max as f64 / 1e6,
+            d.iterations + a.iterations
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a data structure in disaggregated memory, compile its
+//! traversal with the dispatch engine, and run it on the pulse rack.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pulse_repro::core::{ClusterConfig, PulseCluster};
+use pulse_repro::dispatch::DispatchEngine;
+use pulse_repro::ds::{BuildCtx, HashMapDs};
+use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_repro::workloads::{AppRequest, StartPtr, TraversalStage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A rack with two memory nodes; extents striped at 1 MiB.
+    let mut mem = ClusterMemory::new(2);
+    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+
+    // Build a chained hash map holding 10k key-value pairs.
+    let map = {
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|k| (k, k * k)).collect();
+        HashMapDs::build(&mut ctx, 128, &pairs)?
+    };
+
+    // The dispatch engine compiles the iterator and decides placement.
+    let engine = DispatchEngine::default();
+    let compiled = engine.prepare(&HashMapDs::find_spec())?;
+    println!(
+        "compiled {} -> {} instructions, window {} B, t_c/t_d = {:.2}, decision: {}",
+        compiled.program.name(),
+        compiled.program.len(),
+        compiled.analysis.window_bytes,
+        compiled.analysis.ratio(),
+        compiled.decision,
+    );
+
+    // Offload 50 lookups through the full rack simulation.
+    let requests: Vec<AppRequest> = (0..50)
+        .map(|i| {
+            let key = (i * 199) % 10_000;
+            AppRequest::traversal_only(TraversalStage {
+                program: compiled.program.clone(),
+                start: StartPtr::Fixed(map.bucket_addr(key)),
+                scratch_init: vec![(0, key)],
+            })
+        })
+        .collect();
+    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+    let report = cluster.run(requests, 8);
+
+    println!(
+        "completed {} lookups: mean latency {}, p99 {}, throughput {:.0} ops/s",
+        report.completed, report.latency.mean, report.latency.p99, report.throughput
+    );
+    println!(
+        "accelerator iterations: {}, node crossings: {}",
+        report.iterations, report.crossings
+    );
+    Ok(())
+}

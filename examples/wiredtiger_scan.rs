@@ -1,0 +1,48 @@
+//! WiredTiger-style B+Tree range scans (YCSB-E): a two-stage offload —
+//! descend to the leaf, then scan the chained leaves near memory.
+//!
+//! ```sh
+//! cargo run --example wiredtiger_scan
+//! ```
+
+use pulse_repro::dispatch::compile;
+use pulse_repro::ds::{decode_located_leaf, wt_layout, BuildCtx, TreePlacement, WiredTigerTree};
+use pulse_repro::isa::Interpreter;
+use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mem = ClusterMemory::new(4);
+    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+    let tree = {
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let pairs: Vec<(u64, u64)> = (0..200_000).map(|k| (k * 2, k)).collect();
+        WiredTigerTree::build(&mut ctx, &pairs, TreePlacement::Partitioned { nodes: 4 })?
+    };
+    println!(
+        "built B+Tree: {} keys, height {}, fanout {}",
+        tree.len(),
+        tree.height(),
+        tree.fanout()
+    );
+
+    let locate = compile(&WiredTigerTree::locate_spec())?;
+    let scan = compile(&WiredTigerTree::scan_spec())?;
+    let mut interp = Interpreter::new();
+
+    for (start, limit) in [(100_000u64, 50u64), (399_990, 100), (0, 10)] {
+        // Stage 1: descend.
+        let mut st = tree.init_locate(&locate, start);
+        let d = interp.run_traversal(&locate, &mut st, &mut mem, 4096)?;
+        let leaf = decode_located_leaf(&st);
+        // Stage 2: scan.
+        let mut st2 = tree.init_scan(&scan, leaf, start, limit);
+        let s = interp.run_traversal(&scan, &mut st2, &mut mem, 4096)?;
+        let matched = st2.scratch_u64(wt_layout::SP_MATCHED as usize);
+        println!(
+            "scan(start={start}, limit={limit}): matched {matched} \
+             (descent {} + scan {} iterations)",
+            d.iterations, s.iterations
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the `pulse` reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so integration tests and
+//! examples can reach the full stack with a single dependency.
+
+pub use pulse_accel as accel;
+pub use pulse_baselines as baselines;
+pub use pulse_core as core;
+pub use pulse_dispatch as dispatch;
+pub use pulse_ds as ds;
+pub use pulse_energy as energy;
+pub use pulse_isa as isa;
+pub use pulse_mem as mem;
+pub use pulse_net as net;
+pub use pulse_sim as sim;
+pub use pulse_workloads as workloads;

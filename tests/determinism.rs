@@ -1,0 +1,98 @@
+//! Bit-level reproducibility: the property every regenerated table rests
+//! on. Identical configurations must produce identical reports across the
+//! whole stack — cluster DES, baselines, and workload generation.
+
+use pulse_repro::baselines::{run_rpc, run_swap_cache, RpcConfig, SwapConfig};
+use pulse_repro::core::{ClusterConfig, PulseCluster};
+use pulse_repro::ds::BuildCtx;
+use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_repro::workloads::{
+    Application, AppRequest, Distribution, WebService, WebServiceConfig, WiredTiger,
+    WiredTigerConfig,
+};
+
+fn webservice(nodes: usize) -> (ClusterMemory, Vec<AppRequest>) {
+    let mut mem = ClusterMemory::new(nodes);
+    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+    let mut app = {
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        WebService::build(
+            &mut ctx,
+            WebServiceConfig {
+                keys: 2_000,
+                distribution: Distribution::Zipfian,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let reqs = (0..100).map(|_| app.next_request()).collect();
+    (mem, reqs)
+}
+
+#[test]
+fn cluster_runs_are_bit_identical() {
+    let run = || {
+        let (mem, reqs) = webservice(3);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let r = cluster.run(reqs, 8);
+        (
+            r.latency.mean.as_picos(),
+            r.latency.p99.as_picos(),
+            r.makespan.as_picos(),
+            r.crossings,
+            r.net_bytes,
+            r.mem_bytes,
+            r.iterations,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn baseline_runs_are_bit_identical() {
+    let run = || {
+        let (mut mem, reqs) = webservice(2);
+        let swap = run_swap_cache(&mut mem, &reqs, 8, SwapConfig::default());
+        let rpc = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
+        (
+            swap.latency.mean.as_picos(),
+            swap.net_bytes,
+            swap.cache_hit_ratio.map(|h| (h * 1e12) as u64),
+            rpc.latency.mean.as_picos(),
+            rpc.mem_bytes,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn request_streams_are_seed_stable() {
+    // Same seed => same request stream; different seed => different.
+    let stream = |seed: u64| {
+        let mut mem = ClusterMemory::new(1);
+        let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 20);
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let mut app = WiredTiger::build(
+            &mut ctx,
+            WiredTigerConfig {
+                keys: 5_000,
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (0..50)
+            .map(|_| {
+                let r = app.next_request();
+                (
+                    r.traversals.len(),
+                    r.traversals[0].scratch_init[0].1,
+                    r.response_extra_bytes,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(stream(7), stream(7));
+    assert_ne!(stream(7), stream(8));
+}

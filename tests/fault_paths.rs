@@ -1,0 +1,127 @@
+//! Failure-path integration tests: protection faults, invalid pointers,
+//! packet-loss recovery, and wire-format fidelity under the full stack.
+
+use pulse_repro::core::{ClusterConfig, PulseCluster};
+use pulse_repro::dispatch::compile;
+use pulse_repro::ds::{BuildCtx, HashMapDs};
+use pulse_repro::isa::IterState;
+use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Perms, Placement};
+use pulse_repro::net::{
+    decode_packet, encode_packet, CodeBlob, Delivery, IterPacket, IterStatus, Packet, RequestId,
+    RetxTracker,
+};
+use pulse_repro::sim::SimTime;
+use pulse_repro::workloads::{AppRequest, StartPtr, TraversalStage};
+use std::sync::Arc;
+
+fn small_map(nodes: usize) -> (ClusterMemory, HashMapDs, Arc<pulse_repro::isa::Program>) {
+    let mut mem = ClusterMemory::new(nodes);
+    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 16);
+    let map = {
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let pairs: Vec<(u64, u64)> = (0..256).map(|k| (k, k + 1)).collect();
+        HashMapDs::build(&mut ctx, 8, &pairs).unwrap()
+    };
+    let prog = Arc::new(compile(&HashMapDs::find_spec()).unwrap());
+    (mem, map, prog)
+}
+
+/// A wild pointer terminates the request with a fault, not a hang: the
+/// switch's global table flags it and notifies the CPU node (§5).
+#[test]
+fn invalid_pointer_faults_cleanly() {
+    let (mem, _map, prog) = small_map(2);
+    let req = AppRequest::traversal_only(TraversalStage {
+        program: prog,
+        start: StartPtr::Fixed(0xDEAD_0000_0000),
+        scratch_init: vec![(0, 1)],
+    });
+    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+    let report = cluster.run(vec![req], 1);
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.faulted, 1);
+}
+
+/// Revoking write access after build makes the traversal's data unreadable:
+/// the memory pipeline's protection check faults the request back.
+#[test]
+fn protection_fault_propagates_to_cpu() {
+    let (mut mem, map, prog) = small_map(1);
+    // Mark every extent no-access after the structure is built.
+    for (start, _end, _node) in mem.all_ranges() {
+        assert!(mem.set_perms(start, Perms::NONE));
+    }
+    let req = AppRequest::traversal_only(TraversalStage {
+        program: prog,
+        start: StartPtr::Fixed(map.bucket_addr(3)),
+        scratch_init: vec![(0, 3)],
+    });
+    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+    let report = cluster.run(vec![req], 1);
+    assert_eq!(report.completed + report.faulted, 1);
+    assert_eq!(report.faulted, 1, "protection must fault, not succeed");
+}
+
+/// Request/response symmetry survives the wire: an in-flight continuation
+/// encoded at one node decodes identically at the next (§5's stateful
+/// continuation), including the scratchpad bytes.
+#[test]
+fn continuation_survives_wire_roundtrip() {
+    let (_mem, map, prog) = small_map(2);
+    let mut state = IterState::new(&prog, map.bucket_addr(9));
+    state.set_scratch_u64(0, 9);
+    state.iters_done = 5;
+    let pkt = Packet::Iter(IterPacket {
+        id: RequestId { cpu: 0, seq: 1234 },
+        code: CodeBlob::new(prog.clone()),
+        state: state.clone(),
+        status: IterStatus::InFlight,
+        piggyback_bytes: 0,
+    });
+    let bytes = encode_packet(&pkt);
+    assert_eq!(bytes.len() as u64, pkt.wire_bytes());
+    let back = decode_packet(&bytes).unwrap();
+    let Packet::Iter(p) = back else { panic!("kind") };
+    assert_eq!(p.state.cur_ptr, state.cur_ptr);
+    assert_eq!(p.state.scratch, state.scratch);
+    assert_eq!(p.state.iters_done, 5);
+    assert_eq!(p.code.program().insns(), prog.insns());
+}
+
+/// The dispatch engine's loss recovery (§4.1): a dropped response triggers
+/// a retransmission whose late original is absorbed as a duplicate.
+#[test]
+fn retransmission_recovers_from_loss() {
+    let mut rt = RetxTracker::new(SimTime::from_micros(50), 3);
+    let id = RequestId { cpu: 0, seq: 7 };
+    // Send at t=0; the response is "lost".
+    rt.on_send(id, SimTime::ZERO);
+    // Timer fires; we retransmit.
+    let due = rt.due(SimTime::from_micros(60));
+    assert_eq!(due, vec![id]);
+    // The retransmitted request's response arrives...
+    assert_eq!(rt.on_response(id), Delivery::Accepted);
+    // ...and the original (delayed, not lost after all) is suppressed.
+    assert_eq!(rt.on_response(id), Delivery::Duplicate);
+    assert_eq!(rt.outstanding(), 0);
+    assert_eq!(rt.retransmits(), 1);
+}
+
+/// Executing the same read-only request twice (as a retransmission would)
+/// yields identical results — the idempotence that makes §4.1's transparent
+/// retransmission safe for lookups.
+#[test]
+fn read_requests_are_idempotent() {
+    let (mem, map, prog) = small_map(2);
+    let mk = || {
+        AppRequest::traversal_only(TraversalStage {
+            program: prog.clone(),
+            start: StartPtr::Fixed(map.bucket_addr(77)),
+            scratch_init: vec![(0, 77)],
+        })
+    };
+    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+    let report = cluster.run(vec![mk(), mk()], 2);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.faulted, 0);
+}

@@ -1,0 +1,109 @@
+//! Property-based integration tests: every offloaded structure must agree
+//! with its host-native twin on arbitrary inputs, and the cluster allocator
+//! must never hand out overlapping or node-straddling memory.
+
+use proptest::prelude::*;
+use pulse_repro::dispatch::compile;
+use pulse_repro::ds::{BstKind, BuildCtx, HashMapDs, SearchTree};
+use pulse_repro::isa::Interpreter;
+use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+use std::collections::{BTreeMap, HashMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Offloaded hash find == std::collections::HashMap, any key set, any
+    /// bucket count, any striping granularity.
+    #[test]
+    fn hash_find_matches_std_hashmap(
+        keys in proptest::collection::vec(0u64..1000, 1..120),
+        probes in proptest::collection::vec(0u64..1200, 1..30),
+        buckets in 1u64..32,
+        gran_shift in 7u32..16,
+    ) {
+        let mut reference = HashMap::new();
+        let mut mem = ClusterMemory::new(3);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << gran_shift);
+        let map = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            let mut m = HashMapDs::build(&mut ctx, buckets, &[]).unwrap();
+            for &k in &keys {
+                let v = k.wrapping_mul(31) + 7;
+                m.insert(&mut ctx, k, v).unwrap();
+                reference.insert(k, v);
+            }
+            m
+        };
+        let prog = compile(&HashMapDs::find_spec()).unwrap();
+        let mut interp = Interpreter::new();
+        for &p in &probes {
+            let mut st = map.init_find(&prog, p);
+            let run = interp.run_traversal(&prog, &mut st, &mut mem, 1 << 20).unwrap();
+            let got = (run.return_code == Some(0)).then(|| st.scratch_u64(8));
+            prop_assert_eq!(got, reference.get(&p).copied(), "probe {}", p);
+        }
+    }
+
+    /// Offloaded lower_bound == std::collections::BTreeMap for all four
+    /// balancing disciplines.
+    #[test]
+    fn bst_lower_bound_matches_std_btreemap(
+        keys in proptest::collection::vec(0u64..5000, 1..150),
+        probes in proptest::collection::vec(0u64..6000, 1..25),
+        kind_sel in 0usize..4,
+    ) {
+        let kind = [BstKind::RedBlack, BstKind::Avl, BstKind::Splay, BstKind::Scapegoat][kind_sel];
+        let mut reference = BTreeMap::new();
+        for &k in &keys {
+            reference.insert(k, k + 1);
+        }
+        let uniq: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut mem = ClusterMemory::new(2);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 14);
+        let tree = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            SearchTree::build(&mut ctx, kind, &uniq).unwrap()
+        };
+        let prog = compile(&SearchTree::lower_bound_spec()).unwrap();
+        let mut interp = Interpreter::new();
+        for &p in &probes {
+            let mut st = tree.init_lower_bound(&prog, p).unwrap();
+            let run = interp.run_traversal(&prog, &mut st, &mut mem, 1 << 20).unwrap();
+            prop_assert_eq!(run.return_code, Some(0));
+            let got = SearchTree::decode_lower_bound(&st).map(|(_, k, v)| (k, v));
+            let want = reference.range(p..).next().map(|(&k, &v)| (k, v));
+            prop_assert_eq!(got, want, "{:?} lower_bound({})", kind, p);
+        }
+    }
+
+    /// Allocations never overlap, never straddle node boundaries, and are
+    /// always 8-byte aligned — for every policy.
+    #[test]
+    fn allocator_invariants(
+        sizes in proptest::collection::vec(1u64..700, 1..80),
+        policy_sel in 0usize..3,
+        gran_shift in 10u32..18,
+    ) {
+        let policy = match policy_sel {
+            0 => Placement::Striped,
+            1 => Placement::Random { seed: 42 },
+            _ => Placement::Single(1),
+        };
+        let mut mem = ClusterMemory::new(3);
+        let mut alloc = ClusterAllocator::new(policy, 1 << gran_shift);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for &s in &sizes {
+            let a = alloc.alloc(&mut mem, s).unwrap();
+            prop_assert_eq!(a % 8, 0, "alignment");
+            // Whole region owned by one node.
+            let owner = mem.owner_of(a);
+            prop_assert!(owner.is_some());
+            prop_assert_eq!(mem.owner_of(a + s - 1), owner, "straddle at {:#x}", a);
+            // No overlap with any earlier region.
+            for &(b, t) in &regions {
+                prop_assert!(a + s <= b || b + t <= a, "overlap {:#x} {:#x}", a, b);
+            }
+            regions.push((a, s));
+        }
+    }
+}
