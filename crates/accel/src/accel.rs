@@ -256,7 +256,11 @@ impl Accelerator {
                 let t_c = self.cfg.timing.logic_time(insns);
                 self.stats.components.logic += t_c;
                 let end = match &mut self.logic_pipes {
-                    Some(pool) => pool.acquire(ready + self.cfg.timing.scheduler, t_c).grant.end,
+                    Some(pool) => {
+                        pool.acquire(ready + self.cfg.timing.scheduler, t_c)
+                            .grant
+                            .end
+                    }
                     // Coupled core: logic time extends the same unit's
                     // occupancy; the fetch grant already covered t_d, so we
                     // serialize t_c on the same pool.
@@ -283,8 +287,8 @@ impl Accelerator {
         let t = &self.cfg.timing;
         self.stats.components.tcam += t.tcam;
         self.stats.components.interconnect += t.interconnect;
-        self.stats.components.dram += t.dram_access
-            + SimTime::serialization(bytes as u64, t.dram_bytes_per_sec * 8);
+        self.stats.components.dram +=
+            t.dram_access + SimTime::serialization(bytes as u64, t.dram_bytes_per_sec * 8);
         self.stats.dram_bytes += bytes as u64;
     }
 
@@ -401,7 +405,10 @@ impl Accelerator {
         w.pkt.status = status;
         let g = self.net_tx.acquire_for(now, self.cfg.timing.net_stack);
         self.stats.components.net_stack += self.cfg.timing.net_stack;
-        let mut out = vec![AccelOutput::Depart { at: g.end, pkt: w.pkt }];
+        let mut out = vec![AccelOutput::Depart {
+            at: g.end,
+            pkt: w.pkt,
+        }];
         if let Some(next) = self.backlog.pop_front() {
             self.stats.components.scheduler += self.cfg.timing.scheduler;
             let admit_at = now + self.cfg.timing.scheduler;
@@ -436,7 +443,8 @@ mod tests {
             .collect();
         for (i, &a) in addrs.iter().enumerate() {
             mem.write_word(a + hl::KEY as u64, i as u64, 8).unwrap();
-            mem.write_word(a + hl::VALUE as u64, i as u64 * 10, 8).unwrap();
+            mem.write_word(a + hl::VALUE as u64, i as u64 * 10, 8)
+                .unwrap();
             let next = addrs.get(i + 1).copied().unwrap_or(0);
             mem.write_word(a + hl::NEXT as u64, next, 8).unwrap();
         }

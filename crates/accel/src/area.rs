@@ -123,7 +123,10 @@ mod tests {
             memory: 1,
         });
         assert!(more_mem.lut_pct > base.lut_pct);
-        assert!(more_logic.lut_pct > more_mem.lut_pct, "logic pipes cost more");
+        assert!(
+            more_logic.lut_pct > more_mem.lut_pct,
+            "logic pipes cost more"
+        );
         assert!(more_mem.bram_pct > base.bram_pct);
     }
 

@@ -57,8 +57,8 @@ pub fn run_closed_loop(
     let mut started: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
 
     let absorb = |outs: Vec<AccelOutput>,
-                      drv: &mut Driver<AccelEvent>,
-                      departed: &mut Vec<(SimTime, IterPacket)>| {
+                  drv: &mut Driver<AccelEvent>,
+                  departed: &mut Vec<(SimTime, IterPacket)>| {
         for out in outs {
             match out {
                 AccelOutput::Internal { at, event } => drv.schedule_at(at, event),
@@ -151,7 +151,10 @@ mod tests {
         (mem, addrs[0])
     }
 
-    fn setup(len: u64, org: PipelineOrg) -> (ClusterMemory, Accelerator, Arc<pulse_isa::Program>, u64) {
+    fn setup(
+        len: u64,
+        org: PipelineOrg,
+    ) -> (ClusterMemory, Accelerator, Arc<pulse_isa::Program>, u64) {
         let (mem, head) = chain(len);
         let prog = Arc::new(compile(&samples::hash_find_spec()).unwrap());
         let ranges: Vec<_> = mem
@@ -184,15 +187,14 @@ mod tests {
 
     #[test]
     fn closed_loop_completes_all() {
-        let (mut mem, mut accel, prog, head) =
-            setup(64, PipelineOrg::Disaggregated { logic: 1, memory: 2 });
-        let report = run_closed_loop(
-            &mut accel,
-            &mut mem,
-            |i| packet(&prog, head, 32, i),
-            200,
-            8,
+        let (mut mem, mut accel, prog, head) = setup(
+            64,
+            PipelineOrg::Disaggregated {
+                logic: 1,
+                memory: 2,
+            },
         );
+        let report = run_closed_loop(&mut accel, &mut mem, |i| packet(&prog, head, 32, i), 200, 8);
         assert_eq!(report.completed, 200);
         assert!(report.throughput > 0.0);
         assert_eq!(report.latency.count, 200);
@@ -204,8 +206,13 @@ mod tests {
         // Fixed high concurrency; sweep n with m=1 (Fig. 11 / Table 4 shape).
         let mut tputs = Vec::new();
         for n in [1usize, 2, 4] {
-            let (mut mem, mut accel, prog, head) =
-                setup(64, PipelineOrg::Disaggregated { logic: 1, memory: n });
+            let (mut mem, mut accel, prog, head) = setup(
+                64,
+                PipelineOrg::Disaggregated {
+                    logic: 1,
+                    memory: n,
+                },
+            );
             let report = run_closed_loop(
                 &mut accel,
                 &mut mem,
@@ -225,8 +232,13 @@ mod tests {
         // with hops.
         let mut lats = Vec::new();
         for len in [8u64, 16, 32, 64] {
-            let (mut mem, mut accel, prog, head) =
-                setup(len, PipelineOrg::Disaggregated { logic: 3, memory: 4 });
+            let (mut mem, mut accel, prog, head) = setup(
+                len,
+                PipelineOrg::Disaggregated {
+                    logic: 3,
+                    memory: 4,
+                },
+            );
             let report = run_closed_loop(
                 &mut accel,
                 &mut mem,
@@ -246,8 +258,13 @@ mod tests {
 
     #[test]
     fn continuations_are_transparent() {
-        let (mut mem, mut accel, prog, head) =
-            setup(128, PipelineOrg::Disaggregated { logic: 1, memory: 1 });
+        let (mut mem, mut accel, prog, head) = setup(
+            128,
+            PipelineOrg::Disaggregated {
+                logic: 1,
+                memory: 1,
+            },
+        );
         // Budget far below the 100-hop chain: completion requires several
         // continuations, but the result must still be correct.
         let mut cfg = *accel.config();
@@ -258,13 +275,7 @@ mod tests {
             .map(|&(s, e)| (s, e, Perms::RW))
             .collect();
         accel = Accelerator::new(cfg, 0, RangeTable::build(64, &ranges).unwrap());
-        let report = run_closed_loop(
-            &mut accel,
-            &mut mem,
-            |i| packet(&prog, head, 100, i),
-            10,
-            2,
-        );
+        let report = run_closed_loop(&mut accel, &mut mem, |i| packet(&prog, head, 100, i), 10, 2);
         assert_eq!(report.completed, 10);
         // 100-hop traversal with budget 16 needs ~7 offload segments; the
         // accelerator should have seen many more admissions than requests.

@@ -10,9 +10,7 @@
 
 use crate::lru::LruSet;
 use pulse_mem::ClusterMemory;
-use pulse_sim::{
-    LatencyHistogram, LatencySummary, SerialResource, ServerPool, SimTime,
-};
+use pulse_sim::{LatencyHistogram, LatencySummary, SerialResource, ServerPool, SimTime};
 use pulse_workloads::{execute_functional, Access, AppRequest};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -416,7 +414,8 @@ pub fn run_rpc(
             }
             let response_bytes = 128
                 + r.response_extra_bytes as u64
-                + r.object_io.map_or(0, |io| if io.write { 0 } else { io.len as u64 });
+                + r.object_io
+                    .map_or(0, |io| if io.write { 0 } else { io.len as u64 });
             Priced {
                 segments,
                 crossings,
@@ -455,8 +454,7 @@ pub fn run_rpc(
                 }
             }
             let _ = p.crossings; // folded into the per-segment bounce
-            let response_wire =
-                SimTime::serialization(response_bytes, cfg.net.bits_per_sec);
+            let response_wire = SimTime::serialization(response_bytes, cfg.net.bits_per_sec);
             net_bytes += 128 + response_bytes;
             let pure = cfg.net.one_way * 2
                 + cfg.tcp_extra * 2
@@ -500,7 +498,7 @@ mod tests {
     use super::*;
     use pulse_ds::BuildCtx;
     use pulse_mem::{ClusterAllocator, Placement};
-    use pulse_workloads::{Application, WebService, WebServiceConfig, Distribution};
+    use pulse_workloads::{Application, Distribution, WebService, WebServiceConfig};
 
     fn webservice_setup_dist(
         keys: u64,
@@ -545,8 +543,7 @@ mod tests {
             },
         );
         let rpc = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
-        let ratio =
-            swap.latency.mean.as_nanos_f64() / rpc.latency.mean.as_nanos_f64();
+        let ratio = swap.latency.mean.as_nanos_f64() / rpc.latency.mean.as_nanos_f64();
         // Fig. 7: cache-based is 9-34x slower than offloading systems.
         assert!(ratio > 5.0, "swap/rpc latency ratio {ratio}");
         assert!(swap.cache_hit_ratio.unwrap() < 0.999);

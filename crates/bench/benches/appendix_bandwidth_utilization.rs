@@ -5,22 +5,32 @@ use pulse_core::PulseMode;
 use pulse_workloads::{Distribution, YcsbWorkload};
 
 fn main() {
-    banner("Appendix C.1", "network & memory bandwidth utilization (1-4 nodes)");
+    banner(
+        "Appendix C.1",
+        "network & memory bandwidth utilization (1-4 nodes)",
+    );
     println!(
         "{:<20} {:>5} {:<12} | {:>10} {:>12}",
         "workload", "nodes", "system", "net Gbps", "mem util"
     );
-    for kind in [
-        AppKind::WebService(YcsbWorkload::C),
-        AppKind::WiredTiger,
-    ] {
+    for kind in [AppKind::WebService(YcsbWorkload::C), AppKind::WiredTiger] {
         for nodes in [1usize, 2, 4] {
-            let pulse = run_pulse(kind, nodes, Distribution::Zipfian, 300, PulseMode::Pulse, 48);
-            let mem_norm =
-                pulse.mem_bandwidth_per_node(nodes) / 25e9;
+            let pulse = run_pulse(
+                kind,
+                nodes,
+                Distribution::Zipfian,
+                300,
+                PulseMode::Pulse,
+                48,
+            );
+            let mem_norm = pulse.mem_bandwidth_per_node(nodes) / 25e9;
             println!(
                 "{:<20} {:>5} {:<12} | {:>10.2} {:>11.2}",
-                kind.label(), nodes, "PULSE", pulse.net_gbps(), mem_norm
+                kind.label(),
+                nodes,
+                "PULSE",
+                pulse.net_gbps(),
+                mem_norm
             );
             let base = run_baselines(kind, nodes, Distribution::Zipfian, 300, 48);
             for rep in &base {

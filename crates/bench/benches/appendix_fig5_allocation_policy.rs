@@ -4,9 +4,7 @@ use pulse_bench::{banner, kops, us};
 use pulse_core::{ClusterConfig, PulseCluster};
 use pulse_ds::{BuildCtx, TreePlacement};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_workloads::{
-    Application, Btrdb, BtrdbConfig, WiredTiger, WiredTigerConfig,
-};
+use pulse_workloads::{Application, Btrdb, BtrdbConfig, WiredTiger, WiredTigerConfig};
 
 fn run(app: &str, partitioned: bool) -> pulse_core::ClusterReport {
     let nodes = 2;
@@ -56,7 +54,10 @@ fn run(app: &str, partitioned: bool) -> pulse_core::ClusterReport {
 }
 
 fn main() {
-    banner("Appendix Fig. 5", "allocation policy: random vs key-partitioned trees");
+    banner(
+        "Appendix Fig. 5",
+        "allocation policy: random vs key-partitioned trees",
+    );
     println!(
         "{:<14} {:<12} | {:>10} {:>10} {:>10}",
         "workload", "policy", "lat(us)", "tput K/s", "crossings"
@@ -67,7 +68,11 @@ fn main() {
         for (label, rep) in [("random", &rand), ("partitioned", &part)] {
             println!(
                 "{:<14} {:<12} | {:>10} {:>10} {:>10}",
-                app, label, us(rep.latency.mean), kops(rep.throughput), rep.crossings
+                app,
+                label,
+                us(rep.latency.mean),
+                kops(rep.throughput),
+                rep.crossings
             );
         }
         println!(

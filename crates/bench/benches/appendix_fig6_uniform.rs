@@ -5,7 +5,10 @@ use pulse_core::PulseMode;
 use pulse_workloads::{Distribution, YcsbWorkload};
 
 fn main() {
-    banner("Appendix Fig. 6", "uniform-distribution latency & throughput");
+    banner(
+        "Appendix Fig. 6",
+        "uniform-distribution latency & throughput",
+    );
     println!(
         "{:<22} {:>5} | {:>10} {:>10} | {:<12}",
         "workload", "nodes", "lat(us)", "tput K/s", "system"
@@ -21,15 +24,25 @@ fn main() {
                 run_pulse_both(kind, nodes, Distribution::Uniform, 200, PulseMode::Pulse);
             println!(
                 "{:<22} {:>5} | {:>10} {:>10} | {:<12}",
-                kind.label(), nodes, us(pulse.latency.mean), kops(pulse_peak.throughput), "PULSE"
+                kind.label(),
+                nodes,
+                us(pulse.latency.mean),
+                kops(pulse_peak.throughput),
+                "PULSE"
             );
             for (rep, peak) in run_baselines_both(kind, nodes, Distribution::Uniform, 200) {
-                if rep.label == "Cache+RPC" && !(matches!(kind, AppKind::WebService(_)) && nodes == 1) {
+                if rep.label == "Cache+RPC"
+                    && !(matches!(kind, AppKind::WebService(_)) && nodes == 1)
+                {
                     continue;
                 }
                 println!(
                     "{:<22} {:>5} | {:>10} {:>10} | {:<12}",
-                    "", "", us(rep.latency.mean), kops(peak.throughput), rep.label
+                    "",
+                    "",
+                    us(rep.latency.mean),
+                    kops(peak.throughput),
+                    rep.label
                 );
             }
         }

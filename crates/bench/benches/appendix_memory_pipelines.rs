@@ -10,15 +10,21 @@ use pulse_net::{CodeBlob, IterPacket, IterStatus, RequestId};
 use std::sync::Arc;
 
 fn main() {
-    banner("Appendix C.2", "memory pipelines vs DRAM bandwidth saturation");
+    banner(
+        "Appendix C.2",
+        "memory pipelines vs DRAM bandwidth saturation",
+    );
     // Low-eta linked-list walk with a 256 B window maximizes per-fetch
     // bytes (the experiment's intent: stress memory, not logic).
     let mut mem = ClusterMemory::new(1);
     let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 20);
-    let addrs: Vec<u64> = (0..256).map(|_| alloc.alloc(&mut mem, 256).unwrap()).collect();
+    let addrs: Vec<u64> = (0..256)
+        .map(|_| alloc.alloc(&mut mem, 256).unwrap())
+        .collect();
     for (i, &a) in addrs.iter().enumerate() {
         mem.write_word(a, i as u64, 8).unwrap();
-        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8).unwrap();
+        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8)
+            .unwrap();
     }
     let head = addrs[0];
     let spec = {
@@ -35,18 +41,28 @@ fn main() {
         s
     };
     let prog = Arc::new(compile(&spec).unwrap());
-    let ranges: Vec<_> = mem.node_ranges(0).iter().map(|&(s, e)| (s, e, Perms::RW)).collect();
+    let ranges: Vec<_> = mem
+        .node_ranges(0)
+        .iter()
+        .map(|&(s, e)| (s, e, Perms::RW))
+        .collect();
 
     for (label, timing) in [
         ("with interconnect IP (25 GB/s)", AccelTiming::default()),
-        ("w/o interconnect IP (34 GB/s)", AccelTiming::without_interconnect_ip()),
+        (
+            "w/o interconnect IP (34 GB/s)",
+            AccelTiming::without_interconnect_ip(),
+        ),
     ] {
         println!("\n{label}");
         println!("{:>6} | {:>10} {:>10}", "n", "GB/s", "mem util");
         for n in [1usize, 2, 3, 4] {
             let mut accel = Accelerator::new(
                 AccelConfig {
-                    org: PipelineOrg::Disaggregated { logic: 1, memory: n },
+                    org: PipelineOrg::Disaggregated {
+                        logic: 1,
+                        memory: n,
+                    },
                     timing,
                     ..AccelConfig::default()
                 },

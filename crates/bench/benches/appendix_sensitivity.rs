@@ -8,20 +8,28 @@ use pulse_dispatch::{compile, samples};
 use pulse_ds::{BuildCtx, LinkedList, ListKind};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
 use pulse_sim::SimTime;
-use pulse_workloads::{
-    AppRequest, Distribution, StartPtr, TraversalStage, YcsbWorkload,
-};
+use pulse_workloads::{AppRequest, Distribution, StartPtr, TraversalStage, YcsbWorkload};
 use std::sync::Arc;
 
 fn access_pattern() {
     println!("--- access pattern (CPU-node object cache in front of pulse) ---");
     // A transparent object cache at the CPU node (the AIFM-style cache
     // pulse adopts, §2.3) short-circuits hot keys; Zipfian benefits.
-    println!("{:<12} | {:>12} {:>12} {:>8}", "dist", "eff lat(us)", "hit %", "vs unif");
+    println!(
+        "{:<12} | {:>12} {:>12} {:>8}",
+        "dist", "eff lat(us)", "hit %", "vs unif"
+    );
     let mut uniform_lat = None;
     for dist in [Distribution::Uniform, Distribution::Zipfian] {
         let (_, reqs) = build_app(AppKind::WebService(YcsbWorkload::C), 1, dist, 400, 2 << 20);
-        let rep = run_pulse(AppKind::WebService(YcsbWorkload::C), 1, dist, 400, PulseMode::Pulse, 8);
+        let rep = run_pulse(
+            AppKind::WebService(YcsbWorkload::C),
+            1,
+            dist,
+            400,
+            PulseMode::Pulse,
+            8,
+        );
         // Cache scaled as 2 GB : 32 GB = 1/16 of the object working set.
         let mut cache = LruSet::new(6_000 / 16);
         let mut hits = 0usize;
@@ -33,8 +41,7 @@ fn access_pattern() {
         }
         let hit = hits as f64 / reqs.len() as f64;
         let local = SimTime::from_micros(3); // cached object + cpu work
-        let eff_ns =
-            hit * local.as_nanos_f64() + (1.0 - hit) * rep.latency.mean.as_nanos_f64();
+        let eff_ns = hit * local.as_nanos_f64() + (1.0 - hit) * rep.latency.mean.as_nanos_f64();
         let base = *uniform_lat.get_or_insert(eff_ns);
         println!(
             "{:<12} | {:>12.2} {:>11.1}% {:>7.2}x",
@@ -49,13 +56,20 @@ fn access_pattern() {
 
 fn write_fraction() {
     println!("--- data structure modifications (write %) ---");
-    println!("{:<8} | {:>14} {:>14} {:>8}", "write %", "w/ alloc (us)", "w/o alloc (us)", "ratio");
+    println!(
+        "{:<8} | {:>14} {:>14} {:>8}",
+        "write %", "w/ alloc (us)", "w/o alloc (us)", "ratio"
+    );
     let rtt = SimTime::from_micros(9); // allocation round trip (2 needed)
     for pct in [0u32, 10, 25, 50] {
         // Updates ride the YCSB-A/B mixes; emulate the sweep by mixing C
         // (reads) and A (50% updates) latencies.
         let rep = run_pulse(
-            AppKind::WebService(if pct == 0 { YcsbWorkload::C } else { YcsbWorkload::A }),
+            AppKind::WebService(if pct == 0 {
+                YcsbWorkload::C
+            } else {
+                YcsbWorkload::A
+            }),
             1,
             Distribution::Zipfian,
             300,
@@ -66,8 +80,7 @@ fn write_fraction() {
         // Without offloaded allocations every write pays two extra round
         // trips to allocate remotely (§C.2).
         let frac = pct as f64 / 100.0;
-        let without =
-            with_alloc + SimTime::from_nanos((rtt.as_nanos_f64() * 2.0 * frac) as u64);
+        let without = with_alloc + SimTime::from_nanos((rtt.as_nanos_f64() * 2.0 * frac) as u64);
         println!(
             "{:<8} | {:>14} {:>14} {:>7.2}x",
             pct,
@@ -109,7 +122,10 @@ fn traversal_length() {
 }
 
 fn main() {
-    banner("Appendix C.2", "sensitivity: access pattern, writes, traversal length");
+    banner(
+        "Appendix C.2",
+        "sensitivity: access pattern, writes, traversal length",
+    );
     access_pattern();
     write_fraction();
     traversal_length();

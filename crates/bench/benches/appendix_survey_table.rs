@@ -5,7 +5,10 @@
 use pulse_bench::banner;
 
 fn main() {
-    banner("Appendix Fig. 1(a)", "survey of pointer-traversal time (paper-reported, not measured)");
+    banner(
+        "Appendix Fig. 1(a)",
+        "survey of pointer-traversal time (paper-reported, not measured)",
+    );
     let rows = [
         ("GraphChi [97]", "~93%"),
         ("MonetDB [77]", "70-97%"),

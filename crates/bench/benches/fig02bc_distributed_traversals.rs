@@ -25,7 +25,12 @@ fn crossings(app: &str, granularity: u64) -> Vec<u64> {
         .unwrap();
         for _ in 0..300 {
             let r = a.next_request();
-            out.push(execute_functional(&mut mem, &r, 1 << 20).unwrap().response.node_crossings);
+            out.push(
+                execute_functional(&mut mem, &r, 1 << 20)
+                    .unwrap()
+                    .response
+                    .node_crossings,
+            );
         }
     } else {
         let mut a = Btrdb::build(
@@ -40,7 +45,12 @@ fn crossings(app: &str, granularity: u64) -> Vec<u64> {
         .unwrap();
         for _ in 0..300 {
             let r = a.next_request();
-            out.push(execute_functional(&mut mem, &r, 1 << 20).unwrap().response.node_crossings);
+            out.push(
+                execute_functional(&mut mem, &r, 1 << 20)
+                    .unwrap()
+                    .response
+                    .node_crossings,
+            );
         }
     }
     out
@@ -53,9 +63,16 @@ fn main() {
     );
     // Scaled granularities; paper used 1 GB / 2 MB / 4 KB against ~32 GB
     // working sets, we use ~25 MB working sets.
-    let grans: [(&str, u64); 3] = [("1GB~1MB", 1 << 20), ("2MB~64KB", 64 << 10), ("4KB", 4 << 10)];
+    let grans: [(&str, u64); 3] = [
+        ("1GB~1MB", 1 << 20),
+        ("2MB~64KB", 64 << 10),
+        ("4KB", 4 << 10),
+    ];
     println!("Fig. 2(b): % requests with >=1 crossing (paper: WT >97%, BTrDB >75% even at 1GB)");
-    println!("{:<12} {:>10} {:>12} {:>12}", "app", "granularity", ">=1 cross", "avg crossings");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "app", "granularity", ">=1 cross", "avg crossings"
+    );
     let mut cdfs = Vec::new();
     for app in ["WiredTiger", "BTrDB"] {
         for (label, g) in grans {
@@ -67,13 +84,20 @@ fn main() {
         }
     }
     println!("\nFig. 2(c): CDF of node crossings per request");
-    println!("{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}", "series", "p25", "p50", "p75", "p90", "max");
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "series", "p25", "p50", "p75", "p90", "max"
+    );
     for (label, mut xs) in cdfs {
         xs.sort_unstable();
         let q = |p: f64| xs[((xs.len() - 1) as f64 * p) as usize];
         println!(
             "{label:<22} {:>6} {:>6} {:>6} {:>6} {:>6}",
-            q(0.25), q(0.5), q(0.75), q(0.9), xs[xs.len() - 1]
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(0.9),
+            xs[xs.len() - 1]
         );
     }
     println!("\npaper shape: finer granularity => more crossings; WiredTiger's");

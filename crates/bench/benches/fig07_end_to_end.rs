@@ -51,11 +51,15 @@ fn main() {
                 {
                     continue;
                 }
-                let ratio =
-                    rep.latency.mean.as_nanos_f64() / pulse.latency.mean.as_nanos_f64();
+                let ratio = rep.latency.mean.as_nanos_f64() / pulse.latency.mean.as_nanos_f64();
                 println!(
                     "{:<22} {:>5} | {:>10} {:>10} | {:>10} {:>9.2}x",
-                    "", "", us(rep.latency.mean), kops(peak.throughput), rep.label, ratio
+                    "",
+                    "",
+                    us(rep.latency.mean),
+                    kops(peak.throughput),
+                    rep.label,
+                    ratio
                 );
             }
         }

@@ -32,8 +32,20 @@ fn main() {
         let e_rpc = energy_per_op(SystemKind::Rpc, common);
         let e_arm = energy_per_op(SystemKind::RpcArm, base[2].throughput.min(common));
         let e_aifm = energy_per_op(SystemKind::CacheRpc, base[3].throughput.min(common));
-        let e_pulse = energy_per_op(SystemKind::Pulse { logic: m, memory: n }, common);
-        let e_asic = energy_per_op(SystemKind::PulseAsic { logic: m, memory: n }, common);
+        let e_pulse = energy_per_op(
+            SystemKind::Pulse {
+                logic: m,
+                memory: n,
+            },
+            common,
+        );
+        let e_asic = energy_per_op(
+            SystemKind::PulseAsic {
+                logic: m,
+                memory: n,
+            },
+            common,
+        );
         println!(
             "{:<18} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>11.4}",
             kind.label(),

@@ -3,9 +3,9 @@
 
 use pulse_bench::{banner, build_app, kops, us, AppKind};
 use pulse_core::{ClusterConfig, PulseCluster, PulseMode};
+use pulse_ds::BuildCtx;
 use pulse_ds::TreePlacement;
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_ds::BuildCtx;
 use pulse_workloads::{
     Application, Btrdb, BtrdbConfig, Distribution, WiredTiger, WiredTigerConfig, YcsbWorkload,
 };
@@ -59,7 +59,10 @@ fn run(kind: AppKind, nodes: usize, mode: PulseMode) -> pulse_core::ClusterRepor
 }
 
 fn main() {
-    banner("Fig. 9", "impact of in-network distributed traversals (pulse vs pulse-acc)");
+    banner(
+        "Fig. 9",
+        "impact of in-network distributed traversals (pulse vs pulse-acc)",
+    );
     println!(
         "{:<18} {:>8} | {:>10} {:>10} {:>9} | {:>10} {:>10}",
         "workload", "setting", "pulse(us)", "acc(us)", "acc/pulse", "pulse K/s", "acc K/s"

@@ -28,12 +28,37 @@ fn main() {
     let c = s.components;
     println!("component          paper(ns)    measured(ns)   basis");
     let rows = [
-        ("network stack", 426.3, c.net_stack.as_nanos_f64() / reqs_in / 2.0, "per packet"),
-        ("scheduler", 5.1, c.scheduler.as_nanos_f64() / iters, "per dispatch"),
+        (
+            "network stack",
+            426.3,
+            c.net_stack.as_nanos_f64() / reqs_in / 2.0,
+            "per packet",
+        ),
+        (
+            "scheduler",
+            5.1,
+            c.scheduler.as_nanos_f64() / iters,
+            "per dispatch",
+        ),
         ("TCAM", 47.0, c.tcam.as_nanos_f64() / iters, "per iteration"),
-        ("interconnect", 22.0, c.interconnect.as_nanos_f64() / iters, "per iteration"),
-        ("memory controller", 110.0, c.dram.as_nanos_f64() / iters, "per iteration"),
-        ("logic", 10.0, c.logic.as_nanos_f64() / iters, "per iteration"),
+        (
+            "interconnect",
+            22.0,
+            c.interconnect.as_nanos_f64() / iters,
+            "per iteration",
+        ),
+        (
+            "memory controller",
+            110.0,
+            c.dram.as_nanos_f64() / iters,
+            "per iteration",
+        ),
+        (
+            "logic",
+            10.0,
+            c.logic.as_nanos_f64() / iters,
+            "per iteration",
+        ),
     ];
     for (name, paper, got, basis) in rows {
         println!("{name:<18} {paper:>9.1}    {got:>12.1}   {basis}");

@@ -10,26 +10,42 @@ use pulse_net::{CodeBlob, IterPacket, IterStatus, RequestId};
 use std::sync::Arc;
 
 fn main() {
-    banner("Fig. 11", "sensitivity to eta (1 logic pipe, vary memory pipes)");
+    banner(
+        "Fig. 11",
+        "sensitivity to eta (1 logic pipe, vary memory pipes)",
+    );
     // WebService's hash lookup: tc/td ~ 1/16, so perf/W keeps improving as
     // eta = 1/n approaches the workload ratio.
     let mut mem = ClusterMemory::new(1);
     let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 16);
-    let addrs: Vec<u64> = (0..64).map(|_| alloc.alloc(&mut mem, 24).unwrap()).collect();
+    let addrs: Vec<u64> = (0..64)
+        .map(|_| alloc.alloc(&mut mem, 24).unwrap())
+        .collect();
     for (i, &a) in addrs.iter().enumerate() {
         mem.write_word(a, i as u64, 8).unwrap();
-        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8).unwrap();
+        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8)
+            .unwrap();
     }
     let head = addrs[0];
     let prog = Arc::new(compile(&samples::hash_find_spec()).unwrap());
-    let ranges: Vec<_> = mem.node_ranges(0).iter().map(|&(s, e)| (s, e, Perms::RW)).collect();
+    let ranges: Vec<_> = mem
+        .node_ranges(0)
+        .iter()
+        .map(|&(s, e)| (s, e, Perms::RW))
+        .collect();
 
-    println!("{:>6} {:>6} | {:>10} {:>12} {:>12}", "eta", "n", "Mops/s", "perf/W", "normalized");
+    println!(
+        "{:>6} {:>6} | {:>10} {:>12} {:>12}",
+        "eta", "n", "Mops/s", "perf/W", "normalized"
+    );
     let mut base: Option<f64> = None;
     for n in [1usize, 2, 4, 8, 16] {
         let mut accel = Accelerator::new(
             AccelConfig {
-                org: PipelineOrg::Disaggregated { logic: 1, memory: n },
+                org: PipelineOrg::Disaggregated {
+                    logic: 1,
+                    memory: n,
+                },
                 ..AccelConfig::default()
             },
             0,

@@ -1,49 +1,70 @@
-//! Criterion microbenchmarks of the substrate: ISA interpretation, program
+//! Microbenchmarks of the substrate: ISA interpretation, program
 //! encode/decode, and cluster-memory access.
+//!
+//! Uses a plain `Instant`-based timing loop (the container image has no
+//! network access to crates.io, so no criterion); each case is warmed up
+//! and then timed over enough iterations to dominate clock overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pulse_dispatch::{compile, samples};
 use pulse_isa::{decode_program, encode_program, Interpreter, IterState, MemBus};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_substrate(c: &mut Criterion) {
+/// Times `f` over `iters` iterations after a small warmup, printing
+/// nanoseconds per iteration.
+fn bench(name: &str, iters: u32, mut f: impl FnMut() -> u64) {
+    let mut sink = 0u64;
+    for _ in 0..iters / 10 + 1 {
+        sink = sink.wrapping_add(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let elapsed = start.elapsed();
+    black_box(sink);
+    println!(
+        "{name:<28} {:>10.1} ns/iter ({iters} iters)",
+        elapsed.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn main() {
     // A 64-node chain for interpreter walks.
     let mut mem = ClusterMemory::new(1);
     let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 16);
-    let addrs: Vec<u64> = (0..64).map(|_| alloc.alloc(&mut mem, 24).unwrap()).collect();
+    let addrs: Vec<u64> = (0..64)
+        .map(|_| alloc.alloc(&mut mem, 24).unwrap())
+        .collect();
     for (i, &a) in addrs.iter().enumerate() {
         mem.write_word(a, i as u64, 8).unwrap();
         mem.write_word(a + 8, i as u64, 8).unwrap();
-        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8).unwrap();
+        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8)
+            .unwrap();
     }
     let prog = compile(&samples::hash_find_spec()).unwrap();
 
-    c.bench_function("interp_64_hop_traversal", |b| {
-        let mut interp = Interpreter::new();
-        b.iter(|| {
-            let mut st = IterState::new(&prog, addrs[0]);
-            st.set_scratch_u64(0, 63);
-            let run = interp
-                .run_traversal(&prog, &mut st, &mut mem, 4096)
-                .unwrap();
-            black_box(run.iterations)
-        })
+    let mut interp = Interpreter::new();
+    bench("interp_64_hop_traversal", 10_000, || {
+        let mut st = IterState::new(&prog, addrs[0]);
+        st.set_scratch_u64(0, 63);
+        let run = interp
+            .run_traversal(&prog, &mut st, &mut mem, 4096)
+            .unwrap();
+        run.iterations as u64
     });
 
-    c.bench_function("program_encode", |b| {
-        b.iter(|| black_box(encode_program(&prog).len()))
+    bench("program_encode", 100_000, || {
+        encode_program(black_box(&prog)).len() as u64
     });
 
     let bytes = encode_program(&prog);
-    c.bench_function("program_decode_validate", |b| {
-        b.iter(|| black_box(decode_program(&bytes).unwrap().len()))
+    bench("program_decode_validate", 100_000, || {
+        decode_program(black_box(&bytes)).unwrap().len() as u64
     });
 
-    c.bench_function("cluster_memory_read_word", |b| {
-        b.iter(|| black_box(mem.read_word(addrs[32], 8).unwrap()))
+    bench("cluster_memory_read_word", 1_000_000, || {
+        mem.read_word(black_box(addrs[32]), 8).unwrap()
     });
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

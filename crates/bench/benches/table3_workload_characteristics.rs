@@ -1,28 +1,58 @@
 //! Table 3: per-workload compute/memory ratio and iteration count.
 
 use pulse_bench::banner;
+use pulse_bench::{build_app, AppKind};
 use pulse_dispatch::DispatchEngine;
 use pulse_ds::{BtrdbTree, HashMapDs, WiredTigerTree};
-use pulse_bench::{build_app, AppKind};
 use pulse_workloads::{execute_functional, Distribution, YcsbWorkload};
 
 fn measured_iterations(kind: AppKind) -> f64 {
     let (mut mem, reqs) = build_app(kind, 1, Distribution::Zipfian, 200, 2 << 20);
     let mut total = 0u64;
     for r in &reqs {
-        total += execute_functional(&mut mem, r, 1 << 20).unwrap().response.iterations;
+        total += execute_functional(&mut mem, r, 1 << 20)
+            .unwrap()
+            .response
+            .iterations;
     }
     total as f64 / reqs.len() as f64
 }
 
 fn main() {
-    banner("Table 3", "workload characteristics: t_c/t_d and #iterations");
+    banner(
+        "Table 3",
+        "workload characteristics: t_c/t_d and #iterations",
+    );
     let engine = DispatchEngine::default();
     let rows = [
-        ("WebService (hash)", HashMapDs::find_spec(), 0.06, "48", AppKind::WebService(YcsbWorkload::C)),
-        ("WiredTiger (B+Tree)", WiredTigerTree::locate_spec(), 0.63, "25", AppKind::WiredTiger),
-        ("BTrDB 1s", BtrdbTree::aggregate_spec(), 0.71, "38", AppKind::Btrdb(1)),
-        ("BTrDB 8s", BtrdbTree::aggregate_spec(), 0.71, "227", AppKind::Btrdb(8)),
+        (
+            "WebService (hash)",
+            HashMapDs::find_spec(),
+            0.06,
+            "48",
+            AppKind::WebService(YcsbWorkload::C),
+        ),
+        (
+            "WiredTiger (B+Tree)",
+            WiredTigerTree::locate_spec(),
+            0.63,
+            "25",
+            AppKind::WiredTiger,
+        ),
+        (
+            "BTrDB 1s",
+            BtrdbTree::aggregate_spec(),
+            0.71,
+            "38",
+            AppKind::Btrdb(1),
+        ),
+        (
+            "BTrDB 8s",
+            BtrdbTree::aggregate_spec(),
+            0.71,
+            "227",
+            AppKind::Btrdb(8),
+        ),
     ];
     println!(
         "{:<20} | {:>10} {:>10} | {:>10} {:>10}",

@@ -12,11 +12,14 @@ use std::sync::Arc;
 fn chain(len: u64) -> (ClusterMemory, u64) {
     let mut mem = ClusterMemory::new(1);
     let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 16);
-    let addrs: Vec<u64> = (0..len).map(|_| alloc.alloc(&mut mem, 24).unwrap()).collect();
+    let addrs: Vec<u64> = (0..len)
+        .map(|_| alloc.alloc(&mut mem, 24).unwrap())
+        .collect();
     for (i, &a) in addrs.iter().enumerate() {
         mem.write_word(a, i as u64, 8).unwrap();
         mem.write_word(a + 8, i as u64, 8).unwrap();
-        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8).unwrap();
+        mem.write_word(a + 16, addrs.get(i + 1).copied().unwrap_or(0), 8)
+            .unwrap();
     }
     (mem, addrs[0])
 }
@@ -24,9 +27,16 @@ fn chain(len: u64) -> (ClusterMemory, u64) {
 fn perf(org: PipelineOrg) -> (f64, f64) {
     let (mut mem, head) = chain(64);
     let prog = Arc::new(compile(&samples::hash_find_spec()).unwrap());
-    let ranges: Vec<_> = mem.node_ranges(0).iter().map(|&(s, e)| (s, e, Perms::RW)).collect();
+    let ranges: Vec<_> = mem
+        .node_ranges(0)
+        .iter()
+        .map(|&(s, e)| (s, e, Perms::RW))
+        .collect();
     let mut accel = Accelerator::new(
-        AccelConfig { org, ..AccelConfig::default() },
+        AccelConfig {
+            org,
+            ..AccelConfig::default()
+        },
         0,
         RangeTable::build(64, &ranges).unwrap(),
     );
@@ -69,7 +79,8 @@ fn main() {
             a.lut_pct, a.bram_pct
         );
     }
-    let pulse: [((usize, usize), f64, f64, f64, f64); 8] = [
+    type Row = ((usize, usize), f64, f64, f64, f64);
+    let pulse: [Row; 8] = [
         ((1, 1), 5.88, 8.17, 0.51, 37.57),
         ((1, 2), 7.44, 9.14, 0.73, 36.74),
         ((1, 3), 8.32, 11.19, 1.01, 38.46),
@@ -80,7 +91,10 @@ fn main() {
         ((4, 4), 23.21, 19.92, 1.14, 41.47),
     ];
     for ((m, n), plut, pbram, pm, pl) in pulse {
-        let org = PipelineOrg::Disaggregated { logic: m, memory: n };
+        let org = PipelineOrg::Disaggregated {
+            logic: m,
+            memory: n,
+        };
         let a = estimate(org);
         let (tput, lat) = perf(org);
         println!(
@@ -88,7 +102,10 @@ fn main() {
             a.lut_pct, a.bram_pct
         );
     }
-    let p14 = estimate(PipelineOrg::Disaggregated { logic: 1, memory: 4 });
+    let p14 = estimate(PipelineOrg::Disaggregated {
+        logic: 1,
+        memory: 4,
+    });
     let c4 = estimate(PipelineOrg::Coupled { cores: 4 });
     println!(
         "\nPareto point (1,4): combined area saving vs 4 coupled cores = {:.0}% (paper: 38%)",

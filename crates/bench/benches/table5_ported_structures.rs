@@ -5,11 +5,14 @@ use pulse_dispatch::{compile, DispatchEngine};
 use pulse_ds::catalog;
 
 fn main() {
-    banner("Tables 1 & 5", "the 13 ported data structures and their base functions");
+    banner(
+        "Tables 1 & 5",
+        "the 13 ported data structures and their base functions",
+    );
     let engine = DispatchEngine::default();
     println!(
-        "{:<28} {:<8} {:<6} | {:>5} {:>6} {:>7} | {}",
-        "structure", "library", "categ", "insns", "tc/td", "offload", "internal base function"
+        "{:<28} {:<8} {:<6} | {:>5} {:>6} {:>7} | internal base function",
+        "structure", "library", "categ", "insns", "tc/td", "offload"
     );
     for s in catalog() {
         let spec = (s.spec)();

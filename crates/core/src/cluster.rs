@@ -12,10 +12,10 @@
 //!   software overhead more expensive per crossing).
 
 use pulse_accel::{AccelConfig, AccelEvent, AccelOutput, Accelerator};
-use pulse_mem::{ClusterMemory, GlobalRangeMap, NodeId, Perms, RangeTable};
+use pulse_mem::{CapacityExceeded, ClusterMemory, GlobalRangeMap, NodeId, Perms, RangeTable};
 use pulse_net::{
-    CodeBlob, Endpoint, IterPacket, IterStatus, LinkConfig, Link, Packet, RequestId, Route,
-    Switch, SwitchConfig,
+    CodeBlob, Endpoint, IterPacket, IterStatus, Link, LinkConfig, Packet, RequestId, Route, Switch,
+    SwitchConfig,
 };
 use pulse_sim::{Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime};
 use pulse_workloads::{AddrSource, AppRequest};
@@ -111,8 +111,8 @@ impl ClusterReport {
 
 #[derive(Debug)]
 enum Ev {
-    /// CPU node injects request `idx`.
-    Issue(usize),
+    /// CPU node starts processing a submitted request.
+    Start(RequestId),
     /// Packet reaches the switch ingress (with its source endpoint).
     AtSwitch(Packet, Endpoint),
     /// Packet reaches memory node `n`.
@@ -123,6 +123,28 @@ enum Ev {
     Accel(NodeId, AccelEvent),
     /// CPU-node post-processing for a request finished.
     Finished(RequestId, bool),
+}
+
+/// A finished request, as reported by [`PulseCluster::take_completions`].
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's identity (assigned at submit time).
+    pub id: RequestId,
+    /// Whether the request completed (vs faulted).
+    pub ok: bool,
+    /// When the CPU node started processing it.
+    pub issued_at: SimTime,
+    /// When its final completion event fired.
+    pub finished_at: SimTime,
+    /// Final scratchpad of the last traversal stage, when one ran.
+    pub final_state: Option<pulse_isa::IterState>,
+}
+
+impl Completion {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimTime {
+        self.finished_at - self.issued_at
+    }
 }
 
 #[derive(Debug)]
@@ -146,6 +168,10 @@ pub struct PulseCluster {
     dma: Vec<SerialResource>,
     inflight: HashMap<RequestId, ReqState>,
     next_seq: u64,
+    /// The event loop (incremental: submit/step/take_completions).
+    drv: Driver<Ev>,
+    /// Completions accumulated since the last [`Self::take_completions`].
+    done: Vec<Completion>,
     // Measurements.
     hist: LatencyHistogram,
     completed: u64,
@@ -165,8 +191,22 @@ impl PulseCluster {
     ///
     /// # Panics
     ///
-    /// Panics if a node's translation ranges exceed the TCAM capacity.
+    /// Panics if a node's translation ranges exceed the TCAM capacity;
+    /// [`PulseCluster::try_new`] is the non-panicking variant.
     pub fn new(cfg: ClusterConfig, mem: ClusterMemory) -> PulseCluster {
+        PulseCluster::try_new(cfg, mem).expect("node ranges fit the TCAM")
+    }
+
+    /// Fallible constructor: fails when a node's translation ranges exceed
+    /// the configured TCAM capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityExceeded`] naming the overflowing node's demand.
+    pub fn try_new(
+        cfg: ClusterConfig,
+        mem: ClusterMemory,
+    ) -> Result<PulseCluster, CapacityExceeded> {
         let nodes = mem.node_count();
         let switch = Switch::new(cfg.switch, GlobalRangeMap::new(&mem.all_ranges()));
         let accels = (0..nodes)
@@ -176,12 +216,11 @@ impl PulseCluster {
                     .iter()
                     .map(|&(s, e)| (s, e, Perms::RW))
                     .collect();
-                let table = RangeTable::build(cfg.tcam_capacity, &ranges)
-                    .expect("node ranges fit the TCAM");
-                Accelerator::new(cfg.accel, n, table)
+                let table = RangeTable::build(cfg.tcam_capacity, &ranges)?;
+                Ok(Accelerator::new(cfg.accel, n, table))
             })
-            .collect();
-        PulseCluster {
+            .collect::<Result<Vec<_>, CapacityExceeded>>()?;
+        Ok(PulseCluster {
             accels,
             switch,
             links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
@@ -191,6 +230,8 @@ impl PulseCluster {
                 .collect(),
             inflight: HashMap::new(),
             next_seq: 0,
+            drv: Driver::new(),
+            done: Vec::new(),
             hist: LatencyHistogram::new(),
             completed: 0,
             faulted: 0,
@@ -199,7 +240,7 @@ impl PulseCluster {
             makespan: SimTime::ZERO,
             cfg,
             mem,
-        }
+        })
     }
 
     /// Gives the memory back (e.g. to run another system on the same data).
@@ -212,73 +253,152 @@ impl PulseCluster {
         &self.mem
     }
 
+    /// Mutable view of the rack memory (e.g. for functional ground-truth
+    /// runs against the same data the cluster executes on).
+    pub fn memory_mut(&mut self) -> &mut ClusterMemory {
+        &mut self.mem
+    }
+
     /// Per-node accelerator statistics.
     pub fn accelerators(&self) -> &[Accelerator] {
         &self.accels
     }
 
-    /// Runs `requests` closed-loop with `concurrency` outstanding.
+    /// Submits a request to the CPU node, to start processing at `at`
+    /// (which must not be in the simulated past). Returns the identity its
+    /// [`Completion`] will carry.
+    pub fn submit_at(&mut self, at: SimTime, req: AppRequest) -> RequestId {
+        let id = RequestId {
+            cpu: 0,
+            seq: self.next_seq,
+        };
+        self.submit_with_id(at, req, id);
+        id
+    }
+
+    /// Submits a request under a caller-chosen identity (runtimes that hand
+    /// out tickets before admission use this to keep ticket == identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already in flight or `at` is in the past.
+    pub fn submit_with_id(&mut self, at: SimTime, req: AppRequest, id: RequestId) {
+        assert!(
+            !self.inflight.contains_key(&id),
+            "request id {id:?} already in flight"
+        );
+        self.next_seq = self.next_seq.max(id.seq + 1);
+        self.inflight.insert(
+            id,
+            ReqState {
+                req,
+                stage: 0,
+                issued_at: at,
+                last_state: None,
+            },
+        );
+        self.drv.schedule_at(at, Ev::Start(id));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.drv.now()
+    }
+
+    /// Requests currently inside the rack.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no events remain to process.
+    pub fn is_idle(&self) -> bool {
+        self.drv.is_idle()
+    }
+
+    /// Processes one simulation event. Returns `false` when the event queue
+    /// is empty. At most one completion can be produced per step; poll
+    /// [`Self::take_completions`] after stepping.
+    pub fn step(&mut self) -> bool {
+        let mut drv = std::mem::take(&mut self.drv);
+        let stepped = match drv.next_event() {
+            Some(ev) => {
+                self.handle(&mut drv, ev);
+                true
+            }
+            None => false,
+        };
+        self.drv = drv;
+        stepped
+    }
+
+    /// Drains the completions produced since the last call.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.done)
+    }
+
+    fn handle(&mut self, drv: &mut Driver<Ev>, ev: Ev) {
+        let now = drv.now();
+        match ev {
+            Ev::Start(id) => self.send_stage(drv, now, id),
+            Ev::AtSwitch(pkt, from) => self.at_switch(drv, now, pkt, from),
+            Ev::AtMem(n, pkt) => self.at_mem(drv, now, n, pkt),
+            Ev::Accel(n, aev) => {
+                let outs = self.accels[n].step(now, aev, &mut self.mem);
+                self.absorb(drv, n, outs);
+            }
+            Ev::AtCpu(pkt) => self.at_cpu(drv, now, pkt),
+            Ev::Finished(id, ok) => {
+                let st = self.inflight.remove(&id).expect("request inflight");
+                self.hist.record(now - st.issued_at);
+                self.makespan = self.makespan.max(now);
+                if ok {
+                    self.completed += 1;
+                } else {
+                    self.faulted += 1;
+                }
+                self.done.push(Completion {
+                    id,
+                    ok,
+                    issued_at: st.issued_at,
+                    finished_at: now,
+                    final_state: st.last_state,
+                });
+            }
+        }
+    }
+
+    /// Runs `requests` closed-loop with `concurrency` outstanding, to
+    /// completion. Implemented on the incremental submit/step API: the
+    /// initial window is staggered 10 ns apart and every completion
+    /// immediately admits the next request at its finish time, so reports
+    /// are bit-identical to an open-coded submit/poll loop with the same
+    /// window (see `pulse::Runtime::drain`).
+    ///
+    /// Can be called again on the same cluster (the clock keeps advancing;
+    /// the next batch issues from the current simulated time); like every
+    /// measurement accessor, [`Self::report`] then covers all batches
+    /// cumulatively.
     pub fn run(&mut self, requests: Vec<AppRequest>, concurrency: usize) -> ClusterReport {
         assert!(concurrency > 0 && !requests.is_empty());
         let total = requests.len();
-        let mut drv: Driver<Ev> = Driver::new();
-        let mut pending: Vec<AppRequest> = requests;
-        pending.reverse(); // pop() issues in order
-        let mut next_to_issue = 0usize;
+        let base = self.drv.now();
+        let mut pending = requests.into_iter();
         for c in 0..concurrency.min(total) {
-            drv.schedule_at(SimTime::from_nanos(10 * c as u64), Ev::Issue(next_to_issue));
-            next_to_issue += 1;
+            let req = pending.next().expect("bounded by total");
+            self.submit_at(base + SimTime::from_nanos(10 * c as u64), req);
         }
-
-        let mut queue: Vec<AppRequest> = Vec::new();
-        queue.reserve(total);
-        while let Some(r) = pending.pop() {
-            queue.push(r);
-        }
-
-        while let Some(ev) = drv.next_event() {
-            let now = drv.now();
-            match ev {
-                Ev::Issue(idx) => {
-                    let req = queue[idx].clone();
-                    let id = RequestId {
-                        cpu: 0,
-                        seq: self.next_seq,
-                    };
-                    self.next_seq += 1;
-                    let st = ReqState {
-                        req,
-                        stage: 0,
-                        issued_at: now,
-                        last_state: None,
-                    };
-                    self.inflight.insert(id, st);
-                    self.send_stage(&mut drv, now, id);
-                }
-                Ev::AtSwitch(pkt, from) => self.at_switch(&mut drv, now, pkt, from),
-                Ev::AtMem(n, pkt) => self.at_mem(&mut drv, now, n, pkt),
-                Ev::Accel(n, aev) => {
-                    let outs = self.accels[n].step(now, aev, &mut self.mem);
-                    self.absorb(&mut drv, n, outs);
-                }
-                Ev::AtCpu(pkt) => self.at_cpu(&mut drv, now, pkt),
-                Ev::Finished(id, ok) => {
-                    let st = self.inflight.remove(&id).expect("request inflight");
-                    self.hist.record(now - st.issued_at);
-                    self.makespan = self.makespan.max(now);
-                    if ok {
-                        self.completed += 1;
-                    } else {
-                        self.faulted += 1;
-                    }
-                    if next_to_issue < total {
-                        drv.schedule_at(now, Ev::Issue(next_to_issue));
-                        next_to_issue += 1;
-                    }
+        while self.step() {
+            for done in self.take_completions() {
+                if let Some(req) = pending.next() {
+                    self.submit_at(done.finished_at, req);
                 }
             }
         }
+        self.report()
+    }
 
+    /// The aggregate report over everything completed so far.
+    pub fn report(&self) -> ClusterReport {
         let horizon = self.makespan.max(SimTime::from_picos(1));
         let nodes = self.accels.len();
         let mem_bytes: u64 = self
@@ -319,7 +439,13 @@ impl PulseCluster {
             let st = self.inflight.get(&id).expect("inflight");
             if st.stage < st.req.traversals.len() {
                 let stage = &st.req.traversals[st.stage];
-                let state = stage.init_state(st.last_state.as_ref());
+                // Malformed stage wiring faults the request rather than
+                // panicking the rack (`AppRequest::validate` catches this
+                // at submit time on the runtime path).
+                let Ok(state) = stage.init_state(st.last_state.as_ref()) else {
+                    drv.schedule_at(now, Ev::Finished(id, false));
+                    return;
+                };
                 (
                     Packet::Iter(IterPacket {
                         id,
@@ -331,7 +457,10 @@ impl PulseCluster {
                     st.stage,
                 )
             } else if let Some(io) = st.req.object_io {
-                let addr = resolve_addr(io.addr, st.last_state.as_ref());
+                let Some(addr) = resolve_addr(io.addr, st.last_state.as_ref()) else {
+                    drv.schedule_at(now, Ev::Finished(id, false));
+                    return;
+                };
                 let pkt = if io.write {
                     Packet::Write {
                         id,
@@ -442,7 +571,8 @@ impl PulseCluster {
                             if is_final_stage {
                                 if let Some(io) = st.req.object_io {
                                     if !io.write {
-                                        let addr = resolve_addr(io.addr, Some(&pkt.state));
+                                        let addr = resolve_addr(io.addr, Some(&pkt.state))
+                                            .expect("state is present");
                                         if self.mem.owner_of(addr) == Some(n) {
                                             // Gather: DMA the object into the
                                             // response right here.
@@ -453,10 +583,7 @@ impl PulseCluster {
                                             let arrive = self.links[n].tx(g.end, wire);
                                             drv.schedule_at(
                                                 arrive,
-                                                Ev::AtSwitch(
-                                                    Packet::Iter(pkt),
-                                                    Endpoint::Mem(n),
-                                                ),
+                                                Ev::AtSwitch(Packet::Iter(pkt), Endpoint::Mem(n)),
                                             );
                                             continue;
                                         }
@@ -516,12 +643,7 @@ impl PulseCluster {
                 }
             },
             Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
-                let cpu_work = self
-                    .inflight
-                    .get(&id)
-                    .expect("inflight")
-                    .req
-                    .cpu_work;
+                let cpu_work = self.inflight.get(&id).expect("inflight").req.cpu_work;
                 drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
             }
             Packet::Read { .. } | Packet::Write { .. } => {
@@ -531,12 +653,10 @@ impl PulseCluster {
     }
 }
 
-fn resolve_addr(src: AddrSource, state: Option<&pulse_isa::IterState>) -> u64 {
+fn resolve_addr(src: AddrSource, state: Option<&pulse_isa::IterState>) -> Option<u64> {
     match src {
-        AddrSource::Fixed(a) => a,
-        AddrSource::FromScratch(off) => state
-            .expect("address depends on a traversal result")
-            .scratch_u64(off as usize),
+        AddrSource::Fixed(a) => Some(a),
+        AddrSource::FromScratch(off) => state.map(|s| s.scratch_u64(off as usize)),
     }
 }
 
@@ -546,8 +666,8 @@ mod tests {
     use pulse_ds::BuildCtx;
     use pulse_mem::{ClusterAllocator, Placement};
     use pulse_workloads::{
-        execute_functional, Application, Distribution, WebService, WebServiceConfig,
-        WiredTiger, WiredTigerConfig,
+        execute_functional, Application, Distribution, WebService, WebServiceConfig, WiredTiger,
+        WiredTigerConfig,
     };
 
     fn webservice_cluster(
@@ -677,6 +797,22 @@ mod tests {
         let t1 = tput(1);
         let t4 = tput(4);
         assert!(t4 > t1 * 1.5, "t1={t1} t4={t4}");
+    }
+
+    #[test]
+    fn cluster_is_reusable_across_batches() {
+        let (mem, mut reqs, _) = webservice_cluster(1, 1_000, 1 << 20);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let second = reqs.split_off(reqs.len() / 2);
+        let first_len = reqs.len() as u64;
+        let second_len = second.len() as u64;
+        let r1 = cluster.run(reqs, 4);
+        assert_eq!(r1.completed, first_len);
+        // A second batch on the same cluster issues from the advanced clock
+        // (no scheduled-in-the-past panic) and reports cumulatively.
+        let r2 = cluster.run(second, 4);
+        assert_eq!(r2.completed, first_len + second_len);
+        assert!(r2.makespan > r1.makespan);
     }
 
     #[test]

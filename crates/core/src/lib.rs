@@ -1,23 +1,33 @@
 //! # pulse-core
 //!
-//! The framework facade: the full rack-scale pulse simulation.
+//! The rack-scale pulse simulation engine. The public face of the stack is
+//! the umbrella crate's `pulse::Runtime`/`PulseBuilder`; this crate is the
+//! engine underneath it.
 //!
 //! * [`PulseCluster`] — CPU node + programmable switch + one accelerator
 //!   per memory node, executing application requests end-to-end: compiled
 //!   iterator offloads travel as packets, traversals really execute against
 //!   disaggregated memory, remote pointers reroute through the switch (§5),
 //!   continuations resume on iteration-budget expiry (§3), and WebService's
-//!   objects ride responses via near-memory gather.
+//!   objects ride responses via near-memory gather. Execution is
+//!   incremental — [`PulseCluster::submit_at`], [`PulseCluster::step`],
+//!   [`PulseCluster::take_completions`] — with the closed-loop batch
+//!   [`PulseCluster::run`] layered on top, so open-loop runtimes and the
+//!   paper's batch benches share one event loop.
 //! * [`PulseMode::PulseAcc`] — the Fig. 9 ablation that bounces crossings
 //!   through the CPU node instead of the switch.
 //! * [`cxl_study`] — the §7/Fig. 12 CXL-interconnect model.
 //!
 //! # Examples
 //!
+//! The incremental API the `pulse::Runtime` façade drives (applications
+//! normally go through that façade instead):
+//!
 //! ```
 //! use pulse_core::{ClusterConfig, PulseCluster};
 //! use pulse_ds::BuildCtx;
 //! use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+//! use pulse_sim::SimTime;
 //! use pulse_workloads::{Application, WebService, WebServiceConfig};
 //!
 //! // Build a (small) WebService deployment over two memory nodes...
@@ -27,11 +37,19 @@
 //!     let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
 //!     WebService::build(&mut ctx, WebServiceConfig { keys: 500, ..Default::default() })?
 //! };
-//! let requests: Vec<_> = (0..20).map(|_| app.next_request()).collect();
 //!
-//! // ...and run it on the pulse rack.
-//! let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-//! let report = cluster.run(requests, 4);
+//! // ...submit requests and pump the event loop to completion.
+//! let mut cluster = PulseCluster::try_new(ClusterConfig::default(), mem)?;
+//! for i in 0..20u64 {
+//!     cluster.submit_at(SimTime::from_nanos(10 * i), app.next_request());
+//! }
+//! let mut done = Vec::new();
+//! while cluster.step() {
+//!     done.extend(cluster.take_completions());
+//! }
+//! assert_eq!(done.len(), 20);
+//! assert!(done.iter().all(|c| c.ok));
+//! let report = cluster.report();
 //! assert_eq!(report.completed, 20);
 //! assert!(report.latency.mean.as_micros_f64() > 5.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -43,5 +61,5 @@
 mod cluster;
 mod cxl;
 
-pub use cluster::{ClusterConfig, ClusterReport, PulseCluster, PulseMode};
+pub use cluster::{ClusterConfig, ClusterReport, Completion, PulseCluster, PulseMode};
 pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};

@@ -8,8 +8,7 @@
 
 use crate::spec::{CondExpr, Expr, IterSpec, Stmt};
 use pulse_isa::{
-    Operand, Place, Program, ProgramBuilder, ProgramError, Reg, Width, MAX_LOAD_BYTES,
-    NUM_REGS,
+    Operand, Place, Program, ProgramBuilder, ProgramError, Reg, Width, MAX_LOAD_BYTES, NUM_REGS,
 };
 use std::fmt;
 

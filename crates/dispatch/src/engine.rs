@@ -161,8 +161,7 @@ impl DispatchEngine {
     /// The offload gate: `t_c ≤ η · t_d`, with each explicit extra load
     /// adding another window-less fetch to the memory side.
     pub fn decide(&self, analysis: &OffloadAnalysis) -> OffloadDecision {
-        let t_d_total =
-            analysis.t_d + self.mem_timing.fetch_time(8) * analysis.extra_loads as u64;
+        let t_d_total = analysis.t_d + self.mem_timing.fetch_time(8) * analysis.extra_loads as u64;
         let budget = t_d_total.as_picos() as f64 * self.eta;
         if analysis.t_c.as_picos() as f64 <= budget {
             OffloadDecision::Offload

@@ -19,6 +19,12 @@
 //!    from the Fig. 10 memory-pipeline components) and applies the offload
 //!    gate `t_c ≤ η·t_d`; compute-heavy iterators stay on the CPU node.
 //!
+//! Applications rarely call this crate directly: a data structure exposes
+//! its [`IterSpec`] stages through the `Traversal` trait (`pulse-ds`), and
+//! `pulse::Offloaded` runs them through [`DispatchEngine::prepare`] when
+//! the runtime is built. The example below is that same call, standalone —
+//! the path ablations use to sweep η or inspect the gate.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,7 +47,5 @@ pub mod samples;
 mod spec;
 
 pub use compile::{compile, infer_window, CompileError, WindowPlan};
-pub use engine::{
-    CompiledIterator, DispatchEngine, MemTiming, OffloadAnalysis, OffloadDecision,
-};
+pub use engine::{CompiledIterator, DispatchEngine, MemTiming, OffloadAnalysis, OffloadDecision};
 pub use spec::{CondExpr, Expr, IterSpec, Stmt};

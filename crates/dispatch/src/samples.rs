@@ -133,11 +133,7 @@ pub fn btree_search_spec(fanout: u32) -> IterSpec {
     for i in (0..fanout).rev() {
         let inner = chain;
         chain = vec![Stmt::If {
-            cond: CondExpr::new(
-                Cond::GeU,
-                Expr::Const(i as i64),
-                Expr::field_u64(NUM_KEYS),
-            ),
+            cond: CondExpr::new(Cond::GeU, Expr::Const(i as i64), Expr::field_u64(NUM_KEYS)),
             then: vec![take(i)],
             els: vec![Stmt::If {
                 cond: CondExpr::new(
@@ -227,22 +223,14 @@ pub fn btrdb_aggregate_spec(leaf_cap: u32) -> IterSpec {
         let sample_stmts = vec![
             // if ts >= t1: past the window; finish.
             Stmt::if_then(
-                CondExpr::new(
-                    Cond::GeU,
-                    Expr::field_u64(ts(i)),
-                    Expr::scratch_u64(SP_T1),
-                ),
+                CondExpr::new(Cond::GeU, Expr::field_u64(ts(i)), Expr::scratch_u64(SP_T1)),
                 vec![Stmt::Finish {
                     code: Expr::Const(WINDOW_DONE),
                 }],
             ),
             // if ts >= t0: accumulate.
             Stmt::if_then(
-                CondExpr::new(
-                    Cond::GeU,
-                    Expr::field_u64(ts(i)),
-                    Expr::scratch_u64(SP_T0),
-                ),
+                CondExpr::new(Cond::GeU, Expr::field_u64(ts(i)), Expr::scratch_u64(SP_T0)),
                 vec![
                     Stmt::SetScratch {
                         off: SP_SUM,
@@ -280,11 +268,7 @@ pub fn btrdb_aggregate_spec(leaf_cap: u32) -> IterSpec {
                     Stmt::SetScratch {
                         off: SP_N,
                         width: Width::B8,
-                        value: Expr::binop(
-                            AluOp::Add,
-                            Expr::scratch_u64(SP_N),
-                            Expr::Const(1),
-                        ),
+                        value: Expr::binop(AluOp::Add, Expr::scratch_u64(SP_N), Expr::Const(1)),
                     },
                 ],
             ),

@@ -87,6 +87,7 @@ impl Expr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // constructor for the IR, not arithmetic on `Expr`
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::binop(AluOp::Add, a, b)
     }
@@ -207,9 +208,7 @@ impl IterSpec {
         fn stmt_has(s: &Stmt) -> bool {
             match s {
                 Stmt::StoreMem { .. } => true,
-                Stmt::If { then, els, .. } => {
-                    then.iter().any(stmt_has) || els.iter().any(stmt_has)
-                }
+                Stmt::If { then, els, .. } => then.iter().any(stmt_has) || els.iter().any(stmt_has),
                 _ => false,
             }
         }
@@ -290,13 +289,11 @@ mod tests {
         let spec = IterSpec::new(
             "t",
             8,
-            vec![
-                Stmt::If {
-                    cond: CondExpr::new(Cond::Eq, Expr::Const(0), Expr::Const(0)),
-                    then: vec![store, finish0()],
-                    els: vec![finish0()],
-                },
-            ],
+            vec![Stmt::If {
+                cond: CondExpr::new(Cond::Eq, Expr::Const(0), Expr::Const(0)),
+                then: vec![store, finish0()],
+                els: vec![finish0()],
+            }],
         );
         assert!(spec.has_stores());
         let pure = IterSpec::new("t", 8, vec![finish0()]);

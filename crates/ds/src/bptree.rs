@@ -11,8 +11,8 @@
 
 use crate::common::{init_state, BuildCtx, DsError};
 use pulse_dispatch::samples::{
-    btrdb_layout, btree_layout, btree_search_spec, btrdb_aggregate_spec, DEFAULT_BTREE_FANOUT,
-    DEFAULT_BTRDB_LEAF_CAP,
+    btrdb_aggregate_spec, btrdb_layout, btree_layout, btree_search_spec, DEFAULT_BTRDB_LEAF_CAP,
+    DEFAULT_BTREE_FANOUT,
 };
 use pulse_dispatch::{CondExpr, Expr, IterSpec, Stmt};
 use pulse_isa::{Cond, IterState, Program, Width};
@@ -495,7 +495,7 @@ mod tests {
         // Near the end, the scan runs out of data.
         let (matched, _) = locate_then_scan(&mut mem, &tree, 3950, 50);
         assert_eq!(matched, 25); // keys 3950..3998 step 2
-        // Start past the max key: nothing matches.
+                                 // Start past the max key: nothing matches.
         let (matched, _) = locate_then_scan(&mut mem, &tree, 1 << 40, 10);
         assert_eq!(matched, 0);
     }
@@ -540,10 +540,14 @@ mod tests {
         // 1-second window starting at t = 10 s.
         let (t0, t1) = (10_000_000_000u64, 11_000_000_000u64);
         let mut st = tree.init_locate(&locate, t0);
-        interp.run_traversal(&locate, &mut st, &mut mem, 4096).unwrap();
+        interp
+            .run_traversal(&locate, &mut st, &mut mem, 4096)
+            .unwrap();
         let leaf = decode_located_leaf(&st);
         let mut st2 = tree.init_aggregate(&agg, leaf, t0, t1);
-        let run = interp.run_traversal(&agg, &mut st2, &mut mem, 4096).unwrap();
+        let run = interp
+            .run_traversal(&agg, &mut st2, &mut mem, 4096)
+            .unwrap();
         assert_eq!(run.return_code, Some(0));
         let (sum, min, max, n) = BtrdbTree::decode_aggregate(&st2);
         // Host reference.
@@ -581,10 +585,14 @@ mod tests {
             let t0 = 100_000_000_000u64;
             let t1 = t0 + secs * 1_000_000_000;
             let mut st = tree.init_locate(&locate, t0);
-            let r1 = interp.run_traversal(&locate, &mut st, &mut mem, 4096).unwrap();
+            let r1 = interp
+                .run_traversal(&locate, &mut st, &mut mem, 4096)
+                .unwrap();
             let leaf = decode_located_leaf(&st);
             let mut st2 = tree.init_aggregate(&agg, leaf, t0, t1);
-            let r2 = interp.run_traversal(&agg, &mut st2, &mut mem, 4096).unwrap();
+            let r2 = interp
+                .run_traversal(&agg, &mut st2, &mut mem, 4096)
+                .unwrap();
             iters_by_window.push(r1.iterations + r2.iterations);
         }
         // Table 3: 38 iterations at 1 s, 227 at 8 s.

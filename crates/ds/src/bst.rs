@@ -13,6 +13,7 @@
 //! * scapegoat via α-weight-balance subtree rebuilds (α = 0.7).
 
 use crate::common::{init_state, BuildCtx, DsError};
+use crate::traversal::{StagePlan, Traversal};
 use pulse_dispatch::{CondExpr, Expr, IterSpec, Stmt};
 use pulse_isa::{Cond, IterState, Program, Width};
 
@@ -490,7 +491,11 @@ impl HostTree {
     fn depth(&self, n: Option<usize>) -> usize {
         match n {
             None => 0,
-            Some(i) => 1 + self.depth(self.arena[i].left).max(self.depth(self.arena[i].right)),
+            Some(i) => {
+                1 + self
+                    .depth(self.arena[i].left)
+                    .max(self.depth(self.arena[i].right))
+            }
         }
     }
 
@@ -663,6 +668,26 @@ impl SearchTree {
     }
 }
 
+impl Traversal for SearchTree {
+    fn name(&self) -> &'static str {
+        "bst::lower_bound"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        vec![Self::lower_bound_spec()]
+    }
+
+    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+        if self.root == 0 {
+            return Err(DsError::Empty);
+        }
+        Ok(vec![StagePlan::fixed(
+            self.root,
+            vec![(layout::SP_KEY, key)],
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,10 +747,7 @@ mod tests {
             let tree = SearchTree::build(&mut ctx, kind, &uniq).unwrap();
             let prog = compile(&SearchTree::lower_bound_spec()).unwrap();
             for probe in [0u64, 1, 57, 500, 999, 1200, u64::MAX] {
-                let want = reference
-                    .range(probe..)
-                    .next()
-                    .map(|(&k, &v)| (k, v));
+                let want = reference.range(probe..).next().map(|(&k, &v)| (k, v));
                 let (got, _) = offloaded_lower_bound(&mut mem, &tree, &prog, probe);
                 assert_eq!(got, want, "{kind:?} lower_bound({probe})");
             }

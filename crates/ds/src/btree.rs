@@ -3,6 +3,7 @@
 
 use crate::bptree::decode_located_leaf;
 use crate::common::{init_state, BuildCtx, DsError};
+use crate::traversal::{StagePlan, Traversal};
 use pulse_dispatch::samples::{btree_layout, btree_search_spec, DEFAULT_BTREE_FANOUT};
 use pulse_dispatch::IterSpec;
 use pulse_isa::{IterState, MemBus, Program};
@@ -80,7 +81,11 @@ impl GoogleBTree {
                 for (i, &child) in group.iter().enumerate() {
                     ctx.put(addr, btree_layout::child(fanout, i as u32) as i64, child)?;
                     if i < nkeys {
-                        ctx.put(addr, btree_layout::key(i as u32) as i64, level_seps[sep_base + i])?;
+                        ctx.put(
+                            addr,
+                            btree_layout::key(i as u32) as i64,
+                            level_seps[sep_base + i],
+                        )?;
                     }
                 }
                 next_addrs.push(addr);
@@ -157,6 +162,26 @@ impl GoogleBTree {
     }
 }
 
+impl Traversal for GoogleBTree {
+    fn name(&self) -> &'static str {
+        "btree::internal_locate"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        vec![Self::locate_spec()]
+    }
+
+    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+        if self.root == 0 {
+            return Err(DsError::Empty);
+        }
+        Ok(vec![StagePlan::fixed(
+            self.root,
+            vec![(btree_layout::SP_KEY, key)],
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,7 +196,7 @@ mod tests {
         let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
         let pairs: Vec<(u64, u64)> = (0..n).map(|k| (k * 3, k * 3 + 7)).collect();
         let reference: BTreeMap<u64, u64> = pairs.iter().copied().collect();
-        let tree = GoogleBTree::build(&mut ctx, &pairs, ).unwrap();
+        let tree = GoogleBTree::build(&mut ctx, &pairs).unwrap();
         (mem, tree, reference)
     }
 

@@ -1,7 +1,15 @@
 //! The Table 1/5 catalogue: the thirteen data structures pulse ports, each
 //! mapped to its shared internal base function — used by the `table5`
-//! bench to validate and print the full matrix.
+//! bench to validate and print the full matrix, and by the runtime
+//! integration tests to drive every port through the same
+//! [`Traversal`]-based submit/poll path.
 
+use crate::bst::{BstKind, SearchTree};
+use crate::btree::GoogleBTree;
+use crate::common::{BuildCtx, DsError};
+use crate::hash::{BimapDs, HashMapDs, HashSetDs};
+use crate::list::{LinkedList, ListKind};
+use crate::traversal::Traversal;
 use pulse_dispatch::IterSpec;
 
 /// Which library a ported structure comes from (Table 1).
@@ -24,6 +32,12 @@ pub enum Category {
     Tree,
 }
 
+/// Constructor signature every catalogue row provides: seed the structure
+/// into disaggregated memory from `(key, value)` pairs and hand back its
+/// [`Traversal`] face. This is the whole integration surface — a new
+/// structure needs a `Traversal` impl and one of these, nothing else.
+pub type BuildFn = fn(&mut BuildCtx<'_>, &[(u64, u64)]) -> Result<Box<dyn Traversal>, DsError>;
+
 /// One catalogue row.
 #[derive(Debug)]
 pub struct PortedStructure {
@@ -35,16 +49,106 @@ pub struct PortedStructure {
     pub category: Category,
     /// The internal base function several APIs share (Table 5).
     pub base_function: &'static str,
-    /// Produces the structure's offloaded iterator spec.
+    /// Produces the structure's offloaded iterator spec (stage 0 — kept for
+    /// the Table 5 shared-program check; [`PortedStructure::build`] is the
+    /// runtime path).
     pub spec: fn() -> IterSpec,
+    /// Builds an instance over `(key, value)` pairs.
+    pub build: BuildFn,
+}
+
+/// Bucket count the hash-family constructors use: small enough that every
+/// probe walks a real chain, large enough to spread across nodes.
+const CATALOG_HASH_BUCKETS: u64 = 16;
+
+fn build_list_doubly(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+    Ok(Box::new(LinkedList::build(ctx, ListKind::Doubly, &keys)?))
+}
+
+fn build_list_singly(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+    Ok(Box::new(LinkedList::build(ctx, ListKind::Singly, &keys)?))
+}
+
+fn build_bst(
+    ctx: &mut BuildCtx<'_>,
+    kind: BstKind,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    Ok(Box::new(SearchTree::build(ctx, kind, pairs)?))
+}
+
+fn build_red_black(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    build_bst(ctx, BstKind::RedBlack, pairs)
+}
+
+fn build_avl(ctx: &mut BuildCtx<'_>, pairs: &[(u64, u64)]) -> Result<Box<dyn Traversal>, DsError> {
+    build_bst(ctx, BstKind::Avl, pairs)
+}
+
+fn build_splay(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    build_bst(ctx, BstKind::Splay, pairs)
+}
+
+fn build_scapegoat(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    build_bst(ctx, BstKind::Scapegoat, pairs)
+}
+
+fn build_hash_map(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    Ok(Box::new(HashMapDs::build(
+        ctx,
+        CATALOG_HASH_BUCKETS,
+        pairs,
+    )?))
+}
+
+fn build_hash_set(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+    Ok(Box::new(HashSetDs::build(
+        ctx,
+        CATALOG_HASH_BUCKETS,
+        &keys,
+    )?))
+}
+
+fn build_bimap(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    Ok(Box::new(BimapDs::build(ctx, CATALOG_HASH_BUCKETS, pairs)?))
+}
+
+fn build_google_btree(
+    ctx: &mut BuildCtx<'_>,
+    pairs: &[(u64, u64)],
+) -> Result<Box<dyn Traversal>, DsError> {
+    Ok(Box::new(GoogleBTree::build(ctx, pairs)?))
 }
 
 /// The thirteen ported structures (Table 1), in the paper's order.
 pub fn catalog() -> Vec<PortedStructure> {
-    use crate::bst::SearchTree;
-    use crate::hash::HashMapDs;
-    use crate::list::LinkedList;
-    use crate::btree::GoogleBTree;
     vec![
         PortedStructure {
             name: "std::list",
@@ -52,6 +156,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::List,
             base_function: "std::find(start, end, value)",
             spec: LinkedList::find_spec,
+            build: build_list_doubly,
         },
         PortedStructure {
             name: "std::forward_list",
@@ -59,6 +164,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::List,
             base_function: "std::find(start, end, value)",
             spec: LinkedList::find_spec,
+            build: build_list_singly,
         },
         PortedStructure {
             name: "std::map",
@@ -66,6 +172,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "_M_lower_bound(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_red_black,
         },
         PortedStructure {
             name: "std::multimap",
@@ -73,6 +180,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "_M_lower_bound(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_red_black,
         },
         PortedStructure {
             name: "std::set",
@@ -80,6 +188,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "_M_lower_bound(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_red_black,
         },
         PortedStructure {
             name: "std::multiset",
@@ -87,6 +196,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "_M_lower_bound(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_red_black,
         },
         PortedStructure {
             name: "boost::bimap",
@@ -94,6 +204,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::List,
             base_function: "find(key, hash)",
             spec: HashMapDs::find_spec,
+            build: build_bimap,
         },
         PortedStructure {
             name: "boost::unordered_map",
@@ -101,6 +212,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::List,
             base_function: "find(key, hash)",
             spec: HashMapDs::find_spec,
+            build: build_hash_map,
         },
         PortedStructure {
             name: "boost::unordered_set",
@@ -108,6 +220,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::List,
             base_function: "find(key, hash)",
             spec: HashMapDs::find_spec,
+            build: build_hash_set,
         },
         PortedStructure {
             name: "boost::avl_set",
@@ -115,6 +228,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "lower_bound_loop(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_avl,
         },
         PortedStructure {
             name: "boost::splay_set",
@@ -122,6 +236,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "lower_bound_loop(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_splay,
         },
         PortedStructure {
             name: "boost::sg_set (scapegoat)",
@@ -129,6 +244,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "lower_bound_loop(x, y, key)",
             spec: SearchTree::lower_bound_spec,
+            build: build_scapegoat,
         },
         PortedStructure {
             name: "google::btree",
@@ -136,6 +252,7 @@ pub fn catalog() -> Vec<PortedStructure> {
             category: Category::Tree,
             base_function: "internal_locate_plain_compare(key, iter)",
             spec: GoogleBTree::locate_spec,
+            build: build_google_btree,
         },
     ]
 }
@@ -144,6 +261,7 @@ pub fn catalog() -> Vec<PortedStructure> {
 mod tests {
     use super::*;
     use pulse_dispatch::{DispatchEngine, OffloadDecision};
+    use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
 
     #[test]
     fn exactly_thirteen_structures() {
@@ -165,6 +283,22 @@ mod tests {
                 s.name,
                 c.analysis.ratio()
             );
+        }
+    }
+
+    #[test]
+    fn every_structure_builds_and_plans_through_the_trait() {
+        let pairs: Vec<(u64, u64)> = (0..40).map(|k| (k, k * 3 + 1)).collect();
+        for s in catalog() {
+            let mut mem = ClusterMemory::new(2);
+            let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 14);
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            let t = (s.build)(&mut ctx, &pairs).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            let stages = t.stages();
+            assert!(!stages.is_empty(), "{}", s.name);
+            let plans = t.plan(7).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(plans.len(), stages.len(), "{}", s.name);
+            assert!(!t.name().is_empty());
         }
     }
 

@@ -67,9 +67,7 @@ impl<'a> BuildCtx<'a> {
 
     /// Writes a u64 field.
     pub fn put(&mut self, addr: u64, off: i64, v: u64) -> Result<(), DsError> {
-        Ok(self
-            .mem
-            .write_word(addr.wrapping_add(off as u64), v, 8)?)
+        Ok(self.mem.write_word(addr.wrapping_add(off as u64), v, 8)?)
     }
 
     /// Reads a u64 field.

@@ -7,6 +7,7 @@
 //! the offloaded program does the rest.
 
 use crate::common::{fnv1a, init_state, BuildCtx, DsError};
+use crate::traversal::{StagePlan, Traversal};
 use pulse_dispatch::samples::{hash_find_spec, hash_layout as layout};
 use pulse_dispatch::IterSpec;
 use pulse_isa::{IterState, MemBus, Program};
@@ -73,8 +74,11 @@ impl HashMapDs {
         partition_nodes: Option<usize>,
     ) -> Result<Self, DsError> {
         assert!(buckets > 0, "need at least one bucket");
-        let bucket_nodes = partition_nodes
-            .map(|n| (0..buckets).map(|b| (b as usize) % n.max(1)).collect::<Vec<_>>());
+        let bucket_nodes = partition_nodes.map(|n| {
+            (0..buckets)
+                .map(|b| (b as usize) % n.max(1))
+                .collect::<Vec<_>>()
+        });
         let mut bucket_addrs = Vec::with_capacity(buckets as usize);
         for b in 0..buckets as usize {
             let a = match &bucket_nodes {
@@ -138,7 +142,9 @@ impl HashMapDs {
 
     /// The home memory node of `key`'s bucket, when partitioned.
     pub fn bucket_node(&self, key: u64) -> Option<usize> {
-        self.bucket_nodes.as_ref().map(|n| n[self.bucket_index(key)])
+        self.bucket_nodes
+            .as_ref()
+            .map(|n| n[self.bucket_index(key)])
     }
 
     /// Number of entries.
@@ -188,6 +194,23 @@ impl HashMapDs {
     }
 }
 
+impl Traversal for HashMapDs {
+    fn name(&self) -> &'static str {
+        "hash::find"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        vec![Self::find_spec()]
+    }
+
+    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+        Ok(vec![StagePlan::fixed(
+            self.bucket_addr(key),
+            vec![(layout::SP_KEY, key)],
+        )])
+    }
+}
+
 /// `boost::unordered_set`: a [`HashMapDs`] whose value is the key itself.
 #[derive(Debug)]
 pub struct HashSetDs {
@@ -215,6 +238,20 @@ impl HashSetDs {
     /// `init()` for a membership probe.
     pub fn init_contains(&self, program: &Program, key: u64) -> IterState {
         self.inner.init_find(program, key)
+    }
+}
+
+impl Traversal for HashSetDs {
+    fn name(&self) -> &'static str {
+        "hash_set::contains"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        self.inner.stages()
+    }
+
+    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+        self.inner.plan(key)
     }
 }
 
@@ -266,6 +303,22 @@ impl BimapDs {
     }
 }
 
+impl Traversal for BimapDs {
+    fn name(&self) -> &'static str {
+        "bimap::find"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        self.forward.stages()
+    }
+
+    /// Plans a left→right lookup (the forward index; the backward index is
+    /// the same compiled program over its own buckets).
+    fn plan(&self, left: u64) -> Result<Vec<StagePlan>, DsError> {
+        self.forward.plan(left)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,10 +326,7 @@ mod tests {
     use pulse_isa::Interpreter;
     use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
 
-    fn setup(
-        buckets: u64,
-        pairs: &[(u64, u64)],
-    ) -> (ClusterMemory, HashMapDs, pulse_isa::Program) {
+    fn setup(buckets: u64, pairs: &[(u64, u64)]) -> (ClusterMemory, HashMapDs, pulse_isa::Program) {
         let mut mem = ClusterMemory::new(4);
         let mut alloc = ClusterAllocator::new(Placement::Striped, 4096);
         let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
@@ -386,11 +436,15 @@ mod tests {
         let mut interp = Interpreter::new();
         // left -> right
         let mut st = bimap.init_find_left(&prog, 42);
-        interp.run_traversal(&prog, &mut st, &mut mem, 4096).unwrap();
+        interp
+            .run_traversal(&prog, &mut st, &mut mem, 4096)
+            .unwrap();
         assert_eq!(st.scratch_u64(layout::SP_RESULT as usize), 1042);
         // right -> left
         let mut st = bimap.init_find_right(&prog, 1042);
-        interp.run_traversal(&prog, &mut st, &mut mem, 4096).unwrap();
+        interp
+            .run_traversal(&prog, &mut st, &mut mem, 4096)
+            .unwrap();
         assert_eq!(st.scratch_u64(layout::SP_RESULT as usize), 42);
         assert_eq!(bimap.forward().len(), 100);
         assert_eq!(bimap.backward().len(), 100);

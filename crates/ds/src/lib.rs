@@ -48,11 +48,13 @@ mod catalog;
 mod common;
 mod hash;
 mod list;
+mod traversal;
 
 pub use bptree::{decode_located_leaf, wt_layout, BtrdbTree, TreePlacement, WiredTigerTree};
 pub use bst::{layout as bst_layout, BstKind, SearchTree};
 pub use btree::{leaf_layout as btree_leaf_layout, GoogleBTree};
-pub use catalog::{catalog, Category, Library, PortedStructure};
+pub use catalog::{catalog, BuildFn, Category, Library, PortedStructure};
 pub use common::{fnv1a, init_state, BuildCtx, DsError};
 pub use hash::{BimapDs, HashMapDs, HashSetDs, SENTINEL_KEY};
 pub use list::{LinkedList, ListKind};
+pub use traversal::{StagePlan, StageStart, Traversal};

@@ -3,6 +3,7 @@
 //! (Table 5, Listings 4–5).
 
 use crate::common::{init_state, BuildCtx, DsError};
+use crate::traversal::{StagePlan, Traversal};
 use pulse_dispatch::samples::hash_layout as layout;
 use pulse_dispatch::{CondExpr, Expr, IterSpec, Stmt};
 use pulse_isa::{Cond, IterState, Program, Width};
@@ -135,6 +136,26 @@ impl LinkedList {
     }
 }
 
+impl Traversal for LinkedList {
+    fn name(&self) -> &'static str {
+        "list::find"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        vec![Self::find_spec()]
+    }
+
+    fn plan(&self, value: u64) -> Result<Vec<StagePlan>, DsError> {
+        if self.head == 0 {
+            return Err(DsError::Empty);
+        }
+        Ok(vec![StagePlan::fixed(
+            self.head,
+            vec![(layout::SP_KEY, value)],
+        )])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +216,9 @@ mod tests {
         // Walk forward collecting addrs, then verify prev links.
         let mut addrs = vec![list.head()];
         loop {
-            let next = ctx.get(*addrs.last().unwrap(), layout::NEXT as i64).unwrap();
+            let next = ctx
+                .get(*addrs.last().unwrap(), layout::NEXT as i64)
+                .unwrap();
             if next == 0 {
                 break;
             }

@@ -485,7 +485,10 @@ mod tests {
         let p = sample_program();
         let mut bytes = encode_program(&p).to_vec();
         bytes[0] = 99;
-        assert_eq!(decode_program(&bytes).unwrap_err(), DecodeError::BadVersion(99));
+        assert_eq!(
+            decode_program(&bytes).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
     }
 
     #[test]
@@ -502,7 +505,10 @@ mod tests {
         let mut bytes = encode_program(&p).to_vec();
         // First instruction's opcode byte is at offset 13.
         bytes[13] = 0xEE;
-        assert_eq!(decode_program(&bytes).unwrap_err(), DecodeError::BadOpcode(0xEE));
+        assert_eq!(
+            decode_program(&bytes).unwrap_err(),
+            DecodeError::BadOpcode(0xEE)
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ pub enum Instruction {
 impl Instruction {
     /// Whether this instruction ends an iteration (terminal class of Table 2).
     pub fn is_terminal(&self) -> bool {
-        matches!(self, Instruction::NextIter { .. } | Instruction::Return { .. })
+        matches!(
+            self,
+            Instruction::NextIter { .. } | Instruction::Return { .. }
+        )
     }
 }
 
@@ -126,12 +129,9 @@ impl fmt::Display for Instruction {
                 src,
                 width,
             } => write!(f, "store.{width} [{base}{off:+}], {src}"),
-            Instruction::CmpJump {
-                cond,
-                a,
-                b,
-                target,
-            } => write!(f, "cmp.j{cond} {a}, {b} -> @{target}"),
+            Instruction::CmpJump { cond, a, b, target } => {
+                write!(f, "cmp.j{cond} {a}, {b} -> @{target}")
+            }
             Instruction::Jump { target } => write!(f, "jump @{target}"),
             Instruction::NextIter { next } => write!(f, "next_iter {next}"),
             Instruction::Return { code } => write!(f, "return {code}"),
@@ -217,16 +217,25 @@ impl fmt::Display for ProgramError {
                 write!(f, "last instruction must be next_iter or return")
             }
             ProgramError::BackwardJump { pc, target } => {
-                write!(f, "backward jump at @{pc} to @{target} (forward jumps only)")
+                write!(
+                    f,
+                    "backward jump at @{pc} to @{target} (forward jumps only)"
+                )
             }
             ProgramError::JumpOutOfRange { pc, target } => {
                 write!(f, "jump at @{pc} to @{target} is out of range")
             }
             ProgramError::ScratchOutOfRange { pc, end } => {
-                write!(f, "scratchpad access at @{pc} ends at byte {end}, past limit")
+                write!(
+                    f,
+                    "scratchpad access at @{pc} ends at byte {end}, past limit"
+                )
             }
             ProgramError::NodeOutOfRange { pc, end } => {
-                write!(f, "node-buffer access at @{pc} ends at byte {end}, past window")
+                write!(
+                    f,
+                    "node-buffer access at @{pc} ends at byte {end}, past window"
+                )
             }
         }
     }

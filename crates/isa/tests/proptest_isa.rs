@@ -1,189 +1,215 @@
-//! Property-based tests for the PULSE ISA: arbitrary *valid* programs must
+//! Property-style tests for the PULSE ISA: arbitrary *valid* programs must
 //! encode/decode losslessly, and the interpreter must never panic or loop —
 //! the whole point of the forward-jump-only validator.
+//!
+//! The container image has no network access to crates.io, so instead of
+//! the `proptest` crate these run the same properties over many
+//! deterministic SplitMix64-generated cases.
 
-use proptest::prelude::*;
 use pulse_isa::{
     decode_program, encode_program, AluOp, Cond, Instruction, Interpreter, IterState, NodeWindow,
     Operand, Place, Program, Reg, VecMem, Width,
 };
+use pulse_sim::SplitMix64;
 
 const WINDOW: u32 = 64;
 const SCRATCH: u16 = 64;
+const CASES: usize = 256;
 
-fn width_strategy() -> impl Strategy<Value = Width> {
-    prop_oneof![
-        Just(Width::B1),
-        Just(Width::B2),
-        Just(Width::B4),
-        Just(Width::B8),
-    ]
+fn width(rng: &mut SplitMix64) -> Width {
+    [Width::B1, Width::B2, Width::B4, Width::B8][rng.next_below(4) as usize]
 }
 
-fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        any::<i64>().prop_map(Operand::Imm),
-        (0u8..16).prop_map(|r| Operand::Reg(Reg::new(r))),
-        Just(Operand::CurPtr),
-        (width_strategy(), 0u32..SCRATCH as u32).prop_map(|(w, off)| {
-            let off = off.min(SCRATCH as u32 - w.bytes()) as u16;
-            Operand::Sp { off, width: w }
-        }),
-        (width_strategy(), 0u32..WINDOW).prop_map(|(w, off)| {
-            let off = off.min(WINDOW - w.bytes()) as u16;
-            Operand::Node { off, width: w }
-        }),
-    ]
+fn operand(rng: &mut SplitMix64) -> Operand {
+    match rng.next_below(5) {
+        0 => Operand::Imm(rng.next_u64() as i64),
+        1 => Operand::Reg(Reg::new(rng.next_below(16) as u8)),
+        2 => Operand::CurPtr,
+        3 => {
+            let w = width(rng);
+            let off = rng.next_below(SCRATCH as u64) as u32;
+            Operand::Sp {
+                off: off.min(SCRATCH as u32 - w.bytes()) as u16,
+                width: w,
+            }
+        }
+        _ => {
+            let w = width(rng);
+            let off = rng.next_below(WINDOW as u64) as u32;
+            Operand::Node {
+                off: off.min(WINDOW - w.bytes()) as u16,
+                width: w,
+            }
+        }
+    }
 }
 
-fn place_strategy() -> impl Strategy<Value = Place> {
-    prop_oneof![
-        (0u8..16).prop_map(|r| Place::Reg(Reg::new(r))),
-        (width_strategy(), 0u32..SCRATCH as u32).prop_map(|(w, off)| {
-            let off = off.min(SCRATCH as u32 - w.bytes()) as u16;
-            Place::Sp { off, width: w }
-        }),
-    ]
+fn place(rng: &mut SplitMix64) -> Place {
+    if rng.chance(0.5) {
+        Place::Reg(Reg::new(rng.next_below(16) as u8))
+    } else {
+        let w = width(rng);
+        let off = rng.next_below(SCRATCH as u64) as u32;
+        Place::Sp {
+            off: off.min(SCRATCH as u32 - w.bytes()) as u16,
+            width: w,
+        }
+    }
 }
 
-fn alu_strategy() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-    ]
+fn alu(rng: &mut SplitMix64) -> AluOp {
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::And,
+        AluOp::Or,
+    ][rng.next_below(6) as usize]
 }
 
-fn cond_strategy() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::LtU),
-        Just(Cond::LeU),
-        Just(Cond::GtU),
-        Just(Cond::GeU),
-        Just(Cond::LtS),
-        Just(Cond::LeS),
-        Just(Cond::GtS),
-        Just(Cond::GeS),
-    ]
+fn cond(rng: &mut SplitMix64) -> Cond {
+    [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::LtU,
+        Cond::LeU,
+        Cond::GtU,
+        Cond::GeU,
+        Cond::LtS,
+        Cond::LeS,
+        Cond::GtS,
+        Cond::GeS,
+    ][rng.next_below(10) as usize]
 }
 
 /// A non-terminal, non-jump instruction. Loads/stores are confined to the
 /// window so that execution can't fault (fault-freedom lets the interpreter
 /// properties focus on termination and state size).
-fn body_insn_strategy() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (alu_strategy(), place_strategy(), operand_strategy(), operand_strategy())
-            .prop_map(|(op, dst, a, b)| Instruction::Alu { op, dst, a, b }),
-        (place_strategy(), operand_strategy()).prop_map(|(dst, a)| Instruction::Not { dst, a }),
-        (place_strategy(), operand_strategy())
-            .prop_map(|(dst, src)| Instruction::Move { dst, src }),
-    ]
+fn body_insn(rng: &mut SplitMix64) -> Instruction {
+    match rng.next_below(3) {
+        0 => Instruction::Alu {
+            op: alu(rng),
+            dst: place(rng),
+            a: operand(rng),
+            b: operand(rng),
+        },
+        1 => Instruction::Not {
+            dst: place(rng),
+            a: operand(rng),
+        },
+        _ => Instruction::Move {
+            dst: place(rng),
+            src: operand(rng),
+        },
+    }
 }
 
 /// Generates a valid program: body instructions with forward jumps patched
-/// in, ending in Return.
-fn program_strategy() -> impl Strategy<Value = Program> {
-    (1usize..24)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(body_insn_strategy(), n),
-                proptest::collection::vec((cond_strategy(), operand_strategy(), operand_strategy(), any::<u32>()), 0..4),
-            )
-        })
-        .prop_map(|(mut body, jumps)| {
-            // Splice conditional forward jumps at deterministic positions.
-            for (i, (cond, a, b, seed)) in jumps.into_iter().enumerate() {
-                let pos = (seed as usize) % body.len();
-                let len_after = body.len() + 1; // +1 for the return appended below
-                let target = pos + 1 + (seed as usize % (len_after - pos));
-                let target = target.min(len_after) as u32;
-                let _ = i;
-                body.insert(
-                    pos,
-                    Instruction::CmpJump {
-                        cond,
-                        a,
-                        b,
-                        target: target + 1, // account for this insertion
-                    },
-                );
-            }
-            body.push(Instruction::Return {
-                code: Operand::Imm(0),
-            });
-            (body, ())
-        })
-        .prop_filter_map("valid program", |(insns, _)| {
-            Program::new("prop", NodeWindow::from_start(WINDOW), insns, SCRATCH).ok()
-        })
+/// in, ending in Return. Retries until the validator accepts (a handful of
+/// random jump placements can be rejected).
+fn program(rng: &mut SplitMix64) -> Program {
+    loop {
+        let n = 1 + rng.next_below(23) as usize;
+        let mut body: Vec<Instruction> = (0..n).map(|_| body_insn(rng)).collect();
+        let jumps = rng.next_below(4);
+        for _ in 0..jumps {
+            let seed = rng.next_u64() as u32;
+            let pos = (seed as usize) % body.len();
+            let len_after = body.len() + 1; // +1 for the return appended below
+            let target = pos + 1 + (seed as usize % (len_after - pos));
+            let target = target.min(len_after) as u32;
+            body.insert(
+                pos,
+                Instruction::CmpJump {
+                    cond: cond(rng),
+                    a: operand(rng),
+                    b: operand(rng),
+                    target: target + 1, // account for this insertion
+                },
+            );
+        }
+        body.push(Instruction::Return {
+            code: Operand::Imm(0),
+        });
+        if let Ok(p) = Program::new("prop", NodeWindow::from_start(WINDOW), body, SCRATCH) {
+            return p;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn encode_decode_roundtrip(prog in program_strategy()) {
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SplitMix64::new(0x150_0001);
+    for case in 0..CASES {
+        let prog = program(&mut rng);
         let bytes = encode_program(&prog);
         let back = decode_program(&bytes).expect("decodes");
-        prop_assert_eq!(prog.insns(), back.insns());
-        prop_assert_eq!(prog.window(), back.window());
-        prop_assert_eq!(prog.scratch_len(), back.scratch_len());
+        assert_eq!(prog.insns(), back.insns(), "case {case}");
+        assert_eq!(prog.window(), back.window(), "case {case}");
+        assert_eq!(prog.scratch_len(), back.scratch_len(), "case {case}");
     }
+}
 
-    #[test]
-    fn interpreter_terminates_within_len(prog in program_strategy(), ptr in 0u64..512) {
+#[test]
+fn interpreter_terminates_within_len() {
+    let mut rng = SplitMix64::new(0x150_0002);
+    for case in 0..CASES {
+        let prog = program(&mut rng);
+        let ptr = rng.next_below(512);
         let mut mem = VecMem::new(0, 1024);
         let mut st = IterState::new(&prog, ptr);
         let mut interp = Interpreter::new();
         // Division may fault; anything else must produce a bounded trace.
         if let Ok(trace) = interp.run_iteration(&prog, &mut st, &mut mem) {
-            prop_assert!(trace.insns_executed as usize <= prog.len());
-            prop_assert!(st.scratch.len() == SCRATCH as usize);
+            assert!(trace.insns_executed as usize <= prog.len(), "case {case}");
+            assert!(st.scratch.len() == SCRATCH as usize, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoder_never_panics_on_noise() {
+    let mut rng = SplitMix64::new(0x150_0003);
+    for _ in 0..CASES {
+        let len = rng.next_below(256) as usize;
+        let noise: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = decode_program(&noise); // must return Err, not panic
     }
+}
 
-    #[test]
-    fn cond_total_order_consistency(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn cond_total_order_consistency() {
+    let mut rng = SplitMix64::new(0x150_0004);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         // Trichotomy of the unsigned comparisons.
         let lt = Cond::LtU.eval(a, b);
         let eq = Cond::Eq.eval(a, b);
         let gt = Cond::GtU.eval(a, b);
-        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
+        assert_eq!(lt as u8 + eq as u8 + gt as u8, 1);
         // Le == Lt || Eq, signed and unsigned.
-        prop_assert_eq!(Cond::LeU.eval(a, b), lt || eq);
-        prop_assert_eq!(Cond::LeS.eval(a, b), Cond::LtS.eval(a, b) || eq);
+        assert_eq!(Cond::LeU.eval(a, b), lt || eq);
+        assert_eq!(Cond::LeS.eval(a, b), Cond::LtS.eval(a, b) || eq);
+        // Equal operands compare equal (the generator rarely draws them).
+        assert!(Cond::Eq.eval(a, a) && Cond::LeU.eval(a, a) && Cond::GeS.eval(a, a));
     }
+}
 
-    #[test]
-    fn corrupted_encoding_never_yields_invalid_program(
-        prog in program_strategy(),
-        flip_at in any::<u16>(),
-        flip_bits in 1u8..=255,
-    ) {
+#[test]
+fn corrupted_encoding_never_yields_invalid_program() {
+    let mut rng = SplitMix64::new(0x150_0005);
+    for case in 0..CASES {
+        let prog = program(&mut rng);
         let mut bytes = encode_program(&prog).to_vec();
-        let idx = flip_at as usize % bytes.len();
-        bytes[idx] ^= flip_bits;
+        let idx = rng.next_below(bytes.len() as u64) as usize;
+        let flip = 1 + rng.next_below(255) as u8;
+        bytes[idx] ^= flip;
         // Either it fails to decode, or it decodes to a *valid* program —
         // the decoder must never hand the accelerator unvalidated code.
         if let Ok(p) = decode_program(&bytes) {
-            // Re-validating through the constructor must succeed.
-            let revalidated = Program::new(
-                "x",
-                p.window(),
-                p.insns().to_vec(),
-                p.scratch_len(),
-            );
-            prop_assert!(revalidated.is_ok());
+            let revalidated = Program::new("x", p.window(), p.insns().to_vec(), p.scratch_len());
+            assert!(revalidated.is_ok(), "case {case}");
         }
     }
 }

@@ -73,7 +73,10 @@ impl ClusterAllocator {
     ///
     /// Panics if `granularity` is zero or not 8-byte aligned.
     pub fn new(placement: Placement, granularity: u64) -> Self {
-        assert!(granularity > 0 && granularity % 8 == 0, "bad granularity");
+        assert!(
+            granularity > 0 && granularity.is_multiple_of(8),
+            "bad granularity"
+        );
         let seed = match placement {
             Placement::Random { seed } => seed,
             _ => 0,

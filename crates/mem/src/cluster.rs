@@ -111,7 +111,8 @@ impl ClusterMemory {
         if idx < self.extents.len() && self.extents[idx].start < start + len {
             return Err(MemError::Overlap { start });
         }
-        self.extents.insert(idx, Extent::new(start, len, node, perms));
+        self.extents
+            .insert(idx, Extent::new(start, len, node, perms));
         Ok(())
     }
 
@@ -204,12 +205,7 @@ impl ClusterMemory {
         Ok(&mut self.extents[i])
     }
 
-    fn do_read(
-        &mut self,
-        addr: u64,
-        buf: &mut [u8],
-        node: Option<NodeId>,
-    ) -> Result<(), MemFault> {
+    fn do_read(&mut self, addr: u64, buf: &mut [u8], node: Option<NodeId>) -> Result<(), MemFault> {
         let len = buf.len();
         let e = self.access(addr, len, false, node)?;
         let off = (addr - e.start) as usize;

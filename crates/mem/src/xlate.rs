@@ -112,7 +112,10 @@ impl RangeTable {
     /// # Errors
     ///
     /// Same as [`RangeTable::build`].
-    pub fn build_rw(capacity: usize, ranges: &[(u64, u64)]) -> Result<RangeTable, CapacityExceeded> {
+    pub fn build_rw(
+        capacity: usize,
+        ranges: &[(u64, u64)],
+    ) -> Result<RangeTable, CapacityExceeded> {
         let triples: Vec<(u64, u64, Perms)> =
             ranges.iter().map(|&(s, e)| (s, e, Perms::RW)).collect();
         RangeTable::build(capacity, &triples)
@@ -241,7 +244,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.entries().len(), 2);
-        assert_eq!(t.entries()[0], RangeEntry { start: 0x1000, end: 0x4000, perms: Perms::RW });
+        assert_eq!(
+            t.entries()[0],
+            RangeEntry {
+                start: 0x1000,
+                end: 0x4000,
+                perms: Perms::RW
+            }
+        );
     }
 
     #[test]
@@ -265,17 +275,19 @@ mod tests {
             &[(0x1000, 0x2000, Perms::RW), (0x3000, 0x4000, Perms::RW)],
         )
         .unwrap_err();
-        assert_eq!(err, CapacityExceeded { required: 2, capacity: 1 });
+        assert_eq!(
+            err,
+            CapacityExceeded {
+                required: 2,
+                capacity: 1
+            }
+        );
         assert!(!err.to_string().is_empty());
     }
 
     #[test]
     fn translate_faults() {
-        let mut t = RangeTable::build(
-            4,
-            &[(0x1000, 0x2000, Perms::READ)],
-        )
-        .unwrap();
+        let mut t = RangeTable::build(4, &[(0x1000, 0x2000, Perms::READ)]).unwrap();
         assert!(t.translate(0x1800, 8, false).is_ok());
         assert_eq!(
             t.translate(0x0800, 8, false),
@@ -307,11 +319,7 @@ mod tests {
 
     #[test]
     fn global_map_merges_per_node() {
-        let g = GlobalRangeMap::new(&[
-            (0x0, 0x1000, 0),
-            (0x1000, 0x2000, 0),
-            (0x2000, 0x3000, 1),
-        ]);
+        let g = GlobalRangeMap::new(&[(0x0, 0x1000, 0), (0x1000, 0x2000, 0), (0x2000, 0x3000, 1)]);
         assert_eq!(g.len(), 2);
         assert_eq!(g.lookup(0x1fff), Some(0));
         assert_eq!(g.lookup(0x2000), Some(1));

@@ -261,9 +261,19 @@ mod tests {
         })
         .is_response());
         let id = RequestId { cpu: 0, seq: 0 };
-        assert!(!Packet::Read { id, addr: 0, len: 8 }.is_response());
+        assert!(!Packet::Read {
+            id,
+            addr: 0,
+            len: 8
+        }
+        .is_response());
         assert!(Packet::ReadReply { id, len: 8 }.is_response());
-        assert!(!Packet::Write { id, addr: 0, len: 8 }.is_response());
+        assert!(!Packet::Write {
+            id,
+            addr: 0,
+            len: 8
+        }
+        .is_response());
         assert!(Packet::WriteAck { id }.is_response());
     }
 

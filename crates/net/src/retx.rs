@@ -193,7 +193,10 @@ mod tests {
         let mut rt = RetxTracker::new(SimTime::from_micros(10), 3);
         rt.on_send(id(1), SimTime::ZERO);
         rt.on_send(id(1), SimTime::from_micros(8)); // app-level resend
-        assert!(rt.due(SimTime::from_micros(12)).is_empty(), "timer re-armed");
+        assert!(
+            rt.due(SimTime::from_micros(12)).is_empty(),
+            "timer re-armed"
+        );
         assert_eq!(rt.due(SimTime::from_micros(18)), vec![id(1)]);
     }
 }

@@ -231,11 +231,19 @@ mod tests {
         let sw = Switch::new(SwitchConfig::default(), table());
         let id = RequestId { cpu: 0, seq: 9 };
         assert_eq!(
-            sw.route(&Packet::Read { id, addr: 0x1100, len: 8 }),
+            sw.route(&Packet::Read {
+                id,
+                addr: 0x1100,
+                len: 8
+            }),
             Route::To(Endpoint::Mem(0))
         );
         assert_eq!(
-            sw.route(&Packet::Write { id, addr: 0x2100, len: 8 }),
+            sw.route(&Packet::Write {
+                id,
+                addr: 0x2100,
+                len: 8
+            }),
             Route::To(Endpoint::Mem(1))
         );
         assert_eq!(
@@ -254,8 +262,8 @@ mod tests {
         let pkt = iter_pkt(0x1800, IterStatus::InFlight);
         let t0 = SimTime::ZERO;
         let out = sw.forward(t0, &pkt, Endpoint::Mem(0));
-        let expect = SimTime::from_nanos(600)
-            + SimTime::serialization(pkt.wire_bytes(), 100_000_000_000);
+        let expect =
+            SimTime::from_nanos(600) + SimTime::serialization(pkt.wire_bytes(), 100_000_000_000);
         assert_eq!(out, expect);
         assert_eq!(sw.forwarded(), 1);
         assert_eq!(sw.iter_forwards(), 1);

@@ -8,11 +8,9 @@
 //! exercised by property tests; [`Packet::wire_bytes`] and
 //! [`encode_packet`]'s output length agree by construction.
 
-use crate::packet::{
-    CodeBlob, IterPacket, IterStatus, Packet, RequestId, FRAME_HEADER_BYTES,
-};
 #[cfg(test)]
 use crate::packet::PULSE_HEADER_BYTES;
+use crate::packet::{CodeBlob, IterPacket, IterStatus, Packet, RequestId, FRAME_HEADER_BYTES};
 use bytes::{Buf, BufMut, BytesMut};
 use pulse_isa::{decode_program, encode_program, IterState, MemFault};
 use std::fmt;
@@ -83,7 +81,7 @@ pub fn encode_packet(pkt: &Packet) -> Vec<u8> {
             buf.put_u32_le(p.state.iters_done);
             buf.put_u32_le(p.piggyback_bytes);
             buf.put_u32_le(0); // reserved
-            // Payload: scratch len + scratch + status aux + code.
+                               // Payload: scratch len + scratch + status aux + code.
             buf.put_u64_le(p.state.scratch.len() as u64);
             buf.put_slice(&p.state.scratch);
             buf.put_u64_le(aux);
@@ -191,8 +189,8 @@ pub fn decode_packet(bytes: &[u8]) -> Result<Packet, WireError> {
                 return Err(WireError::Truncated);
             }
             let code_bytes = &rest[..rest.len() - piggyback as usize];
-            let program = decode_program(code_bytes)
-                .map_err(|e| WireError::BadProgram(e.to_string()))?;
+            let program =
+                decode_program(code_bytes).map_err(|e| WireError::BadProgram(e.to_string()))?;
             let status = match status {
                 ST_INFLIGHT => IterStatus::InFlight,
                 ST_DONE => IterStatus::Done { code: aux64 },
@@ -320,9 +318,17 @@ mod tests {
     fn plain_packets_roundtrip() {
         let id = RequestId { cpu: 7, seq: 42 };
         for pkt in [
-            Packet::Read { id, addr: 0xF00, len: 8 },
+            Packet::Read {
+                id,
+                addr: 0xF00,
+                len: 8,
+            },
             Packet::ReadReply { id, len: 512 },
-            Packet::Write { id, addr: 0xBAA, len: 248 },
+            Packet::Write {
+                id,
+                addr: 0xBAA,
+                len: 248,
+            },
             Packet::WriteAck { id },
         ] {
             let back = decode_packet(&encode_packet(&pkt)).unwrap();

@@ -151,7 +151,11 @@ impl<E> Driver<E> {
     /// Panics if `at` is in the past — hardware cannot send signals backwards
     /// in time, and allowing it would silently corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at, payload);
     }
 

@@ -242,7 +242,9 @@ mod tests {
     fn pool_spreads_then_queues() {
         let mut p = ServerPool::new(3);
         let svc = SimTime::from_nanos(10);
-        let servers: Vec<usize> = (0..6).map(|_| p.acquire(SimTime::ZERO, svc).server).collect();
+        let servers: Vec<usize> = (0..6)
+            .map(|_| p.acquire(SimTime::ZERO, svc).server)
+            .collect();
         // First three land on distinct servers; the rest reuse them.
         let mut first: Vec<usize> = servers[..3].to_vec();
         first.sort_unstable();

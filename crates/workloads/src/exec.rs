@@ -6,9 +6,50 @@
 //! swap-cache baseline (which replays the access trace against its page
 //! cache), and the Fig. 2(b)/(c) distributed-traversal analysis.
 
-use crate::request::{AddrSource, AppRequest, AppResponse};
+use crate::request::{AddrSource, AppRequest, AppResponse, RequestError};
 use pulse_isa::{Fault, Interpreter, IterOutcome, IterState};
 use pulse_mem::ClusterMemory;
+use std::fmt;
+
+/// Why a functional execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The request's stage wiring is malformed (see [`RequestError`]).
+    Request(RequestError),
+    /// The interpreter faulted mid-traversal (broken structure or wild
+    /// pointer — the global view never sees `NotMapped` for valid ones).
+    Fault(Fault),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Request(e) => write!(f, "malformed request: {e}"),
+            ExecError::Fault(e) => write!(f, "traversal fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Request(e) => Some(e),
+            ExecError::Fault(e) => Some(e),
+        }
+    }
+}
+
+impl From<RequestError> for ExecError {
+    fn from(e: RequestError) -> Self {
+        ExecError::Request(e)
+    }
+}
+
+impl From<Fault> for ExecError {
+    fn from(e: Fault) -> Self {
+        ExecError::Fault(e)
+    }
+}
 
 /// One recorded memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,13 +81,14 @@ pub struct FunctionalRun {
 ///
 /// # Errors
 ///
-/// Propagates interpreter faults (which indicate a broken structure — the
-/// global view never sees `NotMapped` for valid pointers).
+/// [`ExecError::Request`] on malformed stage wiring, [`ExecError::Fault`]
+/// on interpreter faults (which indicate a broken structure — the global
+/// view never sees `NotMapped` for valid pointers).
 pub fn execute_functional(
     mem: &mut ClusterMemory,
     req: &AppRequest,
     max_iters_per_stage: u32,
-) -> Result<FunctionalRun, Fault> {
+) -> Result<FunctionalRun, ExecError> {
     let mut interp = Interpreter::new();
     let mut accesses = Vec::new();
     let mut iterations = 0u64;
@@ -55,7 +97,7 @@ pub fn execute_functional(
     let mut prev_owner: Option<usize> = None;
 
     for stage in &req.traversals {
-        let mut state = stage.init_state(prev_state.as_ref());
+        let mut state = stage.init_state(prev_state.as_ref())?;
         let window = stage.program.window();
         loop {
             let addr = state.cur_ptr.wrapping_add(window.off as i64 as u64);
@@ -94,7 +136,7 @@ pub fn execute_functional(
             AddrSource::Fixed(a) => a,
             AddrSource::FromScratch(off) => prev_state
                 .as_ref()
-                .expect("object address from a traversal result")
+                .ok_or(RequestError::DanglingObjectAddress)?
                 .scratch_u64(off as usize),
         };
         accesses.push(Access {

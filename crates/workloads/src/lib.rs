@@ -48,8 +48,10 @@ pub use apps::{
     Application, Btrdb, BtrdbConfig, WebService, WebServiceConfig, WiredTiger, WiredTigerConfig,
     WEBSERVICE_CPU_WORK, WT_ENTRY_BYTES,
 };
-pub use exec::{execute_functional, Access, FunctionalRun};
-pub use request::{AddrSource, AppRequest, AppResponse, ObjectIo, StartPtr, TraversalStage};
+pub use exec::{execute_functional, Access, ExecError, FunctionalRun};
+pub use request::{
+    AddrSource, AppRequest, AppResponse, ObjectIo, RequestError, StartPtr, TraversalStage,
+};
 pub use upmu::{generate as upmu_generate, Channel, SAMPLE_INTERVAL_NS, UPMU_RATE_HZ};
 pub use ycsb::{OpKind, YcsbWorkload};
 pub use zipf::{Distribution, KeyChooser, UniformChooser, ZipfianChooser, YCSB_ZIPFIAN_THETA};

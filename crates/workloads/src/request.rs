@@ -10,7 +10,45 @@
 
 use pulse_isa::{IterState, Program};
 use pulse_sim::SimTime;
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a request (or one of its stages) is malformed.
+///
+/// Surfaced through `pulse::Error` at the runtime boundary; the engines
+/// treat a request that trips one of these mid-flight as faulted rather
+/// than panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// A stage starts from a previous traversal's scratchpad
+    /// ([`StartPtr::FromPrevScratch`]) but no previous stage state exists.
+    MissingPrevState,
+    /// Object I/O reads its address from a traversal's scratchpad
+    /// ([`AddrSource::FromScratch`]) but the request has no traversal
+    /// stages to produce one.
+    DanglingObjectAddress,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::MissingPrevState => {
+                write!(
+                    f,
+                    "stage chains off a previous traversal but none precedes it"
+                )
+            }
+            RequestError::DanglingObjectAddress => {
+                write!(
+                    f,
+                    "object I/O address comes from a scratchpad no stage produces"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// Where a traversal stage starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,21 +75,22 @@ impl TraversalStage {
     /// Builds the stage's initial [`IterState`] given the previous stage's
     /// final scratchpad (if any).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the stage needs a previous scratchpad and none is given.
-    pub fn init_state(&self, prev_scratch: Option<&IterState>) -> IterState {
+    /// [`RequestError::MissingPrevState`] if the stage needs a previous
+    /// scratchpad and none is given.
+    pub fn init_state(&self, prev_scratch: Option<&IterState>) -> Result<IterState, RequestError> {
         let cur_ptr = match self.start {
             StartPtr::Fixed(p) => p,
             StartPtr::FromPrevScratch(off) => prev_scratch
-                .expect("stage chained off a previous traversal")
+                .ok_or(RequestError::MissingPrevState)?
                 .scratch_u64(off as usize),
         };
         let mut st = IterState::new(&self.program, cur_ptr);
         for &(off, v) in &self.scratch_init {
             st.set_scratch_u64(off as usize, v);
         }
-        st
+        Ok(st)
     }
 }
 
@@ -106,6 +145,29 @@ impl AppRequest {
     pub fn is_empty(&self) -> bool {
         self.traversals.is_empty() && self.object_io.is_none()
     }
+
+    /// Checks the request's stage wiring without executing anything: every
+    /// chained start pointer and scratch-sourced object address must have a
+    /// producing stage before it. Runtimes call this at submit time so
+    /// malformed requests are rejected with a typed error instead of
+    /// faulting mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// The first [`RequestError`] found, scanning stages in order.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        if let Some(first) = self.traversals.first() {
+            if matches!(first.start, StartPtr::FromPrevScratch(_)) {
+                return Err(RequestError::MissingPrevState);
+            }
+        }
+        if let Some(io) = self.object_io {
+            if matches!(io.addr, AddrSource::FromScratch(_)) && self.traversals.is_empty() {
+                return Err(RequestError::DanglingObjectAddress);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// What a completed request reports back (used by verification and by the
@@ -146,7 +208,8 @@ mod tests {
             start: StartPtr::Fixed(0x1000),
             scratch_init: vec![(0, 42), (8, 7)],
         }
-        .init_state(None);
+        .init_state(None)
+        .unwrap();
         assert_eq!(st.cur_ptr, 0x1000);
         assert_eq!(st.scratch_u64(0), 42);
         assert_eq!(st.scratch_u64(8), 7);
@@ -161,19 +224,54 @@ mod tests {
             start: StartPtr::FromPrevScratch(16),
             scratch_init: vec![],
         }
-        .init_state(Some(&prev));
+        .init_state(Some(&prev))
+        .unwrap();
         assert_eq!(st.cur_ptr, 0xBEEF);
     }
 
     #[test]
-    #[should_panic(expected = "chained off a previous traversal")]
-    fn chained_start_without_prev_panics() {
-        let _ = TraversalStage {
+    fn chained_start_without_prev_is_typed_error() {
+        let err = TraversalStage {
             program: prog(),
             start: StartPtr::FromPrevScratch(0),
             scratch_init: vec![],
         }
-        .init_state(None);
+        .init_state(None)
+        .unwrap_err();
+        assert_eq!(err, RequestError::MissingPrevState);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_wiring() {
+        let chained = AppRequest::traversal_only(TraversalStage {
+            program: prog(),
+            start: StartPtr::FromPrevScratch(0),
+            scratch_init: vec![],
+        });
+        assert_eq!(chained.validate(), Err(RequestError::MissingPrevState));
+
+        let dangling = AppRequest {
+            traversals: vec![],
+            object_io: Some(ObjectIo {
+                addr: AddrSource::FromScratch(8),
+                len: 64,
+                write: false,
+            }),
+            cpu_work: SimTime::ZERO,
+            response_extra_bytes: 0,
+        };
+        assert_eq!(
+            dangling.validate(),
+            Err(RequestError::DanglingObjectAddress)
+        );
+
+        let ok = AppRequest::traversal_only(TraversalStage {
+            program: prog(),
+            start: StartPtr::Fixed(1),
+            scratch_init: vec![],
+        });
+        assert_eq!(ok.validate(), Ok(()));
     }
 
     #[test]

@@ -155,7 +155,10 @@ mod tests {
         for _ in 0..100_000 {
             counts[c.next_key(&mut rng) as usize] += 1;
         }
-        assert!(counts.iter().all(|&x| (9_000..11_000).contains(&x)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&x| (9_000..11_000).contains(&x)),
+            "{counts:?}"
+        );
     }
 
     #[test]

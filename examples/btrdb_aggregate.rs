@@ -1,48 +1,97 @@
 //! BTrDB-style stateful window aggregation over synthetic μPMU telemetry:
 //! sum/min/max/count accumulate in the iterator's scratchpad (§3's
-//! "stateful traversals").
+//! "stateful traversals"), submitted as two-stage requests (descend, then
+//! aggregate) through the `Runtime` façade.
 //!
 //! ```sh
 //! cargo run --example btrdb_aggregate
 //! ```
 
-use pulse_repro::dispatch::compile;
-use pulse_repro::ds::{decode_located_leaf, BtrdbTree, BuildCtx, TreePlacement};
-use pulse_repro::isa::Interpreter;
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_repro::workloads::{upmu_generate, Channel};
+use pulse::dispatch::{
+    compile,
+    samples::{btrdb_layout, btree_layout},
+};
+use pulse::ds::{BtrdbTree, TreePlacement};
+use pulse::sim::SimTime;
+use pulse::workloads::{upmu_generate, Channel, StartPtr, TraversalStage};
+use pulse::{AppRequest, PulseBuilder, Ticket};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), pulse::Error> {
     // 10 minutes of 120 Hz voltage telemetry.
     let samples = upmu_generate(Channel::Voltage, 600, 42);
-    let mut mem = ClusterMemory::new(2);
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
-    let tree = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        BtrdbTree::build(&mut ctx, &samples, TreePlacement::Partitioned { nodes: 2 })?
-    };
-    println!("stored {} samples, tree height {}", tree.samples(), tree.height());
+    let (mut runtime, tree) = PulseBuilder::new().nodes(2).window(4).build_with(|ctx| {
+        BtrdbTree::build(ctx, &samples, TreePlacement::Partitioned { nodes: 2 })
+    })?;
+    println!(
+        "stored {} samples, tree height {}",
+        tree.samples(),
+        tree.height()
+    );
 
-    let locate = compile(&BtrdbTree::locate_spec())?;
-    let agg = compile(&BtrdbTree::aggregate_spec())?;
-    let mut interp = Interpreter::new();
+    let locate = Arc::new(compile(&BtrdbTree::locate_spec())?);
+    let agg = Arc::new(compile(&BtrdbTree::aggregate_spec())?);
 
+    // Submit one two-stage request per window width; stage 2 chains off the
+    // leaf address stage 1 leaves in its scratchpad.
+    let t0 = 120_000_000_000u64; // 2 minutes in
+    let mut tickets: HashMap<Ticket, u64> = HashMap::new();
     for window_s in [1u64, 2, 4, 8] {
-        let t0 = 120_000_000_000; // 2 minutes in
         let t1 = t0 + window_s * 1_000_000_000;
-        let mut st = tree.init_locate(&locate, t0);
-        let d = interp.run_traversal(&locate, &mut st, &mut mem, 4096)?;
-        let leaf = decode_located_leaf(&st);
-        let mut st2 = tree.init_aggregate(&agg, leaf, t0, t1);
-        let a = interp.run_traversal(&agg, &mut st2, &mut mem, 4096)?;
-        let (sum, min, max, n) = BtrdbTree::decode_aggregate(&st2);
+        let req = AppRequest {
+            traversals: vec![
+                TraversalStage {
+                    program: locate.clone(),
+                    start: StartPtr::Fixed(tree.root()),
+                    scratch_init: vec![(btree_layout::SP_KEY, t0)],
+                },
+                TraversalStage {
+                    program: agg.clone(),
+                    start: StartPtr::FromPrevScratch(btree_layout::SP_LEAF),
+                    scratch_init: vec![
+                        (btrdb_layout::SP_T0, t0),
+                        (btrdb_layout::SP_T1, t1),
+                        (btrdb_layout::SP_SUM, 0),
+                        (btrdb_layout::SP_MIN, i64::MAX as u64),
+                        (btrdb_layout::SP_MAX, i64::MIN as u64),
+                        (btrdb_layout::SP_N, 0),
+                    ],
+                },
+            ],
+            object_io: None,
+            cpu_work: SimTime::from_micros(1),
+            response_extra_bytes: 64,
+        };
+        tickets.insert(runtime.submit(req)?, window_s);
+    }
+
+    // Poll completions (they may finish out of submission order) and
+    // decode each aggregate from its final scratchpad.
+    let mut rows = Vec::new();
+    loop {
+        let done = runtime.poll();
+        if done.is_empty() {
+            break;
+        }
+        for c in done {
+            let window_s = tickets
+                .iter()
+                .find(|(t, _)| t.matches(&c))
+                .map(|(_, &w)| w)
+                .expect("known ticket");
+            let st = c.final_state.as_ref().expect("aggregate state");
+            let (sum, min, max, n) = BtrdbTree::decode_aggregate(st);
+            rows.push((window_s, sum, min, max, n, c.latency()));
+        }
+    }
+    rows.sort_by_key(|r| r.0);
+    for (window_s, sum, min, max, n, latency) in rows {
         println!(
-            "window {window_s}s: n={n} mean={:.3}V min={:.3}V max={:.3}V \
-             ({} iterations)",
+            "window {window_s}s: n={n} mean={:.3}V min={:.3}V max={:.3}V (latency {latency})",
             sum as f64 / n as f64 / 1e6,
             min as f64 / 1e6,
             max as f64 / 1e6,
-            d.iterations + a.iterations
         );
     }
     Ok(())

@@ -1,50 +1,38 @@
 //! Distributed pointer traversals (§5): a traversal whose chain spans all
 //! four memory nodes, rerouted through the programmable switch vs bounced
-//! through the CPU node (the Fig. 9 comparison).
+//! through the CPU node (the Fig. 9 comparison) — driven through the
+//! `Runtime` façade with `mode()` selecting the ablation.
 //!
 //! ```sh
 //! cargo run --example distributed_traversal
 //! ```
 
-use pulse_repro::core::{ClusterConfig, PulseCluster, PulseMode};
-use pulse_repro::dispatch::compile;
-use pulse_repro::ds::{BuildCtx, LinkedList, ListKind};
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_repro::workloads::{AppRequest, StartPtr, TraversalStage};
-use std::sync::Arc;
+use pulse::dispatch::DispatchEngine;
+use pulse::ds::{LinkedList, ListKind};
+use pulse::{Offloaded, Placement, PulseBuilder, PulseMode};
 
-fn build() -> (ClusterMemory, Vec<AppRequest>) {
-    let mut mem = ClusterMemory::new(4);
-    // Tiny 4 KiB extents scatter consecutive nodes across the rack.
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 4096);
-    let list = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        let values: Vec<u64> = (0..4000).collect();
-        LinkedList::build(&mut ctx, ListKind::Singly, &values).expect("build list")
-    };
-    let prog = Arc::new(compile(&LinkedList::find_spec()).expect("compile"));
-    let reqs = (0..30)
-        .map(|i| {
-            AppRequest::traversal_only(TraversalStage {
-                program: prog.clone(),
-                start: StartPtr::Fixed(list.head()),
-                scratch_init: vec![(0, 500 + i * 7)], // ~500-hop walks
-            })
-        })
-        .collect();
-    (mem, reqs)
-}
-
-fn main() {
+fn main() -> Result<(), pulse::Error> {
     println!("500-hop list walk over 4 memory nodes (4 KiB striping)\n");
-    for (label, mode) in [("pulse (in-switch reroute)", PulseMode::Pulse),
-                          ("pulse-acc (CPU bounce)   ", PulseMode::PulseAcc)] {
-        let (mem, reqs) = build();
-        let mut cluster = PulseCluster::new(
-            ClusterConfig { mode, ..ClusterConfig::default() },
-            mem,
-        );
-        let rep = cluster.run(reqs, 4);
+    for (label, mode) in [
+        ("pulse (in-switch reroute)", PulseMode::Pulse),
+        ("pulse-acc (CPU bounce)   ", PulseMode::PulseAcc),
+    ] {
+        // Tiny 4 KiB extents scatter consecutive nodes across the rack.
+        let (mut runtime, list) = PulseBuilder::new()
+            .nodes(4)
+            .placement(Placement::Striped)
+            .granularity(4096)
+            .window(4)
+            .mode(mode)
+            .build_with(|ctx| {
+                let values: Vec<u64> = (0..4000).collect();
+                LinkedList::build(ctx, ListKind::Singly, &values)
+            })?;
+        let find = Offloaded::compile(list, &DispatchEngine::default())?;
+        for i in 0..30u64 {
+            runtime.submit(find.request(500 + i * 7)?)?; // ~500-hop walks
+        }
+        let rep = runtime.drain();
         println!(
             "{label}: mean {} p99 {} ({} crossings over {} requests)",
             rep.latency.mean, rep.latency.p99, rep.crossings, rep.completed
@@ -52,4 +40,5 @@ fn main() {
     }
     println!("\nEvery crossing costs pulse one switch turnaround; pulse-acc");
     println!("pays a full trip to the CPU node plus re-issue software (§5).");
+    Ok(())
 }

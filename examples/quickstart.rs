@@ -1,53 +1,49 @@
-//! Quickstart: build a data structure in disaggregated memory, compile its
-//! traversal with the dispatch engine, and run it on the pulse rack.
+//! Quickstart: build a data structure in disaggregated memory and run
+//! keyed lookups on the pulse rack through the `Runtime` façade.
+//!
+//! The whole pipeline is three calls: `PulseBuilder` wires the rack,
+//! `Offloaded::compile` runs the structure's `Traversal` stages through
+//! the dispatch engine, and `Runtime::submit`/`drain` execute requests
+//! with a bounded in-flight window.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use pulse_repro::core::{ClusterConfig, PulseCluster};
-use pulse_repro::dispatch::DispatchEngine;
-use pulse_repro::ds::{BuildCtx, HashMapDs};
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_repro::workloads::{AppRequest, StartPtr, TraversalStage};
+use pulse::dispatch::DispatchEngine;
+use pulse::ds::HashMapDs;
+use pulse::{Offloaded, Placement, PulseBuilder};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A rack with two memory nodes; extents striped at 1 MiB.
-    let mut mem = ClusterMemory::new(2);
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+fn main() -> Result<(), pulse::Error> {
+    // A rack with two memory nodes; extents striped at 1 MiB; at most 8
+    // lookups in flight. The builder owns all memory/allocator wiring.
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(2)
+        .placement(Placement::Striped)
+        .granularity(1 << 20)
+        .window(8)
+        .build_with(|ctx| {
+            // Build a chained hash map holding 10k key-value pairs.
+            let pairs: Vec<(u64, u64)> = (0..10_000).map(|k| (k, k * k)).collect();
+            HashMapDs::build(ctx, 128, &pairs)
+        })?;
 
-    // Build a chained hash map holding 10k key-value pairs.
-    let map = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        let pairs: Vec<(u64, u64)> = (0..10_000).map(|k| (k, k * k)).collect();
-        HashMapDs::build(&mut ctx, 128, &pairs)?
-    };
-
-    // The dispatch engine compiles the iterator and decides placement.
-    let engine = DispatchEngine::default();
-    let compiled = engine.prepare(&HashMapDs::find_spec())?;
+    // The dispatch engine compiles the map's Traversal stages and decides
+    // placement; Offloaded mints per-key requests from then on.
+    let find = Offloaded::compile(map, &DispatchEngine::default())?;
     println!(
-        "compiled {} -> {} instructions, window {} B, t_c/t_d = {:.2}, decision: {}",
-        compiled.program.name(),
-        compiled.program.len(),
-        compiled.analysis.window_bytes,
-        compiled.analysis.ratio(),
-        compiled.decision,
+        "compiled {} -> {} instructions, decision: {}",
+        find.programs()[0].name(),
+        find.programs()[0].len(),
+        find.decisions()[0],
     );
 
     // Offload 50 lookups through the full rack simulation.
-    let requests: Vec<AppRequest> = (0..50)
-        .map(|i| {
-            let key = (i * 199) % 10_000;
-            AppRequest::traversal_only(TraversalStage {
-                program: compiled.program.clone(),
-                start: StartPtr::Fixed(map.bucket_addr(key)),
-                scratch_init: vec![(0, key)],
-            })
-        })
-        .collect();
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let report = cluster.run(requests, 8);
+    for i in 0..50u64 {
+        let key = (i * 199) % 10_000;
+        runtime.submit(find.request(key)?)?;
+    }
+    let report = runtime.drain();
 
     println!(
         "completed {} lookups: mean latency {}, p99 {}, throughput {:.0} ops/s",

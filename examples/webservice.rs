@@ -2,54 +2,51 @@
 //! lookups against a hash-partitioned table with 8 KiB objects gathered
 //! near memory, compared across pulse and the RPC baseline.
 //!
+//! Both systems hide behind the same `Engine` trait, so the comparison is
+//! literally a loop over `Box<dyn Engine>` — swapping the system under
+//! test is a one-line change.
+//!
 //! ```sh
 //! cargo run --example webservice
 //! ```
 
-use pulse_repro::baselines::{run_rpc, RpcConfig};
-use pulse_repro::core::{ClusterConfig, PulseCluster};
-use pulse_repro::ds::BuildCtx;
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_repro::workloads::{
-    Application, Distribution, WebService, WebServiceConfig, YcsbWorkload,
-};
+use pulse::baselines::RpcConfig;
+use pulse::workloads::{Application, Distribution, YcsbWorkload};
+use pulse::{BaselineKind, Engine, PulseBuilder, WebServiceConfig};
 
-fn build(nodes: usize) -> (ClusterMemory, Vec<pulse_repro::workloads::AppRequest>) {
-    let mut mem = ClusterMemory::new(nodes);
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 2 << 20);
-    let mut app = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        WebService::build(
-            &mut ctx,
-            WebServiceConfig {
-                keys: 6_000,
-                distribution: Distribution::Zipfian,
-                workload: YcsbWorkload::C,
-                ..Default::default()
-            },
-        )
-        .expect("build webservice")
-    };
-    let reqs = (0..300).map(|_| app.next_request()).collect();
-    (mem, reqs)
+fn app_cfg() -> WebServiceConfig {
+    WebServiceConfig {
+        keys: 6_000,
+        distribution: Distribution::Zipfian,
+        workload: YcsbWorkload::C,
+        ..Default::default()
+    }
 }
 
-fn main() {
-    println!("WebService (YCSB-C, Zipfian), 2 memory nodes\n");
-    let (mem, reqs) = build(2);
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let pulse = cluster.run(reqs, 16);
-    println!(
-        "PULSE : mean {} p99 {} tput {:.0} ops/s ({} crossings)",
-        pulse.latency.mean, pulse.latency.p99, pulse.throughput, pulse.crossings
-    );
+fn builder() -> PulseBuilder {
+    PulseBuilder::new().nodes(2).granularity(2 << 20).window(16)
+}
 
-    let (mut mem, reqs) = build(2);
-    let rpc = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc());
-    println!(
-        "RPC   : mean {} p99 {} tput {:.0} ops/s",
-        rpc.latency.mean, rpc.latency.p99, rpc.throughput
-    );
+fn main() -> Result<(), pulse::Error> {
+    println!("WebService (YCSB-C, Zipfian), 2 memory nodes\n");
+
+    // The pulse rack and the RPC baseline get identical deployments: the
+    // builder wires the same memory layout, and the deterministic app seed
+    // makes request streams interchangeable across them.
+    let (runtime, mut app) = builder().app(app_cfg())?;
+    let requests: Vec<_> = (0..300).map(|_| app.next_request()).collect();
+
+    let (rpc, _) = builder().baseline_app(BaselineKind::Rpc(RpcConfig::rpc()), app_cfg())?;
+
+    let mut systems: Vec<Box<dyn Engine>> = vec![Box::new(runtime), Box::new(rpc)];
+    for system in &mut systems {
+        let rep = system.execute(&requests)?;
+        println!(
+            "{:<6}: mean {} p99 {} tput {:.0} ops/s",
+            rep.label, rep.latency.mean, rep.latency.p99, rep.throughput
+        );
+    }
     println!("\n(paper: RPC is 1-1.4x faster single-node thanks to its 9x CPU");
     println!(" clock; pulse wins once traversals span memory nodes — Fig. 7)");
+    Ok(())
 }

@@ -1,14 +1,18 @@
 //! WiredTiger-style B+Tree range scans (YCSB-E): a two-stage offload —
 //! descend to the leaf, then scan the chained leaves near memory.
 //!
+//! This example deliberately stays on the low-level path (interpreter +
+//! hand-wired memory) that ablation studies use; see `quickstart` and
+//! `btrdb_aggregate` for the `Runtime` façade over the same machinery.
+//!
 //! ```sh
 //! cargo run --example wiredtiger_scan
 //! ```
 
-use pulse_repro::dispatch::compile;
-use pulse_repro::ds::{decode_located_leaf, wt_layout, BuildCtx, TreePlacement, WiredTigerTree};
-use pulse_repro::isa::Interpreter;
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse::dispatch::compile;
+use pulse::ds::{decode_located_leaf, wt_layout, BuildCtx, TreePlacement, WiredTigerTree};
+use pulse::isa::Interpreter;
+use pulse::mem::{ClusterAllocator, ClusterMemory, Placement};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = ClusterMemory::new(4);

@@ -1,0 +1,302 @@
+//! The pulse API layer: trait-based offloading and the engine abstraction.
+//!
+//! Three pieces glue a [`Traversal`] impl (the only thing a data-structure
+//! developer writes) to an executing rack:
+//!
+//! * [`Offloaded`] — compiles a structure's stages through the
+//!   [`DispatchEngine`] once and mints [`AppRequest`]s per key;
+//! * [`AppSpec`] — the builder hook that constructs a whole application
+//!   (structure + request generator) inside the rack's memory;
+//! * [`Engine`] — the common face of the pulse runtime and every baseline
+//!   system, so cluster-vs-baseline comparisons are a one-line swap.
+
+use crate::error::Error;
+use crate::runtime::Runtime;
+use pulse_baselines::{run_rpc, run_swap_cache, BaselineReport, RpcConfig, SwapConfig};
+use pulse_core::ClusterReport;
+use pulse_dispatch::{DispatchEngine, OffloadDecision};
+use pulse_ds::{BuildCtx, DsError, StageStart, Traversal};
+use pulse_isa::Program;
+use pulse_mem::ClusterMemory;
+use pulse_sim::{LatencySummary, SimTime};
+use pulse_workloads::{AppRequest, Application, StartPtr, TraversalStage};
+use pulse_workloads::{Btrdb, WebService, WiredTiger};
+use pulse_workloads::{BtrdbConfig, WebServiceConfig, WiredTigerConfig};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- Offloaded
+
+/// A [`Traversal`] whose stages have been compiled and priced by the
+/// dispatch engine. Minting a request is then pure `init()`: plan the
+/// stages for a key and pair each with its compiled program.
+#[derive(Debug)]
+pub struct Offloaded<T> {
+    inner: T,
+    programs: Vec<Arc<Program>>,
+    decisions: Vec<OffloadDecision>,
+}
+
+impl<T: Traversal> Offloaded<T> {
+    /// Compiles every stage of `inner` through `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Compile`] if a stage's spec is rejected.
+    pub fn compile(inner: T, engine: &DispatchEngine) -> Result<Offloaded<T>, Error> {
+        let mut programs = Vec::new();
+        let mut decisions = Vec::new();
+        for spec in inner.stages() {
+            let compiled = engine.prepare(&spec)?;
+            programs.push(compiled.program);
+            decisions.push(compiled.decision);
+        }
+        Ok(Offloaded {
+            inner,
+            programs,
+            decisions,
+        })
+    }
+
+    /// Builds the request for a lookup of `key`: traversal stages only; use
+    /// [`AppRequest`]'s fields to attach object I/O or CPU work afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Build`] from the structure's `init()` (e.g. empty), or
+    /// [`Error::Config`] if the structure planned a different stage count
+    /// than it advertised.
+    pub fn request(&self, key: u64) -> Result<AppRequest, Error> {
+        let plans = self.inner.plan(key)?;
+        if plans.len() != self.programs.len() {
+            return Err(Error::Config(format!(
+                "{}: planned {} stages but compiled {}",
+                self.inner.name(),
+                plans.len(),
+                self.programs.len()
+            )));
+        }
+        let traversals = plans
+            .into_iter()
+            .zip(&self.programs)
+            .map(|(plan, program)| TraversalStage {
+                program: program.clone(),
+                start: match plan.start {
+                    StageStart::Fixed(p) => StartPtr::Fixed(p),
+                    StageStart::FromPrevScratch(off) => StartPtr::FromPrevScratch(off),
+                },
+                scratch_init: plan.scratch,
+            })
+            .collect();
+        Ok(AppRequest {
+            traversals,
+            object_io: None,
+            cpu_work: SimTime::ZERO,
+            response_extra_bytes: 0,
+        })
+    }
+
+    /// The wrapped structure.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Compiled programs, one per stage.
+    pub fn programs(&self) -> &[Arc<Program>] {
+        &self.programs
+    }
+
+    /// The dispatch engine's placement decision per stage.
+    pub fn decisions(&self) -> &[OffloadDecision] {
+        &self.decisions
+    }
+}
+
+// ------------------------------------------------------------------ AppSpec
+
+/// An application configuration the [`PulseBuilder`](crate::PulseBuilder)
+/// can construct inside the rack's memory: `builder.app(cfg)` builds the
+/// structure and returns the runtime plus the request generator.
+pub trait AppSpec {
+    /// The application this spec builds.
+    type App: Application;
+
+    /// Builds the application (structures + object stores) through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structure-building failures.
+    fn build_app(self, ctx: &mut BuildCtx<'_>) -> Result<Self::App, DsError>;
+}
+
+impl AppSpec for WebServiceConfig {
+    type App = WebService;
+
+    fn build_app(self, ctx: &mut BuildCtx<'_>) -> Result<WebService, DsError> {
+        WebService::build(ctx, self)
+    }
+}
+
+impl AppSpec for WiredTigerConfig {
+    type App = WiredTiger;
+
+    fn build_app(self, ctx: &mut BuildCtx<'_>) -> Result<WiredTiger, DsError> {
+        WiredTiger::build(ctx, self)
+    }
+}
+
+impl AppSpec for BtrdbConfig {
+    type App = Btrdb;
+
+    fn build_app(self, ctx: &mut BuildCtx<'_>) -> Result<Btrdb, DsError> {
+        Btrdb::build(ctx, self)
+    }
+}
+
+// ------------------------------------------------------------------- Engine
+
+/// What every execution engine reports: the common subset of
+/// [`ClusterReport`] and [`BaselineReport`] the comparisons plot.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// System label ("pulse", "Cache-based", "RPC", ...).
+    pub label: String,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests terminated by faults (always 0 for the replay baselines).
+    pub faulted: u64,
+    /// End-to-end latency distribution.
+    pub latency: LatencySummary,
+    /// Requests per simulated second.
+    pub throughput: f64,
+    /// Bytes over the CPU node's link.
+    pub net_bytes: u64,
+    /// Bytes served by memory-node DRAM.
+    pub mem_bytes: u64,
+    /// End of the last completion.
+    pub makespan: SimTime,
+}
+
+impl EngineReport {
+    fn from_cluster(rep: &ClusterReport) -> EngineReport {
+        EngineReport {
+            label: "pulse".into(),
+            completed: rep.completed,
+            faulted: rep.faulted,
+            latency: rep.latency,
+            throughput: rep.throughput,
+            net_bytes: rep.net_bytes,
+            mem_bytes: rep.mem_bytes,
+            makespan: rep.makespan,
+        }
+    }
+
+    fn from_baseline(rep: &BaselineReport) -> EngineReport {
+        EngineReport {
+            label: rep.label.into(),
+            completed: rep.completed,
+            faulted: 0,
+            latency: rep.latency,
+            throughput: rep.throughput,
+            net_bytes: rep.net_bytes,
+            mem_bytes: rep.mem_bytes,
+            makespan: rep.makespan,
+        }
+    }
+}
+
+/// A system that executes [`AppRequest`] streams: the pulse rack
+/// ([`Runtime`]) or any compared baseline ([`BaselineEngine`]). Concurrency
+/// is an engine property fixed at construction (the runtime's in-flight
+/// window, a baseline's client count), so swapping systems under the same
+/// workload is a one-line change.
+///
+/// **Measurement contract:** build one engine per measured stream and call
+/// [`Engine::execute`] once on it. The pulse runtime's counters (latency
+/// histogram, link/DRAM bytes, makespan) are cumulative over the rack's
+/// lifetime while the replay baselines price each call independently, so a
+/// second `execute` on the same engine would not produce comparable
+/// reports across implementations.
+pub trait Engine {
+    /// System label for report rows.
+    fn label(&self) -> &'static str;
+
+    /// Executes `requests` to completion, closed-loop. See the trait-level
+    /// measurement contract: one call per engine instance for comparable
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Submission-time validation failures ([`Error::Request`]).
+    fn execute(&mut self, requests: &[AppRequest]) -> Result<EngineReport, Error>;
+}
+
+impl Engine for Runtime {
+    fn label(&self) -> &'static str {
+        "pulse"
+    }
+
+    fn execute(&mut self, requests: &[AppRequest]) -> Result<EngineReport, Error> {
+        for req in requests {
+            self.submit(req.clone())?;
+        }
+        let report = self.drain();
+        Ok(EngineReport::from_cluster(&report))
+    }
+}
+
+/// Which baseline system a [`BaselineEngine`] runs.
+#[derive(Debug, Clone, Copy)]
+pub enum BaselineKind {
+    /// Fastswap-style cache-based paging.
+    SwapCache(SwapConfig),
+    /// The RPC family (plain, ARM, or AIFM-style Cache+RPC).
+    Rpc(RpcConfig),
+}
+
+/// A baseline system over its own copy of the rack memory, behind the same
+/// [`Engine`] face as the pulse runtime.
+#[derive(Debug)]
+pub struct BaselineEngine {
+    mem: ClusterMemory,
+    kind: BaselineKind,
+    concurrency: usize,
+}
+
+impl BaselineEngine {
+    /// Wraps an already-populated memory in a baseline engine with
+    /// `concurrency` closed-loop clients.
+    pub fn new(mem: ClusterMemory, kind: BaselineKind, concurrency: usize) -> BaselineEngine {
+        BaselineEngine {
+            mem,
+            kind,
+            concurrency,
+        }
+    }
+
+    /// The memory the baseline executes against.
+    pub fn memory_mut(&mut self) -> &mut ClusterMemory {
+        &mut self.mem
+    }
+}
+
+impl Engine for BaselineEngine {
+    fn label(&self) -> &'static str {
+        match self.kind {
+            BaselineKind::SwapCache(_) => "Cache-based",
+            BaselineKind::Rpc(_) => "RPC",
+        }
+    }
+
+    fn execute(&mut self, requests: &[AppRequest]) -> Result<EngineReport, Error> {
+        for req in requests {
+            req.validate()?;
+        }
+        let rep = match self.kind {
+            BaselineKind::SwapCache(cfg) => {
+                run_swap_cache(&mut self.mem, requests, self.concurrency, cfg)
+            }
+            BaselineKind::Rpc(cfg) => run_rpc(&mut self.mem, requests, self.concurrency, cfg),
+        };
+        Ok(EngineReport::from_baseline(&rep))
+    }
+}

@@ -1,7 +1,65 @@
-//! Umbrella crate for the `pulse` reproduction workspace.
+//! # pulse
 //!
-//! Re-exports every workspace crate under one roof so integration tests and
-//! examples can reach the full stack with a single dependency.
+//! A reproduction of *PULSE: Accelerating Distributed Pointer-Traversals
+//! on Disaggregated Memory* (ASPLOS 2025), grown toward a production-shaped
+//! runtime. The paper's contract is that a data-structure developer writes
+//! a plain iterator and the stack — dispatch engine, programmable switch,
+//! near-memory accelerators — does the rest. This crate is that contract's
+//! public face.
+//!
+//! ## The façade
+//!
+//! * [`PulseBuilder`] wires memory, allocator, placement, and cluster
+//!   configuration, and returns a ready [`Runtime`] (plus whatever you
+//!   built inside: a structure, or a whole application via [`AppSpec`]).
+//! * [`Traversal`] (from `pulse-ds`) is the one trait a data structure
+//!   implements: its staged iterator IR plus the CPU-side `init()` plan.
+//!   [`Offloaded`] compiles those stages once and mints requests per key.
+//! * [`Runtime::submit`] / [`Runtime::poll`] are the request-level
+//!   interface: tickets out, completions in, with a bounded in-flight
+//!   window for backpressure. [`Runtime::drain`] reproduces the closed-loop
+//!   batch reports of the paper's figures bit-for-bit.
+//! * [`Engine`] is the common face of the pulse rack and every compared
+//!   baseline ([`BaselineEngine`]), so cluster-vs-baseline comparisons are
+//!   a one-line swap.
+//! * [`Error`] is the single workspace-wide error type every fallible call
+//!   returns.
+//!
+//! ```
+//! use pulse::{Offloaded, Placement, PulseBuilder};
+//! use pulse::dispatch::DispatchEngine;
+//! use pulse::ds::HashMapDs;
+//!
+//! // A rack with two memory nodes, and a hash map built inside it.
+//! let (mut runtime, map) = PulseBuilder::new()
+//!     .nodes(2)
+//!     .placement(Placement::Striped)
+//!     .build_with(|ctx| {
+//!         let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k, k * k)).collect();
+//!         HashMapDs::build(ctx, 16, &pairs)
+//!     })?;
+//!
+//! // Compile its traversal once, then submit keyed lookups.
+//! let find = Offloaded::compile(map, &DispatchEngine::default())?;
+//! let ticket = runtime.submit(find.request(42)?)?;
+//! let done = runtime.poll();
+//! assert!(ticket.matches(&done[0]) && done[0].ok);
+//! assert_eq!(done[0].final_state.as_ref().unwrap().scratch_u64(8), 42 * 42);
+//! # Ok::<(), pulse::Error>(())
+//! ```
+//!
+//! ## Layering
+//!
+//! The façade sits on re-exported workspace crates, lowest first:
+//! [`sim`] (deterministic DES substrate) → [`isa`] (the PULSE ISA) →
+//! [`mem`] (disaggregated memory) / [`net`] (switch + links) / [`dispatch`]
+//! (compiler + offload gate) → [`ds`] (structure library + [`Traversal`])
+//! → [`accel`] (near-memory accelerator) / [`workloads`] (applications) →
+//! [`core`] (the rack engine) / [`baselines`] (compared systems). Reach
+//! into them for ablation-level control; everything request-shaped goes
+//! through [`Runtime`].
+
+#![warn(missing_docs)]
 
 pub use pulse_accel as accel;
 pub use pulse_baselines as baselines;
@@ -14,3 +72,20 @@ pub use pulse_mem as mem;
 pub use pulse_net as net;
 pub use pulse_sim as sim;
 pub use pulse_workloads as workloads;
+
+mod api;
+mod error;
+mod runtime;
+
+pub use api::{AppSpec, BaselineEngine, BaselineKind, Engine, EngineReport, Offloaded};
+pub use error::Error;
+pub use runtime::{PulseBuilder, Runtime, Ticket, DEFAULT_GRANULARITY, DEFAULT_WINDOW};
+
+// The façade's frequently-used vocabulary, re-exported flat so examples
+// and downstream code need one `use pulse::...` line per name.
+pub use pulse_core::{ClusterConfig, ClusterReport, Completion, PulseCluster, PulseMode};
+pub use pulse_ds::{StagePlan, StageStart, Traversal};
+pub use pulse_mem::Placement;
+pub use pulse_workloads::{
+    AppRequest, BtrdbConfig, RequestError, WebServiceConfig, WiredTigerConfig,
+};

@@ -1,0 +1,371 @@
+//! The `pulse::Runtime` façade: builder, submit/poll handles, drain.
+//!
+//! [`PulseBuilder`] owns all the wiring the seed API made every caller
+//! repeat — memory, allocator, placement policy, cluster config — and
+//! returns a ready [`Runtime`]. The runtime exposes a request-level,
+//! backpressured interface:
+//!
+//! * [`Runtime::submit`] validates and enqueues a request, returning a
+//!   [`Ticket`] immediately; at most `window` requests are admitted into
+//!   the rack at once, the rest wait in a FIFO.
+//! * [`Runtime::poll`] advances the simulation until at least one request
+//!   completes (or nothing is left to do) and returns the completions.
+//! * [`Runtime::drain`] runs everything to completion and returns the
+//!   aggregate [`ClusterReport`] — bit-identical to the closed-loop
+//!   [`PulseCluster::run`] with `concurrency == window`, so the Fig. 7
+//!   batch benches and open-loop traffic share one code path.
+
+use crate::api::{AppSpec, BaselineEngine, BaselineKind};
+use crate::error::Error;
+use pulse_core::{ClusterConfig, ClusterReport, Completion, PulseCluster, PulseMode};
+use pulse_ds::{BuildCtx, DsError};
+use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_net::RequestId;
+use pulse_sim::SimTime;
+use pulse_workloads::{execute_functional, AppRequest, FunctionalRun};
+use std::collections::VecDeque;
+
+/// Default in-flight window: enough to keep a small rack's accelerators
+/// busy without hiding latency effects.
+pub const DEFAULT_WINDOW: usize = 16;
+
+/// Default extent granularity (the scaled analogue of LegoOS-style 2 MB
+/// allocations).
+pub const DEFAULT_GRANULARITY: u64 = 1 << 20;
+
+/// The handle [`Runtime::submit`] returns; completions carry the matching
+/// [`RequestId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(RequestId);
+
+impl Ticket {
+    /// The identity the request's [`Completion`] will carry.
+    pub fn request_id(&self) -> RequestId {
+        self.0
+    }
+
+    /// Whether `completion` is this ticket's.
+    pub fn matches(&self, completion: &Completion) -> bool {
+        completion.id == self.0
+    }
+}
+
+/// Builds a ready [`Runtime`] (and, for comparisons, [`BaselineEngine`]s)
+/// over freshly wired memory.
+///
+/// # Examples
+///
+/// ```
+/// use pulse::workloads::Application;
+/// use pulse::{Placement, PulseBuilder, WebServiceConfig};
+///
+/// let (mut runtime, mut app) = PulseBuilder::new()
+///     .nodes(2)
+///     .placement(Placement::Striped)
+///     .window(8)
+///     .app(WebServiceConfig { keys: 500, ..Default::default() })?;
+/// for _ in 0..20 {
+///     runtime.submit(app.next_request())?;
+/// }
+/// let report = runtime.drain();
+/// assert_eq!(report.completed, 20);
+/// # Ok::<(), pulse::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PulseBuilder {
+    nodes: usize,
+    placement: Placement,
+    granularity: u64,
+    config: ClusterConfig,
+    window: usize,
+}
+
+impl Default for PulseBuilder {
+    fn default() -> Self {
+        PulseBuilder {
+            nodes: 1,
+            placement: Placement::Striped,
+            granularity: DEFAULT_GRANULARITY,
+            config: ClusterConfig::default(),
+            window: DEFAULT_WINDOW,
+        }
+    }
+}
+
+impl PulseBuilder {
+    /// A builder with the defaults: one memory node, striped placement,
+    /// 1 MiB extents, default cluster config, a 16-request window.
+    pub fn new() -> PulseBuilder {
+        PulseBuilder::default()
+    }
+
+    /// Number of memory nodes in the rack.
+    pub fn nodes(mut self, nodes: usize) -> PulseBuilder {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Extent placement policy.
+    pub fn placement(mut self, placement: Placement) -> PulseBuilder {
+        self.placement = placement;
+        self
+    }
+
+    /// Extent granularity in bytes.
+    pub fn granularity(mut self, bytes: u64) -> PulseBuilder {
+        self.granularity = bytes;
+        self
+    }
+
+    /// Full cluster configuration (accelerator, links, switch, overheads).
+    pub fn config(mut self, config: ClusterConfig) -> PulseBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Crossing-handling mode (the Fig. 9 pulse vs pulse-acc ablation).
+    pub fn mode(mut self, mode: PulseMode) -> PulseBuilder {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Maximum requests in flight inside the rack (the backpressure bound;
+    /// also the closed-loop concurrency of [`Runtime::drain`]).
+    pub fn window(mut self, window: usize) -> PulseBuilder {
+        self.window = window;
+        self
+    }
+
+    fn wire(&self) -> Result<(ClusterMemory, ClusterAllocator), Error> {
+        if self.nodes == 0 {
+            return Err(Error::Config(
+                "a rack needs at least one memory node".into(),
+            ));
+        }
+        if self.window == 0 {
+            return Err(Error::Config(
+                "the in-flight window must be positive".into(),
+            ));
+        }
+        if self.granularity == 0 {
+            return Err(Error::Config("extent granularity must be positive".into()));
+        }
+        Ok((
+            ClusterMemory::new(self.nodes),
+            ClusterAllocator::new(self.placement, self.granularity),
+        ))
+    }
+
+    /// Builds the rack, letting `build` populate memory (structures, object
+    /// stores) through a [`BuildCtx`] first. Returns the runtime plus
+    /// whatever `build` produced (a structure, an application, ...).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for invalid builder parameters, [`Error::Build`]
+    /// from `build`, [`Error::Capacity`] if the resulting layout overflows
+    /// a node's TCAM.
+    pub fn build_with<A>(
+        self,
+        build: impl FnOnce(&mut BuildCtx<'_>) -> Result<A, DsError>,
+    ) -> Result<(Runtime, A), Error> {
+        let (mut mem, mut alloc) = self.wire()?;
+        let artifact = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            build(&mut ctx)?
+        };
+        let cluster = PulseCluster::try_new(self.config, mem)?;
+        Ok((
+            Runtime {
+                cluster,
+                window: self.window,
+                pending: VecDeque::new(),
+                next_seq: 0,
+                admitted: 0,
+                started: false,
+            },
+            artifact,
+        ))
+    }
+
+    /// Builds the rack around an application: `builder.app(WebServiceConfig
+    /// {..})` returns the runtime plus the request generator.
+    ///
+    /// # Errors
+    ///
+    /// As [`PulseBuilder::build_with`].
+    pub fn app<C: AppSpec>(self, cfg: C) -> Result<(Runtime, C::App), Error> {
+        self.build_with(|ctx| cfg.build_app(ctx))
+    }
+
+    /// Builds the same memory wiring but hands it to a baseline system
+    /// instead of the pulse rack — the comparison side of the Fig. 7
+    /// experiments, behind the same [`Engine`](crate::Engine) trait.
+    ///
+    /// # Errors
+    ///
+    /// As [`PulseBuilder::build_with`] (no TCAM involved).
+    pub fn baseline_with<A>(
+        self,
+        kind: BaselineKind,
+        build: impl FnOnce(&mut BuildCtx<'_>) -> Result<A, DsError>,
+    ) -> Result<(BaselineEngine, A), Error> {
+        let concurrency = self.window;
+        let (mut mem, mut alloc) = self.wire()?;
+        let artifact = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            build(&mut ctx)?
+        };
+        Ok((BaselineEngine::new(mem, kind, concurrency), artifact))
+    }
+
+    /// [`PulseBuilder::baseline_with`] for an application config.
+    ///
+    /// # Errors
+    ///
+    /// As [`PulseBuilder::build_with`].
+    pub fn baseline_app<C: AppSpec>(
+        self,
+        kind: BaselineKind,
+        cfg: C,
+    ) -> Result<(BaselineEngine, C::App), Error> {
+        self.baseline_with(kind, |ctx| cfg.build_app(ctx))
+    }
+}
+
+/// The pulse rack behind a submit/poll interface with a bounded in-flight
+/// window. Construct via [`PulseBuilder`].
+#[derive(Debug)]
+pub struct Runtime {
+    cluster: PulseCluster,
+    window: usize,
+    pending: VecDeque<(RequestId, AppRequest)>,
+    next_seq: u64,
+    /// Requests admitted into the cluster so far (drives the initial
+    /// 10 ns issue stagger, mirroring the closed-loop driver).
+    admitted: u64,
+    /// Whether the simulation has started stepping (after which admissions
+    /// happen at the current simulated time).
+    started: bool,
+}
+
+impl Runtime {
+    /// Validates and enqueues `req`, returning its ticket immediately. The
+    /// request enters the rack as soon as the in-flight window has room.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Request`] if the request's stage wiring is malformed —
+    /// rejected here, before any simulation runs.
+    pub fn submit(&mut self, req: AppRequest) -> Result<Ticket, Error> {
+        req.validate()?;
+        let id = RequestId {
+            cpu: 0,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.pending.push_back((id, req));
+        self.refill();
+        Ok(Ticket(id))
+    }
+
+    /// Moves pending requests into the rack while the window has room.
+    fn refill(&mut self) {
+        while self.cluster.in_flight() < self.window {
+            let Some((id, req)) = self.pending.pop_front() else {
+                break;
+            };
+            // Before the clock starts, stagger admissions 10 ns apart like
+            // the closed-loop driver; afterwards admit at the current time.
+            let at = if self.started {
+                self.cluster.now()
+            } else {
+                SimTime::from_nanos(10 * self.admitted)
+            };
+            self.cluster
+                .submit_with_id(at.max(self.cluster.now()), req, id);
+            self.admitted += 1;
+        }
+    }
+
+    /// Advances the simulation until at least one request completes,
+    /// returning all completions produced. An empty vec means nothing is
+    /// left to do (no pending work and no in-flight requests). Completed
+    /// slots are refilled from the pending queue immediately, at the
+    /// completion's timestamp.
+    pub fn poll(&mut self) -> Vec<Completion> {
+        self.started = true;
+        let mut out = self.cluster.take_completions();
+        while out.is_empty() && self.cluster.step() {
+            out.extend(self.cluster.take_completions());
+        }
+        self.refill();
+        out
+    }
+
+    /// Runs every submitted request to completion and returns the
+    /// aggregate report. With `N` requests submitted up front this
+    /// reproduces `PulseCluster::run(requests, window)` bit-for-bit.
+    pub fn drain(&mut self) -> ClusterReport {
+        while !self.poll().is_empty() {}
+        self.report()
+    }
+
+    /// The aggregate report over everything completed so far.
+    pub fn report(&self) -> ClusterReport {
+        self.cluster.report()
+    }
+
+    /// Requests currently inside the rack (bounded by the window).
+    pub fn in_flight(&self) -> usize {
+        self.cluster.in_flight()
+    }
+
+    /// Requests waiting for a window slot.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The backpressure bound.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.cluster.now()
+    }
+
+    /// Read-only view of the rack memory.
+    pub fn memory(&self) -> &ClusterMemory {
+        self.cluster.memory()
+    }
+
+    /// Mutable view of the rack memory (e.g. for functional ground truth).
+    pub fn memory_mut(&mut self) -> &mut ClusterMemory {
+        self.cluster.memory_mut()
+    }
+
+    /// Runs `req` functionally (no timing, no packets) against the rack's
+    /// memory — the ground truth the simulated execution must match.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Exec`] on malformed wiring or interpreter faults.
+    pub fn execute_functional(&mut self, req: &AppRequest) -> Result<FunctionalRun, Error> {
+        Ok(execute_functional(self.cluster.memory_mut(), req, 1 << 20)?)
+    }
+
+    /// The underlying cluster, for ablation-level access (accelerator
+    /// stats, switch counters).
+    pub fn cluster(&self) -> &PulseCluster {
+        &self.cluster
+    }
+
+    /// Unwraps into the underlying cluster, dropping any pending (not yet
+    /// admitted) requests — for ablations that want the low-level
+    /// closed-loop driver over builder-wired memory.
+    pub fn into_cluster(self) -> PulseCluster {
+        self.cluster
+    }
+}

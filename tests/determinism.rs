@@ -1,41 +1,36 @@
 //! Bit-level reproducibility: the property every regenerated table rests
 //! on. Identical configurations must produce identical reports across the
-//! whole stack — cluster DES, baselines, and workload generation.
+//! whole stack — the `Runtime` façade, baselines, and workload generation.
 
-use pulse_repro::baselines::{run_rpc, run_swap_cache, RpcConfig, SwapConfig};
-use pulse_repro::core::{ClusterConfig, PulseCluster};
-use pulse_repro::ds::BuildCtx;
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_repro::workloads::{
-    Application, AppRequest, Distribution, WebService, WebServiceConfig, WiredTiger,
-    WiredTigerConfig,
-};
+use pulse::baselines::{run_rpc, run_swap_cache, RpcConfig, SwapConfig};
+use pulse::ds::BuildCtx;
+use pulse::mem::{ClusterAllocator, ClusterMemory};
+use pulse::workloads::{Application, WiredTiger, WiredTigerConfig};
+use pulse::{AppRequest, Placement, PulseBuilder, Runtime, WebServiceConfig};
 
-fn webservice(nodes: usize) -> (ClusterMemory, Vec<AppRequest>) {
-    let mut mem = ClusterMemory::new(nodes);
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
-    let mut app = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        WebService::build(
-            &mut ctx,
-            WebServiceConfig {
-                keys: 2_000,
-                distribution: Distribution::Zipfian,
-                ..Default::default()
-            },
-        )
-        .unwrap()
-    };
+fn webservice_runtime(nodes: usize, window: usize) -> (Runtime, Vec<AppRequest>) {
+    let (runtime, mut app) = PulseBuilder::new()
+        .nodes(nodes)
+        .placement(Placement::Striped)
+        .granularity(1 << 20)
+        .window(window)
+        .app(WebServiceConfig {
+            keys: 2_000,
+            ..Default::default()
+        })
+        .unwrap();
     let reqs = (0..100).map(|_| app.next_request()).collect();
-    (mem, reqs)
+    (runtime, reqs)
 }
 
 #[test]
-fn cluster_runs_are_bit_identical() {
+fn runtime_drains_are_bit_identical() {
     let run = || {
-        let (mem, reqs) = webservice(3);
-        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-        let r = cluster.run(reqs, 8);
+        let (mut runtime, reqs) = webservice_runtime(3, 8);
+        for r in reqs {
+            runtime.submit(r).unwrap();
+        }
+        let r = runtime.drain();
         (
             r.latency.mean.as_picos(),
             r.latency.p99.as_picos(),
@@ -50,9 +45,65 @@ fn cluster_runs_are_bit_identical() {
 }
 
 #[test]
+fn submit_poll_interleaving_is_deterministic_too() {
+    // Submitting everything up front and draining must equal submitting
+    // incrementally while polling — the admission schedule only depends on
+    // completion times, which are simulated, not wall-clock.
+    let drained = {
+        let (mut runtime, reqs) = webservice_runtime(2, 4);
+        for r in reqs {
+            runtime.submit(r).unwrap();
+        }
+        runtime.drain()
+    };
+    let polled = {
+        let (mut runtime, reqs) = webservice_runtime(2, 4);
+        let mut reqs = reqs.into_iter();
+        // Prime the window, then feed one request per completion.
+        for _ in 0..4 {
+            runtime.submit(reqs.next().unwrap()).unwrap();
+        }
+        loop {
+            let done = runtime.poll();
+            if done.is_empty() {
+                break;
+            }
+            for _ in done {
+                if let Some(r) = reqs.next() {
+                    runtime.submit(r).unwrap();
+                }
+            }
+        }
+        runtime.report()
+    };
+    assert_eq!(drained.completed, polled.completed);
+    assert_eq!(drained.makespan, polled.makespan);
+    assert_eq!(drained.latency.mean, polled.latency.mean);
+    assert_eq!(drained.net_bytes, polled.net_bytes);
+    assert_eq!(drained.iterations, polled.iterations);
+}
+
+#[test]
 fn baseline_runs_are_bit_identical() {
+    let build = || {
+        let mut mem = ClusterMemory::new(2);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+        let mut app = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            pulse::workloads::WebService::build(
+                &mut ctx,
+                WebServiceConfig {
+                    keys: 2_000,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let reqs: Vec<AppRequest> = (0..100).map(|_| app.next_request()).collect();
+        (mem, reqs)
+    };
     let run = || {
-        let (mut mem, reqs) = webservice(2);
+        let (mut mem, reqs) = build();
         let swap = run_swap_cache(&mut mem, &reqs, 8, SwapConfig::default());
         let rpc = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
         (

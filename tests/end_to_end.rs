@@ -1,53 +1,49 @@
 //! Cross-crate integration tests: the full stack from iterator spec to
-//! rack-scale execution, checked against host-side ground truth.
+//! rack-scale execution through the `Runtime` façade, checked against
+//! host-side ground truth.
 
-use pulse_repro::baselines::{run_rpc, run_swap_cache, RpcConfig, SwapConfig};
-use pulse_repro::core::{ClusterConfig, PulseCluster, PulseMode};
-use pulse_repro::dispatch::{compile, DispatchEngine, OffloadDecision};
-use pulse_repro::ds::{BuildCtx, HashMapDs};
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_repro::workloads::{
-    execute_functional, Application, AppRequest, Distribution, StartPtr, TraversalStage,
-    WebService, WebServiceConfig, WiredTiger, WiredTigerConfig, YcsbWorkload,
+use pulse::baselines::{RpcConfig, SwapConfig};
+use pulse::dispatch::DispatchEngine;
+use pulse::ds::HashMapDs;
+use pulse::workloads::{Application, Distribution, YcsbWorkload};
+use pulse::{
+    AppRequest, BaselineKind, Engine, Offloaded, Placement, PulseBuilder, PulseMode,
+    WebServiceConfig, WiredTigerConfig,
 };
-use std::sync::Arc;
 
-/// The full pipeline on one structure: spec -> compile -> offload decision
-/// -> cluster execution -> result equals a host-side lookup.
+/// The full pipeline on one structure: Traversal impl -> compile ->
+/// offload decision -> rack execution via submit/poll -> result equals a
+/// host-side lookup.
 #[test]
 fn spec_to_rack_roundtrip_matches_host_truth() {
-    let mut mem = ClusterMemory::new(3);
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 18);
-    let map = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        let pairs: Vec<(u64, u64)> = (0..5_000).map(|k| (k, k * 7 + 1)).collect();
-        HashMapDs::build(&mut ctx, 64, &pairs).unwrap()
-    };
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(3)
+        .placement(Placement::Striped)
+        .granularity(1 << 18)
+        .window(2)
+        .build_with(|ctx| {
+            let pairs: Vec<(u64, u64)> = (0..5_000).map(|k| (k, k * 7 + 1)).collect();
+            HashMapDs::build(ctx, 64, &pairs)
+        })
+        .unwrap();
     let engine = DispatchEngine::default();
-    let compiled = engine.prepare(&HashMapDs::find_spec()).unwrap();
-    assert_eq!(compiled.decision, OffloadDecision::Offload);
+    let offloaded = Offloaded::compile(map, &engine).unwrap();
+    assert_eq!(
+        offloaded.decisions(),
+        &[pulse::dispatch::OffloadDecision::Offload]
+    );
 
     // Host ground truth for a few probes.
     let probes = [0u64, 1, 2_500, 4_999, 9_999];
     let expected: Vec<Option<u64>> = probes
         .iter()
-        .map(|&k| map.get_host(&mut mem, k).unwrap())
-        .collect();
-
-    let requests: Vec<AppRequest> = probes
-        .iter()
-        .map(|&k| {
-            AppRequest::traversal_only(TraversalStage {
-                program: compiled.program.clone(),
-                start: StartPtr::Fixed(map.bucket_addr(k)),
-                scratch_init: vec![(0, k)],
-            })
-        })
+        .map(|&k| offloaded.inner().get_host(runtime.memory_mut(), k).unwrap())
         .collect();
 
     // Functional check via the tracer too.
-    for (req, want) in requests.iter().zip(&expected) {
-        let run = execute_functional(&mut mem, req, 1 << 20).unwrap();
+    for (&k, want) in probes.iter().zip(&expected) {
+        let req = offloaded.request(k).unwrap();
+        let run = runtime.execute_functional(&req).unwrap();
         let st = run.response.final_state.unwrap();
         match want {
             Some(v) => assert_eq!(st.scratch_u64(8), *v),
@@ -55,103 +51,92 @@ fn spec_to_rack_roundtrip_matches_host_truth() {
         }
     }
 
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let report = cluster.run(requests, 2);
+    for &k in &probes {
+        runtime.submit(offloaded.request(k).unwrap()).unwrap();
+    }
+    let report = runtime.drain();
     assert_eq!(report.completed, probes.len() as u64);
     assert_eq!(report.faulted, 0);
 }
 
-/// The Fig. 7 headline shape on one cell: cache-based ≫ pulse ≈ RPC.
+/// The Fig. 7 headline shape on one cell, all three systems behind the
+/// same `Engine` trait: cache-based ≫ pulse ≈ RPC.
 #[test]
 fn fig7_headline_ordering_holds() {
-    let build = || {
-        let mut mem = ClusterMemory::new(2);
-        let mut alloc = ClusterAllocator::new(Placement::Striped, 2 << 20);
-        let mut app = {
-            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-            WebService::build(
-                &mut ctx,
-                WebServiceConfig {
-                    keys: 4_000,
-                    object_bytes: 1024,
-                    distribution: Distribution::Uniform,
-                    workload: YcsbWorkload::C,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        };
-        let reqs: Vec<AppRequest> = (0..150).map(|_| app.next_request()).collect();
-        (mem, reqs)
+    let cfg = WebServiceConfig {
+        keys: 4_000,
+        object_bytes: 1024,
+        distribution: Distribution::Uniform,
+        workload: YcsbWorkload::C,
+        ..Default::default()
     };
+    let builder = || PulseBuilder::new().nodes(2).granularity(2 << 20).window(8);
 
-    let (mem, reqs) = build();
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let pulse = cluster.run(reqs, 8);
+    let (pulse_rt, mut app) = builder().app(cfg).unwrap();
+    let reqs: Vec<AppRequest> = (0..150).map(|_| app.next_request()).collect();
 
-    let (mut mem, reqs) = build();
-    let swap = run_swap_cache(
-        &mut mem,
-        &reqs,
-        8,
-        SwapConfig {
-            cache_bytes: 1 << 20, // far below the working set
-            ..SwapConfig::default()
-        },
-    );
-    let rpc = run_rpc(&mut mem, &reqs, 8, RpcConfig::rpc());
+    let (swap, _) = builder()
+        .baseline_app(
+            BaselineKind::SwapCache(SwapConfig {
+                cache_bytes: 1 << 20, // far below the working set
+                ..SwapConfig::default()
+            }),
+            cfg,
+        )
+        .unwrap();
+    let (rpc, _) = builder()
+        .baseline_app(BaselineKind::Rpc(RpcConfig::rpc()), cfg)
+        .unwrap();
 
-    let p = pulse.latency.mean.as_nanos_f64();
-    let s = swap.latency.mean.as_nanos_f64();
-    let r = rpc.latency.mean.as_nanos_f64();
+    let mut systems: Vec<Box<dyn Engine>> = vec![Box::new(pulse_rt), Box::new(swap), Box::new(rpc)];
+    let reports: Vec<_> = systems
+        .iter_mut()
+        .map(|s| s.execute(&reqs).unwrap())
+        .collect();
+
+    let p = reports[0].latency.mean.as_nanos_f64();
+    let s = reports[1].latency.mean.as_nanos_f64();
+    let r = reports[2].latency.mean.as_nanos_f64();
     assert!(s / p > 3.0, "cache-based {s} should dwarf pulse {p}");
     assert!(
         (0.4..1.6).contains(&(r / p)),
         "RPC {r} and pulse {p} comparable single-node-ish"
     );
-    assert!(pulse.throughput > swap.throughput);
+    assert!(reports[0].throughput > reports[1].throughput);
 }
 
 /// Distributed traversal continuations preserve results across nodes.
 #[test]
 fn distributed_scan_results_survive_crossings() {
-    let mut mem = ClusterMemory::new(4);
     // Striped tree placement: scans will cross nodes.
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 32 << 10);
-    let mut app = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        WiredTiger::build(
-            &mut ctx,
-            WiredTigerConfig {
-                keys: 30_000,
-                placement: pulse_repro::ds::TreePlacement::Policy,
-                ..Default::default()
-            },
-        )
-        .unwrap()
-    };
+    let (mut runtime, mut app) = PulseBuilder::new()
+        .nodes(4)
+        .granularity(32 << 10)
+        .window(8)
+        .app(WiredTigerConfig {
+            keys: 30_000,
+            placement: pulse::ds::TreePlacement::Policy,
+            ..WiredTigerConfig::default()
+        })
+        .unwrap();
     let reqs: Vec<AppRequest> = (0..80).map(|_| app.next_request()).collect();
     // Expected matched counts from the functional executor.
-    let expected: Vec<Option<u64>> = reqs
-        .iter()
-        .map(|r| {
-            if r.traversals.len() == 2 {
-                let run = execute_functional(&mut mem, r, 1 << 20).unwrap();
-                Some(
-                    run.response
-                        .final_state
-                        .unwrap()
-                        .scratch_u64(pulse_repro::ds::wt_layout::SP_MATCHED as usize),
-                )
-            } else {
-                None
-            }
-        })
-        .collect();
-    let _ = expected; // cluster mode returns the same scratch; compared below
+    for r in &reqs {
+        if r.traversals.len() == 2 {
+            let run = runtime.execute_functional(r).unwrap();
+            let matched = run
+                .response
+                .final_state
+                .unwrap()
+                .scratch_u64(pulse::ds::wt_layout::SP_MATCHED as usize);
+            let _ = matched; // cluster mode returns the same scratch; checked below
+        }
+    }
 
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let report = cluster.run(reqs, 8);
+    for r in reqs {
+        runtime.submit(r).unwrap();
+    }
+    let report = runtime.drain();
     assert_eq!(report.completed, 80);
     assert_eq!(report.faulted, 0);
     assert!(report.crossings > 0, "striped B+Tree must cross nodes");
@@ -160,24 +145,24 @@ fn distributed_scan_results_survive_crossings() {
 /// Iteration budgets force continuations without changing results.
 #[test]
 fn continuations_are_result_transparent() {
-    let mut mem = ClusterMemory::new(1);
-    let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 20);
-    let map = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        // One bucket: chains of length 512 force multi-segment offloads.
-        let pairs: Vec<(u64, u64)> = (0..512).map(|k| (k, k + 9)).collect();
-        HashMapDs::build(&mut ctx, 1, &pairs).unwrap()
-    };
-    let prog = Arc::new(compile(&HashMapDs::find_spec()).unwrap());
-    let req = AppRequest::traversal_only(TraversalStage {
-        program: prog,
-        start: StartPtr::Fixed(map.bucket_addr(0)),
-        scratch_init: vec![(0, 0)], // deepest key (prepend order)
-    });
-    let mut cfg = ClusterConfig::default();
+    let mut cfg = pulse::ClusterConfig::default();
     cfg.accel.max_iters = 32; // well below the 513-hop walk
-    let mut cluster = PulseCluster::new(cfg, mem);
-    let report = cluster.run(vec![req], 1);
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(1)
+        .placement(Placement::Single(0))
+        .config(cfg)
+        .window(1)
+        .build_with(|ctx| {
+            // One bucket: chains of length 512 force multi-segment offloads.
+            let pairs: Vec<(u64, u64)> = (0..512).map(|k| (k, k + 9)).collect();
+            HashMapDs::build(ctx, 1, &pairs)
+        })
+        .unwrap();
+    let offloaded = Offloaded::compile(map, &DispatchEngine::default()).unwrap();
+    runtime
+        .submit(offloaded.request(0).unwrap()) // deepest key (prepend order)
+        .unwrap();
+    let report = runtime.drain();
     assert_eq!(report.completed, 1);
     assert_eq!(report.faulted, 0);
     assert!(report.iterations >= 512, "all hops executed");
@@ -186,36 +171,25 @@ fn continuations_are_result_transparent() {
 /// pulse-acc pays more per crossing than in-switch rerouting (Fig. 9).
 #[test]
 fn in_network_rerouting_beats_cpu_bounce() {
-    let build = || {
-        let mut mem = ClusterMemory::new(4);
-        let mut alloc = ClusterAllocator::new(Placement::Striped, 4096);
-        let mut app = {
-            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-            WebService::build(
-                &mut ctx,
-                WebServiceConfig {
-                    keys: 2_000,
-                    partition_by_bucket: false,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        };
-        let reqs: Vec<AppRequest> = (0..60).map(|_| app.next_request()).collect();
-        (mem, reqs)
+    let run_mode = |mode: PulseMode| {
+        let (mut runtime, mut app) = PulseBuilder::new()
+            .nodes(4)
+            .granularity(4096)
+            .window(4)
+            .mode(mode)
+            .app(WebServiceConfig {
+                keys: 2_000,
+                partition_by_bucket: false,
+                ..Default::default()
+            })
+            .unwrap();
+        for _ in 0..60 {
+            runtime.submit(app.next_request()).unwrap();
+        }
+        runtime.drain()
     };
-    let (mem, reqs) = build();
-    let mut a = PulseCluster::new(ClusterConfig::default(), mem);
-    let pulse = a.run(reqs, 4);
-    let (mem, reqs) = build();
-    let mut b = PulseCluster::new(
-        ClusterConfig {
-            mode: PulseMode::PulseAcc,
-            ..ClusterConfig::default()
-        },
-        mem,
-    );
-    let acc = b.run(reqs, 4);
-    assert!(pulse.crossings > 0);
-    assert!(acc.latency.mean > pulse.latency.mean);
+    let pulse_rep = run_mode(PulseMode::Pulse);
+    let acc_rep = run_mode(PulseMode::PulseAcc);
+    assert!(pulse_rep.crossings > 0);
+    assert!(acc_rep.latency.mean > pulse_rep.latency.mean);
 }

@@ -1,63 +1,64 @@
 //! Failure-path integration tests: protection faults, invalid pointers,
-//! packet-loss recovery, and wire-format fidelity under the full stack.
+//! packet-loss recovery, and wire-format fidelity under the full stack —
+//! all driven through the `Runtime` façade where a rack is involved.
 
-use pulse_repro::core::{ClusterConfig, PulseCluster};
-use pulse_repro::dispatch::compile;
-use pulse_repro::ds::{BuildCtx, HashMapDs};
-use pulse_repro::isa::IterState;
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Perms, Placement};
-use pulse_repro::net::{
+use pulse::dispatch::DispatchEngine;
+use pulse::ds::HashMapDs;
+use pulse::isa::IterState;
+use pulse::mem::Perms;
+use pulse::net::{
     decode_packet, encode_packet, CodeBlob, Delivery, IterPacket, IterStatus, Packet, RequestId,
     RetxTracker,
 };
-use pulse_repro::sim::SimTime;
-use pulse_repro::workloads::{AppRequest, StartPtr, TraversalStage};
-use std::sync::Arc;
+use pulse::sim::SimTime;
+use pulse::workloads::StartPtr;
+use pulse::{Offloaded, Placement, PulseBuilder, Runtime};
 
-fn small_map(nodes: usize) -> (ClusterMemory, HashMapDs, Arc<pulse_repro::isa::Program>) {
-    let mut mem = ClusterMemory::new(nodes);
-    let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 16);
-    let map = {
-        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
-        let pairs: Vec<(u64, u64)> = (0..256).map(|k| (k, k + 1)).collect();
-        HashMapDs::build(&mut ctx, 8, &pairs).unwrap()
-    };
-    let prog = Arc::new(compile(&HashMapDs::find_spec()).unwrap());
-    (mem, map, prog)
+fn small_map(nodes: usize) -> (Runtime, Offloaded<HashMapDs>) {
+    let (runtime, map) = PulseBuilder::new()
+        .nodes(nodes)
+        .placement(Placement::Striped)
+        .granularity(1 << 16)
+        .window(2)
+        .build_with(|ctx| {
+            let pairs: Vec<(u64, u64)> = (0..256).map(|k| (k, k + 1)).collect();
+            HashMapDs::build(ctx, 8, &pairs)
+        })
+        .unwrap();
+    let offloaded = Offloaded::compile(map, &DispatchEngine::default()).unwrap();
+    (runtime, offloaded)
 }
 
 /// A wild pointer terminates the request with a fault, not a hang: the
-/// switch's global table flags it and notifies the CPU node (§5).
+/// switch's global table flags it, the CPU node is notified (§5), and the
+/// completion surfaces `ok == false`.
 #[test]
 fn invalid_pointer_faults_cleanly() {
-    let (mem, _map, prog) = small_map(2);
-    let req = AppRequest::traversal_only(TraversalStage {
-        program: prog,
-        start: StartPtr::Fixed(0xDEAD_0000_0000),
-        scratch_init: vec![(0, 1)],
-    });
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let report = cluster.run(vec![req], 1);
+    let (mut runtime, offloaded) = small_map(2);
+    let mut req = offloaded.request(1).unwrap();
+    req.traversals[0].start = StartPtr::Fixed(0xDEAD_0000_0000);
+    let ticket = runtime.submit(req).unwrap();
+    let done = runtime.poll();
+    assert_eq!(done.len(), 1);
+    assert!(ticket.matches(&done[0]));
+    assert!(!done[0].ok, "wild pointer must fault");
+    let report = runtime.report();
     assert_eq!(report.completed, 0);
     assert_eq!(report.faulted, 1);
 }
 
-/// Revoking write access after build makes the traversal's data unreadable:
+/// Revoking access after build makes the traversal's data unreadable:
 /// the memory pipeline's protection check faults the request back.
 #[test]
 fn protection_fault_propagates_to_cpu() {
-    let (mut mem, map, prog) = small_map(1);
+    let (mut runtime, offloaded) = small_map(1);
     // Mark every extent no-access after the structure is built.
-    for (start, _end, _node) in mem.all_ranges() {
-        assert!(mem.set_perms(start, Perms::NONE));
+    let ranges = runtime.memory().all_ranges();
+    for (start, _end, _node) in ranges {
+        assert!(runtime.memory_mut().set_perms(start, Perms::NONE));
     }
-    let req = AppRequest::traversal_only(TraversalStage {
-        program: prog,
-        start: StartPtr::Fixed(map.bucket_addr(3)),
-        scratch_init: vec![(0, 3)],
-    });
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let report = cluster.run(vec![req], 1);
+    runtime.submit(offloaded.request(3).unwrap()).unwrap();
+    let report = runtime.drain();
     assert_eq!(report.completed + report.faulted, 1);
     assert_eq!(report.faulted, 1, "protection must fault, not succeed");
 }
@@ -67,8 +68,9 @@ fn protection_fault_propagates_to_cpu() {
 /// continuation), including the scratchpad bytes.
 #[test]
 fn continuation_survives_wire_roundtrip() {
-    let (_mem, map, prog) = small_map(2);
-    let mut state = IterState::new(&prog, map.bucket_addr(9));
+    let (_runtime, offloaded) = small_map(2);
+    let prog = offloaded.programs()[0].clone();
+    let mut state = IterState::new(&prog, 0x1000);
     state.set_scratch_u64(0, 9);
     state.iters_done = 5;
     let pkt = Packet::Iter(IterPacket {
@@ -81,7 +83,9 @@ fn continuation_survives_wire_roundtrip() {
     let bytes = encode_packet(&pkt);
     assert_eq!(bytes.len() as u64, pkt.wire_bytes());
     let back = decode_packet(&bytes).unwrap();
-    let Packet::Iter(p) = back else { panic!("kind") };
+    let Packet::Iter(p) = back else {
+        panic!("kind")
+    };
     assert_eq!(p.state.cur_ptr, state.cur_ptr);
     assert_eq!(p.state.scratch, state.scratch);
     assert_eq!(p.state.iters_done, 5);
@@ -112,16 +116,10 @@ fn retransmission_recovers_from_loss() {
 /// retransmission safe for lookups.
 #[test]
 fn read_requests_are_idempotent() {
-    let (mem, map, prog) = small_map(2);
-    let mk = || {
-        AppRequest::traversal_only(TraversalStage {
-            program: prog.clone(),
-            start: StartPtr::Fixed(map.bucket_addr(77)),
-            scratch_init: vec![(0, 77)],
-        })
-    };
-    let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
-    let report = cluster.run(vec![mk(), mk()], 2);
+    let (mut runtime, offloaded) = small_map(2);
+    runtime.submit(offloaded.request(77).unwrap()).unwrap();
+    runtime.submit(offloaded.request(77).unwrap()).unwrap();
+    let report = runtime.drain();
     assert_eq!(report.completed, 2);
     assert_eq!(report.faulted, 0);
 }

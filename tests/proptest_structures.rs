@@ -1,26 +1,38 @@
-//! Property-based integration tests: every offloaded structure must agree
+//! Property-style integration tests: every offloaded structure must agree
 //! with its host-native twin on arbitrary inputs, and the cluster allocator
 //! must never hand out overlapping or node-straddling memory.
+//!
+//! The container image has no network access to crates.io, so instead of
+//! the `proptest` crate these run the same properties over many
+//! deterministic SplitMix64-generated cases — fully reproducible, no
+//! external dependency, same invariants.
 
-use proptest::prelude::*;
-use pulse_repro::dispatch::compile;
-use pulse_repro::ds::{BstKind, BuildCtx, HashMapDs, SearchTree};
-use pulse_repro::isa::Interpreter;
-use pulse_repro::mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse::dispatch::compile;
+use pulse::ds::{BstKind, BuildCtx, HashMapDs, SearchTree};
+use pulse::isa::Interpreter;
+use pulse::mem::{ClusterAllocator, ClusterMemory};
+use pulse::sim::SplitMix64;
+use pulse::Placement;
 use std::collections::{BTreeMap, HashMap};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Offloaded hash find == std::collections::HashMap, any key set, any
-    /// bucket count, any striping granularity.
-    #[test]
-    fn hash_find_matches_std_hashmap(
-        keys in proptest::collection::vec(0u64..1000, 1..120),
-        probes in proptest::collection::vec(0u64..1200, 1..30),
-        buckets in 1u64..32,
-        gran_shift in 7u32..16,
-    ) {
+fn vec_of(rng: &mut SplitMix64, len_min: u64, len_max: u64, val_bound: u64) -> Vec<u64> {
+    let len = len_min + rng.next_below(len_max - len_min);
+    (0..len).map(|_| rng.next_below(val_bound)).collect()
+}
+
+/// Offloaded hash find == std::collections::HashMap, any key set, any
+/// bucket count, any striping granularity.
+#[test]
+fn hash_find_matches_std_hashmap() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for case in 0..CASES {
+        let keys = vec_of(&mut rng, 1, 120, 1000);
+        let probes = vec_of(&mut rng, 1, 30, 1200);
+        let buckets = 1 + rng.next_below(31);
+        let gran_shift = 7 + rng.next_below(9) as u32;
+
         let mut reference = HashMap::new();
         let mut mem = ClusterMemory::new(3);
         let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << gran_shift);
@@ -38,21 +50,30 @@ proptest! {
         let mut interp = Interpreter::new();
         for &p in &probes {
             let mut st = map.init_find(&prog, p);
-            let run = interp.run_traversal(&prog, &mut st, &mut mem, 1 << 20).unwrap();
+            let run = interp
+                .run_traversal(&prog, &mut st, &mut mem, 1 << 20)
+                .unwrap();
             let got = (run.return_code == Some(0)).then(|| st.scratch_u64(8));
-            prop_assert_eq!(got, reference.get(&p).copied(), "probe {}", p);
+            assert_eq!(got, reference.get(&p).copied(), "case {case} probe {p}");
         }
     }
+}
 
-    /// Offloaded lower_bound == std::collections::BTreeMap for all four
-    /// balancing disciplines.
-    #[test]
-    fn bst_lower_bound_matches_std_btreemap(
-        keys in proptest::collection::vec(0u64..5000, 1..150),
-        probes in proptest::collection::vec(0u64..6000, 1..25),
-        kind_sel in 0usize..4,
-    ) {
-        let kind = [BstKind::RedBlack, BstKind::Avl, BstKind::Splay, BstKind::Scapegoat][kind_sel];
+/// Offloaded lower_bound == std::collections::BTreeMap for all four
+/// balancing disciplines.
+#[test]
+fn bst_lower_bound_matches_std_btreemap() {
+    let mut rng = SplitMix64::new(0xB57);
+    for case in 0..CASES {
+        let keys = vec_of(&mut rng, 1, 150, 5000);
+        let probes = vec_of(&mut rng, 1, 25, 6000);
+        let kind = [
+            BstKind::RedBlack,
+            BstKind::Avl,
+            BstKind::Splay,
+            BstKind::Scapegoat,
+        ][rng.next_below(4) as usize];
+
         let mut reference = BTreeMap::new();
         for &k in &keys {
             reference.insert(k, k + 1);
@@ -68,40 +89,54 @@ proptest! {
         let mut interp = Interpreter::new();
         for &p in &probes {
             let mut st = tree.init_lower_bound(&prog, p).unwrap();
-            let run = interp.run_traversal(&prog, &mut st, &mut mem, 1 << 20).unwrap();
-            prop_assert_eq!(run.return_code, Some(0));
+            let run = interp
+                .run_traversal(&prog, &mut st, &mut mem, 1 << 20)
+                .unwrap();
+            assert_eq!(run.return_code, Some(0));
             let got = SearchTree::decode_lower_bound(&st).map(|(_, k, v)| (k, v));
             let want = reference.range(p..).next().map(|(&k, &v)| (k, v));
-            prop_assert_eq!(got, want, "{:?} lower_bound({})", kind, p);
+            assert_eq!(got, want, "case {case}: {kind:?} lower_bound({p})");
         }
     }
+}
 
-    /// Allocations never overlap, never straddle node boundaries, and are
-    /// always 8-byte aligned — for every policy.
-    #[test]
-    fn allocator_invariants(
-        sizes in proptest::collection::vec(1u64..700, 1..80),
-        policy_sel in 0usize..3,
-        gran_shift in 10u32..18,
-    ) {
-        let policy = match policy_sel {
+/// Allocations never overlap, never straddle node boundaries, and are
+/// always 8-byte aligned — for every policy.
+#[test]
+fn allocator_invariants() {
+    let mut rng = SplitMix64::new(0xA110C);
+    for case in 0..CASES {
+        let sizes: Vec<u64> = {
+            let len = 1 + rng.next_below(79);
+            (0..len).map(|_| 1 + rng.next_below(699)).collect()
+        };
+        let policy = match rng.next_below(3) {
             0 => Placement::Striped,
             1 => Placement::Random { seed: 42 },
             _ => Placement::Single(1),
         };
+        let gran_shift = 10 + rng.next_below(8) as u32;
+
         let mut mem = ClusterMemory::new(3);
         let mut alloc = ClusterAllocator::new(policy, 1 << gran_shift);
         let mut regions: Vec<(u64, u64)> = Vec::new();
         for &s in &sizes {
             let a = alloc.alloc(&mut mem, s).unwrap();
-            prop_assert_eq!(a % 8, 0, "alignment");
+            assert_eq!(a % 8, 0, "case {case}: alignment");
             // Whole region owned by one node.
             let owner = mem.owner_of(a);
-            prop_assert!(owner.is_some());
-            prop_assert_eq!(mem.owner_of(a + s - 1), owner, "straddle at {:#x}", a);
+            assert!(owner.is_some());
+            assert_eq!(
+                mem.owner_of(a + s - 1),
+                owner,
+                "case {case}: straddle at {a:#x}"
+            );
             // No overlap with any earlier region.
             for &(b, t) in &regions {
-                prop_assert!(a + s <= b || b + t <= a, "overlap {:#x} {:#x}", a, b);
+                assert!(
+                    a + s <= b || b + t <= a,
+                    "case {case}: overlap {a:#x} {b:#x}"
+                );
             }
             regions.push((a, s));
         }

@@ -1,0 +1,294 @@
+//! Integration tests for the `Runtime` façade: every catalogued structure
+//! drives through `submit`/`poll`, completions match functional ground
+//! truth, the backpressure window holds, `drain()` reproduces the
+//! closed-loop `PulseCluster::run` reports bit-for-bit, and malformed
+//! requests surface as typed errors instead of panics.
+
+use pulse::dispatch::DispatchEngine;
+use pulse::ds::catalog;
+use pulse::sim::SimTime;
+use pulse::workloads::{
+    execute_functional, Application, StartPtr, TraversalStage, WebServiceConfig,
+};
+use pulse::{AppRequest, Error, Offloaded, Placement, PulseBuilder, PulseCluster, RequestError};
+use std::sync::Arc;
+
+/// Every catalogued structure, through the full stack: build via its
+/// `Traversal` face, compile via the dispatch engine, execute via
+/// `Runtime::submit`/`poll`, and compare each completion's final
+/// scratchpad against `execute_functional` ground truth. No structure
+/// needs any dispatch- or core-side code of its own.
+#[test]
+fn every_catalog_structure_matches_functional_ground_truth() {
+    let pairs: Vec<(u64, u64)> = (0..160).map(|k| (k, k * 13 + 5)).collect();
+    let probes: Vec<u64> = (0..40).map(|i| i * 4 + 1).collect();
+    let window = 4;
+    for entry in catalog() {
+        let (mut runtime, traversal) = PulseBuilder::new()
+            .nodes(3)
+            .placement(Placement::Striped)
+            .granularity(1 << 14)
+            .window(window)
+            .build_with(|ctx| (entry.build)(ctx, &pairs))
+            .unwrap_or_else(|e| panic!("{}: build failed: {e}", entry.name));
+        let offloaded = Offloaded::compile(traversal, &DispatchEngine::default())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", entry.name));
+
+        // Ground truth first (functional execution, no timing).
+        let mut requests = Vec::new();
+        let mut expected = Vec::new();
+        for &p in &probes {
+            let req = offloaded
+                .request(p)
+                .unwrap_or_else(|e| panic!("{}: request failed: {e}", entry.name));
+            let truth = runtime
+                .execute_functional(&req)
+                .unwrap_or_else(|e| panic!("{}: functional failed: {e}", entry.name));
+            expected.push(truth.response.final_state.expect("traversal ran").scratch);
+            requests.push(req);
+        }
+
+        // Now through the rack, respecting the backpressure window.
+        let mut tickets = Vec::new();
+        for req in requests {
+            tickets.push(runtime.submit(req).expect("validated request"));
+            assert!(
+                runtime.in_flight() <= window,
+                "{}: window exceeded at submit",
+                entry.name
+            );
+        }
+        let mut completions = Vec::new();
+        loop {
+            let done = runtime.poll();
+            assert!(
+                runtime.in_flight() <= window,
+                "{}: window exceeded at poll",
+                entry.name
+            );
+            if done.is_empty() {
+                break;
+            }
+            completions.extend(done);
+        }
+        assert_eq!(completions.len(), probes.len(), "{}", entry.name);
+
+        // Match completions to tickets (completion order is sim order).
+        for c in &completions {
+            assert!(c.ok, "{}: request faulted", entry.name);
+            let idx = tickets
+                .iter()
+                .position(|t| t.matches(c))
+                .unwrap_or_else(|| panic!("{}: unknown completion", entry.name));
+            let got = &c.final_state.as_ref().expect("final state").scratch;
+            assert_eq!(
+                got, &expected[idx],
+                "{}: probe {} scratch mismatch",
+                entry.name, probes[idx]
+            );
+        }
+    }
+}
+
+/// `drain()` must reproduce the closed-loop batch path bit-for-bit when
+/// the window equals the old `concurrency` — the guarantee that lets the
+/// Fig. 7 benches and open-loop traffic share one engine.
+#[test]
+fn drain_reproduces_closed_loop_run_on_webservice() {
+    let cfg = WebServiceConfig {
+        keys: 2_000,
+        ..Default::default()
+    };
+    let window = 8;
+
+    // Old path: hand-wired cluster, blocking batch run.
+    let (mut runtime, mut app) = PulseBuilder::new()
+        .nodes(2)
+        .granularity(1 << 20)
+        .window(window)
+        .app(cfg)
+        .unwrap();
+    let requests: Vec<AppRequest> = (0..120).map(|_| app.next_request()).collect();
+
+    // Same deployment for the closed-loop path (deterministic build).
+    let (runtime2, _app2) = PulseBuilder::new()
+        .nodes(2)
+        .granularity(1 << 20)
+        .window(window)
+        .app(cfg)
+        .unwrap();
+    let mut cluster: PulseCluster = runtime2.into_cluster();
+    let old = cluster.run(requests.clone(), window);
+
+    for req in requests {
+        runtime.submit(req).unwrap();
+    }
+    let new = runtime.drain();
+
+    assert_eq!(new.completed, old.completed);
+    assert_eq!(new.faulted, old.faulted);
+    assert_eq!(new.crossings, old.crossings);
+    assert_eq!(new.net_bytes, old.net_bytes);
+    assert_eq!(new.mem_bytes, old.mem_bytes);
+    assert_eq!(new.iterations, old.iterations);
+    assert_eq!(new.makespan, old.makespan);
+    assert_eq!(new.latency.mean, old.latency.mean);
+    assert_eq!(new.latency.p99, old.latency.p99);
+    assert!((new.throughput - old.throughput).abs() < 1e-9);
+}
+
+/// Submitting beyond the window leaves the excess pending, and the window
+/// bound holds through an interleaved submit/poll stream (open-loop use).
+#[test]
+fn backpressure_window_bounds_in_flight() {
+    let (mut runtime, mut app) = PulseBuilder::new()
+        .nodes(2)
+        .window(3)
+        .app(WebServiceConfig {
+            keys: 500,
+            ..Default::default()
+        })
+        .unwrap();
+    for _ in 0..10 {
+        runtime.submit(app.next_request()).unwrap();
+    }
+    assert_eq!(runtime.in_flight(), 3, "window admits exactly 3");
+    assert_eq!(runtime.pending(), 7);
+    let mut completed = 0;
+    loop {
+        let done = runtime.poll();
+        assert!(runtime.in_flight() <= 3);
+        if done.is_empty() {
+            break;
+        }
+        completed += done.len();
+        // Interleave more work mid-stream: backpressure must still hold.
+        if completed == 2 {
+            runtime.submit(app.next_request()).unwrap();
+            assert!(runtime.in_flight() <= 3);
+        }
+    }
+    assert_eq!(completed, 11);
+    assert_eq!(runtime.report().completed, 11);
+    assert_eq!(runtime.in_flight(), 0);
+    assert_eq!(runtime.pending(), 0);
+}
+
+/// The documented panic of `TraversalStage::init_state` is now a typed
+/// error: submit rejects the malformed request up front, and the
+/// functional executor reports it as `Error::Exec`.
+#[test]
+fn malformed_requests_surface_typed_errors() {
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(1)
+        .build_with(|ctx| pulse::ds::HashMapDs::build(ctx, 4, &[(1, 2), (3, 4)]))
+        .unwrap();
+    let offloaded = Offloaded::compile(map, &DispatchEngine::default()).unwrap();
+    let good = offloaded.request(1).unwrap();
+
+    // A first stage chained off a nonexistent predecessor.
+    let mut bad = good.clone();
+    bad.traversals[0].start = StartPtr::FromPrevScratch(0);
+    match runtime.submit(bad.clone()) {
+        Err(Error::Request(RequestError::MissingPrevState)) => {}
+        other => panic!("expected typed request error, got {other:?}"),
+    }
+
+    // The same malformed wiring through the functional executor.
+    let err = runtime.execute_functional(&bad).unwrap_err();
+    assert!(matches!(err, Error::Exec(_)), "{err:?}");
+
+    // Sanity: the well-formed request still completes.
+    runtime.submit(good).unwrap();
+    let done = runtime.poll();
+    assert_eq!(done.len(), 1);
+    assert!(done[0].ok);
+}
+
+/// Builder parameter validation lands in `Error::Config`, not a panic.
+#[test]
+fn builder_rejects_invalid_wiring() {
+    let err = PulseBuilder::new()
+        .nodes(0)
+        .build_with(|_| Ok(()))
+        .unwrap_err();
+    assert!(matches!(err, Error::Config(_)), "{err:?}");
+    let err = PulseBuilder::new()
+        .window(0)
+        .build_with(|_| Ok(()))
+        .unwrap_err();
+    assert!(matches!(err, Error::Config(_)), "{err:?}");
+}
+
+/// Manually staged multi-stage requests flow through submit/poll with
+/// results identical to the functional executor (the WiredTiger shape:
+/// descend then scan).
+#[test]
+fn staged_requests_complete_through_the_runtime() {
+    use pulse::dispatch::samples::btree_layout;
+    use pulse::ds::{wt_layout, TreePlacement, WiredTigerTree};
+
+    let pairs: Vec<(u64, u64)> = (0..20_000).map(|k| (k * 2, k)).collect();
+    let (mut runtime, tree) = PulseBuilder::new()
+        .nodes(2)
+        .window(8)
+        .build_with(|ctx| WiredTigerTree::build(ctx, &pairs, TreePlacement::Policy))
+        .unwrap();
+    let locate = Arc::new(pulse::dispatch::compile(&WiredTigerTree::locate_spec()).unwrap());
+    let scan = Arc::new(pulse::dispatch::compile(&WiredTigerTree::scan_spec()).unwrap());
+
+    let mk = |start: u64, limit: u64| AppRequest {
+        traversals: vec![
+            TraversalStage {
+                program: locate.clone(),
+                start: StartPtr::Fixed(tree.root()),
+                scratch_init: vec![(btree_layout::SP_KEY, start)],
+            },
+            TraversalStage {
+                program: scan.clone(),
+                start: StartPtr::FromPrevScratch(btree_layout::SP_LEAF),
+                scratch_init: vec![
+                    (wt_layout::SP_START, start),
+                    (wt_layout::SP_REMAIN, limit),
+                    (wt_layout::SP_MATCHED, 0),
+                ],
+            },
+        ],
+        object_io: None,
+        cpu_work: SimTime::ZERO,
+        response_extra_bytes: 0,
+    };
+
+    let cases = [(100u64, 25u64), (39_990, 50), (0, 10)];
+    let mut expected = Vec::new();
+    for &(start, limit) in &cases {
+        let req = mk(start, limit);
+        let truth = execute_functional(runtime.memory_mut(), &req, 1 << 20).unwrap();
+        expected.push(
+            truth
+                .response
+                .final_state
+                .unwrap()
+                .scratch_u64(wt_layout::SP_MATCHED as usize),
+        );
+        runtime.submit(req).unwrap();
+    }
+    let mut seen = 0;
+    loop {
+        let done = runtime.poll();
+        if done.is_empty() {
+            break;
+        }
+        for c in done {
+            let idx = c.id.seq as usize;
+            let matched = c
+                .final_state
+                .as_ref()
+                .unwrap()
+                .scratch_u64(wt_layout::SP_MATCHED as usize);
+            assert_eq!(matched, expected[idx], "case {idx}");
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, cases.len());
+}
