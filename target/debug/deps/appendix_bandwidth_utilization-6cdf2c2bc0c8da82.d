@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_bandwidth_utilization-6cdf2c2bc0c8da82.d: crates/bench/benches/appendix_bandwidth_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_bandwidth_utilization-6cdf2c2bc0c8da82.rmeta: crates/bench/benches/appendix_bandwidth_utilization.rs Cargo.toml
+
+crates/bench/benches/appendix_bandwidth_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

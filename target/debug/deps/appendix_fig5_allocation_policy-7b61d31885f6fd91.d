@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_fig5_allocation_policy-7b61d31885f6fd91.d: crates/bench/benches/appendix_fig5_allocation_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_fig5_allocation_policy-7b61d31885f6fd91.rmeta: crates/bench/benches/appendix_fig5_allocation_policy.rs Cargo.toml
+
+crates/bench/benches/appendix_fig5_allocation_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_fig6_uniform-a532d2db9d9fc6b7.d: crates/bench/benches/appendix_fig6_uniform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_fig6_uniform-a532d2db9d9fc6b7.rmeta: crates/bench/benches/appendix_fig6_uniform.rs Cargo.toml
+
+crates/bench/benches/appendix_fig6_uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_memory_pipelines-c5b50252d60cbfc3.d: crates/bench/benches/appendix_memory_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_memory_pipelines-c5b50252d60cbfc3.rmeta: crates/bench/benches/appendix_memory_pipelines.rs Cargo.toml
+
+crates/bench/benches/appendix_memory_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_sensitivity-7476afb073089481.d: crates/bench/benches/appendix_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_sensitivity-7476afb073089481.rmeta: crates/bench/benches/appendix_sensitivity.rs Cargo.toml
+
+crates/bench/benches/appendix_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_sensitivity-9e06d393c73d58f2.d: crates/bench/benches/appendix_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_sensitivity-9e06d393c73d58f2.rmeta: crates/bench/benches/appendix_sensitivity.rs Cargo.toml
+
+crates/bench/benches/appendix_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

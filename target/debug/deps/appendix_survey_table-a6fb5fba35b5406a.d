@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appendix_survey_table-a6fb5fba35b5406a.d: crates/bench/benches/appendix_survey_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappendix_survey_table-a6fb5fba35b5406a.rmeta: crates/bench/benches/appendix_survey_table.rs Cargo.toml
+
+crates/bench/benches/appendix_survey_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

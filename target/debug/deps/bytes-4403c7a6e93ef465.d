@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-4403c7a6e93ef465.d: crates/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-4403c7a6e93ef465.rmeta: crates/bytes/src/lib.rs Cargo.toml
+
+crates/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-45a351791cf9fb74.d: crates/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-45a351791cf9fb74: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-db9ef780b9727cae.d: crates/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-db9ef780b9727cae.rlib: crates/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-db9ef780b9727cae.rmeta: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

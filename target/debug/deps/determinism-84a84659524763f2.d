@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-84a84659524763f2.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-84a84659524763f2: tests/determinism.rs
+
+tests/determinism.rs:

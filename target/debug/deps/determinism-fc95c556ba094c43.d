@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fc95c556ba094c43.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-fc95c556ba094c43: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a8bd39870925b9cc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a8bd39870925b9cc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

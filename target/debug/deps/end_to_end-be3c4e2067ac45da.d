@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-be3c4e2067ac45da.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-be3c4e2067ac45da: tests/end_to_end.rs
+
+tests/end_to_end.rs:

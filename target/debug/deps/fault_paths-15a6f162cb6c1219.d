@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_paths-15a6f162cb6c1219.d: tests/fault_paths.rs
+
+/root/repo/target/debug/deps/fault_paths-15a6f162cb6c1219: tests/fault_paths.rs
+
+tests/fault_paths.rs:

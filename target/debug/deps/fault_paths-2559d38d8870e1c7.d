@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_paths-2559d38d8870e1c7.d: tests/fault_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_paths-2559d38d8870e1c7.rmeta: tests/fault_paths.rs Cargo.toml
+
+tests/fault_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_paths-49e5c849c42702a2.d: tests/fault_paths.rs
+
+/root/repo/target/debug/deps/fault_paths-49e5c849c42702a2: tests/fault_paths.rs
+
+tests/fault_paths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_paths-a8578e4230fdcda9.d: tests/fault_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_paths-a8578e4230fdcda9.rmeta: tests/fault_paths.rs Cargo.toml
+
+tests/fault_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02a_motivation_traversal_time-6850d389a7686d7f.d: crates/bench/benches/fig02a_motivation_traversal_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02a_motivation_traversal_time-6850d389a7686d7f.rmeta: crates/bench/benches/fig02a_motivation_traversal_time.rs Cargo.toml
+
+crates/bench/benches/fig02a_motivation_traversal_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

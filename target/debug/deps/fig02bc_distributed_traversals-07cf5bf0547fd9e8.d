@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02bc_distributed_traversals-07cf5bf0547fd9e8.d: crates/bench/benches/fig02bc_distributed_traversals.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02bc_distributed_traversals-07cf5bf0547fd9e8.rmeta: crates/bench/benches/fig02bc_distributed_traversals.rs Cargo.toml
+
+crates/bench/benches/fig02bc_distributed_traversals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_end_to_end-01b406ac5bd01220.d: crates/bench/benches/fig07_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_end_to_end-01b406ac5bd01220.rmeta: crates/bench/benches/fig07_end_to_end.rs Cargo.toml
+
+crates/bench/benches/fig07_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_energy-902b322c02705b57.d: crates/bench/benches/fig08_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_energy-902b322c02705b57.rmeta: crates/bench/benches/fig08_energy.rs Cargo.toml
+
+crates/bench/benches/fig08_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_pulse_acc-35ebbe6c0c6e0fe7.d: crates/bench/benches/fig09_pulse_acc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_pulse_acc-35ebbe6c0c6e0fe7.rmeta: crates/bench/benches/fig09_pulse_acc.rs Cargo.toml
+
+crates/bench/benches/fig09_pulse_acc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

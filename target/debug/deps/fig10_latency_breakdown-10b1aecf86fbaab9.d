@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_latency_breakdown-10b1aecf86fbaab9.d: crates/bench/benches/fig10_latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_latency_breakdown-10b1aecf86fbaab9.rmeta: crates/bench/benches/fig10_latency_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig10_latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_eta_sensitivity-2ffc25e080ca9c55.d: crates/bench/benches/fig11_eta_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_eta_sensitivity-2ffc25e080ca9c55.rmeta: crates/bench/benches/fig11_eta_sensitivity.rs Cargo.toml
+
+crates/bench/benches/fig11_eta_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

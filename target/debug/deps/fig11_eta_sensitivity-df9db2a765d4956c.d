@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_eta_sensitivity-df9db2a765d4956c.d: crates/bench/benches/fig11_eta_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_eta_sensitivity-df9db2a765d4956c.rmeta: crates/bench/benches/fig11_eta_sensitivity.rs Cargo.toml
+
+crates/bench/benches/fig11_eta_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

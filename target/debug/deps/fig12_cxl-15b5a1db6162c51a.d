@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_cxl-15b5a1db6162c51a.d: crates/bench/benches/fig12_cxl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_cxl-15b5a1db6162c51a.rmeta: crates/bench/benches/fig12_cxl.rs Cargo.toml
+
+crates/bench/benches/fig12_cxl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_substrate-38f287c65dacbea8.d: crates/bench/benches/micro_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_substrate-38f287c65dacbea8.rmeta: crates/bench/benches/micro_substrate.rs Cargo.toml
+
+crates/bench/benches/micro_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

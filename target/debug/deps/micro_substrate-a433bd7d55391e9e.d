@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_substrate-a433bd7d55391e9e.d: crates/bench/benches/micro_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_substrate-a433bd7d55391e9e.rmeta: crates/bench/benches/micro_substrate.rs Cargo.toml
+
+crates/bench/benches/micro_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_isa-0b6789da886ac692.d: crates/isa/tests/proptest_isa.rs
+
+/root/repo/target/debug/deps/proptest_isa-0b6789da886ac692: crates/isa/tests/proptest_isa.rs
+
+crates/isa/tests/proptest_isa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_isa-42ff8db172868363.d: crates/isa/tests/proptest_isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_isa-42ff8db172868363.rmeta: crates/isa/tests/proptest_isa.rs Cargo.toml
+
+crates/isa/tests/proptest_isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

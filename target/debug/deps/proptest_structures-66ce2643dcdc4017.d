@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_structures-66ce2643dcdc4017.d: tests/proptest_structures.rs
+
+/root/repo/target/debug/deps/proptest_structures-66ce2643dcdc4017: tests/proptest_structures.rs
+
+tests/proptest_structures.rs:

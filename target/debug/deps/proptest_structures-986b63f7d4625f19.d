@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_structures-986b63f7d4625f19.d: tests/proptest_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_structures-986b63f7d4625f19.rmeta: tests/proptest_structures.rs Cargo.toml
+
+tests/proptest_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

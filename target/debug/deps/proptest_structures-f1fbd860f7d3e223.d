@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_structures-f1fbd860f7d3e223.d: tests/proptest_structures.rs
+
+/root/repo/target/debug/deps/proptest_structures-f1fbd860f7d3e223: tests/proptest_structures.rs
+
+tests/proptest_structures.rs:

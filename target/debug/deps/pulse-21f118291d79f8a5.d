@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pulse-21f118291d79f8a5.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/debug/deps/pulse-21f118291d79f8a5: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pulse-ad3c7d1f02c1cd85.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/debug/deps/libpulse-ad3c7d1f02c1cd85.rlib: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/debug/deps/libpulse-ad3c7d1f02c1cd85.rmeta: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

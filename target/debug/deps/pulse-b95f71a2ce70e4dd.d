@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pulse-b95f71a2ce70e4dd.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse-b95f71a2ce70e4dd.rmeta: src/lib.rs src/api.rs src/error.rs src/runtime.rs Cargo.toml
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

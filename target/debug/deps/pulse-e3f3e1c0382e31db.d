@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pulse-e3f3e1c0382e31db.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/debug/deps/libpulse-e3f3e1c0382e31db.rlib: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/debug/deps/libpulse-e3f3e1c0382e31db.rmeta: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

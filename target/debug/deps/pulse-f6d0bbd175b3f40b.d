@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pulse-f6d0bbd175b3f40b.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/debug/deps/pulse-f6d0bbd175b3f40b: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

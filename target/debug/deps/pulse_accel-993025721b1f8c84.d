@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pulse_accel-993025721b1f8c84.d: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_accel-993025721b1f8c84.rmeta: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/accel.rs:
+crates/accel/src/area.rs:
+crates/accel/src/config.rs:
+crates/accel/src/harness.rs:
+crates/accel/src/staggered.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

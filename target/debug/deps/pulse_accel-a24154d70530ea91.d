@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pulse_accel-a24154d70530ea91.d: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+/root/repo/target/debug/deps/libpulse_accel-a24154d70530ea91.rlib: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+/root/repo/target/debug/deps/libpulse_accel-a24154d70530ea91.rmeta: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accel.rs:
+crates/accel/src/area.rs:
+crates/accel/src/config.rs:
+crates/accel/src/harness.rs:
+crates/accel/src/staggered.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pulse_accel-f62be472ae71f9c1.d: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+/root/repo/target/debug/deps/pulse_accel-f62be472ae71f9c1: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accel.rs:
+crates/accel/src/area.rs:
+crates/accel/src/config.rs:
+crates/accel/src/harness.rs:
+crates/accel/src/staggered.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_baselines-002ee6c42083a5c1.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/debug/deps/libpulse_baselines-002ee6c42083a5c1.rlib: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/debug/deps/libpulse_baselines-002ee6c42083a5c1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_baselines-29edbe35f1bdc868.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/debug/deps/pulse_baselines-29edbe35f1bdc868: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_baselines-510d8f8217729afc.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/debug/deps/libpulse_baselines-510d8f8217729afc.rlib: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/debug/deps/libpulse_baselines-510d8f8217729afc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

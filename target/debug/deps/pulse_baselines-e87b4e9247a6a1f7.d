@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_baselines-e87b4e9247a6a1f7.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/debug/deps/pulse_baselines-e87b4e9247a6a1f7: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_baselines-f143b95a4195d736.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_baselines-f143b95a4195d736.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

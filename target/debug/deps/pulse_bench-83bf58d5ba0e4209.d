@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_bench-83bf58d5ba0e4209.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpulse_bench-83bf58d5ba0e4209.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpulse_bench-83bf58d5ba0e4209.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

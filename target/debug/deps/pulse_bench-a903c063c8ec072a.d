@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_bench-a903c063c8ec072a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_bench-a903c063c8ec072a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse_bench-b335bafa66ba90af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pulse_bench-b335bafa66ba90af: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse_bench-d6abf3f1a8d8e4f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pulse_bench-d6abf3f1a8d8e4f6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_bench-df9d8232c87a5a1b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpulse_bench-df9d8232c87a5a1b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpulse_bench-df9d8232c87a5a1b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_core-05dbb23fafcba9d9.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/debug/deps/libpulse_core-05dbb23fafcba9d9.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/debug/deps/libpulse_core-05dbb23fafcba9d9.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

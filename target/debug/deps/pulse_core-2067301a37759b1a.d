@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_core-2067301a37759b1a.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_core-2067301a37759b1a.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

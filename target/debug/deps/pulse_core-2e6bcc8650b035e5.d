@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_core-2e6bcc8650b035e5.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/debug/deps/pulse_core-2e6bcc8650b035e5: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_core-4eb0be3f0e8e4280.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/debug/deps/pulse_core-4eb0be3f0e8e4280: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

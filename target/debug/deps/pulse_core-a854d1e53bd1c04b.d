@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_core-a854d1e53bd1c04b.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_core-a854d1e53bd1c04b.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

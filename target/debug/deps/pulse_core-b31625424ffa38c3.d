@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_core-b31625424ffa38c3.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/debug/deps/libpulse_core-b31625424ffa38c3.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/debug/deps/libpulse_core-b31625424ffa38c3.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_dispatch-0eb0150e8df706c2.d: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_dispatch-0eb0150e8df706c2.rmeta: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs Cargo.toml
+
+crates/dispatch/src/lib.rs:
+crates/dispatch/src/compile.rs:
+crates/dispatch/src/engine.rs:
+crates/dispatch/src/samples.rs:
+crates/dispatch/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

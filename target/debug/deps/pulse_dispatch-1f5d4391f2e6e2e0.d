@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_dispatch-1f5d4391f2e6e2e0.d: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+/root/repo/target/debug/deps/pulse_dispatch-1f5d4391f2e6e2e0: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+crates/dispatch/src/lib.rs:
+crates/dispatch/src/compile.rs:
+crates/dispatch/src/engine.rs:
+crates/dispatch/src/samples.rs:
+crates/dispatch/src/spec.rs:

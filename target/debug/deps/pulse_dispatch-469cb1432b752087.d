@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_dispatch-469cb1432b752087.d: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+/root/repo/target/debug/deps/libpulse_dispatch-469cb1432b752087.rlib: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+/root/repo/target/debug/deps/libpulse_dispatch-469cb1432b752087.rmeta: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+crates/dispatch/src/lib.rs:
+crates/dispatch/src/compile.rs:
+crates/dispatch/src/engine.rs:
+crates/dispatch/src/samples.rs:
+crates/dispatch/src/spec.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pulse_ds-3555af322e7f1a7c.d: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_ds-3555af322e7f1a7c.rmeta: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs Cargo.toml
+
+crates/ds/src/lib.rs:
+crates/ds/src/bptree.rs:
+crates/ds/src/bst.rs:
+crates/ds/src/btree.rs:
+crates/ds/src/catalog.rs:
+crates/ds/src/common.rs:
+crates/ds/src/hash.rs:
+crates/ds/src/list.rs:
+crates/ds/src/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

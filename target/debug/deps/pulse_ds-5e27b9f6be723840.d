@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pulse_ds-5e27b9f6be723840.d: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+/root/repo/target/debug/deps/libpulse_ds-5e27b9f6be723840.rlib: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+/root/repo/target/debug/deps/libpulse_ds-5e27b9f6be723840.rmeta: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+crates/ds/src/lib.rs:
+crates/ds/src/bptree.rs:
+crates/ds/src/bst.rs:
+crates/ds/src/btree.rs:
+crates/ds/src/catalog.rs:
+crates/ds/src/common.rs:
+crates/ds/src/hash.rs:
+crates/ds/src/list.rs:
+crates/ds/src/traversal.rs:

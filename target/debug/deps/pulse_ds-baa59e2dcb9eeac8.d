@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_ds-baa59e2dcb9eeac8.d: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+/root/repo/target/debug/deps/pulse_ds-baa59e2dcb9eeac8: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+crates/ds/src/lib.rs:
+crates/ds/src/bptree.rs:
+crates/ds/src/bst.rs:
+crates/ds/src/btree.rs:
+crates/ds/src/catalog.rs:
+crates/ds/src/common.rs:
+crates/ds/src/hash.rs:
+crates/ds/src/list.rs:
+crates/ds/src/traversal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulse_energy-3bfbd3d90b70f3e9.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libpulse_energy-3bfbd3d90b70f3e9.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/libpulse_energy-3bfbd3d90b70f3e9.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_energy-9d24b23510a87ba7.d: crates/energy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_energy-9d24b23510a87ba7.rmeta: crates/energy/src/lib.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

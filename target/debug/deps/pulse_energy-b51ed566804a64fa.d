@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulse_energy-b51ed566804a64fa.d: crates/energy/src/lib.rs
+
+/root/repo/target/debug/deps/pulse_energy-b51ed566804a64fa: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_energy-e2f68b03f3245d76.d: crates/energy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_energy-e2f68b03f3245d76.rmeta: crates/energy/src/lib.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

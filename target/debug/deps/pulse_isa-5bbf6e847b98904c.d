@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pulse_isa-5bbf6e847b98904c.d: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/pulse_isa-5bbf6e847b98904c: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/membus.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/program.rs:

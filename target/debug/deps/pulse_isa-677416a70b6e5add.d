@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pulse_isa-677416a70b6e5add.d: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_isa-677416a70b6e5add.rmeta: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/membus.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

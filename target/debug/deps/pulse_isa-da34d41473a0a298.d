@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pulse_isa-da34d41473a0a298.d: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libpulse_isa-da34d41473a0a298.rlib: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libpulse_isa-da34d41473a0a298.rmeta: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/membus.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/program.rs:

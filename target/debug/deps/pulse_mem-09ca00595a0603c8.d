@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulse_mem-09ca00595a0603c8.d: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+/root/repo/target/debug/deps/pulse_mem-09ca00595a0603c8: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alloc.rs:
+crates/mem/src/cluster.rs:
+crates/mem/src/extent.rs:
+crates/mem/src/xlate.rs:

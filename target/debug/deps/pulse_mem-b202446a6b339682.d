@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_mem-b202446a6b339682.d: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+/root/repo/target/debug/deps/libpulse_mem-b202446a6b339682.rlib: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+/root/repo/target/debug/deps/libpulse_mem-b202446a6b339682.rmeta: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alloc.rs:
+crates/mem/src/cluster.rs:
+crates/mem/src/extent.rs:
+crates/mem/src/xlate.rs:

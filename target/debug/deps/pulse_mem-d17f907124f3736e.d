@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_mem-d17f907124f3736e.d: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_mem-d17f907124f3736e.rmeta: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/alloc.rs:
+crates/mem/src/cluster.rs:
+crates/mem/src/extent.rs:
+crates/mem/src/xlate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pulse_net-6bad6b4b7df90b27.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_net-6bad6b4b7df90b27.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/packet.rs:
+crates/net/src/retx.rs:
+crates/net/src/switch.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pulse_net-c0376e7d25bc2e1d.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/pulse_net-c0376e7d25bc2e1d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/packet.rs:
+crates/net/src/retx.rs:
+crates/net/src/switch.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pulse_net-e84896f3459fac9a.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libpulse_net-e84896f3459fac9a.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libpulse_net-e84896f3459fac9a.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/packet.rs:
+crates/net/src/retx.rs:
+crates/net/src/switch.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pulse_sim-32226e4725bbd82c.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/pulse_sim-32226e4725bbd82c: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pulse_sim-b17000270c350434.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libpulse_sim-b17000270c350434.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libpulse_sim-b17000270c350434.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

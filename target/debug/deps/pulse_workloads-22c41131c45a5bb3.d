@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pulse_workloads-22c41131c45a5bb3.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/pulse_workloads-22c41131c45a5bb3: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/exec.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/upmu.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pulse_workloads-5145353006c55102.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libpulse_workloads-5145353006c55102.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libpulse_workloads-5145353006c55102.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/exec.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/upmu.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pulse_workloads-611aa4516415fdb5.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulse_workloads-611aa4516415fdb5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/exec.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/upmu.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

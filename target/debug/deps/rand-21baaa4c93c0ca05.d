@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-21baaa4c93c0ca05.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-21baaa4c93c0ca05.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-21baaa4c93c0ca05.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-412e8a1b93e5e546.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-412e8a1b93e5e546: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

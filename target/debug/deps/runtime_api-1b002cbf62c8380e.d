@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_api-1b002cbf62c8380e.d: tests/runtime_api.rs
+
+/root/repo/target/debug/deps/runtime_api-1b002cbf62c8380e: tests/runtime_api.rs
+
+tests/runtime_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_api-d1b971af1fa26ed9.d: tests/runtime_api.rs
+
+/root/repo/target/debug/deps/runtime_api-d1b971af1fa26ed9: tests/runtime_api.rs
+
+tests/runtime_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_api-ebd6d188103a8af2.d: tests/runtime_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_api-ebd6d188103a8af2.rmeta: tests/runtime_api.rs Cargo.toml
+
+tests/runtime_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_workload_characteristics-543e676ffb2741ae.d: crates/bench/benches/table3_workload_characteristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_workload_characteristics-543e676ffb2741ae.rmeta: crates/bench/benches/table3_workload_characteristics.rs Cargo.toml
+
+crates/bench/benches/table3_workload_characteristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_coupled_vs_disaggregated-83440e489c448228.d: crates/bench/benches/table4_coupled_vs_disaggregated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_coupled_vs_disaggregated-83440e489c448228.rmeta: crates/bench/benches/table4_coupled_vs_disaggregated.rs Cargo.toml
+
+crates/bench/benches/table4_coupled_vs_disaggregated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_ported_structures-94478934721bec18.d: crates/bench/benches/table5_ported_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_ported_structures-94478934721bec18.rmeta: crates/bench/benches/table5_ported_structures.rs Cargo.toml
+
+crates/bench/benches/table5_ported_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

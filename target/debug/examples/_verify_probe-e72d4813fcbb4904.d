@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_verify_probe-e72d4813fcbb4904.d: examples/_verify_probe.rs
+
+/root/repo/target/debug/examples/_verify_probe-e72d4813fcbb4904: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

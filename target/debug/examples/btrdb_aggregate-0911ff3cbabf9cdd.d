@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/btrdb_aggregate-0911ff3cbabf9cdd.d: examples/btrdb_aggregate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbtrdb_aggregate-0911ff3cbabf9cdd.rmeta: examples/btrdb_aggregate.rs Cargo.toml
+
+examples/btrdb_aggregate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

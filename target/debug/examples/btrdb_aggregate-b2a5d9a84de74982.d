@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btrdb_aggregate-b2a5d9a84de74982.d: examples/btrdb_aggregate.rs
+
+/root/repo/target/debug/examples/btrdb_aggregate-b2a5d9a84de74982: examples/btrdb_aggregate.rs
+
+examples/btrdb_aggregate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btrdb_aggregate-e4952e50e7fc7580.d: examples/btrdb_aggregate.rs
+
+/root/repo/target/debug/examples/btrdb_aggregate-e4952e50e7fc7580: examples/btrdb_aggregate.rs
+
+examples/btrdb_aggregate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_traversal-05f578f9224185a9.d: examples/distributed_traversal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_traversal-05f578f9224185a9.rmeta: examples/distributed_traversal.rs Cargo.toml
+
+examples/distributed_traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_traversal-0c1f6fa97026652b.d: examples/distributed_traversal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_traversal-0c1f6fa97026652b.rmeta: examples/distributed_traversal.rs Cargo.toml
+
+examples/distributed_traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_traversal-7c7b404f9dd88b3e.d: examples/distributed_traversal.rs
+
+/root/repo/target/debug/examples/distributed_traversal-7c7b404f9dd88b3e: examples/distributed_traversal.rs
+
+examples/distributed_traversal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_traversal-b2c6ebc1cde4676e.d: examples/distributed_traversal.rs
+
+/root/repo/target/debug/examples/distributed_traversal-b2c6ebc1cde4676e: examples/distributed_traversal.rs
+
+examples/distributed_traversal.rs:

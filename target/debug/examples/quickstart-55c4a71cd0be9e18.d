@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55c4a71cd0be9e18.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-55c4a71cd0be9e18: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eef44534c0d8d30f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eef44534c0d8d30f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webservice-6745c15ec534c192.d: examples/webservice.rs
+
+/root/repo/target/debug/examples/webservice-6745c15ec534c192: examples/webservice.rs
+
+examples/webservice.rs:

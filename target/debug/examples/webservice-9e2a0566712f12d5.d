@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webservice-9e2a0566712f12d5.d: examples/webservice.rs
+
+/root/repo/target/debug/examples/webservice-9e2a0566712f12d5: examples/webservice.rs
+
+examples/webservice.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/webservice-a37471ffeef7edd4.d: examples/webservice.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwebservice-a37471ffeef7edd4.rmeta: examples/webservice.rs Cargo.toml
+
+examples/webservice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/webservice-b84a953ac0409620.d: examples/webservice.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwebservice-b84a953ac0409620.rmeta: examples/webservice.rs Cargo.toml
+
+examples/webservice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

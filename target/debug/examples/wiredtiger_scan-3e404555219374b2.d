@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wiredtiger_scan-3e404555219374b2.d: examples/wiredtiger_scan.rs
+
+/root/repo/target/debug/examples/wiredtiger_scan-3e404555219374b2: examples/wiredtiger_scan.rs
+
+examples/wiredtiger_scan.rs:

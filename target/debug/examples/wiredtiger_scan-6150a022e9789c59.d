@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wiredtiger_scan-6150a022e9789c59.d: examples/wiredtiger_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwiredtiger_scan-6150a022e9789c59.rmeta: examples/wiredtiger_scan.rs Cargo.toml
+
+examples/wiredtiger_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wiredtiger_scan-e94c581ec18512b7.d: examples/wiredtiger_scan.rs
+
+/root/repo/target/debug/examples/wiredtiger_scan-e94c581ec18512b7: examples/wiredtiger_scan.rs
+
+examples/wiredtiger_scan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-4d8066a34b780860.d: crates/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-4d8066a34b780860.rlib: crates/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-4d8066a34b780860.rmeta: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

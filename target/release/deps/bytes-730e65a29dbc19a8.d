@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-730e65a29dbc19a8.d: crates/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-730e65a29dbc19a8: crates/bytes/src/lib.rs
+
+crates/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-8ab42fb8e8cc5081.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-8ab42fb8e8cc5081: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-1a7f547d958b849f.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-1a7f547d958b849f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

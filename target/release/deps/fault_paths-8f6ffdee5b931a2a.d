@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_paths-8f6ffdee5b931a2a.d: tests/fault_paths.rs
+
+/root/repo/target/release/deps/fault_paths-8f6ffdee5b931a2a: tests/fault_paths.rs
+
+tests/fault_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_isa-d9b7ef8008bb1327.d: crates/isa/tests/proptest_isa.rs
+
+/root/repo/target/release/deps/proptest_isa-d9b7ef8008bb1327: crates/isa/tests/proptest_isa.rs
+
+crates/isa/tests/proptest_isa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_structures-09d3becf1874a0d1.d: tests/proptest_structures.rs
+
+/root/repo/target/release/deps/proptest_structures-09d3becf1874a0d1: tests/proptest_structures.rs
+
+tests/proptest_structures.rs:

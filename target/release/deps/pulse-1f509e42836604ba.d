@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pulse-1f509e42836604ba.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/release/deps/pulse-1f509e42836604ba: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

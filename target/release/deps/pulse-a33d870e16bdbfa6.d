@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pulse-a33d870e16bdbfa6.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/release/deps/pulse-a33d870e16bdbfa6: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pulse-c635aeb2b72970c7.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/release/deps/libpulse-c635aeb2b72970c7.rlib: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/release/deps/libpulse-c635aeb2b72970c7.rmeta: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

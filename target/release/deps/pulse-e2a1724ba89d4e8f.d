@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pulse-e2a1724ba89d4e8f.d: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/release/deps/libpulse-e2a1724ba89d4e8f.rlib: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+/root/repo/target/release/deps/libpulse-e2a1724ba89d4e8f.rmeta: src/lib.rs src/api.rs src/error.rs src/runtime.rs
+
+src/lib.rs:
+src/api.rs:
+src/error.rs:
+src/runtime.rs:

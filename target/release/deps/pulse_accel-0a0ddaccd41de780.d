@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pulse_accel-0a0ddaccd41de780.d: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+/root/repo/target/release/deps/pulse_accel-0a0ddaccd41de780: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accel.rs:
+crates/accel/src/area.rs:
+crates/accel/src/config.rs:
+crates/accel/src/harness.rs:
+crates/accel/src/staggered.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pulse_accel-ec19c24f2c1ce536.d: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+/root/repo/target/release/deps/libpulse_accel-ec19c24f2c1ce536.rlib: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+/root/repo/target/release/deps/libpulse_accel-ec19c24f2c1ce536.rmeta: crates/accel/src/lib.rs crates/accel/src/accel.rs crates/accel/src/area.rs crates/accel/src/config.rs crates/accel/src/harness.rs crates/accel/src/staggered.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accel.rs:
+crates/accel/src/area.rs:
+crates/accel/src/config.rs:
+crates/accel/src/harness.rs:
+crates/accel/src/staggered.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_baselines-4d0f98dade844d7c.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/release/deps/libpulse_baselines-4d0f98dade844d7c.rlib: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/release/deps/libpulse_baselines-4d0f98dade844d7c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

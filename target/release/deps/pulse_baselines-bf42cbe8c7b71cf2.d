@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_baselines-bf42cbe8c7b71cf2.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/release/deps/libpulse_baselines-bf42cbe8c7b71cf2.rlib: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/release/deps/libpulse_baselines-bf42cbe8c7b71cf2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse_baselines-fc72a08447e03baa.d: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+/root/repo/target/release/deps/pulse_baselines-fc72a08447e03baa: crates/baselines/src/lib.rs crates/baselines/src/lru.rs crates/baselines/src/systems.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lru.rs:
+crates/baselines/src/systems.rs:

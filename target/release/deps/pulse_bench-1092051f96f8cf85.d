@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse_bench-1092051f96f8cf85.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpulse_bench-1092051f96f8cf85.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpulse_bench-1092051f96f8cf85.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

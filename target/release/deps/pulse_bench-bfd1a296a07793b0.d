@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse_bench-bfd1a296a07793b0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpulse_bench-bfd1a296a07793b0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpulse_bench-bfd1a296a07793b0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pulse_bench-c85c63f5025755c0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/pulse_bench-c85c63f5025755c0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse_core-a3aa96ce32795a8f.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/release/deps/pulse_core-a3aa96ce32795a8f: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

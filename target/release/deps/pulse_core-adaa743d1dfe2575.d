@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_core-adaa743d1dfe2575.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/release/deps/libpulse_core-adaa743d1dfe2575.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/release/deps/libpulse_core-adaa743d1dfe2575.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

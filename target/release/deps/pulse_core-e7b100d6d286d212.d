@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_core-e7b100d6d286d212.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/release/deps/libpulse_core-e7b100d6d286d212.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+/root/repo/target/release/deps/libpulse_core-e7b100d6d286d212.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/cxl.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/cxl.rs:

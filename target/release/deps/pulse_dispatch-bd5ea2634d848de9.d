@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_dispatch-bd5ea2634d848de9.d: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+/root/repo/target/release/deps/pulse_dispatch-bd5ea2634d848de9: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+crates/dispatch/src/lib.rs:
+crates/dispatch/src/compile.rs:
+crates/dispatch/src/engine.rs:
+crates/dispatch/src/samples.rs:
+crates/dispatch/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_dispatch-c69aab4d43d33645.d: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+/root/repo/target/release/deps/libpulse_dispatch-c69aab4d43d33645.rlib: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+/root/repo/target/release/deps/libpulse_dispatch-c69aab4d43d33645.rmeta: crates/dispatch/src/lib.rs crates/dispatch/src/compile.rs crates/dispatch/src/engine.rs crates/dispatch/src/samples.rs crates/dispatch/src/spec.rs
+
+crates/dispatch/src/lib.rs:
+crates/dispatch/src/compile.rs:
+crates/dispatch/src/engine.rs:
+crates/dispatch/src/samples.rs:
+crates/dispatch/src/spec.rs:

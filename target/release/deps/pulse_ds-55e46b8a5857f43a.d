@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pulse_ds-55e46b8a5857f43a.d: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+/root/repo/target/release/deps/libpulse_ds-55e46b8a5857f43a.rlib: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+/root/repo/target/release/deps/libpulse_ds-55e46b8a5857f43a.rmeta: crates/ds/src/lib.rs crates/ds/src/bptree.rs crates/ds/src/bst.rs crates/ds/src/btree.rs crates/ds/src/catalog.rs crates/ds/src/common.rs crates/ds/src/hash.rs crates/ds/src/list.rs crates/ds/src/traversal.rs
+
+crates/ds/src/lib.rs:
+crates/ds/src/bptree.rs:
+crates/ds/src/bst.rs:
+crates/ds/src/btree.rs:
+crates/ds/src/catalog.rs:
+crates/ds/src/common.rs:
+crates/ds/src/hash.rs:
+crates/ds/src/list.rs:
+crates/ds/src/traversal.rs:

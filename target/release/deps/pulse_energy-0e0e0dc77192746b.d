@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pulse_energy-0e0e0dc77192746b.d: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/pulse_energy-0e0e0dc77192746b: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

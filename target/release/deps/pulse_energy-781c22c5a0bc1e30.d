@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulse_energy-781c22c5a0bc1e30.d: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libpulse_energy-781c22c5a0bc1e30.rlib: crates/energy/src/lib.rs
+
+/root/repo/target/release/deps/libpulse_energy-781c22c5a0bc1e30.rmeta: crates/energy/src/lib.rs
+
+crates/energy/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pulse_isa-98521da56bf9fb4a.d: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/pulse_isa-98521da56bf9fb4a: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/membus.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/program.rs:

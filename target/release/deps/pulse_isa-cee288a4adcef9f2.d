@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pulse_isa-cee288a4adcef9f2.d: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libpulse_isa-cee288a4adcef9f2.rlib: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libpulse_isa-cee288a4adcef9f2.rmeta: crates/isa/src/lib.rs crates/isa/src/builder.rs crates/isa/src/cost.rs crates/isa/src/encode.rs crates/isa/src/interp.rs crates/isa/src/membus.rs crates/isa/src/ops.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/membus.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pulse_mem-79174683b8935a3f.d: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+/root/repo/target/release/deps/pulse_mem-79174683b8935a3f: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alloc.rs:
+crates/mem/src/cluster.rs:
+crates/mem/src/extent.rs:
+crates/mem/src/xlate.rs:

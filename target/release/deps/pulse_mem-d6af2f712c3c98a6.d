@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_mem-d6af2f712c3c98a6.d: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+/root/repo/target/release/deps/libpulse_mem-d6af2f712c3c98a6.rlib: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+/root/repo/target/release/deps/libpulse_mem-d6af2f712c3c98a6.rmeta: crates/mem/src/lib.rs crates/mem/src/alloc.rs crates/mem/src/cluster.rs crates/mem/src/extent.rs crates/mem/src/xlate.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/alloc.rs:
+crates/mem/src/cluster.rs:
+crates/mem/src/extent.rs:
+crates/mem/src/xlate.rs:

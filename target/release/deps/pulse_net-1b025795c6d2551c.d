@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pulse_net-1b025795c6d2551c.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libpulse_net-1b025795c6d2551c.rlib: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libpulse_net-1b025795c6d2551c.rmeta: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/packet.rs:
+crates/net/src/retx.rs:
+crates/net/src/switch.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pulse_net-4c7ea7a5a47b80fe.d: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/pulse_net-4c7ea7a5a47b80fe: crates/net/src/lib.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/retx.rs crates/net/src/switch.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/link.rs:
+crates/net/src/packet.rs:
+crates/net/src/retx.rs:
+crates/net/src/switch.rs:
+crates/net/src/wire.rs:

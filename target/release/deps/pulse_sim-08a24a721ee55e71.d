@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pulse_sim-08a24a721ee55e71.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/pulse_sim-08a24a721ee55e71: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

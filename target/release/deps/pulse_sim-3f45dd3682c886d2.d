@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pulse_sim-3f45dd3682c886d2.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libpulse_sim-3f45dd3682c886d2.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libpulse_sim-3f45dd3682c886d2.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pulse_workloads-573c29fafe7d9fd4.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libpulse_workloads-573c29fafe7d9fd4.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libpulse_workloads-573c29fafe7d9fd4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/exec.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/upmu.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pulse_workloads-c5826b30f136bac5.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/pulse_workloads-c5826b30f136bac5: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/exec.rs crates/workloads/src/request.rs crates/workloads/src/upmu.rs crates/workloads/src/ycsb.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/exec.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/upmu.rs:
+crates/workloads/src/ycsb.rs:
+crates/workloads/src/zipf.rs:

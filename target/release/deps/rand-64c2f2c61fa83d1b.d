@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-64c2f2c61fa83d1b.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-64c2f2c61fa83d1b: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

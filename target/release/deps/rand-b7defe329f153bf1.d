@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-b7defe329f153bf1.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b7defe329f153bf1.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b7defe329f153bf1.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_api-e92b92365b81efc9.d: tests/runtime_api.rs
+
+/root/repo/target/release/deps/runtime_api-e92b92365b81efc9: tests/runtime_api.rs
+
+tests/runtime_api.rs:

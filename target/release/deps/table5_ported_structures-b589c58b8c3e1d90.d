@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_ported_structures-b589c58b8c3e1d90.d: crates/bench/benches/table5_ported_structures.rs
+
+/root/repo/target/release/deps/table5_ported_structures-b589c58b8c3e1d90: crates/bench/benches/table5_ported_structures.rs
+
+crates/bench/benches/table5_ported_structures.rs:

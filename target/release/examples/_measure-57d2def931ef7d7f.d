@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_measure-57d2def931ef7d7f.d: examples/_measure.rs
+
+/root/repo/target/release/examples/_measure-57d2def931ef7d7f: examples/_measure.rs
+
+examples/_measure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe2-70075d3b577c962c.d: examples/_probe2.rs
+
+/root/repo/target/release/examples/_probe2-70075d3b577c962c: examples/_probe2.rs
+
+examples/_probe2.rs:

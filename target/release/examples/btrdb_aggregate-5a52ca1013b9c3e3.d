@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/btrdb_aggregate-5a52ca1013b9c3e3.d: examples/btrdb_aggregate.rs
+
+/root/repo/target/release/examples/btrdb_aggregate-5a52ca1013b9c3e3: examples/btrdb_aggregate.rs
+
+examples/btrdb_aggregate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/btrdb_aggregate-b3fa115997295899.d: examples/btrdb_aggregate.rs
+
+/root/repo/target/release/examples/btrdb_aggregate-b3fa115997295899: examples/btrdb_aggregate.rs
+
+examples/btrdb_aggregate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_traversal-2db493fa182ef7ae.d: examples/distributed_traversal.rs
+
+/root/repo/target/release/examples/distributed_traversal-2db493fa182ef7ae: examples/distributed_traversal.rs
+
+examples/distributed_traversal.rs:

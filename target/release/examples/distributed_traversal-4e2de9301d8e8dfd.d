@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_traversal-4e2de9301d8e8dfd.d: examples/distributed_traversal.rs
+
+/root/repo/target/release/examples/distributed_traversal-4e2de9301d8e8dfd: examples/distributed_traversal.rs
+
+examples/distributed_traversal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d5aab3334bba3daf.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d5aab3334bba3daf: examples/quickstart.rs
+
+examples/quickstart.rs:

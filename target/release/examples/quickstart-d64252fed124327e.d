@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d64252fed124327e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d64252fed124327e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/webservice-66ee2bc5caae2f95.d: examples/webservice.rs
+
+/root/repo/target/release/examples/webservice-66ee2bc5caae2f95: examples/webservice.rs
+
+examples/webservice.rs:

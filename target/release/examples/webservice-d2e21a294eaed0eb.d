@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/webservice-d2e21a294eaed0eb.d: examples/webservice.rs
+
+/root/repo/target/release/examples/webservice-d2e21a294eaed0eb: examples/webservice.rs
+
+examples/webservice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wiredtiger_scan-b5bd7802cb547fe8.d: examples/wiredtiger_scan.rs
+
+/root/repo/target/release/examples/wiredtiger_scan-b5bd7802cb547fe8: examples/wiredtiger_scan.rs
+
+examples/wiredtiger_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wiredtiger_scan-d61aaf386d11401e.d: examples/wiredtiger_scan.rs
+
+/root/repo/target/release/examples/wiredtiger_scan-d61aaf386d11401e: examples/wiredtiger_scan.rs
+
+examples/wiredtiger_scan.rs:
