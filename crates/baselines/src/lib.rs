@@ -20,5 +20,6 @@ mod systems;
 
 pub use lru::LruSet;
 pub use systems::{
-    run_rpc, run_swap_cache, BaselineReport, CpuModel, NetModel, RpcConfig, RpcFlavor, SwapConfig,
+    run_rpc, run_rpc_open_loop, run_swap_cache, run_swap_cache_open_loop, BaselineReport, CpuModel,
+    NetModel, RpcConfig, RpcFlavor, SwapConfig,
 };

@@ -136,6 +136,60 @@ fn closed_loop(
     (hist.summary(), makespan, traversal_total, busy_total)
 }
 
+/// Open-loop driver: request `i` *arrives* at `arrivals[i]` regardless of
+/// completions, waits FIFO for one of `concurrency` clients, and its
+/// latency is measured from arrival — so it includes queueing delay, the
+/// quantity latency-vs-load sweeps plot.
+///
+/// Admission order is arrival order; each ready time is
+/// `max(arrival, earliest client free time)`, both non-decreasing, so the
+/// resource bookings inside `serve` stay time-ordered exactly as in
+/// [`closed_loop`].
+fn open_loop(
+    arrivals: &[SimTime],
+    concurrency: usize,
+    mut serve: impl FnMut(usize, SimTime) -> (SimTime, SimTime, SimTime),
+) -> (LatencySummary, SimTime, SimTime, SimTime) {
+    assert!(concurrency > 0 && !arrivals.is_empty());
+    debug_assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrival times must be sorted"
+    );
+    let mut free: BinaryHeap<Reverse<SimTime>> =
+        (0..concurrency).map(|_| Reverse(SimTime::ZERO)).collect();
+    let mut hist = LatencyHistogram::new();
+    let mut makespan = SimTime::ZERO;
+    let mut traversal_total = SimTime::ZERO;
+    let mut busy_total = SimTime::ZERO;
+    for (idx, &arrive) in arrivals.iter().enumerate() {
+        let Reverse(free_at) = free.pop().expect("concurrency > 0");
+        let ready = arrive.max(free_at);
+        let (end, traversal, busy) = serve(idx, ready);
+        hist.record(end - arrive);
+        busy_total += busy;
+        traversal_total += traversal;
+        makespan = makespan.max(end);
+        free.push(Reverse(end));
+    }
+    (hist.summary(), makespan, traversal_total, busy_total)
+}
+
+/// Dispatches to [`closed_loop`] (no arrival schedule) or [`open_loop`].
+fn drive(
+    total: usize,
+    concurrency: usize,
+    arrivals: Option<&[SimTime]>,
+    serve: impl FnMut(usize, SimTime) -> (SimTime, SimTime, SimTime),
+) -> (LatencySummary, SimTime, SimTime, SimTime) {
+    match arrivals {
+        None => closed_loop(total, concurrency, serve),
+        Some(times) => {
+            assert_eq!(times.len(), total, "one arrival time per request");
+            open_loop(times, concurrency, serve)
+        }
+    }
+}
+
 // ------------------------------------------------------------- Cache-based
 
 /// Fastswap-style swap cache configuration.
@@ -183,6 +237,30 @@ pub fn run_swap_cache(
     concurrency: usize,
     cfg: SwapConfig,
 ) -> BaselineReport {
+    swap_cache_impl(mem, requests, concurrency, cfg, None)
+}
+
+/// Open-loop variant of [`run_swap_cache`]: request `i` arrives at
+/// `arrivals[i]` (sorted ascending) and its latency is measured from that
+/// arrival, queueing included. The report's throughput is goodput over the
+/// arrival-to-last-completion span.
+pub fn run_swap_cache_open_loop(
+    mem: &mut ClusterMemory,
+    requests: &[AppRequest],
+    concurrency: usize,
+    cfg: SwapConfig,
+    arrivals: &[SimTime],
+) -> BaselineReport {
+    swap_cache_impl(mem, requests, concurrency, cfg, Some(arrivals))
+}
+
+fn swap_cache_impl(
+    mem: &mut ClusterMemory,
+    requests: &[AppRequest],
+    concurrency: usize,
+    cfg: SwapConfig,
+    arrivals: Option<&[SimTime]>,
+) -> BaselineReport {
     let mut lru = LruSet::new((cfg.cache_bytes / cfg.page_bytes).max(1) as usize);
     let mut swap_pipe = SerialResource::new(u64::MAX); // fixed service per page
     let mut threads = ServerPool::new(cfg.threads);
@@ -205,7 +283,7 @@ pub fn run_swap_cache(
     // completion is the max over the uncontended path and each contended
     // resource's grant plus its downstream path.
     let (latency, makespan, traversal_total, latency_total) =
-        closed_loop(requests.len(), concurrency, |idx, ready| {
+        drive(requests.len(), concurrency, arrivals, |idx, ready| {
             let (accesses, cpu_work) = &traces[idx];
             let mut pure = SimTime::ZERO;
             let mut traversal_pure = SimTime::ZERO;
@@ -246,7 +324,7 @@ pub fn run_swap_cache(
         label: "Cache-based",
         completed: requests.len() as u64,
         latency,
-        throughput: requests.len() as f64 / makespan.as_secs_f64().max(1e-12),
+        throughput: measured_rate(requests.len(), makespan, arrivals),
         traversal_time: traversal_total,
         total_time: latency_total,
         net_bytes,
@@ -356,6 +434,40 @@ pub fn run_rpc(
     concurrency: usize,
     cfg: RpcConfig,
 ) -> BaselineReport {
+    rpc_impl(mem, requests, concurrency, cfg, None)
+}
+
+/// Open-loop variant of [`run_rpc`]: request `i` arrives at `arrivals[i]`
+/// (sorted ascending) and its latency is measured from that arrival,
+/// queueing included. The report's throughput is goodput over the
+/// arrival-to-last-completion span.
+pub fn run_rpc_open_loop(
+    mem: &mut ClusterMemory,
+    requests: &[AppRequest],
+    concurrency: usize,
+    cfg: RpcConfig,
+    arrivals: &[SimTime],
+) -> BaselineReport {
+    rpc_impl(mem, requests, concurrency, cfg, Some(arrivals))
+}
+
+/// Completions per second: over the makespan for closed loop, over the
+/// first-arrival-to-last-completion span for open loop.
+fn measured_rate(completed: usize, makespan: SimTime, arrivals: Option<&[SimTime]>) -> f64 {
+    let span = match arrivals {
+        Some(times) if !times.is_empty() => makespan.saturating_sub(times[0]),
+        _ => makespan,
+    };
+    completed as f64 / span.as_secs_f64().max(1e-12)
+}
+
+fn rpc_impl(
+    mem: &mut ClusterMemory,
+    requests: &[AppRequest],
+    concurrency: usize,
+    cfg: RpcConfig,
+    arrivals: Option<&[SimTime]>,
+) -> BaselineReport {
     let nodes = mem.node_count();
     let cpu = cfg.cpu();
     let mut workers: Vec<ServerPool> = (0..nodes)
@@ -427,7 +539,7 @@ pub fn run_rpc(
         .collect();
 
     let (latency, makespan, traversal_total, latency_total) =
-        closed_loop(requests.len(), concurrency, |idx, ready| {
+        drive(requests.len(), concurrency, arrivals, |idx, ready| {
             let p = &priced[idx];
             // Cache+RPC: a hit in the object cache spares the object's wire
             // transfer, but the traversal still runs remotely — the index
@@ -483,7 +595,7 @@ pub fn run_rpc(
         label: cfg.label(),
         completed: requests.len() as u64,
         latency,
-        throughput: requests.len() as f64 / makespan.as_secs_f64().max(1e-12),
+        throughput: measured_rate(requests.len(), makespan, arrivals),
         traversal_time: traversal_total,
         total_time: latency_total,
         net_bytes,
@@ -622,6 +734,39 @@ mod tests {
             "traversal fraction should grow with smaller caches: {fractions:?}"
         );
         assert!(fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn open_loop_latency_grows_with_offered_load() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let mut p99_at = |gap_ns: u64| {
+            let arrivals: Vec<SimTime> = (1..=reqs.len() as u64)
+                .map(|i| SimTime::from_nanos(gap_ns * i))
+                .collect();
+            run_rpc_open_loop(&mut mem, &reqs, 8, RpcConfig::rpc(), &arrivals)
+                .latency
+                .p99
+        };
+        let light = p99_at(200_000); // 5 kops offered
+        let heavy = p99_at(2_000); // 500 kops offered: far past saturation
+        assert!(
+            heavy > light * 2,
+            "queueing must appear under load: light {light} heavy {heavy}"
+        );
+    }
+
+    #[test]
+    fn open_loop_at_light_load_matches_unloaded_latency() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let closed = run_rpc(&mut mem, &reqs, 1, RpcConfig::rpc());
+        let arrivals: Vec<SimTime> = (1..=reqs.len() as u64)
+            .map(|i| SimTime::from_micros(500 * i))
+            .collect();
+        let open = run_rpc_open_loop(&mut mem, &reqs, 8, RpcConfig::rpc(), &arrivals);
+        // So sparse that no request ever queues: mean within 25% of the
+        // single-client closed loop (cache state differs run to run).
+        let ratio = open.latency.mean.as_nanos_f64() / closed.latency.mean.as_nanos_f64();
+        assert!((0.75..1.25).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //!
 //! Working sets are scaled from the paper's multi-GB deployments (factors
 //! printed by each bench); every run is deterministic.
+//!
+//! Beyond the per-figure replays, [`sweep`] runs the extended evaluation's
+//! headline shape: an open-loop load ladder (offered kops → p50/p95/p99
+//! latency + goodput) over any engine behind the shared
+//! [`Engine`](pulse::Engine) trait, emitted as a `BENCH_sweep.json`-style
+//! report via [`sweep_json`].
 
 #![warn(missing_docs)]
 
@@ -189,4 +195,175 @@ pub fn run_baselines_both(
     let lat = run_baselines(kind, nodes, dist, requests, 8);
     let peak = run_baselines(kind, nodes, dist, requests, 128);
     lat.into_iter().zip(peak).collect()
+}
+
+// ------------------------------------------------------- latency-vs-load
+
+/// One rung of a latency-vs-offered-load ladder.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered Poisson arrival rate, kilo-requests per second.
+    pub offered_kops: f64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests terminated by faults.
+    pub faulted: u64,
+    /// Median latency (from arrival, queueing included), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Successful completions, kilo-requests per second.
+    pub goodput_kops: f64,
+}
+
+impl SweepPoint {
+    fn from_report(rep: &pulse::OpenLoopReport) -> SweepPoint {
+        SweepPoint {
+            offered_kops: rep.offered_per_sec / 1e3,
+            completed: rep.completed,
+            faulted: rep.faulted,
+            p50_us: rep.latency.p50.as_micros_f64(),
+            p95_us: rep.latency.p95.as_micros_f64(),
+            p99_us: rep.latency.p99.as_micros_f64(),
+            goodput_kops: rep.goodput_per_sec / 1e3,
+        }
+    }
+}
+
+/// A full ladder for one engine: the latency-vs-load curve the extended
+/// evaluation plots.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Engine label ("pulse", "RPC", ...).
+    pub label: String,
+    /// One point per offered load, in ladder order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// The highest offered load (kops) whose measured p99 stays at or
+    /// under `p99_us` — the "sustained load at an SLO" headline number.
+    pub fn max_load_under_p99(&self, p99_us: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.p99_us <= p99_us)
+            .map(|p| p.offered_kops)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Serializes the curve as a JSON object (hand-rolled; the workspace
+    /// is offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"offered_kops\":{:.3},\"completed\":{},\"faulted\":{},\
+                     \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\
+                     \"goodput_kops\":{:.3}}}",
+                    p.offered_kops,
+                    p.completed,
+                    p.faulted,
+                    p.p50_us,
+                    p.p95_us,
+                    p.p99_us,
+                    p.goodput_kops
+                )
+            })
+            .collect();
+        format!(
+            "{{\"label\":\"{}\",\"points\":[{}]}}",
+            self.label,
+            points.join(",")
+        )
+    }
+}
+
+/// Bundles several engines' curves into one `BENCH_sweep.json`-style
+/// document.
+pub fn sweep_json(reports: &[SweepReport]) -> String {
+    let curves: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
+    format!("{{\"sweep\":[{}]}}", curves.join(","))
+}
+
+/// Runs a load ladder over one engine family: for every offered load in
+/// `loads_kops`, `make` builds a *fresh* engine plus its request stream
+/// (the [`Engine`](pulse::Engine) measurement contract is one run per
+/// instance), and the engine executes the stream open-loop under Poisson
+/// arrivals seeded with `seed`. The same seed is reused across rungs, so
+/// each rung sees the same arrival pattern compressed to its rate — which
+/// keeps the curve monotone in load rather than jittered by resampling —
+/// and across engine families, which makes curves directly comparable.
+///
+/// # Errors
+///
+/// Propagates request-validation failures from the engine.
+pub fn sweep(
+    loads_kops: &[f64],
+    seed: u64,
+    mut make: impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>),
+) -> Result<SweepReport, pulse::Error> {
+    let mut label = String::new();
+    let mut points = Vec::new();
+    for &kops in loads_kops {
+        let (mut engine, requests) = make();
+        let arrivals = pulse::ArrivalProcess::poisson(kops * 1e3, seed);
+        let rep = engine.execute_open_loop(&requests, arrivals)?;
+        label = rep.label.clone();
+        points.push(SweepPoint::from_report(&rep));
+    }
+    Ok(SweepReport { label, points })
+}
+
+/// A ready-made engine factory for [`sweep`]: the pulse rack over a
+/// WebService deployment (`nodes` memory nodes, `cpus` compute nodes,
+/// requests round-robined across them), regenerating the identical
+/// deployment and request stream for every rung.
+pub fn pulse_webservice_factory(
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    move || {
+        let (runtime, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .cpus(cpus)
+            .granularity(DEFAULT_GRANULARITY)
+            .app(WebServiceConfig {
+                keys: 6_000,
+                ..Default::default()
+            })
+            .expect("wire pulse rack");
+        let reqs = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
+/// Baseline counterpart of [`pulse_webservice_factory`], over an identical
+/// deployment, behind the same [`Engine`](pulse::Engine) trait.
+pub fn baseline_webservice_factory(
+    nodes: usize,
+    kind: pulse::BaselineKind,
+    concurrency: usize,
+    requests: usize,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    move || {
+        let (engine, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .window(concurrency)
+            .granularity(DEFAULT_GRANULARITY)
+            .baseline_app(
+                kind,
+                WebServiceConfig {
+                    keys: 6_000,
+                    ..Default::default()
+                },
+            )
+            .expect("wire baseline");
+        let reqs = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(engine) as Box<dyn pulse::Engine>, reqs)
+    }
 }

@@ -1,6 +1,13 @@
-//! The rack-scale pulse simulation: CPU node + programmable switch +
-//! per-memory-node accelerators, executing application requests end-to-end
-//! with full functional fidelity and event-driven timing.
+//! The rack-scale pulse simulation: N CPU (compute) nodes + programmable
+//! switch + per-memory-node accelerators, executing application requests
+//! end-to-end with full functional fidelity and event-driven timing.
+//!
+//! Every CPU node has its own full-duplex [`Link`] to the switch — the
+//! node's NIC doubles as its issue queue, serializing departures — and its
+//! own request-sequence counter, so a [`RequestId`] `(cpu, seq)` is unique
+//! rack-wide and every reply routes back to the node that issued the
+//! request. Requests are spread across CPU nodes by a deterministic
+//! [`CpuAssignment`] policy at submit time.
 //!
 //! This is the system Fig. 7/9 evaluate. Two modes exist:
 //!
@@ -17,7 +24,7 @@ use pulse_net::{
     CodeBlob, Endpoint, IterPacket, IterStatus, Link, LinkConfig, Packet, RequestId, Route, Switch,
     SwitchConfig,
 };
-use pulse_sim::{Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime};
+use pulse_sim::{Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime, SplitMix64};
 use pulse_workloads::{AddrSource, AppRequest};
 use std::collections::HashMap;
 
@@ -28,6 +35,29 @@ pub enum PulseMode {
     Pulse,
     /// Return-to-CPU on every crossing (the `pulse-acc` ablation).
     PulseAcc,
+}
+
+/// How submitted requests are spread across the rack's CPU nodes. Both
+/// policies are pure functions of the submission counter, so a request
+/// stream maps to the same CPU nodes on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuAssignment {
+    /// Submission `i` issues from CPU node `i % cpus`.
+    RoundRobin,
+    /// Submission `i` issues from `splitmix64(i) % cpus` — decorrelates
+    /// neighboring submissions from neighboring nodes (the shape a
+    /// load balancer hashing on connection 5-tuples produces).
+    Hash,
+}
+
+impl CpuAssignment {
+    /// The CPU node the `counter`-th submission issues from.
+    fn pick(self, counter: u64, cpus: usize) -> usize {
+        match self {
+            CpuAssignment::RoundRobin => (counter % cpus as u64) as usize,
+            CpuAssignment::Hash => (SplitMix64::new(counter).next_u64() % cpus as u64) as usize,
+        }
+    }
 }
 
 /// Cluster configuration.
@@ -47,6 +77,11 @@ pub struct ClusterConfig {
     pub reissue_overhead: SimTime,
     /// TCAM capacity per node-local translation table.
     pub tcam_capacity: usize,
+    /// Number of CPU (compute) nodes issuing requests; each has its own
+    /// link/issue queue and sequence counter.
+    pub cpus: usize,
+    /// How submissions are assigned to CPU nodes.
+    pub assignment: CpuAssignment,
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +94,8 @@ impl Default for ClusterConfig {
             dispatch_overhead: SimTime::from_nanos(300),
             reissue_overhead: SimTime::from_micros(1),
             tcam_capacity: 4096,
+            cpus: 1,
+            assignment: CpuAssignment::RoundRobin,
         }
     }
 }
@@ -77,7 +114,8 @@ pub struct ClusterReport {
     /// Mid-traversal node crossings (switch reroutes in pulse mode, CPU
     /// bounces in pulse-acc mode).
     pub crossings: u64,
-    /// Bytes that crossed the CPU node's link (both directions).
+    /// Bytes that crossed the CPU nodes' links (both directions, summed
+    /// over every compute node).
     pub net_bytes: u64,
     /// Bytes served by memory-node DRAM (windows + objects).
     pub mem_bytes: u64,
@@ -163,11 +201,16 @@ pub struct PulseCluster {
     accels: Vec<Accelerator>,
     switch: Switch,
     links: Vec<Link>,
-    cpu_link: Link,
+    /// One link per CPU node: the node's NIC and, because departures
+    /// serialize through it, its issue queue.
+    cpu_links: Vec<Link>,
     /// Per-node DMA engines serving plain object reads/writes.
     dma: Vec<SerialResource>,
     inflight: HashMap<RequestId, ReqState>,
-    next_seq: u64,
+    /// Per-CPU-node request sequence counters.
+    next_seq: Vec<u64>,
+    /// Total submissions so far (drives the CPU-assignment policy).
+    submitted: u64,
     /// The event loop (incremental: submit/step/take_completions).
     drv: Driver<Ev>,
     /// Completions accumulated since the last [`Self::take_completions`].
@@ -203,10 +246,16 @@ impl PulseCluster {
     /// # Errors
     ///
     /// [`CapacityExceeded`] naming the overflowing node's demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cpus == 0` (a rack needs at least one compute node;
+    /// the `pulse::PulseBuilder` façade reports this as a typed error).
     pub fn try_new(
         cfg: ClusterConfig,
         mem: ClusterMemory,
     ) -> Result<PulseCluster, CapacityExceeded> {
+        assert!(cfg.cpus >= 1, "a rack needs at least one CPU node");
         let nodes = mem.node_count();
         let switch = Switch::new(cfg.switch, GlobalRangeMap::new(&mem.all_ranges()));
         let accels = (0..nodes)
@@ -224,12 +273,13 @@ impl PulseCluster {
             accels,
             switch,
             links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
-            cpu_link: Link::new(cfg.link),
+            cpu_links: (0..cfg.cpus).map(|_| Link::new(cfg.link)).collect(),
             dma: (0..nodes)
                 .map(|_| SerialResource::new(cfg.accel.timing.dram_bytes_per_sec * 8))
                 .collect(),
             inflight: HashMap::new(),
-            next_seq: 0,
+            next_seq: vec![0; cfg.cpus],
+            submitted: 0,
             drv: Driver::new(),
             done: Vec::new(),
             hist: LatencyHistogram::new(),
@@ -264,14 +314,37 @@ impl PulseCluster {
         &self.accels
     }
 
-    /// Submits a request to the CPU node, to start processing at `at`
-    /// (which must not be in the simulated past). Returns the identity its
-    /// [`Completion`] will carry.
+    /// Number of CPU (compute) nodes in the rack.
+    pub fn cpus(&self) -> usize {
+        self.cpu_links.len()
+    }
+
+    /// Per-CPU-node link views (tx/rx byte counters), indexed by `CpuId`.
+    pub fn cpu_links(&self) -> &[Link] {
+        &self.cpu_links
+    }
+
+    /// Mints the identity the next submission will carry: the configured
+    /// [`CpuAssignment`] picks the issuing CPU node, and that node's
+    /// sequence counter supplies `seq`. Deterministic in submission order.
+    /// Runtimes that hand out tickets before admission call this up front
+    /// and later pass the id to [`Self::submit_with_id`].
+    pub fn assign_id(&mut self) -> RequestId {
+        let cpu = self
+            .cfg
+            .assignment
+            .pick(self.submitted, self.cpu_links.len());
+        self.submitted += 1;
+        let seq = self.next_seq[cpu];
+        self.next_seq[cpu] = seq + 1;
+        RequestId { cpu, seq }
+    }
+
+    /// Submits a request, to start processing at `at` (which must not be
+    /// in the simulated past) on the CPU node the assignment policy picks.
+    /// Returns the identity its [`Completion`] will carry.
     pub fn submit_at(&mut self, at: SimTime, req: AppRequest) -> RequestId {
-        let id = RequestId {
-            cpu: 0,
-            seq: self.next_seq,
-        };
+        let id = self.assign_id();
         self.submit_with_id(at, req, id);
         id
     }
@@ -281,13 +354,20 @@ impl PulseCluster {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is already in flight or `at` is in the past.
+    /// Panics if `id` is already in flight, names a CPU node outside the
+    /// rack, or `at` is in the past.
     pub fn submit_with_id(&mut self, at: SimTime, req: AppRequest, id: RequestId) {
         assert!(
             !self.inflight.contains_key(&id),
             "request id {id:?} already in flight"
         );
-        self.next_seq = self.next_seq.max(id.seq + 1);
+        assert!(
+            id.cpu < self.cpu_links.len(),
+            "request id {id:?} names CPU node {} of a {}-CPU rack",
+            id.cpu,
+            self.cpu_links.len()
+        );
+        self.next_seq[id.cpu] = self.next_seq[id.cpu].max(id.seq + 1);
         self.inflight.insert(
             id,
             ReqState {
@@ -413,7 +493,11 @@ impl PulseCluster {
             latency: self.hist.summary(),
             throughput: self.completed as f64 / horizon.as_secs_f64(),
             crossings: self.crossings,
-            net_bytes: self.cpu_link.tx_bytes() + self.cpu_link.rx_bytes(),
+            net_bytes: self
+                .cpu_links
+                .iter()
+                .map(|l| l.tx_bytes() + l.rx_bytes())
+                .sum(),
             mem_bytes,
             memory_util: self
                 .accels
@@ -483,8 +567,8 @@ impl PulseCluster {
             }
         };
         let depart = now + self.cfg.dispatch_overhead;
-        let arrive = self.cpu_link.tx(depart, pkt.wire_bytes());
-        drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(0)));
+        let arrive = self.cpu_links[id.cpu].tx(depart, pkt.wire_bytes());
+        drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
     }
 
     fn at_switch(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet, from: Endpoint) {
@@ -506,17 +590,21 @@ impl PulseCluster {
                 let arrive = egress_done + self.cfg.link.propagation;
                 match ep {
                     Endpoint::Mem(n) => drv.schedule_at(arrive, Ev::AtMem(n, pkt)),
-                    Endpoint::Cpu(_) => {
-                        // Count bytes entering the CPU link (rx direction).
-                        let arrive = self.cpu_link.rx(egress_done, pkt.wire_bytes());
+                    Endpoint::Cpu(c) => {
+                        // Count bytes entering that CPU's link (rx side).
+                        let arrive = self.cpu_links[c].rx(egress_done, pkt.wire_bytes());
                         drv.schedule_at(arrive, Ev::AtCpu(pkt));
                     }
                 }
             }
             Route::InvalidPointer { requester } => {
-                // Notify the CPU of the invalid pointer (§5).
+                // Notify the requesting CPU of the invalid pointer (§5).
                 let egress_done = self.switch.forward(now, &pkt, requester);
-                let arrive = self.cpu_link.rx(egress_done, 128);
+                let cpu = match requester {
+                    Endpoint::Cpu(c) => c,
+                    Endpoint::Mem(_) => unreachable!("requesters are CPU nodes"),
+                };
+                let arrive = self.cpu_links[cpu].rx(egress_done, 128);
                 if let Packet::Iter(mut ip) = pkt {
                     ip.status = IterStatus::Faulted {
                         fault: pulse_isa::MemFault::NotMapped {
@@ -621,12 +709,15 @@ impl PulseCluster {
                     }
                 }
                 IterStatus::InFlight => {
-                    // pulse-acc bounce: the CPU re-issues toward the right
-                    // node; the switch will route it by cur_ptr.
+                    // pulse-acc bounce: the owning CPU re-issues toward the
+                    // right node; the switch will route it by cur_ptr.
                     let depart = now + self.cfg.reissue_overhead;
                     let wire = Packet::Iter(ip.clone()).wire_bytes();
-                    let arrive = self.cpu_link.tx(depart, wire);
-                    drv.schedule_at(arrive, Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(0)));
+                    let arrive = self.cpu_links[id.cpu].tx(depart, wire);
+                    drv.schedule_at(
+                        arrive,
+                        Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(id.cpu)),
+                    );
                 }
                 IterStatus::IterLimit => {
                     // Continuation: fresh budget, same state (§3).
@@ -635,8 +726,11 @@ impl PulseCluster {
                     ip.state.iters_done = 0;
                     let depart = now + self.cfg.reissue_overhead;
                     let wire = Packet::Iter(ip.clone()).wire_bytes();
-                    let arrive = self.cpu_link.tx(depart, wire);
-                    drv.schedule_at(arrive, Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(0)));
+                    let arrive = self.cpu_links[id.cpu].tx(depart, wire);
+                    drv.schedule_at(
+                        arrive,
+                        Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(id.cpu)),
+                    );
                 }
                 IterStatus::Faulted { .. } => {
                     drv.schedule_at(now, Ev::Finished(id, false));
@@ -813,6 +907,116 @@ mod tests {
         let r2 = cluster.run(second, 4);
         assert_eq!(r2.completed, first_len + second_len);
         assert!(r2.makespan > r1.makespan);
+    }
+
+    #[test]
+    fn round_robin_assignment_is_per_cpu_sequential() {
+        let (mem, reqs, _) = webservice_cluster(1, 1_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                cpus: 4,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        assert_eq!(cluster.cpus(), 4);
+        let ids: Vec<RequestId> = reqs
+            .into_iter()
+            .take(8)
+            .enumerate()
+            .map(|(i, r)| cluster.submit_at(SimTime::from_nanos(10 * i as u64), r))
+            .collect();
+        let got: Vec<(usize, u64)> = ids.iter().map(|id| (id.cpu, id.seq)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (0, 1),
+                (1, 1),
+                (2, 1),
+                (3, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_cpu_rack_completes_and_spreads_issue_load() {
+        let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                cpus: 4,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let report = cluster.run(reqs, 16);
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.faulted, 0);
+        // Every compute node both issued requests and received replies,
+        // and the aggregate counter covers all of them.
+        let mut sum = 0;
+        for link in cluster.cpu_links() {
+            assert!(link.tx_bytes() > 0, "idle CPU tx link");
+            assert!(link.rx_bytes() > 0, "idle CPU rx link");
+            sum += link.tx_bytes() + link.rx_bytes();
+        }
+        assert_eq!(report.net_bytes, sum);
+    }
+
+    #[test]
+    fn hash_assignment_uses_every_cpu_and_matches_replies() {
+        let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                cpus: 3,
+                assignment: CpuAssignment::Hash,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let n = reqs.len() as u64;
+        for (i, r) in reqs.into_iter().enumerate() {
+            cluster.submit_at(SimTime::from_nanos(10 * i as u64), r);
+        }
+        let mut done = Vec::new();
+        while cluster.step() {
+            done.extend(cluster.take_completions());
+        }
+        assert_eq!(done.len() as u64, n);
+        let mut per_cpu = [0u64; 3];
+        for c in &done {
+            assert!(c.ok);
+            per_cpu[c.id.cpu] += 1;
+        }
+        assert!(
+            per_cpu.iter().all(|&c| c > 0),
+            "hash assignment left a CPU idle: {per_cpu:?}"
+        );
+    }
+
+    #[test]
+    fn pulse_acc_bounces_route_to_owning_cpu() {
+        // Unpartitioned chains striped at 4 KiB cross constantly; in
+        // pulse-acc mode every crossing bounces through the *owning* CPU
+        // node, so with several CPUs each must see reply traffic.
+        let (mem, reqs, _) = webservice_cluster_opts(4, 2_000, 4096, false);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                mode: PulseMode::PulseAcc,
+                cpus: 2,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let report = cluster.run(reqs, 8);
+        assert_eq!(report.completed, 120);
+        assert!(report.crossings > 0);
+        for link in cluster.cpu_links() {
+            assert!(link.rx_bytes() > 0, "bounce bypassed a CPU node");
+        }
     }
 
     #[test]

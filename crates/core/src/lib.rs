@@ -61,5 +61,7 @@
 mod cluster;
 mod cxl;
 
-pub use cluster::{ClusterConfig, ClusterReport, Completion, PulseCluster, PulseMode};
+pub use cluster::{
+    ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
+};
 pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};

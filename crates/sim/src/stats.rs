@@ -144,12 +144,13 @@ impl LatencyHistogram {
         };
     }
 
-    /// Condensed summary (count/mean/p50/p99/min/max).
+    /// Condensed summary (count/mean/p50/p95/p99/min/max).
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
             count: self.count,
             mean: self.mean(),
             p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
             p99: self.percentile(99.0),
             min: self.min(),
             max: self.max(),
@@ -166,6 +167,8 @@ pub struct LatencySummary {
     pub mean: SimTime,
     /// Median.
     pub p50: SimTime,
+    /// 95th percentile (the mid-tail the load sweeps ladder on).
+    pub p95: SimTime,
     /// 99th percentile.
     pub p99: SimTime,
     /// Minimum.
@@ -178,8 +181,8 @@ impl fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={} p50={} p99={} min={} max={}",
-            self.count, self.mean, self.p50, self.p99, self.min, self.max
+            "n={} mean={} p50={} p95={} p99={} min={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.min, self.max
         )
     }
 }
@@ -319,6 +322,8 @@ mod tests {
         let p90 = h.percentile(90.0);
         let p99 = h.percentile(99.0);
         assert!(p50 <= p90 && p90 <= p99);
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
         let p50_ns = p50.as_nanos_f64();
         assert!((4800.0..=5200.0).contains(&p50_ns), "p50={p50_ns}");
         let p99_ns = p99.as_nanos_f64();

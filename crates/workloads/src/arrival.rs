@@ -1,0 +1,238 @@
+//! Open-loop arrival processes.
+//!
+//! # Open- vs closed-loop load generation
+//!
+//! A *closed-loop* generator models a fixed population of clients: each
+//! client submits its next request only after the previous one completes,
+//! so the offered load adapts to the system's speed and queueing delay is
+//! largely hidden (this is what [`PulseCluster::run`] and the bounded
+//! `Runtime::submit`/`poll` window do). An *open-loop* generator models an
+//! external arrival stream — users, sensors, upstream services — that
+//! keeps arriving at its own rate regardless of completions. Under open
+//! loop, latency at a given offered load includes every queueing effect,
+//! which is why the paper-style evaluation reports latency-vs-load curves
+//! from open-loop sweeps: as offered load approaches capacity, tail
+//! latency blows up, and the knee of that curve *is* the system's
+//! sustainable throughput.
+//!
+//! [`ArrivalProcess`] produces the inter-arrival gaps of such a stream:
+//! Poisson (exponential gaps, the classic memoryless model), uniform
+//! (evenly spaced, a paced load generator), or trace replay (recorded
+//! gaps, e.g. from a production packet capture). All three are
+//! deterministic — Poisson draws from the in-workspace [`SplitMix64`]
+//! shim — so a sweep is bit-reproducible given its seed.
+//!
+//! [`PulseCluster::run`]: https://docs.rs/pulse-core
+//!
+//! # Examples
+//!
+//! ```
+//! use pulse_sim::SimTime;
+//! use pulse_workloads::ArrivalProcess;
+//!
+//! // 100k requests/s Poisson stream, seeded for reproducibility.
+//! let mut arr = ArrivalProcess::poisson(100_000.0, 7);
+//! let times = arr.schedule(SimTime::ZERO, 1000);
+//! assert_eq!(times.len(), 1000);
+//! // Mean gap ~10 us.
+//! let mean_ns = times.last().unwrap().as_nanos_f64() / 1000.0;
+//! assert!((5_000.0..20_000.0).contains(&mean_ns), "mean gap {mean_ns} ns");
+//! ```
+
+use pulse_sim::{SimTime, SplitMix64};
+
+/// A deterministic open-loop arrival stream: a generator of inter-arrival
+/// gaps. See the module docs for open- vs closed-loop semantics.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Poisson process: independent exponential gaps with the given mean,
+    /// drawn from a seeded [`SplitMix64`].
+    Poisson {
+        /// Mean inter-arrival gap in picoseconds.
+        mean_gap_ps: f64,
+        /// The deterministic generator behind the exponential draws.
+        rng: SplitMix64,
+    },
+    /// Evenly spaced arrivals (a paced load generator).
+    Uniform {
+        /// The constant gap between consecutive arrivals.
+        gap: SimTime,
+    },
+    /// Replays a recorded gap sequence, cycling when it runs out.
+    Trace {
+        /// The recorded inter-arrival gaps (must be non-empty).
+        gaps: Vec<SimTime>,
+        /// Cursor into `gaps`.
+        next: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// A Poisson process offering `rate_per_sec` arrivals per simulated
+    /// second, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn poisson(rate_per_sec: f64, seed: u64) -> ArrivalProcess {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        ArrivalProcess::Poisson {
+            mean_gap_ps: 1e12 / rate_per_sec,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Evenly spaced arrivals at `rate_per_sec` per simulated second. The
+    /// gap is clamped to at least 1 ps so arrivals stay strictly ordered
+    /// (same floor as the Poisson draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive and finite.
+    pub fn uniform(rate_per_sec: f64) -> ArrivalProcess {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        ArrivalProcess::Uniform {
+            gap: SimTime::from_secs_f64(1.0 / rate_per_sec).max(SimTime::from_picos(1)),
+        }
+    }
+
+    /// Replays `gaps` in order, cycling at the end (so a short recorded
+    /// burst pattern can drive an arbitrarily long run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gaps` is empty.
+    pub fn trace(gaps: Vec<SimTime>) -> ArrivalProcess {
+        assert!(!gaps.is_empty(), "a trace needs at least one gap");
+        ArrivalProcess::Trace { gaps, next: 0 }
+    }
+
+    /// The gap until the next arrival. Poisson gaps are at least 1 ps so
+    /// arrivals stay strictly ordered.
+    pub fn next_gap(&mut self) -> SimTime {
+        match self {
+            ArrivalProcess::Poisson { mean_gap_ps, rng } => {
+                // Inverse-CDF exponential draw; 1 - u keeps ln's argument
+                // in (0, 1].
+                let u = rng.next_f64();
+                let gap = -(1.0 - u).ln() * *mean_gap_ps;
+                SimTime::from_picos((gap as u64).max(1))
+            }
+            ArrivalProcess::Uniform { gap } => *gap,
+            ArrivalProcess::Trace { gaps, next } => {
+                let g = gaps[*next];
+                *next = (*next + 1) % gaps.len();
+                g
+            }
+        }
+    }
+
+    /// Absolute arrival timestamps for the next `n` arrivals, the first one
+    /// gap after `start`.
+    pub fn schedule(&mut self, start: SimTime, n: usize) -> Vec<SimTime> {
+        let mut t = start;
+        (0..n)
+            .map(|_| {
+                t += self.next_gap();
+                t
+            })
+            .collect()
+    }
+
+    /// The offered rate in arrivals per simulated second, when the process
+    /// has a closed form (`None` for traces — compute it from the replayed
+    /// span instead, e.g. via [`ArrivalProcess::offered_rate`]).
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Poisson { mean_gap_ps, .. } => Some(1e12 / mean_gap_ps),
+            ArrivalProcess::Uniform { gap } => Some(1.0 / gap.as_secs_f64()),
+            ArrivalProcess::Trace { .. } => None,
+        }
+    }
+
+    /// The offered rate of a schedule this process generated: the closed
+    /// form when one exists, otherwise the `submitted - 1` gaps measured
+    /// over the first-to-last-arrival span (0 when that span is empty).
+    pub fn offered_rate(&self, first: SimTime, last: SimTime, submitted: u64) -> f64 {
+        self.rate_per_sec().unwrap_or_else(|| {
+            let span = last.saturating_sub(first).as_secs_f64();
+            if submitted > 1 && span > 0.0 {
+                (submitted - 1) as f64 / span
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let a = ArrivalProcess::poisson(50_000.0, 9).schedule(SimTime::ZERO, 200);
+        let b = ArrivalProcess::poisson(50_000.0, 9).schedule(SimTime::ZERO, 200);
+        let c = ArrivalProcess::poisson(50_000.0, 10).schedule(SimTime::ZERO, 200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut arr = ArrivalProcess::poisson(1_000_000.0, 3); // 1 us mean
+        let n = 50_000u64;
+        let last = arr.schedule(SimTime::ZERO, n as usize).pop().unwrap();
+        let mean_ns = last.as_nanos_f64() / n as f64;
+        assert!((950.0..1050.0).contains(&mean_ns), "mean gap {mean_ns} ns");
+        assert_eq!(arr.rate_per_sec(), Some(1e6));
+    }
+
+    #[test]
+    fn poisson_arrivals_strictly_increase() {
+        let times = ArrivalProcess::poisson(1e9, 1).schedule(SimTime::ZERO, 5_000);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn uniform_is_evenly_spaced() {
+        let mut arr = ArrivalProcess::uniform(100_000.0);
+        let g1 = arr.next_gap();
+        let g2 = arr.next_gap();
+        assert_eq!(g1, g2);
+        assert_eq!(g1, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn trace_replays_and_cycles() {
+        let gaps = vec![
+            SimTime::from_nanos(5),
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(15),
+        ];
+        let mut arr = ArrivalProcess::trace(gaps.clone());
+        let got: Vec<SimTime> = (0..7).map(|_| arr.next_gap()).collect();
+        assert_eq!(&got[..3], &gaps[..]);
+        assert_eq!(&got[3..6], &gaps[..]);
+        assert_eq!(got[6], gaps[0]);
+        assert!(arr.rate_per_sec().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::poisson(0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gap")]
+    fn empty_trace_rejected() {
+        ArrivalProcess::trace(Vec::new());
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! Workload generation for the evaluation (§6): YCSB operation mixes and
 //! key distributions, the three applications (WebService, WiredTiger,
-//! BTrDB), the synthetic μPMU telemetry stream, and a functional request
-//! executor with full access tracing.
+//! BTrDB), the synthetic μPMU telemetry stream, open-loop arrival
+//! processes ([`ArrivalProcess`]: Poisson / uniform / trace replay), and a
+//! functional request executor with full access tracing.
 //!
 //! The central abstraction is [`AppRequest`]: a staged dataflow of
 //! offloadable traversals, bulk object I/O, and CPU-node work. pulse, the
@@ -38,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 mod apps;
+mod arrival;
 mod exec;
 mod request;
 mod upmu;
@@ -48,6 +50,7 @@ pub use apps::{
     Application, Btrdb, BtrdbConfig, WebService, WebServiceConfig, WiredTiger, WiredTigerConfig,
     WEBSERVICE_CPU_WORK, WT_ENTRY_BYTES,
 };
+pub use arrival::ArrivalProcess;
 pub use exec::{execute_functional, Access, ExecError, FunctionalRun};
 pub use request::{
     AddrSource, AppRequest, AppResponse, ObjectIo, RequestError, StartPtr, TraversalStage,

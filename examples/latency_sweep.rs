@@ -1,0 +1,125 @@
+//! Latency-vs-offered-load sweep: the extended evaluation's headline
+//! curve, produced by the open-loop pipeline end to end.
+//!
+//! A Poisson [`ArrivalProcess`] feeds `Runtime::submit_at` through the
+//! `pulse-bench` `sweep()` ladder: at each offered load a *fresh* rack
+//! (2 memory nodes, 2 CPU nodes, round-robin assignment) and a fresh RPC
+//! baseline execute the identical WebService stream, and we report
+//! arrival-measured p50/p95/p99 plus goodput. The run also writes the
+//! combined curves to `BENCH_sweep.json`.
+//!
+//! ```sh
+//! cargo run --release --example latency_sweep
+//! cargo run --release --example latency_sweep -- --requests 300 --loads 20,60,120
+//! ```
+
+use pulse_bench::{baseline_webservice_factory, pulse_webservice_factory, sweep, sweep_json};
+
+const NODES: usize = 2;
+const CPUS: usize = 2;
+const BASELINE_CLIENTS: usize = 16;
+const SEED: u64 = 42;
+/// The SLO used for the "sustained load" headline (µs).
+const SLO_P99_US: f64 = 150.0;
+
+fn main() -> Result<(), pulse::Error> {
+    let (loads_kops, requests) = parse_args();
+
+    println!("latency-vs-load sweep — WebService, {NODES} memory nodes, {CPUS} CPU nodes");
+    println!("open-loop Poisson arrivals (seed {SEED}), {requests} requests per rung\n");
+
+    let pulse_curve = sweep(
+        &loads_kops,
+        SEED,
+        pulse_webservice_factory(NODES, CPUS, requests),
+    )?;
+    let rpc_curve = sweep(
+        &loads_kops,
+        SEED,
+        baseline_webservice_factory(
+            NODES,
+            pulse::BaselineKind::Rpc(pulse::baselines::RpcConfig::rpc()),
+            BASELINE_CLIENTS,
+            requests,
+        ),
+    )?;
+
+    println!(
+        "{:>10} | {:>30} | {:>30}",
+        "offered", "pulse (us)", "RPC (us)"
+    );
+    println!(
+        "{:>10} | {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8} {:>9}",
+        "kops", "p50", "p95", "p99", "goodput", "p50", "p95", "p99", "goodput"
+    );
+    for (p, r) in pulse_curve.points.iter().zip(&rpc_curve.points) {
+        println!(
+            "{:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1}",
+            p.offered_kops,
+            p.p50_us,
+            p.p95_us,
+            p.p99_us,
+            p.goodput_kops,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.goodput_kops
+        );
+    }
+
+    for curve in [&pulse_curve, &rpc_curve] {
+        let monotone = curve
+            .points
+            .windows(2)
+            .all(|w| w[1].p99_us >= w[0].p99_us * 0.999);
+        println!(
+            "\n{}: p99 monotone non-decreasing with load: {}",
+            curve.label,
+            if monotone { "yes" } else { "NO" }
+        );
+        assert!(monotone, "{}: p99 regressed as load rose", curve.label);
+    }
+
+    let pulse_sustained = pulse_curve.max_load_under_p99(SLO_P99_US);
+    let rpc_sustained = rpc_curve.max_load_under_p99(SLO_P99_US);
+    println!(
+        "sustained load at p99 <= {SLO_P99_US} us: pulse {} kops vs RPC {} kops",
+        pulse_sustained.map_or("-".into(), |k| format!("{k:.0}")),
+        rpc_sustained.map_or("-".into(), |k| format!("{k:.0}")),
+    );
+    if let (Some(p), Some(r)) = (pulse_sustained, rpc_sustained) {
+        assert!(
+            p >= r,
+            "pulse should sustain at least the RPC load at equal p99 ({p} vs {r})"
+        );
+    }
+
+    let json = sweep_json(&[pulse_curve, rpc_curve]);
+    std::fs::write("BENCH_sweep.json", &json)
+        .map_err(|e| pulse::Error::Config(format!("writing BENCH_sweep.json: {e}")))?;
+    println!("wrote BENCH_sweep.json ({} bytes)", json.len());
+    Ok(())
+}
+
+/// `--loads 20,60,120` (kops) and `--requests 300`, with full-ladder
+/// defaults sized for a release-build run.
+fn parse_args() -> (Vec<f64>, usize) {
+    let mut loads = vec![100.0, 400.0, 800.0, 1_600.0, 3_200.0];
+    let mut requests = 2_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_default();
+        match flag.as_str() {
+            "--loads" => {
+                loads = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("a numeric kops value"))
+                    .collect();
+            }
+            "--requests" => requests = value.parse().expect("a request count"),
+            other => panic!("unknown flag {other} (expected --loads or --requests)"),
+        }
+    }
+    assert!(!loads.is_empty() && requests > 0, "empty ladder");
+    (loads, requests)
+}

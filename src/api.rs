@@ -11,15 +11,18 @@
 //!   system, so cluster-vs-baseline comparisons are a one-line swap.
 
 use crate::error::Error;
-use crate::runtime::Runtime;
-use pulse_baselines::{run_rpc, run_swap_cache, BaselineReport, RpcConfig, SwapConfig};
+use crate::runtime::{OpenLoopDriver, OpenLoopReport, Runtime};
+use pulse_baselines::{
+    run_rpc, run_rpc_open_loop, run_swap_cache, run_swap_cache_open_loop, BaselineReport,
+    RpcConfig, SwapConfig,
+};
 use pulse_core::ClusterReport;
 use pulse_dispatch::{DispatchEngine, OffloadDecision};
 use pulse_ds::{BuildCtx, DsError, StageStart, Traversal};
 use pulse_isa::Program;
 use pulse_mem::ClusterMemory;
-use pulse_sim::{LatencySummary, SimTime};
-use pulse_workloads::{AppRequest, Application, StartPtr, TraversalStage};
+use pulse_sim::{LatencyHistogram, LatencySummary, SimTime};
+use pulse_workloads::{AppRequest, Application, ArrivalProcess, StartPtr, TraversalStage};
 use pulse_workloads::{Btrdb, WebService, WiredTiger};
 use pulse_workloads::{BtrdbConfig, WebServiceConfig, WiredTigerConfig};
 use std::sync::Arc;
@@ -228,6 +231,21 @@ pub trait Engine {
     ///
     /// Submission-time validation failures ([`Error::Request`]).
     fn execute(&mut self, requests: &[AppRequest]) -> Result<EngineReport, Error>;
+
+    /// Executes `requests` open-loop: request `i` arrives at the time the
+    /// [`ArrivalProcess`] generates, independent of completions, and its
+    /// latency is measured from that arrival — queueing included. One call
+    /// per engine instance, same as [`Engine::execute`]; a load sweep
+    /// builds a fresh engine per offered-load point.
+    ///
+    /// # Errors
+    ///
+    /// Submission-time validation failures ([`Error::Request`]).
+    fn execute_open_loop(
+        &mut self,
+        requests: &[AppRequest],
+        arrivals: ArrivalProcess,
+    ) -> Result<OpenLoopReport, Error>;
 }
 
 impl Engine for Runtime {
@@ -241,6 +259,14 @@ impl Engine for Runtime {
         }
         let report = self.drain();
         Ok(EngineReport::from_cluster(&report))
+    }
+
+    fn execute_open_loop(
+        &mut self,
+        requests: &[AppRequest],
+        arrivals: ArrivalProcess,
+    ) -> Result<OpenLoopReport, Error> {
+        OpenLoopDriver::new(arrivals).run(self, requests.to_vec())
     }
 }
 
@@ -298,5 +324,51 @@ impl Engine for BaselineEngine {
             BaselineKind::Rpc(cfg) => run_rpc(&mut self.mem, requests, self.concurrency, cfg),
         };
         Ok(EngineReport::from_baseline(&rep))
+    }
+
+    fn execute_open_loop(
+        &mut self,
+        requests: &[AppRequest],
+        mut arrivals: ArrivalProcess,
+    ) -> Result<OpenLoopReport, Error> {
+        for req in requests {
+            req.validate()?;
+        }
+        let times = arrivals.schedule(SimTime::ZERO, requests.len());
+        let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
+        if requests.is_empty() {
+            return Ok(OpenLoopReport {
+                label: self.label().into(),
+                offered_per_sec: arrivals.rate_per_sec().unwrap_or(0.0),
+                submitted: 0,
+                completed: 0,
+                faulted: 0,
+                latency: LatencyHistogram::new().summary(),
+                goodput_per_sec: 0.0,
+                first_arrival,
+                last_completion: first_arrival,
+            });
+        }
+        let rep = match self.kind {
+            BaselineKind::SwapCache(cfg) => {
+                run_swap_cache_open_loop(&mut self.mem, requests, self.concurrency, cfg, &times)
+            }
+            BaselineKind::Rpc(cfg) => {
+                run_rpc_open_loop(&mut self.mem, requests, self.concurrency, cfg, &times)
+            }
+        };
+        let offered_per_sec =
+            arrivals.offered_rate(first_arrival, *times.last().unwrap(), times.len() as u64);
+        Ok(OpenLoopReport {
+            label: rep.label.into(),
+            offered_per_sec,
+            submitted: requests.len() as u64,
+            completed: rep.completed,
+            faulted: 0,
+            latency: rep.latency,
+            goodput_per_sec: rep.throughput,
+            first_arrival,
+            last_completion: rep.makespan,
+        })
     }
 }

@@ -19,9 +19,16 @@
 //!   interface: tickets out, completions in, with a bounded in-flight
 //!   window for backpressure. [`Runtime::drain`] reproduces the closed-loop
 //!   batch reports of the paper's figures bit-for-bit.
+//! * [`Runtime::submit_at`] + [`OpenLoopDriver`] are the open-loop entry:
+//!   an [`ArrivalProcess`] (Poisson / uniform / trace replay) timestamps
+//!   arrivals independent of completions, so latency-vs-offered-load
+//!   sweeps measure queueing for real. The rack itself models N CPU
+//!   (compute) nodes — [`PulseBuilder::cpus`] — each with its own link and
+//!   issue queue, with requests spread across them by [`CpuAssignment`].
 //! * [`Engine`] is the common face of the pulse rack and every compared
 //!   baseline ([`BaselineEngine`]), so cluster-vs-baseline comparisons are
-//!   a one-line swap.
+//!   a one-line swap — closed-loop ([`Engine::execute`]) and open-loop
+//!   ([`Engine::execute_open_loop`]) alike.
 //! * [`Error`] is the single workspace-wide error type every fallible call
 //!   returns.
 //!
@@ -79,13 +86,18 @@ mod runtime;
 
 pub use api::{AppSpec, BaselineEngine, BaselineKind, Engine, EngineReport, Offloaded};
 pub use error::Error;
-pub use runtime::{PulseBuilder, Runtime, Ticket, DEFAULT_GRANULARITY, DEFAULT_WINDOW};
+pub use runtime::{
+    OpenLoopDriver, OpenLoopReport, PulseBuilder, Runtime, Ticket, DEFAULT_GRANULARITY,
+    DEFAULT_WINDOW,
+};
 
 // The façade's frequently-used vocabulary, re-exported flat so examples
 // and downstream code need one `use pulse::...` line per name.
-pub use pulse_core::{ClusterConfig, ClusterReport, Completion, PulseCluster, PulseMode};
+pub use pulse_core::{
+    ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
+};
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;
 pub use pulse_workloads::{
-    AppRequest, BtrdbConfig, RequestError, WebServiceConfig, WiredTigerConfig,
+    AppRequest, ArrivalProcess, BtrdbConfig, RequestError, WebServiceConfig, WiredTigerConfig,
 };

@@ -14,15 +14,21 @@
 //!   aggregate [`ClusterReport`] — bit-identical to the closed-loop
 //!   [`PulseCluster::run`] with `concurrency == window`, so the Fig. 7
 //!   batch benches and open-loop traffic share one code path.
+//! * [`Runtime::submit_at`] is the open-loop entry: it timestamps the
+//!   request with its *arrival time* and injects it immediately, bypassing
+//!   the window — latency then includes every queueing effect, which is
+//!   what [`OpenLoopDriver`] measures per offered-load point.
 
 use crate::api::{AppSpec, BaselineEngine, BaselineKind};
 use crate::error::Error;
-use pulse_core::{ClusterConfig, ClusterReport, Completion, PulseCluster, PulseMode};
+use pulse_core::{
+    ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
+};
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
 use pulse_net::RequestId;
-use pulse_sim::SimTime;
-use pulse_workloads::{execute_functional, AppRequest, FunctionalRun};
+use pulse_sim::{LatencyHistogram, LatencySummary, SimTime};
+use pulse_workloads::{execute_functional, AppRequest, ArrivalProcess, FunctionalRun};
 use std::collections::VecDeque;
 
 /// Default in-flight window: enough to keep a small rack's accelerators
@@ -129,6 +135,20 @@ impl PulseBuilder {
         self
     }
 
+    /// Number of CPU (compute) nodes issuing requests. Each gets its own
+    /// link/issue queue and sequence counter; submissions are spread across
+    /// them by the [`CpuAssignment`] policy.
+    pub fn cpus(mut self, cpus: usize) -> PulseBuilder {
+        self.config.cpus = cpus;
+        self
+    }
+
+    /// How submissions are assigned to CPU nodes (default round-robin).
+    pub fn assignment(mut self, assignment: CpuAssignment) -> PulseBuilder {
+        self.config.assignment = assignment;
+        self
+    }
+
     /// Maximum requests in flight inside the rack (the backpressure bound;
     /// also the closed-loop concurrency of [`Runtime::drain`]).
     pub fn window(mut self, window: usize) -> PulseBuilder {
@@ -146,6 +166,9 @@ impl PulseBuilder {
             return Err(Error::Config(
                 "the in-flight window must be positive".into(),
             ));
+        }
+        if self.config.cpus == 0 {
+            return Err(Error::Config("a rack needs at least one CPU node".into()));
         }
         if self.granularity == 0 {
             return Err(Error::Config("extent granularity must be positive".into()));
@@ -180,7 +203,6 @@ impl PulseBuilder {
                 cluster,
                 window: self.window,
                 pending: VecDeque::new(),
-                next_seq: 0,
                 admitted: 0,
                 started: false,
             },
@@ -240,7 +262,6 @@ pub struct Runtime {
     cluster: PulseCluster,
     window: usize,
     pending: VecDeque<(RequestId, AppRequest)>,
-    next_seq: u64,
     /// Requests admitted into the cluster so far (drives the initial
     /// 10 ns issue stagger, mirroring the closed-loop driver).
     admitted: u64,
@@ -251,7 +272,8 @@ pub struct Runtime {
 
 impl Runtime {
     /// Validates and enqueues `req`, returning its ticket immediately. The
-    /// request enters the rack as soon as the in-flight window has room.
+    /// request enters the rack — on the CPU node the cluster's assignment
+    /// policy picks — as soon as the in-flight window has room.
     ///
     /// # Errors
     ///
@@ -259,13 +281,28 @@ impl Runtime {
     /// rejected here, before any simulation runs.
     pub fn submit(&mut self, req: AppRequest) -> Result<Ticket, Error> {
         req.validate()?;
-        let id = RequestId {
-            cpu: 0,
-            seq: self.next_seq,
-        };
-        self.next_seq += 1;
+        let id = self.cluster.assign_id();
         self.pending.push_back((id, req));
         self.refill();
+        Ok(Ticket(id))
+    }
+
+    /// Open-loop submission: validates `req` and injects it at arrival
+    /// time `at` (clamped to the current simulated time), *bypassing* the
+    /// in-flight window. The completion's latency is measured from `at`,
+    /// so it includes every queueing effect inside the rack — the quantity
+    /// a latency-vs-offered-load sweep plots. Don't interleave with the
+    /// closed-loop [`Runtime::submit`] path on the same runtime; the two
+    /// admission disciplines measure different things.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Request`] if the request's stage wiring is malformed.
+    pub fn submit_at(&mut self, at: SimTime, req: AppRequest) -> Result<Ticket, Error> {
+        req.validate()?;
+        let id = self.cluster.assign_id();
+        self.cluster
+            .submit_with_id(at.max(self.cluster.now()), req, id);
         Ok(Ticket(id))
     }
 
@@ -367,5 +404,123 @@ impl Runtime {
     /// closed-loop driver over builder-wired memory.
     pub fn into_cluster(self) -> PulseCluster {
         self.cluster
+    }
+}
+
+// ------------------------------------------------------------ open loop
+
+/// What one open-loop run measured, for any engine (the pulse rack or a
+/// baseline): the row shape of a latency-vs-load sweep.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// System label ("pulse", "RPC", ...).
+    pub label: String,
+    /// Offered arrival rate, requests per simulated second.
+    pub offered_per_sec: f64,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests terminated by faults.
+    pub faulted: u64,
+    /// Latency distribution measured from each request's *arrival* —
+    /// queueing delay included.
+    pub latency: LatencySummary,
+    /// Successful completions per second over the first-arrival-to-last-
+    /// completion span.
+    pub goodput_per_sec: f64,
+    /// When the first request arrived.
+    pub first_arrival: SimTime,
+    /// When the last completion fired.
+    pub last_completion: SimTime,
+}
+
+/// Drives a [`Runtime`] open-loop: an [`ArrivalProcess`] stamps each
+/// request with an arrival time, [`Runtime::submit_at`] injects it
+/// regardless of completions, and the report aggregates latencies measured
+/// from arrival. Build one fresh runtime per driver run so the report
+/// covers exactly this request stream.
+///
+/// # Examples
+///
+/// ```
+/// use pulse::workloads::{Application, ArrivalProcess};
+/// use pulse::{OpenLoopDriver, PulseBuilder, WebServiceConfig};
+///
+/// let (mut runtime, mut app) = PulseBuilder::new()
+///     .nodes(2)
+///     .cpus(2)
+///     .app(WebServiceConfig { keys: 500, ..Default::default() })?;
+/// let reqs = (0..40).map(|_| app.next_request()).collect();
+/// let mut driver = OpenLoopDriver::new(ArrivalProcess::poisson(20_000.0, 7));
+/// let report = driver.run(&mut runtime, reqs)?;
+/// assert_eq!(report.completed, 40);
+/// assert!(report.latency.p99 >= report.latency.p50);
+/// # Ok::<(), pulse::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenLoopDriver {
+    arrivals: ArrivalProcess,
+}
+
+impl OpenLoopDriver {
+    /// A driver generating arrivals from `arrivals`.
+    pub fn new(arrivals: ArrivalProcess) -> OpenLoopDriver {
+        OpenLoopDriver { arrivals }
+    }
+
+    /// Submits every request at its generated arrival time (starting from
+    /// the runtime's current simulated time), runs the rack dry, and
+    /// reports arrival-measured latency and goodput.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Request`] on the first malformed request; nothing has been
+    /// simulated yet when that happens.
+    pub fn run(
+        &mut self,
+        runtime: &mut Runtime,
+        requests: Vec<AppRequest>,
+    ) -> Result<OpenLoopReport, Error> {
+        let submitted = requests.len() as u64;
+        let mut t = runtime.now();
+        let mut first_arrival = None;
+        for req in requests {
+            t += self.arrivals.next_gap();
+            runtime.submit_at(t, req)?;
+            first_arrival.get_or_insert(t);
+        }
+        let first_arrival = first_arrival.unwrap_or(t);
+        let mut hist = LatencyHistogram::new();
+        let (mut completed, mut faulted) = (0u64, 0u64);
+        let mut last_completion = first_arrival;
+        loop {
+            let done = runtime.poll();
+            if done.is_empty() {
+                break;
+            }
+            for c in done {
+                hist.record(c.latency());
+                last_completion = last_completion.max(c.finished_at);
+                if c.ok {
+                    completed += 1;
+                } else {
+                    faulted += 1;
+                }
+            }
+        }
+        let offered_per_sec = self.arrivals.offered_rate(first_arrival, t, submitted);
+        let span = last_completion.saturating_sub(first_arrival).as_secs_f64();
+        Ok(OpenLoopReport {
+            label: "pulse".into(),
+            offered_per_sec,
+            submitted,
+            completed,
+            faulted,
+            latency: hist.summary(),
+            goodput_per_sec: completed as f64 / span.max(1e-12),
+            first_arrival,
+            last_completion,
+        })
     }
 }

@@ -5,8 +5,10 @@
 use pulse::baselines::{run_rpc, run_swap_cache, RpcConfig, SwapConfig};
 use pulse::ds::BuildCtx;
 use pulse::mem::{ClusterAllocator, ClusterMemory};
-use pulse::workloads::{Application, WiredTiger, WiredTigerConfig};
-use pulse::{AppRequest, Placement, PulseBuilder, Runtime, WebServiceConfig};
+use pulse::workloads::{Application, ArrivalProcess, WiredTiger, WiredTigerConfig};
+use pulse::{
+    AppRequest, CpuAssignment, OpenLoopDriver, Placement, PulseBuilder, Runtime, WebServiceConfig,
+};
 
 fn webservice_runtime(nodes: usize, window: usize) -> (Runtime, Vec<AppRequest>) {
     let (runtime, mut app) = PulseBuilder::new()
@@ -81,6 +83,93 @@ fn submit_poll_interleaving_is_deterministic_too() {
     assert_eq!(drained.latency.mean, polled.latency.mean);
     assert_eq!(drained.net_bytes, polled.net_bytes);
     assert_eq!(drained.iterations, polled.iterations);
+}
+
+#[test]
+fn multi_cpu_runs_have_identical_completion_order_and_report() {
+    // Same seed + same config ⇒ the same completion order (ids and finish
+    // times) and the same ClusterReport, for 1-, 2-, and 4-CPU racks and
+    // both assignment policies.
+    for cpus in [1usize, 2, 4] {
+        for assignment in [CpuAssignment::RoundRobin, CpuAssignment::Hash] {
+            let run = || {
+                let (mut runtime, mut app) = PulseBuilder::new()
+                    .nodes(2)
+                    .cpus(cpus)
+                    .assignment(assignment)
+                    .placement(Placement::Striped)
+                    .granularity(1 << 20)
+                    .window(8)
+                    .app(WebServiceConfig {
+                        keys: 2_000,
+                        ..Default::default()
+                    })
+                    .unwrap();
+                for _ in 0..100 {
+                    runtime.submit(app.next_request()).unwrap();
+                }
+                let mut order = Vec::new();
+                loop {
+                    let done = runtime.poll();
+                    if done.is_empty() {
+                        break;
+                    }
+                    order.extend(
+                        done.into_iter()
+                            .map(|c| (c.id.cpu, c.id.seq, c.finished_at.as_picos(), c.ok)),
+                    );
+                }
+                let r = runtime.report();
+                (
+                    order,
+                    r.completed,
+                    r.latency.mean.as_picos(),
+                    r.latency.p95.as_picos(),
+                    r.makespan.as_picos(),
+                    r.net_bytes,
+                    r.mem_bytes,
+                    r.iterations,
+                )
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.1, 100, "cpus={cpus} {assignment:?}: all complete");
+            assert!(
+                a.0.iter().all(|&(cpu, ..)| cpu < cpus),
+                "cpus={cpus}: id names a CPU outside the rack"
+            );
+            assert_eq!(a, b, "cpus={cpus} {assignment:?}");
+        }
+    }
+}
+
+#[test]
+fn open_loop_runs_are_bit_identical() {
+    let run = || {
+        let (mut runtime, mut app) = PulseBuilder::new()
+            .nodes(2)
+            .cpus(2)
+            .granularity(1 << 20)
+            .app(WebServiceConfig {
+                keys: 2_000,
+                ..Default::default()
+            })
+            .unwrap();
+        let reqs: Vec<AppRequest> = (0..120).map(|_| app.next_request()).collect();
+        let mut driver = OpenLoopDriver::new(ArrivalProcess::poisson(150_000.0, 11));
+        let rep = driver.run(&mut runtime, reqs).unwrap();
+        (
+            rep.completed,
+            rep.faulted,
+            rep.latency.p50.as_picos(),
+            rep.latency.p95.as_picos(),
+            rep.latency.p99.as_picos(),
+            rep.first_arrival.as_picos(),
+            rep.last_completion.as_picos(),
+            (rep.goodput_per_sec * 1e6) as u64,
+        )
+    };
+    assert_eq!(run(), run());
 }
 
 #[test]

@@ -8,9 +8,12 @@ use pulse::dispatch::DispatchEngine;
 use pulse::ds::catalog;
 use pulse::sim::SimTime;
 use pulse::workloads::{
-    execute_functional, Application, StartPtr, TraversalStage, WebServiceConfig,
+    execute_functional, Application, ArrivalProcess, StartPtr, TraversalStage, WebServiceConfig,
 };
-use pulse::{AppRequest, Error, Offloaded, Placement, PulseBuilder, PulseCluster, RequestError};
+use pulse::{
+    AppRequest, Engine, Error, Offloaded, OpenLoopDriver, Placement, PulseBuilder, PulseCluster,
+    RequestError,
+};
 use std::sync::Arc;
 
 /// Every catalogued structure, through the full stack: build via its
@@ -172,6 +175,97 @@ fn backpressure_window_bounds_in_flight() {
     assert_eq!(runtime.report().completed, 11);
     assert_eq!(runtime.in_flight(), 0);
     assert_eq!(runtime.pending(), 0);
+}
+
+/// `submit_at` is the open-loop entry: arrivals are admitted at their
+/// timestamps regardless of the window, so a burst overfills the rack —
+/// and still completes deterministically.
+#[test]
+fn submit_at_bypasses_the_window() {
+    let (mut runtime, mut app) = PulseBuilder::new()
+        .nodes(2)
+        .window(2)
+        .app(WebServiceConfig {
+            keys: 500,
+            ..Default::default()
+        })
+        .unwrap();
+    for i in 0..10u64 {
+        runtime
+            .submit_at(SimTime::from_nanos(10 * i), app.next_request())
+            .unwrap();
+    }
+    assert_eq!(
+        runtime.in_flight(),
+        10,
+        "open-loop arrivals are not window-gated"
+    );
+    assert_eq!(runtime.pending(), 0);
+    let mut completed = 0;
+    loop {
+        let done = runtime.poll();
+        if done.is_empty() {
+            break;
+        }
+        completed += done.len();
+    }
+    assert_eq!(completed, 10);
+}
+
+/// Under open loop, latency is measured from arrival and must therefore
+/// grow with offered load once the rack queues — the property every
+/// latency-vs-load sweep rung rests on.
+#[test]
+fn open_loop_latency_grows_with_offered_load() {
+    let p99_at = |rate_per_sec: f64| {
+        let (mut runtime, mut app) = PulseBuilder::new()
+            .nodes(2)
+            .cpus(2)
+            .app(WebServiceConfig {
+                keys: 2_000,
+                ..Default::default()
+            })
+            .unwrap();
+        let reqs: Vec<AppRequest> = (0..300).map(|_| app.next_request()).collect();
+        let mut driver = OpenLoopDriver::new(ArrivalProcess::poisson(rate_per_sec, 5));
+        let rep = driver.run(&mut runtime, reqs).unwrap();
+        assert_eq!(rep.completed, 300);
+        rep.latency.p99
+    };
+    let light = p99_at(50_000.0);
+    let heavy = p99_at(5_000_000.0); // far past the rack's capacity
+    assert!(
+        heavy > light * 2,
+        "queueing must surface under load: light {light} heavy {heavy}"
+    );
+}
+
+/// The baseline engines answer the same open-loop calls behind the shared
+/// `Engine` trait, with sane report shape.
+#[test]
+fn baseline_engine_runs_open_loop_behind_the_trait() {
+    let cfg = WebServiceConfig {
+        keys: 2_000,
+        ..Default::default()
+    };
+    let (mut engine, mut app) = PulseBuilder::new()
+        .nodes(2)
+        .window(8)
+        .baseline_app(
+            pulse::BaselineKind::Rpc(pulse::baselines::RpcConfig::rpc()),
+            cfg,
+        )
+        .unwrap();
+    let reqs: Vec<AppRequest> = (0..200).map(|_| app.next_request()).collect();
+    let rep = engine
+        .execute_open_loop(&reqs, ArrivalProcess::poisson(100_000.0, 5))
+        .unwrap();
+    assert_eq!(rep.label, "RPC");
+    assert_eq!(rep.completed, 200);
+    assert!((rep.offered_per_sec - 100_000.0).abs() < 1e-6);
+    assert!(rep.latency.p50 <= rep.latency.p95 && rep.latency.p95 <= rep.latency.p99);
+    assert!(rep.goodput_per_sec > 0.0);
+    assert!(rep.last_completion > rep.first_arrival);
 }
 
 /// The documented panic of `TraversalStage::init_state` is now a typed
