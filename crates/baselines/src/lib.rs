@@ -23,3 +23,6 @@ pub use systems::{
     run_rpc, run_rpc_open_loop, run_swap_cache, run_swap_cache_open_loop, BaselineReport, CpuModel,
     NetModel, RpcConfig, RpcFlavor, SwapConfig,
 };
+// The CPU-side dispatch-engine model shared with the pulse rack, so
+// baseline configs can be contended apples-to-apples.
+pub use pulse_sim::{CpuDispatch, DispatchConfig};

@@ -10,7 +10,10 @@
 
 use crate::lru::LruSet;
 use pulse_mem::ClusterMemory;
-use pulse_sim::{LatencyHistogram, LatencySummary, SerialResource, ServerPool, SimTime};
+use pulse_sim::{
+    CpuDispatch, DispatchConfig, LatencyHistogram, LatencySummary, SerialResource, ServerPool,
+    SimTime,
+};
 use pulse_workloads::{execute_functional, Access, AppRequest};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -210,6 +213,11 @@ pub struct SwapConfig {
     pub cpu: CpuModel,
     /// Network constants.
     pub net: NetModel,
+    /// CPU-node request-dispatch engine (the same contended-issue model the
+    /// pulse rack runs, so pulse-vs-baseline sweeps stay apples-to-apples).
+    /// Each request books one dispatch op at admission; the default is
+    /// uncontended.
+    pub dispatch: DispatchConfig,
 }
 
 impl Default for SwapConfig {
@@ -222,6 +230,7 @@ impl Default for SwapConfig {
             threads: 16,
             cpu: CpuModel::xeon(),
             net: NetModel::default(),
+            dispatch: DispatchConfig::default(),
         }
     }
 }
@@ -264,6 +273,7 @@ fn swap_cache_impl(
     let mut lru = LruSet::new((cfg.cache_bytes / cfg.page_bytes).max(1) as usize);
     let mut swap_pipe = SerialResource::new(u64::MAX); // fixed service per page
     let mut threads = ServerPool::new(cfg.threads);
+    let mut dispatch = CpuDispatch::new(cfg.dispatch);
     let mut net_bytes = 0u64;
     let mut mem_bytes = 0u64;
     let page_wire = SimTime::serialization(cfg.page_bytes, cfg.net.bits_per_sec);
@@ -308,8 +318,11 @@ fn swap_cache_impl(
                 }
             }
             pure += *cpu_work;
-            // An application thread hosts the request end-to-end.
-            let slot = threads.acquire(ready, pure);
+            // The request-dispatch engine admits the request (queueing +
+            // occupancy under load), then an application thread hosts it
+            // end-to-end.
+            let admitted = dispatch.book(ready);
+            let slot = threads.acquire(admitted, pure);
             // The swap subsystem serves this request's misses.
             let mut pipe_end = slot.grant.start;
             if misses > 0 {
@@ -368,6 +381,11 @@ pub struct RpcConfig {
     pub dram_bytes_per_sec: u64,
     /// Network constants.
     pub net: NetModel,
+    /// CPU-node request-dispatch engine — the extended evaluation
+    /// attributes the RPC baseline's collapse to exactly this resource
+    /// saturating. One dispatch op is booked per network issue (the initial
+    /// request plus every cross-node bounce). The default is uncontended.
+    pub dispatch: DispatchConfig,
 }
 
 impl RpcConfig {
@@ -382,6 +400,7 @@ impl RpcConfig {
             object_bytes: 8192,
             dram_bytes_per_sec: 25_000_000_000,
             net: NetModel::default(),
+            dispatch: DispatchConfig::default(),
         }
     }
 
@@ -479,6 +498,7 @@ fn rpc_impl(
     // The CPU-node's receive direction (responses) is the only link pipe
     // that ever approaches saturation in these workloads.
     let mut link_rx = SerialResource::new(cfg.net.bits_per_sec);
+    let mut dispatch = CpuDispatch::new(cfg.dispatch);
     let mut object_cache = (cfg.object_cache_bytes > 0)
         .then(|| LruSet::new((cfg.object_cache_bytes / cfg.object_bytes).max(1) as usize));
     let mut net_bytes = 0u64;
@@ -575,8 +595,15 @@ fn rpc_impl(
                 + response_wire
                 + p.cpu_work;
             // Contended bookings, all at admission time (time-ordered
-            // across the closed loop).
-            let depart = ready + cfg.net.one_way; // reaches the first node
+            // across the closed loop). The CPU node's dispatch engine
+            // serializes every network issue this request makes — the
+            // initial RPC plus one re-issue per cross-node bounce — so the
+            // CPU side saturates at `contexts / occupancy` issues/sec.
+            let mut issued = ready;
+            for _ in 0..p.segments.len().max(1) {
+                issued = dispatch.book(issued);
+            }
+            let depart = issued + cfg.net.one_way; // reaches the first node
             let mut worker_end = depart;
             for &(node, svc_time, bytes, _) in &p.segments {
                 let w = workers[node].acquire(depart, svc_time + cfg.request_software);
@@ -767,6 +794,62 @@ mod tests {
         // single-client closed loop (cache state differs run to run).
         let ratio = open.latency.mean.as_nanos_f64() / closed.latency.mean.as_nanos_f64();
         assert!((0.75..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn contended_dispatch_collapses_rpc_under_load() {
+        // The §6 story the extended evaluation tells: the RPC baseline's
+        // CPU-side request dispatch is a serial resource, and offering load
+        // past its service rate collapses the tail. 200 kops offered vs a
+        // 50 kops dispatch engine must blow p99 up and shed goodput.
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let arrivals: Vec<SimTime> = (1..=reqs.len() as u64)
+            .map(|i| SimTime::from_nanos(5_000 * i)) // 200 kops offered
+            .collect();
+        let free = run_rpc_open_loop(&mut mem, &reqs, 16, RpcConfig::rpc(), &arrivals);
+        let contended = run_rpc_open_loop(
+            &mut mem,
+            &reqs,
+            16,
+            RpcConfig {
+                dispatch: DispatchConfig::contended(SimTime::from_micros(20), 1),
+                ..RpcConfig::rpc()
+            },
+            &arrivals,
+        );
+        assert!(
+            contended.latency.p99 > free.latency.p99 * 2,
+            "dispatch saturation must surface in the tail: free {} contended {}",
+            free.latency.p99,
+            contended.latency.p99
+        );
+        assert!(contended.throughput < free.throughput);
+    }
+
+    #[test]
+    fn contended_dispatch_slows_swap_admission() {
+        let (mut mem, reqs) = webservice_setup(200, 8192);
+        let arrivals: Vec<SimTime> = (1..=reqs.len() as u64)
+            .map(|i| SimTime::from_nanos(10_000 * i)) // 100 kops offered
+            .collect();
+        let base = SwapConfig::default();
+        let free = run_swap_cache_open_loop(&mut mem, &reqs, 8, base, &arrivals);
+        let contended = run_swap_cache_open_loop(
+            &mut mem,
+            &reqs,
+            8,
+            SwapConfig {
+                dispatch: DispatchConfig::contended(SimTime::from_micros(50), 1),
+                ..base
+            },
+            &arrivals,
+        );
+        assert!(
+            contended.latency.p99 > free.latency.p99,
+            "free {} contended {}",
+            free.latency.p99,
+            contended.latency.p99
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ use pulse_net::{
     CodeBlob, Endpoint, IterPacket, IterStatus, Link, LinkConfig, Packet, RequestId, Route, Switch,
     SwitchConfig,
 };
-use pulse_sim::{Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime, SplitMix64};
+use pulse_sim::{
+    CpuDispatch, DispatchConfig, Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime,
+    SplitMix64,
+};
 use pulse_workloads::{AddrSource, AppRequest};
 use std::collections::HashMap;
 
@@ -71,10 +74,20 @@ pub struct ClusterConfig {
     pub switch: SwitchConfig,
     /// Crossing-handling mode.
     pub mode: PulseMode,
-    /// CPU-node dispatch-engine overhead per packet sent.
+    /// CPU-node dispatch-engine pass-through latency per packet sent (the
+    /// pipeline-depth component of issue software cost; it adds latency but
+    /// never queues).
     pub dispatch_overhead: SimTime,
-    /// CPU-node software cost to re-issue a bounced/limited traversal.
+    /// CPU-node software cost to re-issue a bounced/limited traversal
+    /// (pass-through latency, like `dispatch_overhead`).
     pub reissue_overhead: SimTime,
+    /// The contended part of the issue path: every packet send and every
+    /// re-issue holds one of the node's dispatch contexts busy for the
+    /// configured occupancy, so CPU-side queueing delay accumulates under
+    /// load. `DispatchConfig { occupancy: 0, contexts: 1 }` (the default)
+    /// disables contention and reproduces the flat-adder model
+    /// bit-for-bit.
+    pub dispatch: DispatchConfig,
     /// TCAM capacity per node-local translation table.
     pub tcam_capacity: usize,
     /// Number of CPU (compute) nodes issuing requests; each has its own
@@ -93,6 +106,7 @@ impl Default for ClusterConfig {
             mode: PulseMode::Pulse,
             dispatch_overhead: SimTime::from_nanos(300),
             reissue_overhead: SimTime::from_micros(1),
+            dispatch: DispatchConfig::default(),
             tcam_capacity: 4096,
             cpus: 1,
             assignment: CpuAssignment::RoundRobin,
@@ -123,6 +137,9 @@ pub struct ClusterReport {
     pub memory_util: f64,
     /// Mean accelerator logic-pipeline utilization.
     pub logic_util: f64,
+    /// Mean CPU-node dispatch-engine utilization (0 when dispatch is
+    /// uncontended).
+    pub dispatch_util: f64,
     /// End of the last completion.
     pub makespan: SimTime,
     /// Sum of per-accelerator iteration counts.
@@ -204,6 +221,9 @@ pub struct PulseCluster {
     /// One link per CPU node: the node's NIC and, because departures
     /// serialize through it, its issue queue.
     cpu_links: Vec<Link>,
+    /// One dispatch engine per CPU node: the serial software resource every
+    /// packet send and re-issue books before reaching the node's link.
+    dispatch: Vec<CpuDispatch>,
     /// Per-node DMA engines serving plain object reads/writes.
     dma: Vec<SerialResource>,
     inflight: HashMap<RequestId, ReqState>,
@@ -274,6 +294,9 @@ impl PulseCluster {
             switch,
             links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
             cpu_links: (0..cfg.cpus).map(|_| Link::new(cfg.link)).collect(),
+            dispatch: (0..cfg.cpus)
+                .map(|_| CpuDispatch::new(cfg.dispatch))
+                .collect(),
             dma: (0..nodes)
                 .map(|_| SerialResource::new(cfg.accel.timing.dram_bytes_per_sec * 8))
                 .collect(),
@@ -322,6 +345,12 @@ impl PulseCluster {
     /// Per-CPU-node link views (tx/rx byte counters), indexed by `CpuId`.
     pub fn cpu_links(&self) -> &[Link] {
         &self.cpu_links
+    }
+
+    /// Per-CPU-node dispatch-engine views (ops booked, utilization),
+    /// indexed by `CpuId`.
+    pub fn dispatch_engines(&self) -> &[CpuDispatch] {
+        &self.dispatch
     }
 
     /// Mints the identity the next submission will carry: the configured
@@ -511,6 +540,12 @@ impl PulseCluster {
                 .map(|a| a.logic_utilization(horizon))
                 .sum::<f64>()
                 / nodes as f64,
+            dispatch_util: self
+                .dispatch
+                .iter()
+                .map(|d| d.utilization(horizon))
+                .sum::<f64>()
+                / self.dispatch.len() as f64,
             makespan: self.makespan,
             iterations: self.accels.iter().map(|a| a.stats().iterations).sum(),
         }
@@ -566,7 +601,9 @@ impl PulseCluster {
                 return;
             }
         };
-        let depart = now + self.cfg.dispatch_overhead;
+        // The dispatch engine first (queueing + occupancy under load), then
+        // the flat pipeline latency, then the node's NIC.
+        let depart = self.dispatch[id.cpu].book(now) + self.cfg.dispatch_overhead;
         let arrive = self.cpu_links[id.cpu].tx(depart, pkt.wire_bytes());
         drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
     }
@@ -604,14 +641,28 @@ impl PulseCluster {
                     Endpoint::Cpu(c) => c,
                     Endpoint::Mem(_) => unreachable!("requesters are CPU nodes"),
                 };
-                let arrive = self.cpu_links[cpu].rx(egress_done, 128);
-                if let Packet::Iter(mut ip) = pkt {
-                    ip.status = IterStatus::Faulted {
-                        fault: pulse_isa::MemFault::NotMapped {
-                            addr: ip.state.cur_ptr,
-                        },
-                    };
-                    drv.schedule_at(arrive, Ev::AtCpu(Packet::Iter(ip)));
+                // Both arms charge the CPU link at the packet's full wire
+                // size, matching the switch's egress-port charge in
+                // `forward` (a flat 128 B under-charge before this fix).
+                let arrive = self.cpu_links[cpu].rx(egress_done, pkt.wire_bytes());
+                match pkt {
+                    Packet::Iter(mut ip) => {
+                        ip.status = IterStatus::Faulted {
+                            fault: pulse_isa::MemFault::NotMapped {
+                                addr: ip.state.cur_ptr,
+                            },
+                        };
+                        drv.schedule_at(arrive, Ev::AtCpu(Packet::Iter(ip)));
+                    }
+                    // Plain reads/writes aimed at an unmapped address: the
+                    // request fault-completes instead of hanging forever
+                    // with its packet silently dropped.
+                    Packet::Read { id, .. } | Packet::Write { id, .. } => {
+                        drv.schedule_at(arrive, Ev::Finished(id, false));
+                    }
+                    Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
+                        unreachable!("replies route to the requester, never invalid")
+                    }
                 }
             }
         }
@@ -710,8 +761,9 @@ impl PulseCluster {
                 }
                 IterStatus::InFlight => {
                     // pulse-acc bounce: the owning CPU re-issues toward the
-                    // right node; the switch will route it by cur_ptr.
-                    let depart = now + self.cfg.reissue_overhead;
+                    // right node; the switch will route it by cur_ptr. The
+                    // re-issue occupies the dispatch engine like any send.
+                    let depart = self.dispatch[id.cpu].book(now) + self.cfg.reissue_overhead;
                     let wire = Packet::Iter(ip.clone()).wire_bytes();
                     let arrive = self.cpu_links[id.cpu].tx(depart, wire);
                     drv.schedule_at(
@@ -724,7 +776,7 @@ impl PulseCluster {
                     let mut ip = ip;
                     ip.status = IterStatus::InFlight;
                     ip.state.iters_done = 0;
-                    let depart = now + self.cfg.reissue_overhead;
+                    let depart = self.dispatch[id.cpu].book(now) + self.cfg.reissue_overhead;
                     let wire = Packet::Iter(ip.clone()).wire_bytes();
                     let arrive = self.cpu_links[id.cpu].tx(depart, wire);
                     drv.schedule_at(
@@ -1017,6 +1069,111 @@ mod tests {
         for link in cluster.cpu_links() {
             assert!(link.rx_bytes() > 0, "bounce bypassed a CPU node");
         }
+    }
+
+    #[test]
+    fn zero_occupancy_dispatch_is_bit_identical_to_flat_adder() {
+        // The explicit zero-occupancy config and the default must produce
+        // byte-identical reports: the engine is a free pass-through.
+        let run_with = |dispatch: DispatchConfig| {
+            let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+            let mut cluster = PulseCluster::new(
+                ClusterConfig {
+                    dispatch,
+                    ..ClusterConfig::default()
+                },
+                mem,
+            );
+            cluster.run(reqs, 8)
+        };
+        let base = run_with(DispatchConfig::default());
+        let explicit = run_with(DispatchConfig {
+            occupancy: SimTime::ZERO,
+            contexts: 1,
+        });
+        assert_eq!(base.makespan, explicit.makespan);
+        assert_eq!(base.latency.mean, explicit.latency.mean);
+        assert_eq!(base.net_bytes, explicit.net_bytes);
+        assert_eq!(base.dispatch_util, 0.0);
+        // Even with many contexts, zero occupancy never contends.
+        let wide = run_with(DispatchConfig {
+            occupancy: SimTime::ZERO,
+            contexts: 8,
+        });
+        assert_eq!(base.makespan, wide.makespan);
+    }
+
+    #[test]
+    fn dispatch_contention_queues_concurrent_issues() {
+        // A slow serial dispatch engine (5 us per packet, one context) must
+        // stretch latency when many requests issue from one CPU node at
+        // once — and must report nonzero engine utilization.
+        let occ = SimTime::from_micros(5);
+        let run_with = |dispatch: DispatchConfig| {
+            let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+            let mut cluster = PulseCluster::new(
+                ClusterConfig {
+                    dispatch,
+                    ..ClusterConfig::default()
+                },
+                mem,
+            );
+            cluster.run(reqs, 32)
+        };
+        let free = run_with(DispatchConfig::default());
+        let contended = run_with(DispatchConfig::contended(occ, 1));
+        assert_eq!(contended.completed, free.completed);
+        assert!(
+            contended.latency.mean > free.latency.mean + occ,
+            "dispatch queueing must surface: free {} contended {}",
+            free.latency.mean,
+            contended.latency.mean
+        );
+        assert!(contended.dispatch_util > 0.0);
+        // More contexts relieve the queueing.
+        let wide = run_with(DispatchConfig::contended(occ, 8));
+        assert!(
+            wide.latency.mean < contended.latency.mean,
+            "8 contexts {} vs 1 context {}",
+            wide.latency.mean,
+            contended.latency.mean
+        );
+    }
+
+    #[test]
+    fn invalid_object_io_address_fault_completes() {
+        // A plain read aimed at an unmapped address must fault-complete the
+        // request (charged at its full wire size), not hang it forever.
+        let (mem, _, _) = webservice_cluster(2, 1_000, 1 << 20);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let req = AppRequest {
+            traversals: Vec::new(),
+            object_io: Some(pulse_workloads::ObjectIo {
+                addr: AddrSource::Fixed(0xDEAD_0000_0000),
+                len: 4096,
+                write: false,
+            }),
+            cpu_work: SimTime::ZERO,
+            response_extra_bytes: 0,
+        };
+        cluster.submit_at(SimTime::ZERO, req);
+        let mut done = Vec::new();
+        while cluster.step() {
+            done.extend(cluster.take_completions());
+        }
+        assert_eq!(done.len(), 1, "request must complete, not hang");
+        assert!(!done[0].ok, "unmapped object I/O must fault");
+        assert_eq!(cluster.in_flight(), 0);
+        let report = cluster.report();
+        assert_eq!(report.faulted, 1);
+        // The notification was rx-charged at the packet's wire size.
+        let wire = Packet::Read {
+            id: done[0].id,
+            addr: 0xDEAD_0000_0000,
+            len: 4096,
+        }
+        .wire_bytes();
+        assert!(cluster.cpu_links()[0].rx_bytes() >= wire);
     }
 
     #[test]

@@ -18,6 +18,29 @@
 //!   through the CPU node instead of the switch.
 //! * [`cxl_study`] — the §7/Fig. 12 CXL-interconnect model.
 //!
+//! # CPU-node dispatch contention
+//!
+//! Issue software cost at a CPU node has two components, configured on
+//! [`ClusterConfig`]:
+//!
+//! * `dispatch_overhead` / `reissue_overhead` — flat pass-through
+//!   *latency* per packet (pipeline depth). It delays every packet equally
+//!   and never queues.
+//! * [`DispatchConfig`] — the contended part. **`occupancy`** is how long
+//!   one dispatch context stays busy per issued packet (request
+//!   marshalling, doorbell, issue-queue bookkeeping); **`contexts`** is how
+//!   many such contexts the node runs in parallel. Every stage send and
+//!   every re-issue (pulse-acc bounce, iteration-budget continuation) books
+//!   the engine, so the node saturates at `contexts / occupancy` packets
+//!   per second and CPU-side queueing delay accumulates under load — the
+//!   saturation knee the extended evaluation attributes the RPC baseline's
+//!   collapse to, now reproducible for pulse itself in open-loop sweeps.
+//!
+//! `DispatchConfig { occupancy: 0, contexts: 1 }` (the default) disables
+//! contention entirely and reproduces the PR 2 flat-adder traces
+//! bit-for-bit; `tests/runtime_api.rs` guards that equivalence against
+//! golden trace numbers.
+//!
 //! # Examples
 //!
 //! The incremental API the `pulse::Runtime` façade drives (applications
@@ -65,3 +88,4 @@ pub use cluster::{
     ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
 };
 pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};
+pub use pulse_sim::{CpuDispatch, DispatchConfig};

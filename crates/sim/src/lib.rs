@@ -9,8 +9,9 @@
 //!
 //! * [`SimTime`] — integer-picosecond simulated time,
 //! * [`EventQueue`] / [`Driver`] — totally-ordered event scheduling,
-//! * [`SerialResource`] / [`ServerPool`] — contention models for links, DRAM
-//!   channels and pipeline pools,
+//! * [`SerialResource`] / [`ServerPool`] / [`CpuDispatch`] — contention
+//!   models for links, DRAM channels, pipeline pools, and CPU-node
+//!   dispatch engines,
 //! * [`LatencyHistogram`] / [`RateCounter`] — measurement collection.
 //!
 //! Determinism is a design requirement: identical configurations produce
@@ -46,7 +47,7 @@ mod stats;
 mod time;
 
 pub use event::{Driver, EventQueue};
-pub use resource::{Grant, PoolGrant, SerialResource, ServerPool};
+pub use resource::{CpuDispatch, DispatchConfig, Grant, PoolGrant, SerialResource, ServerPool};
 pub use rng::SplitMix64;
 pub use stats::{LatencyHistogram, LatencySummary, OnlineStats, RateCounter};
 pub use time::SimTime;

@@ -204,6 +204,136 @@ impl ServerPool {
     }
 }
 
+/// Configuration of a CPU node's request-dispatch engine: the software
+/// path that issues packets toward the rack.
+///
+/// * `occupancy` — how long one dispatch context stays busy per issued
+///   packet (request marshalling, doorbell, issue-queue bookkeeping). This
+///   is *service time on a contended resource*: under load, packets queue
+///   behind each other and the queueing delay accumulates — the CPU-side
+///   saturation the extended evaluation attributes the RPC baseline's
+///   collapse to. `SimTime::ZERO` disables contention entirely (the engine
+///   is a free pass-through), reproducing the flat-latency-adder model
+///   bit-for-bit.
+/// * `contexts` — how many dispatch contexts (cores / issue queues) the
+///   node runs in parallel. The engine's saturation rate is
+///   `contexts / occupancy` packets per second.
+///
+/// Any flat per-packet software *latency* (pipeline depth rather than
+/// occupancy) is charged by the caller on top of the engine's grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchConfig {
+    /// Serial engine occupancy per dispatched packet.
+    pub occupancy: SimTime,
+    /// Parallel dispatch contexts per CPU node.
+    pub contexts: usize,
+}
+
+impl Default for DispatchConfig {
+    /// No contention: zero occupancy on a single context.
+    fn default() -> Self {
+        DispatchConfig {
+            occupancy: SimTime::ZERO,
+            contexts: 1,
+        }
+    }
+}
+
+impl DispatchConfig {
+    /// A contended engine: each packet holds one of `contexts` contexts
+    /// busy for `occupancy`.
+    pub fn contended(occupancy: SimTime, contexts: usize) -> DispatchConfig {
+        DispatchConfig {
+            occupancy,
+            contexts,
+        }
+    }
+
+    /// Whether dispatches actually contend (nonzero occupancy).
+    pub fn is_contended(&self) -> bool {
+        self.occupancy > SimTime::ZERO
+    }
+
+    /// Packets per second the engine can sustain (`f64::INFINITY` when
+    /// uncontended).
+    pub fn saturation_rate(&self) -> f64 {
+        if !self.is_contended() {
+            return f64::INFINITY;
+        }
+        self.contexts.max(1) as f64 / self.occupancy.as_secs_f64()
+    }
+}
+
+/// The busy-until/FIFO resource a [`DispatchConfig`] describes: one CPU
+/// node's dispatch engine. Bookings must be issued in non-decreasing time
+/// order (event-loop order), like every resource in this module.
+///
+/// # Examples
+///
+/// ```
+/// use pulse_sim::{CpuDispatch, DispatchConfig, SimTime};
+///
+/// let occ = SimTime::from_nanos(500);
+/// let mut engine = CpuDispatch::new(DispatchConfig::contended(occ, 1));
+/// let a = engine.book(SimTime::ZERO);
+/// let b = engine.book(SimTime::ZERO); // queues behind `a`
+/// assert_eq!(a, occ);
+/// assert_eq!(b, occ * 2);
+///
+/// // Zero occupancy is a free pass-through.
+/// let mut free = CpuDispatch::new(DispatchConfig::default());
+/// assert_eq!(free.book(SimTime::from_micros(3)), SimTime::from_micros(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuDispatch {
+    cfg: DispatchConfig,
+    /// Absent when the engine is uncontended (zero occupancy): booking is
+    /// then a free pass-through and leaves no state behind, which is what
+    /// keeps `occupancy: 0` traces bit-identical to the flat-adder model.
+    pool: Option<ServerPool>,
+    ops: u64,
+}
+
+impl CpuDispatch {
+    /// Creates the engine. `contexts == 0` is treated as 1.
+    pub fn new(cfg: DispatchConfig) -> CpuDispatch {
+        CpuDispatch {
+            cfg,
+            pool: cfg
+                .is_contended()
+                .then(|| ServerPool::new(cfg.contexts.max(1))),
+            ops: 0,
+        }
+    }
+
+    /// Books one dispatch operation at `now` and returns when the packet
+    /// leaves the engine: after queueing for a free context plus the
+    /// configured occupancy, or immediately (`now`) when uncontended.
+    pub fn book(&mut self, now: SimTime) -> SimTime {
+        self.ops += 1;
+        match &mut self.pool {
+            Some(pool) => pool.acquire(now, self.cfg.occupancy).grant.end,
+            None => now,
+        }
+    }
+
+    /// Dispatch operations booked so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> DispatchConfig {
+        self.cfg
+    }
+
+    /// Mean per-context utilization over `[0, horizon]` (0 when
+    /// uncontended — a free engine is never busy).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.pool.as_ref().map_or(0.0, |p| p.utilization(horizon))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +398,44 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_pool_panics() {
         let _ = ServerPool::new(0);
+    }
+
+    #[test]
+    fn dispatch_queues_past_saturation() {
+        // 2 contexts, 100 ns each => 20 Mops/s. Issue 6 ops at t=0: the
+        // last pair waits two full service rounds.
+        let occ = SimTime::from_nanos(100);
+        let mut d = CpuDispatch::new(DispatchConfig::contended(occ, 2));
+        let ends: Vec<SimTime> = (0..6).map(|_| d.book(SimTime::ZERO)).collect();
+        assert_eq!(ends[0], occ);
+        assert_eq!(ends[1], occ);
+        assert_eq!(ends[4], occ * 3);
+        assert_eq!(ends[5], occ * 3);
+        assert_eq!(d.ops(), 6);
+        assert!((d.utilization(occ * 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncontended_dispatch_is_free_and_stateless() {
+        let mut d = CpuDispatch::new(DispatchConfig::default());
+        assert!(!d.config().is_contended());
+        assert_eq!(d.config().saturation_rate(), f64::INFINITY);
+        for i in 0..4u64 {
+            let t = SimTime::from_nanos(10 * i);
+            assert_eq!(d.book(t), t, "pass-through must not queue");
+        }
+        assert_eq!(d.utilization(SimTime::from_micros(1)), 0.0);
+        assert_eq!(d.ops(), 4);
+    }
+
+    #[test]
+    fn dispatch_saturation_rate_matches_contexts_over_occupancy() {
+        let cfg = DispatchConfig::contended(SimTime::from_micros(1), 4);
+        assert!((cfg.saturation_rate() - 4_000_000.0).abs() < 1e-6);
+        // contexts == 0 is clamped to one context.
+        let mut d = CpuDispatch::new(DispatchConfig::contended(SimTime::from_nanos(10), 0));
+        let a = d.book(SimTime::ZERO);
+        let b = d.book(SimTime::ZERO);
+        assert_eq!(b, a + SimTime::from_nanos(10));
     }
 }

@@ -350,6 +350,78 @@ mod tests {
         assert_eq!(a.max(), SimTime::from_micros(10));
     }
 
+    /// Compares a histogram against another for every summary statistic
+    /// the evaluation reports.
+    fn assert_same_summary(got: &LatencyHistogram, want: &LatencyHistogram, ctx: &str) {
+        assert_eq!(got.count(), want.count(), "{ctx}: count");
+        assert_eq!(got.mean(), want.mean(), "{ctx}: mean");
+        assert_eq!(got.min(), want.min(), "{ctx}: min");
+        assert_eq!(got.max(), want.max(), "{ctx}: max");
+        for p in [50.0, 95.0, 99.0] {
+            assert_eq!(got.percentile(p), want.percentile(p), "{ctx}: p{p}");
+        }
+        assert_eq!(got.summary(), want.summary(), "{ctx}: summary");
+    }
+
+    /// Merging histograms must be indistinguishable from recording every
+    /// sample into a single histogram — count, mean, min/max, and all
+    /// three reported percentiles — across partitions of a sample stream
+    /// spanning the full bucket range (sub-bucket picoseconds up to
+    /// milliseconds).
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut rng = crate::rng::SplitMix64::new(0xC0FFEE);
+        let samples: Vec<SimTime> = (0..4_000)
+            .map(|_| {
+                // Log-uniform over ~8 orders of magnitude: 1 ps .. 100 ms.
+                let exp = rng.next_u64() % 38; // 2^0 .. 2^37 ns-scale picos
+                SimTime::from_picos((1u64 << exp) + rng.next_u64() % (1 + (1u64 << exp)))
+            })
+            .collect();
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Several split points, including lopsided ones.
+        for split in [0, 1, samples.len() / 3, samples.len() - 1, samples.len()] {
+            let (left, right) = samples.split_at(split);
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            for &s in left {
+                a.record(s);
+            }
+            for &s in right {
+                b.record(s);
+            }
+            a.merge(&b);
+            assert_same_summary(&a, &whole, &format!("split at {split}"));
+        }
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut samples = LatencyHistogram::new();
+        for us in [3u64, 14, 159, 2_653] {
+            samples.record(SimTime::from_micros(us));
+        }
+        // empty ⊕ nonempty: adopts the samples wholesale.
+        let mut empty_left = LatencyHistogram::new();
+        empty_left.merge(&samples);
+        assert_same_summary(&empty_left, &samples, "empty ⊕ nonempty");
+        // nonempty ⊕ empty: a no-op.
+        let mut right = samples.clone();
+        right.merge(&LatencyHistogram::new());
+        assert_same_summary(&right, &samples, "nonempty ⊕ empty");
+        // empty ⊕ empty: still empty and still safe to query.
+        let mut both = LatencyHistogram::new();
+        both.merge(&LatencyHistogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.mean(), SimTime::ZERO);
+        assert_eq!(both.percentile(99.0), SimTime::ZERO);
+        assert_eq!(both.min(), SimTime::ZERO);
+        assert_eq!(both.max(), SimTime::ZERO);
+    }
+
     #[test]
     fn empty_histogram_is_safe() {
         let h = LatencyHistogram::new();

@@ -1,19 +1,41 @@
 //! Latency-vs-offered-load sweep: the extended evaluation's headline
-//! curve, produced by the open-loop pipeline end to end.
+//! curve, produced by the open-loop pipeline end to end — now with honest
+//! CPU-side saturation and full workload coverage.
 //!
 //! A Poisson [`ArrivalProcess`] feeds `Runtime::submit_at` through the
-//! `pulse-bench` `sweep()` ladder: at each offered load a *fresh* rack
-//! (2 memory nodes, 2 CPU nodes, round-robin assignment) and a fresh RPC
-//! baseline execute the identical WebService stream, and we report
-//! arrival-measured p50/p95/p99 plus goodput. The run also writes the
-//! combined curves to `BENCH_sweep.json`.
+//! `pulse-bench` `sweep()` ladder. Five curves run the identical arrival
+//! schedule:
+//!
+//! * **pulse** — the rack (2 memory nodes, 2 CPU nodes) over WebService,
+//! * **RPC** / **Cache-based** — the baselines over the same WebService
+//!   deployment,
+//! * **pulse-wiredtiger** / **pulse-btrdb** — the rack over the staged
+//!   B+Tree applications.
+//!
+//! Every engine runs the same contended dispatch model: each CPU node's
+//! issue path is a serial engine (`DISPATCH_OCCUPANCY` per packet on
+//! `DISPATCH_CONTEXTS` contexts), so CPU-side queueing — the effect the
+//! extended evaluation blames for the RPC baseline's collapse — shows up
+//! in every curve instead of being assumed away. The "sustained load"
+//! headline counts only rungs whose goodput kept up with the offered load
+//! (within `pulse_bench::GOODPUT_TOLERANCE`), reporting *achieved*, not
+//! offered, kops.
 //!
 //! ```sh
 //! cargo run --release --example latency_sweep
 //! cargo run --release --example latency_sweep -- --requests 300 --loads 20,60,120
 //! ```
+//!
+//! The run writes all five curves to `BENCH_sweep.json`; CI greps that
+//! file for every expected label.
 
-use pulse_bench::{baseline_webservice_factory, pulse_webservice_factory, sweep, sweep_json};
+use pulse::baselines::{RpcConfig, SwapConfig};
+use pulse::sim::SimTime;
+use pulse::{BaselineKind, DispatchConfig};
+use pulse_bench::{
+    baseline_webservice_factory, pulse_app_factory, sweep, sweep_json, AppKind, SweepReport,
+};
+use pulse_workloads::YcsbWorkload;
 
 const NODES: usize = 2;
 const CPUS: usize = 2;
@@ -21,84 +43,144 @@ const BASELINE_CLIENTS: usize = 16;
 const SEED: u64 = 42;
 /// The SLO used for the "sustained load" headline (µs).
 const SLO_P99_US: f64 = 150.0;
+/// Dispatch-engine service time per issued packet.
+const DISPATCH_OCCUPANCY: SimTime = SimTime::from_nanos(1_000);
+/// Dispatch contexts per CPU node.
+const DISPATCH_CONTEXTS: usize = 2;
 
 fn main() -> Result<(), pulse::Error> {
     let (loads_kops, requests) = parse_args();
+    let dispatch = DispatchConfig::contended(DISPATCH_OCCUPANCY, DISPATCH_CONTEXTS);
 
-    println!("latency-vs-load sweep — WebService, {NODES} memory nodes, {CPUS} CPU nodes");
-    println!("open-loop Poisson arrivals (seed {SEED}), {requests} requests per rung\n");
-
-    let pulse_curve = sweep(
-        &loads_kops,
-        SEED,
-        pulse_webservice_factory(NODES, CPUS, requests),
-    )?;
-    let rpc_curve = sweep(
-        &loads_kops,
-        SEED,
-        baseline_webservice_factory(
-            NODES,
-            pulse::BaselineKind::Rpc(pulse::baselines::RpcConfig::rpc()),
-            BASELINE_CLIENTS,
-            requests,
-        ),
-    )?;
-
+    println!("latency-vs-load sweep — {NODES} memory nodes, {CPUS} CPU nodes");
+    println!("open-loop Poisson arrivals (seed {SEED}), {requests} requests per rung");
     println!(
-        "{:>10} | {:>30} | {:>30}",
-        "offered", "pulse (us)", "RPC (us)"
+        "dispatch engine: {:.1} us occupancy x {} contexts = {:.0} kops/CPU saturation\n",
+        DISPATCH_OCCUPANCY.as_micros_f64(),
+        DISPATCH_CONTEXTS,
+        dispatch.saturation_rate() / 1e3
     );
-    println!(
-        "{:>10} | {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8} {:>9}",
-        "kops", "p50", "p95", "p99", "goodput", "p50", "p95", "p99", "goodput"
-    );
-    for (p, r) in pulse_curve.points.iter().zip(&rpc_curve.points) {
-        println!(
-            "{:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1}",
-            p.offered_kops,
-            p.p50_us,
-            p.p95_us,
-            p.p99_us,
-            p.goodput_kops,
-            r.p50_us,
-            r.p95_us,
-            r.p99_us,
-            r.goodput_kops
-        );
+
+    let curves = vec![
+        sweep(
+            "pulse",
+            &loads_kops,
+            SEED,
+            pulse_app_factory(
+                AppKind::WebService(YcsbWorkload::C),
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+            ),
+        )?,
+        sweep(
+            "RPC",
+            &loads_kops,
+            SEED,
+            baseline_webservice_factory(
+                NODES,
+                BaselineKind::Rpc(RpcConfig {
+                    dispatch,
+                    ..RpcConfig::rpc()
+                }),
+                BASELINE_CLIENTS,
+                requests,
+            ),
+        )?,
+        sweep(
+            "Cache-based",
+            &loads_kops,
+            SEED,
+            baseline_webservice_factory(
+                NODES,
+                BaselineKind::SwapCache(SwapConfig {
+                    cache_bytes: 8 << 20,
+                    dispatch,
+                    ..SwapConfig::default()
+                }),
+                BASELINE_CLIENTS,
+                requests,
+            ),
+        )?,
+        sweep(
+            "pulse-wiredtiger",
+            &loads_kops,
+            SEED,
+            pulse_app_factory(AppKind::WiredTiger, NODES, CPUS, requests, dispatch),
+        )?,
+        sweep(
+            "pulse-btrdb",
+            &loads_kops,
+            SEED,
+            pulse_app_factory(AppKind::Btrdb(4), NODES, CPUS, requests, dispatch),
+        )?,
+    ];
+
+    for curve in &curves {
+        print_curve(curve);
     }
 
-    for curve in [&pulse_curve, &rpc_curve] {
+    // The WebService curves are the paper's direct comparison: their p99
+    // must not regress as load rises (queueing only accumulates).
+    for curve in curves.iter().take(2) {
         let monotone = curve
             .points
             .windows(2)
             .all(|w| w[1].p99_us >= w[0].p99_us * 0.999);
         println!(
-            "\n{}: p99 monotone non-decreasing with load: {}",
+            "{}: p99 monotone non-decreasing with load: {}",
             curve.label,
             if monotone { "yes" } else { "NO" }
         );
         assert!(monotone, "{}: p99 regressed as load rose", curve.label);
     }
 
-    let pulse_sustained = pulse_curve.max_load_under_p99(SLO_P99_US);
-    let rpc_sustained = rpc_curve.max_load_under_p99(SLO_P99_US);
-    println!(
-        "sustained load at p99 <= {SLO_P99_US} us: pulse {} kops vs RPC {} kops",
-        pulse_sustained.map_or("-".into(), |k| format!("{k:.0}")),
-        rpc_sustained.map_or("-".into(), |k| format!("{k:.0}")),
-    );
+    println!("\nsustained load at p99 <= {SLO_P99_US} us (achieved goodput, kops):");
+    for curve in &curves {
+        println!(
+            "  {:>18}: {}",
+            curve.label,
+            curve
+                .max_load_under_p99(SLO_P99_US)
+                .map_or("-".into(), |k| format!("{k:.0}")),
+        );
+    }
+    let pulse_sustained = curves[0].max_load_under_p99(SLO_P99_US);
+    let rpc_sustained = curves[1].max_load_under_p99(SLO_P99_US);
     if let (Some(p), Some(r)) = (pulse_sustained, rpc_sustained) {
+        // 2% grace: both numbers are now achieved goodput, so equal-rate
+        // rungs can differ by completion-tail noise.
         assert!(
-            p >= r,
+            p >= r * 0.98,
             "pulse should sustain at least the RPC load at equal p99 ({p} vs {r})"
         );
     }
 
-    let json = sweep_json(&[pulse_curve, rpc_curve]);
+    let json = sweep_json(&curves);
     std::fs::write("BENCH_sweep.json", &json)
         .map_err(|e| pulse::Error::Config(format!("writing BENCH_sweep.json: {e}")))?;
-    println!("wrote BENCH_sweep.json ({} bytes)", json.len());
+    println!(
+        "\nwrote BENCH_sweep.json ({} bytes, {} curves)",
+        json.len(),
+        curves.len()
+    );
     Ok(())
+}
+
+fn print_curve(curve: &SweepReport) {
+    println!("── {} ──", curve.label);
+    println!(
+        "{:>10} {:>10} | {:>8} {:>8} {:>8} {:>9}",
+        "offered", "arrived", "p50", "p95", "p99", "goodput"
+    );
+    for p in &curve.points {
+        println!(
+            "{:>10.1} {:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1}",
+            p.offered_kops, p.arrived_kops, p.p50_us, p.p95_us, p.p99_us, p.goodput_kops
+        );
+    }
+    println!();
 }
 
 /// `--loads 20,60,120` (kops) and `--requests 300`, with full-ladder

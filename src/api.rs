@@ -346,6 +346,7 @@ impl Engine for BaselineEngine {
                 latency: LatencyHistogram::new().summary(),
                 goodput_per_sec: 0.0,
                 first_arrival,
+                last_arrival: first_arrival,
                 last_completion: first_arrival,
             });
         }
@@ -368,6 +369,7 @@ impl Engine for BaselineEngine {
             latency: rep.latency,
             goodput_per_sec: rep.throughput,
             first_arrival,
+            last_arrival: *times.last().unwrap(),
             last_completion: rep.makespan,
         })
     }

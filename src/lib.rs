@@ -23,8 +23,11 @@
 //!   an [`ArrivalProcess`] (Poisson / uniform / trace replay) timestamps
 //!   arrivals independent of completions, so latency-vs-offered-load
 //!   sweeps measure queueing for real. The rack itself models N CPU
-//!   (compute) nodes — [`PulseBuilder::cpus`] — each with its own link and
-//!   issue queue, with requests spread across them by [`CpuAssignment`].
+//!   (compute) nodes — [`PulseBuilder::cpus`] — each with its own link,
+//!   issue queue, and serial dispatch engine
+//!   ([`PulseBuilder::dispatch`] + [`DispatchConfig`]), with requests
+//!   spread across them by [`CpuAssignment`]. A contended dispatch engine
+//!   makes CPU-side saturation knees appear honestly in load sweeps.
 //! * [`Engine`] is the common face of the pulse rack and every compared
 //!   baseline ([`BaselineEngine`]), so cluster-vs-baseline comparisons are
 //!   a one-line swap — closed-loop ([`Engine::execute`]) and open-loop
@@ -94,7 +97,8 @@ pub use runtime::{
 // The façade's frequently-used vocabulary, re-exported flat so examples
 // and downstream code need one `use pulse::...` line per name.
 pub use pulse_core::{
-    ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
+    ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig, PulseCluster,
+    PulseMode,
 };
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;

@@ -22,7 +22,8 @@
 use crate::api::{AppSpec, BaselineEngine, BaselineKind};
 use crate::error::Error;
 use pulse_core::{
-    ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
+    ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig, PulseCluster,
+    PulseMode,
 };
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
@@ -149,6 +150,16 @@ impl PulseBuilder {
         self
     }
 
+    /// CPU-node dispatch-engine contention: every packet send and re-issue
+    /// holds one of `contexts` dispatch contexts busy for `occupancy`, so
+    /// the node saturates at `contexts / occupancy` packets per second (see
+    /// the `pulse-core` docs). The default — zero occupancy, one context —
+    /// is uncontended and reproduces the flat-adder traces bit-for-bit.
+    pub fn dispatch(mut self, dispatch: DispatchConfig) -> PulseBuilder {
+        self.config.dispatch = dispatch;
+        self
+    }
+
     /// Maximum requests in flight inside the rack (the backpressure bound;
     /// also the closed-loop concurrency of [`Runtime::drain`]).
     pub fn window(mut self, window: usize) -> PulseBuilder {
@@ -169,6 +180,11 @@ impl PulseBuilder {
         }
         if self.config.cpus == 0 {
             return Err(Error::Config("a rack needs at least one CPU node".into()));
+        }
+        if self.config.dispatch.contexts == 0 {
+            return Err(Error::Config(
+                "a CPU node needs at least one dispatch context".into(),
+            ));
         }
         if self.granularity == 0 {
             return Err(Error::Config("extent granularity must be positive".into()));
@@ -431,8 +447,31 @@ pub struct OpenLoopReport {
     pub goodput_per_sec: f64,
     /// When the first request arrived.
     pub first_arrival: SimTime,
+    /// When the last request arrived.
+    pub last_arrival: SimTime,
     /// When the last completion fired.
     pub last_completion: SimTime,
+}
+
+impl OpenLoopReport {
+    /// The *realized* arrival rate: the `submitted - 1` gaps measured over
+    /// the first-to-last-arrival span. A sampled arrival process (Poisson)
+    /// realizes a rate that deviates from the configured
+    /// [`OpenLoopReport::offered_per_sec`] by `O(1/sqrt(n))`, so honest
+    /// goodput-kept-up checks compare against this number, not the
+    /// configured one. Falls back to the configured rate when fewer than
+    /// two requests arrived.
+    pub fn arrival_rate_per_sec(&self) -> f64 {
+        let span = self
+            .last_arrival
+            .saturating_sub(self.first_arrival)
+            .as_secs_f64();
+        if self.submitted > 1 && span > 0.0 {
+            (self.submitted - 1) as f64 / span
+        } else {
+            self.offered_per_sec
+        }
+    }
 }
 
 /// Drives a [`Runtime`] open-loop: an [`ArrivalProcess`] stamps each
@@ -491,6 +530,7 @@ impl OpenLoopDriver {
             first_arrival.get_or_insert(t);
         }
         let first_arrival = first_arrival.unwrap_or(t);
+        let last_arrival = t;
         let mut hist = LatencyHistogram::new();
         let (mut completed, mut faulted) = (0u64, 0u64);
         let mut last_completion = first_arrival;
@@ -520,6 +560,7 @@ impl OpenLoopDriver {
             latency: hist.summary(),
             goodput_per_sec: completed as f64 / span.max(1e-12),
             first_arrival,
+            last_arrival,
             last_completion,
         })
     }

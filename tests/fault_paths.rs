@@ -47,6 +47,36 @@ fn invalid_pointer_faults_cleanly() {
     assert_eq!(report.faulted, 1);
 }
 
+/// A plain object read or write aimed at an unmapped address
+/// fault-completes through the façade — the switch notifies the CPU node
+/// and the request surfaces `ok == false` instead of hanging forever with
+/// its packet silently dropped (the pre-fix behavior).
+#[test]
+fn invalid_object_io_address_faults_cleanly() {
+    use pulse::workloads::{AddrSource, ObjectIo};
+    for write in [false, true] {
+        let (mut runtime, _offloaded) = small_map(2);
+        let req = pulse::AppRequest {
+            traversals: Vec::new(),
+            object_io: Some(ObjectIo {
+                addr: AddrSource::Fixed(0xBAD0_0000_0000),
+                len: 512,
+                write,
+            }),
+            cpu_work: SimTime::ZERO,
+            response_extra_bytes: 0,
+        };
+        let ticket = runtime.submit(req).unwrap();
+        let done = runtime.poll();
+        assert_eq!(done.len(), 1, "write={write}: must complete, not hang");
+        assert!(ticket.matches(&done[0]));
+        assert!(!done[0].ok, "write={write}: unmapped object I/O must fault");
+        let report = runtime.report();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.faulted, 1);
+    }
+}
+
 /// Revoking access after build makes the traversal's data unreadable:
 /// the memory pipeline's protection check faults the request back.
 #[test]

@@ -11,8 +11,8 @@ use pulse::workloads::{
     execute_functional, Application, ArrivalProcess, StartPtr, TraversalStage, WebServiceConfig,
 };
 use pulse::{
-    AppRequest, Engine, Error, Offloaded, OpenLoopDriver, Placement, PulseBuilder, PulseCluster,
-    RequestError,
+    AppRequest, DispatchConfig, Engine, Error, Offloaded, OpenLoopDriver, Placement, PulseBuilder,
+    PulseCluster, RequestError,
 };
 use std::sync::Arc;
 
@@ -138,6 +138,75 @@ fn drain_reproduces_closed_loop_run_on_webservice() {
     assert_eq!(new.latency.mean, old.latency.mean);
     assert_eq!(new.latency.p99, old.latency.p99);
     assert!((new.throughput - old.throughput).abs() < 1e-9);
+}
+
+/// The PR 2 bit-compatibility guard: with `DispatchConfig { occupancy: 0,
+/// contexts: 1 }` the single-CPU closed-loop `drain()` must reproduce the
+/// flat dispatch-overhead model's trace *exactly*. The constants below are
+/// golden numbers captured from the PR 2 code on this very scenario; any
+/// drift means the zero-occupancy dispatch engine is no longer a free
+/// pass-through.
+#[test]
+fn zero_occupancy_drain_matches_pr2_golden_trace() {
+    let (mut runtime, mut app) = PulseBuilder::new()
+        .nodes(2)
+        .granularity(1 << 20)
+        .window(8)
+        .dispatch(DispatchConfig {
+            occupancy: SimTime::ZERO,
+            contexts: 1,
+        })
+        .app(WebServiceConfig {
+            keys: 2_000,
+            ..Default::default()
+        })
+        .unwrap();
+    for _ in 0..120 {
+        runtime.submit(app.next_request()).unwrap();
+    }
+    let rep = runtime.drain();
+    assert_eq!(rep.completed, 120);
+    assert_eq!(rep.faulted, 0);
+    assert_eq!(rep.crossings, 0);
+    assert_eq!(rep.net_bytes, 1_027_680);
+    assert_eq!(rep.mem_bytes, 1_120_536);
+    assert_eq!(rep.iterations, 5_729);
+    assert_eq!(rep.makespan.as_picos(), 348_657_540);
+    assert_eq!(rep.latency.mean.as_picos(), 22_540_633);
+    assert_eq!(rep.latency.p99.as_picos(), 33_161_216);
+    assert_eq!(rep.dispatch_util, 0.0, "a free engine is never busy");
+}
+
+/// The honest-saturation property this PR exists for: with a contended
+/// dispatch engine, offered loads past the engine's service rate
+/// (`contexts / occupancy` = 500 kops here) queue at the CPU node, so p99
+/// grows strictly rung over rung.
+#[test]
+fn dispatch_contention_saturates_open_loop() {
+    let p99_at = |rate_per_sec: f64| {
+        let (mut runtime, mut app) = PulseBuilder::new()
+            .nodes(2)
+            .cpus(1)
+            .dispatch(DispatchConfig::contended(SimTime::from_micros(2), 1))
+            .app(WebServiceConfig {
+                keys: 2_000,
+                ..Default::default()
+            })
+            .unwrap();
+        let reqs: Vec<AppRequest> = (0..300).map(|_| app.next_request()).collect();
+        let mut driver = OpenLoopDriver::new(ArrivalProcess::poisson(rate_per_sec, 5));
+        let rep = driver.run(&mut runtime, reqs).unwrap();
+        assert_eq!(rep.completed, 300);
+        rep.latency.p99
+    };
+    // Every rung is past the 500 kops dispatch service rate.
+    let p800 = p99_at(800_000.0);
+    let p1600 = p99_at(1_600_000.0);
+    let p3200 = p99_at(3_200_000.0);
+    assert!(
+        p800 < p1600 && p1600 < p3200,
+        "p99 must strictly increase past dispatch saturation: {p800} {p1600} {p3200}"
+    );
 }
 
 /// Submitting beyond the window leaves the excess pending, and the window
