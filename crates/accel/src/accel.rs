@@ -15,7 +15,7 @@
 //! embed it unchanged.
 
 use crate::config::{AccelConfig, PipelineOrg};
-use pulse_isa::{Fault, Interpreter, IterOutcome, IterTrace, MemFault};
+use pulse_isa::{CostModel, Fault, Interpreter, IterOutcome, IterTrace, MemFault};
 use pulse_mem::{ClusterMemory, NodeId, RangeTable};
 use pulse_net::{IterPacket, IterStatus};
 use pulse_sim::{SerialResource, ServerPool, SimTime};
@@ -108,6 +108,16 @@ struct Workspace {
 #[derive(Debug)]
 enum PendingIter {
     Ok(IterTrace),
+    /// The translate stage rejected `cur_ptr` itself: the pointer is remote
+    /// or invalid — the switch's global table decides which — so the packet
+    /// reroutes in-flight.
+    Remote,
+    /// The iteration faulted *mid-execution* (an explicit `LOAD`/`STORE`/
+    /// `CAS` to a bad or stale address, a protection violation, div-zero).
+    /// Rerouting would be wrong — the switch routes by `cur_ptr`, which is
+    /// valid and local, so the packet would bounce back here forever — the
+    /// request fault-completes instead (the write-side mirror of PR 3's
+    /// invalid-object-I/O fix).
     Fail(Fault),
 }
 
@@ -229,16 +239,20 @@ impl Accelerator {
                 let (insns, extra_mem_ops) = {
                     let w = self.ws(ws);
                     match w.pending.as_ref().expect("fetch without pending") {
-                        PendingIter::Ok(trace) => {
-                            (trace.insns_executed, trace.extra_loads + trace.stores)
-                        }
+                        PendingIter::Ok(trace) => (
+                            trace.insns_executed,
+                            CostModel::extra_memory_trips(trace) as u32,
+                        ),
                         // Faults discovered by the memory pipeline skip logic.
-                        PendingIter::Fail(_) => (0, 0),
+                        PendingIter::Remote | PendingIter::Fail(_) => (0, 0),
                     }
                 };
                 if insns == 0 && extra_mem_ops == 0 {
                     if let Some(w) = &self.workspaces[ws] {
-                        if matches!(w.pending, Some(PendingIter::Fail(_))) {
+                        if matches!(
+                            w.pending,
+                            Some(PendingIter::Remote) | Some(PendingIter::Fail(_))
+                        ) {
                             return self.finish_iteration(now, ws, mem);
                         }
                     }
@@ -309,11 +323,19 @@ impl Accelerator {
 
         // TCAM check first: a remote pointer is detected in the translation
         // stage, costing only the TCAM trip, and bounces to the switch.
+        // Only `NotMapped` reroutes — the switch's global table can resolve
+        // an address *this* node lacks. A window that splits a mapping
+        // boundary or violates permissions would split/violate it on every
+        // node, so rerouting those would ping-pong forever; they
+        // fault-complete instead.
         if let Err(fault) = self.xlate.translate(base, window.len, false) {
             self.stats.components.tcam += self.cfg.timing.tcam;
             let g = self.mem_pipes.acquire(t, self.cfg.timing.tcam);
             let w = self.workspaces[ws].as_mut().expect("occupied");
-            w.pending = Some(PendingIter::Fail(Fault::Mem(fault)));
+            w.pending = Some(match fault {
+                MemFault::NotMapped { .. } => PendingIter::Remote,
+                other => PendingIter::Fail(Fault::Mem(other)),
+            });
             return vec![AccelOutput::Internal {
                 at: g.grant.end,
                 event: AccelEvent::FetchDone { ws },
@@ -376,7 +398,7 @@ impl Accelerator {
                     }
                 }
             }
-            PendingIter::Fail(Fault::Mem(MemFault::NotMapped { .. })) => {
+            PendingIter::Remote => {
                 // The pointer lives on another node (or is invalid — the
                 // switch's global table decides): reroute, in-flight.
                 self.stats.rerouted += 1;
@@ -582,6 +604,37 @@ mod tests {
         assert_eq!(done[0].1.status, IterStatus::InFlight);
         assert_eq!(accel.stats().rerouted, 1);
         assert_eq!(accel.stats().done, 0);
+    }
+
+    #[test]
+    fn store_to_stale_pointer_fault_completes() {
+        // A traversal whose cur_ptr is valid and local but whose STORE aims
+        // at a wild address must depart Faulted — not reroute in-flight,
+        // which the switch would bounce straight back here forever.
+        use pulse_isa::{Operand, ProgramBuilder, Width};
+        let (mut mem, head) = chain_memory(4);
+        let mut accel = accel_for(&mem, AccelConfig::default());
+        let mut b = ProgramBuilder::new("wild-store", 24, 8);
+        b.store(Operand::Imm(0xDEAD_0000), 0, Operand::Imm(1), Width::B8);
+        b.ret(Operand::Imm(0));
+        let prog = Arc::new(b.finish().unwrap());
+        let code = CodeBlob::new(prog.clone());
+        let pkt = IterPacket {
+            id: RequestId { cpu: 0, seq: 1 },
+            state: pulse_isa::IterState::new(&prog, head),
+            code,
+            status: IterStatus::InFlight,
+            piggyback_bytes: 0,
+        };
+        let done = drive(&mut accel, &mut mem, vec![(SimTime::ZERO, pkt)]);
+        assert_eq!(done.len(), 1);
+        assert!(
+            matches!(done[0].1.status, IterStatus::Faulted { .. }),
+            "got {:?}",
+            done[0].1.status
+        );
+        assert_eq!(accel.stats().faulted, 1);
+        assert_eq!(accel.stats().rerouted, 0);
     }
 
     #[test]

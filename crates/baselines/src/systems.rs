@@ -852,6 +852,60 @@ mod tests {
         );
     }
 
+    /// The baselines execute the same write model as the rack: a mixed
+    /// stream of seqlock-verified reads and locked update traversals
+    /// replays through both systems, the updates really mutate the
+    /// baseline's memory copy, and the write trips are priced (a mixed
+    /// stream touches at least as many DRAM bytes as a read-only one).
+    #[test]
+    fn mixed_write_traversals_replay_through_baselines() {
+        use pulse_mutation::{
+            locked_update_stage, retrying_request, verified_read_stage, MutationConfig,
+        };
+        use std::sync::Arc;
+
+        let mut mem = ClusterMemory::new(2);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 20);
+        let map = {
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            let pairs: Vec<(u64, u64)> = (0..512).map(|k| (k, k)).collect();
+            pulse_ds::HashMapDs::build_partitioned(&mut ctx, 8, &pairs, 2).unwrap()
+        };
+        let find = Arc::new(pulse_mutation::verified_find_program());
+        let update = Arc::new(pulse_mutation::locked_update_program());
+        let mc = MutationConfig::default();
+        let reads: Vec<AppRequest> = (0..100)
+            .map(|k| retrying_request(verified_read_stage(&find, map.bucket_addr(k), k), mc))
+            .collect();
+        let mixed: Vec<AppRequest> = (0..100)
+            .map(|k| {
+                if k % 2 == 0 {
+                    retrying_request(
+                        locked_update_stage(&update, map.bucket_addr(k), k, k + 7_000),
+                        mc,
+                    )
+                } else {
+                    retrying_request(verified_read_stage(&find, map.bucket_addr(k), k), mc)
+                }
+            })
+            .collect();
+        let ro = run_rpc(&mut mem, &reads, 8, RpcConfig::rpc());
+        let rw = run_rpc(&mut mem, &mixed, 8, RpcConfig::rpc());
+        assert_eq!(rw.completed, 100);
+        assert!(
+            rw.mem_bytes >= ro.mem_bytes,
+            "write trips must be priced: ro {} rw {}",
+            ro.mem_bytes,
+            rw.mem_bytes
+        );
+        // The sequential replay applied the updates for real.
+        assert_eq!(map.get_host(&mut mem, 42).unwrap(), Some(42 + 7_000));
+        assert_eq!(map.get_host(&mut mem, 43).unwrap(), Some(43));
+        // The swap cache executes the identical stream (fresh values).
+        let swap = run_swap_cache(&mut mem, &mixed, 8, SwapConfig::default());
+        assert_eq!(swap.completed, 100);
+    }
+
     #[test]
     fn results_are_deterministic() {
         let (mut mem, reqs) = webservice_setup(1_000, 8192);

@@ -226,10 +226,23 @@ pub struct SweepPoint {
     pub p99_us: f64,
     /// Successful completions, kilo-requests per second.
     pub goodput_kops: f64,
+    /// The write half of the goodput: successful *update* completions
+    /// (`AppRequest::is_update`), kilo-requests per second. 0 for
+    /// read-only curves.
+    pub update_goodput_kops: f64,
+    /// Optimistic-concurrency re-issues the rung performed (seqlock
+    /// readers/writers that lost a race). 0 for read-only curves and for
+    /// the sequential replay baselines.
+    pub retries: u64,
 }
 
 impl SweepPoint {
     fn from_report(rep: &pulse::OpenLoopReport) -> SweepPoint {
+        let update_fraction = if rep.completed > 0 {
+            rep.completed_updates as f64 / rep.completed as f64
+        } else {
+            0.0
+        };
         SweepPoint {
             offered_kops: rep.offered_per_sec / 1e3,
             arrived_kops: rep.arrival_rate_per_sec() / 1e3,
@@ -239,6 +252,8 @@ impl SweepPoint {
             p95_us: rep.latency.p95.as_micros_f64(),
             p99_us: rep.latency.p99.as_micros_f64(),
             goodput_kops: rep.goodput_per_sec / 1e3,
+            update_goodput_kops: rep.goodput_per_sec / 1e3 * update_fraction,
+            retries: rep.retries,
         }
     }
 
@@ -315,7 +330,8 @@ impl SweepReport {
                     "{{\"offered_kops\":{:.3},\"arrived_kops\":{:.3},\
                      \"completed\":{},\"faulted\":{},\
                      \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\
-                     \"goodput_kops\":{:.3}}}",
+                     \"goodput_kops\":{:.3},\"update_goodput_kops\":{:.3},\
+                     \"retries\":{}}}",
                     p.offered_kops,
                     p.arrived_kops,
                     p.completed,
@@ -323,7 +339,9 @@ impl SweepReport {
                     p.p50_us,
                     p.p95_us,
                     p.p99_us,
-                    p.goodput_kops
+                    p.goodput_kops,
+                    p.update_goodput_kops,
+                    p.retries
                 )
             })
             .collect();
@@ -474,6 +492,176 @@ pub fn pulse_webservice_factory(
     )
 }
 
+/// Keys in the mixed-workload WebService deployment (YCSB-A/B).
+const YCSB_HASH_KEYS: u64 = 6_000;
+/// Keys in the mixed-workload WiredTiger deployment (YCSB-E).
+const YCSB_TREE_KEYS: u64 = 30_000;
+/// Insert-arena slab per memory node for YCSB-E structural inserts.
+const YCSB_ARENA_PER_NODE: u64 = 4 << 20;
+
+/// The shared mixed-workload deployment configs (one definition, used by
+/// the pulse and baseline factories alike so the comparison stays
+/// apples-to-apples).
+fn ycsb_hash_cfg(workload: YcsbWorkload) -> WebServiceConfig {
+    WebServiceConfig {
+        keys: YCSB_HASH_KEYS,
+        workload,
+        ..Default::default()
+    }
+}
+
+fn ycsb_tree_cfg(nodes: usize) -> WiredTigerConfig {
+    WiredTigerConfig {
+        keys: YCSB_TREE_KEYS,
+        placement: TreePlacement::Partitioned { nodes },
+        ..Default::default()
+    }
+}
+
+/// Mints the driver's request stream against `mem` and enforces that no
+/// insert degraded to the non-mutating fallback: an exhausted arena would
+/// keep the curve's update goodput nonzero while the write path silently
+/// stopped mutating the tree — abort loudly instead of trusting it.
+fn mint_ycsb_stream(
+    driver: &mut pulse::YcsbDriver,
+    mem: &mut pulse_mem::ClusterMemory,
+    requests: usize,
+) -> Vec<AppRequest> {
+    let reqs = (0..requests).map(|_| driver.next_request(mem)).collect();
+    assert_eq!(
+        driver.degraded_inserts(),
+        0,
+        "insert arena exhausted mid-stream: raise YCSB_ARENA_PER_NODE \
+         rather than sweeping a curve whose inserts stopped mutating"
+    );
+    reqs
+}
+
+/// One definition of the mixed-workload engine+driver wiring, shared by
+/// the pulse and baseline factories: the per-workload deployment configs,
+/// arena sizing, and `YcsbDriver` construction live here once, so the two
+/// sides cannot drift apart. The factories differ only in the two builder
+/// entry points they pass in.
+fn ycsb_engine_and_driver<E>(
+    workload: YcsbWorkload,
+    nodes: usize,
+    builder: pulse::PulseBuilder,
+    wire_hash: impl FnOnce(pulse::PulseBuilder, WebServiceConfig) -> (E, WebService),
+    wire_tree: impl FnOnce(
+        pulse::PulseBuilder,
+        WiredTigerConfig,
+    ) -> (E, (WiredTiger, pulse_mutation::InsertArena)),
+) -> (E, pulse::YcsbDriver) {
+    match workload {
+        YcsbWorkload::A | YcsbWorkload::B => {
+            let cfg = ycsb_hash_cfg(workload);
+            let (engine, app) = wire_hash(builder, cfg);
+            let driver = pulse::YcsbDriver::webservice(app, cfg, pulse::MutationConfig::default())
+                .expect("partitioned deployment");
+            (engine, driver)
+        }
+        YcsbWorkload::E => {
+            let cfg = ycsb_tree_cfg(nodes);
+            let (engine, (app, arena)) = wire_tree(builder, cfg);
+            let driver =
+                pulse::YcsbDriver::wiredtiger(app, cfg, arena, pulse::MutationConfig::default())
+                    .expect("valid YCSB-E config");
+            (engine, driver)
+        }
+        YcsbWorkload::C => unreachable!("factories reject YCSB-C up front"),
+    }
+}
+
+/// [`pulse_app_factory`]'s mixed-workload counterpart: the pulse rack
+/// driven by a [`pulse::YcsbDriver`], so reads, seqlock-verified updates,
+/// scans and structural inserts all reach the rack as real submissions.
+/// YCSB-A/B run over the bucket-partitioned WebService hash map; YCSB-E
+/// over the WiredTiger B+Tree with an insert arena.
+///
+/// # Panics
+///
+/// Panics if `workload` is `YCSB-C` (use [`pulse_app_factory`] — C is the
+/// read-only curve), if the deployment fails to wire, or if the insert
+/// arena is exhausted mid-stream (see [`mint_ycsb_stream`]).
+pub fn pulse_ycsb_factory(
+    workload: YcsbWorkload,
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+    dispatch: DispatchConfig,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    assert!(
+        workload != YcsbWorkload::C,
+        "YCSB-C is read-only; use pulse_app_factory"
+    );
+    move || {
+        let builder = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .cpus(cpus)
+            .dispatch(dispatch)
+            .granularity(DEFAULT_GRANULARITY);
+        let (mut runtime, mut driver) = ycsb_engine_and_driver(
+            workload,
+            nodes,
+            builder,
+            |b, cfg| b.app(cfg).expect("wire pulse rack"),
+            |b, cfg| {
+                b.build_with(|ctx| {
+                    let app = WiredTiger::build(ctx, cfg)?;
+                    let arena = pulse_mutation::InsertArena::build(ctx, YCSB_ARENA_PER_NODE)?;
+                    Ok((app, arena))
+                })
+                .expect("wire pulse rack")
+            },
+        );
+        let reqs = mint_ycsb_stream(&mut driver, runtime.memory_mut(), requests);
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
+/// Baseline counterpart of [`pulse_ycsb_factory`]: the identical
+/// deployment and driver wiring ([`ycsb_engine_and_driver`]) with the
+/// baseline builder entry points, so the pulse-vs-baseline comparison for
+/// read-write workloads stays apples-to-apples by construction.
+///
+/// # Panics
+///
+/// As [`pulse_ycsb_factory`].
+pub fn baseline_ycsb_factory(
+    workload: YcsbWorkload,
+    nodes: usize,
+    kind: pulse::BaselineKind,
+    concurrency: usize,
+    requests: usize,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    assert!(
+        workload != YcsbWorkload::C,
+        "YCSB-C is read-only; use baseline_webservice_factory"
+    );
+    move || {
+        let builder = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .window(concurrency)
+            .granularity(DEFAULT_GRANULARITY);
+        let (mut engine, mut driver) = ycsb_engine_and_driver(
+            workload,
+            nodes,
+            builder,
+            |b, cfg| b.baseline_app(kind, cfg).expect("wire baseline"),
+            |b, cfg| {
+                b.baseline_with(kind, |ctx| {
+                    let app = WiredTiger::build(ctx, cfg)?;
+                    let arena = pulse_mutation::InsertArena::build(ctx, YCSB_ARENA_PER_NODE)?;
+                    Ok((app, arena))
+                })
+                .expect("wire baseline")
+            },
+        );
+        let reqs = mint_ycsb_stream(&mut driver, engine.memory_mut(), requests);
+        (Box::new(engine) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
 /// Baseline counterpart of [`pulse_app_factory`], over an identical
 /// WebService deployment, behind the same [`Engine`](pulse::Engine) trait.
 /// Dispatch contention rides in the baseline's own config
@@ -516,6 +704,8 @@ mod tests {
             p95_us: p99_us * 0.9,
             p99_us,
             goodput_kops: goodput,
+            update_goodput_kops: 0.0,
+            retries: 0,
         }
     }
 
@@ -595,6 +785,35 @@ mod tests {
         };
         let sustained = report.max_load_under_p99(150.0);
         assert_eq!(sustained, Some(684.5), "healthy rung must qualify");
+    }
+
+    /// The mixed-workload factories execute a rung end-to-end: real
+    /// updates in the stream, nonzero update goodput, and the identical
+    /// shape from the baseline side.
+    #[test]
+    fn ycsb_factories_execute_a_rung() {
+        for w in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::E] {
+            let mut make = pulse_ycsb_factory(w, 2, 2, 60, DispatchConfig::default());
+            let curve = sweep("probe", &[100.0], 7, &mut make).unwrap();
+            let p = &curve.points[0];
+            assert_eq!(p.completed + p.faulted, 60, "{w}");
+            assert!(p.goodput_kops > 0.0, "{w}");
+            if w == YcsbWorkload::A {
+                assert!(p.update_goodput_kops > 0.0, "A is half updates");
+            }
+        }
+        let mut make = baseline_ycsb_factory(
+            YcsbWorkload::A,
+            2,
+            pulse::BaselineKind::Rpc(RpcConfig::rpc()),
+            8,
+            60,
+        );
+        let curve = sweep("probe-rpc", &[100.0], 7, &mut make).unwrap();
+        let p = &curve.points[0];
+        assert_eq!(p.completed, 60);
+        assert!(p.update_goodput_kops > 0.0);
+        assert_eq!(p.retries, 0, "sequential replay never races");
     }
 
     /// The new ladder factories build and execute a rung end-to-end for

@@ -144,6 +144,11 @@ pub struct ClusterReport {
     pub makespan: SimTime,
     /// Sum of per-accelerator iteration counts.
     pub iterations: u64,
+    /// Optimistic-concurrency re-issues: traversals whose final stage
+    /// returned its request's [`pulse_workloads::RetryPolicy`] code (a
+    /// seqlock reader/writer that lost its race) and were re-planned and
+    /// re-sent by the issuing CPU node. 0 for read-only configurations.
+    pub retries: u64,
 }
 
 impl ClusterReport {
@@ -208,6 +213,9 @@ struct ReqState {
     stage: usize,
     issued_at: SimTime,
     last_state: Option<pulse_isa::IterState>,
+    /// Optimistic-concurrency re-issues consumed so far (see
+    /// [`pulse_workloads::RetryPolicy`]).
+    retries: u32,
 }
 
 /// The pulse rack.
@@ -240,6 +248,7 @@ pub struct PulseCluster {
     completed: u64,
     faulted: u64,
     crossings: u64,
+    retries: u64,
     mem_bytes_extra: u64,
     makespan: SimTime,
 }
@@ -309,6 +318,7 @@ impl PulseCluster {
             completed: 0,
             faulted: 0,
             crossings: 0,
+            retries: 0,
             mem_bytes_extra: 0,
             makespan: SimTime::ZERO,
             cfg,
@@ -404,6 +414,7 @@ impl PulseCluster {
                 stage: 0,
                 issued_at: at,
                 last_state: None,
+                retries: 0,
             },
         );
         self.drv.schedule_at(at, Ev::Start(id));
@@ -548,6 +559,7 @@ impl PulseCluster {
                 / self.dispatch.len() as f64,
             makespan: self.makespan,
             iterations: self.accels.iter().map(|a| a.stats().iterations).sum(),
+            retries: self.retries,
         }
     }
 
@@ -704,10 +716,14 @@ impl PulseCluster {
             match out {
                 AccelOutput::Internal { at, event } => drv.schedule_at(at, Ev::Accel(n, event)),
                 AccelOutput::Depart { at, mut pkt } => {
-                    if let IterStatus::Done { .. } = pkt.status {
+                    if let IterStatus::Done { code } = pkt.status {
                         if let Some(st) = self.inflight.get(&pkt.id) {
                             let is_final_stage = st.stage + 1 == st.req.traversals.len();
-                            if is_final_stage {
+                            // A retry-coded RETURN is about to be re-issued
+                            // by the CPU node: gathering the object here
+                            // would DMA and ship bytes the CPU discards.
+                            let raced = st.req.retry.is_some_and(|rp| rp.code == code);
+                            if is_final_stage && !raced {
                                 if let Some(io) = st.req.object_io {
                                     if !io.write {
                                         let addr = resolve_addr(io.addr, Some(&pkt.state))
@@ -743,20 +759,58 @@ impl PulseCluster {
         let id = pkt.id();
         match pkt {
             Packet::Iter(ip) => match ip.status {
-                IterStatus::Done { .. } => {
+                IterStatus::Done { code } => {
                     let gathered = ip.piggyback_bytes > 0;
-                    let (advance, cpu_work) = {
+                    enum Next {
+                        Advance,
+                        Finish(SimTime),
+                        Retry,
+                        Exhausted,
+                    }
+                    let decision = {
                         let st = self.inflight.get_mut(&id).expect("inflight");
                         st.last_state = Some(ip.state);
                         st.stage += 1;
                         let more_traversals = st.stage < st.req.traversals.len();
-                        let needs_io = st.req.object_io.is_some() && !gathered;
-                        (more_traversals || needs_io, st.req.cpu_work)
+                        // A final-stage RETURN carrying the request's retry
+                        // code is a lost optimistic-concurrency race: the
+                        // CPU node re-plans from stage 0 (fresh init()),
+                        // bounded by the policy so a livelocked key
+                        // surfaces as a fault instead of spinning forever.
+                        let raced =
+                            !more_traversals && st.req.retry.is_some_and(|rp| code == rp.code);
+                        if raced {
+                            let rp = st.req.retry.expect("raced implies policy");
+                            if st.retries < rp.max {
+                                st.retries += 1;
+                                st.stage = 0;
+                                st.last_state = None;
+                                Next::Retry
+                            } else {
+                                Next::Exhausted
+                            }
+                        } else {
+                            let needs_io = st.req.object_io.is_some() && !gathered;
+                            if more_traversals || needs_io {
+                                Next::Advance
+                            } else {
+                                Next::Finish(st.req.cpu_work)
+                            }
+                        }
                     };
-                    if advance {
-                        self.send_stage(drv, now, id);
-                    } else {
-                        drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
+                    match decision {
+                        Next::Advance => self.send_stage(drv, now, id),
+                        Next::Finish(cpu_work) => {
+                            drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
+                        }
+                        Next::Retry => {
+                            self.retries += 1;
+                            // Re-planning costs the re-issue software path;
+                            // the subsequent Start books the dispatch
+                            // engine like any send.
+                            drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
+                        }
+                        Next::Exhausted => drv.schedule_at(now, Ev::Finished(id, false)),
                     }
                 }
                 IterStatus::InFlight => {
@@ -1155,6 +1209,7 @@ mod tests {
             }),
             cpu_work: SimTime::ZERO,
             response_extra_bytes: 0,
+            retry: None,
         };
         cluster.submit_at(SimTime::ZERO, req);
         let mut done = Vec::new();

@@ -447,6 +447,106 @@ pub fn decode_located_leaf(state: &IterState) -> u64 {
     state.scratch_u64(btree_layout::SP_LEAF as usize)
 }
 
+// ------------------------------------------------------- staged Traversals
+
+/// The WiredTiger keyed range scan as a [`Traversal`]: stage 1 descends to
+/// the covering leaf, stage 2 scans chained leaves counting entries
+/// `>= key` up to the configured `limit`. The scan limit is a *plan*
+/// parameter — `plan(key)` seeds it into the scan stage's scratchpad — so
+/// one compiled program pair serves every limit.
+#[derive(Debug)]
+pub struct WiredTigerScan<'a> {
+    tree: &'a WiredTigerTree,
+    limit: u64,
+}
+
+impl<'a> WiredTigerScan<'a> {
+    /// A scan plan over `tree` counting up to `limit` matches.
+    pub fn new(tree: &'a WiredTigerTree, limit: u64) -> WiredTigerScan<'a> {
+        WiredTigerScan { tree, limit }
+    }
+
+    /// The configured scan limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+impl crate::traversal::Traversal for WiredTigerScan<'_> {
+    fn name(&self) -> &'static str {
+        "wiredtiger::keyed_scan"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        vec![WiredTigerTree::locate_spec(), WiredTigerTree::scan_spec()]
+    }
+
+    fn plan(&self, key: u64) -> Result<Vec<crate::traversal::StagePlan>, DsError> {
+        use crate::traversal::StagePlan;
+        Ok(vec![
+            StagePlan::fixed(self.tree.root(), vec![(btree_layout::SP_KEY, key)]),
+            StagePlan::chained(
+                btree_layout::SP_LEAF,
+                vec![
+                    (wt_layout::SP_START, key),
+                    (wt_layout::SP_REMAIN, self.limit),
+                    (wt_layout::SP_MATCHED, 0),
+                ],
+            ),
+        ])
+    }
+}
+
+/// The BTrDB windowed aggregation as a [`Traversal`]: stage 1 descends to
+/// the leaf covering `t0` (the lookup key), stage 2 accumulates
+/// sum/min/max/count over `[t0, t0 + window_ns)`. The window length is the
+/// parameterized part of the plan.
+#[derive(Debug)]
+pub struct BtrdbWindowScan<'a> {
+    tree: &'a BtrdbTree,
+    window_ns: u64,
+}
+
+impl<'a> BtrdbWindowScan<'a> {
+    /// An aggregation plan over `tree` with `window_ns`-long windows.
+    pub fn new(tree: &'a BtrdbTree, window_ns: u64) -> BtrdbWindowScan<'a> {
+        BtrdbWindowScan { tree, window_ns }
+    }
+
+    /// The configured window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+}
+
+impl crate::traversal::Traversal for BtrdbWindowScan<'_> {
+    fn name(&self) -> &'static str {
+        "btrdb::window_aggregate"
+    }
+
+    fn stages(&self) -> Vec<IterSpec> {
+        vec![BtrdbTree::locate_spec(), BtrdbTree::aggregate_spec()]
+    }
+
+    fn plan(&self, t0: u64) -> Result<Vec<crate::traversal::StagePlan>, DsError> {
+        use crate::traversal::StagePlan;
+        Ok(vec![
+            StagePlan::fixed(self.tree.root(), vec![(btree_layout::SP_KEY, t0)]),
+            StagePlan::chained(
+                btree_layout::SP_LEAF,
+                vec![
+                    (btrdb_layout::SP_T0, t0),
+                    (btrdb_layout::SP_T1, t0 + self.window_ns),
+                    (btrdb_layout::SP_SUM, 0),
+                    (btrdb_layout::SP_MIN, i64::MAX as u64),
+                    (btrdb_layout::SP_MAX, i64::MIN as u64),
+                    (btrdb_layout::SP_N, 0),
+                ],
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,10 +6,14 @@
 //!
 //! Every structure follows the same split the paper prescribes:
 //!
-//! * **build/insert** runs host-side (the CPU node) and writes node bytes
-//!   into disaggregated memory through the placement-policy allocator;
-//! * **traversal** is an [`IterSpec`](pulse_dispatch::IterSpec) the
-//!   dispatch engine compiles to PULSE ISA and offloads; and
+//! * **build** and structural mutation (inserts, splits) run host-side
+//!   (the CPU node) and write node bytes into disaggregated memory through
+//!   the placement-policy allocator — at runtime, the `pulse-mutation`
+//!   pipeline does this against pre-carved arenas;
+//! * **traversals** — lookups, scans, *and* seqlock-verified reads and
+//!   in-place updates (`pulse-mutation`'s `STORE`/`CAS` programs) — are
+//!   offloaded PULSE ISA, compiled from an
+//!   [`IterSpec`](pulse_dispatch::IterSpec) or assembled directly; and
 //! * **`init()`** computes the start pointer + scratchpad at the CPU node.
 //!
 //! Per Table 5, APIs sharing an internal base function share one compiled
@@ -50,7 +54,10 @@ mod hash;
 mod list;
 mod traversal;
 
-pub use bptree::{decode_located_leaf, wt_layout, BtrdbTree, TreePlacement, WiredTigerTree};
+pub use bptree::{
+    decode_located_leaf, wt_layout, BtrdbTree, BtrdbWindowScan, TreePlacement, WiredTigerScan,
+    WiredTigerTree,
+};
 pub use bst::{layout as bst_layout, BstKind, SearchTree};
 pub use btree::{leaf_layout as btree_leaf_layout, GoogleBTree};
 pub use catalog::{catalog, BuildFn, Category, Library, PortedStructure};

@@ -161,6 +161,27 @@ impl ProgramBuilder {
         })
     }
 
+    /// Emits a compare-and-swap: `dst = mem[base+off]; if dst == expect {
+    /// mem[base+off] = src }`.
+    pub fn cas(
+        &mut self,
+        dst: impl Into<Place>,
+        base: impl Into<Operand>,
+        off: i32,
+        expect: impl Into<Operand>,
+        src: impl Into<Operand>,
+        width: Width,
+    ) -> &mut Self {
+        self.push(Instruction::Cas {
+            dst: dst.into(),
+            base: base.into(),
+            off,
+            expect: expect.into(),
+            src: src.into(),
+            width,
+        })
+    }
+
     /// Emits `COMPARE a, b; JUMP_<cond> label`.
     pub fn cmp_jump(
         &mut self,

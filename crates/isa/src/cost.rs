@@ -59,6 +59,15 @@ impl CostModel {
     pub fn runtime_iteration_cost(&self, trace: &IterTrace) -> SimTime {
         self.insn_time * trace.insns_executed as u64
     }
+
+    /// Memory-pipeline round trips an executed iteration consumed *beyond*
+    /// the coalesced window fetch: explicit `LOAD`s, `STORE`s, and both
+    /// legs of every `CAS` (the interpreter books a CAS as one load plus
+    /// one store). Execution engines multiply this by their per-trip memory
+    /// cost — it is how the write path's extra DRAM occupancy is charged.
+    pub fn extra_memory_trips(trace: &IterTrace) -> u64 {
+        trace.extra_loads as u64 + trace.stores as u64
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +118,7 @@ mod tests {
             insns_executed: 5,
             extra_loads: 0,
             stores: 0,
+            store_bytes: 0,
             window_bytes: 64,
             outcome: IterOutcome::Continue,
         };

@@ -26,6 +26,7 @@ const OP_CMPJUMP: u8 = 0x06;
 const OP_JUMP: u8 = 0x07;
 const OP_NEXT_ITER: u8 = 0x08;
 const OP_RETURN: u8 = 0x09;
+const OP_CAS: u8 = 0x0A;
 
 // Operand tags.
 const T_IMM: u8 = 0;
@@ -308,6 +309,22 @@ pub fn encode_program(p: &Program) -> Bytes {
                 put_operand(&mut buf, src);
                 buf.put_u8(width.to_code());
             }
+            Instruction::Cas {
+                dst,
+                base,
+                off,
+                expect,
+                src,
+                width,
+            } => {
+                buf.put_u8(OP_CAS);
+                put_place(&mut buf, dst);
+                put_operand(&mut buf, base);
+                buf.put_i32_le(off);
+                put_operand(&mut buf, expect);
+                put_operand(&mut buf, src);
+                buf.put_u8(width.to_code());
+            }
             Instruction::CmpJump { cond, a, b, target } => {
                 buf.put_u8(OP_CMPJUMP);
                 buf.put_u8(cond_code(cond));
@@ -383,6 +400,14 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
                 src: r.operand()?,
                 width: r.width()?,
             },
+            OP_CAS => Instruction::Cas {
+                dst: r.place()?,
+                base: r.operand()?,
+                off: r.i32()?,
+                expect: r.operand()?,
+                src: r.operand()?,
+                width: r.width()?,
+            },
             OP_CMPJUMP => {
                 let code = r.u8()?;
                 let cond = cond_from(code).ok_or(DecodeError::BadField("condition", code))?;
@@ -442,6 +467,14 @@ mod tests {
         );
         b.load(Reg::new(5), Operand::CurPtr, -8, Width::B4);
         b.store(Reg::new(5), 16, Operand::sp_u64(8), Width::B8);
+        b.cas(
+            Reg::new(6),
+            Operand::CurPtr,
+            8,
+            Operand::sp_u64(0),
+            Reg::new(3),
+            Width::B8,
+        );
         b.cmp_jump(Cond::LtS, Reg::new(3), Operand::Imm(0), skip);
         b.jump(out);
         b.bind(skip);

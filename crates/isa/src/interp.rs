@@ -106,8 +106,13 @@ pub struct IterTrace {
     pub insns_executed: u32,
     /// Explicit `LOAD`s beyond the coalesced window (extra memory trips).
     pub extra_loads: u32,
-    /// `STORE`s executed (memory-pipeline write trips).
+    /// `STORE`s executed (memory-pipeline write trips), the write leg of
+    /// every `CAS` included.
     pub stores: u32,
+    /// Exact bytes those write trips carried (each store's access width;
+    /// a `CAS` counts its width whether or not the swap landed, since the
+    /// memory pipeline reserves the write slot either way).
+    pub store_bytes: u32,
     /// Bytes fetched by the coalesced window load.
     pub window_bytes: u32,
     /// How the iteration ended.
@@ -186,6 +191,7 @@ impl Interpreter {
         let mut executed: u32 = 0;
         let mut extra_loads: u32 = 0;
         let mut stores: u32 = 0;
+        let mut store_bytes: u32 = 0;
         let insns = program.insns();
 
         loop {
@@ -243,6 +249,28 @@ impl Interpreter {
                     let v = self.read_operand(src, &regs, state);
                     bus.write_word(addr, v, width.bytes())?;
                     stores += 1;
+                    store_bytes += width.bytes();
+                }
+                Instruction::Cas {
+                    dst,
+                    base,
+                    off,
+                    expect,
+                    src,
+                    width,
+                } => {
+                    let addr = self
+                        .read_operand(base, &regs, state)
+                        .wrapping_add(off as i64 as u64);
+                    let expect = self.read_operand(expect, &regs, state);
+                    let new = self.read_operand(src, &regs, state);
+                    let old = bus.cas_word(addr, expect, new, width.bytes())?;
+                    self.write_place(dst, old, &mut regs, state);
+                    // One read trip plus one (conditional) write trip on the
+                    // memory pipeline; charged like a load + a store.
+                    extra_loads += 1;
+                    stores += 1;
+                    store_bytes += width.bytes();
                 }
                 Instruction::CmpJump { cond, a, b, target } => {
                     let av = self.read_operand(a, &regs, state);
@@ -263,6 +291,7 @@ impl Interpreter {
                         insns_executed: executed,
                         extra_loads,
                         stores,
+                        store_bytes,
                         window_bytes: window.len,
                         outcome: IterOutcome::Continue,
                     });
@@ -274,6 +303,7 @@ impl Interpreter {
                         insns_executed: executed,
                         extra_loads,
                         stores,
+                        store_bytes,
                         window_bytes: window.len,
                         outcome: IterOutcome::Done { code },
                     });
@@ -551,6 +581,69 @@ mod tests {
         assert_eq!(run.total_extra_loads, 1);
         assert_eq!(run.total_stores, 1);
         assert_eq!(m.read_word(0x48, 8).unwrap(), 42);
+    }
+
+    #[test]
+    fn cas_swaps_only_on_match_and_reports_old_value() {
+        // sp[0] holds the expected value; cas writes 99 on match. Two runs:
+        // the first matches (memory 7 -> 99), the second does not (sp stays
+        // 7 but memory now holds 99).
+        let mk = || {
+            let mut b = ProgramBuilder::new("cas", 8, 16);
+            b.cas(
+                Reg::new(0),
+                Operand::Imm(0x40),
+                0,
+                Operand::sp_u64(0),
+                Operand::Imm(99),
+                Width::B8,
+            );
+            b.mov(Place::sp_u64(8), Reg::new(0));
+            b.ret(Reg::new(0));
+            b.finish().unwrap()
+        };
+        let prog = mk();
+        let mut m = VecMem::new(0, 128);
+        m.write_word(0x40, 7, 8).unwrap();
+        let mut st = IterState::new(&prog, 0);
+        st.set_scratch_u64(0, 7);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 1)
+            .unwrap();
+        assert_eq!(run.return_code, Some(7), "old value returned");
+        assert_eq!(m.read_word(0x40, 8).unwrap(), 99, "matched: swapped");
+        // A CAS is one load + one store on the memory pipeline.
+        assert_eq!(run.total_extra_loads, 1);
+        assert_eq!(run.total_stores, 1);
+
+        let mut st2 = IterState::new(&prog, 0);
+        st2.set_scratch_u64(0, 7); // stale expectation
+        let run2 = Interpreter::new()
+            .run_traversal(&prog, &mut st2, &mut m, 1)
+            .unwrap();
+        assert_eq!(run2.return_code, Some(99), "old value returned on miss");
+        assert_eq!(m.read_word(0x40, 8).unwrap(), 99, "missed: untouched");
+    }
+
+    #[test]
+    fn cas_to_unmapped_address_faults() {
+        let mut b = ProgramBuilder::new("cas-bad", 8, 8);
+        b.cas(
+            Reg::new(0),
+            Operand::Imm(0xDEAD_0000),
+            0,
+            Operand::Imm(0),
+            Operand::Imm(1),
+            Width::B8,
+        );
+        b.ret(Operand::Imm(0));
+        let prog = b.finish().unwrap();
+        let mut m = VecMem::new(0, 64);
+        let mut st = IterState::new(&prog, 0);
+        let err = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut m, 1)
+            .unwrap_err();
+        assert!(matches!(err, Fault::Mem(MemFault::NotMapped { .. })));
     }
 
     #[test]

@@ -98,6 +98,39 @@ pub trait MemBus {
         let bytes = value.to_le_bytes();
         self.write(addr, &bytes[..width_bytes as usize])
     }
+
+    /// Compare-and-swap: reads the word at `addr`, and writes `new` iff the
+    /// old value equals `expect`. Returns the *old* value either way. The
+    /// simulation is single-threaded, so read-compare-write through the bus
+    /// is atomic by construction; a hardware implementation would hold the
+    /// memory-pipeline slot across both trips (the `CAS` occupancy the
+    /// accelerator charges).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault; a read-only mapping faults on the write
+    /// leg even when the comparison matches.
+    fn cas_word(
+        &mut self,
+        addr: u64,
+        expect: u64,
+        new: u64,
+        width_bytes: u32,
+    ) -> Result<u64, MemFault> {
+        // The compare leg only sees `width` bytes, exactly like hardware:
+        // mask the expectation so a sub-8-byte CAS whose expect operand
+        // carries stale high bits can still succeed.
+        let mask = if width_bytes >= 8 {
+            u64::MAX
+        } else {
+            (1u64 << (width_bytes * 8)) - 1
+        };
+        let old = self.read_word(addr, width_bytes)?;
+        if old == expect & mask {
+            self.write_word(addr, new, width_bytes)?;
+        }
+        Ok(old)
+    }
 }
 
 /// A flat test memory starting at a base virtual address.
@@ -207,6 +240,21 @@ mod tests {
         // Partial write truncates.
         m.write_word(8, 0xAABB_CCDD, 2).unwrap();
         assert_eq!(m.read_word(8, 8).unwrap(), 0xCCDD);
+    }
+
+    #[test]
+    fn cas_word_masks_expect_to_access_width() {
+        let mut m = VecMem::new(0, 16);
+        m.write_word(0, 0x1234, 4).unwrap();
+        // Expect carries stale high bits; a 4-byte CAS must still match.
+        let old = m.cas_word(0, 0xDEAD_0000_0000_1234, 9, 4).unwrap();
+        assert_eq!(old, 0x1234);
+        assert_eq!(m.read_word(0, 4).unwrap(), 9, "swap happened");
+        // Full-width CAS compares all 64 bits.
+        m.write_word(8, 5, 8).unwrap();
+        let old = m.cas_word(8, 6, 7, 8).unwrap();
+        assert_eq!(old, 5);
+        assert_eq!(m.read_word(8, 8).unwrap(), 5, "mismatch left memory");
     }
 
     #[test]

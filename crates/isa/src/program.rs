@@ -72,6 +72,26 @@ pub enum Instruction {
         /// Access width.
         width: Width,
     },
+    /// Remote compare-and-swap: atomically read `mem[base + off]` into
+    /// `dst`; if the old value equals `expect`, write `src`. The memory
+    /// pipeline executes the read-compare-write as one occupancy, which is
+    /// what makes seqlock acquisition (`pulse-mutation`) race-free on a
+    /// memory node shared by many in-flight iterators.
+    Cas {
+        /// Receives the *old* memory value (compare `dst` to `expect` to
+        /// detect success).
+        dst: Place,
+        /// Base address source.
+        base: Operand,
+        /// Signed byte displacement.
+        off: i32,
+        /// Expected old value.
+        expect: Operand,
+        /// Value written on match.
+        src: Operand,
+        /// Access width.
+        width: Width,
+    },
     /// `COMPARE a, b` then `JUMP_<cond> target` — forward only (§4.1).
     CmpJump {
         /// Condition code.
@@ -129,6 +149,14 @@ impl fmt::Display for Instruction {
                 src,
                 width,
             } => write!(f, "store.{width} [{base}{off:+}], {src}"),
+            Instruction::Cas {
+                dst,
+                base,
+                off,
+                expect,
+                src,
+                width,
+            } => write!(f, "cas.{width} {dst}, [{base}{off:+}], {expect}, {src}"),
             Instruction::CmpJump { cond, a, b, target } => {
                 write!(f, "cmp.j{cond} {a}, {b} -> @{target}")
             }
@@ -376,6 +404,18 @@ impl Program {
                     self.check_operand(pc, base)?;
                     self.check_operand(pc, src)?;
                 }
+                Instruction::Cas {
+                    dst,
+                    base,
+                    expect,
+                    src,
+                    ..
+                } => {
+                    self.check_place(pc, dst)?;
+                    self.check_operand(pc, base)?;
+                    self.check_operand(pc, expect)?;
+                    self.check_operand(pc, src)?;
+                }
                 Instruction::CmpJump { a, b, target, .. } => {
                     self.check_operand(pc, a)?;
                     self.check_operand(pc, b)?;
@@ -445,19 +485,22 @@ impl Program {
         longest.first().copied().unwrap_or(0)
     }
 
-    /// Whether any instruction writes memory (`STORE`); used by the offload
-    /// analysis and the write-path experiments.
+    /// Whether any instruction writes memory (`STORE`/`CAS`); used by the
+    /// offload analysis and the write-path experiments.
     pub fn has_stores(&self) -> bool {
         self.insns
             .iter()
-            .any(|i| matches!(i, Instruction::Store { .. }))
+            .any(|i| matches!(i, Instruction::Store { .. } | Instruction::Cas { .. }))
     }
 
-    /// Number of explicit (non-coalesced) `LOAD` instructions.
+    /// Number of explicit (non-coalesced) memory-read instructions: `LOAD`s
+    /// plus the read leg of every `CAS` — matching what the interpreter
+    /// books at runtime, so the offload analysis and the executed charge
+    /// agree.
     pub fn extra_loads(&self) -> usize {
         self.insns
             .iter()
-            .filter(|i| matches!(i, Instruction::Load { .. }))
+            .filter(|i| matches!(i, Instruction::Load { .. } | Instruction::Cas { .. }))
             .count()
     }
 

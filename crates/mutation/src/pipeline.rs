@@ -1,0 +1,329 @@
+//! The CPU-side structural-mutation pipeline: pre-carved insert arenas and
+//! the host B+Tree insert behind YCSB-E.
+//!
+//! Structural changes need the allocator, and the allocator is a CPU-node
+//! resource — exactly the paper's split. Two simulation realities shape
+//! the implementation:
+//!
+//! * the switch's global table and each node's TCAM are snapshotted when
+//!   the cluster is built, so every byte an insert will ever touch must be
+//!   mapped *before* the cluster exists — [`InsertArena`] pre-carves
+//!   per-memory-node slabs at build time and hands slots out at run time;
+//! * bulk-loaded WiredTiger leaves are full, so an insert into a full leaf
+//!   links a fresh **overflow leaf** from the arena into the leaf chain
+//!   (the classic overflow-page technique) instead of performing a
+//!   recursive split — scans traverse the chain and see the new entry,
+//!   and no internal node changes, which keeps concurrent descents safe.
+
+use pulse_dispatch::samples::btree_layout as bl;
+use pulse_ds::{wt_layout as wl, BuildCtx, DsError};
+use pulse_isa::{MemBus, MemFault};
+use pulse_mem::ClusterMemory;
+use pulse_sim::SimTime;
+
+/// CPU time one host-side insert occupies at the compute node (allocator,
+/// entry shift/memcpy, bookkeeping) — booked as the timed request's
+/// `cpu_work` on top of its locate traversal and entry write.
+pub const WT_INSERT_CPU_WORK: SimTime = SimTime::from_micros(1);
+
+/// `IS_LEAF` value marking a mutation-created overflow leaf. Any nonzero
+/// value reads as "leaf" to the descent program; the distinct tag lets the
+/// insert path tell an overflow leaf (same key range as its predecessor,
+/// safe to fill) from an ordinary successor leaf (disjoint range — filling
+/// it would hide the key from keyed descents).
+pub const OVERFLOW_TAG: u64 = 2;
+
+/// Per-memory-node bump arenas pre-carved at build time, so structural
+/// mutations never need a post-build extent (which the snapshotted
+/// TCAM/switch tables could not translate).
+#[derive(Debug)]
+pub struct InsertArena {
+    /// Per-node `(cursor, end)` over the pre-mapped slab.
+    slabs: Vec<(u64, u64)>,
+}
+
+impl InsertArena {
+    /// Carves `per_node_bytes` on every memory node through the build
+    /// context (one dedicated extent per node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn build(ctx: &mut BuildCtx<'_>, per_node_bytes: u64) -> Result<InsertArena, DsError> {
+        let nodes = ctx.mem.node_count();
+        let mut slabs = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let start = ctx.alloc_on(n, per_node_bytes)?;
+            slabs.push((start, start + per_node_bytes));
+        }
+        Ok(InsertArena { slabs })
+    }
+
+    /// Takes `size` bytes (8-byte rounded) on `node`; `None` once the
+    /// node's slab is exhausted — the caller's insert then fails loudly
+    /// instead of scribbling over unmapped space.
+    pub fn take(&mut self, node: usize, size: u64) -> Option<u64> {
+        let size = size.div_ceil(8) * 8;
+        let (cursor, end) = self.slabs.get_mut(node)?;
+        if *cursor + size > *end {
+            return None;
+        }
+        let addr = *cursor;
+        *cursor += size;
+        Some(addr)
+    }
+
+    /// Bytes still available on `node`.
+    pub fn remaining(&self, node: usize) -> u64 {
+        self.slabs.get(node).map_or(0, |&(c, e)| e - c)
+    }
+}
+
+/// What a host insert did — feeds the timed request (the entry write goes
+/// to `leaf`) and the reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The entry went into an existing leaf with room.
+    InPlace {
+        /// The leaf written.
+        leaf: u64,
+    },
+    /// A fresh overflow leaf was linked into the chain.
+    Overflow {
+        /// The new leaf.
+        leaf: u64,
+    },
+}
+
+impl InsertOutcome {
+    /// The leaf the timed entry write targets.
+    pub fn leaf(&self) -> u64 {
+        match *self {
+            InsertOutcome::InPlace { leaf } | InsertOutcome::Overflow { leaf } => leaf,
+        }
+    }
+}
+
+/// Host-side WiredTiger insert: descend from `root` (fanout
+/// `bl`-layout internal nodes), place `(key, value_seed)` into the leaf —
+/// shifting to keep it sorted — or link an overflow leaf from `arena` when
+/// full. The 240 B value blob is carved next to its leaf.
+///
+/// # Errors
+///
+/// [`DsError::Access`] on a broken tree (including a leaf address no
+/// memory node owns), [`DsError::Empty`] *only* when the arena's slab on
+/// the leaf's node is exhausted — callers rely on that split to tell
+/// "size the arena up" from "the tree is corrupt".
+pub fn wt_host_insert(
+    mem: &mut ClusterMemory,
+    root: u64,
+    fanout: u32,
+    key: u64,
+    value_seed: u64,
+    arena: &mut InsertArena,
+) -> Result<InsertOutcome, DsError> {
+    // Descend to the leaf exactly as the offloaded locate does.
+    let mut cur = root;
+    loop {
+        if mem.read_word(cur + bl::IS_LEAF as u64, 8)? != 0 {
+            break;
+        }
+        let nkeys = mem.read_word(cur + bl::NUM_KEYS as u64, 8)?;
+        let mut child_idx = nkeys; // rightmost by default
+        for i in 0..nkeys.min(fanout as u64) {
+            let sep = mem.read_word(cur + bl::key(i as u32) as u64, 8)?;
+            if key <= sep {
+                child_idx = i;
+                break;
+            }
+        }
+        cur = mem.read_word(cur + bl::child(fanout, child_idx as u32) as u64, 8)?;
+    }
+
+    // Pick the target leaf: the covering leaf if it has room, else the
+    // slack of an *overflow* leaf already chained behind it (tagged
+    // `IS_LEAF == OVERFLOW_TAG` — reusing an ordinary successor leaf would
+    // place the key outside its parent separator range and make it
+    // unreachable by keyed descent), else a brand-new overflow leaf.
+    let count = mem.read_word(cur + wl::COUNT as u64, 8)?;
+    let target = if count < wl::CAP as u64 {
+        Some(cur)
+    } else {
+        let next = mem.read_word(cur + wl::NEXT as u64, 8)?;
+        if next != 0
+            && mem.read_word(next + wl::IS_LEAF as u64, 8)? == OVERFLOW_TAG
+            && mem.read_word(next + wl::COUNT as u64, 8)? < wl::CAP as u64
+        {
+            Some(next)
+        } else {
+            None
+        }
+    };
+
+    match target {
+        Some(leaf) => {
+            let node = mem
+                .owner_of(leaf)
+                .ok_or(DsError::Access(MemFault::NotMapped { addr: leaf }))?;
+            let vaddr = arena.take(node, wl::VALUE_BYTES).ok_or(DsError::Empty)?;
+            mem.write_word(vaddr, value_seed, 8)?;
+            // Shift the tail right to keep the leaf internally sorted.
+            let count = mem.read_word(leaf + wl::COUNT as u64, 8)?;
+            let mut pos = count;
+            for i in 0..count {
+                if mem.read_word(leaf + wl::key(i as u32) as u64, 8)? >= key {
+                    pos = i;
+                    break;
+                }
+            }
+            let mut i = count;
+            while i > pos {
+                let k = mem.read_word(leaf + wl::key(i as u32 - 1) as u64, 8)?;
+                let v = mem.read_word(leaf + wl::valptr(i as u32 - 1) as u64, 8)?;
+                mem.write_word(leaf + wl::key(i as u32) as u64, k, 8)?;
+                mem.write_word(leaf + wl::valptr(i as u32) as u64, v, 8)?;
+                i -= 1;
+            }
+            mem.write_word(leaf + wl::key(pos as u32) as u64, key, 8)?;
+            mem.write_word(leaf + wl::valptr(pos as u32) as u64, vaddr, 8)?;
+            mem.write_word(leaf + wl::COUNT as u64, count + 1, 8)?;
+            Ok(InsertOutcome::InPlace { leaf })
+        }
+        None => {
+            // Both full: link a fresh overflow leaf after the covering
+            // leaf. No internal-node change, so concurrent descents stay
+            // valid.
+            let node = mem
+                .owner_of(cur)
+                .ok_or(DsError::Access(MemFault::NotMapped { addr: cur }))?;
+            let vaddr = arena.take(node, wl::VALUE_BYTES).ok_or(DsError::Empty)?;
+            mem.write_word(vaddr, value_seed, 8)?;
+            let leaf_size = bl::node_size(fanout);
+            let new_leaf = arena.take(node, leaf_size).ok_or(DsError::Empty)?;
+            let old_next = mem.read_word(cur + wl::NEXT as u64, 8)?;
+            mem.write_word(new_leaf + wl::IS_LEAF as u64, OVERFLOW_TAG, 8)?;
+            mem.write_word(new_leaf + wl::COUNT as u64, 1, 8)?;
+            mem.write_word(new_leaf + wl::key(0) as u64, key, 8)?;
+            mem.write_word(new_leaf + wl::valptr(0) as u64, vaddr, 8)?;
+            mem.write_word(new_leaf + wl::NEXT as u64, old_next, 8)?;
+            mem.write_word(cur + wl::NEXT as u64, new_leaf, 8)?;
+            Ok(InsertOutcome::Overflow { leaf: new_leaf })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_dispatch::compile;
+    use pulse_dispatch::samples::DEFAULT_BTREE_FANOUT;
+    use pulse_ds::{decode_located_leaf, TreePlacement, WiredTigerTree};
+    use pulse_isa::Interpreter;
+    use pulse_mem::{ClusterAllocator, Placement};
+
+    fn build_tree(n: u64, nodes: usize) -> (ClusterMemory, WiredTigerTree, InsertArena) {
+        let mut mem = ClusterMemory::new(nodes);
+        let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 16);
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let pairs: Vec<(u64, u64)> = (0..n).map(|k| (k * 2, k)).collect();
+        let tree = WiredTigerTree::build(&mut ctx, &pairs, TreePlacement::Policy).unwrap();
+        let arena = InsertArena::build(&mut ctx, 1 << 18).unwrap();
+        (mem, tree, arena)
+    }
+
+    fn scan_count(mem: &mut ClusterMemory, tree: &WiredTigerTree, start: u64, limit: u64) -> u64 {
+        let locate = compile(&WiredTigerTree::locate_spec()).unwrap();
+        let scan = compile(&WiredTigerTree::scan_spec()).unwrap();
+        let mut interp = Interpreter::new();
+        let mut st = tree.init_locate(&locate, start);
+        interp.run_traversal(&locate, &mut st, mem, 4096).unwrap();
+        let leaf = decode_located_leaf(&st);
+        let mut st2 = tree.init_scan(&scan, leaf, start, limit);
+        interp.run_traversal(&scan, &mut st2, mem, 4096).unwrap();
+        st2.scratch_u64(wl::SP_MATCHED as usize)
+    }
+
+    #[test]
+    fn insert_into_full_leaf_is_scannable() {
+        let (mut mem, tree, mut arena) = build_tree(600, 2);
+        // Keys are even; 101 is new and its covering leaf is full.
+        let before = scan_count(&mut mem, &tree, 100, 10);
+        let out = wt_host_insert(
+            &mut mem,
+            tree.root(),
+            DEFAULT_BTREE_FANOUT,
+            101,
+            0xFEED,
+            &mut arena,
+        )
+        .unwrap();
+        assert!(matches!(out, InsertOutcome::Overflow { .. }));
+        // A second insert aimed at the same full leaf reuses the overflow
+        // leaf's slack instead of carving another arena slab.
+        let reuse = wt_host_insert(
+            &mut mem,
+            tree.root(),
+            DEFAULT_BTREE_FANOUT,
+            103,
+            0xFEED,
+            &mut arena,
+        )
+        .unwrap();
+        assert!(
+            matches!(reuse, InsertOutcome::InPlace { leaf } if leaf == out.leaf()),
+            "expected reuse of {:#x}, got {reuse:?}",
+            out.leaf()
+        );
+        let after = scan_count(&mut mem, &tree, 100, 10);
+        assert_eq!(before, after, "budgeted scan still fills its limit");
+        // An unbounded-enough scan sees one more matching entry.
+        let total_before = scan_count(&mut mem, &tree, 90, 1 << 20);
+        let out2 = wt_host_insert(
+            &mut mem,
+            tree.root(),
+            DEFAULT_BTREE_FANOUT,
+            95,
+            0xFEED,
+            &mut arena,
+        )
+        .unwrap();
+        let total_after = scan_count(&mut mem, &tree, 90, 1 << 20);
+        assert_eq!(total_after, total_before + 1, "{out2:?}");
+    }
+
+    #[test]
+    fn insert_into_leaf_with_room_keeps_sorted_order() {
+        // 4 keys -> one leaf with 4/6 slots used.
+        let (mut mem, tree, mut arena) = build_tree(4, 1);
+        let out = wt_host_insert(
+            &mut mem,
+            tree.root(),
+            DEFAULT_BTREE_FANOUT,
+            3,
+            7,
+            &mut arena,
+        )
+        .unwrap();
+        let leaf = out.leaf();
+        assert!(matches!(out, InsertOutcome::InPlace { .. }));
+        let count = mem.read_word(leaf + wl::COUNT as u64, 8).unwrap();
+        assert_eq!(count, 5);
+        let keys: Vec<u64> = (0..count)
+            .map(|i| mem.read_word(leaf + wl::key(i as u32) as u64, 8).unwrap())
+            .collect();
+        assert_eq!(keys, vec![0, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn arena_exhaustion_is_loud() {
+        let mut mem = ClusterMemory::new(1);
+        let mut alloc = ClusterAllocator::new(Placement::Single(0), 4096);
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let mut arena = InsertArena::build(&mut ctx, 64).unwrap();
+        assert_eq!(arena.remaining(0), 64);
+        assert!(arena.take(0, 48).is_some());
+        assert!(arena.take(0, 48).is_none(), "slab exhausted");
+        assert!(arena.take(5, 8).is_none(), "unknown node");
+    }
+}

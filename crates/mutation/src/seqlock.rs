@@ -1,0 +1,425 @@
+//! Seqlock-verified read and locked-update programs over the chained hash
+//! layout (`pulse_dispatch::samples::hash_layout`).
+//!
+//! Both programs are assembled directly with [`ProgramBuilder`] — unlike
+//! the read-only catalog they need `CAS`/`STORE` and an explicit version
+//! re-load, which the loop-free `IterSpec` IR does not express. See the
+//! crate docs for the protocol.
+
+use pulse_dispatch::samples::hash_layout as hl;
+use pulse_isa::{AluOp, Cond, Operand, Place, Program, ProgramBuilder, Reg, Width};
+use pulse_workloads::{AppRequest, RetryPolicy, StartPtr, TraversalStage};
+use std::sync::Arc;
+
+/// `RETURN` codes shared by the verified-read and locked-update programs.
+pub mod codes {
+    /// Key found (read) / value updated in place (write).
+    pub const OK: u64 = 0;
+    /// Key absent; for a writer the bucket was still released cleanly.
+    pub const ABSENT: u64 = 1;
+    /// Lost an optimistic-concurrency race: the version moved under a
+    /// reader, or a writer found the bucket locked / lost its `CAS`. The
+    /// CPU node re-issues, bounded by the request's `RetryPolicy`.
+    pub const RETRY: u64 = 2;
+}
+
+/// Scratchpad layout shared by both programs (extends
+/// `hash_layout::SP_KEY`/`SP_RESULT`).
+pub mod sp {
+    /// Search key.
+    pub const KEY: u16 = 0;
+    /// Read: result value out. Write: new value in (also the object
+    /// address a following `ObjectIo::FromScratch(8)` picks up).
+    pub const VAL: u16 = 8;
+    /// Bucket sentinel address (for the exit-time version re-load; the
+    /// traversal pointer has moved down the chain by then).
+    pub const BUCKET: u16 = 16;
+    /// Version observed at the sentinel (`v0`).
+    pub const V0: u16 = 24;
+    /// Scratch bytes both programs declare.
+    pub const LEN: u16 = 32;
+}
+
+/// How mutation-aware requests retry and how patient they are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationConfig {
+    /// Re-issues allowed per request before it fault-completes.
+    pub max_retries: u32,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        // Generous enough to ride out a writer walking a ~96-node chain
+        // under the lock, small enough that a stuck bucket surfaces as
+        // loss within tens of microseconds.
+        MutationConfig { max_retries: 16 }
+    }
+}
+
+impl MutationConfig {
+    /// The [`RetryPolicy`] mutation-aware requests carry.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            code: codes::RETRY,
+            max: self.max_retries,
+        }
+    }
+}
+
+const SENTINEL: i64 = -1; // hl sentinel key is u64::MAX
+
+/// The seqlock-verified `find`: a chained-hash lookup that records the
+/// bucket version at the sentinel and re-checks it at every exit. Returns
+/// [`codes::OK`] with the value at [`sp::VAL`], [`codes::ABSENT`], or
+/// [`codes::RETRY`] when an update raced the walk.
+pub fn verified_find_program() -> Program {
+    let mut b = ProgramBuilder::new(
+        "mutation::verified_find",
+        hl::NODE_SIZE as u32,
+        sp::LEN + 8, // one spare word keeps layouts extensible
+    );
+    let (r0, r1, r2, r3) = (Reg::new(0), Reg::new(1), Reg::new(2), Reg::new(3));
+    let not_sentinel = b.label();
+    let follow = b.label();
+    let advance = b.label();
+    let retry = b.label();
+
+    // At the bucket sentinel: record v0, failing fast on a locked bucket.
+    b.cmp_jump(
+        Cond::Ne,
+        Operand::node_u64(hl::KEY as u16),
+        Operand::Imm(SENTINEL),
+        not_sentinel,
+    );
+    b.mov(r0, Operand::node_u64(hl::VALUE as u16));
+    b.alu(AluOp::And, r1, r0, Operand::Imm(1));
+    b.cmp_jump(Cond::Ne, r1, Operand::Imm(0), retry);
+    b.mov(Place::sp_u64(sp::V0), r0);
+    b.jump(follow);
+
+    // Chain node: hit -> stash the value, verify the version, return.
+    b.bind(not_sentinel);
+    b.cmp_jump(
+        Cond::Ne,
+        Operand::node_u64(hl::KEY as u16),
+        Operand::sp_u64(sp::KEY),
+        follow,
+    );
+    b.mov(Place::sp_u64(sp::VAL), Operand::node_u64(hl::VALUE as u16));
+    b.load(r2, Operand::sp_u64(sp::BUCKET), hl::VALUE, Width::B8);
+    b.cmp_jump(Cond::Ne, r2, Operand::sp_u64(sp::V0), retry);
+    b.ret(Operand::Imm(codes::OK as i64));
+
+    // End of chain: verified miss.
+    b.bind(follow);
+    b.cmp_jump(
+        Cond::Ne,
+        Operand::node_u64(hl::NEXT as u16),
+        Operand::Imm(0),
+        advance,
+    );
+    b.load(r3, Operand::sp_u64(sp::BUCKET), hl::VALUE, Width::B8);
+    b.cmp_jump(Cond::Ne, r3, Operand::sp_u64(sp::V0), retry);
+    b.ret(Operand::Imm(codes::ABSENT as i64));
+
+    b.bind(advance);
+    b.next_iter(Operand::node_u64(hl::NEXT as u16));
+
+    b.bind(retry);
+    b.ret(Operand::Imm(codes::RETRY as i64));
+    b.finish().expect("verified_find validates")
+}
+
+/// The locked in-place update: `CAS` the bucket version even → odd at the
+/// sentinel, walk the chain under the lock, `STORE` [`sp::VAL`] into the
+/// matching node's value slot, and release with `v0 + 2`. Returns
+/// [`codes::OK`], [`codes::ABSENT`] (released, version still bumped so
+/// racing readers re-check), or [`codes::RETRY`] (bucket already locked or
+/// `CAS` lost — nothing touched).
+pub fn locked_update_program() -> Program {
+    let mut b = ProgramBuilder::new("mutation::locked_update", hl::NODE_SIZE as u32, sp::LEN + 8);
+    let (r0, r1, r2, r3, r4, r5) = (
+        Reg::new(0),
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+    );
+    let not_sentinel = b.label();
+    let follow = b.label();
+    let advance = b.label();
+    let retry = b.label();
+
+    // At the sentinel: acquire the bucket (even -> odd) with one CAS.
+    b.cmp_jump(
+        Cond::Ne,
+        Operand::node_u64(hl::KEY as u16),
+        Operand::Imm(SENTINEL),
+        not_sentinel,
+    );
+    b.mov(r0, Operand::node_u64(hl::VALUE as u16));
+    b.alu(AluOp::And, r1, r0, Operand::Imm(1));
+    b.cmp_jump(Cond::Ne, r1, Operand::Imm(0), retry);
+    b.add(r2, r0, Operand::Imm(1));
+    b.cas(
+        r3,
+        Operand::sp_u64(sp::BUCKET),
+        hl::VALUE,
+        r0,
+        r2,
+        Width::B8,
+    );
+    b.cmp_jump(Cond::Ne, r3, r0, retry);
+    b.mov(Place::sp_u64(sp::V0), r0);
+    b.jump(follow);
+
+    // Chain node: hit -> store in place, release with the bumped version.
+    b.bind(not_sentinel);
+    b.cmp_jump(
+        Cond::Ne,
+        Operand::node_u64(hl::KEY as u16),
+        Operand::sp_u64(sp::KEY),
+        follow,
+    );
+    b.store(
+        Operand::CurPtr,
+        hl::VALUE,
+        Operand::sp_u64(sp::VAL),
+        Width::B8,
+    );
+    b.add(r4, Operand::sp_u64(sp::V0), Operand::Imm(2));
+    b.store(Operand::sp_u64(sp::BUCKET), hl::VALUE, r4, Width::B8);
+    b.ret(Operand::Imm(codes::OK as i64));
+
+    // End of chain: release (version still bumps — conservative, so any
+    // reader that overlapped the locked window retries).
+    b.bind(follow);
+    b.cmp_jump(
+        Cond::Ne,
+        Operand::node_u64(hl::NEXT as u16),
+        Operand::Imm(0),
+        advance,
+    );
+    b.add(r5, Operand::sp_u64(sp::V0), Operand::Imm(2));
+    b.store(Operand::sp_u64(sp::BUCKET), hl::VALUE, r5, Width::B8);
+    b.ret(Operand::Imm(codes::ABSENT as i64));
+
+    b.bind(advance);
+    b.next_iter(Operand::node_u64(hl::NEXT as u16));
+
+    b.bind(retry);
+    b.ret(Operand::Imm(codes::RETRY as i64));
+    b.finish().expect("locked_update validates")
+}
+
+/// The verified-read stage for a lookup of `key` in the bucket at
+/// `bucket`: the seed words wire the version protocol up.
+pub fn verified_read_stage(program: &Arc<Program>, bucket: u64, key: u64) -> TraversalStage {
+    TraversalStage {
+        program: program.clone(),
+        start: StartPtr::Fixed(bucket),
+        scratch_init: vec![(sp::KEY, key), (sp::BUCKET, bucket)],
+    }
+}
+
+/// The locked-update stage writing `new_val` over `key`'s value slot.
+pub fn locked_update_stage(
+    program: &Arc<Program>,
+    bucket: u64,
+    key: u64,
+    new_val: u64,
+) -> TraversalStage {
+    TraversalStage {
+        program: program.clone(),
+        start: StartPtr::Fixed(bucket),
+        scratch_init: vec![(sp::KEY, key), (sp::VAL, new_val), (sp::BUCKET, bucket)],
+    }
+}
+
+/// Convenience: a traversal-only request carrying the mutation retry
+/// policy.
+pub fn retrying_request(stage: TraversalStage, cfg: MutationConfig) -> AppRequest {
+    let mut req = AppRequest::traversal_only(stage);
+    req.retry = Some(cfg.retry_policy());
+    req
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_ds::{BuildCtx, HashMapDs};
+    use pulse_isa::{Interpreter, IterOutcome, IterState, MemBus};
+    use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+
+    fn setup() -> (ClusterMemory, HashMapDs) {
+        let mut mem = ClusterMemory::new(1);
+        let mut alloc = ClusterAllocator::new(Placement::Single(0), 1 << 16);
+        let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+        let pairs: Vec<(u64, u64)> = (0..64).map(|k| (k, 0x5000 + k)).collect();
+        let map = HashMapDs::build(&mut ctx, 4, &pairs).unwrap();
+        (mem, map)
+    }
+
+    fn init(stage: &TraversalStage) -> IterState {
+        stage.init_state(None).unwrap()
+    }
+
+    #[test]
+    fn verified_find_hits_and_misses_cleanly() {
+        let (mut mem, map) = setup();
+        let prog = Arc::new(verified_find_program());
+        let mut interp = Interpreter::new();
+        for (key, expect) in [(7u64, Some(0x5007u64)), (999, None)] {
+            let stage = verified_read_stage(&prog, map.bucket_addr(key), key);
+            let mut st = init(&stage);
+            let run = interp
+                .run_traversal(&prog, &mut st, &mut mem, 4096)
+                .unwrap();
+            match expect {
+                Some(v) => {
+                    assert_eq!(run.return_code, Some(codes::OK));
+                    assert_eq!(st.scratch_u64(sp::VAL as usize), v);
+                }
+                None => assert_eq!(run.return_code, Some(codes::ABSENT)),
+            }
+        }
+    }
+
+    #[test]
+    fn locked_update_writes_in_place_and_bumps_version() {
+        let (mut mem, map) = setup();
+        let prog = Arc::new(locked_update_program());
+        let bucket = map.bucket_addr(9);
+        let v_before = mem.read_word(bucket + 8, 8).unwrap();
+        assert_eq!(v_before % 2, 0, "bucket starts unlocked");
+        let stage = locked_update_stage(&prog, bucket, 9, 0xBEEF);
+        let mut st = init(&stage);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut mem, 4096)
+            .unwrap();
+        assert_eq!(run.return_code, Some(codes::OK));
+        assert_eq!(map.get_host(&mut mem, 9).unwrap(), Some(0xBEEF));
+        let v_after = mem.read_word(bucket + 8, 8).unwrap();
+        assert_eq!(v_after, v_before + 2, "even and bumped");
+        // CAS acquire + value store + release store show in the counts.
+        assert!(run.total_stores >= 3);
+    }
+
+    #[test]
+    fn locked_update_of_absent_key_releases() {
+        let (mut mem, map) = setup();
+        let prog = Arc::new(locked_update_program());
+        let bucket = map.bucket_addr(777);
+        let v0 = mem.read_word(bucket + 8, 8).unwrap();
+        let stage = locked_update_stage(&prog, bucket, 777, 1);
+        let mut st = init(&stage);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut mem, 4096)
+            .unwrap();
+        assert_eq!(run.return_code, Some(codes::ABSENT));
+        assert_eq!(mem.read_word(bucket + 8, 8).unwrap(), v0 + 2);
+    }
+
+    #[test]
+    fn writer_finds_locked_bucket_and_retries() {
+        let (mut mem, map) = setup();
+        let prog = Arc::new(locked_update_program());
+        let bucket = map.bucket_addr(3);
+        // Simulate another writer holding the bucket: version odd.
+        mem.write_word(bucket + 8, 5, 8).unwrap();
+        let stage = locked_update_stage(&prog, bucket, 3, 0xAAAA);
+        let mut st = init(&stage);
+        let run = Interpreter::new()
+            .run_traversal(&prog, &mut st, &mut mem, 4096)
+            .unwrap();
+        assert_eq!(run.return_code, Some(codes::RETRY));
+        assert_eq!(
+            map.get_host(&mut mem, 3).unwrap(),
+            Some(0x5003),
+            "untouched"
+        );
+        assert_eq!(mem.read_word(bucket + 8, 8).unwrap(), 5, "lock untouched");
+    }
+
+    /// The protocol's reason to exist: a reader whose walk interleaves
+    /// with a completed update observes the version change and retries.
+    #[test]
+    fn reader_racing_an_update_retries() {
+        let (mut mem, map) = setup();
+        let find = Arc::new(verified_find_program());
+        let update = Arc::new(locked_update_program());
+        // Pick a key at least one hop down its chain so the read spans
+        // more than one iteration.
+        let key = (0..64)
+            .find(|&k| {
+                let stage = verified_read_stage(&find, map.bucket_addr(k), k);
+                let mut st = stage.init_state(None).unwrap();
+                let mut n = 0;
+                let mut interp = Interpreter::new();
+                loop {
+                    let t = interp.run_iteration(&find, &mut st, &mut mem).unwrap();
+                    n += 1;
+                    if matches!(t.outcome, IterOutcome::Done { .. }) {
+                        break;
+                    }
+                }
+                n >= 3
+            })
+            .expect("some chain is deep enough");
+
+        let stage = verified_read_stage(&find, map.bucket_addr(key), key);
+        let mut reader = stage.init_state(None).unwrap();
+        let mut interp = Interpreter::new();
+        // Reader passes the sentinel (records v0)...
+        let t = interp.run_iteration(&find, &mut reader, &mut mem).unwrap();
+        assert!(matches!(t.outcome, IterOutcome::Continue));
+        // ...an update to the same bucket completes in between...
+        let ustage = locked_update_stage(&update, map.bucket_addr(key), key, 0xD00D);
+        let mut writer = ustage.init_state(None).unwrap();
+        let run = interp
+            .run_traversal(&update, &mut writer, &mut mem, 4096)
+            .unwrap();
+        assert_eq!(run.return_code, Some(codes::OK));
+        // ...and the reader's exit check detects the race.
+        let run = interp
+            .run_traversal(&find, &mut reader, &mut mem, 4096)
+            .unwrap();
+        assert_eq!(run.return_code, Some(codes::RETRY), "race must be seen");
+    }
+
+    #[test]
+    fn programs_carry_stores_and_compile_sizes() {
+        let find = verified_find_program();
+        let update = locked_update_program();
+        assert!(!find.has_stores(), "reads never write");
+        assert!(update.has_stores());
+        assert!(find.len() <= 32 && update.len() <= 32);
+        // Round-trip the wire encoding (requests carry these programs).
+        let bytes = pulse_isa::encode_program(&update);
+        let back = pulse_isa::decode_program(&bytes).unwrap();
+        assert_eq!(back.insns(), update.insns());
+    }
+
+    #[test]
+    fn retrying_request_carries_the_policy() {
+        let prog = Arc::new(verified_find_program());
+        let req = retrying_request(
+            verified_read_stage(&prog, 0x1000, 5),
+            MutationConfig::default(),
+        );
+        assert_eq!(
+            req.retry,
+            Some(RetryPolicy {
+                code: codes::RETRY,
+                max: 16
+            })
+        );
+        assert!(!req.is_update());
+        let upd = retrying_request(
+            locked_update_stage(&Arc::new(locked_update_program()), 0x1000, 5, 9),
+            MutationConfig::default(),
+        );
+        assert!(upd.is_update());
+    }
+}

@@ -140,6 +140,17 @@ impl WebService {
     pub fn object_addr(&self, key: u64) -> u64 {
         self.object_addrs[key as usize]
     }
+
+    /// Object payload size per key.
+    pub fn object_bytes(&self) -> u32 {
+        self.object_bytes
+    }
+
+    /// Number of user keys actually built (drivers size their key choosers
+    /// from this, not from a possibly-disagreeing config).
+    pub fn keys(&self) -> u64 {
+        self.object_addrs.len() as u64
+    }
 }
 
 impl Application for WebService {
@@ -160,6 +171,7 @@ impl Application for WebService {
             }),
             cpu_work: WEBSERVICE_CPU_WORK,
             response_extra_bytes: 0,
+            retry: None,
         }
     }
 
@@ -217,6 +229,11 @@ pub struct WiredTiger {
 /// Per-entry bytes a scan response carries (8 B key + 240 B value).
 pub const WT_ENTRY_BYTES: u32 = 248;
 
+/// CPU time to render a scan's result set at the compute node — shared by
+/// the app's request generator and `pulse::YcsbDriver` so the YCSB-E and
+/// plain WiredTiger curves price the identical operation identically.
+pub const WT_SCAN_CPU_WORK: SimTime = SimTime::from_nanos(500);
+
 impl WiredTiger {
     /// Builds the index (keys are `0, 2, 4, …` so misses exist).
     ///
@@ -265,6 +282,7 @@ impl Application for WiredTiger {
                 }),
                 cpu_work: SimTime::from_nanos(300),
                 response_extra_bytes: 0,
+                retry: None,
             },
             _ => {
                 let limit = self.rng.random_range(1..=self.scan_max);
@@ -280,8 +298,9 @@ impl Application for WiredTiger {
                 AppRequest {
                     traversals: vec![locate, scan],
                     object_io: None,
-                    cpu_work: SimTime::from_nanos(500), // plot the results
+                    cpu_work: WT_SCAN_CPU_WORK, // plot the results
                     response_extra_bytes: (limit as u32) * WT_ENTRY_BYTES,
+                    retry: None,
                 }
             }
         }
@@ -399,6 +418,7 @@ impl Application for Btrdb {
             object_io: None,
             cpu_work: SimTime::from_micros(1), // render the plotted window
             response_extra_bytes: 64,          // the aggregate tuple series
+            retry: None,
         }
     }
 

@@ -116,6 +116,27 @@ pub fn execute_functional(
                 traversal: true,
                 insns: trace.insns_executed,
             });
+            if trace.stores > 0 {
+                // Write trips the iteration made beyond the window fetch
+                // (`STORE`s plus the write leg of every `CAS`). Recording
+                // them keeps the replay baselines on the same write model
+                // as the rack: the swap cache dirties the touched page and
+                // the RPC pricing charges the extra DRAM bytes. The trip
+                // count and byte volume are exact (`store_bytes` sums each
+                // store's access width); the *address* is the iteration's
+                // node — an approximation for stores aimed at a different
+                // allocation (the seqlock release writes the bucket
+                // sentinel from a chain node), tolerable because
+                // mutation-aware layouts co-locate each bucket's chain on
+                // one node.
+                accesses.push(Access {
+                    addr,
+                    len: trace.store_bytes,
+                    write: true,
+                    traversal: true,
+                    insns: 0,
+                });
+            }
             iterations += 1;
             match trace.outcome {
                 IterOutcome::Done { .. } => break,

@@ -48,12 +48,13 @@ mod zipf;
 
 pub use apps::{
     Application, Btrdb, BtrdbConfig, WebService, WebServiceConfig, WiredTiger, WiredTigerConfig,
-    WEBSERVICE_CPU_WORK, WT_ENTRY_BYTES,
+    WEBSERVICE_CPU_WORK, WT_ENTRY_BYTES, WT_SCAN_CPU_WORK,
 };
 pub use arrival::ArrivalProcess;
 pub use exec::{execute_functional, Access, ExecError, FunctionalRun};
 pub use request::{
-    AddrSource, AppRequest, AppResponse, ObjectIo, RequestError, StartPtr, TraversalStage,
+    AddrSource, AppRequest, AppResponse, ObjectIo, RequestError, RetryPolicy, StartPtr,
+    TraversalStage,
 };
 pub use upmu::{generate as upmu_generate, Channel, SAMPLE_INTERVAL_NS, UPMU_RATE_HZ};
 pub use ycsb::{OpKind, YcsbWorkload};

@@ -72,6 +72,21 @@ pub struct TraversalStage {
 }
 
 impl TraversalStage {
+    /// Pairs a planned stage (a `Traversal` impl's `init()` output) with
+    /// its compiled program — the one canonical `StagePlan` →
+    /// `TraversalStage` conversion, shared by `pulse::Offloaded::request`
+    /// and the YCSB driver so the mapping cannot drift between them.
+    pub fn from_plan(plan: pulse_ds::StagePlan, program: Arc<Program>) -> TraversalStage {
+        TraversalStage {
+            program,
+            start: match plan.start {
+                pulse_ds::StageStart::Fixed(p) => StartPtr::Fixed(p),
+                pulse_ds::StageStart::FromPrevScratch(off) => StartPtr::FromPrevScratch(off),
+            },
+            scratch_init: plan.scratch,
+        }
+    }
+
     /// Builds the stage's initial [`IterState`] given the previous stage's
     /// final scratchpad (if any).
     ///
@@ -115,6 +130,21 @@ pub struct ObjectIo {
     pub write: bool,
 }
 
+/// Bounded optimistic-concurrency retry: when the request's *final*
+/// traversal stage `RETURN`s `code`, the issuing CPU node re-issues the
+/// whole traversal pipeline from stage 0 (fresh `init()` state), up to
+/// `max` additional attempts. This is how seqlock readers and writers
+/// (`pulse-mutation`) that lose a race against a concurrent update get
+/// back in flight; exhausting the budget fault-completes the request so a
+/// livelocked key surfaces as loss instead of hanging the rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// The `RETURN` code that means "raced, try again".
+    pub code: u64,
+    /// Maximum re-issues (0 = never retry; first attempt always runs).
+    pub max: u32,
+}
+
 /// A complete application request.
 #[derive(Debug, Clone)]
 pub struct AppRequest {
@@ -128,6 +158,8 @@ pub struct AppRequest {
     /// Extra bytes the final response carries beyond the scratchpad
     /// (scan results, aggregation series).
     pub response_extra_bytes: u32,
+    /// Optional bounded retry on an optimistic-concurrency conflict.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl AppRequest {
@@ -138,12 +170,21 @@ impl AppRequest {
             object_io: None,
             cpu_work: SimTime::ZERO,
             response_extra_bytes: 0,
+            retry: None,
         }
     }
 
     /// Whether any stage of this request touches remote memory at all.
     pub fn is_empty(&self) -> bool {
         self.traversals.is_empty() && self.object_io.is_none()
+    }
+
+    /// Whether this request mutates disaggregated memory: a bulk object
+    /// write, or any traversal stage whose program contains `STORE`/`CAS`.
+    /// Sweep reports use this to split goodput into read vs update halves.
+    pub fn is_update(&self) -> bool {
+        self.object_io.is_some_and(|io| io.write)
+            || self.traversals.iter().any(|t| t.program.has_stores())
     }
 
     /// Checks the request's stage wiring without executing anything: every
@@ -260,6 +301,7 @@ mod tests {
             }),
             cpu_work: SimTime::ZERO,
             response_extra_bytes: 0,
+            retry: None,
         };
         assert_eq!(
             dangling.validate(),

@@ -115,4 +115,65 @@ mod tests {
         assert_eq!(YcsbWorkload::A.to_string(), "YCSB-A");
         assert_eq!(YcsbWorkload::E.label(), "YCSB-E");
     }
+
+    /// Same seed, same op sequence; different seed, different sequence —
+    /// the property every "identical arrival schedule across engines"
+    /// comparison in the sweep harness rests on.
+    #[test]
+    fn draw_is_deterministic_under_seed() {
+        let draw_seq = |w: YcsbWorkload, seed: u64| -> Vec<OpKind> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| w.draw(&mut rng)).collect()
+        };
+        for w in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::E] {
+            assert_eq!(draw_seq(w, 9), draw_seq(w, 9), "{w}");
+            assert_ne!(draw_seq(w, 9), draw_seq(w, 10), "{w}");
+        }
+    }
+
+    /// Mix ratios hold across many seeds, not just one lucky stream: a
+    /// SplitMix64 case loop generates the seeds and every case must land
+    /// within a tolerance band around the specified mix.
+    #[test]
+    fn mix_ratios_hold_across_seed_cases() {
+        let mut seeds = pulse_sim::SplitMix64::new(0xCA5E);
+        for _ in 0..12 {
+            let seed = seeds.next_u64();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 20_000;
+            let mut update = 0u32;
+            let mut insert = 0u32;
+            let mut scan = 0u32;
+            for _ in 0..n {
+                match YcsbWorkload::A.draw(&mut rng) {
+                    OpKind::Update => update += 1,
+                    OpKind::Read => {}
+                    other => panic!("YCSB-A drew {other:?}"),
+                }
+            }
+            let f = update as f64 / n as f64;
+            assert!((f - 0.5).abs() < 0.02, "seed {seed:#x}: A update {f}");
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b_update = 0u32;
+            for _ in 0..n {
+                if YcsbWorkload::B.draw(&mut rng) == OpKind::Update {
+                    b_update += 1;
+                }
+            }
+            let f = b_update as f64 / n as f64;
+            assert!((f - 0.05).abs() < 0.01, "seed {seed:#x}: B update {f}");
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..n {
+                match YcsbWorkload::E.draw(&mut rng) {
+                    OpKind::Insert => insert += 1,
+                    OpKind::Scan => scan += 1,
+                    other => panic!("YCSB-E drew {other:?}"),
+                }
+            }
+            let f = insert as f64 / (insert + scan) as f64;
+            assert!((f - 0.05).abs() < 0.01, "seed {seed:#x}: E insert {f}");
+        }
+    }
 }

@@ -62,6 +62,7 @@ fn main() -> Result<(), pulse::Error> {
             object_io: None,
             cpu_work: SimTime::from_micros(1),
             response_extra_bytes: 64,
+            retry: None,
         };
         tickets.insert(runtime.submit(req)?, window_s);
     }

@@ -3,14 +3,21 @@
 //! CPU-side saturation and full workload coverage.
 //!
 //! A Poisson [`ArrivalProcess`] feeds `Runtime::submit_at` through the
-//! `pulse-bench` `sweep()` ladder. Five curves run the identical arrival
+//! `pulse-bench` `sweep()` ladder. Nine curves run the identical arrival
 //! schedule:
 //!
 //! * **pulse** — the rack (2 memory nodes, 2 CPU nodes) over WebService,
 //! * **RPC** / **Cache-based** — the baselines over the same WebService
 //!   deployment,
 //! * **pulse-wiredtiger** / **pulse-btrdb** — the rack over the staged
-//!   B+Tree applications.
+//!   B+Tree applications,
+//! * **pulse-ycsb-a** / **pulse-ycsb-b** — read-write mixes over the hash
+//!   map: seqlock-verified reads and locked in-place update traversals
+//!   (`pulse-mutation`), retries counted per rung,
+//! * **pulse-ycsb-e** — the B+Tree mix: staged scans plus host-path
+//!   structural inserts,
+//! * **RPC-ycsb-a** — the RPC baseline under the same mixed stream, so
+//!   the pulse-vs-RPC comparison covers the write path too.
 //!
 //! Every engine runs the same contended dispatch model: each CPU node's
 //! issue path is a serial engine (`DISPATCH_OCCUPANCY` per packet on
@@ -26,16 +33,16 @@
 //! cargo run --release --example latency_sweep -- --requests 300 --loads 20,60,120
 //! ```
 //!
-//! The run writes all five curves to `BENCH_sweep.json`; CI greps that
+//! The run writes all nine curves to `BENCH_sweep.json`; CI greps that
 //! file for every expected label.
 
 use pulse::baselines::{RpcConfig, SwapConfig};
 use pulse::sim::SimTime;
-use pulse::{BaselineKind, DispatchConfig};
+use pulse::{BaselineKind, DispatchConfig, YcsbWorkload};
 use pulse_bench::{
-    baseline_webservice_factory, pulse_app_factory, sweep, sweep_json, AppKind, SweepReport,
+    baseline_webservice_factory, baseline_ycsb_factory, pulse_app_factory, pulse_ycsb_factory,
+    sweep, sweep_json, AppKind, SweepReport,
 };
-use pulse_workloads::YcsbWorkload;
 
 const NODES: usize = 2;
 const CPUS: usize = 2;
@@ -115,6 +122,39 @@ fn main() -> Result<(), pulse::Error> {
             SEED,
             pulse_app_factory(AppKind::Btrdb(4), NODES, CPUS, requests, dispatch),
         )?,
+        sweep(
+            "pulse-ycsb-a",
+            &loads_kops,
+            SEED,
+            pulse_ycsb_factory(YcsbWorkload::A, NODES, CPUS, requests, dispatch),
+        )?,
+        sweep(
+            "pulse-ycsb-b",
+            &loads_kops,
+            SEED,
+            pulse_ycsb_factory(YcsbWorkload::B, NODES, CPUS, requests, dispatch),
+        )?,
+        sweep(
+            "pulse-ycsb-e",
+            &loads_kops,
+            SEED,
+            pulse_ycsb_factory(YcsbWorkload::E, NODES, CPUS, requests, dispatch),
+        )?,
+        sweep(
+            "RPC-ycsb-a",
+            &loads_kops,
+            SEED,
+            baseline_ycsb_factory(
+                YcsbWorkload::A,
+                NODES,
+                BaselineKind::Rpc(RpcConfig {
+                    dispatch,
+                    ..RpcConfig::rpc()
+                }),
+                BASELINE_CLIENTS,
+                requests,
+            ),
+        )?,
     ];
 
     for curve in &curves {
@@ -136,6 +176,33 @@ fn main() -> Result<(), pulse::Error> {
         assert!(monotone, "{}: p99 regressed as load rose", curve.label);
     }
 
+    // The write path must actually run: every mixed curve needs nonzero
+    // update goodput, and the hash-map mixes must surface their seqlock
+    // retries (racing is the point of YCSB-A at load).
+    for label in ["pulse-ycsb-a", "pulse-ycsb-b", "pulse-ycsb-e", "RPC-ycsb-a"] {
+        let curve = curves
+            .iter()
+            .find(|c| c.label == label)
+            .expect("mixed curve present");
+        assert!(
+            curve.points.iter().any(|p| p.update_goodput_kops > 0.0),
+            "{label}: update goodput must be nonzero somewhere on the ladder"
+        );
+    }
+    let ycsb_a = curves
+        .iter()
+        .find(|c| c.label == "pulse-ycsb-a")
+        .expect("present");
+    let total_retries: u64 = ycsb_a.points.iter().map(|p| p.retries).sum();
+    println!(
+        "pulse-ycsb-a: {} seqlock retries across the ladder",
+        total_retries
+    );
+    assert!(
+        total_retries > 0,
+        "a zipfian 50%-update mix under load must race at least once"
+    );
+
     println!("\nsustained load at p99 <= {SLO_P99_US} us (achieved goodput, kops):");
     for curve in &curves {
         println!(
@@ -156,6 +223,18 @@ fn main() -> Result<(), pulse::Error> {
             "pulse should sustain at least the RPC load at equal p99 ({p} vs {r})"
         );
     }
+    // The same comparison on the mixed workload: pulse vs RPC under
+    // YCSB-A, both with real updates in flight.
+    let mixed_pulse = ycsb_a.max_load_under_p99(SLO_P99_US);
+    let mixed_rpc = curves
+        .iter()
+        .find(|c| c.label == "RPC-ycsb-a")
+        .and_then(|c| c.max_load_under_p99(SLO_P99_US));
+    println!(
+        "mixed YCSB-A sustained: pulse {} vs RPC {}",
+        mixed_pulse.map_or("-".into(), |k| format!("{k:.0}")),
+        mixed_rpc.map_or("-".into(), |k| format!("{k:.0}")),
+    );
 
     let json = sweep_json(&curves);
     std::fs::write("BENCH_sweep.json", &json)
@@ -171,13 +250,20 @@ fn main() -> Result<(), pulse::Error> {
 fn print_curve(curve: &SweepReport) {
     println!("── {} ──", curve.label);
     println!(
-        "{:>10} {:>10} | {:>8} {:>8} {:>8} {:>9}",
-        "offered", "arrived", "p50", "p95", "p99", "goodput"
+        "{:>10} {:>10} | {:>8} {:>8} {:>8} {:>9} {:>9} {:>7}",
+        "offered", "arrived", "p50", "p95", "p99", "goodput", "upd-good", "retries"
     );
     for p in &curve.points {
         println!(
-            "{:>10.1} {:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1}",
-            p.offered_kops, p.arrived_kops, p.p50_us, p.p95_us, p.p99_us, p.goodput_kops
+            "{:>10.1} {:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1} {:>9.1} {:>7}",
+            p.offered_kops,
+            p.arrived_kops,
+            p.p50_us,
+            p.p95_us,
+            p.p99_us,
+            p.goodput_kops,
+            p.update_goodput_kops,
+            p.retries
         );
     }
     println!();

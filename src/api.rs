@@ -18,11 +18,11 @@ use pulse_baselines::{
 };
 use pulse_core::ClusterReport;
 use pulse_dispatch::{DispatchEngine, OffloadDecision};
-use pulse_ds::{BuildCtx, DsError, StageStart, Traversal};
+use pulse_ds::{BuildCtx, DsError, Traversal};
 use pulse_isa::Program;
 use pulse_mem::ClusterMemory;
 use pulse_sim::{LatencyHistogram, LatencySummary, SimTime};
-use pulse_workloads::{AppRequest, Application, ArrivalProcess, StartPtr, TraversalStage};
+use pulse_workloads::{AppRequest, Application, ArrivalProcess, TraversalStage};
 use pulse_workloads::{Btrdb, WebService, WiredTiger};
 use pulse_workloads::{BtrdbConfig, WebServiceConfig, WiredTigerConfig};
 use std::sync::Arc;
@@ -81,20 +81,14 @@ impl<T: Traversal> Offloaded<T> {
         let traversals = plans
             .into_iter()
             .zip(&self.programs)
-            .map(|(plan, program)| TraversalStage {
-                program: program.clone(),
-                start: match plan.start {
-                    StageStart::Fixed(p) => StartPtr::Fixed(p),
-                    StageStart::FromPrevScratch(off) => StartPtr::FromPrevScratch(off),
-                },
-                scratch_init: plan.scratch,
-            })
+            .map(|(plan, program)| TraversalStage::from_plan(plan, program.clone()))
             .collect();
         Ok(AppRequest {
             traversals,
             object_io: None,
             cpu_work: SimTime::ZERO,
             response_extra_bytes: 0,
+            retry: None,
         })
     }
 
@@ -348,6 +342,8 @@ impl Engine for BaselineEngine {
                 first_arrival,
                 last_arrival: first_arrival,
                 last_completion: first_arrival,
+                completed_updates: 0,
+                retries: 0,
             });
         }
         let rep = match self.kind {
@@ -371,6 +367,10 @@ impl Engine for BaselineEngine {
             first_arrival,
             last_arrival: *times.last().unwrap(),
             last_completion: rep.makespan,
+            // The replay baselines complete every request and execute
+            // sequentially: updates all land, races never happen.
+            completed_updates: requests.iter().filter(|r| r.is_update()).count() as u64,
+            retries: 0,
         })
     }
 }

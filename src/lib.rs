@@ -79,6 +79,7 @@ pub use pulse_ds as ds;
 pub use pulse_energy as energy;
 pub use pulse_isa as isa;
 pub use pulse_mem as mem;
+pub use pulse_mutation as mutation;
 pub use pulse_net as net;
 pub use pulse_sim as sim;
 pub use pulse_workloads as workloads;
@@ -86,6 +87,7 @@ pub use pulse_workloads as workloads;
 mod api;
 mod error;
 mod runtime;
+mod ycsb;
 
 pub use api::{AppSpec, BaselineEngine, BaselineKind, Engine, EngineReport, Offloaded};
 pub use error::Error;
@@ -93,6 +95,7 @@ pub use runtime::{
     OpenLoopDriver, OpenLoopReport, PulseBuilder, Runtime, Ticket, DEFAULT_GRANULARITY,
     DEFAULT_WINDOW,
 };
+pub use ycsb::YcsbDriver;
 
 // The façade's frequently-used vocabulary, re-exported flat so examples
 // and downstream code need one `use pulse::...` line per name.
@@ -102,6 +105,8 @@ pub use pulse_core::{
 };
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;
+pub use pulse_mutation::MutationConfig;
 pub use pulse_workloads::{
-    AppRequest, ArrivalProcess, BtrdbConfig, RequestError, WebServiceConfig, WiredTigerConfig,
+    AppRequest, ArrivalProcess, BtrdbConfig, RequestError, RetryPolicy, WebServiceConfig,
+    WiredTigerConfig, YcsbWorkload,
 };

@@ -451,6 +451,15 @@ pub struct OpenLoopReport {
     pub last_arrival: SimTime,
     /// When the last completion fired.
     pub last_completion: SimTime,
+    /// Successful completions of *update* requests
+    /// ([`AppRequest::is_update`]) — the write half of a mixed workload's
+    /// goodput. 0 for read-only streams.
+    pub completed_updates: u64,
+    /// Optimistic-concurrency re-issues the rack performed for this stream
+    /// (seqlock readers/writers that lost a race; see
+    /// `ClusterReport::retries`). Always 0 for the replay baselines, which
+    /// execute sequentially and never race.
+    pub retries: u64,
 }
 
 impl OpenLoopReport {
@@ -522,17 +531,24 @@ impl OpenLoopDriver {
         requests: Vec<AppRequest>,
     ) -> Result<OpenLoopReport, Error> {
         let submitted = requests.len() as u64;
+        let base_retries = runtime.report().retries;
         let mut t = runtime.now();
         let mut first_arrival = None;
+        let mut update_ids = std::collections::HashSet::new();
         for req in requests {
+            let is_update = req.is_update();
             t += self.arrivals.next_gap();
-            runtime.submit_at(t, req)?;
+            let ticket = runtime.submit_at(t, req)?;
+            if is_update {
+                update_ids.insert(ticket.request_id());
+            }
             first_arrival.get_or_insert(t);
         }
         let first_arrival = first_arrival.unwrap_or(t);
         let last_arrival = t;
         let mut hist = LatencyHistogram::new();
         let (mut completed, mut faulted) = (0u64, 0u64);
+        let mut completed_updates = 0u64;
         let mut last_completion = first_arrival;
         loop {
             let done = runtime.poll();
@@ -544,6 +560,9 @@ impl OpenLoopDriver {
                 last_completion = last_completion.max(c.finished_at);
                 if c.ok {
                     completed += 1;
+                    if update_ids.contains(&c.id) {
+                        completed_updates += 1;
+                    }
                 } else {
                     faulted += 1;
                 }
@@ -562,6 +581,8 @@ impl OpenLoopDriver {
             first_arrival,
             last_arrival,
             last_completion,
+            completed_updates,
+            retries: runtime.report().retries - base_retries,
         })
     }
 }

@@ -65,6 +65,7 @@ fn invalid_object_io_address_faults_cleanly() {
             }),
             cpu_work: SimTime::ZERO,
             response_extra_bytes: 0,
+            retry: None,
         };
         let ticket = runtime.submit(req).unwrap();
         let done = runtime.poll();
@@ -74,6 +75,61 @@ fn invalid_object_io_address_faults_cleanly() {
         let report = runtime.report();
         assert_eq!(report.completed, 0);
         assert_eq!(report.faulted, 1);
+    }
+}
+
+/// The write-side mirror of the invalid-pointer fix: a traversal whose
+/// `STORE` (or `CAS`) targets an invalid/stale address — while its
+/// `cur_ptr` is valid and local — must fault-complete through the façade.
+/// Rerouting it would ping-pong between the owning node and the switch
+/// forever (the switch routes by `cur_ptr`), i.e. a hang.
+#[test]
+fn store_to_invalid_pointer_fault_completes() {
+    use pulse::isa::{Operand, ProgramBuilder, Width};
+    use pulse::workloads::TraversalStage;
+    use std::sync::Arc;
+
+    for cas in [false, true] {
+        let (mut runtime, offloaded) = small_map(2);
+        // Start at a real bucket (valid cur_ptr), then write to the wild.
+        let start = {
+            let req = offloaded.request(1).unwrap();
+            match req.traversals[0].start {
+                StartPtr::Fixed(p) => p,
+                _ => unreachable!("hash plans are fixed-start"),
+            }
+        };
+        let mut b = ProgramBuilder::new("wild-write", 24, 8);
+        if cas {
+            b.cas(
+                pulse::isa::Reg::new(0),
+                Operand::Imm(0xBAD0_0000_0000u64 as i64),
+                0,
+                Operand::Imm(0),
+                Operand::Imm(1),
+                Width::B8,
+            );
+        } else {
+            b.store(
+                Operand::Imm(0xBAD0_0000_0000u64 as i64),
+                0,
+                Operand::Imm(1),
+                Width::B8,
+            );
+        }
+        b.ret(Operand::Imm(0));
+        let prog = Arc::new(b.finish().unwrap());
+        let req = pulse::AppRequest::traversal_only(TraversalStage {
+            program: prog,
+            start: StartPtr::Fixed(start),
+            scratch_init: vec![],
+        });
+        let ticket = runtime.submit(req).unwrap();
+        let done = runtime.poll();
+        assert_eq!(done.len(), 1, "cas={cas}: must complete, not hang");
+        assert!(ticket.matches(&done[0]));
+        assert!(!done[0].ok, "cas={cas}: wild write must fault");
+        assert_eq!(runtime.report().faulted, 1);
     }
 }
 

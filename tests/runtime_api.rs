@@ -420,6 +420,7 @@ fn staged_requests_complete_through_the_runtime() {
         object_io: None,
         cpu_work: SimTime::ZERO,
         response_extra_bytes: 0,
+        retry: None,
     };
 
     let cases = [(100u64, 25u64), (39_990, 50), (0, 10)];
