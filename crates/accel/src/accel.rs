@@ -347,6 +347,15 @@ impl Accelerator {
         // simulator know the durations and outcome up front.
         let node = self.node;
         let w = self.workspaces[ws].as_mut().expect("occupied");
+        if self.cfg.collect_touched {
+            // Ship this cell back with the response so the issuing CPU
+            // node can fill its front-end cache (deduplicated: revisited
+            // windows ride once).
+            let cell = (base, window.len);
+            if !w.pkt.touched.contains(&cell) {
+                w.pkt.touched.push(cell);
+            }
+        }
         let program = w.pkt.code.program().clone();
         let mut bus = mem.local_bus(node);
         let result = self
@@ -496,6 +505,7 @@ mod tests {
             state,
             status: IterStatus::InFlight,
             piggyback_bytes: 0,
+            touched: Vec::new(),
         }
     }
 
@@ -625,6 +635,7 @@ mod tests {
             code,
             status: IterStatus::InFlight,
             piggyback_bytes: 0,
+            touched: Vec::new(),
         };
         let done = drive(&mut accel, &mut mem, vec![(SimTime::ZERO, pkt)]);
         assert_eq!(done.len(), 1);

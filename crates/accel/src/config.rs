@@ -111,6 +111,12 @@ pub struct AccelConfig {
     pub timing: AccelTiming,
     /// Per-offload iteration budget (`MAX_ITER`, §3).
     pub max_iters: u32,
+    /// Record every window fetch range on the in-flight packet
+    /// (`IterPacket::touched`) so the issuing CPU node can fill its
+    /// front-end cache from the response. Off by default: the recorded
+    /// cells are priced on the wire, so collection must only run when a
+    /// cache is actually consuming them.
+    pub collect_touched: bool,
 }
 
 impl Default for AccelConfig {
@@ -124,6 +130,7 @@ impl Default for AccelConfig {
             },
             timing: AccelTiming::default(),
             max_iters: pulse_isa::DEFAULT_MAX_ITERS,
+            collect_touched: false,
         }
     }
 }

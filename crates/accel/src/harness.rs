@@ -182,6 +182,7 @@ mod tests {
             state,
             status: IterStatus::InFlight,
             piggyback_bytes: 0,
+            touched: Vec::new(),
         }
     }
 

@@ -15,14 +15,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod lru;
 mod systems;
 
-pub use lru::LruSet;
 pub use systems::{
     run_rpc, run_rpc_open_loop, run_swap_cache, run_swap_cache_open_loop, BaselineReport, CpuModel,
     NetModel, RpcConfig, RpcFlavor, SwapConfig,
 };
-// The CPU-side dispatch-engine model shared with the pulse rack, so
-// baseline configs can be contended apples-to-apples.
+// The CPU-node front-end layer shared with the pulse rack: the LRU backing
+// the page/object caches, the coherent traversal-cell cache, and the
+// dispatch-engine model — so baseline configs stay apples-to-apples with
+// the cluster by construction.
+pub use pulse_frontend::{CacheConfig, CpuFrontEnd, LruSet, TraversalCache};
 pub use pulse_sim::{CpuDispatch, DispatchConfig};

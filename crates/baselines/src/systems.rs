@@ -8,15 +8,12 @@
 //! outstanding clients, sharing contended resources (CPU threads / RPC
 //! workers, the CPU-node link, per-node DRAM channels, the swap pipe).
 
-use crate::lru::LruSet;
+use pulse_frontend::replay::{drive, measured_rate};
+use pulse_frontend::{CacheConfig, CpuFrontEnd, LruSet};
 use pulse_mem::ClusterMemory;
-use pulse_sim::{
-    CpuDispatch, DispatchConfig, LatencyHistogram, LatencySummary, SerialResource, ServerPool,
-    SimTime,
-};
+use pulse_net::LinkConfig;
+use pulse_sim::{DispatchConfig, LatencySummary, SerialResource, ServerPool, SimTime};
 use pulse_workloads::{execute_functional, Access, AppRequest};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Network constants shared with the pulse cluster: one endpoint→endpoint
 /// hop through the switch.
@@ -85,6 +82,12 @@ pub struct BaselineReport {
     pub mem_bytes: u64,
     /// Cache hit ratio (page or object cache), if the system has one.
     pub cache_hit_ratio: Option<f64>,
+    /// Front-end traversal-cell cache hit rate (the shared
+    /// `pulse_frontend::TraversalCache`, when configured): locally-served
+    /// dependent hops over all probes. 0.0 when disabled — distinct from
+    /// [`BaselineReport::cache_hit_ratio`], which reports the system's own
+    /// page/object cache.
+    pub cache_hit_rate: f64,
     /// End of the last request.
     pub makespan: SimTime,
 }
@@ -99,99 +102,10 @@ impl BaselineReport {
     }
 }
 
-/// Closed-loop driver: `concurrency` clients issue `requests` in order;
-/// `serve(idx, start) -> (end, traversal_pure, total_pure)` prices one
-/// request. The *pure* times exclude cross-request queueing and feed the
-/// Fig. 2(a) execution-time split; the latency histogram uses wall time.
-fn closed_loop(
-    total: usize,
-    concurrency: usize,
-    mut serve: impl FnMut(usize, SimTime) -> (SimTime, SimTime, SimTime),
-) -> (LatencySummary, SimTime, SimTime, SimTime) {
-    assert!(concurrency > 0 && total > 0);
-    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = (0..concurrency.min(total))
-        .map(|c| Reverse((SimTime::ZERO, c)))
-        .collect();
-    let mut next_idx = concurrency.min(total);
-    let mut hist = LatencyHistogram::new();
-    let mut makespan = SimTime::ZERO;
-    let mut traversal_total = SimTime::ZERO;
-    let mut busy_total = SimTime::ZERO;
-    let mut served = 0usize;
-    let mut issued: Vec<usize> = (0..concurrency.min(total)).collect();
-    while let Some(Reverse((ready, client))) = heap.pop() {
-        let idx = issued[client];
-        let (end, traversal, busy) = serve(idx, ready);
-        hist.record(end - ready);
-        busy_total += busy;
-        traversal_total += traversal;
-        makespan = makespan.max(end);
-        served += 1;
-        if next_idx < total {
-            issued[client] = next_idx;
-            next_idx += 1;
-            heap.push(Reverse((end, client)));
-        }
-        if served == total {
-            break;
-        }
-    }
-    (hist.summary(), makespan, traversal_total, busy_total)
-}
-
-/// Open-loop driver: request `i` *arrives* at `arrivals[i]` regardless of
-/// completions, waits FIFO for one of `concurrency` clients, and its
-/// latency is measured from arrival — so it includes queueing delay, the
-/// quantity latency-vs-load sweeps plot.
-///
-/// Admission order is arrival order; each ready time is
-/// `max(arrival, earliest client free time)`, both non-decreasing, so the
-/// resource bookings inside `serve` stay time-ordered exactly as in
-/// [`closed_loop`].
-fn open_loop(
-    arrivals: &[SimTime],
-    concurrency: usize,
-    mut serve: impl FnMut(usize, SimTime) -> (SimTime, SimTime, SimTime),
-) -> (LatencySummary, SimTime, SimTime, SimTime) {
-    assert!(concurrency > 0 && !arrivals.is_empty());
-    debug_assert!(
-        arrivals.windows(2).all(|w| w[0] <= w[1]),
-        "arrival times must be sorted"
-    );
-    let mut free: BinaryHeap<Reverse<SimTime>> =
-        (0..concurrency).map(|_| Reverse(SimTime::ZERO)).collect();
-    let mut hist = LatencyHistogram::new();
-    let mut makespan = SimTime::ZERO;
-    let mut traversal_total = SimTime::ZERO;
-    let mut busy_total = SimTime::ZERO;
-    for (idx, &arrive) in arrivals.iter().enumerate() {
-        let Reverse(free_at) = free.pop().expect("concurrency > 0");
-        let ready = arrive.max(free_at);
-        let (end, traversal, busy) = serve(idx, ready);
-        hist.record(end - arrive);
-        busy_total += busy;
-        traversal_total += traversal;
-        makespan = makespan.max(end);
-        free.push(Reverse(end));
-    }
-    (hist.summary(), makespan, traversal_total, busy_total)
-}
-
-/// Dispatches to [`closed_loop`] (no arrival schedule) or [`open_loop`].
-fn drive(
-    total: usize,
-    concurrency: usize,
-    arrivals: Option<&[SimTime]>,
-    serve: impl FnMut(usize, SimTime) -> (SimTime, SimTime, SimTime),
-) -> (LatencySummary, SimTime, SimTime, SimTime) {
-    match arrivals {
-        None => closed_loop(total, concurrency, serve),
-        Some(times) => {
-            assert_eq!(times.len(), total, "one arrival time per request");
-            open_loop(times, concurrency, serve)
-        }
-    }
-}
+// The FIFO multi-server admission loops (closed_loop / open_loop / drive)
+// and the measured-rate helper used to live here, duplicated conceptually
+// per baseline; they are now part of the shared CPU-node front-end layer
+// (`pulse_frontend::replay`).
 
 // ------------------------------------------------------------- Cache-based
 
@@ -273,7 +187,9 @@ fn swap_cache_impl(
     let mut lru = LruSet::new((cfg.cache_bytes / cfg.page_bytes).max(1) as usize);
     let mut swap_pipe = SerialResource::new(u64::MAX); // fixed service per page
     let mut threads = ServerPool::new(cfg.threads);
-    let mut dispatch = CpuDispatch::new(cfg.dispatch);
+    // The shared CPU-node front end hosts the admission dispatch engine
+    // (the swap system's own page cache stands in for a traversal cache).
+    let mut fe = CpuFrontEnd::new(LinkConfig::default(), cfg.dispatch, CacheConfig::disabled());
     let mut net_bytes = 0u64;
     let mut mem_bytes = 0u64;
     let page_wire = SimTime::serialization(cfg.page_bytes, cfg.net.bits_per_sec);
@@ -321,7 +237,7 @@ fn swap_cache_impl(
             // The request-dispatch engine admits the request (queueing +
             // occupancy under load), then an application thread hosts it
             // end-to-end.
-            let admitted = dispatch.book(ready);
+            let admitted = fe.book_dispatch(ready);
             let slot = threads.acquire(admitted, pure);
             // The swap subsystem serves this request's misses.
             let mut pipe_end = slot.grant.start;
@@ -343,6 +259,7 @@ fn swap_cache_impl(
         net_bytes,
         mem_bytes,
         cache_hit_ratio: Some(lru.hit_ratio()),
+        cache_hit_rate: 0.0,
         makespan,
     }
 }
@@ -386,6 +303,16 @@ pub struct RpcConfig {
     /// saturating. One dispatch op is booked per network issue (the initial
     /// request plus every cross-node bounce). The default is uncontended.
     pub dispatch: DispatchConfig,
+    /// Front-end traversal-cell cache (the shared
+    /// `pulse_frontend::TraversalCache`, disabled by default): leading
+    /// traversal hops whose cells are all resident run at
+    /// `CacheConfig::hit_ns` on the CPU instead of as remote segments, the
+    /// remainder executes remotely as usual, remotely-read traversal cells
+    /// fill the cache (priced as extra response bytes), and a request's
+    /// writes age the touched lines out. This is "RPC+cache" in the sweep
+    /// curves — the hypothetical the paper's framing argues cannot save
+    /// pointer traversals.
+    pub cache: CacheConfig,
 }
 
 impl RpcConfig {
@@ -401,6 +328,7 @@ impl RpcConfig {
             dram_bytes_per_sec: 25_000_000_000,
             net: NetModel::default(),
             dispatch: DispatchConfig::default(),
+            cache: CacheConfig::disabled(),
         }
     }
 
@@ -470,16 +398,6 @@ pub fn run_rpc_open_loop(
     rpc_impl(mem, requests, concurrency, cfg, Some(arrivals))
 }
 
-/// Completions per second: over the makespan for closed loop, over the
-/// first-arrival-to-last-completion span for open loop.
-fn measured_rate(completed: usize, makespan: SimTime, arrivals: Option<&[SimTime]>) -> f64 {
-    let span = match arrivals {
-        Some(times) if !times.is_empty() => makespan.saturating_sub(times[0]),
-        _ => makespan,
-    };
-    completed as f64 / span.as_secs_f64().max(1e-12)
-}
-
 fn rpc_impl(
     mem: &mut ClusterMemory,
     requests: &[AppRequest],
@@ -498,59 +416,36 @@ fn rpc_impl(
     // The CPU-node's receive direction (responses) is the only link pipe
     // that ever approaches saturation in these workloads.
     let mut link_rx = SerialResource::new(cfg.net.bits_per_sec);
-    let mut dispatch = CpuDispatch::new(cfg.dispatch);
+    // The shared CPU-node front end: dispatch engine plus the optional
+    // traversal-cell cache.
+    let mut fe = CpuFrontEnd::new(LinkConfig::default(), cfg.dispatch, cfg.cache);
     let mut object_cache = (cfg.object_cache_bytes > 0)
         .then(|| LruSet::new((cfg.object_cache_bytes / cfg.object_bytes).max(1) as usize));
     let mut net_bytes = 0u64;
     let mut mem_bytes = 0u64;
 
     struct Priced {
-        /// (owner node, traversal time, bytes, is_traversal) segments.
-        segments: Vec<(usize, SimTime, u64, bool)>,
-        crossings: u64,
+        /// The functional access trace, segmented lazily per serve (the
+        /// front-end cache decides per request how much of the leading
+        /// traversal runs locally).
+        accesses: Vec<Access>,
         cpu_work: SimTime,
         response_bytes: u64,
         object_addr: Option<u64>,
     }
 
-    // Pre-execute and segment the traces by owning node.
+    // Pre-execute functionally, in stream order (updates land in order).
     let priced: Vec<Priced> = requests
         .iter()
         .map(|r| {
             let run = execute_functional(mem, r, 1 << 20).expect("functional run");
-            let mut segments: Vec<(usize, SimTime, u64, bool)> = Vec::new();
-            let mut crossings = 0u64;
-            let mut object_addr = None;
-            for a in &run.accesses {
-                let owner = mem.owner_of(a.addr).unwrap_or(0);
-                let step = if a.traversal {
-                    cpu.dram_latency + cpu.insn_time * a.insns as u64
-                } else {
-                    object_addr = Some(a.addr);
-                    SimTime::serialization(a.len as u64, cfg.dram_bytes_per_sec * 8)
-                };
-                match segments.last_mut() {
-                    Some((node, t, b, trav)) if *node == owner && *trav == a.traversal => {
-                        *t += step;
-                        *b += a.len as u64;
-                    }
-                    last => {
-                        if let Some((node, ..)) = last {
-                            if *node != owner && a.traversal {
-                                crossings += 1;
-                            }
-                        }
-                        segments.push((owner, step, a.len as u64, a.traversal));
-                    }
-                }
-            }
+            let object_addr = run.accesses.iter().find(|a| !a.traversal).map(|a| a.addr);
             let response_bytes = 128
                 + r.response_extra_bytes as u64
                 + r.object_io
                     .map_or(0, |io| if io.write { 0 } else { io.len as u64 });
             Priced {
-                segments,
-                crossings,
+                accesses: run.accesses,
                 cpu_work: r.cpu_work,
                 response_bytes,
                 object_addr,
@@ -561,6 +456,66 @@ fn rpc_impl(
     let (latency, makespan, traversal_total, latency_total) =
         drive(requests.len(), concurrency, arrivals, |idx, ready| {
             let p = &priced[idx];
+            // Front-end cache prefix: leading traversal *read* hops whose
+            // cells are all resident (and version-valid) execute on the
+            // CPU at hit cost; the first miss, write, or object access
+            // sends the remainder down the normal RPC path. Remotely-read
+            // traversal cells then fill the cache (each filled line rides
+            // the response as a 12 B descriptor + line bytes), and this
+            // request's writes age the touched lines out — the coherence
+            // traffic a real CPU-side cache would have to pay for.
+            let mut prefix = 0usize;
+            let mut prefix_time = SimTime::ZERO;
+            let mut fill_wire_bytes = 0u64;
+            if let Some(cache) = fe.cache_mut() {
+                let hit = cache.config().hit_ns;
+                for a in &p.accesses {
+                    if !a.traversal || a.write || !cache.probe_range(a.addr, a.len as u64, mem) {
+                        cache.note_miss();
+                        break;
+                    }
+                    cache.note_hit();
+                    prefix += 1;
+                    prefix_time += hit + cpu.insn_time * a.insns as u64;
+                }
+                let remaining = &p.accesses[prefix..];
+                for a in remaining {
+                    if a.write {
+                        cache.invalidate_range(a.addr, a.len.max(1) as u64);
+                    } else if a.traversal {
+                        let (lines, bytes) = cache.fill_range(a.addr, a.len as u64, mem);
+                        fill_wire_bytes +=
+                            lines * pulse_net::TOUCHED_DESCRIPTOR_BYTES as u64 + bytes;
+                    }
+                }
+                if remaining.is_empty() {
+                    // The whole traversal ran from cache: no RPC at all.
+                    // One dispatch op still admits the request, and the
+                    // response is assembled locally.
+                    let admitted = fe.book_dispatch(ready);
+                    let pure = prefix_time + p.cpu_work;
+                    return (admitted + pure, prefix_time, pure);
+                }
+            }
+            let remaining = &p.accesses[prefix..];
+            // Segment the (remaining) trace by owning node — identical
+            // math to the pre-cache model when the prefix is empty.
+            let mut segments: Vec<(usize, SimTime, u64, bool)> = Vec::new();
+            for a in remaining {
+                let owner = mem.owner_of(a.addr).unwrap_or(0);
+                let step = if a.traversal {
+                    cpu.dram_latency + cpu.insn_time * a.insns as u64
+                } else {
+                    SimTime::serialization(a.len as u64, cfg.dram_bytes_per_sec * 8)
+                };
+                match segments.last_mut() {
+                    Some((node, t, b, trav)) if *node == owner && *trav == a.traversal => {
+                        *t += step;
+                        *b += a.len as u64;
+                    }
+                    _ => segments.push((owner, step, a.len as u64, a.traversal)),
+                }
+            }
             // Cache+RPC: a hit in the object cache spares the object's wire
             // transfer, but the traversal still runs remotely — the index
             // itself lives in disaggregated memory, which is why the paper
@@ -571,11 +526,12 @@ fn rpc_impl(
                     response_bytes = 128;
                 }
             }
+            response_bytes += fill_wire_bytes;
             // Uncontended path time.
-            let mut traversal = SimTime::ZERO;
+            let mut traversal = prefix_time;
             let mut service = SimTime::ZERO;
             let mut bounce = SimTime::ZERO;
-            for (i, &(_, svc_time, _, is_trav)) in p.segments.iter().enumerate() {
+            for (i, &(_, svc_time, _, is_trav)) in segments.iter().enumerate() {
                 service += svc_time + cfg.request_software;
                 if i > 0 {
                     bounce += cfg.net.one_way * 2; // CPU-node bounce per hop
@@ -585,11 +541,11 @@ fn rpc_impl(
                     traversal += svc_time;
                 }
             }
-            let _ = p.crossings; // folded into the per-segment bounce
             let response_wire = SimTime::serialization(response_bytes, cfg.net.bits_per_sec);
             net_bytes += 128 + response_bytes;
             let pure = cfg.net.one_way * 2
                 + cfg.tcp_extra * 2
+                + prefix_time
                 + service
                 + bounce
                 + response_wire
@@ -600,12 +556,12 @@ fn rpc_impl(
             // initial RPC plus one re-issue per cross-node bounce — so the
             // CPU side saturates at `contexts / occupancy` issues/sec.
             let mut issued = ready;
-            for _ in 0..p.segments.len().max(1) {
-                issued = dispatch.book(issued);
+            for _ in 0..segments.len().max(1) {
+                issued = fe.book_dispatch(issued);
             }
-            let depart = issued + cfg.net.one_way; // reaches the first node
+            let depart = issued + prefix_time + cfg.net.one_way; // first node
             let mut worker_end = depart;
-            for &(node, svc_time, bytes, _) in &p.segments {
+            for &(node, svc_time, bytes, _) in &segments {
                 let w = workers[node].acquire(depart, svc_time + cfg.request_software);
                 let d = dram[node].acquire(depart, bytes);
                 mem_bytes += bytes;
@@ -628,6 +584,7 @@ fn rpc_impl(
         net_bytes,
         mem_bytes,
         cache_hit_ratio: object_cache.map(|c| c.hit_ratio()),
+        cache_hit_rate: fe.cache().map_or(0.0, |c| c.hit_rate()),
         makespan,
     }
 }

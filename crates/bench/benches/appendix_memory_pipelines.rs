@@ -81,6 +81,7 @@ fn main() {
                         state,
                         status: IterStatus::InFlight,
                         piggyback_bytes: 0,
+                        touched: Vec::new(),
                     }
                 },
                 200,

@@ -63,6 +63,7 @@ fn main() {
                     state,
                     status: IterStatus::InFlight,
                     piggyback_bytes: 0,
+                    touched: Vec::new(),
                 }
             },
             400,

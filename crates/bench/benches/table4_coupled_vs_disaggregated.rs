@@ -52,6 +52,7 @@ fn perf(org: PipelineOrg) -> (f64, f64) {
                 state,
                 status: IterStatus::InFlight,
                 piggyback_bytes: 0,
+                touched: Vec::new(),
             }
         },
         400,

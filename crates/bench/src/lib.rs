@@ -34,6 +34,22 @@ use pulse_workloads::{
 /// LegoOS's 2 MB allocations).
 pub const DEFAULT_GRANULARITY: u64 = 2 << 20;
 
+/// Keys in every sweep WebService deployment (read-only and YCSB-A/B
+/// alike) — one definition so cached, cache-less, pulse, and baseline
+/// curves all run the identical deployment by construction.
+const SWEEP_WEBSERVICE_KEYS: u64 = 6_000;
+
+/// The canonical sweep WebService deployment at a chosen mix and key
+/// distribution.
+fn sweep_webservice_cfg(workload: YcsbWorkload, dist: Distribution) -> WebServiceConfig {
+    WebServiceConfig {
+        keys: SWEEP_WEBSERVICE_KEYS,
+        workload,
+        distribution: dist,
+        ..Default::default()
+    }
+}
+
 /// A workload cell of Fig. 7/8/9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AppKind {
@@ -69,16 +85,8 @@ pub fn build_app(
     let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
     let reqs: Vec<AppRequest> = match kind {
         AppKind::WebService(workload) => {
-            let mut app = WebService::build(
-                &mut ctx,
-                WebServiceConfig {
-                    keys: 6_000,
-                    distribution: dist,
-                    workload,
-                    ..Default::default()
-                },
-            )
-            .expect("build webservice");
+            let mut app = WebService::build(&mut ctx, sweep_webservice_cfg(workload, dist))
+                .expect("build webservice");
             (0..requests).map(|_| app.next_request()).collect()
         }
         AppKind::WiredTiger => {
@@ -234,6 +242,10 @@ pub struct SweepPoint {
     /// readers/writers that lost a race). 0 for read-only curves and for
     /// the sequential replay baselines.
     pub retries: u64,
+    /// Front-end traversal-cell cache hit rate over the rung: locally
+    /// walked hops over all probes. Exactly 0.0 on every cache-disabled
+    /// curve — CI asserts both directions.
+    pub cache_hit_rate: f64,
 }
 
 impl SweepPoint {
@@ -254,6 +266,7 @@ impl SweepPoint {
             goodput_kops: rep.goodput_per_sec / 1e3,
             update_goodput_kops: rep.goodput_per_sec / 1e3 * update_fraction,
             retries: rep.retries,
+            cache_hit_rate: rep.cache_hit_rate,
         }
     }
 
@@ -331,7 +344,7 @@ impl SweepReport {
                      \"completed\":{},\"faulted\":{},\
                      \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\
                      \"goodput_kops\":{:.3},\"update_goodput_kops\":{:.3},\
-                     \"retries\":{}}}",
+                     \"retries\":{},\"cache_hit_rate\":{:.4}}}",
                     p.offered_kops,
                     p.arrived_kops,
                     p.completed,
@@ -341,7 +354,8 @@ impl SweepReport {
                     p.p99_us,
                     p.goodput_kops,
                     p.update_goodput_kops,
-                    p.retries
+                    p.retries,
+                    p.cache_hit_rate
                 )
             })
             .collect();
@@ -373,6 +387,236 @@ fn json_escape(s: &str) -> String {
 pub fn sweep_json(reports: &[SweepReport]) -> String {
     let curves: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
     format!("{{\"sweep\":[{}]}}", curves.join(","))
+}
+
+// ------------------------------------------------- sweep-schema round trip
+
+/// A minimal JSON value, just rich enough to read our own emission back.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Json::Num(v)) => Ok(*v),
+            _ => Err(format!("missing or non-numeric field {key:?}")),
+        }
+    }
+}
+
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = match self.value()? {
+                        Json::Str(s) => s,
+                        other => return Err(format!("non-string key {other:?}")),
+                    };
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        other => return Err(format!("bad object separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("bad array separator {other:?}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.bytes.get(self.pos) {
+                        None => return Err("unterminated string".into()),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            return Ok(Json::Str(s));
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.bytes.get(self.pos) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'u') => {
+                                    let hex = self
+                                        .bytes
+                                        .get(self.pos + 1..self.pos + 5)
+                                        .ok_or("truncated \\u escape")?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                        16,
+                                    )
+                                    .map_err(|e| e.to_string())?;
+                                    s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                                    self.pos += 4;
+                                }
+                                other => return Err(format!("bad escape {other:?}")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(&b) => {
+                            // Our emitter escapes all control chars, so any
+                            // raw byte here is part of a UTF-8 sequence.
+                            let start = self.pos;
+                            let mut end = self.pos + 1;
+                            if b >= 0x80 {
+                                while self.bytes.get(end).is_some_and(|&x| x & 0xC0 == 0x80) {
+                                    end += 1;
+                                }
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&self.bytes[start..end])
+                                    .map_err(|e| e.to_string())?,
+                            );
+                            self.pos = end;
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&x| {
+                    x.is_ascii_digit() || matches!(x, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|e| format!("bad number: {e}"))
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+}
+
+/// Parses a `BENCH_sweep.json` document back into [`SweepReport`]s. Every
+/// [`SweepPoint`] field must be present in every point — the schema
+/// round-trip guard that keeps new fields (like `cache_hit_rate`) from
+/// silently vanishing from the document the CI label greps inspect.
+///
+/// # Errors
+///
+/// A description of the first malformed or missing piece.
+pub fn parse_sweep_json(doc: &str) -> Result<Vec<SweepReport>, String> {
+    let mut reader = JsonReader {
+        bytes: doc.as_bytes(),
+        pos: 0,
+    };
+    let root = reader.value()?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(format!("trailing bytes at {}", reader.pos));
+    }
+    let curves = match root.get("sweep") {
+        Some(Json::Arr(curves)) => curves,
+        _ => return Err("document must be {\"sweep\": [...]}".into()),
+    };
+    curves
+        .iter()
+        .map(|curve| {
+            let label = match curve.get("label") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return Err("curve missing string \"label\"".into()),
+            };
+            let points = match curve.get("points") {
+                Some(Json::Arr(points)) => points,
+                _ => return Err(format!("curve {label:?} missing \"points\" array")),
+            };
+            let points = points
+                .iter()
+                .map(|p| {
+                    Ok(SweepPoint {
+                        offered_kops: p.num("offered_kops")?,
+                        arrived_kops: p.num("arrived_kops")?,
+                        completed: p.num("completed")? as u64,
+                        faulted: p.num("faulted")? as u64,
+                        p50_us: p.num("p50_us")?,
+                        p95_us: p.num("p95_us")?,
+                        p99_us: p.num("p99_us")?,
+                        goodput_kops: p.num("goodput_kops")?,
+                        update_goodput_kops: p.num("update_goodput_kops")?,
+                        retries: p.num("retries")? as u64,
+                        cache_hit_rate: p.num("cache_hit_rate")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()
+                .map_err(|e| format!("curve {label:?}: {e}"))?;
+            Ok(SweepReport { label, points })
+        })
+        .collect()
 }
 
 /// Runs a load ladder over one engine family: for every offered load in
@@ -441,11 +685,7 @@ pub fn pulse_app_factory(
         let (runtime, mut app): (_, Box<dyn Application>) = match kind {
             AppKind::WebService(workload) => {
                 let (runtime, app) = builder
-                    .app(WebServiceConfig {
-                        keys: 6_000,
-                        workload,
-                        ..Default::default()
-                    })
+                    .app(sweep_webservice_cfg(workload, Distribution::Zipfian))
                     .expect("wire pulse rack");
                 (runtime, Box::new(app))
             }
@@ -492,8 +732,6 @@ pub fn pulse_webservice_factory(
     )
 }
 
-/// Keys in the mixed-workload WebService deployment (YCSB-A/B).
-const YCSB_HASH_KEYS: u64 = 6_000;
 /// Keys in the mixed-workload WiredTiger deployment (YCSB-E).
 const YCSB_TREE_KEYS: u64 = 30_000;
 /// Insert-arena slab per memory node for YCSB-E structural inserts.
@@ -503,11 +741,7 @@ const YCSB_ARENA_PER_NODE: u64 = 4 << 20;
 /// the pulse and baseline factories alike so the comparison stays
 /// apples-to-apples).
 fn ycsb_hash_cfg(workload: YcsbWorkload) -> WebServiceConfig {
-    WebServiceConfig {
-        keys: YCSB_HASH_KEYS,
-        workload,
-        ..Default::default()
-    }
+    sweep_webservice_cfg(workload, Distribution::Zipfian)
 }
 
 fn ycsb_tree_cfg(nodes: usize) -> WiredTigerConfig {
@@ -589,6 +823,7 @@ pub fn pulse_ycsb_factory(
     cpus: usize,
     requests: usize,
     dispatch: DispatchConfig,
+    cache: pulse::CacheConfig,
 ) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
     assert!(
         workload != YcsbWorkload::C,
@@ -599,6 +834,7 @@ pub fn pulse_ycsb_factory(
             .nodes(nodes)
             .cpus(cpus)
             .dispatch(dispatch)
+            .cache(cache)
             .granularity(DEFAULT_GRANULARITY);
         let (mut runtime, mut driver) = ycsb_engine_and_driver(
             workload,
@@ -662,6 +898,54 @@ pub fn baseline_ycsb_factory(
     }
 }
 
+/// The cache-sensitivity counterpart of [`pulse_app_factory`]: the pulse
+/// rack over a WebService deployment with a per-CPU-node front-end cache
+/// and a caller-chosen key distribution — the (cache size × Zipf-θ) axes
+/// the "caches can't save pointer-traversals" curves sweep.
+pub fn cached_pulse_webservice_factory(
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+    dispatch: DispatchConfig,
+    cache: pulse::CacheConfig,
+    dist: Distribution,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    move || {
+        let (runtime, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .cpus(cpus)
+            .dispatch(dispatch)
+            .cache(cache)
+            .granularity(DEFAULT_GRANULARITY)
+            .app(sweep_webservice_cfg(YcsbWorkload::C, dist))
+            .expect("wire pulse rack");
+        let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
+/// Baseline counterpart of [`cached_pulse_webservice_factory`] over the
+/// identical deployment at a caller-chosen distribution; the front-end
+/// cache rides inside the baseline's own config (`RpcConfig::cache`).
+pub fn cached_baseline_webservice_factory(
+    nodes: usize,
+    kind: pulse::BaselineKind,
+    concurrency: usize,
+    requests: usize,
+    dist: Distribution,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    move || {
+        let (engine, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .window(concurrency)
+            .granularity(DEFAULT_GRANULARITY)
+            .baseline_app(kind, sweep_webservice_cfg(YcsbWorkload::C, dist))
+            .expect("wire baseline");
+        let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(engine) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
 /// Baseline counterpart of [`pulse_app_factory`], over an identical
 /// WebService deployment, behind the same [`Engine`](pulse::Engine) trait.
 /// Dispatch contention rides in the baseline's own config
@@ -679,10 +963,7 @@ pub fn baseline_webservice_factory(
             .granularity(DEFAULT_GRANULARITY)
             .baseline_app(
                 kind,
-                WebServiceConfig {
-                    keys: 6_000,
-                    ..Default::default()
-                },
+                sweep_webservice_cfg(YcsbWorkload::C, Distribution::Zipfian),
             )
             .expect("wire baseline");
         let reqs = (0..requests).map(|_| app.next_request()).collect();
@@ -706,6 +987,7 @@ mod tests {
             goodput_kops: goodput,
             update_goodput_kops: 0.0,
             retries: 0,
+            cache_hit_rate: 0.0,
         }
     }
 
@@ -793,7 +1075,8 @@ mod tests {
     #[test]
     fn ycsb_factories_execute_a_rung() {
         for w in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::E] {
-            let mut make = pulse_ycsb_factory(w, 2, 2, 60, DispatchConfig::default());
+            let mut make =
+                pulse_ycsb_factory(w, 2, 2, 60, DispatchConfig::default(), Default::default());
             let curve = sweep("probe", &[100.0], 7, &mut make).unwrap();
             let p = &curve.points[0];
             assert_eq!(p.completed + p.faulted, 60, "{w}");
@@ -814,6 +1097,100 @@ mod tests {
         assert_eq!(p.completed, 60);
         assert!(p.update_goodput_kops > 0.0);
         assert_eq!(p.retries, 0, "sequential replay never races");
+    }
+
+    /// Schema round trip: every `SweepPoint` field must survive
+    /// `sweep_json` → `parse_sweep_json` → `to_json` byte-for-byte, so a
+    /// new field (like `cache_hit_rate`) that is added to the struct but
+    /// forgotten in the emitter — or emitted but dropped by consumers —
+    /// fails here instead of silently breaking the CI label greps.
+    #[test]
+    fn sweep_json_round_trips_every_field() {
+        let curve = SweepReport {
+            label: "pulse+cache \"8-node\"".into(),
+            points: vec![
+                SweepPoint {
+                    offered_kops: 400.125,
+                    arrived_kops: 398.5,
+                    completed: 2_000,
+                    faulted: 3,
+                    p50_us: 12.5,
+                    p95_us: 80.25,
+                    p99_us: 141.875,
+                    goodput_kops: 390.75,
+                    update_goodput_kops: 97.5,
+                    retries: 17,
+                    cache_hit_rate: 0.7344,
+                },
+                point(100.0, 99.0, 80.0),
+            ],
+        };
+        let empty = SweepReport {
+            label: "empty".into(),
+            points: Vec::new(),
+        };
+        let doc = sweep_json(&[curve, empty]);
+        let parsed = parse_sweep_json(&doc).expect("own emission parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "pulse+cache \"8-node\"");
+        assert_eq!(parsed[0].points.len(), 2);
+        let p = &parsed[0].points[0];
+        assert_eq!((p.completed, p.faulted, p.retries), (2_000, 3, 17));
+        assert!((p.cache_hit_rate - 0.7344).abs() < 1e-9);
+        // Byte-for-byte: re-serializing the parse reproduces the document.
+        assert_eq!(sweep_json(&parsed), doc);
+
+        // A document missing any point field is rejected, not defaulted:
+        // that is what makes the guard bite when the emitter regresses.
+        let pruned = doc.replace(",\"cache_hit_rate\":0.7344", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("cache_hit_rate"), "{err}");
+        assert!(parse_sweep_json("{\"swoop\":[]}").is_err());
+        assert!(parse_sweep_json("not json").is_err());
+        // The real emitted file's shape, including escapes.
+        let parsed =
+            parse_sweep_json("{\"sweep\":[{\"label\":\"a\\\\b\\u0009\",\"points\":[]}]}").unwrap();
+        assert_eq!(parsed[0].label, "a\\b\t");
+    }
+
+    /// The cache-sensitivity factories execute a rung end-to-end: the
+    /// skewed pulse+cache rung reports a nonzero hit rate, the identical
+    /// cache-disabled rung reports exactly zero, and the RPC+cache side
+    /// wires up through `RpcConfig::cache`.
+    #[test]
+    fn cached_factories_report_hit_rates() {
+        let cache = pulse::CacheConfig::sized(4 << 20);
+        let run = |cache, dist| {
+            let mut make =
+                cached_pulse_webservice_factory(2, 2, 120, DispatchConfig::default(), cache, dist);
+            let curve = sweep("probe", &[100.0], 7, &mut make).unwrap();
+            curve.points[0].clone()
+        };
+        let skewed = run(cache, Distribution::Zipfian);
+        assert_eq!(skewed.completed, 120);
+        assert!(
+            skewed.cache_hit_rate > 0.0,
+            "skewed reads must hit: {skewed:?}"
+        );
+        let disabled = run(pulse::CacheConfig::disabled(), Distribution::Zipfian);
+        assert_eq!(disabled.cache_hit_rate, 0.0, "disabled is exactly zero");
+
+        let mut make = cached_baseline_webservice_factory(
+            2,
+            pulse::BaselineKind::Rpc(RpcConfig {
+                cache,
+                ..RpcConfig::rpc()
+            }),
+            8,
+            120,
+            Distribution::Zipfian,
+        );
+        let curve = sweep("probe-rpc", &[100.0], 7, &mut make).unwrap();
+        assert!(
+            curve.points[0].cache_hit_rate > 0.0,
+            "RPC front-end cache must hit on skewed reads: {:?}",
+            curve.points[0]
+        );
     }
 
     /// The new ladder factories build and execute a rung end-to-end for

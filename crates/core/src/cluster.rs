@@ -19,6 +19,7 @@
 //!   software overhead more expensive per crossing).
 
 use pulse_accel::{AccelConfig, AccelEvent, AccelOutput, Accelerator};
+use pulse_frontend::{prefix_walk, CacheConfig, CpuFrontEnd, WalkOutcome};
 use pulse_mem::{CapacityExceeded, ClusterMemory, GlobalRangeMap, NodeId, Perms, RangeTable};
 use pulse_net::{
     CodeBlob, Endpoint, IterPacket, IterStatus, Link, LinkConfig, Packet, RequestId, Route, Switch,
@@ -95,6 +96,13 @@ pub struct ClusterConfig {
     pub cpus: usize,
     /// How submissions are assigned to CPU nodes.
     pub assignment: CpuAssignment,
+    /// Per-CPU-node hot-object cache over traversal cells (see
+    /// `pulse_frontend::cache` for the coherence semantics). Disabled by
+    /// default; when enabled, every node's front end walks cached,
+    /// version-valid hops locally at [`CacheConfig::hit_ns`] and offloads
+    /// the remainder from the last cached pointer, while accelerators ship
+    /// the cells they touch back with each response (priced on the wire).
+    pub cache: CacheConfig,
 }
 
 impl Default for ClusterConfig {
@@ -110,6 +118,7 @@ impl Default for ClusterConfig {
             tcam_capacity: 4096,
             cpus: 1,
             assignment: CpuAssignment::RoundRobin,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -149,6 +158,10 @@ pub struct ClusterReport {
     /// seqlock reader/writer that lost its race) and were re-planned and
     /// re-sent by the issuing CPU node. 0 for read-only configurations.
     pub retries: u64,
+    /// Front-end cache hit rate over all CPU nodes: locally-walked hops
+    /// over all probes (hops + walks that went remote). 0.0 when the cache
+    /// is disabled.
+    pub cache_hit_rate: f64,
 }
 
 impl ClusterReport {
@@ -216,6 +229,13 @@ struct ReqState {
     /// Optimistic-concurrency re-issues consumed so far (see
     /// [`pulse_workloads::RetryPolicy`]).
     retries: u32,
+    /// Forces the next stage issue to bypass the front-end cache. Set when
+    /// a *locally* walked final stage returned the retry code: the cached
+    /// snapshot legitimately held a locked bucket (filled mid-update), and
+    /// re-walking the same coherent-but-locked lines would burn the whole
+    /// retry budget without ever observing the release. One remote attempt
+    /// refreshes the lines.
+    skip_cache_once: bool,
 }
 
 /// The pulse rack.
@@ -226,17 +246,14 @@ pub struct PulseCluster {
     accels: Vec<Accelerator>,
     switch: Switch,
     links: Vec<Link>,
-    /// One link per CPU node: the node's NIC and, because departures
-    /// serialize through it, its issue queue.
-    cpu_links: Vec<Link>,
-    /// One dispatch engine per CPU node: the serial software resource every
-    /// packet send and re-issue books before reaching the node's link.
-    dispatch: Vec<CpuDispatch>,
+    /// One front end per CPU node: the node's NIC/issue-queue link, its
+    /// serial dispatch engine, its request sequence counter, and (when
+    /// configured) its coherent traversal-cell cache — the shared
+    /// `pulse-frontend` layer all three execution engines issue through.
+    frontends: Vec<CpuFrontEnd>,
     /// Per-node DMA engines serving plain object reads/writes.
     dma: Vec<SerialResource>,
     inflight: HashMap<RequestId, ReqState>,
-    /// Per-CPU-node request sequence counters.
-    next_seq: Vec<u64>,
     /// Total submissions so far (drives the CPU-assignment policy).
     submitted: u64,
     /// The event loop (incremental: submit/step/take_completions).
@@ -285,8 +302,19 @@ impl PulseCluster {
         mem: ClusterMemory,
     ) -> Result<PulseCluster, CapacityExceeded> {
         assert!(cfg.cpus >= 1, "a rack needs at least one CPU node");
+        if let Err(msg) = cfg.cache.validate() {
+            panic!("{msg}");
+        }
         let nodes = mem.node_count();
         let switch = Switch::new(cfg.switch, GlobalRangeMap::new(&mem.all_ranges()));
+        // With a front-end cache, accelerators ship the cells they touch
+        // back with each response (the cache's fill feed, priced on the
+        // wire); without one, collection stays off and wire sizes are
+        // bit-identical to the cache-less model.
+        let accel_cfg = AccelConfig {
+            collect_touched: cfg.cache.enabled(),
+            ..cfg.accel
+        };
         let accels = (0..nodes)
             .map(|n| {
                 let ranges: Vec<(u64, u64, Perms)> = mem
@@ -295,22 +323,20 @@ impl PulseCluster {
                     .map(|&(s, e)| (s, e, Perms::RW))
                     .collect();
                 let table = RangeTable::build(cfg.tcam_capacity, &ranges)?;
-                Ok(Accelerator::new(cfg.accel, n, table))
+                Ok(Accelerator::new(accel_cfg, n, table))
             })
             .collect::<Result<Vec<_>, CapacityExceeded>>()?;
         Ok(PulseCluster {
             accels,
             switch,
             links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
-            cpu_links: (0..cfg.cpus).map(|_| Link::new(cfg.link)).collect(),
-            dispatch: (0..cfg.cpus)
-                .map(|_| CpuDispatch::new(cfg.dispatch))
+            frontends: (0..cfg.cpus)
+                .map(|_| CpuFrontEnd::new(cfg.link, cfg.dispatch, cfg.cache))
                 .collect(),
             dma: (0..nodes)
                 .map(|_| SerialResource::new(cfg.accel.timing.dram_bytes_per_sec * 8))
                 .collect(),
             inflight: HashMap::new(),
-            next_seq: vec![0; cfg.cpus],
             submitted: 0,
             drv: Driver::new(),
             done: Vec::new(),
@@ -349,18 +375,27 @@ impl PulseCluster {
 
     /// Number of CPU (compute) nodes in the rack.
     pub fn cpus(&self) -> usize {
-        self.cpu_links.len()
+        self.frontends.len()
+    }
+
+    /// Per-CPU-node front ends (link, dispatch engine, cache), indexed by
+    /// `CpuId`.
+    pub fn frontends(&self) -> &[CpuFrontEnd] {
+        &self.frontends
     }
 
     /// Per-CPU-node link views (tx/rx byte counters), indexed by `CpuId`.
-    pub fn cpu_links(&self) -> &[Link] {
-        &self.cpu_links
+    pub fn cpu_links(&self) -> Vec<&Link> {
+        self.frontends.iter().map(CpuFrontEnd::link).collect()
     }
 
     /// Per-CPU-node dispatch-engine views (ops booked, utilization),
     /// indexed by `CpuId`.
-    pub fn dispatch_engines(&self) -> &[CpuDispatch] {
-        &self.dispatch
+    pub fn dispatch_engines(&self) -> Vec<&CpuDispatch> {
+        self.frontends
+            .iter()
+            .map(CpuFrontEnd::dispatch_engine)
+            .collect()
     }
 
     /// Mints the identity the next submission will carry: the configured
@@ -372,10 +407,9 @@ impl PulseCluster {
         let cpu = self
             .cfg
             .assignment
-            .pick(self.submitted, self.cpu_links.len());
+            .pick(self.submitted, self.frontends.len());
         self.submitted += 1;
-        let seq = self.next_seq[cpu];
-        self.next_seq[cpu] = seq + 1;
+        let seq = self.frontends[cpu].mint_seq();
         RequestId { cpu, seq }
     }
 
@@ -401,12 +435,12 @@ impl PulseCluster {
             "request id {id:?} already in flight"
         );
         assert!(
-            id.cpu < self.cpu_links.len(),
+            id.cpu < self.frontends.len(),
             "request id {id:?} names CPU node {} of a {}-CPU rack",
             id.cpu,
-            self.cpu_links.len()
+            self.frontends.len()
         );
-        self.next_seq[id.cpu] = self.next_seq[id.cpu].max(id.seq + 1);
+        self.frontends[id.cpu].reserve_seq(id.seq);
         self.inflight.insert(
             id,
             ReqState {
@@ -415,6 +449,7 @@ impl PulseCluster {
                 issued_at: at,
                 last_state: None,
                 retries: 0,
+                skip_cache_once: false,
             },
         );
         self.drv.schedule_at(at, Ev::Start(id));
@@ -534,9 +569,9 @@ impl PulseCluster {
             throughput: self.completed as f64 / horizon.as_secs_f64(),
             crossings: self.crossings,
             net_bytes: self
-                .cpu_links
+                .frontends
                 .iter()
-                .map(|l| l.tx_bytes() + l.rx_bytes())
+                .map(|f| f.link().tx_bytes() + f.link().rx_bytes())
                 .sum(),
             mem_bytes,
             memory_util: self
@@ -552,72 +587,226 @@ impl PulseCluster {
                 .sum::<f64>()
                 / nodes as f64,
             dispatch_util: self
-                .dispatch
+                .frontends
                 .iter()
-                .map(|d| d.utilization(horizon))
+                .map(|f| f.dispatch_engine().utilization(horizon))
                 .sum::<f64>()
-                / self.dispatch.len() as f64,
+                / self.frontends.len() as f64,
             makespan: self.makespan,
             iterations: self.accels.iter().map(|a| a.stats().iterations).sum(),
             retries: self.retries,
+            cache_hit_rate: {
+                let (hits, misses) = self
+                    .frontends
+                    .iter()
+                    .filter_map(CpuFrontEnd::cache)
+                    .fold((0u64, 0u64), |(h, m), c| {
+                        (h + c.stats().hits, m + c.stats().misses)
+                    });
+                if hits + misses == 0 {
+                    0.0
+                } else {
+                    hits as f64 / (hits + misses) as f64
+                }
+            },
         }
     }
 
     /// Builds and transmits the current traversal stage (or object I/O) of
-    /// request `id` from the CPU node.
+    /// request `id` from the CPU node. With a front-end cache, the stage
+    /// first walks locally over cached, version-valid cells (at
+    /// `CacheConfig::hit_ns` per hop) and only the remainder — resumed from
+    /// the last cached pointer — goes on the wire; a stage that completes
+    /// entirely in cache never leaves the node.
     fn send_stage(&mut self, drv: &mut Driver<Ev>, now: SimTime, id: RequestId) {
-        let (pkt, _stage) = {
-            let st = self.inflight.get(&id).expect("inflight");
+        enum Next {
+            /// Send a packet at the given time (walk latency included).
+            Send(Packet, SimTime),
+            /// The stage completed locally after the walk: apply the same
+            /// stage-completion decision a remote `Done` would.
+            LocalDone {
+                code: u64,
+                at: SimTime,
+            },
+            Finish(SimTime),
+            Fault,
+        }
+        let next = {
+            let st = self.inflight.get_mut(&id).expect("inflight");
             if st.stage < st.req.traversals.len() {
                 let stage = &st.req.traversals[st.stage];
                 // Malformed stage wiring faults the request rather than
                 // panicking the rack (`AppRequest::validate` catches this
                 // at submit time on the runtime path).
-                let Ok(state) = stage.init_state(st.last_state.as_ref()) else {
-                    drv.schedule_at(now, Ev::Finished(id, false));
-                    return;
-                };
-                (
-                    Packet::Iter(IterPacket {
-                        id,
-                        code: CodeBlob::new(stage.program.clone()),
-                        state,
-                        status: IterStatus::InFlight,
-                        piggyback_bytes: 0,
-                    }),
-                    st.stage,
-                )
+                match stage.init_state(st.last_state.as_ref()) {
+                    Err(_) => Next::Fault,
+                    Ok(mut state) => {
+                        let mut send_at = now;
+                        let mut local_code = None;
+                        let skip = std::mem::take(&mut st.skip_cache_once);
+                        if !skip {
+                            if let Some(cache) = self.frontends[id.cpu].cache_mut() {
+                                let hit = cache.config().hit_ns;
+                                let outcome =
+                                    prefix_walk(cache, &self.mem, &stage.program, &mut state);
+                                send_at = now + hit * outcome.hops() as u64;
+                                if let WalkOutcome::Done { code, .. } = outcome {
+                                    local_code = Some(code);
+                                }
+                            }
+                        }
+                        match local_code {
+                            Some(code) => {
+                                st.last_state = Some(state);
+                                Next::LocalDone { code, at: send_at }
+                            }
+                            None => Next::Send(
+                                Packet::Iter(IterPacket {
+                                    id,
+                                    code: CodeBlob::new(stage.program.clone()),
+                                    state,
+                                    status: IterStatus::InFlight,
+                                    piggyback_bytes: 0,
+                                    touched: Vec::new(),
+                                }),
+                                send_at,
+                            ),
+                        }
+                    }
+                }
             } else if let Some(io) = st.req.object_io {
-                let Some(addr) = resolve_addr(io.addr, st.last_state.as_ref()) else {
-                    drv.schedule_at(now, Ev::Finished(id, false));
-                    return;
-                };
-                let pkt = if io.write {
-                    Packet::Write {
-                        id,
-                        addr,
-                        len: io.len,
-                    }
-                } else {
-                    Packet::Read {
-                        id,
-                        addr,
-                        len: io.len,
-                    }
-                };
-                (pkt, st.stage)
+                match resolve_addr(io.addr, st.last_state.as_ref()) {
+                    None => Next::Fault,
+                    Some(addr) => Next::Send(
+                        if io.write {
+                            Packet::Write {
+                                id,
+                                addr,
+                                len: io.len,
+                            }
+                        } else {
+                            Packet::Read {
+                                id,
+                                addr,
+                                len: io.len,
+                            }
+                        },
+                        now,
+                    ),
+                }
             } else {
                 // Nothing remote left: straight to completion.
-                let cpu_work = st.req.cpu_work;
-                drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
-                return;
+                Next::Finish(st.req.cpu_work)
             }
         };
-        // The dispatch engine first (queueing + occupancy under load), then
-        // the flat pipeline latency, then the node's NIC.
-        let depart = self.dispatch[id.cpu].book(now) + self.cfg.dispatch_overhead;
-        let arrive = self.cpu_links[id.cpu].tx(depart, pkt.wire_bytes());
-        drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
+        match next {
+            Next::Fault => drv.schedule_at(now, Ev::Finished(id, false)),
+            Next::Finish(cpu_work) => drv.schedule_at(now + cpu_work, Ev::Finished(id, true)),
+            Next::LocalDone { code, at } => self.stage_done(drv, at, id, code, false, true),
+            Next::Send(pkt, at) => {
+                // The dispatch engine first (queueing + occupancy under
+                // load), then the flat pipeline latency, then the node's
+                // NIC.
+                let fe = &mut self.frontends[id.cpu];
+                let depart = fe.book_dispatch(at) + self.cfg.dispatch_overhead;
+                let arrive = fe.tx(depart, pkt.wire_bytes());
+                drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
+            }
+        }
+    }
+
+    /// Applies a completed traversal stage's outcome for request `id`:
+    /// advance to the next stage (or object I/O), finish, or run the
+    /// bounded optimistic-concurrency retry. Shared by the remote path
+    /// (`Done` response at the CPU) and the local prefix-walk fast path;
+    /// callers store the stage's final state into `last_state` first.
+    /// `local` marks stage completions that never left the node — those
+    /// book one dispatch op when they finish the whole request, so fully
+    /// cached requests still saturate at the node's dispatch rate instead
+    /// of scaling unboundedly.
+    fn stage_done(
+        &mut self,
+        drv: &mut Driver<Ev>,
+        now: SimTime,
+        id: RequestId,
+        code: u64,
+        gathered: bool,
+        local: bool,
+    ) {
+        enum Next {
+            Advance,
+            Finish(SimTime),
+            Retry,
+            Exhausted,
+        }
+        let decision = {
+            let st = self.inflight.get_mut(&id).expect("inflight");
+            st.stage += 1;
+            let more_traversals = st.stage < st.req.traversals.len();
+            // A final-stage RETURN carrying the request's retry code is a
+            // lost optimistic-concurrency race: the CPU node re-plans from
+            // stage 0 (fresh init()), bounded by the policy so a
+            // livelocked key surfaces as a fault instead of spinning
+            // forever.
+            let raced = !more_traversals && st.req.retry.is_some_and(|rp| code == rp.code);
+            if raced {
+                let rp = st.req.retry.expect("raced implies policy");
+                if st.retries < rp.max {
+                    st.retries += 1;
+                    st.stage = 0;
+                    st.last_state = None;
+                    // A cached walk that observed a locked bucket would
+                    // re-observe the same coherent snapshot forever; force
+                    // one remote attempt to refresh it.
+                    if local {
+                        st.skip_cache_once = true;
+                    }
+                    Next::Retry
+                } else {
+                    Next::Exhausted
+                }
+            } else {
+                let needs_io = st.req.object_io.is_some() && !gathered;
+                if more_traversals || needs_io {
+                    Next::Advance
+                } else {
+                    Next::Finish(st.req.cpu_work)
+                }
+            }
+        };
+        match decision {
+            Next::Advance => self.send_stage(drv, now, id),
+            Next::Finish(cpu_work) => {
+                let done_at = if local {
+                    self.frontends[id.cpu].book_dispatch(now)
+                } else {
+                    now
+                };
+                drv.schedule_at(done_at + cpu_work, Ev::Finished(id, true));
+            }
+            Next::Retry => {
+                self.retries += 1;
+                // Re-planning costs the re-issue software path; the
+                // subsequent Start books the dispatch engine like any
+                // send.
+                drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
+            }
+            Next::Exhausted => drv.schedule_at(now, Ev::Finished(id, false)),
+        }
+    }
+
+    /// Fills the issuing CPU node's front-end cache from the traversal
+    /// cells a response shipped back. No-op without a cache (the list is
+    /// then always empty by construction).
+    fn fill_cache(&mut self, cpu: usize, touched: &[(u64, u32)]) {
+        if touched.is_empty() {
+            return;
+        }
+        if let Some(cache) = self.frontends[cpu].cache_mut() {
+            for &(addr, len) in touched {
+                cache.fill_range(addr, len as u64, &mut self.mem);
+            }
+        }
     }
 
     fn at_switch(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet, from: Endpoint) {
@@ -641,7 +830,7 @@ impl PulseCluster {
                     Endpoint::Mem(n) => drv.schedule_at(arrive, Ev::AtMem(n, pkt)),
                     Endpoint::Cpu(c) => {
                         // Count bytes entering that CPU's link (rx side).
-                        let arrive = self.cpu_links[c].rx(egress_done, pkt.wire_bytes());
+                        let arrive = self.frontends[c].rx(egress_done, pkt.wire_bytes());
                         drv.schedule_at(arrive, Ev::AtCpu(pkt));
                     }
                 }
@@ -656,7 +845,7 @@ impl PulseCluster {
                 // Both arms charge the CPU link at the packet's full wire
                 // size, matching the switch's egress-port charge in
                 // `forward` (a flat 128 B under-charge before this fix).
-                let arrive = self.cpu_links[cpu].rx(egress_done, pkt.wire_bytes());
+                let arrive = self.frontends[cpu].rx(egress_done, pkt.wire_bytes());
                 match pkt {
                     Packet::Iter(mut ip) => {
                         ip.status = IterStatus::Faulted {
@@ -761,65 +950,28 @@ impl PulseCluster {
             Packet::Iter(ip) => match ip.status {
                 IterStatus::Done { code } => {
                     let gathered = ip.piggyback_bytes > 0;
-                    enum Next {
-                        Advance,
-                        Finish(SimTime),
-                        Retry,
-                        Exhausted,
-                    }
-                    let decision = {
-                        let st = self.inflight.get_mut(&id).expect("inflight");
-                        st.last_state = Some(ip.state);
-                        st.stage += 1;
-                        let more_traversals = st.stage < st.req.traversals.len();
-                        // A final-stage RETURN carrying the request's retry
-                        // code is a lost optimistic-concurrency race: the
-                        // CPU node re-plans from stage 0 (fresh init()),
-                        // bounded by the policy so a livelocked key
-                        // surfaces as a fault instead of spinning forever.
-                        let raced =
-                            !more_traversals && st.req.retry.is_some_and(|rp| code == rp.code);
-                        if raced {
-                            let rp = st.req.retry.expect("raced implies policy");
-                            if st.retries < rp.max {
-                                st.retries += 1;
-                                st.stage = 0;
-                                st.last_state = None;
-                                Next::Retry
-                            } else {
-                                Next::Exhausted
-                            }
-                        } else {
-                            let needs_io = st.req.object_io.is_some() && !gathered;
-                            if more_traversals || needs_io {
-                                Next::Advance
-                            } else {
-                                Next::Finish(st.req.cpu_work)
-                            }
-                        }
-                    };
-                    match decision {
-                        Next::Advance => self.send_stage(drv, now, id),
-                        Next::Finish(cpu_work) => {
-                            drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
-                        }
-                        Next::Retry => {
-                            self.retries += 1;
-                            // Re-planning costs the re-issue software path;
-                            // the subsequent Start books the dispatch
-                            // engine like any send.
-                            drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
-                        }
-                        Next::Exhausted => drv.schedule_at(now, Ev::Finished(id, false)),
-                    }
+                    // Consume the fill payload: the traversal cells the
+                    // accelerators shipped back land in this node's cache
+                    // (empty and free without one).
+                    self.fill_cache(id.cpu, &ip.touched);
+                    let st = self.inflight.get_mut(&id).expect("inflight");
+                    st.last_state = Some(ip.state);
+                    self.stage_done(drv, now, id, code, gathered, false);
                 }
                 IterStatus::InFlight => {
                     // pulse-acc bounce: the owning CPU re-issues toward the
                     // right node; the switch will route it by cur_ptr. The
                     // re-issue occupies the dispatch engine like any send.
-                    let depart = self.dispatch[id.cpu].book(now) + self.cfg.reissue_overhead;
+                    // Cells touched so far fill the cache here and are
+                    // cleared so the re-issued packet does not re-ship
+                    // them.
+                    self.fill_cache(id.cpu, &ip.touched);
+                    let mut ip = ip;
+                    ip.touched.clear();
+                    let fe = &mut self.frontends[id.cpu];
+                    let depart = fe.book_dispatch(now) + self.cfg.reissue_overhead;
                     let wire = Packet::Iter(ip.clone()).wire_bytes();
-                    let arrive = self.cpu_links[id.cpu].tx(depart, wire);
+                    let arrive = fe.tx(depart, wire);
                     drv.schedule_at(
                         arrive,
                         Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(id.cpu)),
@@ -827,12 +979,15 @@ impl PulseCluster {
                 }
                 IterStatus::IterLimit => {
                     // Continuation: fresh budget, same state (§3).
+                    self.fill_cache(id.cpu, &ip.touched);
                     let mut ip = ip;
+                    ip.touched.clear();
                     ip.status = IterStatus::InFlight;
                     ip.state.iters_done = 0;
-                    let depart = self.dispatch[id.cpu].book(now) + self.cfg.reissue_overhead;
+                    let fe = &mut self.frontends[id.cpu];
+                    let depart = fe.book_dispatch(now) + self.cfg.reissue_overhead;
                     let wire = Packet::Iter(ip.clone()).wire_bytes();
-                    let arrive = self.cpu_links[id.cpu].tx(depart, wire);
+                    let arrive = fe.tx(depart, wire);
                     drv.schedule_at(
                         arrive,
                         Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(id.cpu)),

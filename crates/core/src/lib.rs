@@ -41,6 +41,22 @@
 //! bit-for-bit; `tests/runtime_api.rs` guards that equivalence against
 //! golden trace numbers.
 //!
+//! # CPU-node front end and hot-object cache
+//!
+//! Each CPU node's issue path — link, dispatch engine, sequence counter —
+//! is the shared [`CpuFrontEnd`] layer (`pulse-frontend`), the same state
+//! the replay baselines issue through. [`ClusterConfig::cache`] threads a
+//! coherent traversal-cell cache into it: when enabled, each stage first
+//! walks cached, version-valid cells locally at [`CacheConfig::hit_ns`]
+//! per hop and only the remainder is offloaded, resumed from the last
+//! cached pointer; accelerators then ship the cells they touched back
+//! with the response (priced on the wire) to fill the cache. Hits are
+//! version-validated against the rack memory's write epoch, so the
+//! seqlock write path ages out stale lines instead of serving wrong
+//! values — see the `pulse_frontend::cache` module docs for the exact
+//! coherence semantics. Disabled (the default), the rack is bit-identical
+//! to the cache-less model, guarded by the same golden-trace tests.
+//!
 //! # Examples
 //!
 //! The incremental API the `pulse::Runtime` façade drives (applications
@@ -88,4 +104,5 @@ pub use cluster::{
     ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
 };
 pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};
+pub use pulse_frontend::{CacheConfig, CacheStats, CpuFrontEnd, TraversalCache};
 pub use pulse_sim::{CpuDispatch, DispatchConfig};

@@ -1,6 +1,7 @@
-//! An O(1) LRU set over u64 keys (page numbers / object ids), built on an
-//! intrusive doubly-linked slab. Backs both the Fastswap page cache and the
-//! AIFM object cache.
+//! An O(1) LRU set over u64 keys (cache-line indices, page numbers, object
+//! ids), built on an intrusive doubly-linked slab. Backs the front-end's
+//! [`TraversalCache`](crate::TraversalCache) as well as the Fastswap page
+//! cache and the AIFM object cache in `pulse-baselines`.
 
 use std::collections::HashMap;
 
@@ -18,7 +19,7 @@ struct Slot {
 /// # Examples
 ///
 /// ```
-/// use pulse_baselines::LruSet;
+/// use pulse_frontend::LruSet;
 ///
 /// let mut lru = LruSet::new(2);
 /// assert!(!lru.touch(1)); // miss, inserted

@@ -3,7 +3,12 @@
 
 use crate::extent::{Extent, NodeId, Perms};
 use pulse_isa::{MemBus, MemFault};
+use std::collections::HashMap;
 use std::fmt;
+
+/// Granularity at which [`ClusterMemory`] stamps write versions (bytes).
+/// Fine enough that any cache-line size ≥ 8 B validates exactly.
+pub const VERSION_GRANULE_BYTES: u64 = 64;
 
 /// Errors raised when shaping the address space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +69,12 @@ pub struct ClusterMemory {
     /// Extents sorted by start address.
     extents: Vec<Extent>,
     node_count: usize,
+    /// Monotone counter bumped by every successful write — the coherence
+    /// clock CPU-node caches validate against.
+    write_epoch: u64,
+    /// Last-write epoch per [`VERSION_GRANULE_BYTES`]-aligned granule.
+    /// Granules never written are implicitly version 0.
+    granule_versions: HashMap<u64, u64>,
 }
 
 impl ClusterMemory {
@@ -77,7 +88,32 @@ impl ClusterMemory {
         ClusterMemory {
             extents: Vec::new(),
             node_count,
+            write_epoch: 0,
+            granule_versions: HashMap::new(),
         }
+    }
+
+    /// The current write epoch: the number of writes the rack memory has
+    /// absorbed so far. A cache line filled at epoch `e` is coherent as
+    /// long as [`ClusterMemory::version_of`] over its byte range stays
+    /// `<= e` — the seqlock write path (every `STORE`/`CAS` of a locked
+    /// update) bumps the touched granules past `e`, aging the line out.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// The newest write epoch stamped on any granule intersecting
+    /// `[addr, addr + len)` (0 if the range was never written).
+    pub fn version_of(&self, addr: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = addr / VERSION_GRANULE_BYTES;
+        let last = (addr + len - 1) / VERSION_GRANULE_BYTES;
+        (first..=last)
+            .filter_map(|g| self.granule_versions.get(&g).copied())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of memory nodes.
@@ -217,6 +253,15 @@ impl ClusterMemory {
         let e = self.access(addr, data.len(), true, node)?;
         let off = (addr - e.start) as usize;
         e.data[off..off + data.len()].copy_from_slice(data);
+        // Stamp the coherence clock: every granule this write touches now
+        // carries a version newer than any cache line filled before it.
+        self.write_epoch += 1;
+        let epoch = self.write_epoch;
+        let first = addr / VERSION_GRANULE_BYTES;
+        let last = (addr + data.len().max(1) as u64 - 1) / VERSION_GRANULE_BYTES;
+        for g in first..=last {
+            self.granule_versions.insert(g, epoch);
+        }
         Ok(())
     }
 }
@@ -357,5 +402,36 @@ mod tests {
     #[should_panic(expected = "at least one memory node")]
     fn zero_nodes_panics() {
         let _ = ClusterMemory::new(0);
+    }
+
+    #[test]
+    fn write_versions_advance_per_touched_granule() {
+        let mut m = two_node_mem();
+        assert_eq!(m.write_epoch(), 0);
+        assert_eq!(m.version_of(0x1000, 64), 0, "never-written range");
+
+        m.write_word(0x1008, 1, 8).unwrap();
+        let e1 = m.write_epoch();
+        assert!(e1 >= 1);
+        assert_eq!(m.version_of(0x1000, 64), e1, "granule stamped");
+        assert_eq!(m.version_of(0x1040, 64), 0, "neighbor untouched");
+
+        // A snapshot taken now stays valid until the next overlapping write.
+        let snapshot = m.write_epoch();
+        m.write_word(0x2000, 2, 8).unwrap();
+        assert!(m.version_of(0x1000, 64) <= snapshot, "disjoint write");
+        m.write_word(0x1000, 3, 8).unwrap();
+        assert!(m.version_of(0x1000, 64) > snapshot, "overlap invalidates");
+
+        // A write spanning two granules stamps both.
+        let before = m.write_epoch();
+        let buf = [0u8; 16];
+        m.write(0x1078, &buf).unwrap();
+        assert!(m.version_of(0x1040, 8) > before);
+        assert!(m.version_of(0x1080, 8) > before);
+        // Failed writes stamp nothing.
+        let epoch = m.write_epoch();
+        assert!(m.write(0x5000, &buf).is_err());
+        assert_eq!(m.write_epoch(), epoch);
     }
 }

@@ -46,6 +46,6 @@ mod extent;
 mod xlate;
 
 pub use alloc::{ClusterAllocator, Placement, VA_BASE};
-pub use cluster::{ClusterMemory, LocalBus, MemError};
+pub use cluster::{ClusterMemory, LocalBus, MemError, VERSION_GRANULE_BYTES};
 pub use extent::{Extent, NodeId, Perms};
 pub use xlate::{CapacityExceeded, GlobalRangeMap, RangeEntry, RangeTable};

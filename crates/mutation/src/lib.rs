@@ -51,6 +51,21 @@
 //! the locate traversal, and the entry's wire/DMA write — the same
 //! resources a real CPU-side insert would occupy.
 //!
+//! ## Interaction with the CPU-node front-end cache
+//!
+//! When the rack runs with a `pulse-frontend` traversal-cell cache, a
+//! verified read whose bucket cells are all resident *and* version-valid
+//! (every hit is re-validated against the rack memory's per-line write
+//! epoch) executes entirely at the CPU node — the seqlock version check
+//! then runs against a coherent snapshot, so it can never observe torn
+//! data. Every `STORE`/`CAS` a locked update lands bumps the touched
+//! lines' write epochs, aging the reader-side lines out: the next cached
+//! walk misses, goes remote, and refills with the new value. A cached
+//! walk that observes a *locked* bucket (filled mid-update) retries with
+//! the cache bypassed once, so it re-observes memory instead of spinning
+//! on the same coherent-but-locked snapshot. Writers themselves never
+//! execute from cache — the cache bus refuses stores.
+//!
 //! ## Known model limits
 //!
 //! The simulation applies host-side inserts when the request stream is

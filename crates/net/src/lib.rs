@@ -42,7 +42,7 @@ mod wire;
 pub use link::{Link, LinkConfig};
 pub use packet::{
     CodeBlob, CpuId, Endpoint, IterPacket, IterStatus, Packet, RequestId, FRAME_HEADER_BYTES,
-    PULSE_HEADER_BYTES,
+    PULSE_HEADER_BYTES, TOUCHED_DESCRIPTOR_BYTES,
 };
 pub use retx::{Delivery, RetxTracker};
 pub use switch::{Route, Switch, SwitchConfig};

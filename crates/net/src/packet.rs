@@ -124,6 +124,27 @@ pub struct IterPacket {
     /// Extra payload gathered near memory and carried by this packet
     /// (e.g. WebService's 8 KiB object riding the final response).
     pub piggyback_bytes: u32,
+    /// Traversal cells (window fetch ranges) the accelerators touched
+    /// while executing this packet — the fill payload a CPU-node cache
+    /// consumes. Only populated when the rack runs with a front-end cache
+    /// (`AccelConfig::collect_touched`); always empty otherwise, so
+    /// cache-less configurations keep their exact wire sizes. Each entry
+    /// rides the wire as a 12-byte descriptor (address + length) plus the
+    /// cell bytes.
+    pub touched: Vec<(u64, u32)>,
+}
+
+/// Wire bytes per touched-cell descriptor (u64 address + u32 length).
+pub const TOUCHED_DESCRIPTOR_BYTES: usize = 12;
+
+impl IterPacket {
+    /// Wire bytes the touched-cell fill payload adds to this packet.
+    pub fn touched_wire_bytes(&self) -> usize {
+        self.touched
+            .iter()
+            .map(|&(_, len)| TOUCHED_DESCRIPTOR_BYTES + len as usize)
+            .sum()
+    }
 }
 
 /// Everything that can cross the rack network.
@@ -180,8 +201,12 @@ impl Packet {
         let payload = match self {
             Packet::Iter(p) => {
                 // scratch-length word + scratch + status-aux word + code
-                // (+ any gathered object payload).
-                p.code.wire_len() + p.state.scratch.len() + 16 + p.piggyback_bytes as usize
+                // (+ any gathered object payload + any cache-fill cells).
+                p.code.wire_len()
+                    + p.state.scratch.len()
+                    + 16
+                    + p.piggyback_bytes as usize
+                    + p.touched_wire_bytes()
             }
             Packet::Read { .. } => 12,
             Packet::ReadReply { len, .. } => *len as usize,
@@ -227,6 +252,7 @@ mod tests {
             code,
             status,
             piggyback_bytes: 0,
+            touched: Vec::new(),
         })
     }
 

@@ -8,9 +8,9 @@
 //! exercised by property tests; [`Packet::wire_bytes`] and
 //! [`encode_packet`]'s output length agree by construction.
 
-#[cfg(test)]
-use crate::packet::PULSE_HEADER_BYTES;
 use crate::packet::{CodeBlob, IterPacket, IterStatus, Packet, RequestId, FRAME_HEADER_BYTES};
+#[cfg(test)]
+use crate::packet::{PULSE_HEADER_BYTES, TOUCHED_DESCRIPTOR_BYTES};
 use bytes::{Buf, BufMut, BytesMut};
 use pulse_isa::{decode_program, encode_program, IterState, MemFault};
 use std::fmt;
@@ -80,11 +80,19 @@ pub fn encode_packet(pkt: &Packet) -> Vec<u8> {
             buf.put_u64_le(p.state.cur_ptr);
             buf.put_u32_le(p.state.iters_done);
             buf.put_u32_le(p.piggyback_bytes);
-            buf.put_u32_le(0); // reserved
-                               // Payload: scratch len + scratch + status aux + code.
+            buf.put_u32_le(p.touched.len() as u32); // cache-fill cell count
+                                                    // Payload: scratch len + scratch + status aux
+                                                    // + fill cells + code + piggyback.
             buf.put_u64_le(p.state.scratch.len() as u64);
             buf.put_slice(&p.state.scratch);
             buf.put_u64_le(aux);
+            // Cache-fill cells: 12-byte descriptor (addr + length) plus the
+            // cell bytes (zero-filled stand-in, like the piggyback).
+            for &(addr, len) in &p.touched {
+                buf.put_u64_le(addr);
+                buf.put_u32_le(len);
+                buf.put_bytes(0, len as usize);
+            }
             buf.put_slice(&encode_program(p.code.program()));
             // Piggybacked object bytes (zero-filled payload stand-in).
             buf.put_bytes(0, p.piggyback_bytes as usize);
@@ -183,6 +191,16 @@ pub fn decode_packet(bytes: &[u8]) -> Result<Packet, WireError> {
             let scratch_len = r.u64()? as usize;
             let scratch = r.bytes(scratch_len)?;
             let aux64 = r.u64()?;
+            // Cache-fill cells (count carried in the header's last word).
+            // Capacity is clamped: the count is untrusted wire input, and
+            // a lying header must hit Truncated below, not pre-allocate.
+            let mut touched = Vec::with_capacity(aux.min(1024) as usize);
+            for _ in 0..aux {
+                let cell_addr = r.u64()?;
+                let cell_len = r.u32()?;
+                r.skip(cell_len as usize)?;
+                touched.push((cell_addr, cell_len));
+            }
             // The program consumes the remainder minus the piggyback tail.
             let rest = r.0;
             if rest.len() < piggyback as usize {
@@ -216,6 +234,7 @@ pub fn decode_packet(bytes: &[u8]) -> Result<Packet, WireError> {
                 },
                 status,
                 piggyback_bytes: piggyback,
+                touched,
             }))
         }
         KIND_READ => Ok(Packet::Read { id, addr, len: aux }),
@@ -251,6 +270,7 @@ mod tests {
             },
             status,
             piggyback_bytes: piggyback,
+            touched: Vec::new(),
         })
     }
 
@@ -281,11 +301,45 @@ mod tests {
         }
     }
 
+    /// The cache-fill payload survives the byte codec: descriptors round
+    /// trip, cell bytes are priced, and the encoded length still equals
+    /// `wire_bytes` — the invariant the link model depends on.
+    #[test]
+    fn touched_cells_roundtrip_and_are_priced() {
+        let mut pkt = sample_iter(IterStatus::Done { code: 0 }, &[2u8; 32], 64);
+        let touched = vec![(0x1000u64, 24u32), (0x2040, 64), (0x9F00, 8)];
+        if let Packet::Iter(p) = &mut pkt {
+            p.touched = touched.clone();
+        }
+        let bytes = encode_packet(&pkt);
+        assert_eq!(bytes.len() as u64, pkt.wire_bytes());
+        let Packet::Iter(back) = decode_packet(&bytes).unwrap() else {
+            panic!()
+        };
+        assert_eq!(back.touched, touched);
+        assert_eq!(back.piggyback_bytes, 64);
+        assert_eq!(back.state.scratch, vec![2u8; 32]);
+        // An empty list costs nothing extra over the cache-less form.
+        let empty = sample_iter(IterStatus::Done { code: 0 }, &[2u8; 32], 64);
+        assert_eq!(
+            pkt.wire_bytes() - empty.wire_bytes(),
+            touched
+                .iter()
+                .map(|&(_, l)| (TOUCHED_DESCRIPTOR_BYTES + l as usize) as u64)
+                .sum::<u64>()
+        );
+    }
+
     #[test]
     fn encoded_length_matches_wire_bytes() {
+        let mut cached = sample_iter(IterStatus::Done { code: 1 }, &[3u8; 16], 0);
+        if let Packet::Iter(p) = &mut cached {
+            p.touched = vec![(0x500, 24)];
+        }
         let cases = [
             sample_iter(IterStatus::InFlight, &[0u8; 16], 0),
             sample_iter(IterStatus::Done { code: 0 }, &[1u8; 48], 8192),
+            cached,
             Packet::Read {
                 id: RequestId { cpu: 0, seq: 1 },
                 addr: 0x1000,

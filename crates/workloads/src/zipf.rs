@@ -123,21 +123,38 @@ impl KeyChooser for ZipfianChooser {
     }
 }
 
-/// Which distribution an experiment uses (the paper sweeps both).
+/// Which distribution an experiment uses (the paper sweeps both; the
+/// cache-sensitivity curves additionally sweep the skew itself).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Distribution {
     /// YCSB scrambled Zipfian, θ = 0.99.
     Zipfian,
     /// Uniform.
     Uniform,
+    /// Scrambled Zipfian at a caller-chosen skew, θ = `milli`/1000 —
+    /// fixed-point so the enum stays `Eq`/`Copy`. `ZipfianTheta { milli:
+    /// 990 }` is [`Distribution::Zipfian`]; small values approach
+    /// uniform. Must satisfy `milli < 1000`.
+    ZipfianTheta {
+        /// θ in thousandths, in `[0, 1000)`.
+        milli: u16,
+    },
 }
 
 impl Distribution {
     /// Instantiates a chooser over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Distribution::ZipfianTheta`] skew is out of range
+    /// (θ must be below 1).
     pub fn chooser(self, n: u64) -> Box<dyn KeyChooser> {
         match self {
             Distribution::Zipfian => Box::new(ZipfianChooser::scrambled(n)),
             Distribution::Uniform => Box::new(UniformChooser::new(n)),
+            Distribution::ZipfianTheta { milli } => {
+                Box::new(ZipfianChooser::with_theta(n, milli as f64 / 1000.0, true))
+            }
         }
     }
 }
@@ -222,6 +239,95 @@ mod tests {
         };
         assert_eq!(draw(7), draw(7));
         assert_ne!(draw(7), draw(8));
+    }
+
+    /// θ→0 must approach the uniform distribution: over `k` buckets, a
+    /// chi-square-ish statistic `Σ (obs - exp)² / exp` stays under a bound
+    /// a genuinely skewed draw would blow through — multi-seed, so no
+    /// particular seed is load-bearing. The cache-sensitivity curves lean
+    /// on this end of the θ axis to show where caching stops helping.
+    #[test]
+    fn near_zero_theta_approaches_uniform() {
+        let buckets = 20usize;
+        let total = 60_000u64;
+        let exp = total as f64 / buckets as f64;
+        let mut seeds = pulse_sim::SplitMix64::new(0xCAFE);
+        for _ in 0..6 {
+            let seed = seeds.next_u64();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = ZipfianChooser::with_theta(1000, 0.05, false);
+            let mut counts = vec![0u64; buckets];
+            for _ in 0..total {
+                counts[(c.next_key(&mut rng) * buckets as u64 / 1000) as usize] += 1;
+            }
+            let chi2: f64 = counts
+                .iter()
+                .map(|&o| {
+                    let d = o as f64 - exp;
+                    d * d / exp
+                })
+                .sum();
+            // df = 19; the 99.9th percentile of χ²(19) is ~43.8. θ=0.05
+            // retains a whiff of skew, so allow generous headroom — a
+            // θ=0.99 draw scores in the tens of thousands here.
+            assert!(chi2 < 400.0, "seed {seed:#x}: chi2 {chi2}");
+        }
+        // The same machinery through the Distribution enum.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = Distribution::ZipfianTheta { milli: 50 }.chooser(257);
+        for _ in 0..1_000 {
+            assert!(c.next_key(&mut rng) < 257);
+        }
+    }
+
+    /// Rising θ concentrates mass: the unscrambled top-10 share must grow
+    /// strictly along a θ ladder and exceed 60% by θ = 0.999 — multi-seed
+    /// deterministic. The skewed end is what gives the front-end cache its
+    /// hits.
+    #[test]
+    fn high_theta_concentrates_mass() {
+        let mut seeds = pulse_sim::SplitMix64::new(0xBEEF);
+        for _ in 0..4 {
+            let seed = seeds.next_u64();
+            let head_frac = |theta: f64| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut c = ZipfianChooser::with_theta(1000, theta, false);
+                let total = 40_000;
+                (0..total).filter(|_| c.next_key(&mut rng) < 10).count() as f64 / total as f64
+            };
+            let low = head_frac(0.2);
+            let mid = head_frac(0.6);
+            let high = head_frac(0.99);
+            let extreme = head_frac(0.999);
+            assert!(
+                low < mid && mid < high && high < extreme,
+                "seed {seed:#x}: head mass must grow with theta: \
+                 {low} {mid} {high} {extreme}"
+            );
+            assert!(low < 0.10, "seed {seed:#x}: near-uniform head {low}");
+            assert!(extreme > 0.40, "seed {seed:#x}: extreme head {extreme}");
+        }
+    }
+
+    #[test]
+    fn theta_ladder_is_deterministic_per_seed() {
+        let draw = |milli: u16, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = Distribution::ZipfianTheta { milli }.chooser(500);
+            (0..64).map(|_| c.next_key(&mut rng)).collect::<Vec<_>>()
+        };
+        for milli in [50, 500, 990] {
+            assert_eq!(draw(milli, 7), draw(milli, 7), "milli {milli}");
+        }
+        assert_eq!(
+            draw(990, 7),
+            {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut c = Distribution::Zipfian.chooser(500);
+                (0..64).map(|_| c.next_key(&mut rng)).collect::<Vec<_>>()
+            },
+            "milli=990 is the YCSB default"
+        );
     }
 
     /// Zipfian skew holds across many seed cases (SplitMix64 case loop):

@@ -3,7 +3,7 @@
 //! CPU-side saturation and full workload coverage.
 //!
 //! A Poisson [`ArrivalProcess`] feeds `Runtime::submit_at` through the
-//! `pulse-bench` `sweep()` ladder. Nine curves run the identical arrival
+//! `pulse-bench` `sweep()` ladder. Twelve curves run the identical arrival
 //! schedule:
 //!
 //! * **pulse** — the rack (2 memory nodes, 2 CPU nodes) over WebService,
@@ -17,7 +17,15 @@
 //! * **pulse-ycsb-e** — the B+Tree mix: staged scans plus host-path
 //!   structural inserts,
 //! * **RPC-ycsb-a** — the RPC baseline under the same mixed stream, so
-//!   the pulse-vs-RPC comparison covers the write path too.
+//!   the pulse-vs-RPC comparison covers the write path too,
+//! * **pulse+cache** / **RPC+cache** — the skewed read-only WebService
+//!   deployment with a coherent front-end cache at every CPU node
+//!   (`CacheConfig`): cached hops walk locally, misses offload from the
+//!   last cached pointer, every hit is version-validated,
+//! * **pulse-ycsb-a+cache** — the same cache under the write-heavy mix,
+//!   where invalidation-on-update collapses the benefit — the paper's
+//!   "caches can't save pointer-traversals" claim, measured instead of
+//!   asserted (a cache-size × Zipf-θ grid prints alongside).
 //!
 //! Every engine runs the same contended dispatch model: each CPU node's
 //! issue path is a serial engine (`DISPATCH_OCCUPANCY` per packet on
@@ -33,15 +41,17 @@
 //! cargo run --release --example latency_sweep -- --requests 300 --loads 20,60,120
 //! ```
 //!
-//! The run writes all nine curves to `BENCH_sweep.json`; CI greps that
-//! file for every expected label.
+//! The run writes all twelve curves to `BENCH_sweep.json`; CI greps that
+//! file for every expected label and checks the cache-hit-rate invariants.
 
 use pulse::baselines::{RpcConfig, SwapConfig};
 use pulse::sim::SimTime;
-use pulse::{BaselineKind, DispatchConfig, YcsbWorkload};
+use pulse::workloads::Distribution;
+use pulse::{BaselineKind, CacheConfig, DispatchConfig, YcsbWorkload};
 use pulse_bench::{
-    baseline_webservice_factory, baseline_ycsb_factory, pulse_app_factory, pulse_ycsb_factory,
-    sweep, sweep_json, AppKind, SweepReport,
+    baseline_webservice_factory, baseline_ycsb_factory, cached_baseline_webservice_factory,
+    cached_pulse_webservice_factory, pulse_app_factory, pulse_ycsb_factory, sweep, sweep_json,
+    AppKind, SweepReport,
 };
 
 const NODES: usize = 2;
@@ -54,6 +64,8 @@ const SLO_P99_US: f64 = 150.0;
 const DISPATCH_OCCUPANCY: SimTime = SimTime::from_nanos(1_000);
 /// Dispatch contexts per CPU node.
 const DISPATCH_CONTEXTS: usize = 2;
+/// Front-end cache capacity for the `+cache` curves (per CPU node).
+const CACHE_BYTES: u64 = 4 << 20;
 
 fn main() -> Result<(), pulse::Error> {
     let (loads_kops, requests) = parse_args();
@@ -126,19 +138,40 @@ fn main() -> Result<(), pulse::Error> {
             "pulse-ycsb-a",
             &loads_kops,
             SEED,
-            pulse_ycsb_factory(YcsbWorkload::A, NODES, CPUS, requests, dispatch),
+            pulse_ycsb_factory(
+                YcsbWorkload::A,
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                CacheConfig::disabled(),
+            ),
         )?,
         sweep(
             "pulse-ycsb-b",
             &loads_kops,
             SEED,
-            pulse_ycsb_factory(YcsbWorkload::B, NODES, CPUS, requests, dispatch),
+            pulse_ycsb_factory(
+                YcsbWorkload::B,
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                CacheConfig::disabled(),
+            ),
         )?,
         sweep(
             "pulse-ycsb-e",
             &loads_kops,
             SEED,
-            pulse_ycsb_factory(YcsbWorkload::E, NODES, CPUS, requests, dispatch),
+            pulse_ycsb_factory(
+                YcsbWorkload::E,
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                CacheConfig::disabled(),
+            ),
         )?,
         sweep(
             "RPC-ycsb-a",
@@ -153,6 +186,52 @@ fn main() -> Result<(), pulse::Error> {
                 }),
                 BASELINE_CLIENTS,
                 requests,
+            ),
+        )?,
+        // The cache-sensitivity curves: the same skewed WebService
+        // deployment with a coherent front-end cache at every CPU node
+        // (pulse and RPC), plus the write-heavy YCSB-A mix with the same
+        // cache — where invalidation-on-update collapses the benefit.
+        sweep(
+            "pulse+cache",
+            &loads_kops,
+            SEED,
+            cached_pulse_webservice_factory(
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                CacheConfig::sized(CACHE_BYTES),
+                Distribution::Zipfian,
+            ),
+        )?,
+        sweep(
+            "RPC+cache",
+            &loads_kops,
+            SEED,
+            cached_baseline_webservice_factory(
+                NODES,
+                BaselineKind::Rpc(RpcConfig {
+                    dispatch,
+                    cache: CacheConfig::sized(CACHE_BYTES),
+                    ..RpcConfig::rpc()
+                }),
+                BASELINE_CLIENTS,
+                requests,
+                Distribution::Zipfian,
+            ),
+        )?,
+        sweep(
+            "pulse-ycsb-a+cache",
+            &loads_kops,
+            SEED,
+            pulse_ycsb_factory(
+                YcsbWorkload::A,
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                CacheConfig::sized(CACHE_BYTES),
             ),
         )?,
     ];
@@ -203,6 +282,86 @@ fn main() -> Result<(), pulse::Error> {
         "a zipfian 50%-update mix under load must race at least once"
     );
 
+    // The cache claims, measured: every cache-disabled curve reports a hit
+    // rate of exactly zero; the skewed read-only pulse+cache curve hits on
+    // every rung; and the write-heavy mix ages lines out fast enough that
+    // its hit rate lands strictly below the read-only one — the
+    // "caches can't save pointer-traversals" framing, end to end.
+    let hit = |label: &str| {
+        let c = curves
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("{label} curve present"));
+        c.points
+            .iter()
+            .map(|p| p.cache_hit_rate)
+            .fold(f64::NAN, f64::max)
+    };
+    for curve in &curves {
+        if !curve.label.contains("+cache") {
+            assert!(
+                curve.points.iter().all(|p| p.cache_hit_rate == 0.0),
+                "{}: cache-disabled curves must report exactly 0.0",
+                curve.label
+            );
+        }
+    }
+    let read_hit = hit("pulse+cache");
+    let rpc_hit = hit("RPC+cache");
+    let mixed_hit = hit("pulse-ycsb-a+cache");
+    println!(
+        "front-end cache hit rates: pulse+cache {read_hit:.3}, \
+         RPC+cache {rpc_hit:.3}, pulse-ycsb-a+cache {mixed_hit:.3}"
+    );
+    assert!(read_hit > 0.0, "skewed reads must hit the front-end cache");
+    assert!(rpc_hit > 0.0, "the RPC front-end cache must hit too");
+    assert!(
+        mixed_hit < read_hit,
+        "update invalidation must erode the write-heavy mix's hit rate \
+         ({mixed_hit} vs read-only {read_hit})"
+    );
+
+    // Cache-size × Zipf-θ sensitivity (single rung per cell): hit rate
+    // grows with skew and with capacity — where it stays low, caching
+    // cannot help no matter the budget.
+    println!("\ncache-size x zipf-theta hit-rate grid (pulse, one rung):");
+    let thetas = [200u16, 990u16];
+    let sizes = [64 << 10u64, CACHE_BYTES];
+    let mut grid = Vec::new();
+    for &milli in &thetas {
+        let mut row = Vec::new();
+        for &bytes in &sizes {
+            let mut make = cached_pulse_webservice_factory(
+                NODES,
+                CPUS,
+                requests.min(500),
+                dispatch,
+                CacheConfig::sized(bytes),
+                Distribution::ZipfianTheta { milli },
+            );
+            let cell = sweep("grid", &[loads_kops[0]], SEED, &mut make)?;
+            row.push(cell.points[0].cache_hit_rate);
+        }
+        grid.push(row);
+    }
+    println!("{:>12} {:>10} {:>10}", "theta \\ size", "64KiB", "4MiB");
+    for (ti, row) in grid.iter().enumerate() {
+        println!(
+            "{:>12.2} {:>10.3} {:>10.3}",
+            thetas[ti] as f64 / 1000.0,
+            row[0],
+            row[1]
+        );
+    }
+    assert!(
+        grid[1][1] > grid[0][1],
+        "at equal capacity, higher skew must hit more: {grid:?}"
+    );
+    assert!(
+        grid[1][1] >= grid[1][0],
+        "at equal skew, more capacity must not hit less: {grid:?}"
+    );
+
     println!("\nsustained load at p99 <= {SLO_P99_US} us (achieved goodput, kops):");
     for curve in &curves {
         println!(
@@ -221,6 +380,20 @@ fn main() -> Result<(), pulse::Error> {
         assert!(
             p >= r * 0.98,
             "pulse should sustain at least the RPC load at equal p99 ({p} vs {r})"
+        );
+    }
+    // Where caching *does* help: on the skewed read-only workload, the
+    // cached rack's sustained-load knee must be at least the plain rack's
+    // (hot hash chains resolve locally instead of crossing the wire).
+    let cached_sustained = curves
+        .iter()
+        .find(|c| c.label == "pulse+cache")
+        .and_then(|c| c.max_load_under_p99(SLO_P99_US));
+    if let (Some(p), Some(pc)) = (pulse_sustained, cached_sustained) {
+        println!("skewed-read sustained: pulse {p:.0} vs pulse+cache {pc:.0} kops");
+        assert!(
+            pc >= p * 0.98,
+            "the front-end cache must not lower the skewed-read knee ({pc} vs {p})"
         );
     }
     // The same comparison on the mixed workload: pulse vs RPC under
@@ -250,12 +423,12 @@ fn main() -> Result<(), pulse::Error> {
 fn print_curve(curve: &SweepReport) {
     println!("── {} ──", curve.label);
     println!(
-        "{:>10} {:>10} | {:>8} {:>8} {:>8} {:>9} {:>9} {:>7}",
-        "offered", "arrived", "p50", "p95", "p99", "goodput", "upd-good", "retries"
+        "{:>10} {:>10} | {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>6}",
+        "offered", "arrived", "p50", "p95", "p99", "goodput", "upd-good", "retries", "hit"
     );
     for p in &curve.points {
         println!(
-            "{:>10.1} {:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1} {:>9.1} {:>7}",
+            "{:>10.1} {:>10.1} | {:>8.2} {:>8.2} {:>8.2} {:>9.1} {:>9.1} {:>7} {:>6.3}",
             p.offered_kops,
             p.arrived_kops,
             p.p50_us,
@@ -263,7 +436,8 @@ fn print_curve(curve: &SweepReport) {
             p.p99_us,
             p.goodput_kops,
             p.update_goodput_kops,
-            p.retries
+            p.retries,
+            p.cache_hit_rate
         );
     }
     println!();

@@ -169,6 +169,8 @@ pub struct EngineReport {
     pub net_bytes: u64,
     /// Bytes served by memory-node DRAM.
     pub mem_bytes: u64,
+    /// Front-end traversal-cell cache hit rate (0.0 when disabled).
+    pub cache_hit_rate: f64,
     /// End of the last completion.
     pub makespan: SimTime,
 }
@@ -183,6 +185,7 @@ impl EngineReport {
             throughput: rep.throughput,
             net_bytes: rep.net_bytes,
             mem_bytes: rep.mem_bytes,
+            cache_hit_rate: rep.cache_hit_rate,
             makespan: rep.makespan,
         }
     }
@@ -196,6 +199,7 @@ impl EngineReport {
             throughput: rep.throughput,
             net_bytes: rep.net_bytes,
             mem_bytes: rep.mem_bytes,
+            cache_hit_rate: rep.cache_hit_rate,
             makespan: rep.makespan,
         }
     }
@@ -344,6 +348,7 @@ impl Engine for BaselineEngine {
                 last_completion: first_arrival,
                 completed_updates: 0,
                 retries: 0,
+                cache_hit_rate: 0.0,
             });
         }
         let rep = match self.kind {
@@ -371,6 +376,7 @@ impl Engine for BaselineEngine {
             // sequentially: updates all land, races never happen.
             completed_updates: requests.iter().filter(|r| r.is_update()).count() as u64,
             retries: 0,
+            cache_hit_rate: rep.cache_hit_rate,
         })
     }
 }

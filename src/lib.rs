@@ -77,6 +77,7 @@ pub use pulse_core as core;
 pub use pulse_dispatch as dispatch;
 pub use pulse_ds as ds;
 pub use pulse_energy as energy;
+pub use pulse_frontend as frontend;
 pub use pulse_isa as isa;
 pub use pulse_mem as mem;
 pub use pulse_mutation as mutation;
@@ -100,8 +101,8 @@ pub use ycsb::YcsbDriver;
 // The façade's frequently-used vocabulary, re-exported flat so examples
 // and downstream code need one `use pulse::...` line per name.
 pub use pulse_core::{
-    ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig, PulseCluster,
-    PulseMode,
+    CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
+    PulseCluster, PulseMode,
 };
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;

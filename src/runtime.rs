@@ -22,8 +22,8 @@
 use crate::api::{AppSpec, BaselineEngine, BaselineKind};
 use crate::error::Error;
 use pulse_core::{
-    ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig, PulseCluster,
-    PulseMode,
+    CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
+    PulseCluster, PulseMode,
 };
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
@@ -160,6 +160,18 @@ impl PulseBuilder {
         self
     }
 
+    /// Per-CPU-node hot-object cache over traversal cells. Disabled by
+    /// default (bit-identical to the cache-less rack); when enabled, each
+    /// node's front end walks cached, version-valid hops locally at
+    /// [`CacheConfig::hit_ns`] and offloads the remainder from the last
+    /// cached pointer, with every hit version-validated against the rack
+    /// memory's write epoch so locked updates age out stale lines (see
+    /// the `pulse-frontend` cache docs for the coherence semantics).
+    pub fn cache(mut self, cache: CacheConfig) -> PulseBuilder {
+        self.config.cache = cache;
+        self
+    }
+
     /// Maximum requests in flight inside the rack (the backpressure bound;
     /// also the closed-loop concurrency of [`Runtime::drain`]).
     pub fn window(mut self, window: usize) -> PulseBuilder {
@@ -188,6 +200,9 @@ impl PulseBuilder {
         }
         if self.granularity == 0 {
             return Err(Error::Config("extent granularity must be positive".into()));
+        }
+        if let Err(msg) = self.config.cache.validate() {
+            return Err(Error::Config(msg));
         }
         Ok((
             ClusterMemory::new(self.nodes),
@@ -460,6 +475,10 @@ pub struct OpenLoopReport {
     /// `ClusterReport::retries`). Always 0 for the replay baselines, which
     /// execute sequentially and never race.
     pub retries: u64,
+    /// Front-end traversal-cell cache hit rate over the run: locally
+    /// walked hops over all probes. 0.0 whenever the cache is disabled —
+    /// the sweep's CI gate greps exactly that.
+    pub cache_hit_rate: f64,
 }
 
 impl OpenLoopReport {
@@ -532,6 +551,7 @@ impl OpenLoopDriver {
     ) -> Result<OpenLoopReport, Error> {
         let submitted = requests.len() as u64;
         let base_retries = runtime.report().retries;
+        let base_cache = cache_counters(runtime);
         let mut t = runtime.now();
         let mut first_arrival = None;
         let mut update_ids = std::collections::HashSet::new();
@@ -570,6 +590,13 @@ impl OpenLoopDriver {
         }
         let offered_per_sec = self.arrivals.offered_rate(first_arrival, t, submitted);
         let span = last_completion.saturating_sub(first_arrival).as_secs_f64();
+        // Both the retry and cache counters are deltas against the
+        // runtime's state at entry, so reusing a runtime (say after a
+        // warmup drain) reports this stream's numbers, not the lifetime's.
+        let (hits, misses) = {
+            let (h, m) = cache_counters(runtime);
+            (h - base_cache.0, m - base_cache.1)
+        };
         Ok(OpenLoopReport {
             label: "pulse".into(),
             offered_per_sec,
@@ -583,6 +610,23 @@ impl OpenLoopDriver {
             last_completion,
             completed_updates,
             retries: runtime.report().retries - base_retries,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
         })
     }
+}
+
+/// Total front-end cache (hits, misses) across the runtime's CPU nodes.
+fn cache_counters(runtime: &Runtime) -> (u64, u64) {
+    runtime
+        .cluster()
+        .frontends()
+        .iter()
+        .filter_map(pulse_core::CpuFrontEnd::cache)
+        .fold((0, 0), |(h, m), c| {
+            (h + c.stats().hits, m + c.stats().misses)
+        })
 }

@@ -165,6 +165,7 @@ fn continuation_survives_wire_roundtrip() {
         state: state.clone(),
         status: IterStatus::InFlight,
         piggyback_bytes: 0,
+        touched: Vec::new(),
     });
     let bytes = encode_packet(&pkt);
     assert_eq!(bytes.len() as u64, pkt.wire_bytes());

@@ -11,8 +11,8 @@ use pulse::workloads::{
     execute_functional, Application, ArrivalProcess, StartPtr, TraversalStage, WebServiceConfig,
 };
 use pulse::{
-    AppRequest, DispatchConfig, Engine, Error, Offloaded, OpenLoopDriver, Placement, PulseBuilder,
-    PulseCluster, RequestError,
+    AppRequest, CacheConfig, DispatchConfig, Engine, Error, Offloaded, OpenLoopDriver, Placement,
+    PulseBuilder, PulseCluster, RequestError,
 };
 use std::sync::Arc;
 
@@ -175,6 +175,184 @@ fn zero_occupancy_drain_matches_pr2_golden_trace() {
     assert_eq!(rep.latency.mean.as_picos(), 22_540_633);
     assert_eq!(rep.latency.p99.as_picos(), 33_161_216);
     assert_eq!(rep.dispatch_util, 0.0, "a free engine is never busy");
+}
+
+/// The cache-off golden guard from the other direction: an *explicitly*
+/// disabled cache is the same configuration as the default, bit-for-bit —
+/// and the default side is already pinned to the PR 4 golden numbers by
+/// `zero_occupancy_drain_matches_pr2_golden_trace` above, so together
+/// these prove `CacheConfig::disabled()` reproduces the pre-cache traces
+/// exactly.
+#[test]
+fn disabled_cache_is_bit_identical_to_default() {
+    let run = |builder: PulseBuilder| {
+        let (mut runtime, mut app) = builder
+            .nodes(2)
+            .granularity(1 << 20)
+            .window(8)
+            .app(WebServiceConfig {
+                keys: 2_000,
+                ..Default::default()
+            })
+            .unwrap();
+        for _ in 0..120 {
+            runtime.submit(app.next_request()).unwrap();
+        }
+        runtime.drain()
+    };
+    let default = run(PulseBuilder::new());
+    let explicit = run(PulseBuilder::new().cache(CacheConfig::disabled()));
+    assert_eq!(default.makespan, explicit.makespan);
+    assert_eq!(default.net_bytes, explicit.net_bytes);
+    assert_eq!(default.mem_bytes, explicit.mem_bytes);
+    assert_eq!(default.iterations, explicit.iterations);
+    assert_eq!(default.latency.mean, explicit.latency.mean);
+    assert_eq!(default.latency.p99, explicit.latency.p99);
+    assert_eq!(default.cache_hit_rate, 0.0);
+    assert_eq!(explicit.cache_hit_rate, 0.0);
+}
+
+/// With the front-end cache enabled, every completion still matches
+/// functional ground truth — cached hits serve version-valid snapshots
+/// only — repeated hot keys actually hit, and the hit rate surfaces in
+/// the report.
+#[test]
+fn cached_reads_match_ground_truth_and_hit() {
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(2)
+        .cache(CacheConfig::sized(1 << 20))
+        .build_with(|ctx| {
+            let pairs: Vec<(u64, u64)> = (0..160).map(|k| (k, k * 13 + 5)).collect();
+            pulse::ds::HashMapDs::build(ctx, 4, &pairs)
+        })
+        .unwrap();
+    let offloaded = Offloaded::compile(map, &pulse::dispatch::DispatchEngine::default()).unwrap();
+    // Every probe twice: the second pass re-walks freshly filled lines.
+    let probes: Vec<u64> = (0..30).chain(0..30).collect();
+    let mut requests = Vec::new();
+    let mut expected = Vec::new();
+    for &p in &probes {
+        let req = offloaded.request(p).unwrap();
+        let truth = runtime.execute_functional(&req).unwrap();
+        expected.push(truth.response.final_state.expect("ran").scratch);
+        requests.push(req);
+    }
+    let mut tickets = Vec::new();
+    for req in requests {
+        tickets.push(runtime.submit(req).unwrap());
+    }
+    let mut seen = 0;
+    loop {
+        let done = runtime.poll();
+        if done.is_empty() {
+            break;
+        }
+        for c in done {
+            assert!(c.ok);
+            let idx = tickets.iter().position(|t| t.matches(&c)).unwrap();
+            assert_eq!(
+                c.final_state.as_ref().unwrap().scratch,
+                expected[idx],
+                "probe {} diverged under caching",
+                probes[idx]
+            );
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, probes.len());
+    let rep = runtime.report();
+    assert!(
+        rep.cache_hit_rate > 0.0,
+        "repeated hot keys must hit: {rep:?}"
+    );
+}
+
+/// Coherence end to end — the zero-stale-reads guarantee: a verified read
+/// fills the cache, a locked update bumps the bucket lines' write
+/// versions, and the next read must return the *new* value even though
+/// its lines are resident. A cache that skipped version validation would
+/// serve the stale snapshot and fail here.
+#[test]
+fn cache_invalidation_prevents_stale_reads() {
+    use pulse::mutation::{locked_update_stage, retrying_request, sp, verified_read_stage};
+    use pulse::MutationConfig;
+
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(2)
+        .cache(CacheConfig::sized(1 << 20))
+        .build_with(|ctx| {
+            let pairs: Vec<(u64, u64)> = (0..128).map(|k| (k, k + 1000)).collect();
+            pulse::ds::HashMapDs::build_partitioned(ctx, 8, &pairs, 2)
+        })
+        .unwrap();
+    let find = Arc::new(pulse::mutation::verified_find_program());
+    let update = Arc::new(pulse::mutation::locked_update_program());
+    let bucket = map.bucket_addr(42);
+    let mc = MutationConfig::default();
+    let read_value = |runtime: &mut pulse::Runtime| {
+        runtime
+            .submit(retrying_request(verified_read_stage(&find, bucket, 42), mc))
+            .unwrap();
+        let done = runtime.poll();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].ok);
+        done[0]
+            .final_state
+            .as_ref()
+            .unwrap()
+            .scratch_u64(sp::VAL as usize)
+    };
+    assert_eq!(read_value(&mut runtime), 1042, "initial value");
+    // The locked update really mutates the bucket through the rack.
+    runtime
+        .submit(retrying_request(
+            locked_update_stage(&update, bucket, 42, 0xCAFE),
+            mc,
+        ))
+        .unwrap();
+    let done = runtime.poll();
+    assert!(done.len() == 1 && done[0].ok);
+    // The resident lines are now stale; a version-validated cache misses
+    // and refetches, an unvalidated one would return 1042 here.
+    assert_eq!(read_value(&mut runtime), 0xCAFE, "stale read!");
+    // And once refilled, the *new* snapshot serves hits.
+    assert_eq!(read_value(&mut runtime), 0xCAFE);
+    let rep = runtime.report();
+    assert!(rep.cache_hit_rate > 0.0, "refilled lines must hit: {rep:?}");
+    assert_eq!(rep.faulted, 0);
+}
+
+/// The prefix-walk fast path is actually fast: repeating a traversal whose
+/// cells are now cached completes with strictly lower latency than its
+/// cold first run (hops at DRAM-hit cost instead of rack round trips).
+#[test]
+fn cached_hot_requests_complete_faster() {
+    let (mut runtime, map) = PulseBuilder::new()
+        .nodes(2)
+        .cache(CacheConfig::sized(1 << 20))
+        .build_with(|ctx| {
+            let pairs: Vec<(u64, u64)> = (0..256).map(|k| (k, k * 7)).collect();
+            pulse::ds::HashMapDs::build(ctx, 2, &pairs)
+        })
+        .unwrap();
+    let offloaded = Offloaded::compile(map, &pulse::dispatch::DispatchEngine::default()).unwrap();
+    let mut latency_of = |key: u64| {
+        runtime.submit(offloaded.request(key).unwrap()).unwrap();
+        let done = runtime.poll();
+        assert!(done[0].ok);
+        done[0].latency()
+    };
+    let cold = latency_of(200); // long chain, never seen
+    let warm = latency_of(200); // identical walk, now resident
+    assert!(
+        warm < cold / 4,
+        "a fully cached walk must be far below the remote path: cold {cold} warm {warm}"
+    );
+    assert_eq!(
+        offloaded.request(200).unwrap().traversals.len(),
+        1,
+        "single-stage sanity"
+    );
 }
 
 /// The honest-saturation property this PR exists for: with a contended

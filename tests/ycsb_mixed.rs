@@ -90,6 +90,61 @@ fn open_loop_mixed_load_counts_retries_and_update_goodput() {
     assert_eq!(rep.retries, runtime.report().retries);
 }
 
+/// YCSB-A with the front-end cache enabled: the mixed stream completes
+/// without loss, the cache actually hits (skewed reads re-walk hot
+/// buckets), updates erode those hits through version invalidation, and —
+/// the coherence contract — ground truth after the run matches a
+/// cache-less rack executing the identical stream, so no cached read ever
+/// served a stale value into a decision.
+#[test]
+fn ycsb_a_with_cache_stays_coherent() {
+    let cfg = webservice_cfg(YcsbWorkload::A);
+    let run = |cache: pulse::CacheConfig| {
+        let (mut runtime, app) = PulseBuilder::new()
+            .nodes(2)
+            .cpus(2)
+            .window(16)
+            .cache(cache)
+            .app(cfg)
+            .unwrap();
+        let buckets: Vec<u64> = (0..50).map(|k| app.map().bucket_addr(k)).collect();
+        let mut driver = YcsbDriver::webservice(app, cfg, MutationConfig::default()).unwrap();
+        let reqs: Vec<AppRequest> = (0..300)
+            .map(|_| driver.next_request(runtime.memory_mut()))
+            .collect();
+        for req in reqs {
+            runtime.submit(req).unwrap();
+        }
+        let report = runtime.drain();
+        // Post-run ground truth: every sampled bucket's seqlock version.
+        let census: Vec<u64> = buckets
+            .iter()
+            .map(|&b| runtime.memory_mut().read_word(b + 8, 8).unwrap())
+            .collect();
+        (report, census)
+    };
+    let (cached, cached_versions) = run(pulse::CacheConfig::sized(1 << 20));
+    assert_eq!(cached.completed + cached.faulted, 300);
+    assert_eq!(cached.faulted, 0, "bounded retries absorb cached races too");
+    assert!(
+        cached.cache_hit_rate > 0.0,
+        "skewed reads must hit: {cached:?}"
+    );
+    let cache_stats = &cached;
+    assert!(cache_stats.completed > 0);
+
+    // The cache-less rack on the identical deterministic stream: the
+    // final seqlock version census must agree — every update landed
+    // exactly once on both racks, none was lost to a stale cached read.
+    let (plain, plain_versions) = run(pulse::CacheConfig::disabled());
+    assert_eq!(plain.cache_hit_rate, 0.0);
+    assert_eq!(
+        cached_versions, plain_versions,
+        "cached and cache-less racks must agree on every bucket's final \
+         seqlock version"
+    );
+}
+
 /// The deterministic retry-exhaustion path: a bucket left locked (a
 /// crashed writer) forces a verified read to burn its whole retry budget
 /// and fault-complete — counted, never hung.
