@@ -11,18 +11,30 @@
 use pulse_frontend::replay::{drive, measured_rate};
 use pulse_frontend::{CacheConfig, CpuFrontEnd, LruSet};
 use pulse_mem::ClusterMemory;
-use pulse_net::LinkConfig;
+use pulse_net::{Endpoint, Fabric, FabricConfig, LinkConfig, SwitchConfig, TopologySpec};
 use pulse_sim::{DispatchConfig, LatencySummary, SerialResource, ServerPool, SimTime};
 use pulse_workloads::{execute_functional, Access, AppRequest};
 
 /// Network constants shared with the pulse cluster: one endpoint→endpoint
 /// hop through the switch.
+///
+/// The satellite audit for flat magic-number costs found three in the RPC
+/// path (a hard-coded 256 B per cross-node bounce and 128 B request /
+/// response-base frames); they are parametrized here with defaults that
+/// reproduce the old charges bit for bit.
 #[derive(Debug, Clone, Copy)]
 pub struct NetModel {
     /// One-way latency (two link propagations + the switch pipeline).
     pub one_way: SimTime,
     /// Link bandwidth, bits per second.
     pub bits_per_sec: u64,
+    /// Request frame size, bytes (header + pointer + parameters).
+    pub request_bytes: u64,
+    /// Response header/base size, bytes (before payload and cache fills).
+    pub response_base_bytes: u64,
+    /// Per-direction frame size of one cross-node bounce, bytes. The flat
+    /// model's `256` per bounce was both directions of this.
+    pub bounce_bytes: u64,
 }
 
 impl Default for NetModel {
@@ -30,7 +42,39 @@ impl Default for NetModel {
         NetModel {
             one_way: SimTime::from_micros(3) + SimTime::from_nanos(600),
             bits_per_sec: 100_000_000_000,
+            request_bytes: 128,
+            response_base_bytes: 128,
+            bounce_bytes: 128,
         }
+    }
+}
+
+impl NetModel {
+    /// Derives the routed fabric's per-hop constants from these end-to-end
+    /// ones: `one_way` decomposes into two link propagations around the
+    /// switch pipeline, so a single-switch routed path prices the same
+    /// crossing the flat constants do.
+    fn fabric_config(&self) -> FabricConfig {
+        let switch = SwitchConfig {
+            port_bits_per_sec: self.bits_per_sec,
+            ..SwitchConfig::default()
+        };
+        let propagation = self.one_way.saturating_sub(switch.pipeline_latency) / 2;
+        FabricConfig {
+            link: LinkConfig {
+                propagation,
+                bits_per_sec: self.bits_per_sec,
+                per_message_overhead_bytes: 0,
+            },
+            switch,
+        }
+    }
+
+    /// Builds the routed fabric for `spec` over one CPU node and `nodes`
+    /// memory nodes, or `None` on the flat default.
+    fn build_fabric(&self, spec: TopologySpec, nodes: usize) -> Option<Fabric> {
+        spec.is_routed()
+            .then(|| Fabric::new(spec.build(1, nodes), self.fabric_config()))
     }
 }
 
@@ -88,8 +132,31 @@ pub struct BaselineReport {
     /// [`BaselineReport::cache_hit_ratio`], which reports the system's own
     /// page/object cache.
     pub cache_hit_rate: f64,
+    /// Peak demand over the fabric links into the CPU node — the
+    /// downlinks RPC bouncing congests under incast. Normalized over the
+    /// offered-load window in open loop (so a system that falls behind
+    /// still shows the pressure the offered rate puts on its downlink; it
+    /// can exceed 1.0 when oversubscribed) and over the makespan in
+    /// closed loop (a plain duty cycle). Exactly 0.0 on the flat default
+    /// (no fabric is built).
+    pub link_utilization: f64,
+    /// Deepest any fabric link's egress FIFO ever got. 0 on flat.
+    pub queue_depth: u64,
     /// End of the last request.
     pub makespan: SimTime,
+}
+
+/// The horizon fabric demand is normalized over: the offered-load window
+/// in open loop (what the offered rate asks of the link, however far the
+/// system falls behind it), the makespan in closed loop (duty cycle).
+fn demand_horizon(arrivals: Option<&[SimTime]>, makespan: SimTime) -> SimTime {
+    match arrivals {
+        Some(times) if times.len() > 1 => {
+            let window = *times.last().expect("non-empty") - times[0];
+            window.max(SimTime::from_nanos(1))
+        }
+        _ => makespan,
+    }
 }
 
 impl BaselineReport {
@@ -132,6 +199,11 @@ pub struct SwapConfig {
     /// Each request books one dispatch op at admission; the default is
     /// uncontended.
     pub dispatch: DispatchConfig,
+    /// Rack geometry. On the flat default every page fill is priced with
+    /// the end-to-end `net` constants; on a routed spec each fill is a
+    /// request + page transfer over the fabric's finite links from the
+    /// owning node.
+    pub topology: TopologySpec,
 }
 
 impl Default for SwapConfig {
@@ -145,6 +217,7 @@ impl Default for SwapConfig {
             cpu: CpuModel::xeon(),
             net: NetModel::default(),
             dispatch: DispatchConfig::default(),
+            topology: TopologySpec::Flat,
         }
     }
 }
@@ -190,6 +263,8 @@ fn swap_cache_impl(
     // The shared CPU-node front end hosts the admission dispatch engine
     // (the swap system's own page cache stands in for a traversal cache).
     let mut fe = CpuFrontEnd::new(LinkConfig::default(), cfg.dispatch, CacheConfig::disabled());
+    let mut fabric = cfg.net.build_fabric(cfg.topology, mem.node_count());
+    let routed = fabric.is_some();
     let mut net_bytes = 0u64;
     let mut mem_bytes = 0u64;
     let page_wire = SimTime::serialization(cfg.page_bytes, cfg.net.bits_per_sec);
@@ -214,6 +289,7 @@ fn swap_cache_impl(
             let mut pure = SimTime::ZERO;
             let mut traversal_pure = SimTime::ZERO;
             let mut misses = 0u64;
+            let mut fills: Vec<usize> = Vec::new();
             for a in accesses {
                 let mut cost = cfg.cpu.insn_time * a.insns as u64;
                 let first = a.addr / cfg.page_bytes;
@@ -226,6 +302,9 @@ fn swap_cache_impl(
                         misses += 1;
                         net_bytes += cfg.page_bytes;
                         mem_bytes += cfg.page_bytes;
+                        if routed {
+                            fills.push(mem.owner_of(page * cfg.page_bytes).unwrap_or(0));
+                        }
                     }
                 }
                 pure += cost;
@@ -243,7 +322,28 @@ fn swap_cache_impl(
             let mut pipe_end = slot.grant.start;
             if misses > 0 {
                 let g = swap_pipe.acquire_for(slot.grant.start, cfg.swap_service * misses);
-                pipe_end = g.end + cfg.net.one_way * 2 + cfg.fault_software + *cpu_work;
+                pipe_end = match fabric.as_mut() {
+                    // Routed: each fill is a request to the owning node and
+                    // a page riding back over the fabric's finite links.
+                    Some(fab) => {
+                        let mut cursor = g.end;
+                        for &owner in &fills {
+                            let req = fab
+                                .send(
+                                    cursor,
+                                    Endpoint::Cpu(0),
+                                    Endpoint::Mem(owner),
+                                    cfg.net.request_bytes,
+                                )
+                                .expect("fabric covers every node");
+                            cursor = fab
+                                .send(req, Endpoint::Mem(owner), Endpoint::Cpu(0), cfg.page_bytes)
+                                .expect("fabric covers every node");
+                        }
+                        cursor + cfg.fault_software + *cpu_work
+                    }
+                    None => g.end + cfg.net.one_way * 2 + cfg.fault_software + *cpu_work,
+                };
             }
             let end = (slot.grant.start + pure).max(pipe_end);
             (end, traversal_pure, pure)
@@ -256,10 +356,16 @@ fn swap_cache_impl(
         throughput: measured_rate(requests.len(), makespan, arrivals),
         traversal_time: traversal_total,
         total_time: latency_total,
-        net_bytes,
+        net_bytes: fabric
+            .as_ref()
+            .map_or(net_bytes, Fabric::host_injected_bytes),
         mem_bytes,
         cache_hit_ratio: Some(lru.hit_ratio()),
         cache_hit_rate: 0.0,
+        link_utilization: fabric.as_ref().map_or(0.0, |f| {
+            f.cpu_downlink_peak(demand_horizon(arrivals, makespan))
+        }),
+        queue_depth: fabric.as_ref().map_or(0, |f| f.max_queue_depth() as u64),
         makespan,
     }
 }
@@ -313,6 +419,13 @@ pub struct RpcConfig {
     /// curves — the hypothetical the paper's framing argues cannot save
     /// pointer traversals.
     pub cache: CacheConfig,
+    /// Rack geometry. On the flat default the request/bounce/response trips
+    /// are priced with the end-to-end `net` constants and a single CPU
+    /// receive pipe; on a routed spec every trip — including both legs of
+    /// every cross-node bounce — is a fabric send over finite directed
+    /// links, so the bouncing traffic converges on the CPU node's downlink
+    /// (the incast pulse's chained hops avoid).
+    pub topology: TopologySpec,
 }
 
 impl RpcConfig {
@@ -329,6 +442,7 @@ impl RpcConfig {
             net: NetModel::default(),
             dispatch: DispatchConfig::default(),
             cache: CacheConfig::disabled(),
+            topology: TopologySpec::Flat,
         }
     }
 
@@ -413,9 +527,11 @@ fn rpc_impl(
     let mut dram: Vec<SerialResource> = (0..nodes)
         .map(|_| SerialResource::new(cfg.dram_bytes_per_sec.saturating_mul(8)))
         .collect();
-    // The CPU-node's receive direction (responses) is the only link pipe
-    // that ever approaches saturation in these workloads.
+    // Flat: the CPU-node's receive direction (responses) is the only link
+    // pipe that ever approaches saturation in these workloads. Routed: the
+    // fabric's directed links replace it entirely.
     let mut link_rx = SerialResource::new(cfg.net.bits_per_sec);
+    let mut fabric = cfg.net.build_fabric(cfg.topology, nodes);
     // The shared CPU-node front end: dispatch engine plus the optional
     // traversal-cell cache.
     let mut fe = CpuFrontEnd::new(LinkConfig::default(), cfg.dispatch, cfg.cache);
@@ -440,7 +556,7 @@ fn rpc_impl(
         .map(|r| {
             let run = execute_functional(mem, r, 1 << 20).expect("functional run");
             let object_addr = run.accesses.iter().find(|a| !a.traversal).map(|a| a.addr);
-            let response_bytes = 128
+            let response_bytes = cfg.net.response_base_bytes
                 + r.response_extra_bytes as u64
                 + r.object_io
                     .map_or(0, |io| if io.write { 0 } else { io.len as u64 });
@@ -523,7 +639,7 @@ fn rpc_impl(
             let mut response_bytes = p.response_bytes;
             if let (Some(cache), Some(addr)) = (object_cache.as_mut(), p.object_addr) {
                 if cache.touch(addr / cfg.object_bytes) {
-                    response_bytes = 128;
+                    response_bytes = cfg.net.response_base_bytes;
                 }
             }
             response_bytes += fill_wire_bytes;
@@ -535,14 +651,14 @@ fn rpc_impl(
                 service += svc_time + cfg.request_software;
                 if i > 0 {
                     bounce += cfg.net.one_way * 2; // CPU-node bounce per hop
-                    net_bytes += 256;
+                    net_bytes += 2 * cfg.net.bounce_bytes;
                 }
                 if is_trav {
                     traversal += svc_time;
                 }
             }
             let response_wire = SimTime::serialization(response_bytes, cfg.net.bits_per_sec);
-            net_bytes += 128 + response_bytes;
+            net_bytes += cfg.net.request_bytes + response_bytes;
             let pure = cfg.net.one_way * 2
                 + cfg.tcp_extra * 2
                 + prefix_time
@@ -559,18 +675,77 @@ fn rpc_impl(
             for _ in 0..segments.len().max(1) {
                 issued = fe.book_dispatch(issued);
             }
-            let depart = issued + prefix_time + cfg.net.one_way; // first node
-            let mut worker_end = depart;
-            for &(node, svc_time, bytes, _) in &segments {
-                let w = workers[node].acquire(depart, svc_time + cfg.request_software);
-                let d = dram[node].acquire(depart, bytes);
-                mem_bytes += bytes;
-                worker_end = worker_end.max(w.grant.end).max(d.end);
-            }
-            let rx = link_rx.acquire(worker_end + cfg.net.one_way, response_bytes);
-            let end = (ready + pure)
-                .max(worker_end + cfg.net.one_way + response_wire + p.cpu_work)
-                .max(rx.end + p.cpu_work);
+            let end = match fabric.as_mut() {
+                // Routed: every trip is a fabric send over finite directed
+                // links. The request rides to the first owning node; each
+                // cross-node bounce is a reply up to the CPU node plus a
+                // re-issue down to the next node — so every bounce crosses
+                // the CPU downlink, and concurrent requests incast there.
+                Some(fab) => {
+                    let first = segments.first().map_or(0, |s| s.0);
+                    let mut cursor = fab
+                        .send(
+                            issued + prefix_time,
+                            Endpoint::Cpu(0),
+                            Endpoint::Mem(first),
+                            cfg.net.request_bytes,
+                        )
+                        .expect("fabric covers every node");
+                    let mut last = first;
+                    for (i, &(node, svc_time, bytes, _)) in segments.iter().enumerate() {
+                        if i > 0 {
+                            // The reply leg hauls the fetched cells up with
+                            // it — the CPU cannot chase a pointer it has not
+                            // seen. Chained traversal never pays this leg,
+                            // which is exactly the downlink incast gap.
+                            let back = fab
+                                .send(
+                                    cursor,
+                                    Endpoint::Mem(last),
+                                    Endpoint::Cpu(0),
+                                    cfg.net.bounce_bytes + segments[i - 1].2,
+                                )
+                                .expect("fabric covers every node");
+                            cursor = fab
+                                .send(
+                                    back,
+                                    Endpoint::Cpu(0),
+                                    Endpoint::Mem(node),
+                                    cfg.net.bounce_bytes,
+                                )
+                                .expect("fabric covers every node");
+                        }
+                        let w = workers[node].acquire(cursor, svc_time + cfg.request_software);
+                        let d = dram[node].acquire(cursor, bytes);
+                        mem_bytes += bytes;
+                        cursor = w.grant.end.max(d.end);
+                        last = node;
+                    }
+                    let arrive = fab
+                        .send(
+                            cursor,
+                            Endpoint::Mem(last),
+                            Endpoint::Cpu(0),
+                            response_bytes,
+                        )
+                        .expect("fabric covers every node");
+                    (ready + pure).max(arrive + p.cpu_work)
+                }
+                None => {
+                    let depart = issued + prefix_time + cfg.net.one_way; // first node
+                    let mut worker_end = depart;
+                    for &(node, svc_time, bytes, _) in &segments {
+                        let w = workers[node].acquire(depart, svc_time + cfg.request_software);
+                        let d = dram[node].acquire(depart, bytes);
+                        mem_bytes += bytes;
+                        worker_end = worker_end.max(w.grant.end).max(d.end);
+                    }
+                    let rx = link_rx.acquire(worker_end + cfg.net.one_way, response_bytes);
+                    (ready + pure)
+                        .max(worker_end + cfg.net.one_way + response_wire + p.cpu_work)
+                        .max(rx.end + p.cpu_work)
+                }
+            };
             (end, traversal, pure)
         });
 
@@ -581,10 +756,16 @@ fn rpc_impl(
         throughput: measured_rate(requests.len(), makespan, arrivals),
         traversal_time: traversal_total,
         total_time: latency_total,
-        net_bytes,
+        net_bytes: fabric
+            .as_ref()
+            .map_or(net_bytes, Fabric::host_injected_bytes),
         mem_bytes,
         cache_hit_ratio: object_cache.map(|c| c.hit_ratio()),
         cache_hit_rate: fe.cache().map_or(0.0, |c| c.hit_rate()),
+        link_utilization: fabric.as_ref().map_or(0.0, |f| {
+            f.cpu_downlink_peak(demand_horizon(arrivals, makespan))
+        }),
+        queue_depth: fabric.as_ref().map_or(0, |f| f.max_queue_depth() as u64),
         makespan,
     }
 }
@@ -861,6 +1042,64 @@ mod tests {
         // The swap cache executes the identical stream (fresh values).
         let swap = run_swap_cache(&mut mem, &mixed, 8, SwapConfig::default());
         assert_eq!(swap.completed, 100);
+    }
+
+    #[test]
+    fn routed_rpc_prices_bounces_on_the_cpu_downlink() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let flat = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc());
+        let routed = run_rpc(
+            &mut mem,
+            &reqs,
+            16,
+            RpcConfig {
+                topology: TopologySpec::LeafSpine {
+                    leaves: 2,
+                    spines: 2,
+                },
+                ..RpcConfig::rpc()
+            },
+        );
+        // Flat builds no fabric: the new metrics are exactly zero.
+        assert_eq!(flat.link_utilization, 0.0);
+        assert_eq!(flat.queue_depth, 0);
+        // Routed prices the same requests on finite links: the CPU downlink
+        // is visibly busy and byte accounting still flows.
+        assert_eq!(routed.completed, flat.completed);
+        assert!(routed.link_utilization > 0.0);
+        assert!(routed.net_bytes > 0);
+        assert!(
+            routed.latency.mean >= flat.latency.mean,
+            "finite links cannot make requests faster: flat {} routed {}",
+            flat.latency.mean,
+            routed.latency.mean
+        );
+    }
+
+    #[test]
+    fn routed_swap_fills_cross_the_fabric() {
+        let (mut mem, reqs) = webservice_setup_dist(200_000, 512, Distribution::Uniform);
+        let small = SwapConfig {
+            cache_bytes: 1 << 20,
+            ..SwapConfig::default()
+        };
+        let flat = run_swap_cache(&mut mem, &reqs, 8, small);
+        let routed = run_swap_cache(
+            &mut mem,
+            &reqs,
+            8,
+            SwapConfig {
+                topology: TopologySpec::Tor { racks: 2 },
+                ..small
+            },
+        );
+        assert_eq!(flat.link_utilization, 0.0);
+        assert!(
+            routed.link_utilization > 0.0,
+            "page fills must show on the downlink"
+        );
+        assert!(routed.net_bytes > 0);
+        assert_eq!(routed.completed, flat.completed);
     }
 
     #[test]

@@ -246,6 +246,13 @@ pub struct SweepPoint {
     /// walked hops over all probes. Exactly 0.0 on every cache-disabled
     /// curve — CI asserts both directions.
     pub cache_hit_rate: f64,
+    /// Peak busy fraction over the fabric links into CPU nodes (the
+    /// incast-prone downlinks). Exactly 0.0 on every flat-topology curve,
+    /// where no fabric exists — CI asserts both directions.
+    pub link_utilization: f64,
+    /// Deepest any fabric link's egress FIFO ever got during the rung.
+    /// 0 on flat-topology curves.
+    pub queue_depth: u64,
 }
 
 impl SweepPoint {
@@ -267,6 +274,8 @@ impl SweepPoint {
             update_goodput_kops: rep.goodput_per_sec / 1e3 * update_fraction,
             retries: rep.retries,
             cache_hit_rate: rep.cache_hit_rate,
+            link_utilization: rep.link_utilization,
+            queue_depth: rep.queue_depth,
         }
     }
 
@@ -344,7 +353,8 @@ impl SweepReport {
                      \"completed\":{},\"faulted\":{},\
                      \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\
                      \"goodput_kops\":{:.3},\"update_goodput_kops\":{:.3},\
-                     \"retries\":{},\"cache_hit_rate\":{:.4}}}",
+                     \"retries\":{},\"cache_hit_rate\":{:.4},\
+                     \"link_utilization\":{:.4},\"queue_depth\":{}}}",
                     p.offered_kops,
                     p.arrived_kops,
                     p.completed,
@@ -355,7 +365,9 @@ impl SweepReport {
                     p.goodput_kops,
                     p.update_goodput_kops,
                     p.retries,
-                    p.cache_hit_rate
+                    p.cache_hit_rate,
+                    p.link_utilization,
+                    p.queue_depth
                 )
             })
             .collect();
@@ -610,6 +622,8 @@ pub fn parse_sweep_json(doc: &str) -> Result<Vec<SweepReport>, String> {
                         update_goodput_kops: p.num("update_goodput_kops")?,
                         retries: p.num("retries")? as u64,
                         cache_hit_rate: p.num("cache_hit_rate")?,
+                        link_utilization: p.num("link_utilization")?,
+                        queue_depth: p.num("queue_depth")? as u64,
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()
@@ -730,6 +744,35 @@ pub fn pulse_webservice_factory(
         requests,
         DispatchConfig::default(),
     )
+}
+
+/// Routed-fabric counterpart of [`pulse_webservice_factory`]: the
+/// identical Zipfian WebService deployment, but with the rack's packets —
+/// chained traversal hops, reissues, swap fills, responses — priced hop by
+/// hop on a routed `topology` instead of the flat single-switch model.
+/// Zipf-skewed keys concentrate traversals on the hot buckets' owning
+/// memory node, so the curve exposes the incast the paper's in-network
+/// routing argument is about; the matching RPC curve comes from
+/// [`baseline_webservice_factory`] with `RpcConfig::topology` set.
+pub fn fabric_pulse_webservice_factory(
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+    dispatch: DispatchConfig,
+    topology: pulse::TopologySpec,
+) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+    move || {
+        let (runtime, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .cpus(cpus)
+            .dispatch(dispatch)
+            .topology(topology)
+            .granularity(DEFAULT_GRANULARITY)
+            .app(sweep_webservice_cfg(YcsbWorkload::C, Distribution::Zipfian))
+            .expect("wire pulse rack");
+        let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
 }
 
 /// Keys in the mixed-workload WiredTiger deployment (YCSB-E).
@@ -988,6 +1031,8 @@ mod tests {
             update_goodput_kops: 0.0,
             retries: 0,
             cache_hit_rate: 0.0,
+            link_utilization: 0.0,
+            queue_depth: 0,
         }
     }
 
@@ -1121,6 +1166,8 @@ mod tests {
                     update_goodput_kops: 97.5,
                     retries: 17,
                     cache_hit_rate: 0.7344,
+                    link_utilization: 0.4125,
+                    queue_depth: 9,
                 },
                 point(100.0, 99.0, 80.0),
             ],
@@ -1137,6 +1184,8 @@ mod tests {
         let p = &parsed[0].points[0];
         assert_eq!((p.completed, p.faulted, p.retries), (2_000, 3, 17));
         assert!((p.cache_hit_rate - 0.7344).abs() < 1e-9);
+        assert!((p.link_utilization - 0.4125).abs() < 1e-9);
+        assert_eq!(p.queue_depth, 9);
         // Byte-for-byte: re-serializing the parse reproduces the document.
         assert_eq!(sweep_json(&parsed), doc);
 
@@ -1145,6 +1194,12 @@ mod tests {
         let pruned = doc.replace(",\"cache_hit_rate\":0.7344", "");
         let err = parse_sweep_json(&pruned).unwrap_err();
         assert!(err.contains("cache_hit_rate"), "{err}");
+        let pruned = doc.replace(",\"link_utilization\":0.4125", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("link_utilization"), "{err}");
+        let pruned = doc.replace(",\"queue_depth\":9", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("queue_depth"), "{err}");
         assert!(parse_sweep_json("{\"swoop\":[]}").is_err());
         assert!(parse_sweep_json("not json").is_err());
         // The real emitted file's shape, including escapes.

@@ -22,8 +22,8 @@ use pulse_accel::{AccelConfig, AccelEvent, AccelOutput, Accelerator};
 use pulse_frontend::{prefix_walk, CacheConfig, CpuFrontEnd, WalkOutcome};
 use pulse_mem::{CapacityExceeded, ClusterMemory, GlobalRangeMap, NodeId, Perms, RangeTable};
 use pulse_net::{
-    CodeBlob, Endpoint, IterPacket, IterStatus, Link, LinkConfig, Packet, RequestId, Route, Switch,
-    SwitchConfig,
+    CodeBlob, Endpoint, Fabric, FabricConfig, IterPacket, IterStatus, Link, LinkConfig, Packet,
+    RequestId, Route, Switch, SwitchConfig, TopologySpec,
 };
 use pulse_sim::{
     CpuDispatch, DispatchConfig, Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime,
@@ -96,6 +96,11 @@ pub struct ClusterConfig {
     pub cpus: usize,
     /// How submissions are assigned to CPU nodes.
     pub assignment: CpuAssignment,
+    /// The rack fabric shape. [`TopologySpec::Flat`] (the default) keeps the
+    /// legacy single-switch pricing path — bit-identical to the pre-fabric
+    /// model — while any routed spec prices every packet hop by hop on a
+    /// [`Fabric`] built over the rack's CPU and memory endpoints.
+    pub topology: TopologySpec,
     /// Per-CPU-node hot-object cache over traversal cells (see
     /// `pulse_frontend::cache` for the coherence semantics). Disabled by
     /// default; when enabled, every node's front end walks cached,
@@ -118,6 +123,7 @@ impl Default for ClusterConfig {
             tcam_capacity: 4096,
             cpus: 1,
             assignment: CpuAssignment::RoundRobin,
+            topology: TopologySpec::Flat,
             cache: CacheConfig::default(),
         }
     }
@@ -162,6 +168,13 @@ pub struct ClusterReport {
     /// over all probes (hops + walks that went remote). 0.0 when the cache
     /// is disabled.
     pub cache_hit_rate: f64,
+    /// Peak utilization over the routed fabric's links into CPU nodes (the
+    /// incast-prone downlinks). Exactly 0.0 on [`TopologySpec::Flat`],
+    /// where no fabric exists.
+    pub link_utilization: f64,
+    /// Deepest any fabric egress FIFO got (messages queued or in service at
+    /// one port at once). 0 on [`TopologySpec::Flat`].
+    pub queue_depth: u64,
 }
 
 impl ClusterReport {
@@ -245,6 +258,11 @@ pub struct PulseCluster {
     mem: ClusterMemory,
     accels: Vec<Accelerator>,
     switch: Switch,
+    /// The routed fabric, present exactly when `cfg.topology` is not flat.
+    /// In routed mode it replaces the flat `links`/`switch.forward` pricing:
+    /// every packet is charged hop by hop on per-directed-link pipes (the
+    /// switch still supplies the pure routing decision).
+    fabric: Option<Fabric>,
     links: Vec<Link>,
     /// One front end per CPU node: the node's NIC/issue-queue link, its
     /// serial dispatch engine, its request sequence counter, and (when
@@ -326,9 +344,19 @@ impl PulseCluster {
                 Ok(Accelerator::new(accel_cfg, n, table))
             })
             .collect::<Result<Vec<_>, CapacityExceeded>>()?;
+        let fabric = cfg.topology.is_routed().then(|| {
+            Fabric::new(
+                cfg.topology.build(cfg.cpus, nodes),
+                FabricConfig {
+                    link: cfg.link,
+                    switch: cfg.switch,
+                },
+            )
+        });
         Ok(PulseCluster {
             accels,
             switch,
+            fabric,
             links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
             frontends: (0..cfg.cpus)
                 .map(|_| CpuFrontEnd::new(cfg.link, cfg.dispatch, cfg.cache))
@@ -568,11 +596,18 @@ impl PulseCluster {
             latency: self.hist.summary(),
             throughput: self.completed as f64 / horizon.as_secs_f64(),
             crossings: self.crossings,
-            net_bytes: self
-                .frontends
-                .iter()
-                .map(|f| f.link().tx_bytes() + f.link().rx_bytes())
-                .sum(),
+            // Flat mode counts bytes at the CPU links (both directions);
+            // routed mode counts every message once at its origin's fabric
+            // up-link, which additionally covers mem→mem chained hops the
+            // CPU links never see.
+            net_bytes: match &self.fabric {
+                Some(f) => f.host_injected_bytes(),
+                None => self
+                    .frontends
+                    .iter()
+                    .map(|f| f.link().tx_bytes() + f.link().rx_bytes())
+                    .sum(),
+            },
             mem_bytes,
             memory_util: self
                 .accels
@@ -609,7 +644,21 @@ impl PulseCluster {
                     hits as f64 / (hits + misses) as f64
                 }
             },
+            link_utilization: self
+                .fabric
+                .as_ref()
+                .map_or(0.0, |f| f.cpu_downlink_peak(horizon)),
+            queue_depth: self
+                .fabric
+                .as_ref()
+                .map_or(0, |f| f.max_queue_depth() as u64),
         }
+    }
+
+    /// The routed fabric's per-link state, when one exists (ablation-level
+    /// inspection; the report carries the headline scalars).
+    pub fn fabric(&self) -> Option<&Fabric> {
+        self.fabric.as_ref()
     }
 
     /// Builds and transmits the current traversal stage (or object I/O) of
@@ -706,11 +755,14 @@ impl PulseCluster {
             Next::Send(pkt, at) => {
                 // The dispatch engine first (queueing + occupancy under
                 // load), then the flat pipeline latency, then the node's
-                // NIC.
-                let fe = &mut self.frontends[id.cpu];
-                let depart = fe.book_dispatch(at) + self.cfg.dispatch_overhead;
-                let arrive = fe.tx(depart, pkt.wire_bytes());
-                drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
+                // NIC (flat) or the routed fabric.
+                let depart = self.frontends[id.cpu].book_dispatch(at) + self.cfg.dispatch_overhead;
+                if self.fabric.is_some() {
+                    self.route_and_send(drv, depart, pkt, Endpoint::Cpu(id.cpu));
+                } else {
+                    let arrive = self.frontends[id.cpu].tx(depart, pkt.wire_bytes());
+                    drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
+                }
             }
         }
     }
@@ -809,6 +861,71 @@ impl PulseCluster {
         }
     }
 
+    /// Routed-fabric counterpart of [`Self::at_switch`]: the switch still
+    /// makes the pure routing decision (crossing counting, the pulse-acc
+    /// override, and invalid-pointer notification follow the flat path
+    /// exactly), but transport is priced hop by hop on the fabric and the
+    /// delivery event is scheduled directly — no `AtSwitch` hop exists in
+    /// routed mode.
+    fn route_and_send(&mut self, drv: &mut Driver<Ev>, at: SimTime, pkt: Packet, from: Endpoint) {
+        let mut route = self.switch.route(&pkt);
+        if let (Packet::Iter(ip), Endpoint::Mem(_)) = (&pkt, from) {
+            if matches!(ip.status, IterStatus::InFlight) {
+                self.crossings += 1;
+                if self.cfg.mode == PulseMode::PulseAcc {
+                    route = Route::To(Endpoint::Cpu(pkt.id().cpu));
+                }
+            }
+        }
+        let wire = pkt.wire_bytes();
+        match route {
+            Route::To(ep) => {
+                let arrive = self.fabric_send(at, from, ep, wire);
+                match ep {
+                    Endpoint::Mem(n) => drv.schedule_at(arrive, Ev::AtMem(n, pkt)),
+                    Endpoint::Cpu(_) => drv.schedule_at(arrive, Ev::AtCpu(pkt)),
+                }
+            }
+            Route::InvalidPointer { requester } => {
+                let arrive = self.fabric_send(at, from, requester, wire);
+                match pkt {
+                    Packet::Iter(mut ip) => {
+                        ip.status = IterStatus::Faulted {
+                            fault: pulse_isa::MemFault::NotMapped {
+                                addr: ip.state.cur_ptr,
+                            },
+                        };
+                        drv.schedule_at(arrive, Ev::AtCpu(Packet::Iter(ip)));
+                    }
+                    Packet::Read { id, .. } | Packet::Write { id, .. } => {
+                        drv.schedule_at(arrive, Ev::Finished(id, false));
+                    }
+                    Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
+                        unreachable!("replies route to the requester, never invalid")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prices one message on the routed fabric. CPU-originated messages go
+    /// through the issuing front end ([`CpuFrontEnd::tx_routed`]) so the
+    /// shared issue path sees them; memory-node messages enter the fabric
+    /// directly.
+    fn fabric_send(&mut self, at: SimTime, from: Endpoint, to: Endpoint, bytes: u64) -> SimTime {
+        match from {
+            Endpoint::Cpu(c) => {
+                self.frontends[c].tx_routed(self.fabric.as_mut(), from, to, at, bytes)
+            }
+            Endpoint::Mem(_) => self
+                .fabric
+                .as_mut()
+                .expect("routed mode has a fabric")
+                .send(at, from, to, bytes)
+                .expect("fabric covers every rack endpoint"),
+        }
+    }
+
     fn at_switch(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet, from: Endpoint) {
         let mut route = self.switch.route(&pkt);
         // Count crossings and apply the pulse-acc ablation: an in-flight
@@ -880,20 +997,30 @@ impl PulseCluster {
                 let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
                 self.mem_bytes_extra += len as u64;
                 let reply = Packet::ReadReply { id, len };
-                let arrive = self.links[n].tx(g.end, reply.wire_bytes());
-                drv.schedule_at(arrive, Ev::AtSwitch(reply, Endpoint::Mem(n)));
+                self.mem_depart(drv, n, g.end, reply);
             }
             Packet::Write { id, addr, len } => {
                 let _ = addr;
                 let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
                 self.mem_bytes_extra += len as u64;
                 let reply = Packet::WriteAck { id };
-                let arrive = self.links[n].tx(g.end, reply.wire_bytes());
-                drv.schedule_at(arrive, Ev::AtSwitch(reply, Endpoint::Mem(n)));
+                self.mem_depart(drv, n, g.end, reply);
             }
             Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
                 unreachable!("replies never route to memory nodes")
             }
+        }
+    }
+
+    /// Transmits a packet out of memory node `n` at `at`: over the node's
+    /// flat link toward the switch, or priced on the routed fabric with
+    /// delivery scheduled directly.
+    fn mem_depart(&mut self, drv: &mut Driver<Ev>, n: NodeId, at: SimTime, pkt: Packet) {
+        if self.fabric.is_some() {
+            self.route_and_send(drv, at, pkt, Endpoint::Mem(n));
+        } else {
+            let arrive = self.links[n].tx(at, pkt.wire_bytes());
+            drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Mem(n)));
         }
     }
 
@@ -923,12 +1050,7 @@ impl PulseCluster {
                                             let g = self.dma[n].acquire(at, io.len as u64);
                                             self.mem_bytes_extra += io.len as u64;
                                             pkt.piggyback_bytes = io.len;
-                                            let wire = Packet::Iter(pkt.clone()).wire_bytes();
-                                            let arrive = self.links[n].tx(g.end, wire);
-                                            drv.schedule_at(
-                                                arrive,
-                                                Ev::AtSwitch(Packet::Iter(pkt), Endpoint::Mem(n)),
-                                            );
+                                            self.mem_depart(drv, n, g.end, Packet::Iter(pkt));
                                             continue;
                                         }
                                     }
@@ -936,11 +1058,23 @@ impl PulseCluster {
                             }
                         }
                     }
-                    let wire = Packet::Iter(pkt.clone()).wire_bytes();
-                    let arrive = self.links[n].tx(at, wire);
-                    drv.schedule_at(arrive, Ev::AtSwitch(Packet::Iter(pkt), Endpoint::Mem(n)));
+                    self.mem_depart(drv, n, at, Packet::Iter(pkt));
                 }
             }
+        }
+    }
+
+    /// Re-transmits a bounced/limited traversal from its owning CPU node:
+    /// dispatch booking + re-issue software cost, then the node's NIC
+    /// (flat) or the routed fabric.
+    fn cpu_reissue(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet) {
+        let cpu = pkt.id().cpu;
+        let depart = self.frontends[cpu].book_dispatch(now) + self.cfg.reissue_overhead;
+        if self.fabric.is_some() {
+            self.route_and_send(drv, depart, pkt, Endpoint::Cpu(cpu));
+        } else {
+            let arrive = self.frontends[cpu].tx(depart, pkt.wire_bytes());
+            drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(cpu)));
         }
     }
 
@@ -968,14 +1102,7 @@ impl PulseCluster {
                     self.fill_cache(id.cpu, &ip.touched);
                     let mut ip = ip;
                     ip.touched.clear();
-                    let fe = &mut self.frontends[id.cpu];
-                    let depart = fe.book_dispatch(now) + self.cfg.reissue_overhead;
-                    let wire = Packet::Iter(ip.clone()).wire_bytes();
-                    let arrive = fe.tx(depart, wire);
-                    drv.schedule_at(
-                        arrive,
-                        Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(id.cpu)),
-                    );
+                    self.cpu_reissue(drv, now, Packet::Iter(ip));
                 }
                 IterStatus::IterLimit => {
                     // Continuation: fresh budget, same state (§3).
@@ -984,14 +1111,7 @@ impl PulseCluster {
                     ip.touched.clear();
                     ip.status = IterStatus::InFlight;
                     ip.state.iters_done = 0;
-                    let fe = &mut self.frontends[id.cpu];
-                    let depart = fe.book_dispatch(now) + self.cfg.reissue_overhead;
-                    let wire = Packet::Iter(ip.clone()).wire_bytes();
-                    let arrive = fe.tx(depart, wire);
-                    drv.schedule_at(
-                        arrive,
-                        Ev::AtSwitch(Packet::Iter(ip), Endpoint::Cpu(id.cpu)),
-                    );
+                    self.cpu_reissue(drv, now, Packet::Iter(ip));
                 }
                 IterStatus::Faulted { .. } => {
                     drv.schedule_at(now, Ev::Finished(id, false));
@@ -1384,6 +1504,85 @@ mod tests {
         }
         .wire_bytes();
         assert!(cluster.cpu_links()[0].rx_bytes() >= wire);
+    }
+
+    #[test]
+    fn routed_fabrics_preserve_functional_results() {
+        // The fabric changes *when* packets arrive, never what they compute:
+        // every routed topology must return the same per-request answers as
+        // the functional ground truth.
+        for topology in [
+            TopologySpec::Tor { racks: 2 },
+            TopologySpec::LeafSpine {
+                leaves: 2,
+                spines: 2,
+            },
+            TopologySpec::Ring { switches: 3 },
+        ] {
+            let (mem, reqs, expected) = webservice_cluster_opts(4, 2_000, 4096, false);
+            let mut cluster = PulseCluster::new(
+                ClusterConfig {
+                    topology,
+                    ..ClusterConfig::default()
+                },
+                mem,
+            );
+            let n = reqs.len();
+            for (i, r) in reqs.into_iter().enumerate() {
+                cluster.submit_at(SimTime::from_nanos(10 * i as u64), r);
+            }
+            let mut done = Vec::new();
+            while cluster.step() {
+                done.extend(cluster.take_completions());
+            }
+            assert_eq!(done.len(), n, "{topology:?}");
+            for c in &done {
+                assert!(c.ok, "{topology:?}");
+                let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+                assert_eq!(got, expected[c.id.seq as usize], "{topology:?}");
+            }
+            let report = cluster.report();
+            assert!(report.crossings > 0, "{topology:?}");
+            assert!(report.link_utilization > 0.0, "{topology:?}");
+            assert!(report.net_bytes > 0, "{topology:?}");
+        }
+    }
+
+    #[test]
+    fn flat_topology_reports_zero_fabric_metrics() {
+        // The flat default builds no fabric at all: the new report fields
+        // are exactly zero and the legacy byte accounting is untouched.
+        let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(ClusterConfig::default(), mem);
+        let report = cluster.run(reqs, 8);
+        assert!(cluster.fabric().is_none());
+        assert_eq!(report.link_utilization, 0.0);
+        assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn routed_incast_shows_queue_depth_and_downlink_pressure() {
+        // Unpartitioned 4 KiB striping on a 2-leaf/2-spine fabric: chained
+        // traversals cross constantly and responses converge on one CPU
+        // node, so some egress FIFO must queue and the CPU downlink must be
+        // busy.
+        let (mem, reqs, _) = webservice_cluster_opts(4, 2_000, 4096, false);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                topology: TopologySpec::LeafSpine {
+                    leaves: 2,
+                    spines: 2,
+                },
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let report = cluster.run(reqs, 16);
+        assert_eq!(report.completed, 120);
+        assert!(report.queue_depth >= 2, "depth {}", report.queue_depth);
+        assert!(report.link_utilization > 0.0);
+        let fabric = cluster.fabric().expect("routed mode has a fabric");
+        assert!(fabric.link_stats().iter().any(|s| s.bytes > 0));
     }
 
     #[test]

@@ -49,12 +49,23 @@ pub struct Switch {
 }
 
 /// Switch timing/bandwidth parameters.
+///
+/// Forwarding charges derive from `Packet::wire_bytes()` and these
+/// parameters only — the satellite audit found no flat magic-number costs
+/// here; `min_frame_bytes` parametrizes the one implicit assumption (that
+/// arbitrarily small frames serialize in proportionally small time, i.e. a
+/// minimum frame size of zero) with a default preserving that behavior.
 #[derive(Debug, Clone, Copy)]
 pub struct SwitchConfig {
     /// Pipeline (parse + match + action) latency per packet.
     pub pipeline_latency: SimTime,
     /// Egress port bandwidth in bits per second.
     pub port_bits_per_sec: u64,
+    /// Minimum frame size an egress port serializes (64 B on real Ethernet).
+    /// Packets smaller than this still occupy the port for
+    /// `min_frame_bytes`. Defaults to 0 — the flat model's implicit value —
+    /// so existing traces are unchanged.
+    pub min_frame_bytes: u64,
 }
 
 impl Default for SwitchConfig {
@@ -63,6 +74,7 @@ impl Default for SwitchConfig {
             // Tofino-class cut-through forwarding latency.
             pipeline_latency: SimTime::from_nanos(600),
             port_bits_per_sec: 100_000_000_000,
+            min_frame_bytes: 0,
         }
     }
 }
@@ -125,11 +137,12 @@ impl Switch {
             self.rerouted += 1;
         }
         let ready = now + self.cfg.pipeline_latency;
+        let charged = pkt.wire_bytes().max(self.cfg.min_frame_bytes);
         let port = self
             .ports
             .entry(to)
             .or_insert_with(|| SerialResource::new(self.cfg.port_bits_per_sec));
-        port.acquire(ready, pkt.wire_bytes()).end
+        port.acquire(ready, charged).end
     }
 
     /// Packets forwarded in total.
@@ -270,6 +283,42 @@ mod tests {
         assert_eq!(sw.iter_forwards(), 1);
         assert_eq!(sw.port_bytes(Endpoint::Mem(0)), pkt.wire_bytes());
         assert_eq!(sw.port_bytes(Endpoint::Mem(1)), 0);
+    }
+
+    #[test]
+    fn forward_charge_derives_from_wire_bytes() {
+        // Satellite audit: the egress occupancy is pipeline + f(wire_bytes),
+        // with the min-frame clamp the only (opt-in) deviation and the
+        // default clamp of zero preserving pure byte-proportional charges.
+        let id = RequestId { cpu: 0, seq: 0 };
+        for len in [1u32, 64, 4096] {
+            let pkt = Packet::ReadReply { id, len };
+            let mut sw = Switch::new(SwitchConfig::default(), table());
+            let out = sw.forward(SimTime::ZERO, &pkt, Endpoint::Cpu(0));
+            let expect = SimTime::from_nanos(600)
+                + SimTime::serialization(pkt.wire_bytes(), 100_000_000_000);
+            assert_eq!(out, expect, "len {len}");
+        }
+        // With a 64 B minimum frame, a tiny packet is clamped up...
+        let clamped = SwitchConfig {
+            min_frame_bytes: 1_000,
+            ..SwitchConfig::default()
+        };
+        let tiny = Packet::ReadReply { id, len: 1 };
+        let mut sw = Switch::new(clamped, table());
+        let out = sw.forward(SimTime::ZERO, &tiny, Endpoint::Cpu(0));
+        assert_eq!(
+            out,
+            SimTime::from_nanos(600) + SimTime::serialization(1_000, 100_000_000_000)
+        );
+        // ...while packets above the clamp still charge exactly their bytes.
+        let big = Packet::ReadReply { id, len: 8192 };
+        let mut sw = Switch::new(clamped, table());
+        let out = sw.forward(SimTime::ZERO, &big, Endpoint::Cpu(0));
+        assert_eq!(
+            out,
+            SimTime::from_nanos(600) + SimTime::serialization(big.wire_bytes(), 100_000_000_000)
+        );
     }
 
     #[test]

@@ -25,7 +25,16 @@
 //! * **pulse-ycsb-a+cache** — the same cache under the write-heavy mix,
 //!   where invalidation-on-update collapses the benefit — the paper's
 //!   "caches can't save pointer-traversals" claim, measured instead of
-//!   asserted (a cache-size × Zipf-θ grid prints alongside).
+//!   asserted (a cache-size × Zipf-θ grid prints alongside),
+//! * **pulse-leafspine-hot** / **RPC-leafspine-hot** — the multi-rack
+//!   incast comparison: four memory nodes on a 2-leaf/2-spine routed
+//!   fabric (`TopologySpec::LeafSpine`), Zipf-skewed keys concentrating
+//!   traversals on the hot buckets' owning node. Every packet is priced
+//!   hop by hop on finite links; RPC's per-crossing CPU bounce drags every
+//!   traversal through the CPU node's downlink (incast), while pulse's
+//!   chained hops ride memory-to-memory paths — the separation the paper's
+//!   in-network routing argument predicts, with per-curve CPU-downlink
+//!   utilization and queue depth in the emitted JSON.
 //!
 //! Every engine runs the same contended dispatch model: each CPU node's
 //! issue path is a serial engine (`DISPATCH_OCCUPANCY` per packet on
@@ -41,23 +50,31 @@
 //! cargo run --release --example latency_sweep -- --requests 300 --loads 20,60,120
 //! ```
 //!
-//! The run writes all twelve curves to `BENCH_sweep.json`; CI greps that
-//! file for every expected label and checks the cache-hit-rate invariants.
+//! The run writes all fourteen curves to `BENCH_sweep.json`; CI greps that
+//! file for every expected label and checks the cache-hit-rate and
+//! link-utilization invariants.
 
 use pulse::baselines::{RpcConfig, SwapConfig};
 use pulse::sim::SimTime;
 use pulse::workloads::Distribution;
-use pulse::{BaselineKind, CacheConfig, DispatchConfig, YcsbWorkload};
+use pulse::{BaselineKind, CacheConfig, DispatchConfig, TopologySpec, YcsbWorkload};
 use pulse_bench::{
     baseline_webservice_factory, baseline_ycsb_factory, cached_baseline_webservice_factory,
-    cached_pulse_webservice_factory, pulse_app_factory, pulse_ycsb_factory, sweep, sweep_json,
-    AppKind, SweepReport,
+    cached_pulse_webservice_factory, fabric_pulse_webservice_factory, pulse_app_factory,
+    pulse_ycsb_factory, sweep, sweep_json, AppKind, SweepReport,
 };
 
 const NODES: usize = 2;
 const CPUS: usize = 2;
 const BASELINE_CLIENTS: usize = 16;
 const SEED: u64 = 42;
+/// Memory nodes in the multi-rack incast deployment (two per leaf).
+const FABRIC_NODES: usize = 4;
+/// The routed geometry of the incast curves.
+const FABRIC_TOPOLOGY: TopologySpec = TopologySpec::LeafSpine {
+    leaves: 2,
+    spines: 2,
+};
 /// The SLO used for the "sustained load" headline (µs).
 const SLO_P99_US: f64 = 150.0;
 /// Dispatch-engine service time per issued packet.
@@ -234,6 +251,35 @@ fn main() -> Result<(), pulse::Error> {
                 CacheConfig::sized(CACHE_BYTES),
             ),
         )?,
+        // The multi-rack incast comparison: identical Zipf-skewed
+        // WebService deployments on a routed 2-leaf/2-spine fabric.
+        sweep(
+            "pulse-leafspine-hot",
+            &loads_kops,
+            SEED,
+            fabric_pulse_webservice_factory(
+                FABRIC_NODES,
+                CPUS,
+                requests,
+                dispatch,
+                FABRIC_TOPOLOGY,
+            ),
+        )?,
+        sweep(
+            "RPC-leafspine-hot",
+            &loads_kops,
+            SEED,
+            baseline_webservice_factory(
+                FABRIC_NODES,
+                BaselineKind::Rpc(RpcConfig {
+                    dispatch,
+                    topology: FABRIC_TOPOLOGY,
+                    ..RpcConfig::rpc()
+                }),
+                BASELINE_CLIENTS,
+                requests,
+            ),
+        )?,
     ];
 
     for curve in &curves {
@@ -408,6 +454,68 @@ fn main() -> Result<(), pulse::Error> {
         mixed_pulse.map_or("-".into(), |k| format!("{k:.0}")),
         mixed_rpc.map_or("-".into(), |k| format!("{k:.0}")),
     );
+
+    // The routed-fabric invariants, measured: flat curves carry exactly
+    // zero fabric metrics (no fabric exists to produce them); both routed
+    // curves show real downlink pressure.
+    for curve in &curves {
+        if !curve.label.contains("leafspine") {
+            assert!(
+                curve
+                    .points
+                    .iter()
+                    .all(|p| p.link_utilization == 0.0 && p.queue_depth == 0),
+                "{}: flat curves must report zero fabric metrics",
+                curve.label
+            );
+        }
+    }
+    let fabric_curve = |label: &str| {
+        curves
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("{label} curve present"))
+    };
+    let pulse_fab = fabric_curve("pulse-leafspine-hot");
+    let rpc_fab = fabric_curve("RPC-leafspine-hot");
+    let peak_util = |c: &SweepReport| {
+        c.points
+            .iter()
+            .map(|p| p.link_utilization)
+            .fold(0.0, f64::max)
+    };
+    let (pulse_util, rpc_util) = (peak_util(pulse_fab), peak_util(rpc_fab));
+    println!(
+        "\nleaf-spine incast — peak CPU-downlink utilization: \
+         pulse {pulse_util:.3} vs RPC {rpc_util:.3}"
+    );
+    assert!(
+        pulse_util > 0.0 && rpc_util > 0.0,
+        "routed curves must price real traffic on the fabric"
+    );
+    // The incast separation itself: bouncing every cross-node hop through
+    // the CPU node drags RPC's downlink utilization above pulse's, and at
+    // the p99 SLO pulse sustains strictly more load on the hot fabric.
+    assert!(
+        rpc_util > pulse_util,
+        "RPC's CPU bounce must congest the downlink harder than pulse's \
+         chained hops ({rpc_util:.3} vs {pulse_util:.3})"
+    );
+    let pulse_fab_sustained = pulse_fab.max_load_under_p99(SLO_P99_US);
+    let rpc_fab_sustained = rpc_fab.max_load_under_p99(SLO_P99_US);
+    println!(
+        "leaf-spine incast sustained at p99 <= {SLO_P99_US} us: pulse {} vs RPC {}",
+        pulse_fab_sustained.map_or("-".into(), |k| format!("{k:.0}")),
+        rpc_fab_sustained.map_or("-".into(), |k| format!("{k:.0}")),
+    );
+    match (pulse_fab_sustained, rpc_fab_sustained) {
+        (Some(p), Some(r)) => assert!(
+            p > r,
+            "chained traversal must beat the CPU bounce on the hot fabric ({p} vs {r})"
+        ),
+        (Some(_), None) => {} // RPC sustained nothing at the SLO: stronger still.
+        _ => panic!("pulse must sustain some load on the routed fabric"),
+    }
 
     let json = sweep_json(&curves);
     std::fs::write("BENCH_sweep.json", &json)

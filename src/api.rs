@@ -171,6 +171,11 @@ pub struct EngineReport {
     pub mem_bytes: u64,
     /// Front-end traversal-cell cache hit rate (0.0 when disabled).
     pub cache_hit_rate: f64,
+    /// Peak busy fraction over the fabric links into CPU nodes. Exactly
+    /// 0.0 on the flat topology, where no fabric exists.
+    pub link_utilization: f64,
+    /// Deepest any fabric link's egress FIFO ever got. 0 on flat.
+    pub queue_depth: u64,
     /// End of the last completion.
     pub makespan: SimTime,
 }
@@ -186,6 +191,8 @@ impl EngineReport {
             net_bytes: rep.net_bytes,
             mem_bytes: rep.mem_bytes,
             cache_hit_rate: rep.cache_hit_rate,
+            link_utilization: rep.link_utilization,
+            queue_depth: rep.queue_depth,
             makespan: rep.makespan,
         }
     }
@@ -200,6 +207,8 @@ impl EngineReport {
             net_bytes: rep.net_bytes,
             mem_bytes: rep.mem_bytes,
             cache_hit_rate: rep.cache_hit_rate,
+            link_utilization: rep.link_utilization,
+            queue_depth: rep.queue_depth,
             makespan: rep.makespan,
         }
     }
@@ -349,6 +358,8 @@ impl Engine for BaselineEngine {
                 completed_updates: 0,
                 retries: 0,
                 cache_hit_rate: 0.0,
+                link_utilization: 0.0,
+                queue_depth: 0,
             });
         }
         let rep = match self.kind {
@@ -377,6 +388,8 @@ impl Engine for BaselineEngine {
             completed_updates: requests.iter().filter(|r| r.is_update()).count() as u64,
             retries: 0,
             cache_hit_rate: rep.cache_hit_rate,
+            link_utilization: rep.link_utilization,
+            queue_depth: rep.queue_depth,
         })
     }
 }

@@ -107,6 +107,7 @@ pub use pulse_core::{
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;
 pub use pulse_mutation::MutationConfig;
+pub use pulse_net::TopologySpec;
 pub use pulse_workloads::{
     AppRequest, ArrivalProcess, BtrdbConfig, RequestError, RetryPolicy, WebServiceConfig,
     WiredTigerConfig, YcsbWorkload,

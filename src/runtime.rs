@@ -27,7 +27,7 @@ use pulse_core::{
 };
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
-use pulse_net::RequestId;
+use pulse_net::{RequestId, TopologySpec};
 use pulse_sim::{LatencyHistogram, LatencySummary, SimTime};
 use pulse_workloads::{execute_functional, AppRequest, ArrivalProcess, FunctionalRun};
 use std::collections::VecDeque;
@@ -133,6 +133,16 @@ impl PulseBuilder {
     /// Crossing-handling mode (the Fig. 9 pulse vs pulse-acc ablation).
     pub fn mode(mut self, mode: PulseMode) -> PulseBuilder {
         self.config.mode = mode;
+        self
+    }
+
+    /// Rack fabric geometry. The default [`TopologySpec::Flat`] is the
+    /// single-switch model, bit-identical to every pre-fabric trace; any
+    /// routed spec (ToR, leaf–spine, ring) prices every packet hop by hop
+    /// over finite directed links and surfaces link utilization and queue
+    /// depth in the reports.
+    pub fn topology(mut self, topology: TopologySpec) -> PulseBuilder {
+        self.config.topology = topology;
         self
     }
 
@@ -479,6 +489,15 @@ pub struct OpenLoopReport {
     /// walked hops over all probes. 0.0 whenever the cache is disabled —
     /// the sweep's CI gate greps exactly that.
     pub cache_hit_rate: f64,
+    /// Peak demand over the fabric links into CPU nodes (the incast-prone
+    /// downlinks), normalized over the offered-load window so systems that
+    /// fall behind the offered rate still show the pressure that rate puts
+    /// on their downlinks — it can exceed 1.0 when a link is
+    /// oversubscribed. Exactly 0.0 on the flat topology, where no fabric
+    /// exists.
+    pub link_utilization: f64,
+    /// Deepest any fabric link's egress FIFO ever got. 0 on flat.
+    pub queue_depth: u64,
 }
 
 impl OpenLoopReport {
@@ -615,6 +634,16 @@ impl OpenLoopDriver {
             } else {
                 hits as f64 / (hits + misses) as f64
             },
+            // Demand-normalized over the offered-load window, matching the
+            // baselines: a system that falls behind the offered rate still
+            // shows what that rate asks of its hottest CPU downlink.
+            link_utilization: runtime.cluster().fabric().map_or(0.0, |f| {
+                let window = last_arrival
+                    .saturating_sub(first_arrival)
+                    .max(SimTime::from_nanos(1));
+                f.cpu_downlink_peak(window)
+            }),
+            queue_depth: runtime.report().queue_depth,
         })
     }
 }
