@@ -677,6 +677,289 @@ pub fn sweep(
     })
 }
 
+// ----------------------------------------------------- parallel sweep layer
+
+/// The engine-factory shape the parallel harness requires: callable from
+/// any worker thread, each call building a fresh deterministic closed
+/// world (engine + request stream) for one rung.
+pub type CurveFactory = Box<dyn Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync>;
+
+/// One curve of a parallel sweep: everything [`sweep`] takes, packaged so
+/// a worker pool can claim (curve, rung) pairs independently. Each rung is
+/// a deterministic closed world — its own cluster/baseline, its own
+/// SplitMix64 streams — so rungs race on wall-clock only, never on state.
+pub struct CurveSpec {
+    /// Curve label in the emitted JSON (same contract as [`sweep`]'s).
+    pub label: String,
+    /// Offered-load ladder, kilo-requests per second per rung.
+    pub loads_kops: Vec<f64>,
+    /// Arrival seed, reused across rungs exactly as [`sweep`] does.
+    pub seed: u64,
+    /// Builds the rung's engine and request stream.
+    pub make: CurveFactory,
+}
+
+impl CurveSpec {
+    /// Packages a curve for [`sweep_par`].
+    pub fn new(
+        label: &str,
+        loads_kops: &[f64],
+        seed: u64,
+        make: impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync + 'static,
+    ) -> CurveSpec {
+        CurveSpec {
+            label: label.to_string(),
+            loads_kops: loads_kops.to_vec(),
+            seed,
+            make: Box::new(make),
+        }
+    }
+}
+
+impl std::fmt::Debug for CurveSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CurveSpec")
+            .field("label", &self.label)
+            .field("loads_kops", &self.loads_kops)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Wall-clock and simulated-throughput measurements for one curve of a
+/// parallel sweep — the per-curve rows of `BENCH_simspeed.json`.
+#[derive(Debug, Clone)]
+pub struct CurveTiming {
+    /// The curve's label (matches its [`SweepReport`]).
+    pub label: String,
+    /// Wall-clock per rung, milliseconds, in ladder order.
+    pub rung_wall_ms: Vec<f64>,
+    /// Total wall-clock spent simulating this curve (sum over rungs —
+    /// CPU-time-shaped, independent of how rungs interleaved across
+    /// workers), milliseconds.
+    pub wall_ms: f64,
+    /// Requests the simulator retired across the curve's rungs
+    /// (completed + faulted): the work metric behind simulated-ops/sec.
+    pub sim_ops: u64,
+}
+
+impl CurveTiming {
+    /// Simulated requests retired per wall-clock second on this curve.
+    pub fn sim_ops_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.sim_ops as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Everything a parallel sweep produces: the stitched curves (byte-identical
+/// to running [`sweep`] serially, in spec order) plus the perf trajectory.
+#[derive(Debug)]
+pub struct ParSweepReport {
+    /// One report per [`CurveSpec`], in spec order, each ladder in order —
+    /// [`sweep_json`] over these matches the serial run byte for byte.
+    pub curves: Vec<SweepReport>,
+    /// Per-curve wall-clock/throughput measurements, in spec order.
+    pub timings: Vec<CurveTiming>,
+    /// Worker threads the pool ran.
+    pub workers: usize,
+    /// End-to-end wall-clock of the whole sweep, milliseconds.
+    pub total_wall_ms: f64,
+}
+
+/// Runs a set of curves on a bounded `std::thread::scope` worker pool and
+/// stitches the results back in spec/ladder order.
+///
+/// Work items are (curve, rung) pairs: each worker claims the next item
+/// off a shared counter, builds that rung's engine *inside the worker*
+/// (engines are neither `Send` nor shared — each is created, driven and
+/// dropped on one thread), runs it, and deposits the [`SweepPoint`] into
+/// the rung's slot. Rungs already run under fixed seeds against private
+/// state, so the schedule cannot affect results — only wall-clock — and
+/// the stitched [`ParSweepReport::curves`] is byte-identical (via
+/// [`sweep_json`]) to a serial [`sweep`] loop for any worker count, which
+/// `tests/parallel_sweep.rs` and CI assert.
+///
+/// `on_curve` fires from a worker as each *curve* retires its last rung
+/// (curves can finish out of spec order), so long ladders can stream
+/// progress to CI logs while the pool keeps running.
+///
+/// # Errors
+///
+/// [`pulse::Error::Config`] for an empty label (checked up front, before
+/// any thread spawns); the first engine error in spec/ladder order
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, and propagates worker-thread panics.
+pub fn sweep_par_with(
+    specs: &[CurveSpec],
+    workers: usize,
+    on_curve: impl Fn(&CurveTiming) + Send + Sync,
+) -> Result<ParSweepReport, pulse::Error> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    assert!(workers > 0, "a worker pool needs at least one thread");
+    for spec in specs {
+        if spec.label.is_empty() {
+            return Err(pulse::Error::Config(
+                "a sweep curve needs a non-empty label".into(),
+            ));
+        }
+    }
+    let t0 = Instant::now();
+    // Flattened (curve, rung) work items, claimed off one shared counter.
+    let items: Vec<(usize, usize)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(c, s)| (0..s.loads_kops.len()).map(move |r| (c, r)))
+        .collect();
+    type Slot = Mutex<Option<Result<(SweepPoint, f64), pulse::Error>>>;
+    let slots: Vec<Vec<Slot>> = specs
+        .iter()
+        .map(|s| (0..s.loads_kops.len()).map(|_| Mutex::new(None)).collect())
+        .collect();
+    // Rungs still outstanding per curve: the worker that retires a curve's
+    // last rung reports it through `on_curve`.
+    let remaining: Vec<AtomicUsize> = specs
+        .iter()
+        .map(|s| AtomicUsize::new(s.loads_kops.len().max(1)))
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    let curve_timing = |c: usize| -> CurveTiming {
+        let rung_wall_ms: Vec<f64> = slots[c]
+            .iter()
+            .map(|slot| match slot.lock().expect("slot").as_ref() {
+                Some(Ok((_, ms))) => *ms,
+                _ => 0.0,
+            })
+            .collect();
+        let sim_ops: u64 = slots[c]
+            .iter()
+            .map(|slot| match slot.lock().expect("slot").as_ref() {
+                Some(Ok((p, _))) => p.completed + p.faulted,
+                _ => 0,
+            })
+            .sum();
+        CurveTiming {
+            label: specs[c].label.clone(),
+            wall_ms: rung_wall_ms.iter().sum(),
+            rung_wall_ms,
+            sim_ops,
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(c, r)) = items.get(i) else { break };
+                let spec = &specs[c];
+                let rung_t0 = Instant::now();
+                let (mut engine, requests) = (spec.make)();
+                let arrivals = pulse::ArrivalProcess::poisson(spec.loads_kops[r] * 1e3, spec.seed);
+                let result = engine
+                    .execute_open_loop(&requests, arrivals)
+                    .map(|rep| SweepPoint::from_report(&rep));
+                drop(engine);
+                let wall_ms = rung_t0.elapsed().as_secs_f64() * 1e3;
+                *slots[c][r].lock().expect("slot") = Some(result.map(|p| (p, wall_ms)));
+                if remaining[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    on_curve(&curve_timing(c));
+                }
+            });
+        }
+    });
+
+    // Zero-rung curves never enter the pool; report them here so progress
+    // covers every spec exactly once.
+    for (c, spec) in specs.iter().enumerate() {
+        if spec.loads_kops.is_empty() {
+            on_curve(&curve_timing(c));
+        }
+    }
+
+    // Stitch in spec/ladder order; surface the first error in that order
+    // (matching what a serial loop would have hit first).
+    let mut curves = Vec::with_capacity(specs.len());
+    let mut timings = Vec::with_capacity(specs.len());
+    for (c, spec) in specs.iter().enumerate() {
+        // Timing first: draining the slots below empties what it reads.
+        timings.push(curve_timing(c));
+        let mut points = Vec::with_capacity(spec.loads_kops.len());
+        for slot in &slots[c] {
+            let entry = slot.lock().expect("slot").take().expect("all rungs ran");
+            points.push(entry?.0);
+        }
+        curves.push(SweepReport {
+            label: spec.label.clone(),
+            points,
+        });
+    }
+    Ok(ParSweepReport {
+        curves,
+        timings,
+        workers,
+        total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// [`sweep_par_with`] without a progress callback.
+///
+/// # Errors
+///
+/// As [`sweep_par_with`].
+pub fn sweep_par(specs: &[CurveSpec], workers: usize) -> Result<ParSweepReport, pulse::Error> {
+    sweep_par_with(specs, workers, |_| {})
+}
+
+/// Serializes a parallel sweep's perf measurements as the
+/// `BENCH_simspeed.json` document: simulator throughput (simulated-ops/sec
+/// per curve), wall-clock per rung, and the sweep's total wall-clock, so
+/// raw simulator speed is a tracked trajectory alongside `BENCH_sweep.json`.
+/// Wall-clock numbers are machine-dependent by nature; the *schema* is
+/// what CI pins.
+pub fn simspeed_json(report: &ParSweepReport) -> String {
+    let curves: Vec<String> = report
+        .timings
+        .iter()
+        .zip(&report.curves)
+        .map(|(t, c)| {
+            let rungs: Vec<String> = t
+                .rung_wall_ms
+                .iter()
+                .zip(&c.points)
+                .map(|(ms, p)| {
+                    format!(
+                        "{{\"offered_kops\":{:.3},\"wall_ms\":{:.3}}}",
+                        p.offered_kops, ms
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"label\":\"{}\",\"sim_ops\":{},\"sim_ops_per_sec\":{:.1},\
+                 \"wall_ms\":{:.3},\"rungs\":[{}]}}",
+                json_escape(&t.label),
+                t.sim_ops,
+                t.sim_ops_per_sec(),
+                t.wall_ms,
+                rungs.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workers\":{},\"total_wall_ms\":{:.3},\"curves\":[{}]}}",
+        report.workers,
+        report.total_wall_ms,
+        curves.join(",")
+    )
+}
+
 /// A ready-made engine factory for [`sweep`]: the pulse rack over any
 /// [`AppKind`] deployment (`nodes` memory nodes, `cpus` compute nodes,
 /// requests round-robined across them), regenerating the identical
@@ -689,7 +972,7 @@ pub fn pulse_app_factory(
     cpus: usize,
     requests: usize,
     dispatch: DispatchConfig,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     move || {
         let builder = pulse::PulseBuilder::new()
             .nodes(nodes)
@@ -736,7 +1019,7 @@ pub fn pulse_webservice_factory(
     nodes: usize,
     cpus: usize,
     requests: usize,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     pulse_app_factory(
         AppKind::WebService(YcsbWorkload::C),
         nodes,
@@ -760,7 +1043,7 @@ pub fn fabric_pulse_webservice_factory(
     requests: usize,
     dispatch: DispatchConfig,
     topology: pulse::TopologySpec,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     move || {
         let (runtime, mut app) = pulse::PulseBuilder::new()
             .nodes(nodes)
@@ -867,7 +1150,7 @@ pub fn pulse_ycsb_factory(
     requests: usize,
     dispatch: DispatchConfig,
     cache: pulse::CacheConfig,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     assert!(
         workload != YcsbWorkload::C,
         "YCSB-C is read-only; use pulse_app_factory"
@@ -912,7 +1195,7 @@ pub fn baseline_ycsb_factory(
     kind: pulse::BaselineKind,
     concurrency: usize,
     requests: usize,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     assert!(
         workload != YcsbWorkload::C,
         "YCSB-C is read-only; use baseline_webservice_factory"
@@ -952,7 +1235,7 @@ pub fn cached_pulse_webservice_factory(
     dispatch: DispatchConfig,
     cache: pulse::CacheConfig,
     dist: Distribution,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     move || {
         let (runtime, mut app) = pulse::PulseBuilder::new()
             .nodes(nodes)
@@ -976,7 +1259,7 @@ pub fn cached_baseline_webservice_factory(
     concurrency: usize,
     requests: usize,
     dist: Distribution,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     move || {
         let (engine, mut app) = pulse::PulseBuilder::new()
             .nodes(nodes)
@@ -998,7 +1281,7 @@ pub fn baseline_webservice_factory(
     kind: pulse::BaselineKind,
     concurrency: usize,
     requests: usize,
-) -> impl FnMut() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) {
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
     move || {
         let (engine, mut app) = pulse::PulseBuilder::new()
             .nodes(nodes)

@@ -272,6 +272,16 @@ pub struct PulseCluster {
     /// Per-node DMA engines serving plain object reads/writes.
     dma: Vec<SerialResource>,
     inflight: HashMap<RequestId, ReqState>,
+    /// Recycled scratchpad buffers from retired [`pulse_isa::IterState`]s,
+    /// fed back into stage issue so steady-state traversal sends allocate
+    /// no scratch `Vec`. Capacity-only reuse: buffers are zeroed and
+    /// resized on the way out, so behavior is bit-identical to fresh
+    /// allocation. Bounded by the in-flight population (one buffer retires
+    /// per stage completion, one is consumed per stage send).
+    scratch_pool: Vec<Vec<u8>>,
+    /// Recycled cache-fill descriptor buffers from consumed responses
+    /// (always empty-capacity churn when the front-end cache is disabled).
+    touched_pool: Vec<Vec<(u64, u32)>>,
     /// Total submissions so far (drives the CPU-assignment policy).
     submitted: u64,
     /// The event loop (incremental: submit/step/take_completions).
@@ -365,8 +375,12 @@ impl PulseCluster {
                 .map(|_| SerialResource::new(cfg.accel.timing.dram_bytes_per_sec * 8))
                 .collect(),
             inflight: HashMap::new(),
+            scratch_pool: Vec::new(),
+            touched_pool: Vec::new(),
             submitted: 0,
-            drv: Driver::new(),
+            // Sized for a deep open-loop in-flight population so the event
+            // heap reaches steady state without reallocating.
+            drv: Driver::with_capacity(1024),
             done: Vec::new(),
             hist: LatencyHistogram::new(),
             completed: 0,
@@ -687,7 +701,10 @@ impl PulseCluster {
                 // Malformed stage wiring faults the request rather than
                 // panicking the rack (`AppRequest::validate` catches this
                 // at submit time on the runtime path).
-                match stage.init_state(st.last_state.as_ref()) {
+                // Recycled buffers keep stage issue allocation-free; the
+                // `Vec::new()` fallbacks cost nothing until first push.
+                let scratch_buf = self.scratch_pool.pop().unwrap_or_default();
+                match stage.init_state_in(st.last_state.as_ref(), scratch_buf) {
                     Err(_) => Next::Fault,
                     Ok(mut state) => {
                         let mut send_at = now;
@@ -712,11 +729,13 @@ impl PulseCluster {
                             None => Next::Send(
                                 Packet::Iter(IterPacket {
                                     id,
+                                    // Cheap: an Arc clone with a cached wire
+                                    // length — no per-request re-encode.
                                     code: CodeBlob::new(stage.program.clone()),
                                     state,
                                     status: IterStatus::InFlight,
                                     piggyback_bytes: 0,
-                                    touched: Vec::new(),
+                                    touched: self.touched_pool.pop().unwrap_or_default(),
                                 }),
                                 send_at,
                             ),
@@ -806,7 +825,9 @@ impl PulseCluster {
                 if st.retries < rp.max {
                     st.retries += 1;
                     st.stage = 0;
-                    st.last_state = None;
+                    if let Some(old) = st.last_state.take() {
+                        self.scratch_pool.push(old.scratch);
+                    }
                     // A cached walk that observed a locked bucket would
                     // re-observe the same coherent snapshot forever; force
                     // one remote attempt to refresh it.
@@ -1088,8 +1109,16 @@ impl PulseCluster {
                     // accelerators shipped back land in this node's cache
                     // (empty and free without one).
                     self.fill_cache(id.cpu, &ip.touched);
+                    let mut touched = ip.touched;
+                    if touched.capacity() > 0 {
+                        touched.clear();
+                        self.touched_pool.push(touched);
+                    }
                     let st = self.inflight.get_mut(&id).expect("inflight");
-                    st.last_state = Some(ip.state);
+                    let prev = st.last_state.replace(ip.state);
+                    if let Some(old) = prev {
+                        self.scratch_pool.push(old.scratch);
+                    }
                     self.stage_done(drv, now, id, code, gathered, false);
                 }
                 IterStatus::InFlight => {
@@ -1114,6 +1143,7 @@ impl PulseCluster {
                     self.cpu_reissue(drv, now, Packet::Iter(ip));
                 }
                 IterStatus::Faulted { .. } => {
+                    self.scratch_pool.push(ip.state.scratch);
                     drv.schedule_at(now, Ev::Finished(id, false));
                 }
             },

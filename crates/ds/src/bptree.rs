@@ -481,19 +481,26 @@ impl crate::traversal::Traversal for WiredTigerScan<'_> {
         vec![WiredTigerTree::locate_spec(), WiredTigerTree::scan_spec()]
     }
 
-    fn plan(&self, key: u64) -> Result<Vec<crate::traversal::StagePlan>, DsError> {
+    fn plan_into(
+        &self,
+        key: u64,
+        out: &mut Vec<crate::traversal::StagePlan>,
+    ) -> Result<(), DsError> {
         use crate::traversal::StagePlan;
-        Ok(vec![
-            StagePlan::fixed(self.tree.root(), vec![(btree_layout::SP_KEY, key)]),
-            StagePlan::chained(
-                btree_layout::SP_LEAF,
-                vec![
-                    (wt_layout::SP_START, key),
-                    (wt_layout::SP_REMAIN, self.limit),
-                    (wt_layout::SP_MATCHED, 0),
-                ],
-            ),
-        ])
+        out.clear();
+        out.push(StagePlan::fixed(
+            self.tree.root(),
+            vec![(btree_layout::SP_KEY, key)],
+        ));
+        out.push(StagePlan::chained(
+            btree_layout::SP_LEAF,
+            vec![
+                (wt_layout::SP_START, key),
+                (wt_layout::SP_REMAIN, self.limit),
+                (wt_layout::SP_MATCHED, 0),
+            ],
+        ));
+        Ok(())
     }
 }
 
@@ -528,22 +535,29 @@ impl crate::traversal::Traversal for BtrdbWindowScan<'_> {
         vec![BtrdbTree::locate_spec(), BtrdbTree::aggregate_spec()]
     }
 
-    fn plan(&self, t0: u64) -> Result<Vec<crate::traversal::StagePlan>, DsError> {
+    fn plan_into(
+        &self,
+        t0: u64,
+        out: &mut Vec<crate::traversal::StagePlan>,
+    ) -> Result<(), DsError> {
         use crate::traversal::StagePlan;
-        Ok(vec![
-            StagePlan::fixed(self.tree.root(), vec![(btree_layout::SP_KEY, t0)]),
-            StagePlan::chained(
-                btree_layout::SP_LEAF,
-                vec![
-                    (btrdb_layout::SP_T0, t0),
-                    (btrdb_layout::SP_T1, t0 + self.window_ns),
-                    (btrdb_layout::SP_SUM, 0),
-                    (btrdb_layout::SP_MIN, i64::MAX as u64),
-                    (btrdb_layout::SP_MAX, i64::MIN as u64),
-                    (btrdb_layout::SP_N, 0),
-                ],
-            ),
-        ])
+        out.clear();
+        out.push(StagePlan::fixed(
+            self.tree.root(),
+            vec![(btree_layout::SP_KEY, t0)],
+        ));
+        out.push(StagePlan::chained(
+            btree_layout::SP_LEAF,
+            vec![
+                (btrdb_layout::SP_T0, t0),
+                (btrdb_layout::SP_T1, t0 + self.window_ns),
+                (btrdb_layout::SP_SUM, 0),
+                (btrdb_layout::SP_MIN, i64::MAX as u64),
+                (btrdb_layout::SP_MAX, i64::MIN as u64),
+                (btrdb_layout::SP_N, 0),
+            ],
+        ));
+        Ok(())
     }
 }
 

@@ -677,14 +677,13 @@ impl Traversal for SearchTree {
         vec![Self::lower_bound_spec()]
     }
 
-    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
         if self.root == 0 {
             return Err(DsError::Empty);
         }
-        Ok(vec![StagePlan::fixed(
-            self.root,
-            vec![(layout::SP_KEY, key)],
-        )])
+        out.clear();
+        out.push(StagePlan::fixed(self.root, vec![(layout::SP_KEY, key)]));
+        Ok(())
     }
 }
 

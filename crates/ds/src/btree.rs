@@ -171,14 +171,16 @@ impl Traversal for GoogleBTree {
         vec![Self::locate_spec()]
     }
 
-    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
         if self.root == 0 {
             return Err(DsError::Empty);
         }
-        Ok(vec![StagePlan::fixed(
+        out.clear();
+        out.push(StagePlan::fixed(
             self.root,
             vec![(btree_layout::SP_KEY, key)],
-        )])
+        ));
+        Ok(())
     }
 }
 

@@ -303,6 +303,49 @@ mod tests {
     }
 
     #[test]
+    fn encoded_len_is_exact_for_the_whole_catalog() {
+        // The cached arithmetic wire length must equal a real encoding pass
+        // for every compiled program in the catalog, plus the staged scans'
+        // second-stage programs (the widest operand mix in the workspace).
+        use crate::{BtrdbTree, WiredTigerTree};
+        use pulse_isa::{encode_program, encoded_len};
+        let mut specs: Vec<(String, pulse_dispatch::IterSpec)> = catalog()
+            .iter()
+            .map(|s| (s.name.to_string(), (s.spec)()))
+            .collect();
+        specs.push(("wiredtiger::scan".into(), WiredTigerTree::scan_spec()));
+        specs.push(("btrdb::aggregate".into(), BtrdbTree::aggregate_spec()));
+        for (name, spec) in specs {
+            let p = pulse_dispatch::compile(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(encoded_len(&p), encode_program(&p).len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn plan_into_reuses_buffer_and_matches_plan() {
+        // One buffer across every structure and key: plan_into must leave
+        // exactly what a fresh plan() returns, clearing stale contents.
+        let pairs: Vec<(u64, u64)> = (0..40).map(|k| (k, k * 3 + 1)).collect();
+        let mut buf = Vec::new();
+        for s in catalog() {
+            let mut mem = ClusterMemory::new(2);
+            let mut alloc = ClusterAllocator::new(Placement::Striped, 1 << 14);
+            let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
+            let t = (s.build)(&mut ctx, &pairs).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            for key in [1, 7, 23] {
+                t.plan_into(key, &mut buf)
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+                let fresh = t.plan(key).unwrap();
+                assert_eq!(buf.len(), fresh.len(), "{}", s.name);
+                for (a, b) in buf.iter().zip(&fresh) {
+                    assert_eq!(a.start, b.start, "{}", s.name);
+                    assert_eq!(a.scratch, b.scratch, "{}", s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn shared_base_functions_share_programs() {
         // Table 5's point: same internal function => same compiled code.
         let cat = catalog();

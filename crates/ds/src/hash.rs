@@ -203,11 +203,13 @@ impl Traversal for HashMapDs {
         vec![Self::find_spec()]
     }
 
-    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
-        Ok(vec![StagePlan::fixed(
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
+        out.clear();
+        out.push(StagePlan::fixed(
             self.bucket_addr(key),
             vec![(layout::SP_KEY, key)],
-        )])
+        ));
+        Ok(())
     }
 }
 
@@ -250,8 +252,8 @@ impl Traversal for HashSetDs {
         self.inner.stages()
     }
 
-    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
-        self.inner.plan(key)
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
+        self.inner.plan_into(key, out)
     }
 }
 
@@ -314,8 +316,8 @@ impl Traversal for BimapDs {
 
     /// Plans a left→right lookup (the forward index; the backward index is
     /// the same compiled program over its own buckets).
-    fn plan(&self, left: u64) -> Result<Vec<StagePlan>, DsError> {
-        self.forward.plan(left)
+    fn plan_into(&self, left: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
+        self.forward.plan_into(left, out)
     }
 }
 

@@ -145,14 +145,13 @@ impl Traversal for LinkedList {
         vec![Self::find_spec()]
     }
 
-    fn plan(&self, value: u64) -> Result<Vec<StagePlan>, DsError> {
+    fn plan_into(&self, value: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
         if self.head == 0 {
             return Err(DsError::Empty);
         }
-        Ok(vec![StagePlan::fixed(
-            self.head,
-            vec![(layout::SP_KEY, value)],
-        )])
+        out.clear();
+        out.push(StagePlan::fixed(self.head, vec![(layout::SP_KEY, value)]));
+        Ok(())
     }
 }
 

@@ -75,13 +75,29 @@ pub trait Traversal {
     fn stages(&self) -> Vec<IterSpec>;
 
     /// The CPU-side `init()` step: start pointer + scratchpad seed for each
-    /// stage of a lookup of `key`.
+    /// stage of a lookup of `key`, appended to a caller-owned buffer.
+    ///
+    /// `out` is cleared first, so on success it holds exactly this lookup's
+    /// stage plans. Reusing one buffer across requests keeps the per-request
+    /// issue path allocation-free — the front ends mint millions of plans
+    /// per sweep, and this is the only place they would otherwise allocate.
     ///
     /// # Errors
     ///
     /// Structure-level errors (e.g. [`DsError::Empty`] when there is no
-    /// node to start from).
-    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError>;
+    /// node to start from). On error the contents of `out` are unspecified.
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError>;
+
+    /// Allocating convenience wrapper over [`Traversal::plan_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Traversal::plan_into`].
+    fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
+        let mut out = Vec::new();
+        self.plan_into(key, &mut out)?;
+        Ok(out)
+    }
 }
 
 impl<T: Traversal + ?Sized> Traversal for Box<T> {
@@ -91,6 +107,10 @@ impl<T: Traversal + ?Sized> Traversal for Box<T> {
 
     fn stages(&self) -> Vec<IterSpec> {
         (**self).stages()
+    }
+
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
+        (**self).plan_into(key, out)
     }
 
     fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {
@@ -105,6 +125,10 @@ impl<T: Traversal + ?Sized> Traversal for &T {
 
     fn stages(&self) -> Vec<IterSpec> {
         (**self).stages()
+    }
+
+    fn plan_into(&self, key: u64, out: &mut Vec<StagePlan>) -> Result<(), DsError> {
+        (**self).plan_into(key, out)
     }
 
     fn plan(&self, key: u64) -> Result<Vec<StagePlan>, DsError> {

@@ -108,6 +108,69 @@ fn put_place(buf: &mut BytesMut, p: Place) {
     }
 }
 
+// Header: version u8 + window off i32 + window len u32 + scratch u16 + count u16.
+const HEADER_BYTES: usize = 13;
+
+fn operand_wire_len(op: Operand) -> usize {
+    match op {
+        Operand::Imm(_) => 1 + 8,
+        Operand::Reg(_) => 1 + 1,
+        Operand::CurPtr => 1,
+        Operand::Sp { .. } | Operand::Node { .. } => 1 + 2 + 1,
+    }
+}
+
+fn place_wire_len(p: Place) -> usize {
+    match p {
+        Place::Reg(_) => 1 + 1,
+        Place::Sp { .. } => 1 + 2 + 1,
+    }
+}
+
+/// Wire size of a program holding `insns`, computed arithmetically — the
+/// mirror image of [`encode_program`]'s layout, byte for byte, without
+/// encoding anything. `Program::new` caches this so packet sizing on the
+/// simulator's hot path never re-encodes a program just to measure it.
+pub(crate) fn wire_len_of(insns: &[Instruction]) -> usize {
+    let mut n = HEADER_BYTES;
+    for insn in insns {
+        n += match *insn {
+            Instruction::Alu { dst, a, b, .. } => {
+                1 + 1 + place_wire_len(dst) + operand_wire_len(a) + operand_wire_len(b)
+            }
+            Instruction::Not { dst, a } => 1 + place_wire_len(dst) + operand_wire_len(a),
+            Instruction::Move { dst, src } => 1 + place_wire_len(dst) + operand_wire_len(src),
+            Instruction::Load { dst, base, .. } => {
+                1 + place_wire_len(dst) + operand_wire_len(base) + 4 + 1
+            }
+            Instruction::Store { base, src, .. } => {
+                1 + operand_wire_len(base) + 4 + operand_wire_len(src) + 1
+            }
+            Instruction::Cas {
+                dst,
+                base,
+                expect,
+                src,
+                ..
+            } => {
+                1 + place_wire_len(dst)
+                    + operand_wire_len(base)
+                    + 4
+                    + operand_wire_len(expect)
+                    + operand_wire_len(src)
+                    + 1
+            }
+            Instruction::CmpJump { a, b, .. } => {
+                1 + 1 + operand_wire_len(a) + operand_wire_len(b) + 4
+            }
+            Instruction::Jump { .. } => 1 + 4,
+            Instruction::NextIter { next } => 1 + operand_wire_len(next),
+            Instruction::Return { code } => 1 + operand_wire_len(code),
+        };
+    }
+    n
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
 }
@@ -260,7 +323,7 @@ fn cond_from(code: u8) -> Option<Cond> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn encode_program(p: &Program) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + p.len() * 12);
+    let mut buf = BytesMut::with_capacity(p.wire_len());
     buf.put_u8(VERSION);
     buf.put_i32_le(p.window().off);
     buf.put_u32_le(p.window().len);
@@ -434,8 +497,11 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
 }
 
 /// The wire size in bytes of a program's encoding, used for packet sizing.
+///
+/// O(1): returns the arithmetic length [`Program::new`] cached at
+/// validation time — no allocation, no encoding pass.
 pub fn encoded_len(p: &Program) -> usize {
-    encode_program(p).len()
+    p.wire_len()
 }
 
 #[cfg(test)]
@@ -498,6 +564,27 @@ mod tests {
     fn encoded_len_matches_bytes() {
         let p = sample_program();
         assert_eq!(encoded_len(&p), encode_program(&p).len());
+    }
+
+    #[test]
+    fn arithmetic_len_matches_real_encode() {
+        // sample_program() covers every opcode and every operand/place shape
+        // (Imm, Reg, CurPtr, Sp, Node); the cached arithmetic length must
+        // equal the byte count an actual encoding pass produces.
+        let p = sample_program();
+        assert_eq!(wire_len_of(p.insns()), encode_program(&p).len());
+        assert_eq!(p.wire_len(), encode_program(&p).len());
+        // And for the degenerate single-return program (header + 2 bytes).
+        let q = Program::new(
+            "t",
+            NodeWindow::from_start(8),
+            vec![Instruction::Return {
+                code: Operand::Imm(0),
+            }],
+            0,
+        )
+        .unwrap();
+        assert_eq!(q.wire_len(), encode_program(&q).len());
     }
 
     #[test]

@@ -61,9 +61,19 @@ impl IterState {
     /// Fresh state for a program, with a zeroed scratchpad of the program's
     /// declared size.
     pub fn new(program: &Program, cur_ptr: u64) -> IterState {
+        IterState::new_in(program, cur_ptr, Vec::new())
+    }
+
+    /// Like [`IterState::new`], but zeroing and reusing `buf`'s allocation
+    /// as the scratchpad. Recycling scratch buffers from retired states
+    /// keeps a simulator's per-request hot path allocation-free; the
+    /// resulting state is indistinguishable from [`IterState::new`]'s.
+    pub fn new_in(program: &Program, cur_ptr: u64, mut buf: Vec<u8>) -> IterState {
+        buf.clear();
+        buf.resize(program.scratch_len() as usize, 0);
         IterState {
             cur_ptr,
-            scratch: vec![0; program.scratch_len() as usize],
+            scratch: buf,
             iters_done: 0,
         }
     }

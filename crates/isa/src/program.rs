@@ -298,6 +298,9 @@ pub struct Program {
     window: NodeWindow,
     insns: Vec<Instruction>,
     scratch_len: u16,
+    // Cached wire-encoding size; a pure function of the fields above,
+    // computed once at validation so packet sizing never re-encodes.
+    wire_len: usize,
 }
 
 impl Program {
@@ -315,13 +318,15 @@ impl Program {
         insns: Vec<Instruction>,
         scratch_len: u16,
     ) -> Result<Program, ProgramError> {
-        let prog = Program {
+        let mut prog = Program {
             name: name.into(),
             window,
             insns,
             scratch_len,
+            wire_len: 0,
         };
         prog.validate()?;
+        prog.wire_len = crate::encode::wire_len_of(&prog.insns);
         Ok(prog)
     }
 
@@ -459,6 +464,12 @@ impl Program {
     /// Declared scratchpad length in bytes.
     pub fn scratch_len(&self) -> u16 {
         self.scratch_len
+    }
+
+    /// The size in bytes of this program's wire encoding
+    /// ([`crate::encode_program`]), cached at construction.
+    pub fn wire_len(&self) -> usize {
+        self.wire_len
     }
 
     /// The longest execution path through one iteration, in instructions.

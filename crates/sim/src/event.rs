@@ -71,6 +71,29 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `n` events before the backing
+    /// heap reallocates. Sizing the heap to a rung's expected in-flight
+    /// population up front keeps the driver loop allocation-free.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+        }
+    }
+
+    /// Empties the queue and resets the tiebreak sequence, keeping the
+    /// heap's backing allocation so the queue can be reused for another
+    /// run without rebuilding its storage.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
+    /// Number of events the backing heap can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` to fire at absolute time `at`.
     pub fn push(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
@@ -136,6 +159,15 @@ impl<E> Driver<E> {
         Driver {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+        }
+    }
+
+    /// Creates a driver starting at time zero whose queue has room for `n`
+    /// events before reallocating (see [`EventQueue::with_capacity`]).
+    pub fn with_capacity(n: usize) -> Self {
+        Driver {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(n),
         }
     }
 
@@ -232,6 +264,49 @@ mod tests {
         drv.schedule_in(SimTime::from_nanos(10), 1);
         let _ = drv.next_event();
         drv.schedule_at(SimTime::from_nanos(5), 2);
+    }
+
+    #[test]
+    fn cleared_queue_replays_identically() {
+        // Property loop: across many randomized rounds, a clear()-and-reused
+        // queue pops the exact (time, payload) sequence a fresh queue does —
+        // same time order, same insertion-order tiebreaks — while keeping
+        // its backing allocation.
+        let mut rng = crate::SplitMix64::new(0x5eed_e7e7);
+        let mut reused: EventQueue<u64> = EventQueue::with_capacity(64);
+        for round in 0..200 {
+            let n = (rng.next_u64() % 64) as usize + 1;
+            // Few distinct times so same-instant ties are common.
+            let pushes: Vec<(SimTime, u64)> = (0..n)
+                .map(|i| (SimTime::from_nanos(rng.next_u64() % 8), i as u64))
+                .collect();
+            let mut fresh = EventQueue::new();
+            reused.clear();
+            assert!(reused.is_empty(), "round {round}: clear left events");
+            let cap_before = reused.capacity();
+            for &(t, p) in &pushes {
+                fresh.push(t, p);
+                reused.push(t, p);
+            }
+            assert_eq!(reused.capacity(), cap_before, "round {round}: realloc");
+            loop {
+                let (a, b) = (fresh.pop(), reused.pop());
+                assert_eq!(a, b, "round {round}: divergent pop");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<u8> = EventQueue::with_capacity(128);
+        assert!(q.capacity() >= 128);
+        assert!(q.is_empty());
+        let drv: Driver<u8> = Driver::with_capacity(128);
+        assert!(drv.is_idle());
+        assert_eq!(drv.now(), SimTime::ZERO);
     }
 
     #[test]

@@ -95,13 +95,29 @@ impl TraversalStage {
     /// [`RequestError::MissingPrevState`] if the stage needs a previous
     /// scratchpad and none is given.
     pub fn init_state(&self, prev_scratch: Option<&IterState>) -> Result<IterState, RequestError> {
+        self.init_state_in(prev_scratch, Vec::new())
+    }
+
+    /// Like [`TraversalStage::init_state`], but recycling `buf`'s allocation
+    /// as the new state's scratchpad (see [`IterState::new_in`]). The rack
+    /// engine feeds retired states' buffers back through here so steady-state
+    /// request issue allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraversalStage::init_state`].
+    pub fn init_state_in(
+        &self,
+        prev_scratch: Option<&IterState>,
+        buf: Vec<u8>,
+    ) -> Result<IterState, RequestError> {
         let cur_ptr = match self.start {
             StartPtr::Fixed(p) => p,
             StartPtr::FromPrevScratch(off) => prev_scratch
                 .ok_or(RequestError::MissingPrevState)?
                 .scratch_u64(off as usize),
         };
-        let mut st = IterState::new(&self.program, cur_ptr);
+        let mut st = IterState::new_in(&self.program, cur_ptr, buf);
         for &(off, v) in &self.scratch_init {
             st.set_scratch_u64(off as usize, v);
         }

@@ -48,11 +48,19 @@
 //! ```sh
 //! cargo run --release --example latency_sweep
 //! cargo run --release --example latency_sweep -- --requests 300 --loads 20,60,120
+//! cargo run --release --example latency_sweep -- --workers 1   # serial schedule
 //! ```
 //!
-//! The run writes all fourteen curves to `BENCH_sweep.json`; CI greps that
-//! file for every expected label and checks the cache-hit-rate and
-//! link-utilization invariants.
+//! The fourteen curves run on `pulse_bench::sweep_par_with`'s bounded
+//! worker pool: every (curve, rung) pair is a deterministic closed world,
+//! so workers claim rungs in parallel and the results are stitched back in
+//! ladder order — `BENCH_sweep.json` is byte-identical for any worker
+//! count. Per-curve wall-clock prints as each curve finishes.
+//!
+//! The run writes all fourteen curves to `BENCH_sweep.json` and the
+//! simulator's own speed (sim-ops/sec per curve, wall-clock per rung) to
+//! `BENCH_simspeed.json`; CI greps both files and checks the
+//! cache-hit-rate and link-utilization invariants.
 
 use pulse::baselines::{RpcConfig, SwapConfig};
 use pulse::sim::SimTime;
@@ -61,7 +69,8 @@ use pulse::{BaselineKind, CacheConfig, DispatchConfig, TopologySpec, YcsbWorkloa
 use pulse_bench::{
     baseline_webservice_factory, baseline_ycsb_factory, cached_baseline_webservice_factory,
     cached_pulse_webservice_factory, fabric_pulse_webservice_factory, pulse_app_factory,
-    pulse_ycsb_factory, sweep, sweep_json, AppKind, SweepReport,
+    pulse_ycsb_factory, simspeed_json, sweep, sweep_json, sweep_par_with, AppKind, CurveSpec,
+    SweepReport,
 };
 
 const NODES: usize = 2;
@@ -85,20 +94,26 @@ const DISPATCH_CONTEXTS: usize = 2;
 const CACHE_BYTES: u64 = 4 << 20;
 
 fn main() -> Result<(), pulse::Error> {
-    let (loads_kops, requests) = parse_args();
+    let (loads_kops, requests, workers) = parse_args();
     let dispatch = DispatchConfig::contended(DISPATCH_OCCUPANCY, DISPATCH_CONTEXTS);
 
     println!("latency-vs-load sweep — {NODES} memory nodes, {CPUS} CPU nodes");
     println!("open-loop Poisson arrivals (seed {SEED}), {requests} requests per rung");
     println!(
-        "dispatch engine: {:.1} us occupancy x {} contexts = {:.0} kops/CPU saturation\n",
+        "dispatch engine: {:.1} us occupancy x {} contexts = {:.0} kops/CPU saturation",
         DISPATCH_OCCUPANCY.as_micros_f64(),
         DISPATCH_CONTEXTS,
         dispatch.saturation_rate() / 1e3
     );
+    println!("parallel sweep harness: {workers} worker threads\n");
 
-    let curves = vec![
-        sweep(
+    // Every curve below is the same call the serial `sweep()` ladder made,
+    // packaged as a spec so the worker pool can claim (curve, rung) pairs.
+    // Order matters: the assertions after the sweep index `curves[0]`
+    // (pulse) and `curves[1]` (RPC), and `sweep_par_with` stitches results
+    // back in exactly this order.
+    let specs = vec![
+        CurveSpec::new(
             "pulse",
             &loads_kops,
             SEED,
@@ -109,8 +124,8 @@ fn main() -> Result<(), pulse::Error> {
                 requests,
                 dispatch,
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "RPC",
             &loads_kops,
             SEED,
@@ -123,8 +138,8 @@ fn main() -> Result<(), pulse::Error> {
                 BASELINE_CLIENTS,
                 requests,
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "Cache-based",
             &loads_kops,
             SEED,
@@ -138,20 +153,20 @@ fn main() -> Result<(), pulse::Error> {
                 BASELINE_CLIENTS,
                 requests,
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "pulse-wiredtiger",
             &loads_kops,
             SEED,
             pulse_app_factory(AppKind::WiredTiger, NODES, CPUS, requests, dispatch),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "pulse-btrdb",
             &loads_kops,
             SEED,
             pulse_app_factory(AppKind::Btrdb(4), NODES, CPUS, requests, dispatch),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "pulse-ycsb-a",
             &loads_kops,
             SEED,
@@ -163,8 +178,8 @@ fn main() -> Result<(), pulse::Error> {
                 dispatch,
                 CacheConfig::disabled(),
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "pulse-ycsb-b",
             &loads_kops,
             SEED,
@@ -176,8 +191,8 @@ fn main() -> Result<(), pulse::Error> {
                 dispatch,
                 CacheConfig::disabled(),
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "pulse-ycsb-e",
             &loads_kops,
             SEED,
@@ -189,8 +204,8 @@ fn main() -> Result<(), pulse::Error> {
                 dispatch,
                 CacheConfig::disabled(),
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "RPC-ycsb-a",
             &loads_kops,
             SEED,
@@ -204,12 +219,12 @@ fn main() -> Result<(), pulse::Error> {
                 BASELINE_CLIENTS,
                 requests,
             ),
-        )?,
+        ),
         // The cache-sensitivity curves: the same skewed WebService
         // deployment with a coherent front-end cache at every CPU node
         // (pulse and RPC), plus the write-heavy YCSB-A mix with the same
         // cache — where invalidation-on-update collapses the benefit.
-        sweep(
+        CurveSpec::new(
             "pulse+cache",
             &loads_kops,
             SEED,
@@ -221,8 +236,8 @@ fn main() -> Result<(), pulse::Error> {
                 CacheConfig::sized(CACHE_BYTES),
                 Distribution::Zipfian,
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "RPC+cache",
             &loads_kops,
             SEED,
@@ -237,8 +252,8 @@ fn main() -> Result<(), pulse::Error> {
                 requests,
                 Distribution::Zipfian,
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "pulse-ycsb-a+cache",
             &loads_kops,
             SEED,
@@ -250,10 +265,10 @@ fn main() -> Result<(), pulse::Error> {
                 dispatch,
                 CacheConfig::sized(CACHE_BYTES),
             ),
-        )?,
+        ),
         // The multi-rack incast comparison: identical Zipf-skewed
         // WebService deployments on a routed 2-leaf/2-spine fabric.
-        sweep(
+        CurveSpec::new(
             "pulse-leafspine-hot",
             &loads_kops,
             SEED,
@@ -264,8 +279,8 @@ fn main() -> Result<(), pulse::Error> {
                 dispatch,
                 FABRIC_TOPOLOGY,
             ),
-        )?,
-        sweep(
+        ),
+        CurveSpec::new(
             "RPC-leafspine-hot",
             &loads_kops,
             SEED,
@@ -279,8 +294,25 @@ fn main() -> Result<(), pulse::Error> {
                 BASELINE_CLIENTS,
                 requests,
             ),
-        )?,
+        ),
     ];
+
+    let par = sweep_par_with(&specs, workers, |timing| {
+        println!(
+            "  [done] {:<20} {:>9.0} ms  ({:.2e} sim-ops/s)",
+            timing.label,
+            timing.wall_ms,
+            timing.sim_ops_per_sec()
+        );
+    })?;
+    println!(
+        "\nall {} curves in {:.0} ms wall-clock on {} workers\n",
+        par.curves.len(),
+        par.total_wall_ms,
+        par.workers
+    );
+    let speed_json = simspeed_json(&par);
+    let curves = par.curves;
 
     for curve in &curves {
         print_curve(curve);
@@ -493,13 +525,27 @@ fn main() -> Result<(), pulse::Error> {
         pulse_util > 0.0 && rpc_util > 0.0,
         "routed curves must price real traffic on the fabric"
     );
-    // The incast separation itself: bouncing every cross-node hop through
-    // the CPU node drags RPC's downlink utilization above pulse's, and at
-    // the p99 SLO pulse sustains strictly more load on the hot fabric.
+    // The incast separation itself, rung by rung: bouncing every
+    // cross-node hop through the CPU node keeps RPC's downlink demand at
+    // or above pulse's on every rung (a ladder's top rungs may pin BOTH
+    // links at 1.0, where utilization can no longer separate them), and
+    // strictly above it on at least one pre-saturation rung.
+    let mut strictly_above = false;
+    for (p, r) in pulse_fab.points.iter().zip(&rpc_fab.points) {
+        assert!(
+            r.link_utilization >= p.link_utilization,
+            "RPC's CPU bounce must congest the downlink at least as hard as \
+             pulse's chained hops on every rung ({:.3} vs {:.3} at {} kops)",
+            r.link_utilization,
+            p.link_utilization,
+            p.offered_kops
+        );
+        strictly_above |= r.link_utilization > p.link_utilization;
+    }
     assert!(
-        rpc_util > pulse_util,
-        "RPC's CPU bounce must congest the downlink harder than pulse's \
-         chained hops ({rpc_util:.3} vs {pulse_util:.3})"
+        strictly_above,
+        "some rung must separate RPC's downlink demand from pulse's \
+         (pulse {pulse_util:.3} vs RPC {rpc_util:.3} at peak)"
     );
     let pulse_fab_sustained = pulse_fab.max_load_under_p99(SLO_P99_US);
     let rpc_fab_sustained = rpc_fab.max_load_under_p99(SLO_P99_US);
@@ -524,6 +570,13 @@ fn main() -> Result<(), pulse::Error> {
         "\nwrote BENCH_sweep.json ({} bytes, {} curves)",
         json.len(),
         curves.len()
+    );
+    std::fs::write("BENCH_simspeed.json", &speed_json)
+        .map_err(|e| pulse::Error::Config(format!("writing BENCH_simspeed.json: {e}")))?;
+    println!(
+        "wrote BENCH_simspeed.json ({} bytes, {} workers)",
+        speed_json.len(),
+        workers
     );
     Ok(())
 }
@@ -551,11 +604,14 @@ fn print_curve(curve: &SweepReport) {
     println!();
 }
 
-/// `--loads 20,60,120` (kops) and `--requests 300`, with full-ladder
-/// defaults sized for a release-build run.
-fn parse_args() -> (Vec<f64>, usize) {
+/// `--loads 20,60,120` (kops), `--requests 300`, and `--workers 4`, with
+/// full-ladder defaults sized for a release-build run. Workers default to
+/// the machine's available parallelism; `--workers 1` reproduces the
+/// serial schedule (the emitted JSON is byte-identical either way).
+fn parse_args() -> (Vec<f64>, usize, usize) {
     let mut loads = vec![100.0, 400.0, 800.0, 1_600.0, 3_200.0];
     let mut requests = 2_000usize;
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let value = args.next().unwrap_or_default();
@@ -567,9 +623,13 @@ fn parse_args() -> (Vec<f64>, usize) {
                     .collect();
             }
             "--requests" => requests = value.parse().expect("a request count"),
-            other => panic!("unknown flag {other} (expected --loads or --requests)"),
+            "--workers" => workers = value.parse().expect("a worker count"),
+            other => panic!("unknown flag {other} (expected --loads, --requests, or --workers)"),
         }
     }
-    assert!(!loads.is_empty() && requests > 0, "empty ladder");
-    (loads, requests)
+    assert!(
+        !loads.is_empty() && requests > 0 && workers > 0,
+        "empty ladder"
+    );
+    (loads, requests, workers)
 }

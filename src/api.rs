@@ -69,17 +69,33 @@ impl<T: Traversal> Offloaded<T> {
     /// [`Error::Config`] if the structure planned a different stage count
     /// than it advertised.
     pub fn request(&self, key: u64) -> Result<AppRequest, Error> {
-        let plans = self.inner.plan(key)?;
-        if plans.len() != self.programs.len() {
+        let mut plan_buf = Vec::new();
+        self.request_with(key, &mut plan_buf)
+    }
+
+    /// Like [`Offloaded::request`], planning through a caller-owned buffer
+    /// so minting many requests in a loop allocates no plan `Vec` per key.
+    /// `plan_buf` is left empty (capacity retained) on success.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Offloaded::request`].
+    pub fn request_with(
+        &self,
+        key: u64,
+        plan_buf: &mut Vec<crate::StagePlan>,
+    ) -> Result<AppRequest, Error> {
+        self.inner.plan_into(key, plan_buf)?;
+        if plan_buf.len() != self.programs.len() {
             return Err(Error::Config(format!(
                 "{}: planned {} stages but compiled {}",
                 self.inner.name(),
-                plans.len(),
+                plan_buf.len(),
                 self.programs.len()
             )));
         }
-        let traversals = plans
-            .into_iter()
+        let traversals = plan_buf
+            .drain(..)
             .zip(&self.programs)
             .map(|(plan, program)| TraversalStage::from_plan(plan, program.clone()))
             .collect();

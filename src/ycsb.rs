@@ -92,6 +92,9 @@ pub struct YcsbDriver {
     rng: StdRng,
     mutation: MutationConfig,
     cell: Cell,
+    // Reused across next_request calls so staged scan planning never
+    // allocates a fresh plan Vec per minted request.
+    plan_buf: Vec<pulse_ds::StagePlan>,
 }
 
 impl YcsbDriver {
@@ -143,6 +146,7 @@ impl YcsbDriver {
                 find: Arc::new(verified_find_program()),
                 update: Arc::new(locked_update_program()),
             },
+            plan_buf: Vec::new(),
         })
     }
 
@@ -189,6 +193,7 @@ impl YcsbDriver {
                 degraded_inserts: 0,
                 inserted: std::collections::HashSet::new(),
             },
+            plan_buf: Vec::new(),
         })
     }
 
@@ -308,11 +313,12 @@ impl YcsbDriver {
                         // Traversal impl, so the YCSB-E curve and the plain
                         // pulse-wiredtiger curve share one definition of
                         // "a keyed scan of `limit` entries".
-                        let plans = WiredTigerScan::new(app.tree(), limit)
-                            .plan(key)
+                        WiredTigerScan::new(app.tree(), limit)
+                            .plan_into(key, &mut self.plan_buf)
                             .expect("scan plans are infallible");
-                        let traversals = plans
-                            .into_iter()
+                        let traversals = self
+                            .plan_buf
+                            .drain(..)
                             .zip([locate.clone(), scan.clone()])
                             .map(|(p, program)| TraversalStage::from_plan(p, program))
                             .collect();

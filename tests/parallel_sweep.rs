@@ -1,0 +1,98 @@
+//! The parallel sweep harness's determinism contract, asserted end to
+//! end: for any worker count, `sweep_par` must produce a `BENCH_sweep.json`
+//! document byte-identical to the serial `sweep()` ladder's. Every
+//! (curve, rung) pair is a closed deterministic world — its own cluster,
+//! its own SplitMix64 arrival stream — so parallelism may only change
+//! wall-clock, never a single emitted byte.
+
+use pulse::{DispatchConfig, YcsbWorkload};
+use pulse_bench::{
+    pulse_app_factory, pulse_ycsb_factory, sweep, sweep_json, sweep_par, AppKind, CurveSpec,
+};
+
+const LOADS: [f64; 3] = [50.0, 200.0, 800.0];
+const SEED: u64 = 0xC0FFEE;
+const REQUESTS: usize = 120;
+
+fn specs() -> Vec<CurveSpec> {
+    vec![
+        CurveSpec::new(
+            "par-pulse",
+            &LOADS,
+            SEED,
+            pulse_app_factory(
+                AppKind::WebService(YcsbWorkload::C),
+                2,
+                2,
+                REQUESTS,
+                DispatchConfig::default(),
+            ),
+        ),
+        CurveSpec::new(
+            "par-ycsb-a",
+            &LOADS,
+            SEED,
+            pulse_ycsb_factory(
+                YcsbWorkload::A,
+                2,
+                2,
+                REQUESTS,
+                DispatchConfig::default(),
+                Default::default(),
+            ),
+        ),
+    ]
+}
+
+/// The serial reference: the exact ladder `sweep()` would run for the same
+/// two curves, serialized with the same `sweep_json`.
+fn serial_reference() -> String {
+    let mut make_pulse = pulse_app_factory(
+        AppKind::WebService(YcsbWorkload::C),
+        2,
+        2,
+        REQUESTS,
+        DispatchConfig::default(),
+    );
+    let mut make_ycsb = pulse_ycsb_factory(
+        YcsbWorkload::A,
+        2,
+        2,
+        REQUESTS,
+        DispatchConfig::default(),
+        Default::default(),
+    );
+    let curves = vec![
+        sweep("par-pulse", &LOADS, SEED, &mut make_pulse).expect("serial pulse curve"),
+        sweep("par-ycsb-a", &LOADS, SEED, &mut make_ycsb).expect("serial ycsb curve"),
+    ];
+    sweep_json(&curves)
+}
+
+#[test]
+fn parallel_sweep_json_is_byte_identical_to_serial() {
+    let serial = serial_reference();
+    for workers in [1usize, 2, 4] {
+        let par = sweep_par(&specs(), workers).expect("parallel sweep");
+        let par_json = sweep_json(&par.curves);
+        assert_eq!(
+            par_json, serial,
+            "workers={workers}: parallel sweep JSON diverged from the serial run"
+        );
+        assert_eq!(par.workers, workers);
+    }
+}
+
+#[test]
+fn parallel_sweep_reports_timings_per_rung() {
+    let par = sweep_par(&specs(), 2).expect("parallel sweep");
+    assert_eq!(par.timings.len(), 2);
+    for (timing, spec_label) in par.timings.iter().zip(["par-pulse", "par-ycsb-a"]) {
+        assert_eq!(timing.label, spec_label);
+        assert_eq!(timing.rung_wall_ms.len(), LOADS.len());
+        assert!(timing.sim_ops > 0, "{spec_label}: no simulated ops counted");
+        assert!(timing.wall_ms > 0.0);
+        assert!(timing.sim_ops_per_sec() > 0.0);
+    }
+    assert!(par.total_wall_ms > 0.0);
+}
