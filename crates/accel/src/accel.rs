@@ -234,6 +234,12 @@ impl Accelerator {
                 }
             }
             AccelEvent::FetchDone { ws } => {
+                // A completion for work that abort_all() already drained
+                // (the node crashed mid-iteration) lands on an empty
+                // workspace: drop it.
+                if !matches!(&self.workspaces[ws], Some(w) if w.pending.is_some()) {
+                    return Vec::new();
+                }
                 // The fetch's data is in the workspace; hand to a logic
                 // pipeline (scheduler signal, §4.2 step 2).
                 let (insns, extra_mem_ops) = {
@@ -285,8 +291,30 @@ impl Accelerator {
                     event: AccelEvent::LogicDone { ws },
                 }]
             }
-            AccelEvent::LogicDone { ws } => self.finish_iteration(now, ws, mem),
+            AccelEvent::LogicDone { ws } => {
+                // Same stale-completion tolerance as `FetchDone`.
+                if !matches!(&self.workspaces[ws], Some(w) if w.pending.is_some()) {
+                    return Vec::new();
+                }
+                self.finish_iteration(now, ws, mem)
+            }
         }
+    }
+
+    /// Aborts every in-flight and backlogged traversal: the node crashed
+    /// (or its link partitioned, or the accelerator wedged) underneath
+    /// them. Returns the lost packets so the cluster can notify the
+    /// issuing CPU nodes; workspaces come back empty, and any internal
+    /// events already scheduled for the aborted work are tolerated by
+    /// [`Accelerator::step`] as no-ops.
+    pub fn abort_all(&mut self) -> Vec<IterPacket> {
+        let mut lost: Vec<IterPacket> = self.backlog.drain(..).collect();
+        for slot in &mut self.workspaces {
+            if let Some(w) = slot.take() {
+                lost.push(w.pkt);
+            }
+        }
+        lost
     }
 
     fn ws(&self, ws: usize) -> &Workspace {

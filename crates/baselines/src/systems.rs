@@ -10,9 +10,11 @@
 
 use pulse_frontend::replay::{drive, measured_rate};
 use pulse_frontend::{CacheConfig, CpuFrontEnd, LruSet};
-use pulse_mem::ClusterMemory;
+use pulse_mem::{ClusterMemory, FaultEvent, FaultKind, NodeId};
 use pulse_net::{Endpoint, Fabric, FabricConfig, LinkConfig, SwitchConfig, TopologySpec};
-use pulse_sim::{DispatchConfig, LatencySummary, SerialResource, ServerPool, SimTime};
+use pulse_sim::{
+    DispatchConfig, LatencyHistogram, LatencySummary, SerialResource, ServerPool, SimTime,
+};
 use pulse_workloads::{execute_functional, Access, AppRequest};
 
 /// Network constants shared with the pulse cluster: one endpoint→endpoint
@@ -142,6 +144,18 @@ pub struct BaselineReport {
     pub link_utilization: f64,
     /// Deepest any fabric link's egress FIFO ever got. 0 on flat.
     pub queue_depth: u64,
+    /// Requests (or request segments) redirected onto a surviving replica
+    /// after their primary node went dark mid-run. Always 0 for the swap
+    /// cache (it has no fault model) and with an empty fault schedule.
+    pub failovers: u64,
+    /// Requests that fault-completed because every replica of some extent
+    /// they needed was unreachable at service time. These are *excluded*
+    /// from [`BaselineReport::completed`].
+    pub unavailable_completions: u64,
+    /// p99 over only the completions that finished inside the degraded
+    /// window (first fault to last repair; open-ended when nothing heals).
+    /// `SimTime::ZERO` without faults.
+    pub degraded_p99: SimTime,
     /// End of the last request.
     pub makespan: SimTime,
 }
@@ -157,6 +171,37 @@ fn demand_horizon(arrivals: Option<&[SimTime]>, makespan: SimTime) -> SimTime {
         }
         _ => makespan,
     }
+}
+
+/// Whether `node` is unreachable at `t` under a time-sorted fault
+/// schedule. The replay baselines have no accelerators, so an
+/// [`FaultKind::AccelWedge`] never makes a node unreachable to RPC.
+fn node_down_at(faults: &[FaultEvent], node: NodeId, t: SimTime) -> bool {
+    let mut down = false;
+    for f in faults {
+        if f.at > t {
+            break;
+        }
+        match f.kind {
+            FaultKind::MemCrash(n) | FaultKind::LinkPartition(n) if n == node => down = true,
+            FaultKind::MemRecover(n) | FaultKind::LinkHeal(n) if n == node => down = false,
+            _ => {}
+        }
+    }
+    down
+}
+
+/// The degraded window a fault schedule opens: first fault to last repair,
+/// open-ended when nothing ever heals. `None` without faults.
+fn degraded_window(faults: &[FaultEvent]) -> Option<(SimTime, SimTime)> {
+    let first = faults.iter().map(|f| f.at).min()?;
+    let last_repair = faults
+        .iter()
+        .filter(|f| f.kind.is_repair())
+        .map(|f| f.at)
+        .max()
+        .unwrap_or(SimTime::from_picos(u64::MAX));
+    Some((first, last_repair))
 }
 
 impl BaselineReport {
@@ -366,6 +411,9 @@ fn swap_cache_impl(
             f.cpu_downlink_peak(demand_horizon(arrivals, makespan))
         }),
         queue_depth: fabric.as_ref().map_or(0, |f| f.max_queue_depth() as u64),
+        failovers: 0,
+        unavailable_completions: 0,
+        degraded_p99: SimTime::ZERO,
         makespan,
     }
 }
@@ -384,7 +432,7 @@ pub enum RpcFlavor {
 }
 
 /// RPC system configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RpcConfig {
     /// Flavour.
     pub flavor: RpcFlavor,
@@ -426,6 +474,16 @@ pub struct RpcConfig {
     /// links, so the bouncing traffic converges on the CPU node's downlink
     /// (the incast pulse's chained hops avoid).
     pub topology: TopologySpec,
+    /// Scheduled faults — the *same* schedule the pulse rack runs, so
+    /// pulse-vs-RPC curves degrade under identical failure injections. A
+    /// request whose target node is down at service time retries against
+    /// the extent's replica set (`ClusterMemory::replicas_of`, governed by
+    /// `ClusterMemory::set_replication` on the memory handed to the run):
+    /// each redirect pays one extra timeout round trip and counts as a
+    /// failover; with no live replica the request fault-completes as
+    /// unavailable. The RPC model never rebuilds lost extents — recovery
+    /// is fail-stop-and-restore only.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl RpcConfig {
@@ -443,6 +501,7 @@ impl RpcConfig {
             dispatch: DispatchConfig::default(),
             cache: CacheConfig::disabled(),
             topology: TopologySpec::Flat,
+            faults: Vec::new(),
         }
     }
 
@@ -539,6 +598,14 @@ fn rpc_impl(
         .then(|| LruSet::new((cfg.object_cache_bytes / cfg.object_bytes).max(1) as usize));
     let mut net_bytes = 0u64;
     let mut mem_bytes = 0u64;
+    // Fault bookkeeping: the schedule sorted by time, the degraded window
+    // it opens, and the counters the report surfaces.
+    let mut faults = cfg.faults.clone();
+    faults.sort_by_key(|f| f.at);
+    let window = degraded_window(&faults);
+    let mut failovers = 0u64;
+    let mut unavailable = 0u64;
+    let mut degraded = LatencyHistogram::new();
 
     struct Priced {
         /// The functional access trace, segmented lazily per serve (the
@@ -610,15 +677,43 @@ fn rpc_impl(
                     // response is assembled locally.
                     let admitted = fe.book_dispatch(ready);
                     let pure = prefix_time + p.cpu_work;
-                    return (admitted + pure, prefix_time, pure);
+                    let end = admitted + pure;
+                    if let Some((from, to)) = window {
+                        if end >= from && end <= to {
+                            degraded.record(end - ready);
+                        }
+                    }
+                    return (end, prefix_time, pure);
                 }
             }
             let remaining = &p.accesses[prefix..];
             // Segment the (remaining) trace by owning node — identical
-            // math to the pre-cache model when the prefix is empty.
+            // math to the pre-cache model when the prefix is empty. Under
+            // a fault schedule the target is resolved against node health
+            // at admission: a dark primary redirects the segment to the
+            // first live replica (a failover, priced below as an extra
+            // timeout round trip); an extent with no live replica
+            // fault-completes the whole request as unavailable.
             let mut segments: Vec<(usize, SimTime, u64, bool)> = Vec::new();
+            let mut req_failovers = 0u64;
+            let mut dead_end = false;
             for a in remaining {
-                let owner = mem.owner_of(a.addr).unwrap_or(0);
+                let primary = mem.owner_of(a.addr).unwrap_or(0);
+                let owner = if faults.is_empty() || !node_down_at(&faults, primary, ready) {
+                    primary
+                } else {
+                    match mem
+                        .replicas_of(a.addr)
+                        .into_iter()
+                        .find(|&m| !node_down_at(&faults, m, ready))
+                    {
+                        Some(m) => m,
+                        None => {
+                            dead_end = true;
+                            break;
+                        }
+                    }
+                };
                 let step = if a.traversal {
                     cpu.dram_latency + cpu.insn_time * a.insns as u64
                 } else {
@@ -629,9 +724,30 @@ fn rpc_impl(
                         *t += step;
                         *b += a.len as u64;
                     }
-                    _ => segments.push((owner, step, a.len as u64, a.traversal)),
+                    _ => {
+                        if owner != primary {
+                            req_failovers += 1;
+                        }
+                        segments.push((owner, step, a.len as u64, a.traversal));
+                    }
                 }
             }
+            if dead_end {
+                // One timed-out attempt: the client learns nothing is
+                // left to serve this request and gives up.
+                unavailable += 1;
+                net_bytes += cfg.net.request_bytes;
+                let admitted = fe.book_dispatch(ready);
+                let pure = cfg.net.one_way * 2 + cfg.tcp_extra * 2;
+                let end = admitted + pure;
+                if let Some((from, to)) = window {
+                    if end >= from && end <= to {
+                        degraded.record(end - ready);
+                    }
+                }
+                return (end, SimTime::ZERO, pure);
+            }
+            failovers += req_failovers;
             // Cache+RPC: a hit in the object cache spares the object's wire
             // transfer, but the traversal still runs remotely — the index
             // itself lives in disaggregated memory, which is why the paper
@@ -661,6 +777,9 @@ fn rpc_impl(
             net_bytes += cfg.net.request_bytes + response_bytes;
             let pure = cfg.net.one_way * 2
                 + cfg.tcp_extra * 2
+                // Each failover was detected by timing out the primary
+                // first: one wasted round trip per redirected segment.
+                + cfg.net.one_way * (2 * req_failovers)
                 + prefix_time
                 + service
                 + bounce
@@ -746,12 +865,17 @@ fn rpc_impl(
                         .max(rx.end + p.cpu_work)
                 }
             };
+            if let Some((from, to)) = window {
+                if end >= from && end <= to {
+                    degraded.record(end - ready);
+                }
+            }
             (end, traversal, pure)
         });
 
     BaselineReport {
         label: cfg.label(),
-        completed: requests.len() as u64,
+        completed: requests.len() as u64 - unavailable,
         latency,
         throughput: measured_rate(requests.len(), makespan, arrivals),
         traversal_time: traversal_total,
@@ -766,6 +890,9 @@ fn rpc_impl(
             f.cpu_downlink_peak(demand_horizon(arrivals, makespan))
         }),
         queue_depth: fabric.as_ref().map_or(0, |f| f.max_queue_depth() as u64),
+        failovers,
+        unavailable_completions: unavailable,
+        degraded_p99: degraded.summary().p99,
         makespan,
     }
 }
@@ -1100,6 +1227,74 @@ mod tests {
         );
         assert!(routed.net_bytes > 0);
         assert_eq!(routed.completed, flat.completed);
+    }
+
+    #[test]
+    fn rpc_crash_with_replication_fails_over() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        mem.set_replication(2);
+        let clean = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc());
+        let faulted = run_rpc(
+            &mut mem,
+            &reqs,
+            16,
+            RpcConfig {
+                faults: vec![FaultEvent::new(SimTime::ZERO, FaultKind::MemCrash(0))],
+                ..RpcConfig::rpc()
+            },
+        );
+        // Every request still completes — redirected onto replicas, each
+        // redirect paying a detection round trip — and the whole degraded
+        // run is slower than the clean one.
+        assert_eq!(faulted.completed, clean.completed);
+        assert_eq!(faulted.unavailable_completions, 0);
+        assert!(faulted.failovers > 0);
+        assert!(faulted.latency.mean > clean.latency.mean);
+        assert!(faulted.degraded_p99 > SimTime::ZERO);
+        assert_eq!(clean.failovers, 0);
+        assert_eq!(clean.degraded_p99, SimTime::ZERO);
+    }
+
+    #[test]
+    fn rpc_crash_without_replication_loses_requests() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let faulted = run_rpc(
+            &mut mem,
+            &reqs,
+            16,
+            RpcConfig {
+                faults: vec![FaultEvent::new(SimTime::ZERO, FaultKind::MemCrash(0))],
+                ..RpcConfig::rpc()
+            },
+        );
+        assert!(faulted.unavailable_completions > 0);
+        assert_eq!(
+            faulted.completed + faulted.unavailable_completions,
+            reqs.len() as u64
+        );
+    }
+
+    #[test]
+    fn rpc_partition_heal_restores_service() {
+        // A node unreachable early in the run and healed later: requests
+        // admitted inside the window are lost (no replicas), later ones
+        // complete — and nothing counts as a failover at replication 1.
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let faulted = run_rpc(
+            &mut mem,
+            &reqs,
+            2,
+            RpcConfig {
+                faults: vec![
+                    FaultEvent::new(SimTime::ZERO, FaultKind::LinkPartition(1)),
+                    FaultEvent::new(SimTime::from_micros(200), FaultKind::LinkHeal(1)),
+                ],
+                ..RpcConfig::rpc()
+            },
+        );
+        assert!(faulted.unavailable_completions > 0);
+        assert!(faulted.completed > 0);
+        assert_eq!(faulted.failovers, 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use pulse_baselines::{run_rpc, run_swap_cache, BaselineReport, RpcConfig, SwapConfig};
 use pulse_core::{ClusterConfig, ClusterReport, DispatchConfig, PulseCluster, PulseMode};
 use pulse_ds::{BuildCtx, TreePlacement};
-use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
+use pulse_mem::{ClusterAllocator, ClusterMemory, FaultEvent, Placement};
 use pulse_workloads::{
     AppRequest, Application, Btrdb, BtrdbConfig, Distribution, WebService, WebServiceConfig,
     WiredTiger, WiredTigerConfig, YcsbWorkload,
@@ -253,6 +253,19 @@ pub struct SweepPoint {
     /// Deepest any fabric link's egress FIFO ever got during the rung.
     /// 0 on flat-topology curves.
     pub queue_depth: u64,
+    /// Requests redirected onto a surviving replica during the rung.
+    /// Exactly 0 on every curve without a fault schedule — CI asserts it.
+    pub failovers: u64,
+    /// Requests that fault-completed with every replica unreachable (a
+    /// subset of `faulted`). The SLO-under-failure claim: 0 on replicated
+    /// crash curves, nonzero on unreplicated ones.
+    pub unavailable_completions: u64,
+    /// Bytes of background re-replication traffic that competed with the
+    /// rung's foreground requests. Exactly 0 without a crash.
+    pub rereplication_bytes: u64,
+    /// p99 over only the completions inside the degraded window (first
+    /// fault to last repair), microseconds. Exactly 0.0 without faults.
+    pub degraded_p99_us: f64,
 }
 
 impl SweepPoint {
@@ -276,6 +289,10 @@ impl SweepPoint {
             cache_hit_rate: rep.cache_hit_rate,
             link_utilization: rep.link_utilization,
             queue_depth: rep.queue_depth,
+            failovers: rep.failovers,
+            unavailable_completions: rep.unavailable_completions,
+            rereplication_bytes: rep.rereplication_bytes,
+            degraded_p99_us: rep.degraded_p99.as_micros_f64(),
         }
     }
 
@@ -354,7 +371,9 @@ impl SweepReport {
                      \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\
                      \"goodput_kops\":{:.3},\"update_goodput_kops\":{:.3},\
                      \"retries\":{},\"cache_hit_rate\":{:.4},\
-                     \"link_utilization\":{:.4},\"queue_depth\":{}}}",
+                     \"link_utilization\":{:.4},\"queue_depth\":{},\
+                     \"failovers\":{},\"unavailable_completions\":{},\
+                     \"rereplication_bytes\":{},\"degraded_p99_us\":{:.3}}}",
                     p.offered_kops,
                     p.arrived_kops,
                     p.completed,
@@ -367,7 +386,11 @@ impl SweepReport {
                     p.retries,
                     p.cache_hit_rate,
                     p.link_utilization,
-                    p.queue_depth
+                    p.queue_depth,
+                    p.failovers,
+                    p.unavailable_completions,
+                    p.rereplication_bytes,
+                    p.degraded_p99_us
                 )
             })
             .collect();
@@ -624,6 +647,10 @@ pub fn parse_sweep_json(doc: &str) -> Result<Vec<SweepReport>, String> {
                         cache_hit_rate: p.num("cache_hit_rate")?,
                         link_utilization: p.num("link_utilization")?,
                         queue_depth: p.num("queue_depth")? as u64,
+                        failovers: p.num("failovers")? as u64,
+                        unavailable_completions: p.num("unavailable_completions")? as u64,
+                        rereplication_bytes: p.num("rereplication_bytes")? as u64,
+                        degraded_p99_us: p.num("degraded_p99_us")?,
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()
@@ -1209,9 +1236,9 @@ pub fn baseline_ycsb_factory(
             workload,
             nodes,
             builder,
-            |b, cfg| b.baseline_app(kind, cfg).expect("wire baseline"),
+            |b, cfg| b.baseline_app(kind.clone(), cfg).expect("wire baseline"),
             |b, cfg| {
-                b.baseline_with(kind, |ctx| {
+                b.baseline_with(kind.clone(), |ctx| {
                     let app = WiredTiger::build(ctx, cfg)?;
                     let arena = pulse_mutation::InsertArena::build(ctx, YCSB_ARENA_PER_NODE)?;
                     Ok((app, arena))
@@ -1265,7 +1292,7 @@ pub fn cached_baseline_webservice_factory(
             .nodes(nodes)
             .window(concurrency)
             .granularity(DEFAULT_GRANULARITY)
-            .baseline_app(kind, sweep_webservice_cfg(YcsbWorkload::C, dist))
+            .baseline_app(kind.clone(), sweep_webservice_cfg(YcsbWorkload::C, dist))
             .expect("wire baseline");
         let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
         (Box::new(engine) as Box<dyn pulse::Engine>, reqs)
@@ -1288,11 +1315,74 @@ pub fn baseline_webservice_factory(
             .window(concurrency)
             .granularity(DEFAULT_GRANULARITY)
             .baseline_app(
-                kind,
+                kind.clone(),
                 sweep_webservice_cfg(YcsbWorkload::C, Distribution::Zipfian),
             )
             .expect("wire baseline");
         let reqs = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(engine) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
+/// The SLO-under-failure counterpart of [`pulse_app_factory`]: the pulse
+/// rack over the canonical sweep WebService deployment, with every extent
+/// replicated `replication` ways and `faults` injected mid-run. Flat
+/// topology, no front-end cache — the crash curves differ from the
+/// healthy `pulse` curve in exactly one axis, so any goodput dip or
+/// degraded-window p99 on them is attributable to the failure story
+/// (failover re-plans plus background re-replication), not to topology or
+/// caching differences.
+pub fn crashed_pulse_webservice_factory(
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+    dispatch: DispatchConfig,
+    replication: usize,
+    faults: Vec<FaultEvent>,
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
+    move || {
+        let (runtime, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .cpus(cpus)
+            .dispatch(dispatch)
+            .replication(replication)
+            .faults(faults.clone())
+            .granularity(DEFAULT_GRANULARITY)
+            .app(sweep_webservice_cfg(YcsbWorkload::C, Distribution::Zipfian))
+            .expect("wire pulse rack");
+        let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
+/// Baseline counterpart of [`crashed_pulse_webservice_factory`]: the RPC
+/// baseline over the identical deployment and replica rule, with the same
+/// fault schedule riding in `RpcConfig::faults` (the baseline's analytic
+/// fail-stop model — failover redirects plus one timeout round trip, no
+/// rebuild traffic).
+pub fn crashed_rpc_webservice_factory(
+    nodes: usize,
+    concurrency: usize,
+    requests: usize,
+    replication: usize,
+    faults: Vec<FaultEvent>,
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
+    move || {
+        let kind = pulse::BaselineKind::Rpc(RpcConfig {
+            faults: faults.clone(),
+            ..RpcConfig::rpc()
+        });
+        let (engine, mut app) = pulse::PulseBuilder::new()
+            .nodes(nodes)
+            .window(concurrency)
+            .replication(replication)
+            .granularity(DEFAULT_GRANULARITY)
+            .baseline_app(
+                kind,
+                sweep_webservice_cfg(YcsbWorkload::C, Distribution::Zipfian),
+            )
+            .expect("wire baseline");
+        let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
         (Box::new(engine) as Box<dyn pulse::Engine>, reqs)
     }
 }
@@ -1316,6 +1406,10 @@ mod tests {
             cache_hit_rate: 0.0,
             link_utilization: 0.0,
             queue_depth: 0,
+            failovers: 0,
+            unavailable_completions: 0,
+            rereplication_bytes: 0,
+            degraded_p99_us: 0.0,
         }
     }
 
@@ -1451,6 +1545,10 @@ mod tests {
                     cache_hit_rate: 0.7344,
                     link_utilization: 0.4125,
                     queue_depth: 9,
+                    failovers: 11,
+                    unavailable_completions: 2,
+                    rereplication_bytes: 1 << 21,
+                    degraded_p99_us: 310.125,
                 },
                 point(100.0, 99.0, 80.0),
             ],
@@ -1469,6 +1567,9 @@ mod tests {
         assert!((p.cache_hit_rate - 0.7344).abs() < 1e-9);
         assert!((p.link_utilization - 0.4125).abs() < 1e-9);
         assert_eq!(p.queue_depth, 9);
+        assert_eq!((p.failovers, p.unavailable_completions), (11, 2));
+        assert_eq!(p.rereplication_bytes, 1 << 21);
+        assert!((p.degraded_p99_us - 310.125).abs() < 1e-9);
         // Byte-for-byte: re-serializing the parse reproduces the document.
         assert_eq!(sweep_json(&parsed), doc);
 
@@ -1483,6 +1584,18 @@ mod tests {
         let pruned = doc.replace(",\"queue_depth\":9", "");
         let err = parse_sweep_json(&pruned).unwrap_err();
         assert!(err.contains("queue_depth"), "{err}");
+        let pruned = doc.replace(",\"failovers\":11", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("failovers"), "{err}");
+        let pruned = doc.replace(",\"unavailable_completions\":2", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("unavailable_completions"), "{err}");
+        let pruned = doc.replace(",\"rereplication_bytes\":2097152", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("rereplication_bytes"), "{err}");
+        let pruned = doc.replace(",\"degraded_p99_us\":310.125", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("degraded_p99_us"), "{err}");
         assert!(parse_sweep_json("{\"swoop\":[]}").is_err());
         assert!(parse_sweep_json("not json").is_err());
         // The real emitted file's shape, including escapes.
@@ -1529,6 +1642,46 @@ mod tests {
             "RPC front-end cache must hit on skewed reads: {:?}",
             curve.points[0]
         );
+    }
+
+    /// One rung of each crash factory tells the SLO-under-failure story:
+    /// replicated pulse rides out the crash (zero unavailable, nonzero
+    /// failovers and rebuild traffic), unreplicated pulse loses requests,
+    /// and the replicated RPC baseline fails over without ever rebuilding.
+    #[test]
+    fn crash_factories_tell_the_slo_story() {
+        use pulse_mem::FaultKind;
+        let faults = vec![FaultEvent::new(
+            pulse_sim::SimTime::from_micros(30),
+            FaultKind::MemCrash(0),
+        )];
+        let rung = |replication| {
+            let mut make = crashed_pulse_webservice_factory(
+                4,
+                2,
+                120,
+                DispatchConfig::default(),
+                replication,
+                faults.clone(),
+            );
+            let curve = sweep("probe-crash", &[300.0], 7, &mut make).unwrap();
+            curve.points[0].clone()
+        };
+        let replicated = rung(2);
+        assert_eq!(replicated.unavailable_completions, 0, "{replicated:?}");
+        assert!(replicated.failovers > 0, "{replicated:?}");
+        assert!(replicated.rereplication_bytes > 0, "{replicated:?}");
+        assert!(replicated.degraded_p99_us > 0.0, "{replicated:?}");
+        let bare = rung(1);
+        assert!(bare.unavailable_completions > 0, "{bare:?}");
+        assert_eq!(bare.rereplication_bytes, 0, "{bare:?}");
+
+        let mut make = crashed_rpc_webservice_factory(4, 8, 120, 2, faults);
+        let curve = sweep("probe-rpc-crash", &[300.0], 7, &mut make).unwrap();
+        let rpc = &curve.points[0];
+        assert_eq!(rpc.unavailable_completions, 0, "{rpc:?}");
+        assert!(rpc.failovers > 0, "{rpc:?}");
+        assert_eq!(rpc.rereplication_bytes, 0, "RPC never rebuilds: {rpc:?}");
     }
 
     /// The new ladder factories build and execute a rung end-to-end for

@@ -20,10 +20,13 @@
 
 use pulse_accel::{AccelConfig, AccelEvent, AccelOutput, Accelerator};
 use pulse_frontend::{prefix_walk, CacheConfig, CpuFrontEnd, WalkOutcome};
-use pulse_mem::{CapacityExceeded, ClusterMemory, GlobalRangeMap, NodeId, Perms, RangeTable};
+use pulse_mem::{
+    CapacityExceeded, ClusterMemory, FaultEvent, FaultKind, GlobalRangeMap, NodeId, Perms,
+    RangeTable,
+};
 use pulse_net::{
     CodeBlob, Endpoint, Fabric, FabricConfig, IterPacket, IterStatus, Link, LinkConfig, Packet,
-    RequestId, Route, Switch, SwitchConfig, TopologySpec,
+    RequestId, Route, Switch, SwitchConfig, TopologySpec, FRAME_HEADER_BYTES, PULSE_HEADER_BYTES,
 };
 use pulse_sim::{
     CpuDispatch, DispatchConfig, Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime,
@@ -65,7 +68,7 @@ impl CpuAssignment {
 }
 
 /// Cluster configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Accelerator configuration (identical per node).
     pub accel: AccelConfig,
@@ -108,6 +111,13 @@ pub struct ClusterConfig {
     /// the remainder from the last cached pointer, while accelerators ship
     /// the cells they touch back with each response (priced on the wire).
     pub cache: CacheConfig,
+    /// Scheduled infrastructure failures, injected into the event loop at
+    /// construction. Empty (the default) keeps the immortal-rack model
+    /// bit-identical. With faults, routing fails over to replicas (see
+    /// [`ClusterMemory::set_replication`]), crashes trigger background
+    /// re-replication, and completions inside the fault window feed the
+    /// degraded-mode latency histogram.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl Default for ClusterConfig {
@@ -125,6 +135,7 @@ impl Default for ClusterConfig {
             assignment: CpuAssignment::RoundRobin,
             topology: TopologySpec::Flat,
             cache: CacheConfig::default(),
+            faults: Vec::new(),
         }
     }
 }
@@ -175,6 +186,23 @@ pub struct ClusterReport {
     /// Deepest any fabric egress FIFO got (messages queued or in service at
     /// one port at once). 0 on [`TopologySpec::Flat`].
     pub queue_depth: u64,
+    /// Failover actions taken: packets redirected around an unreachable
+    /// memory node onto a live replica, plus crash-notice re-plans of
+    /// requests whose in-flight packet died with a node. 0 without faults.
+    pub failovers: u64,
+    /// Requests that fault-completed because *every* replica of the data
+    /// they needed was unreachable — the distinguishable
+    /// ([`Completion::unavailable`]) subset of `faulted`.
+    pub unavailable_completions: u64,
+    /// Background re-replication traffic: bytes streamed from surviving
+    /// replicas to rebuild targets after crashes, priced on the same
+    /// links/DMA/dispatch engines as foreground packets. 0 without faults.
+    pub rereplication_bytes: u64,
+    /// p99 latency over completions that finished inside the fault window
+    /// (first fault to last repair, or the end of the run when nothing
+    /// heals). [`SimTime::ZERO`] when no faults are scheduled or nothing
+    /// completed inside the window.
+    pub degraded_p99: SimTime,
 }
 
 impl ClusterReport {
@@ -208,7 +236,37 @@ enum Ev {
     /// Accelerator-internal event.
     Accel(NodeId, AccelEvent),
     /// CPU-node post-processing for a request finished.
-    Finished(RequestId, bool),
+    Finished(RequestId, Done),
+    /// A scheduled infrastructure failure fires.
+    Fault(FaultKind),
+    /// The switch's node-death notice reaches the issuing CPU: the
+    /// request's in-flight packet was lost with an unreachable node, and
+    /// the CPU re-plans it from scratch (the retry then routes onto a live
+    /// replica, or the re-routed packet fault-completes as unavailable).
+    CrashNotice(RequestId),
+    /// One chunk of a background re-replication stream: extent
+    /// `[start, end)` is being copied from surviving replica `src` to
+    /// rebuild target `dst`, and the stream's cursor sits at `offset`.
+    Rebuild {
+        start: u64,
+        end: u64,
+        offset: u64,
+        src: NodeId,
+        dst: NodeId,
+    },
+}
+
+/// How a request left the rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Done {
+    /// Completed successfully.
+    Ok,
+    /// Fault-completed (invalid pointer, protection fault, retry
+    /// exhaustion, ...).
+    Fault,
+    /// Fault-completed because every replica of the data it needed was
+    /// unreachable — the distinguishable failure-model error.
+    Unavailable,
 }
 
 /// A finished request, as reported by [`PulseCluster::take_completions`].
@@ -218,6 +276,10 @@ pub struct Completion {
     pub id: RequestId,
     /// Whether the request completed (vs faulted).
     pub ok: bool,
+    /// Whether the request fault-completed specifically because every
+    /// replica of the data it needed was unreachable (implies `!ok`).
+    /// Always `false` without injected faults.
+    pub unavailable: bool,
     /// When the CPU node started processing it.
     pub issued_at: SimTime,
     /// When its final completion event fired.
@@ -288,18 +350,42 @@ pub struct PulseCluster {
     drv: Driver<Ev>,
     /// Completions accumulated since the last [`Self::take_completions`].
     done: Vec<Completion>,
+    /// Per-memory-node link partitions (the node is healthy, its path is
+    /// not). Orthogonal to crash state, which lives in `mem`.
+    partitioned: Vec<bool>,
+    /// Per-memory-node wedged accelerators: traversals route elsewhere,
+    /// the DMA path keeps serving.
+    wedged: Vec<bool>,
+    /// `[first fault, last repair]` (or open-ended when nothing heals):
+    /// the degraded measurement window. `None` without faults.
+    fault_window: Option<(SimTime, SimTime)>,
     // Measurements.
     hist: LatencyHistogram,
+    /// Latency over completions finishing inside `fault_window`.
+    degraded_hist: LatencyHistogram,
     completed: u64,
     faulted: u64,
     crossings: u64,
     retries: u64,
+    failovers: u64,
+    unavailable: u64,
+    rereplication_bytes: u64,
     mem_bytes_extra: u64,
     makespan: SimTime,
 }
 
 /// Fixed DMA-engine setup latency for plain reads/writes at a memory node.
 const DMA_SETUP: SimTime = SimTime::from_nanos(500);
+
+/// Wire size of the switch's control-plane notices (node-death,
+/// unavailable): header-only frames — the lost packet's payload does not
+/// come back.
+const NOTICE_BYTES: u64 = (FRAME_HEADER_BYTES + PULSE_HEADER_BYTES) as u64;
+
+/// Chunk size of background re-replication streams. One chunk is in
+/// flight per stream at a time, so recovery shares links fairly instead
+/// of bursting an extent at once.
+const REBUILD_CHUNK_BYTES: u64 = 64 * 1024;
 
 impl PulseCluster {
     /// Builds a cluster over already-populated memory. The switch's global
@@ -363,6 +449,34 @@ impl PulseCluster {
                 },
             )
         });
+        // Sized for a deep open-loop in-flight population so the event
+        // heap reaches steady state without reallocating. Scheduled faults
+        // go in first, so at equal timestamps a fault fires before the
+        // traffic it disrupts.
+        let mut drv = Driver::with_capacity(1024);
+        for f in &cfg.faults {
+            assert!(
+                f.kind.node() < nodes,
+                "fault {:?} names memory node {} of a {}-node rack",
+                f.kind,
+                f.kind.node(),
+                nodes
+            );
+            drv.schedule_at(f.at, Ev::Fault(f.kind));
+        }
+        // The degraded measurement window: first fault to last repair.
+        // With no repair scheduled the window stays open to the end of the
+        // run (`SimTime` has no MAX constant; raw max picos serves).
+        let fault_window = cfg.faults.iter().map(|f| f.at).min().map(|first| {
+            let last_repair = cfg
+                .faults
+                .iter()
+                .filter(|f| f.kind.is_repair())
+                .map(|f| f.at)
+                .max()
+                .unwrap_or(SimTime::from_picos(u64::MAX));
+            (first, last_repair)
+        });
         Ok(PulseCluster {
             accels,
             switch,
@@ -378,15 +492,20 @@ impl PulseCluster {
             scratch_pool: Vec::new(),
             touched_pool: Vec::new(),
             submitted: 0,
-            // Sized for a deep open-loop in-flight population so the event
-            // heap reaches steady state without reallocating.
-            drv: Driver::with_capacity(1024),
+            drv,
             done: Vec::new(),
+            partitioned: vec![false; nodes],
+            wedged: vec![false; nodes],
+            fault_window,
             hist: LatencyHistogram::new(),
+            degraded_hist: LatencyHistogram::new(),
             completed: 0,
             faulted: 0,
             crossings: 0,
             retries: 0,
+            failovers: 0,
+            unavailable: 0,
+            rereplication_bytes: 0,
             mem_bytes_extra: 0,
             makespan: SimTime::ZERO,
             cfg,
@@ -540,27 +659,58 @@ impl PulseCluster {
             Ev::AtSwitch(pkt, from) => self.at_switch(drv, now, pkt, from),
             Ev::AtMem(n, pkt) => self.at_mem(drv, now, n, pkt),
             Ev::Accel(n, aev) => {
+                // Events of a dark node's accelerator died with it. Pipeline
+                // completions (`FetchDone`/`LogicDone`) belong to workspaces
+                // that were aborted — and notified — at fault time; a packet
+                // still parked in the RX parse stage travels inside its
+                // `RxDone` event, so it is lost *here* and the issuing CPU
+                // learns now.
+                if !self.mem_ok(n) || self.wedged[n] {
+                    if let AccelEvent::RxDone(ip) = aev {
+                        self.crash_notice(drv, now, Packet::Iter(ip));
+                    }
+                    return;
+                }
                 let outs = self.accels[n].step(now, aev, &mut self.mem);
                 self.absorb(drv, n, outs);
             }
             Ev::AtCpu(pkt) => self.at_cpu(drv, now, pkt),
-            Ev::Finished(id, ok) => {
+            Ev::Finished(id, how) => {
                 let st = self.inflight.remove(&id).expect("request inflight");
-                self.hist.record(now - st.issued_at);
+                let latency = now - st.issued_at;
+                self.hist.record(latency);
+                if let Some((from, to)) = self.fault_window {
+                    if now >= from && now <= to {
+                        self.degraded_hist.record(latency);
+                    }
+                }
                 self.makespan = self.makespan.max(now);
-                if ok {
-                    self.completed += 1;
-                } else {
-                    self.faulted += 1;
+                match how {
+                    Done::Ok => self.completed += 1,
+                    Done::Fault => self.faulted += 1,
+                    Done::Unavailable => {
+                        self.faulted += 1;
+                        self.unavailable += 1;
+                    }
                 }
                 self.done.push(Completion {
                     id,
-                    ok,
+                    ok: how == Done::Ok,
+                    unavailable: how == Done::Unavailable,
                     issued_at: st.issued_at,
                     finished_at: now,
                     final_state: st.last_state,
                 });
             }
+            Ev::Fault(kind) => self.apply_fault(drv, now, kind),
+            Ev::CrashNotice(id) => self.on_crash_notice(drv, now, id),
+            Ev::Rebuild {
+                start,
+                end,
+                offset,
+                src,
+                dst,
+            } => self.rebuild_chunk(drv, now, start, end, offset, src, dst),
         }
     }
 
@@ -666,6 +816,10 @@ impl PulseCluster {
                 .fabric
                 .as_ref()
                 .map_or(0, |f| f.max_queue_depth() as u64),
+            failovers: self.failovers,
+            unavailable_completions: self.unavailable,
+            rereplication_bytes: self.rereplication_bytes,
+            degraded_p99: self.degraded_hist.summary().p99,
         }
     }
 
@@ -673,6 +827,238 @@ impl PulseCluster {
     /// inspection; the report carries the headline scalars).
     pub fn fabric(&self) -> Option<&Fabric> {
         self.fabric.as_ref()
+    }
+
+    /// Whether memory node `n` is reachable at all: not crashed and not
+    /// partitioned away. (A wedged accelerator leaves the node reachable —
+    /// only its traversal service is gone.)
+    fn mem_ok(&self, n: NodeId) -> bool {
+        self.mem.node_is_up(n) && !self.partitioned[n]
+    }
+
+    /// Routes around unreachable memory nodes: a packet headed for a dark
+    /// node (or a traversal headed for a wedged accelerator) is redirected
+    /// to the first live replica of its target address — a failover.
+    /// Traversals only redirect onto placement-derived replicas (the nodes
+    /// whose TCAMs cover the range); the DMA path can also use promoted
+    /// rebuild targets. `Err` means every copy is unreachable: the
+    /// unavailable case.
+    fn health_route(&mut self, route: Route, pkt: &Packet) -> Result<Route, ()> {
+        let Route::To(Endpoint::Mem(n)) = route else {
+            return Ok(route);
+        };
+        let is_iter = matches!(pkt, Packet::Iter(_));
+        if self.mem_ok(n) && !(is_iter && self.wedged[n]) {
+            return Ok(route);
+        }
+        let addr = match pkt {
+            Packet::Iter(ip) => ip.state.cur_ptr,
+            Packet::Read { addr, .. } | Packet::Write { addr, .. } => *addr,
+            Packet::ReadReply { .. } | Packet::WriteAck { .. } => return Ok(route),
+        };
+        let candidates = if is_iter {
+            self.mem.replicas_of(addr)
+        } else {
+            self.mem.all_replicas_of(addr)
+        };
+        match candidates
+            .into_iter()
+            .find(|&m| self.mem_ok(m) && !(is_iter && self.wedged[m]))
+        {
+            Some(m) => {
+                self.failovers += 1;
+                Ok(Route::To(Endpoint::Mem(m)))
+            }
+            None => Err(()),
+        }
+    }
+
+    /// Reclaims a lost packet's buffers; packets dropped by faults never
+    /// reach the normal recycle points.
+    fn recycle_lost(&mut self, pkt: Packet) {
+        if let Packet::Iter(ip) = pkt {
+            self.scratch_pool.push(ip.state.scratch);
+            let mut touched = ip.touched;
+            if touched.capacity() > 0 {
+                touched.clear();
+                self.touched_pool.push(touched);
+            }
+        }
+    }
+
+    /// Every replica of the packet's target is unreachable: the switch
+    /// sends the issuing CPU a header-sized notice and the request
+    /// fault-completes with the distinguishable unavailable error.
+    fn unavailable_complete(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet) {
+        let id = pkt.id();
+        self.recycle_lost(pkt);
+        let arrive = self.frontends[id.cpu].rx(now, NOTICE_BYTES) + self.cfg.link.propagation;
+        drv.schedule_at(arrive, Ev::Finished(id, Done::Unavailable));
+    }
+
+    /// A packet was lost at (or in flight toward) a node that went dark:
+    /// the switch notifies the issuing CPU with a header-sized notice; the
+    /// CPU re-plans on delivery ([`Ev::CrashNotice`]).
+    fn crash_notice(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet) {
+        let id = pkt.id();
+        self.recycle_lost(pkt);
+        let arrive = self.frontends[id.cpu].rx(now, NOTICE_BYTES) + self.cfg.link.propagation;
+        drv.schedule_at(arrive, Ev::CrashNotice(id));
+    }
+
+    /// The CPU-side half of a crash notice: re-plan the request through
+    /// the retry machinery. A lost traversal restarts from stage 0 (fresh
+    /// `init()`); lost object I/O re-issues just the I/O. The re-issued
+    /// packet then routes onto a live replica — or, with none left,
+    /// fault-completes as unavailable at the switch.
+    fn on_crash_notice(&mut self, drv: &mut Driver<Ev>, now: SimTime, id: RequestId) {
+        let st = self.inflight.get_mut(&id).expect("inflight");
+        if st.stage < st.req.traversals.len() {
+            st.stage = 0;
+            if let Some(old) = st.last_state.take() {
+                self.scratch_pool.push(old.scratch);
+            }
+        }
+        self.failovers += 1;
+        drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
+    }
+
+    /// Applies one scheduled fault. Crashes and partitions abort the
+    /// node's in-flight traversals (their CPUs learn via crash notices);
+    /// crashes additionally kick off background re-replication of the
+    /// node's extents from surviving replicas.
+    fn apply_fault(&mut self, drv: &mut Driver<Ev>, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::MemCrash(n) => {
+                self.mem.fail_node(n);
+                for pkt in self.accels[n].abort_all() {
+                    self.crash_notice(drv, now, Packet::Iter(pkt));
+                }
+                self.start_rereplication(drv, now, n);
+            }
+            FaultKind::MemRecover(n) => self.mem.recover_node(n),
+            FaultKind::LinkPartition(n) => {
+                self.partitioned[n] = true;
+                // The node is healthy but unreachable: from the rack's
+                // point of view its in-flight work is as lost as a crash
+                // (RPC-timeout semantics) — but its data is intact, so
+                // nothing is rebuilt.
+                for pkt in self.accels[n].abort_all() {
+                    self.crash_notice(drv, now, Packet::Iter(pkt));
+                }
+            }
+            FaultKind::LinkHeal(n) => self.partitioned[n] = false,
+            FaultKind::AccelWedge(n) => {
+                self.wedged[n] = true;
+                for pkt in self.accels[n].abort_all() {
+                    self.crash_notice(drv, now, Packet::Iter(pkt));
+                }
+            }
+        }
+    }
+
+    /// Starts one re-replication stream per extent the crashed node
+    /// hosted, from the first surviving replica to the first live node not
+    /// already holding a copy. Extents with no surviving replica are
+    /// simply lost (replication 1): requests needing them fault-complete
+    /// as unavailable until the node recovers.
+    fn start_rereplication(&mut self, drv: &mut Driver<Ev>, now: SimTime, crashed: NodeId) {
+        if self.mem.replication() <= 1 {
+            return;
+        }
+        let nodes = self.accels.len();
+        for (start, end) in self.mem.node_ranges(crashed) {
+            let copies = self.mem.all_replicas_of(start);
+            let Some(src) = copies
+                .iter()
+                .copied()
+                .find(|&m| m != crashed && self.mem.node_is_up(m))
+            else {
+                continue;
+            };
+            let Some(dst) = (1..nodes)
+                .map(|k| (crashed + k) % nodes)
+                .find(|&m| self.mem.node_is_up(m) && !copies.contains(&m))
+            else {
+                continue;
+            };
+            drv.schedule_at(
+                now,
+                Ev::Rebuild {
+                    start,
+                    end,
+                    offset: start,
+                    src,
+                    dst,
+                },
+            );
+        }
+    }
+
+    /// Advances one re-replication stream by one chunk. Each chunk is a
+    /// real background message: it occupies the source's DMA engine, books
+    /// a dispatch context on the coordinating CPU node (CPU 0 runs the
+    /// rebuild control loop), crosses the same links/fabric foreground
+    /// packets use, and lands through the target's DMA engine. One chunk
+    /// is in flight per stream; when the stream completes, the target is
+    /// promoted into the extent's replica set.
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild_chunk(
+        &mut self,
+        drv: &mut Driver<Ev>,
+        now: SimTime,
+        start: u64,
+        end: u64,
+        offset: u64,
+        src: NodeId,
+        dst: NodeId,
+    ) {
+        // The stream's endpoints can die mid-rebuild: another surviving
+        // replica takes over as source; a dead target abandons the stream
+        // (a later crash of a remaining replica would restart one).
+        let src = if self.mem_ok(src) {
+            src
+        } else {
+            match self
+                .mem
+                .all_replicas_of(start)
+                .into_iter()
+                .find(|&m| m != dst && self.mem_ok(m))
+            {
+                Some(m) => m,
+                None => return,
+            }
+        };
+        if !self.mem.node_is_up(dst) {
+            return;
+        }
+        let len = REBUILD_CHUNK_BYTES.min(end - offset);
+        let wire = len + NOTICE_BYTES;
+        let read_done = self.dma[src].acquire(now + DMA_SETUP, len).end;
+        self.mem_bytes_extra += len;
+        let depart = self.frontends[0].book_dispatch(read_done);
+        let arrive = if self.fabric.is_some() {
+            self.fabric_send(depart, Endpoint::Mem(src), Endpoint::Mem(dst), wire)
+        } else {
+            self.links[src].tx(depart, wire) + self.cfg.link.propagation
+        };
+        let write_done = self.dma[dst].acquire(arrive + DMA_SETUP, len).end;
+        self.mem_bytes_extra += len;
+        self.rereplication_bytes += len;
+        if offset + len < end {
+            drv.schedule_at(
+                write_done,
+                Ev::Rebuild {
+                    start,
+                    end,
+                    offset: offset + len,
+                    src,
+                    dst,
+                },
+            );
+        } else {
+            self.mem.promote_replica(start, dst);
+        }
     }
 
     /// Builds and transmits the current traversal stage (or object I/O) of
@@ -768,8 +1154,8 @@ impl PulseCluster {
             }
         };
         match next {
-            Next::Fault => drv.schedule_at(now, Ev::Finished(id, false)),
-            Next::Finish(cpu_work) => drv.schedule_at(now + cpu_work, Ev::Finished(id, true)),
+            Next::Fault => drv.schedule_at(now, Ev::Finished(id, Done::Fault)),
+            Next::Finish(cpu_work) => drv.schedule_at(now + cpu_work, Ev::Finished(id, Done::Ok)),
             Next::LocalDone { code, at } => self.stage_done(drv, at, id, code, false, true),
             Next::Send(pkt, at) => {
                 // The dispatch engine first (queueing + occupancy under
@@ -855,7 +1241,7 @@ impl PulseCluster {
                 } else {
                     now
                 };
-                drv.schedule_at(done_at + cpu_work, Ev::Finished(id, true));
+                drv.schedule_at(done_at + cpu_work, Ev::Finished(id, Done::Ok));
             }
             Next::Retry => {
                 self.retries += 1;
@@ -864,7 +1250,7 @@ impl PulseCluster {
                 // send.
                 drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
             }
-            Next::Exhausted => drv.schedule_at(now, Ev::Finished(id, false)),
+            Next::Exhausted => drv.schedule_at(now, Ev::Finished(id, Done::Fault)),
         }
     }
 
@@ -898,6 +1284,10 @@ impl PulseCluster {
                 }
             }
         }
+        let route = match self.health_route(route, &pkt) {
+            Ok(r) => r,
+            Err(()) => return self.unavailable_complete(drv, at, pkt),
+        };
         let wire = pkt.wire_bytes();
         match route {
             Route::To(ep) => {
@@ -919,7 +1309,7 @@ impl PulseCluster {
                         drv.schedule_at(arrive, Ev::AtCpu(Packet::Iter(ip)));
                     }
                     Packet::Read { id, .. } | Packet::Write { id, .. } => {
-                        drv.schedule_at(arrive, Ev::Finished(id, false));
+                        drv.schedule_at(arrive, Ev::Finished(id, Done::Fault));
                     }
                     Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
                         unreachable!("replies route to the requester, never invalid")
@@ -960,6 +1350,10 @@ impl PulseCluster {
                 }
             }
         }
+        let route = match self.health_route(route, &pkt) {
+            Ok(r) => r,
+            Err(()) => return self.unavailable_complete(drv, now, pkt),
+        };
         match route {
             Route::To(ep) => {
                 let egress_done = self.switch.forward(now, &pkt, ep);
@@ -997,7 +1391,7 @@ impl PulseCluster {
                     // request fault-completes instead of hanging forever
                     // with its packet silently dropped.
                     Packet::Read { id, .. } | Packet::Write { id, .. } => {
-                        drv.schedule_at(arrive, Ev::Finished(id, false));
+                        drv.schedule_at(arrive, Ev::Finished(id, Done::Fault));
                     }
                     Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
                         unreachable!("replies route to the requester, never invalid")
@@ -1008,6 +1402,12 @@ impl PulseCluster {
     }
 
     fn at_mem(&mut self, drv: &mut Driver<Ev>, now: SimTime, n: NodeId, pkt: Packet) {
+        // A packet that raced a fault — already in flight when its target
+        // went dark (or, for traversals, wedged) — is lost on arrival; the
+        // issuing CPU learns via a crash notice and re-plans.
+        if !self.mem_ok(n) || (self.wedged[n] && matches!(pkt, Packet::Iter(_))) {
+            return self.crash_notice(drv, now, pkt);
+        }
         match pkt {
             Packet::Iter(ip) => {
                 let outs = self.accels[n].on_packet(now, ip);
@@ -1021,11 +1421,33 @@ impl PulseCluster {
                 self.mem_depart(drv, n, g.end, reply);
             }
             Packet::Write { id, addr, len } => {
-                let _ = addr;
                 let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
                 self.mem_bytes_extra += len as u64;
+                let mut done = g.end;
+                // Replicated stores fan out synchronously: every other
+                // live copy absorbs the same bytes — a real DMA store trip
+                // each, crossing the serving node's NIC (flat) or the
+                // fabric (routed) — and the ack waits for the slowest
+                // copy. At replication 1 this block never runs.
+                if self.mem.replication() > 1 {
+                    for m in self.mem.all_replicas_of(addr) {
+                        if m == n || !self.mem.node_is_up(m) {
+                            continue;
+                        }
+                        let bytes = len as u64;
+                        let wire = bytes + NOTICE_BYTES;
+                        let at = if self.fabric.is_some() {
+                            self.fabric_send(now, Endpoint::Mem(n), Endpoint::Mem(m), wire)
+                        } else {
+                            self.links[n].tx(now, wire) + self.cfg.link.propagation
+                        };
+                        let gm = self.dma[m].acquire(at + DMA_SETUP, bytes);
+                        self.mem_bytes_extra += bytes;
+                        done = done.max(gm.end);
+                    }
+                }
                 let reply = Packet::WriteAck { id };
-                self.mem_depart(drv, n, g.end, reply);
+                self.mem_depart(drv, n, done, reply);
             }
             Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
                 unreachable!("replies never route to memory nodes")
@@ -1037,6 +1459,12 @@ impl PulseCluster {
     /// flat link toward the switch, or priced on the routed fabric with
     /// delivery scheduled directly.
     fn mem_depart(&mut self, drv: &mut Driver<Ev>, n: NodeId, at: SimTime, pkt: Packet) {
+        // The node went dark between serving and transmitting: the
+        // response never escapes. (A response whose transmit was already
+        // scheduled before the fault is considered escaped.)
+        if !self.mem_ok(n) {
+            return self.crash_notice(drv, at, pkt);
+        }
         if self.fabric.is_some() {
             self.route_and_send(drv, at, pkt, Endpoint::Mem(n));
         } else {
@@ -1065,7 +1493,7 @@ impl PulseCluster {
                                     if !io.write {
                                         let addr = resolve_addr(io.addr, Some(&pkt.state))
                                             .expect("state is present");
-                                        if self.mem.owner_of(addr) == Some(n) {
+                                        if self.mem.hosts(addr, n) {
                                             // Gather: DMA the object into the
                                             // response right here.
                                             let g = self.dma[n].acquire(at, io.len as u64);
@@ -1144,12 +1572,12 @@ impl PulseCluster {
                 }
                 IterStatus::Faulted { .. } => {
                     self.scratch_pool.push(ip.state.scratch);
-                    drv.schedule_at(now, Ev::Finished(id, false));
+                    drv.schedule_at(now, Ev::Finished(id, Done::Fault));
                 }
             },
             Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
                 let cpu_work = self.inflight.get(&id).expect("inflight").req.cpu_work;
-                drv.schedule_at(now + cpu_work, Ev::Finished(id, true));
+                drv.schedule_at(now + cpu_work, Ev::Finished(id, Done::Ok));
             }
             Packet::Read { .. } | Packet::Write { .. } => {
                 unreachable!("requests never route to the CPU node")
@@ -1624,5 +2052,252 @@ mod tests {
         assert!(report.mem_bandwidth_per_node(2) > 0.0);
         assert!(report.memory_util > 0.0);
         assert!(report.makespan > SimTime::ZERO);
+    }
+
+    /// Submit everything up front and pump the loop, keeping the
+    /// completions (which the closed-loop `run` would drain internally).
+    fn drive(cluster: &mut PulseCluster, reqs: Vec<AppRequest>) -> Vec<Completion> {
+        for (i, req) in reqs.into_iter().enumerate() {
+            cluster.submit_at(SimTime::from_nanos(10 * i as u64), req);
+        }
+        let mut done = Vec::new();
+        while cluster.step() {
+            done.extend(cluster.take_completions());
+        }
+        done
+    }
+
+    /// A replicated webservice deployment with a fault schedule.
+    fn faulted_cluster(
+        nodes: usize,
+        replication: usize,
+        partition: bool,
+        faults: Vec<FaultEvent>,
+    ) -> (PulseCluster, Vec<AppRequest>, Vec<u64>) {
+        let granularity = if partition { 1 << 20 } else { 4096 };
+        let (mut mem, reqs, expected) =
+            webservice_cluster_opts(nodes, 2_000, granularity, partition);
+        mem.set_replication(replication);
+        let cluster = PulseCluster::new(
+            ClusterConfig {
+                faults,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        (cluster, reqs, expected)
+    }
+
+    #[test]
+    fn crash_before_first_arrival_fails_over_with_replication() {
+        // Node 0 dies before any request enters the rack; at replication 2
+        // on two nodes every extent still has a live copy, so the run
+        // degrades instead of failing: every request completes with the
+        // right answer.
+        let faults = vec![FaultEvent::new(SimTime::ZERO, FaultKind::MemCrash(0))];
+        let (mut cluster, reqs, expected) = faulted_cluster(2, 2, false, faults);
+        let done = drive(&mut cluster, reqs);
+        assert_eq!(done.len(), 120);
+        for c in &done {
+            assert!(c.ok, "{:?}", c.id);
+            assert!(!c.unavailable);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.faulted, 0);
+        assert!(report.failovers > 0, "everything re-routed to node 1");
+        assert_eq!(report.unavailable_completions, 0);
+        // Two nodes at replication 2: no third node to rebuild onto.
+        assert_eq!(report.rereplication_bytes, 0);
+        // The whole run sits inside the (never-healed) fault window.
+        assert_eq!(report.degraded_p99, report.latency.p99);
+    }
+
+    #[test]
+    fn crash_with_replication_1_yields_unavailable_completions() {
+        // The same crash without replication: requests needing node 1's
+        // extents fault-complete with the distinguishable unavailable
+        // error, while node-0-only requests keep completing.
+        let faults = vec![FaultEvent::new(SimTime::ZERO, FaultKind::MemCrash(1))];
+        let (mut cluster, reqs, _) = faulted_cluster(2, 1, true, faults);
+        let done = drive(&mut cluster, reqs);
+        let report = cluster.report();
+        assert_eq!(report.completed + report.faulted, 120);
+        assert!(report.completed > 0, "node-0 requests unaffected");
+        assert!(report.unavailable_completions > 0);
+        assert!(report.unavailable_completions <= report.faulted);
+        let unavailable = done.iter().filter(|c| c.unavailable).count() as u64;
+        assert_eq!(unavailable, report.unavailable_completions);
+        assert!(done.iter().filter(|c| c.unavailable).all(|c| !c.ok));
+    }
+
+    #[test]
+    fn crash_after_last_drain_is_invisible() {
+        // A fault scheduled past the end of the run must not perturb any
+        // completion-level measurement, and the degraded window (which
+        // opens only at the fault) stays empty.
+        let late = vec![FaultEvent::new(
+            SimTime::from_millis(100),
+            FaultKind::MemCrash(0),
+        )];
+        let (mut faulted, reqs, _) = faulted_cluster(2, 1, true, late);
+        let fr = faulted.run(reqs, 8);
+        let (mut clean, reqs, _) = faulted_cluster(2, 1, true, Vec::new());
+        let cr = clean.run(reqs, 8);
+        assert_eq!(fr.completed, cr.completed);
+        assert_eq!(fr.faulted, cr.faulted);
+        assert_eq!(fr.makespan, cr.makespan);
+        assert_eq!(fr.latency.p99, cr.latency.p99);
+        assert_eq!(fr.failovers, 0);
+        assert_eq!(fr.unavailable_completions, 0);
+        assert_eq!(fr.rereplication_bytes, 0);
+        assert_eq!(fr.degraded_p99, SimTime::ZERO);
+        assert_eq!(cr.degraded_p99, SimTime::ZERO);
+    }
+
+    #[test]
+    fn crash_recover_recrash_of_one_node_stays_available() {
+        // Fault-window edge: the same node crashes, recovers mid-run, and
+        // crashes again. With replication 2 every request still lands.
+        let faults = vec![
+            FaultEvent::new(SimTime::from_micros(30), FaultKind::MemCrash(0)),
+            FaultEvent::new(SimTime::from_micros(80), FaultKind::MemRecover(0)),
+            FaultEvent::new(SimTime::from_micros(150), FaultKind::MemCrash(0)),
+        ];
+        let (mut cluster, reqs, expected) = faulted_cluster(2, 2, false, faults);
+        let done = drive(&mut cluster, reqs);
+        assert_eq!(done.len(), 120);
+        for c in &done {
+            assert!(c.ok && !c.unavailable, "{:?}", c.id);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert_eq!(report.completed, 120);
+        assert!(report.failovers > 0);
+        assert_eq!(report.unavailable_completions, 0);
+    }
+
+    #[test]
+    fn partition_that_heals_mid_run_restores_service() {
+        // Unreplicated, node 1 partitioned for a slice of the run: inside
+        // the window its requests are unavailable, afterwards service
+        // resumes — and a partition rebuilds nothing (data is intact).
+        let faults = vec![
+            FaultEvent::new(SimTime::from_micros(30), FaultKind::LinkPartition(1)),
+            FaultEvent::new(SimTime::from_micros(120), FaultKind::LinkHeal(1)),
+        ];
+        let (mut cluster, reqs, _) = faulted_cluster(2, 1, true, faults);
+        let report = cluster.run(reqs, 8);
+        assert_eq!(report.completed + report.faulted, 120);
+        assert!(
+            report.unavailable_completions > 0,
+            "window traffic had no replica to go to"
+        );
+        assert!(report.completed > 0, "service resumed after the heal");
+        assert_eq!(report.rereplication_bytes, 0);
+        // Completions after the heal exist: the last completion must land
+        // past the window start.
+        assert!(report.makespan > SimTime::from_micros(120));
+        assert!(report.degraded_p99 > SimTime::ZERO);
+    }
+
+    #[test]
+    fn crash_triggers_rereplication_that_is_not_free() {
+        // Three nodes at replication 2: node 0's extents each have one
+        // surviving copy, which streams them to the remaining node in the
+        // background. Redundancy is restored (promoted replicas), the
+        // traffic is accounted, and every request still completes.
+        let faults = vec![FaultEvent::new(
+            SimTime::from_micros(30),
+            FaultKind::MemCrash(0),
+        )];
+        let (mut cluster, reqs, expected) = faulted_cluster(3, 2, false, faults);
+        let done = drive(&mut cluster, reqs);
+        assert_eq!(done.len(), 120);
+        for c in &done {
+            assert!(c.ok && !c.unavailable, "{:?}", c.id);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert_eq!(report.completed, 120);
+        assert!(report.rereplication_bytes > 0, "rebuild traffic priced");
+        assert_eq!(report.unavailable_completions, 0);
+        // Every extent node 0 hosted is again fully redundant: a copy
+        // lives on some up node beyond the survivor.
+        let mem = cluster.memory();
+        for (start, _) in mem.node_ranges(0) {
+            let live = mem
+                .all_replicas_of(start)
+                .iter()
+                .filter(|&&m| mem.node_is_up(m))
+                .count();
+            assert!(live >= 2, "extent {start:#x} left under-replicated");
+        }
+    }
+
+    #[test]
+    fn wedged_accelerator_reroutes_traversals_but_serves_dma() {
+        // A wedge at replication 2: traversals fail over to the replica,
+        // while the wedged node's DMA path (object reads) keeps serving —
+        // the run completes fully.
+        let faults = vec![FaultEvent::new(SimTime::ZERO, FaultKind::AccelWedge(0))];
+        let (mut cluster, reqs, expected) = faulted_cluster(2, 2, false, faults);
+        let done = drive(&mut cluster, reqs);
+        assert_eq!(done.len(), 120);
+        for c in &done {
+            assert!(c.ok && !c.unavailable);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert_eq!(report.completed, 120);
+        assert!(report.failovers > 0);
+        // Unreplicated, the same wedge strands whatever needs node 0's
+        // accelerator.
+        let faults = vec![FaultEvent::new(SimTime::ZERO, FaultKind::AccelWedge(0))];
+        let (mut cluster, reqs, _) = faulted_cluster(2, 1, true, faults);
+        let report = cluster.run(reqs, 8);
+        assert!(report.unavailable_completions > 0);
+    }
+
+    #[test]
+    fn routed_fabric_crash_story_holds() {
+        // The same failover semantics on a leaf–spine fabric: packets are
+        // priced hop by hop, re-replication competes on the same links,
+        // and the run completes without unavailable completions.
+        let faults = vec![FaultEvent::new(
+            SimTime::from_micros(30),
+            FaultKind::MemCrash(0),
+        )];
+        let granularity = 4096;
+        let (mut mem, reqs, expected) = webservice_cluster_opts(4, 2_000, granularity, false);
+        mem.set_replication(2);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                faults,
+                topology: TopologySpec::LeafSpine {
+                    leaves: 2,
+                    spines: 2,
+                },
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let done = drive(&mut cluster, reqs);
+        assert_eq!(done.len(), 120);
+        for c in &done {
+            assert!(c.ok && !c.unavailable);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert_eq!(report.completed, 120);
+        assert!(report.failovers > 0);
+        assert!(report.rereplication_bytes > 0);
+        assert_eq!(report.unavailable_completions, 0);
     }
 }

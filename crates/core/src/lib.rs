@@ -105,4 +105,5 @@ pub use cluster::{
 };
 pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};
 pub use pulse_frontend::{CacheConfig, CacheStats, CpuFrontEnd, TraversalCache};
+pub use pulse_mem::{FaultEvent, FaultKind};
 pub use pulse_sim::{CpuDispatch, DispatchConfig};

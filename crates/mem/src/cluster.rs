@@ -75,6 +75,18 @@ pub struct ClusterMemory {
     /// Last-write epoch per [`VERSION_GRANULE_BYTES`]-aligned granule.
     /// Granules never written are implicitly version 0.
     granule_versions: HashMap<u64, u64>,
+    /// Copies kept per extent. 1 (the default) reproduces the single-owner
+    /// model bit-for-bit; `r` places each extent on its owner plus the
+    /// `r - 1` nodes following it mod `node_count`.
+    replication: usize,
+    /// Per-node health, toggled by fault injection. Placement ignores it;
+    /// routing queries it to fail over.
+    node_up: Vec<bool>,
+    /// Replicas added after placement (re-replication rebuild targets),
+    /// keyed by extent start. Promotion only ever adds nodes — a recovered
+    /// primary comes back into an over-replicated set rather than finding
+    /// its slot stolen.
+    promoted: HashMap<u64, Vec<NodeId>>,
 }
 
 impl ClusterMemory {
@@ -90,7 +102,45 @@ impl ClusterMemory {
             node_count,
             write_epoch: 0,
             granule_versions: HashMap::new(),
+            replication: 1,
+            node_up: vec![true; node_count],
+            promoted: HashMap::new(),
         }
+    }
+
+    /// Sets the number of copies kept per extent (capped at the node
+    /// count). Replication 1 is the single-owner model. Call before
+    /// building structures so local TCAMs pick up the replicated ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication == 0`.
+    pub fn set_replication(&mut self, replication: usize) {
+        assert!(replication >= 1, "replication factor must be at least 1");
+        self.replication = replication.min(self.node_count);
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Marks `node` crashed or partitioned away: it stops hosting anything
+    /// until [`ClusterMemory::recover_node`].
+    pub fn fail_node(&mut self, node: NodeId) {
+        assert!(node < self.node_count, "no such memory node");
+        self.node_up[node] = false;
+    }
+
+    /// Brings `node` back with its extents intact.
+    pub fn recover_node(&mut self, node: NodeId) {
+        assert!(node < self.node_count, "no such memory node");
+        self.node_up[node] = true;
+    }
+
+    /// Whether `node` is currently serving.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up[node]
     }
 
     /// The current write epoch: the number of writes the rack memory has
@@ -175,8 +225,98 @@ impl ClusterMemory {
     }
 
     /// The node owning `addr`, if any — the switch's global translation.
+    /// Under replication this is the *primary*; the full copy set is
+    /// [`ClusterMemory::replicas_of`].
     pub fn owner_of(&self, addr: u64) -> Option<NodeId> {
         self.extent_index(addr).map(|i| self.extents[i].node)
+    }
+
+    /// Whether `node` hosts a copy of the extent starting at
+    /// `extent_start` with primary `primary` — derived placement plus any
+    /// promoted rebuild targets.
+    fn hosted(&self, extent_start: u64, primary: NodeId, node: NodeId) -> bool {
+        // Derived rule: primary p at replication r hosts copies on
+        // {p, p+1, ..., p+r-1} mod node_count. The modular-difference test
+        // is allocation-free, and at replication 1 it reduces to
+        // `node == primary` exactly.
+        let diff = (node + self.node_count - primary) % self.node_count;
+        if diff < self.replication {
+            return true;
+        }
+        if self.promoted.is_empty() {
+            return false;
+        }
+        self.promoted
+            .get(&extent_start)
+            .is_some_and(|extra| extra.contains(&node))
+    }
+
+    /// Whether `node` hosts a copy of the extent containing `addr`
+    /// (derived replica or promoted rebuild target; `false` for unmapped
+    /// addresses). At replication 1 this is exactly
+    /// `owner_of(addr) == Some(node)`.
+    pub fn hosts(&self, addr: u64, node: NodeId) -> bool {
+        self.extent_index(addr)
+            .is_some_and(|i| self.hosted(self.extents[i].start, self.extents[i].node, node))
+    }
+
+    /// The placement-derived replica set for `addr`, primary first (empty
+    /// if unmapped). These are the copies whose nodes carry TCAM entries
+    /// for the range, so any of them can serve traversals locally.
+    pub fn replicas_of(&self, addr: u64) -> Vec<NodeId> {
+        let Some(i) = self.extent_index(addr) else {
+            return Vec::new();
+        };
+        let e = &self.extents[i];
+        (0..self.replication)
+            .map(|k| (e.node + k) % self.node_count)
+            .collect()
+    }
+
+    /// The full copy set for `addr`: derived replicas plus any promoted
+    /// rebuild targets (which serve the DMA path but have no TCAM
+    /// entries, so they cannot host traversals).
+    pub fn all_replicas_of(&self, addr: u64) -> Vec<NodeId> {
+        let Some(i) = self.extent_index(addr) else {
+            return Vec::new();
+        };
+        let start = self.extents[i].start;
+        let mut out = self.replicas_of(addr);
+        if let Some(extra) = self.promoted.get(&start) {
+            for &n in extra {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `node` as a promoted replica of the extent containing `addr`
+    /// (the end state of a re-replication stream). A no-op if `node`
+    /// already hosts the extent; never removes existing members, so a
+    /// crashed primary that later recovers rejoins cleanly.
+    ///
+    /// Returns `false` if `addr` is unmapped.
+    pub fn promote_replica(&mut self, addr: u64, node: NodeId) -> bool {
+        assert!(node < self.node_count, "no such memory node");
+        let Some(i) = self.extent_index(addr) else {
+            return false;
+        };
+        let (start, primary) = (self.extents[i].start, self.extents[i].node);
+        if !self.hosted(start, primary, node) {
+            self.promoted.entry(start).or_default().push(node);
+        }
+        true
+    }
+
+    /// The first live copy of `addr` (primary preferred, then derived
+    /// replicas in placement order, then promoted ones). `None` when every
+    /// copy is down — the unavailable case.
+    pub fn live_replica_of(&self, addr: u64) -> Option<NodeId> {
+        self.all_replicas_of(addr)
+            .into_iter()
+            .find(|&n| self.node_up[n])
     }
 
     /// All `(start, end, node)` ranges — the source for the switch's global
@@ -188,11 +328,14 @@ impl ClusterMemory {
             .collect()
     }
 
-    /// `(start, end)` ranges owned by one node.
+    /// `(start, end)` ranges hosted by one node: its own extents plus, at
+    /// replication ≥ 2, every range replicated onto it. This feeds the
+    /// node's local TCAM, so replicas translate (and therefore serve)
+    /// the ranges they carry.
     pub fn node_ranges(&self, node: NodeId) -> Vec<(u64, u64)> {
         self.extents
             .iter()
-            .filter(|e| e.node == node)
+            .filter(|e| self.hosted(e.start, e.node, node))
             .map(|e| (e.start, e.end()))
             .collect()
     }
@@ -223,7 +366,12 @@ impl ClusterMemory {
             .ok_or(MemFault::NotMapped { addr })?;
         let e = &self.extents[i];
         if let Some(node) = node_filter {
-            if e.node != node {
+            // A node sees every extent it hosts a copy of — the primary's
+            // view at replication 1, widened to replicas beyond that.
+            // (Data itself is not duplicated: extents are ground truth and
+            // every copy reads the same bytes, so replication is trivially
+            // coherent; the cluster layer prices the fan-out.)
+            if !self.hosted(e.start, e.node, node) {
                 return Err(MemFault::NotMapped { addr });
             }
         }
@@ -402,6 +550,116 @@ mod tests {
     #[should_panic(expected = "at least one memory node")]
     fn zero_nodes_panics() {
         let _ = ClusterMemory::new(0);
+    }
+
+    #[test]
+    fn replication_widens_local_views_and_tcam_ranges() {
+        let mut m = two_node_mem();
+        // Replication 1: the single-owner model.
+        assert_eq!(m.replication(), 1);
+        assert_eq!(m.replicas_of(0x2000), vec![1]);
+        assert_eq!(m.node_ranges(0), vec![(0x1000, 0x2000)]);
+        assert!(m.local_bus(0).read_word(0x2010, 8).is_err());
+
+        m.set_replication(2);
+        assert_eq!(m.replicas_of(0x2000), vec![1, 0]);
+        assert_eq!(m.replicas_of(0x1000), vec![0, 1]);
+        // Each node's TCAM view now carries both ranges...
+        assert_eq!(m.node_ranges(0), vec![(0x1000, 0x2000), (0x2000, 0x3000)]);
+        // ...and the local bus serves replicated extents.
+        m.write_word(0x2010, 9, 8).unwrap();
+        assert_eq!(m.local_bus(0).read_word(0x2010, 8).unwrap(), 9);
+        // The primary is unchanged.
+        assert_eq!(m.owner_of(0x2010), Some(1));
+    }
+
+    #[test]
+    fn replication_factor_caps_at_node_count() {
+        let mut m = two_node_mem();
+        m.set_replication(5);
+        assert_eq!(m.replication(), 2);
+        assert_eq!(m.replicas_of(0x1000), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_replication_panics() {
+        two_node_mem().set_replication(0);
+    }
+
+    #[test]
+    fn health_and_live_replica_selection() {
+        let mut m = two_node_mem();
+        m.set_replication(2);
+        assert!(m.node_is_up(1));
+        assert_eq!(m.live_replica_of(0x2000), Some(1));
+        m.fail_node(1);
+        assert!(!m.node_is_up(1));
+        // Primary down: the derived replica steps in.
+        assert_eq!(m.live_replica_of(0x2000), Some(0));
+        m.fail_node(0);
+        assert_eq!(m.live_replica_of(0x2000), None, "all copies down");
+        m.recover_node(1);
+        assert_eq!(m.live_replica_of(0x2000), Some(1));
+    }
+
+    #[test]
+    fn promotion_adds_without_evicting() {
+        let mut m = ClusterMemory::new(3);
+        m.add_extent(0x1000, 0x1000, 0, Perms::RW).unwrap();
+        m.set_replication(2); // derived copies: nodes 0 and 1
+        assert!(m.promote_replica(0x1000, 2));
+        assert_eq!(m.all_replicas_of(0x1000), vec![0, 1, 2]);
+        // Derived set (TCAM-backed traversal hosts) is unchanged.
+        assert_eq!(m.replicas_of(0x1000), vec![0, 1]);
+        // Promoting an existing host or promoting twice is a no-op.
+        assert!(m.promote_replica(0x1000, 1));
+        assert!(m.promote_replica(0x1000, 2));
+        assert_eq!(m.all_replicas_of(0x1000), vec![0, 1, 2]);
+        // The promoted copy serves the node-filtered (DMA) view.
+        m.write_word(0x1010, 4, 8).unwrap();
+        assert_eq!(m.local_bus(2).read_word(0x1010, 8).unwrap(), 4);
+        // Unmapped address: promotion reports failure.
+        assert!(!m.promote_replica(0x9999_0000, 2));
+    }
+
+    #[test]
+    fn replica_sets_are_deterministic_across_builds() {
+        // Satellite: same `Placement` + seed ⇒ identical primaries and
+        // replica sets across two independent builds; replicas always
+        // distinct, in-range nodes. SplitMix64 case loop in lieu of
+        // proptest (offline).
+        use crate::alloc::ClusterAllocator;
+        use crate::Placement;
+        use pulse_sim::SplitMix64;
+
+        let mut rng = SplitMix64::new(0x8eed_5eed);
+        for case in 0..24 {
+            let nodes = 2 + (rng.next_u64() % 5) as usize; // 2..=6
+            let replication = 1 + (rng.next_u64() % nodes as u64) as usize;
+            let seed = rng.next_u64();
+            let build = || {
+                let mut m = ClusterMemory::new(nodes);
+                m.set_replication(replication);
+                let mut a = ClusterAllocator::new(Placement::Random { seed }, 4096);
+                let addrs: Vec<u64> = (0..40).map(|_| a.alloc(&mut m, 256).unwrap()).collect();
+                (m, addrs)
+            };
+            let (m1, addrs1) = build();
+            let (m2, addrs2) = build();
+            assert_eq!(addrs1, addrs2, "case {case}: addresses diverged");
+            for &addr in &addrs1 {
+                assert_eq!(m1.owner_of(addr), m2.owner_of(addr), "case {case}");
+                let (r1, r2) = (m1.replicas_of(addr), m2.replicas_of(addr));
+                assert_eq!(r1, r2, "case {case}: replica sets diverged");
+                assert_eq!(r1.len(), replication, "case {case}");
+                assert_eq!(r1[0], m1.owner_of(addr).unwrap(), "primary first");
+                for (i, &n) in r1.iter().enumerate() {
+                    assert!(n < nodes, "case {case}: replica out of range");
+                    assert!(!r1[..i].contains(&n), "case {case}: duplicate replica");
+                }
+            }
+        }
     }
 
     #[test]

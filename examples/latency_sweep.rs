@@ -3,8 +3,8 @@
 //! CPU-side saturation and full workload coverage.
 //!
 //! A Poisson [`ArrivalProcess`] feeds `Runtime::submit_at` through the
-//! `pulse-bench` `sweep()` ladder. Twelve curves run the identical arrival
-//! schedule:
+//! `pulse-bench` `sweep()` ladder. Seventeen curves run the identical
+//! arrival schedule:
 //!
 //! * **pulse** — the rack (2 memory nodes, 2 CPU nodes) over WebService,
 //! * **RPC** / **Cache-based** — the baselines over the same WebService
@@ -34,7 +34,18 @@
 //!   traversal through the CPU node's downlink (incast), while pulse's
 //!   chained hops ride memory-to-memory paths — the separation the paper's
 //!   in-network routing argument predicts, with per-curve CPU-downlink
-//!   utilization and queue depth in the emitted JSON.
+//!   utilization and queue depth in the emitted JSON,
+//! * **pulse-crash** / **pulse-crash-replicated** / **RPC-crash** — the
+//!   SLO-under-failure comparison: four flat memory nodes, node 0
+//!   crashes 30 µs into every rung. Unreplicated pulse fault-completes
+//!   every request whose data died with the node
+//!   (`unavailable_completions`); with two-way replication the rack
+//!   re-plans onto surviving replicas (`failovers`) and streams rebuild
+//!   traffic that competes with foreground requests
+//!   (`rereplication_bytes`), finishing every request; the replicated RPC
+//!   baseline fails over too (one timeout round trip per redirected
+//!   segment) but never rebuilds. Each crash curve's p99 over the
+//!   degraded window is emitted as `degraded_p99_us`.
 //!
 //! Every engine runs the same contended dispatch model: each CPU node's
 //! issue path is a serial engine (`DISPATCH_OCCUPANCY` per packet on
@@ -51,13 +62,13 @@
 //! cargo run --release --example latency_sweep -- --workers 1   # serial schedule
 //! ```
 //!
-//! The fourteen curves run on `pulse_bench::sweep_par_with`'s bounded
+//! The seventeen curves run on `pulse_bench::sweep_par_with`'s bounded
 //! worker pool: every (curve, rung) pair is a deterministic closed world,
 //! so workers claim rungs in parallel and the results are stitched back in
 //! ladder order — `BENCH_sweep.json` is byte-identical for any worker
 //! count. Per-curve wall-clock prints as each curve finishes.
 //!
-//! The run writes all fourteen curves to `BENCH_sweep.json` and the
+//! The run writes all seventeen curves to `BENCH_sweep.json` and the
 //! simulator's own speed (sim-ops/sec per curve, wall-clock per rung) to
 //! `BENCH_simspeed.json`; CI greps both files and checks the
 //! cache-hit-rate and link-utilization invariants.
@@ -65,10 +76,13 @@
 use pulse::baselines::{RpcConfig, SwapConfig};
 use pulse::sim::SimTime;
 use pulse::workloads::Distribution;
-use pulse::{BaselineKind, CacheConfig, DispatchConfig, TopologySpec, YcsbWorkload};
+use pulse::{
+    BaselineKind, CacheConfig, DispatchConfig, FaultEvent, FaultKind, TopologySpec, YcsbWorkload,
+};
 use pulse_bench::{
     baseline_webservice_factory, baseline_ycsb_factory, cached_baseline_webservice_factory,
-    cached_pulse_webservice_factory, fabric_pulse_webservice_factory, pulse_app_factory,
+    cached_pulse_webservice_factory, crashed_pulse_webservice_factory,
+    crashed_rpc_webservice_factory, fabric_pulse_webservice_factory, pulse_app_factory,
     pulse_ycsb_factory, simspeed_json, sweep, sweep_json, sweep_par_with, AppKind, CurveSpec,
     SweepReport,
 };
@@ -92,6 +106,19 @@ const DISPATCH_OCCUPANCY: SimTime = SimTime::from_nanos(1_000);
 const DISPATCH_CONTEXTS: usize = 2;
 /// Front-end cache capacity for the `+cache` curves (per CPU node).
 const CACHE_BYTES: u64 = 4 << 20;
+/// Memory nodes in the crash curves: four, so a two-way-replicated rack
+/// that loses one node still has spare nodes to rebuild onto.
+const CRASH_NODES: usize = 4;
+/// When node 0 dies on every crash rung — early enough that nearly the
+/// whole rung runs degraded at every offered load on the ladder.
+const CRASH_AT: SimTime = SimTime::from_micros(30);
+
+/// The crash curves' fault schedule: node 0 fail-stops at [`CRASH_AT`] and
+/// never comes back (the re-replication engine, not a repair, restores
+/// redundancy).
+fn crash_schedule() -> Vec<FaultEvent> {
+    vec![FaultEvent::new(CRASH_AT, FaultKind::MemCrash(0))]
+}
 
 fn main() -> Result<(), pulse::Error> {
     let (loads_kops, requests, workers) = parse_args();
@@ -293,6 +320,48 @@ fn main() -> Result<(), pulse::Error> {
                 }),
                 BASELINE_CLIENTS,
                 requests,
+            ),
+        ),
+        // The SLO-under-failure comparison: identical flat deployments,
+        // node 0 fail-stops 30 us into every rung. One axis varies per
+        // curve: replication off, replication on, and the RPC baseline
+        // with the same replica rule.
+        CurveSpec::new(
+            "pulse-crash",
+            &loads_kops,
+            SEED,
+            crashed_pulse_webservice_factory(
+                CRASH_NODES,
+                CPUS,
+                requests,
+                dispatch,
+                1,
+                crash_schedule(),
+            ),
+        ),
+        CurveSpec::new(
+            "pulse-crash-replicated",
+            &loads_kops,
+            SEED,
+            crashed_pulse_webservice_factory(
+                CRASH_NODES,
+                CPUS,
+                requests,
+                dispatch,
+                2,
+                crash_schedule(),
+            ),
+        ),
+        CurveSpec::new(
+            "RPC-crash",
+            &loads_kops,
+            SEED,
+            crashed_rpc_webservice_factory(
+                CRASH_NODES,
+                BASELINE_CLIENTS,
+                requests,
+                2,
+                crash_schedule(),
             ),
         ),
     ];
@@ -562,6 +631,101 @@ fn main() -> Result<(), pulse::Error> {
         (Some(_), None) => {} // RPC sustained nothing at the SLO: stronger still.
         _ => panic!("pulse must sustain some load on the routed fabric"),
     }
+
+    // The SLO-under-failure invariants, measured. First the negative
+    // space: a curve with no fault schedule must never fail over, lose a
+    // request to unavailability, move a rebuild byte, or report a degraded
+    // window — failure accounting leaking into healthy curves would mean
+    // the default path is no longer the golden-trace path.
+    for curve in &curves {
+        if !curve.label.contains("crash") {
+            assert!(
+                curve.points.iter().all(|p| p.failovers == 0
+                    && p.unavailable_completions == 0
+                    && p.rereplication_bytes == 0
+                    && p.degraded_p99_us == 0.0),
+                "{}: fault-free curves must carry zero failure metrics",
+                curve.label
+            );
+        }
+    }
+    let crash_curve = |label: &str| {
+        curves
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("{label} curve present"))
+    };
+    let bare = crash_curve("pulse-crash");
+    let repl = crash_curve("pulse-crash-replicated");
+    let rpc_crash = crash_curve("RPC-crash");
+    let sum = |c: &SweepReport, f: fn(&pulse_bench::SweepPoint) -> u64| -> u64 {
+        c.points.iter().map(f).sum()
+    };
+    println!(
+        "\ncrash at {} us, node 0 of {CRASH_NODES} (per-ladder totals):",
+        CRASH_AT.as_micros_f64()
+    );
+    for c in [bare, repl, rpc_crash] {
+        println!(
+            "  {:>24}: {:>5} unavailable, {:>6} failovers, {:>9} rebuild bytes, \
+             degraded p99 {:.1} us",
+            c.label,
+            sum(c, |p| p.unavailable_completions),
+            sum(c, |p| p.failovers),
+            sum(c, |p| p.rereplication_bytes),
+            c.points
+                .iter()
+                .map(|p| p.degraded_p99_us)
+                .fold(0.0, f64::max)
+        );
+    }
+    // Unreplicated: the crash takes data offline, so some requests can
+    // only fault-complete as unavailable — and nothing can be rebuilt.
+    assert!(
+        sum(bare, |p| p.unavailable_completions) > 0,
+        "losing the only copy must surface unavailable completions"
+    );
+    assert_eq!(
+        sum(bare, |p| p.rereplication_bytes),
+        0,
+        "nothing to rebuild from at replication 1"
+    );
+    // Replicated: every rung finishes every request — zero unavailable —
+    // by re-planning onto survivors and paying real rebuild traffic.
+    assert!(
+        repl.points.iter().all(|p| p.unavailable_completions == 0),
+        "two-way replication must ride out a single-node crash"
+    );
+    assert!(
+        sum(repl, |p| p.failovers) > 0,
+        "riding out the crash requires actual failovers"
+    );
+    assert!(
+        sum(repl, |p| p.rereplication_bytes) > 0,
+        "rebuilding lost redundancy must move real bytes"
+    );
+    assert!(
+        repl.points.iter().any(|p| p.degraded_p99_us > 0.0),
+        "the degraded window must cover some completions"
+    );
+    // The replicated RPC baseline also stays available, but never
+    // rebuilds — failover is its whole recovery story.
+    assert!(
+        rpc_crash
+            .points
+            .iter()
+            .all(|p| p.unavailable_completions == 0),
+        "replicated RPC must ride out the crash too"
+    );
+    assert!(
+        sum(rpc_crash, |p| p.failovers) > 0,
+        "RPC failover must actually trigger"
+    );
+    assert_eq!(
+        sum(rpc_crash, |p| p.rereplication_bytes),
+        0,
+        "the RPC baseline has no re-replication engine"
+    );
 
     let json = sweep_json(&curves);
     std::fs::write("BENCH_sweep.json", &json)

@@ -294,7 +294,7 @@ impl Engine for Runtime {
 }
 
 /// Which baseline system a [`BaselineEngine`] runs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum BaselineKind {
     /// Fastswap-style cache-based paging.
     SwapCache(SwapConfig),
@@ -330,7 +330,7 @@ impl BaselineEngine {
 
 impl Engine for BaselineEngine {
     fn label(&self) -> &'static str {
-        match self.kind {
+        match &self.kind {
             BaselineKind::SwapCache(_) => "Cache-based",
             BaselineKind::Rpc(_) => "RPC",
         }
@@ -340,7 +340,7 @@ impl Engine for BaselineEngine {
         for req in requests {
             req.validate()?;
         }
-        let rep = match self.kind {
+        let rep = match self.kind.clone() {
             BaselineKind::SwapCache(cfg) => {
                 run_swap_cache(&mut self.mem, requests, self.concurrency, cfg)
             }
@@ -376,9 +376,13 @@ impl Engine for BaselineEngine {
                 cache_hit_rate: 0.0,
                 link_utilization: 0.0,
                 queue_depth: 0,
+                failovers: 0,
+                unavailable_completions: 0,
+                rereplication_bytes: 0,
+                degraded_p99: SimTime::ZERO,
             });
         }
-        let rep = match self.kind {
+        let rep = match self.kind.clone() {
             BaselineKind::SwapCache(cfg) => {
                 run_swap_cache_open_loop(&mut self.mem, requests, self.concurrency, cfg, &times)
             }
@@ -393,7 +397,9 @@ impl Engine for BaselineEngine {
             offered_per_sec,
             submitted: requests.len() as u64,
             completed: rep.completed,
-            faulted: 0,
+            // The only way a replay baseline fails a request is running
+            // out of replicas under a fault schedule.
+            faulted: rep.unavailable_completions,
             latency: rep.latency,
             goodput_per_sec: rep.throughput,
             first_arrival,
@@ -406,6 +412,11 @@ impl Engine for BaselineEngine {
             cache_hit_rate: rep.cache_hit_rate,
             link_utilization: rep.link_utilization,
             queue_depth: rep.queue_depth,
+            failovers: rep.failovers,
+            unavailable_completions: rep.unavailable_completions,
+            // The RPC model never rebuilds lost extents.
+            rereplication_bytes: 0,
+            degraded_p99: rep.degraded_p99,
         })
     }
 }

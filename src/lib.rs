@@ -102,7 +102,7 @@ pub use ycsb::YcsbDriver;
 // and downstream code need one `use pulse::...` line per name.
 pub use pulse_core::{
     CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
-    PulseCluster, PulseMode,
+    FaultEvent, FaultKind, PulseCluster, PulseMode,
 };
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;

@@ -23,7 +23,7 @@ use crate::api::{AppSpec, BaselineEngine, BaselineKind};
 use crate::error::Error;
 use pulse_core::{
     CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
-    PulseCluster, PulseMode,
+    FaultEvent, PulseCluster, PulseMode,
 };
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
@@ -83,6 +83,7 @@ pub struct PulseBuilder {
     nodes: usize,
     placement: Placement,
     granularity: u64,
+    replication: usize,
     config: ClusterConfig,
     window: usize,
 }
@@ -93,6 +94,7 @@ impl Default for PulseBuilder {
             nodes: 1,
             placement: Placement::Striped,
             granularity: DEFAULT_GRANULARITY,
+            replication: 1,
             config: ClusterConfig::default(),
             window: DEFAULT_WINDOW,
         }
@@ -121,6 +123,26 @@ impl PulseBuilder {
     /// Extent granularity in bytes.
     pub fn granularity(mut self, bytes: u64) -> PulseBuilder {
         self.granularity = bytes;
+        self
+    }
+
+    /// Replication factor: every extent keeps copies on this many
+    /// consecutive nodes starting at its primary (capped at the node
+    /// count). Writes fan out to every live copy synchronously; under
+    /// faults, traversals and object I/O fail over to surviving replicas
+    /// and a crashed node's extents are re-replicated in the background.
+    /// The default `1` (no redundancy) is bit-identical to the
+    /// pre-replication rack.
+    pub fn replication(mut self, replication: usize) -> PulseBuilder {
+        self.replication = replication;
+        self
+    }
+
+    /// Scheduled fault injections (crashes, recoveries, partitions, wedged
+    /// accelerators), applied at their timestamps as the simulation runs.
+    /// The default empty schedule is bit-identical to the fault-free rack.
+    pub fn faults(mut self, faults: Vec<FaultEvent>) -> PulseBuilder {
+        self.config.faults = faults;
         self
     }
 
@@ -214,10 +236,27 @@ impl PulseBuilder {
         if let Err(msg) = self.config.cache.validate() {
             return Err(Error::Config(msg));
         }
-        Ok((
-            ClusterMemory::new(self.nodes),
-            ClusterAllocator::new(self.placement, self.granularity),
-        ))
+        if self.replication == 0 {
+            return Err(Error::Config(
+                "replication factor must be at least 1".into(),
+            ));
+        }
+        if let Some(f) = self
+            .config
+            .faults
+            .iter()
+            .find(|f| f.kind.node() >= self.nodes)
+        {
+            return Err(Error::Config(format!(
+                "fault {:?} names node {} but the rack has {}",
+                f.kind,
+                f.kind.node(),
+                self.nodes
+            )));
+        }
+        let mut mem = ClusterMemory::new(self.nodes);
+        mem.set_replication(self.replication);
+        Ok((mem, ClusterAllocator::new(self.placement, self.granularity)))
     }
 
     /// Builds the rack, letting `build` populate memory (structures, object
@@ -498,6 +537,24 @@ pub struct OpenLoopReport {
     pub link_utilization: f64,
     /// Deepest any fabric link's egress FIFO ever got. 0 on flat.
     pub queue_depth: u64,
+    /// Times a request was redirected onto a surviving replica — at the
+    /// switch when its target was already known dead, or by re-planning
+    /// after a crash notice. 0 with no fault schedule.
+    pub failovers: u64,
+    /// Requests that fault-completed because *no* replica of something
+    /// they needed was reachable (a subset of
+    /// [`OpenLoopReport::faulted`]). Zero at replication ≥ 2 as long as
+    /// copies of every extent survive — the SLO-under-failure claim the
+    /// sweep's CI gate checks.
+    pub unavailable_completions: u64,
+    /// Bytes of background re-replication traffic (a crashed node's
+    /// extents streaming from surviving replicas to rebuild targets) that
+    /// competed with this stream for links and dispatch.
+    pub rereplication_bytes: u64,
+    /// p99 over only the completions that finished inside the degraded
+    /// window (first fault to last repair, open-ended when nothing
+    /// heals). [`SimTime::ZERO`] without faults.
+    pub degraded_p99: SimTime,
 }
 
 impl OpenLoopReport {
@@ -569,7 +626,9 @@ impl OpenLoopDriver {
         requests: Vec<AppRequest>,
     ) -> Result<OpenLoopReport, Error> {
         let submitted = requests.len() as u64;
-        let base_retries = runtime.report().retries;
+        let base = runtime.report();
+        let (base_retries, base_failovers, base_rereplication) =
+            (base.retries, base.failovers, base.rereplication_bytes);
         let base_cache = cache_counters(runtime);
         let mut t = runtime.now();
         let mut first_arrival = None;
@@ -588,6 +647,7 @@ impl OpenLoopDriver {
         let mut hist = LatencyHistogram::new();
         let (mut completed, mut faulted) = (0u64, 0u64);
         let mut completed_updates = 0u64;
+        let mut unavailable = 0u64;
         let mut last_completion = first_arrival;
         loop {
             let done = runtime.poll();
@@ -604,6 +664,9 @@ impl OpenLoopDriver {
                     }
                 } else {
                     faulted += 1;
+                    if c.unavailable {
+                        unavailable += 1;
+                    }
                 }
             }
         }
@@ -644,6 +707,13 @@ impl OpenLoopDriver {
                 f.cpu_downlink_peak(window)
             }),
             queue_depth: runtime.report().queue_depth,
+            failovers: runtime.report().failovers - base_failovers,
+            unavailable_completions: unavailable,
+            rereplication_bytes: runtime.report().rereplication_bytes - base_rereplication,
+            // p99s don't difference: this is the runtime-lifetime degraded
+            // tail, which equals this stream's on a fresh runtime (the
+            // documented way to drive an open-loop run).
+            degraded_p99: runtime.report().degraded_p99,
         })
     }
 }

@@ -634,3 +634,98 @@ fn staged_requests_complete_through_the_runtime() {
     }
     assert_eq!(seen, cases.len());
 }
+
+/// An explicitly empty fault schedule at replication 1 is the default
+/// rack: byte-for-byte identical reports. The default side is pinned to
+/// the golden trace numbers elsewhere in this file, so this proves the
+/// whole replication/fault layer prices nothing until it is switched on.
+#[test]
+fn no_faults_at_replication_1_is_bit_identical_to_default() {
+    let run = |builder: PulseBuilder| {
+        let (mut runtime, mut app) = builder
+            .nodes(2)
+            .granularity(1 << 20)
+            .window(8)
+            .app(WebServiceConfig {
+                keys: 2_000,
+                ..Default::default()
+            })
+            .unwrap();
+        for _ in 0..120 {
+            runtime.submit(app.next_request()).unwrap();
+        }
+        runtime.drain()
+    };
+    let default = run(PulseBuilder::new());
+    let explicit = run(PulseBuilder::new().replication(1).faults(vec![]));
+    assert_eq!(default.makespan, explicit.makespan);
+    assert_eq!(default.net_bytes, explicit.net_bytes);
+    assert_eq!(default.mem_bytes, explicit.mem_bytes);
+    assert_eq!(default.iterations, explicit.iterations);
+    assert_eq!(default.latency.mean, explicit.latency.mean);
+    assert_eq!(default.latency.p99, explicit.latency.p99);
+    assert_eq!(default.failovers, 0);
+    assert_eq!(explicit.failovers, 0);
+    assert_eq!(explicit.unavailable_completions, 0);
+    assert_eq!(explicit.rereplication_bytes, 0);
+    assert_eq!(explicit.degraded_p99, SimTime::ZERO);
+}
+
+/// The SLO-under-failure story through the façade: a mid-run crash at
+/// replication 2 degrades the open-loop stream (failovers, background
+/// re-replication on a 3-node rack) but loses nothing; the same crash at
+/// replication 1 makes requests unavailable.
+#[test]
+fn open_loop_crash_degrades_but_replication_keeps_service() {
+    use pulse::{FaultEvent, FaultKind};
+    let run = |replication: usize| {
+        let (mut runtime, mut app) = PulseBuilder::new()
+            .nodes(3)
+            .granularity(4096)
+            .replication(replication)
+            .faults(vec![FaultEvent::new(
+                SimTime::from_micros(30),
+                FaultKind::MemCrash(0),
+            )])
+            .app(WebServiceConfig {
+                keys: 2_000,
+                ..Default::default()
+            })
+            .unwrap();
+        let reqs: Vec<AppRequest> = (0..150).map(|_| app.next_request()).collect();
+        OpenLoopDriver::new(ArrivalProcess::uniform(300_000.0))
+            .run(&mut runtime, reqs)
+            .unwrap()
+    };
+    let replicated = run(2);
+    assert_eq!(replicated.completed, 150, "nothing lost at replication 2");
+    assert_eq!(replicated.unavailable_completions, 0);
+    assert!(replicated.failovers > 0);
+    assert!(replicated.rereplication_bytes > 0);
+    assert!(replicated.degraded_p99 > SimTime::ZERO);
+
+    let bare = run(1);
+    assert!(bare.unavailable_completions > 0, "no replicas to save it");
+    assert_eq!(bare.faulted, bare.unavailable_completions);
+    assert_eq!(bare.completed + bare.faulted, 150);
+    assert_eq!(bare.rereplication_bytes, 0);
+}
+
+/// Builder validation for the fault layer: zero replication and faults
+/// naming nodes outside the rack are configuration errors, not panics.
+#[test]
+fn builder_rejects_bad_fault_wiring() {
+    use pulse::{FaultEvent, FaultKind};
+    let err = PulseBuilder::new()
+        .nodes(2)
+        .replication(0)
+        .app(WebServiceConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, Error::Config(_)), "{err:?}");
+    let err = PulseBuilder::new()
+        .nodes(2)
+        .faults(vec![FaultEvent::new(SimTime::ZERO, FaultKind::MemCrash(5))])
+        .app(WebServiceConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, Error::Config(_)), "{err:?}");
+}
