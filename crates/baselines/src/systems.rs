@@ -15,6 +15,7 @@ use pulse_net::{Endpoint, Fabric, FabricConfig, LinkConfig, SwitchConfig, Topolo
 use pulse_sim::{
     DispatchConfig, LatencyHistogram, LatencySummary, SerialResource, ServerPool, SimTime,
 };
+use pulse_trace::{LatencyBreakdown, Phase, PhaseAttribution};
 use pulse_workloads::{execute_functional, Access, AppRequest};
 
 /// Network constants shared with the pulse cluster: one endpoint→endpoint
@@ -156,6 +157,13 @@ pub struct BaselineReport {
     /// window (first fault to last repair; open-ended when nothing heals).
     /// `SimTime::ZERO` without faults.
     pub degraded_p99: SimTime,
+    /// Per-phase latency attribution over all requests, present exactly
+    /// when the config asked for tracing (`trace: true`). The replay
+    /// models are analytic, so phases are attributed from the priced
+    /// components: residual (queueing on threads/workers/pipes) lands in
+    /// [`Phase::Queued`] and the per-phase sums still equal each request's
+    /// end-to-end latency exactly.
+    pub phase: Option<PhaseAttribution>,
     /// End of the last request.
     pub makespan: SimTime,
 }
@@ -249,6 +257,10 @@ pub struct SwapConfig {
     /// request + page transfer over the fabric's finite links from the
     /// owning node.
     pub topology: TopologySpec,
+    /// Record per-phase latency attribution
+    /// ([`BaselineReport::phase`]). Off by default; the run's timing is
+    /// identical either way.
+    pub trace: bool,
 }
 
 impl Default for SwapConfig {
@@ -263,6 +275,7 @@ impl Default for SwapConfig {
             net: NetModel::default(),
             dispatch: DispatchConfig::default(),
             topology: TopologySpec::Flat,
+            trace: false,
         }
     }
 }
@@ -314,6 +327,7 @@ fn swap_cache_impl(
     let mut mem_bytes = 0u64;
     let page_wire = SimTime::serialization(cfg.page_bytes, cfg.net.bits_per_sec);
     let miss_cost = cfg.fault_software + cfg.net.one_way * 2 + page_wire;
+    let mut breakdown = cfg.trace.then(LatencyBreakdown::new);
 
     // Pre-execute functionally (results + traces).
     let traces: Vec<(Vec<Access>, SimTime)> = requests
@@ -334,14 +348,18 @@ fn swap_cache_impl(
             let mut pure = SimTime::ZERO;
             let mut traversal_pure = SimTime::ZERO;
             let mut misses = 0u64;
+            let mut hits = 0u64;
+            let mut insn_total = SimTime::ZERO;
             let mut fills: Vec<usize> = Vec::new();
             for a in accesses {
                 let mut cost = cfg.cpu.insn_time * a.insns as u64;
+                insn_total += cost;
                 let first = a.addr / cfg.page_bytes;
                 let last = (a.addr + a.len.max(1) as u64 - 1) / cfg.page_bytes;
                 for page in first..=last {
                     if lru.touch(page) {
                         cost += cfg.cpu.dram_latency;
+                        hits += 1;
                     } else {
                         cost += miss_cost;
                         misses += 1;
@@ -365,6 +383,7 @@ fn swap_cache_impl(
             let slot = threads.acquire(admitted, pure);
             // The swap subsystem serves this request's misses.
             let mut pipe_end = slot.grant.start;
+            let mut routed_wire = None;
             if misses > 0 {
                 let g = swap_pipe.acquire_for(slot.grant.start, cfg.swap_service * misses);
                 pipe_end = match fabric.as_mut() {
@@ -385,12 +404,33 @@ fn swap_cache_impl(
                                 .send(req, Endpoint::Mem(owner), Endpoint::Cpu(0), cfg.page_bytes)
                                 .expect("fabric covers every node");
                         }
+                        routed_wire = Some(cursor - g.end);
                         cursor + cfg.fault_software + *cpu_work
                     }
                     None => g.end + cfg.net.one_way * 2 + cfg.fault_software + *cpu_work,
                 };
             }
             let end = (slot.grant.start + pure).max(pipe_end);
+            if let Some(b) = breakdown.as_mut() {
+                let arrive = arrivals.map_or(ready, |a| a[idx]);
+                let wire =
+                    routed_wire.unwrap_or_else(|| (cfg.net.one_way * 2 + page_wire) * misses);
+                // Priced components; thread/pipe queueing and the pieces
+                // hidden under the completion `max` fall to the residual.
+                b.record_components(
+                    end - arrive,
+                    &[
+                        (Phase::Queued, admitted - ready),
+                        (Phase::CacheHit, cfg.cpu.dram_latency * hits),
+                        (
+                            Phase::Dispatch,
+                            insn_total + *cpu_work + cfg.fault_software * misses,
+                        ),
+                        (Phase::WireHop, wire),
+                        (Phase::MemTrip, cfg.swap_service * misses),
+                    ],
+                );
+            }
             (end, traversal_pure, pure)
         });
 
@@ -414,6 +454,7 @@ fn swap_cache_impl(
         failovers: 0,
         unavailable_completions: 0,
         degraded_p99: SimTime::ZERO,
+        phase: breakdown.as_ref().and_then(LatencyBreakdown::attribution),
         makespan,
     }
 }
@@ -484,6 +525,10 @@ pub struct RpcConfig {
     /// unavailable. The RPC model never rebuilds lost extents — recovery
     /// is fail-stop-and-restore only.
     pub faults: Vec<FaultEvent>,
+    /// Record per-phase latency attribution
+    /// ([`BaselineReport::phase`]). Off by default; the run's timing is
+    /// identical either way.
+    pub trace: bool,
 }
 
 impl RpcConfig {
@@ -502,6 +547,7 @@ impl RpcConfig {
             cache: CacheConfig::disabled(),
             topology: TopologySpec::Flat,
             faults: Vec::new(),
+            trace: false,
         }
     }
 
@@ -606,6 +652,7 @@ fn rpc_impl(
     let mut failovers = 0u64;
     let mut unavailable = 0u64;
     let mut degraded = LatencyHistogram::new();
+    let mut breakdown = cfg.trace.then(LatencyBreakdown::new);
 
     struct Priced {
         /// The functional access trace, segmented lazily per serve (the
@@ -683,6 +730,17 @@ fn rpc_impl(
                             degraded.record(end - ready);
                         }
                     }
+                    if let Some(b) = breakdown.as_mut() {
+                        let arrive = arrivals.map_or(ready, |a| a[idx]);
+                        b.record_components(
+                            end - arrive,
+                            &[
+                                (Phase::Queued, admitted - ready),
+                                (Phase::CacheHit, prefix_time),
+                                (Phase::Dispatch, p.cpu_work),
+                            ],
+                        );
+                    }
                     return (end, prefix_time, pure);
                 }
             }
@@ -744,6 +802,14 @@ fn rpc_impl(
                     if end >= from && end <= to {
                         degraded.record(end - ready);
                     }
+                }
+                if let Some(b) = breakdown.as_mut() {
+                    let arrive = arrivals.map_or(ready, |a| a[idx]);
+                    // The whole timed-out attempt is failure handling.
+                    b.record_components(
+                        end - arrive,
+                        &[(Phase::Queued, admitted - ready), (Phase::Failover, pure)],
+                    );
                 }
                 return (end, SimTime::ZERO, pure);
             }
@@ -870,6 +936,22 @@ fn rpc_impl(
                     degraded.record(end - ready);
                 }
             }
+            if let Some(b) = breakdown.as_mut() {
+                let arrive = arrivals.map_or(ready, |a| a[idx]);
+                // Priced components; worker/DRAM/link contention hidden
+                // under the completion `max` falls to the residual.
+                b.record_components(
+                    end - arrive,
+                    &[
+                        (Phase::Queued, issued - ready),
+                        (Phase::CacheHit, prefix_time),
+                        (Phase::Failover, cfg.net.one_way * (2 * req_failovers)),
+                        (Phase::WireHop, cfg.net.one_way * 2 + bounce + response_wire),
+                        (Phase::MemTrip, service),
+                        (Phase::Dispatch, cfg.tcp_extra * 2 + p.cpu_work),
+                    ],
+                );
+            }
             (end, traversal, pure)
         });
 
@@ -892,7 +974,8 @@ fn rpc_impl(
         queue_depth: fabric.as_ref().map_or(0, |f| f.max_queue_depth() as u64),
         failovers,
         unavailable_completions: unavailable,
-        degraded_p99: degraded.summary().p99,
+        degraded_p99: degraded.p99(),
+        phase: breakdown.as_ref().and_then(LatencyBreakdown::attribution),
         makespan,
     }
 }
@@ -1295,6 +1378,71 @@ mod tests {
         assert!(faulted.unavailable_completions > 0);
         assert!(faulted.completed > 0);
         assert_eq!(faulted.failovers, 0);
+    }
+
+    #[test]
+    fn traced_baselines_attribute_phases_without_perturbing_timing() {
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let plain_rpc = run_rpc(&mut mem, &reqs, 16, RpcConfig::rpc());
+        let traced_rpc = run_rpc(
+            &mut mem,
+            &reqs,
+            16,
+            RpcConfig {
+                trace: true,
+                ..RpcConfig::rpc()
+            },
+        );
+        assert!(plain_rpc.phase.is_none(), "tracing is off by default");
+        assert_eq!(plain_rpc.latency.mean, traced_rpc.latency.mean);
+        assert_eq!(plain_rpc.latency.p99, traced_rpc.latency.p99);
+        let attr = traced_rpc.phase.expect("attribution recorded");
+        assert_eq!(attr.count, reqs.len() as u64);
+        // Per-phase means partition the mean latency (each mean floors
+        // picos independently, so the sum may undershoot by < PHASES ps).
+        let sum: u64 = attr.mean.iter().map(|t| t.as_picos()).sum();
+        let e2e = traced_rpc.latency.mean.as_picos();
+        assert!(
+            sum <= e2e && e2e - sum < pulse_trace::PHASES as u64,
+            "phase means {sum} ps vs mean latency {e2e} ps"
+        );
+        assert!(attr.mean_of(Phase::WireHop) > SimTime::ZERO);
+        assert!(attr.mean_of(Phase::MemTrip) > SimTime::ZERO);
+
+        let traced_swap = run_swap_cache(
+            &mut mem,
+            &reqs,
+            8,
+            SwapConfig {
+                trace: true,
+                ..SwapConfig::default()
+            },
+        );
+        let attr = traced_swap.phase.expect("attribution recorded");
+        assert_eq!(attr.count, reqs.len() as u64);
+        let sum: u64 = attr.mean.iter().map(|t| t.as_picos()).sum();
+        let e2e = traced_swap.latency.mean.as_picos();
+        assert!(sum <= e2e && e2e - sum < pulse_trace::PHASES as u64);
+    }
+
+    #[test]
+    fn traced_rpc_dead_end_counts_failover_phase() {
+        // No replication + an immediate crash: some requests dead-end as
+        // unavailable; their timed-out attempts must land in Failover.
+        let (mut mem, reqs) = webservice_setup(4_000, 8192);
+        let rep = run_rpc(
+            &mut mem,
+            &reqs,
+            16,
+            RpcConfig {
+                faults: vec![FaultEvent::new(SimTime::ZERO, FaultKind::MemCrash(0))],
+                trace: true,
+                ..RpcConfig::rpc()
+            },
+        );
+        assert!(rep.unavailable_completions > 0);
+        let attr = rep.phase.expect("attribution recorded");
+        assert!(attr.mean_of(Phase::Failover) > SimTime::ZERO);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 #![warn(missing_docs)]
 
 use pulse_baselines::{run_rpc, run_swap_cache, BaselineReport, RpcConfig, SwapConfig};
-use pulse_core::{ClusterConfig, ClusterReport, DispatchConfig, PulseCluster, PulseMode};
+use pulse_core::{
+    ClusterConfig, ClusterReport, DispatchConfig, Phase, PhaseAttribution, PulseCluster, PulseMode,
+    PHASES,
+};
 use pulse_ds::{BuildCtx, TreePlacement};
 use pulse_mem::{ClusterAllocator, ClusterMemory, FaultEvent, Placement};
 use pulse_workloads::{
@@ -266,10 +269,67 @@ pub struct SweepPoint {
     /// p99 over only the completions inside the degraded window (first
     /// fault to last repair), microseconds. Exactly 0.0 without faults.
     pub degraded_p99_us: f64,
+    /// Per-phase latency attribution over the rung's completions. Present
+    /// exactly when the rung ran with tracing enabled
+    /// ([`pulse::PulseBuilder::trace`]); `None` keeps the default sweep
+    /// document byte-identical to the pre-trace schema.
+    pub phase: Option<PhasePoint>,
+}
+
+/// Microsecond-domain view of a rung's [`PhaseAttribution`] — the sweep
+/// JSON's optional `"phase"` object. Means are zero-inclusive over every
+/// completion, so they sum to the rung's mean latency (the conservation
+/// the CI trace gate checks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePoint {
+    /// Completions folded into the attribution.
+    pub count: u64,
+    /// Mean time per phase, microseconds, in [`Phase::ALL`] order.
+    pub mean_us: [f64; PHASES],
+    /// 99th-percentile time per phase, microseconds, in [`Phase::ALL`]
+    /// order.
+    pub p99_us: [f64; PHASES],
+}
+
+impl PhasePoint {
+    /// Converts a run's picosecond-domain attribution to the microsecond
+    /// domain the sweep document speaks.
+    pub fn from_attribution(a: &PhaseAttribution) -> PhasePoint {
+        let mut mean_us = [0.0; PHASES];
+        let mut p99_us = [0.0; PHASES];
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            mean_us[i] = a.mean_of(phase).as_micros_f64();
+            p99_us[i] = a.p99_of(phase).as_micros_f64();
+        }
+        PhasePoint {
+            count: a.count,
+            mean_us,
+            p99_us,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let phases: Vec<String> = Phase::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, phase)| {
+                format!(
+                    "\"{k}_mean_us\":{:.4},\"{k}_p99_us\":{:.4}",
+                    self.mean_us[i],
+                    self.p99_us[i],
+                    k = phase.key()
+                )
+            })
+            .collect();
+        format!("{{\"count\":{},{}}}", self.count, phases.join(","))
+    }
 }
 
 impl SweepPoint {
-    fn from_report(rep: &pulse::OpenLoopReport) -> SweepPoint {
+    /// Collapses one open-loop rung's report into the sweep-document row
+    /// (the conversion [`sweep`] applies per rung, public so ad-hoc traced
+    /// runs can emit schema-compatible rows too).
+    pub fn from_open_loop(rep: &pulse::OpenLoopReport) -> SweepPoint {
         let update_fraction = if rep.completed > 0 {
             rep.completed_updates as f64 / rep.completed as f64
         } else {
@@ -293,6 +353,7 @@ impl SweepPoint {
             unavailable_completions: rep.unavailable_completions,
             rereplication_bytes: rep.rereplication_bytes,
             degraded_p99_us: rep.degraded_p99.as_micros_f64(),
+            phase: rep.phase.as_ref().map(PhasePoint::from_attribution),
         }
     }
 
@@ -365,7 +426,7 @@ impl SweepReport {
             .points
             .iter()
             .map(|p| {
-                format!(
+                let mut row = format!(
                     "{{\"offered_kops\":{:.3},\"arrived_kops\":{:.3},\
                      \"completed\":{},\"faulted\":{},\
                      \"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\
@@ -373,7 +434,7 @@ impl SweepReport {
                      \"retries\":{},\"cache_hit_rate\":{:.4},\
                      \"link_utilization\":{:.4},\"queue_depth\":{},\
                      \"failovers\":{},\"unavailable_completions\":{},\
-                     \"rereplication_bytes\":{},\"degraded_p99_us\":{:.3}}}",
+                     \"rereplication_bytes\":{},\"degraded_p99_us\":{:.3}",
                     p.offered_kops,
                     p.arrived_kops,
                     p.completed,
@@ -391,7 +452,16 @@ impl SweepReport {
                     p.unavailable_completions,
                     p.rereplication_bytes,
                     p.degraded_p99_us
-                )
+                );
+                // Optional trailer, absent on untraced rungs so the
+                // default document stays byte-identical to the pre-trace
+                // schema (CI byte-compares it against the pinned golden).
+                if let Some(phase) = &p.phase {
+                    row.push_str(",\"phase\":");
+                    row.push_str(&phase.to_json());
+                }
+                row.push('}');
+                row
             })
             .collect();
         format!(
@@ -651,6 +721,26 @@ pub fn parse_sweep_json(doc: &str) -> Result<Vec<SweepReport>, String> {
                         unavailable_completions: p.num("unavailable_completions")? as u64,
                         rereplication_bytes: p.num("rereplication_bytes")? as u64,
                         degraded_p99_us: p.num("degraded_p99_us")?,
+                        // Optional (untraced rungs omit it) but complete
+                        // when present: a traced rung missing any phase
+                        // key is rejected like any other pruned field.
+                        phase: match p.get("phase") {
+                            None => None,
+                            Some(obj) => {
+                                let count = obj.num("count")? as u64;
+                                let mut mean_us = [0.0; PHASES];
+                                let mut p99_us = [0.0; PHASES];
+                                for (i, ph) in Phase::ALL.into_iter().enumerate() {
+                                    mean_us[i] = obj.num(&format!("{}_mean_us", ph.key()))?;
+                                    p99_us[i] = obj.num(&format!("{}_p99_us", ph.key()))?;
+                                }
+                                Some(PhasePoint {
+                                    count,
+                                    mean_us,
+                                    p99_us,
+                                })
+                            }
+                        },
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()
@@ -696,7 +786,7 @@ pub fn sweep(
         let (mut engine, requests) = make();
         let arrivals = pulse::ArrivalProcess::poisson(kops * 1e3, seed);
         let rep = engine.execute_open_loop(&requests, arrivals)?;
-        points.push(SweepPoint::from_report(&rep));
+        points.push(SweepPoint::from_open_loop(&rep));
     }
     Ok(SweepReport {
         label: label.to_string(),
@@ -892,7 +982,7 @@ pub fn sweep_par_with(
                 let arrivals = pulse::ArrivalProcess::poisson(spec.loads_kops[r] * 1e3, spec.seed);
                 let result = engine
                     .execute_open_loop(&requests, arrivals)
-                    .map(|rep| SweepPoint::from_report(&rep));
+                    .map(|rep| SweepPoint::from_open_loop(&rep));
                 drop(engine);
                 let wall_ms = rung_t0.elapsed().as_secs_f64() * 1e3;
                 *slots[c][r].lock().expect("slot") = Some(result.map(|p| (p, wall_ms)));
@@ -1410,6 +1500,7 @@ mod tests {
             unavailable_completions: 0,
             rereplication_bytes: 0,
             degraded_p99_us: 0.0,
+            phase: None,
         }
     }
 
@@ -1549,6 +1640,11 @@ mod tests {
                     unavailable_completions: 2,
                     rereplication_bytes: 1 << 21,
                     degraded_p99_us: 310.125,
+                    phase: Some(PhasePoint {
+                        count: 2_000,
+                        mean_us: std::array::from_fn(|i| i as f64 * 1.5),
+                        p99_us: std::array::from_fn(|i| i as f64 * 2.25),
+                    }),
                 },
                 point(100.0, 99.0, 80.0),
             ],
@@ -1570,6 +1666,13 @@ mod tests {
         assert_eq!((p.failovers, p.unavailable_completions), (11, 2));
         assert_eq!(p.rereplication_bytes, 1 << 21);
         assert!((p.degraded_p99_us - 310.125).abs() < 1e-9);
+        // Phase attribution: present on the traced point (field-exact),
+        // absent on the untraced one.
+        let phase = p.phase.as_ref().expect("traced point keeps phase");
+        assert_eq!(phase.count, 2_000);
+        assert_eq!(phase.mean_us[1], 1.5);
+        assert_eq!(phase.p99_us[2], 4.5);
+        assert_eq!(parsed[0].points[1].phase, None);
         // Byte-for-byte: re-serializing the parse reproduces the document.
         assert_eq!(sweep_json(&parsed), doc);
 
@@ -1596,6 +1699,11 @@ mod tests {
         let pruned = doc.replace(",\"degraded_p99_us\":310.125", "");
         let err = parse_sweep_json(&pruned).unwrap_err();
         assert!(err.contains("degraded_p99_us"), "{err}");
+        // A phase object, once present, must be complete: pruning one of
+        // its per-phase keys is rejected, not defaulted to zero.
+        let pruned = doc.replace(",\"wire_p99_us\":4.5000", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("wire_p99_us"), "{err}");
         assert!(parse_sweep_json("{\"swoop\":[]}").is_err());
         assert!(parse_sweep_json("not json").is_err());
         // The real emitted file's shape, including escapes.

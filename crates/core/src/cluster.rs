@@ -26,12 +26,14 @@ use pulse_mem::{
 };
 use pulse_net::{
     CodeBlob, Endpoint, Fabric, FabricConfig, IterPacket, IterStatus, Link, LinkConfig, Packet,
-    RequestId, Route, Switch, SwitchConfig, TopologySpec, FRAME_HEADER_BYTES, PULSE_HEADER_BYTES,
+    RequestId, Route, Switch, SwitchConfig, TopoNode, Topology, TopologySpec, FRAME_HEADER_BYTES,
+    PULSE_HEADER_BYTES,
 };
 use pulse_sim::{
     CpuDispatch, DispatchConfig, Driver, LatencyHistogram, LatencySummary, SerialResource, SimTime,
     SplitMix64,
 };
+use pulse_trace::{PhaseAttribution, SpanKind, TraceConfig, TraceSink, Track};
 use pulse_workloads::{AddrSource, AppRequest};
 use std::collections::HashMap;
 
@@ -118,6 +120,12 @@ pub struct ClusterConfig {
     /// re-replication, and completions inside the fault window feed the
     /// degraded-mode latency histogram.
     pub faults: Vec<FaultEvent>,
+    /// Per-request span tracing and latency attribution. `None` (the
+    /// default) records nothing, allocates nothing on the request path,
+    /// and keeps every report bit-identical to the untraced engine;
+    /// `Some` threads a [`TraceSink`] through the event loop without
+    /// perturbing any simulated timestamp.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -136,6 +144,7 @@ impl Default for ClusterConfig {
             topology: TopologySpec::Flat,
             cache: CacheConfig::default(),
             faults: Vec::new(),
+            trace: None,
         }
     }
 }
@@ -203,6 +212,11 @@ pub struct ClusterReport {
     /// heals). [`SimTime::ZERO`] when no faults are scheduled or nothing
     /// completed inside the window.
     pub degraded_p99: SimTime,
+    /// Per-phase latency attribution over completed requests, present
+    /// exactly when the cluster was built with [`ClusterConfig::trace`].
+    /// Phase means sum exactly to the mean end-to-end latency (span
+    /// conservation).
+    pub phase: Option<PhaseAttribution>,
 }
 
 impl ClusterReport {
@@ -359,6 +373,16 @@ pub struct PulseCluster {
     /// `[first fault, last repair]` (or open-ended when nothing heals):
     /// the degraded measurement window. `None` without faults.
     fault_window: Option<(SimTime, SimTime)>,
+    /// The optional trace recorder ([`ClusterConfig::trace`]); `None` is
+    /// the zero-cost disabled path.
+    sink: Option<TraceSink>,
+    /// Cumulative byte counters at the last counter sample, one per link
+    /// track (flat: CPU NICs then memory NICs; routed: directed links).
+    /// Empty when tracing is off.
+    sampled_bytes: Vec<u64>,
+    /// Routed mode with tracing: each endpoint's first-hop (host up-link)
+    /// directed-link id, for WireHop span attribution.
+    uplink: HashMap<Endpoint, usize>,
     // Measurements.
     hist: LatencyHistogram,
     /// Latency over completions finishing inside `fault_window`.
@@ -449,6 +473,46 @@ impl PulseCluster {
                 },
             )
         });
+        // The trace sink names every link track up front so exported
+        // timelines read as rack geometry, not bare indices. Flat racks
+        // get one track per NIC; routed racks one per directed link.
+        let mut uplink = HashMap::new();
+        let sink = cfg.trace.map(|tc| {
+            let mut sink = TraceSink::new(tc);
+            match &fabric {
+                Some(fab) => {
+                    for (i, l) in fab.topology().links().iter().enumerate() {
+                        sink.name_track(
+                            Track::Link(i),
+                            format!("{}->{}", topo_label(l.from), topo_label(l.to)),
+                        );
+                        if let TopoNode::Host(ep) = l.from {
+                            uplink.insert(ep, i);
+                        }
+                    }
+                }
+                None => {
+                    for c in 0..cfg.cpus {
+                        sink.name_track(Track::Link(c), format!("nic-cpu{c}"));
+                    }
+                    for n in 0..nodes {
+                        sink.name_track(Track::Link(cfg.cpus + n), format!("nic-mem{n}"));
+                    }
+                }
+            }
+            sink
+        });
+        let sampled_bytes = if sink.is_some() {
+            vec![
+                0u64;
+                match &fabric {
+                    Some(fab) => fab.topology().links().len(),
+                    None => cfg.cpus + nodes,
+                }
+            ]
+        } else {
+            Vec::new()
+        };
         // Sized for a deep open-loop in-flight population so the event
         // heap reaches steady state without reallocating. Scheduled faults
         // go in first, so at equal timestamps a fault fires before the
@@ -497,6 +561,9 @@ impl PulseCluster {
             partitioned: vec![false; nodes],
             wedged: vec![false; nodes],
             fault_window,
+            sink,
+            sampled_bytes,
+            uplink,
             hist: LatencyHistogram::new(),
             degraded_hist: LatencyHistogram::new(),
             completed: 0,
@@ -602,6 +669,9 @@ impl PulseCluster {
             self.frontends.len()
         );
         self.frontends[id.cpu].reserve_seq(id.seq);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.begin(id, at);
+        }
         self.inflight.insert(
             id,
             ReqState {
@@ -654,6 +724,7 @@ impl PulseCluster {
 
     fn handle(&mut self, drv: &mut Driver<Ev>, ev: Ev) {
         let now = drv.now();
+        self.sample_counters(now);
         match ev {
             Ev::Start(id) => self.send_stage(drv, now, id),
             Ev::AtSwitch(pkt, from) => self.at_switch(drv, now, pkt, from),
@@ -678,6 +749,9 @@ impl PulseCluster {
             Ev::Finished(id, how) => {
                 let st = self.inflight.remove(&id).expect("request inflight");
                 let latency = now - st.issued_at;
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.finish(id, now);
+                }
                 self.hist.record(latency);
                 if let Some((from, to)) = self.fault_window {
                     if now >= from && now <= to {
@@ -819,7 +893,8 @@ impl PulseCluster {
             failovers: self.failovers,
             unavailable_completions: self.unavailable,
             rereplication_bytes: self.rereplication_bytes,
-            degraded_p99: self.degraded_hist.summary().p99,
+            degraded_p99: self.degraded_hist.p99(),
+            phase: self.sink.as_ref().and_then(TraceSink::attribution),
         }
     }
 
@@ -827,6 +902,89 @@ impl PulseCluster {
     /// inspection; the report carries the headline scalars).
     pub fn fabric(&self) -> Option<&Fabric> {
         self.fabric.as_ref()
+    }
+
+    /// The trace recorder, when the cluster was built with
+    /// [`ClusterConfig::trace`].
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// The recorded timeline as Chrome trace-event JSON
+    /// (Perfetto-loadable), when tracing is enabled.
+    pub fn trace_json(&self) -> Option<String> {
+        self.sink.as_ref().map(TraceSink::trace_json)
+    }
+
+    /// Advances `id`'s span cursor to `end` (no-op when tracing is off).
+    fn trace_push(&mut self, id: RequestId, kind: SpanKind, track: Track, end: SimTime) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.push(id, kind, track, end);
+        }
+    }
+
+    /// Records an off-critical-path resource-busy window (no-op when
+    /// tracing is off).
+    fn trace_occupy(&mut self, track: Track, kind: SpanKind, start: SimTime, end: SimTime) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.occupy(track, kind, start, end);
+        }
+    }
+
+    /// The trace track of memory node `n`'s flat NIC (CPU NICs occupy the
+    /// first `cpus` link ids).
+    fn mem_nic_track(&self, n: NodeId) -> Track {
+        Track::Link(self.frontends.len() + n)
+    }
+
+    /// Catches the counter-sample clock up to `now`, recording one link
+    /// utilization + egress-queue-depth observation per track per due
+    /// tick. Runs at the top of the event handler so idle stretches are
+    /// back-filled deterministically; a single `Option` check when
+    /// tracing is off.
+    fn sample_counters(&mut self, now: SimTime) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let interval = sink.config().sample_interval.as_secs_f64();
+        while let Some(at) = sink.sample_tick(now) {
+            match &self.fabric {
+                Some(fab) => {
+                    for (i, stat) in fab.link_stats().iter().enumerate() {
+                        let delta = stat.bytes - self.sampled_bytes[i];
+                        self.sampled_bytes[i] = stat.bytes;
+                        let bps = match stat.from {
+                            TopoNode::Host(_) => self.cfg.link.bits_per_sec,
+                            TopoNode::Switch(_) => self.cfg.switch.port_bits_per_sec,
+                        };
+                        let util = (delta as f64 * 8.0 / (interval * bps as f64)).min(1.0);
+                        let depth = fab.queue_depth_at(i, at) as u64;
+                        sink.record_sample(Track::Link(i), at, util, depth);
+                    }
+                }
+                None => {
+                    // Flat NICs are full duplex; utilization is the
+                    // combined-direction busy fraction. No modeled egress
+                    // queue exists, so depth reads 0.
+                    let bps = self.cfg.link.bits_per_sec as f64;
+                    let cpus = self.frontends.len();
+                    for (c, fe) in self.frontends.iter().enumerate() {
+                        let total = fe.link().tx_bytes() + fe.link().rx_bytes();
+                        let delta = total - self.sampled_bytes[c];
+                        self.sampled_bytes[c] = total;
+                        let util = (delta as f64 * 8.0 / (interval * 2.0 * bps)).min(1.0);
+                        sink.record_sample(Track::Link(c), at, util, 0);
+                    }
+                    for (n, link) in self.links.iter().enumerate() {
+                        let total = link.tx_bytes() + link.rx_bytes();
+                        let delta = total - self.sampled_bytes[cpus + n];
+                        self.sampled_bytes[cpus + n] = total;
+                        let util = (delta as f64 * 8.0 / (interval * 2.0 * bps)).min(1.0);
+                        sink.record_sample(Track::Link(cpus + n), at, util, 0);
+                    }
+                }
+            }
+        }
     }
 
     /// Whether memory node `n` is reachable at all: not crashed and not
@@ -893,6 +1051,7 @@ impl PulseCluster {
         let id = pkt.id();
         self.recycle_lost(pkt);
         let arrive = self.frontends[id.cpu].rx(now, NOTICE_BYTES) + self.cfg.link.propagation;
+        self.trace_push(id, SpanKind::Failover, Track::Cpu(id.cpu), arrive);
         drv.schedule_at(arrive, Ev::Finished(id, Done::Unavailable));
     }
 
@@ -903,6 +1062,7 @@ impl PulseCluster {
         let id = pkt.id();
         self.recycle_lost(pkt);
         let arrive = self.frontends[id.cpu].rx(now, NOTICE_BYTES) + self.cfg.link.propagation;
+        self.trace_push(id, SpanKind::Failover, Track::Cpu(id.cpu), arrive);
         drv.schedule_at(arrive, Ev::CrashNotice(id));
     }
 
@@ -920,7 +1080,9 @@ impl PulseCluster {
             }
         }
         self.failovers += 1;
-        drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
+        let restart = now + self.cfg.reissue_overhead;
+        self.trace_push(id, SpanKind::Failover, Track::Cpu(id.cpu), restart);
+        drv.schedule_at(restart, Ev::Start(id));
     }
 
     /// Applies one scheduled fault. Crashes and partitions abort the
@@ -1034,7 +1196,14 @@ impl PulseCluster {
         }
         let len = REBUILD_CHUNK_BYTES.min(end - offset);
         let wire = len + NOTICE_BYTES;
-        let read_done = self.dma[src].acquire(now + DMA_SETUP, len).end;
+        let read = self.dma[src].acquire(now + DMA_SETUP, len);
+        self.trace_occupy(
+            Track::Mem(src),
+            SpanKind::Rereplication { node: src },
+            read.start,
+            read.end,
+        );
+        let read_done = read.end;
         self.mem_bytes_extra += len;
         let depart = self.frontends[0].book_dispatch(read_done);
         let arrive = if self.fabric.is_some() {
@@ -1042,7 +1211,14 @@ impl PulseCluster {
         } else {
             self.links[src].tx(depart, wire) + self.cfg.link.propagation
         };
-        let write_done = self.dma[dst].acquire(arrive + DMA_SETUP, len).end;
+        let write = self.dma[dst].acquire(arrive + DMA_SETUP, len);
+        self.trace_occupy(
+            Track::Mem(dst),
+            SpanKind::Rereplication { node: dst },
+            write.start,
+            write.end,
+        );
+        let write_done = write.end;
         self.mem_bytes_extra += len;
         self.rereplication_bytes += len;
         if offset + len < end {
@@ -1155,17 +1331,33 @@ impl PulseCluster {
         };
         match next {
             Next::Fault => drv.schedule_at(now, Ev::Finished(id, Done::Fault)),
-            Next::Finish(cpu_work) => drv.schedule_at(now + cpu_work, Ev::Finished(id, Done::Ok)),
-            Next::LocalDone { code, at } => self.stage_done(drv, at, id, code, false, true),
+            Next::Finish(cpu_work) => {
+                self.trace_push(id, SpanKind::Dispatch, Track::Cpu(id.cpu), now + cpu_work);
+                drv.schedule_at(now + cpu_work, Ev::Finished(id, Done::Ok));
+            }
+            Next::LocalDone { code, at } => {
+                self.trace_push(id, SpanKind::CacheHit, Track::Cpu(id.cpu), at);
+                self.stage_done(drv, at, id, code, false, true)
+            }
             Next::Send(pkt, at) => {
                 // The dispatch engine first (queueing + occupancy under
                 // load), then the flat pipeline latency, then the node's
                 // NIC (flat) or the routed fabric.
-                let depart = self.frontends[id.cpu].book_dispatch(at) + self.cfg.dispatch_overhead;
+                self.trace_push(id, SpanKind::CacheHit, Track::Cpu(id.cpu), at);
+                let grant = self.frontends[id.cpu].book_dispatch_grant(at);
+                let depart = grant.end + self.cfg.dispatch_overhead;
+                self.trace_push(id, SpanKind::Queued, Track::Cpu(id.cpu), grant.start);
+                self.trace_push(id, SpanKind::Dispatch, Track::Cpu(id.cpu), depart);
                 if self.fabric.is_some() {
                     self.route_and_send(drv, depart, pkt, Endpoint::Cpu(id.cpu));
                 } else {
                     let arrive = self.frontends[id.cpu].tx(depart, pkt.wire_bytes());
+                    self.trace_push(
+                        id,
+                        SpanKind::WireHop { link: id.cpu },
+                        Track::Link(id.cpu),
+                        arrive,
+                    );
                     drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(id.cpu)));
                 }
             }
@@ -1237,10 +1429,18 @@ impl PulseCluster {
             Next::Advance => self.send_stage(drv, now, id),
             Next::Finish(cpu_work) => {
                 let done_at = if local {
-                    self.frontends[id.cpu].book_dispatch(now)
+                    let grant = self.frontends[id.cpu].book_dispatch_grant(now);
+                    self.trace_push(id, SpanKind::Queued, Track::Cpu(id.cpu), grant.start);
+                    grant.end
                 } else {
                     now
                 };
+                self.trace_push(
+                    id,
+                    SpanKind::Dispatch,
+                    Track::Cpu(id.cpu),
+                    done_at + cpu_work,
+                );
                 drv.schedule_at(done_at + cpu_work, Ev::Finished(id, Done::Ok));
             }
             Next::Retry => {
@@ -1248,7 +1448,9 @@ impl PulseCluster {
                 // Re-planning costs the re-issue software path; the
                 // subsequent Start books the dispatch engine like any
                 // send.
-                drv.schedule_at(now + self.cfg.reissue_overhead, Ev::Start(id));
+                let restart = now + self.cfg.reissue_overhead;
+                self.trace_push(id, SpanKind::Retry, Track::Cpu(id.cpu), restart);
+                drv.schedule_at(restart, Ev::Start(id));
             }
             Next::Exhausted => drv.schedule_at(now, Ev::Finished(id, Done::Fault)),
         }
@@ -1289,9 +1491,15 @@ impl PulseCluster {
             Err(()) => return self.unavailable_complete(drv, at, pkt),
         };
         let wire = pkt.wire_bytes();
+        // Routed trips are priced hop by hop but recorded as one WireHop
+        // span attributed to the message's first hop (the sender's
+        // up-link) — the only link whose occupancy the sender holds.
+        let id = pkt.id();
+        let up = self.uplink.get(&from).copied().unwrap_or_default();
         match route {
             Route::To(ep) => {
                 let arrive = self.fabric_send(at, from, ep, wire);
+                self.trace_push(id, SpanKind::WireHop { link: up }, Track::Link(up), arrive);
                 match ep {
                     Endpoint::Mem(n) => drv.schedule_at(arrive, Ev::AtMem(n, pkt)),
                     Endpoint::Cpu(_) => drv.schedule_at(arrive, Ev::AtCpu(pkt)),
@@ -1299,6 +1507,7 @@ impl PulseCluster {
             }
             Route::InvalidPointer { requester } => {
                 let arrive = self.fabric_send(at, from, requester, wire);
+                self.trace_push(id, SpanKind::WireHop { link: up }, Track::Link(up), arrive);
                 match pkt {
                     Packet::Iter(mut ip) => {
                         ip.status = IterStatus::Faulted {
@@ -1354,15 +1563,25 @@ impl PulseCluster {
             Ok(r) => r,
             Err(()) => return self.unavailable_complete(drv, now, pkt),
         };
+        // The switch-egress + delivery trip is attributed to the
+        // *destination's* NIC track (the sender's NIC span ended at
+        // switch ingress).
+        let id = pkt.id();
         match route {
             Route::To(ep) => {
                 let egress_done = self.switch.forward(now, &pkt, ep);
                 let arrive = egress_done + self.cfg.link.propagation;
                 match ep {
-                    Endpoint::Mem(n) => drv.schedule_at(arrive, Ev::AtMem(n, pkt)),
+                    Endpoint::Mem(n) => {
+                        let track = self.mem_nic_track(n);
+                        let link = self.frontends.len() + n;
+                        self.trace_push(id, SpanKind::WireHop { link }, track, arrive);
+                        drv.schedule_at(arrive, Ev::AtMem(n, pkt))
+                    }
                     Endpoint::Cpu(c) => {
                         // Count bytes entering that CPU's link (rx side).
                         let arrive = self.frontends[c].rx(egress_done, pkt.wire_bytes());
+                        self.trace_push(id, SpanKind::WireHop { link: c }, Track::Link(c), arrive);
                         drv.schedule_at(arrive, Ev::AtCpu(pkt));
                     }
                 }
@@ -1378,6 +1597,12 @@ impl PulseCluster {
                 // size, matching the switch's egress-port charge in
                 // `forward` (a flat 128 B under-charge before this fix).
                 let arrive = self.frontends[cpu].rx(egress_done, pkt.wire_bytes());
+                self.trace_push(
+                    id,
+                    SpanKind::WireHop { link: cpu },
+                    Track::Link(cpu),
+                    arrive,
+                );
                 match pkt {
                     Packet::Iter(mut ip) => {
                         ip.status = IterStatus::Faulted {
@@ -1417,12 +1642,15 @@ impl PulseCluster {
                 let _ = addr;
                 let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
                 self.mem_bytes_extra += len as u64;
+                self.trace_occupy(Track::Mem(n), SpanKind::MemTrip { node: n }, g.start, g.end);
+                self.trace_push(id, SpanKind::MemTrip { node: n }, Track::Mem(n), g.end);
                 let reply = Packet::ReadReply { id, len };
                 self.mem_depart(drv, n, g.end, reply);
             }
             Packet::Write { id, addr, len } => {
                 let g = self.dma[n].acquire(now + DMA_SETUP, len as u64);
                 self.mem_bytes_extra += len as u64;
+                self.trace_occupy(Track::Mem(n), SpanKind::MemTrip { node: n }, g.start, g.end);
                 let mut done = g.end;
                 // Replicated stores fan out synchronously: every other
                 // live copy absorbs the same bytes — a real DMA store trip
@@ -1443,9 +1671,18 @@ impl PulseCluster {
                         };
                         let gm = self.dma[m].acquire(at + DMA_SETUP, bytes);
                         self.mem_bytes_extra += bytes;
+                        self.trace_occupy(
+                            Track::Mem(m),
+                            SpanKind::MemTrip { node: m },
+                            gm.start,
+                            gm.end,
+                        );
                         done = done.max(gm.end);
                     }
                 }
+                // The whole store trip — primary DMA plus the synchronous
+                // replica fan-out it waits on — is the request's MemTrip.
+                self.trace_push(id, SpanKind::MemTrip { node: n }, Track::Mem(n), done);
                 let reply = Packet::WriteAck { id };
                 self.mem_depart(drv, n, done, reply);
             }
@@ -1469,6 +1706,13 @@ impl PulseCluster {
             self.route_and_send(drv, at, pkt, Endpoint::Mem(n));
         } else {
             let arrive = self.links[n].tx(at, pkt.wire_bytes());
+            let link = self.frontends.len() + n;
+            self.trace_push(
+                pkt.id(),
+                SpanKind::WireHop { link },
+                Track::Link(link),
+                arrive,
+            );
             drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Mem(n)));
         }
     }
@@ -1481,6 +1725,14 @@ impl PulseCluster {
             match out {
                 AccelOutput::Internal { at, event } => drv.schedule_at(at, Ev::Accel(n, event)),
                 AccelOutput::Depart { at, mut pkt } => {
+                    // Everything between the packet's arrival at this node
+                    // and its departure is accelerator traversal time.
+                    self.trace_push(
+                        pkt.id,
+                        SpanKind::AccelCompute { node: n },
+                        Track::Mem(n),
+                        at,
+                    );
                     if let IterStatus::Done { code } = pkt.status {
                         if let Some(st) = self.inflight.get(&pkt.id) {
                             let is_final_stage = st.stage + 1 == st.req.traversals.len();
@@ -1499,6 +1751,18 @@ impl PulseCluster {
                                             let g = self.dma[n].acquire(at, io.len as u64);
                                             self.mem_bytes_extra += io.len as u64;
                                             pkt.piggyback_bytes = io.len;
+                                            self.trace_occupy(
+                                                Track::Mem(n),
+                                                SpanKind::MemTrip { node: n },
+                                                g.start,
+                                                g.end,
+                                            );
+                                            self.trace_push(
+                                                pkt.id,
+                                                SpanKind::MemTrip { node: n },
+                                                Track::Mem(n),
+                                                g.end,
+                                            );
                                             self.mem_depart(drv, n, g.end, Packet::Iter(pkt));
                                             continue;
                                         }
@@ -1517,12 +1781,22 @@ impl PulseCluster {
     /// dispatch booking + re-issue software cost, then the node's NIC
     /// (flat) or the routed fabric.
     fn cpu_reissue(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet) {
-        let cpu = pkt.id().cpu;
-        let depart = self.frontends[cpu].book_dispatch(now) + self.cfg.reissue_overhead;
+        let id = pkt.id();
+        let cpu = id.cpu;
+        let grant = self.frontends[cpu].book_dispatch_grant(now);
+        let depart = grant.end + self.cfg.reissue_overhead;
+        self.trace_push(id, SpanKind::Queued, Track::Cpu(cpu), grant.start);
+        self.trace_push(id, SpanKind::Dispatch, Track::Cpu(cpu), depart);
         if self.fabric.is_some() {
             self.route_and_send(drv, depart, pkt, Endpoint::Cpu(cpu));
         } else {
             let arrive = self.frontends[cpu].tx(depart, pkt.wire_bytes());
+            self.trace_push(
+                id,
+                SpanKind::WireHop { link: cpu },
+                Track::Link(cpu),
+                arrive,
+            );
             drv.schedule_at(arrive, Ev::AtSwitch(pkt, Endpoint::Cpu(cpu)));
         }
     }
@@ -1577,12 +1851,22 @@ impl PulseCluster {
             },
             Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
                 let cpu_work = self.inflight.get(&id).expect("inflight").req.cpu_work;
+                self.trace_push(id, SpanKind::Dispatch, Track::Cpu(id.cpu), now + cpu_work);
                 drv.schedule_at(now + cpu_work, Ev::Finished(id, Done::Ok));
             }
             Packet::Read { .. } | Packet::Write { .. } => {
                 unreachable!("requests never route to the CPU node")
             }
         }
+    }
+}
+
+/// Display label of a fabric vertex for trace track names.
+fn topo_label(n: TopoNode) -> String {
+    match n {
+        TopoNode::Host(Endpoint::Cpu(c)) => format!("cpu{c}"),
+        TopoNode::Host(Endpoint::Mem(m)) => format!("mem{m}"),
+        TopoNode::Switch(s) => format!("sw{s}"),
     }
 }
 
@@ -2262,6 +2546,137 @@ mod tests {
         let (mut cluster, reqs, _) = faulted_cluster(2, 1, true, faults);
         let report = cluster.run(reqs, 8);
         assert!(report.unavailable_completions > 0);
+    }
+
+    /// Runs a traced cluster to completion and checks span conservation
+    /// end to end: every request finished (the `finish` debug-assert
+    /// already enforces cursor == completion), per-phase means sum to the
+    /// mean latency, and every mem-node occupancy stream is
+    /// non-overlapping (serial DMA grants).
+    fn assert_traced_run(cluster: &mut PulseCluster, reqs: Vec<AppRequest>) -> ClusterReport {
+        let n = reqs.len() as u64;
+        drive(cluster, reqs);
+        let report = cluster.report();
+        let sink = cluster.trace().expect("tracing enabled");
+        assert_eq!(sink.completed(), n);
+        assert_eq!(sink.open_requests(), 0);
+        let phase = report.phase.expect("attribution present");
+        assert_eq!(phase.count, n);
+        // Per-phase means floor picos independently, so their sum may
+        // undershoot the end-to-end mean by at most PHASES-1 picos.
+        let mean_sum: u64 = phase.mean.iter().map(|t| t.as_picos()).sum();
+        let e2e = report.latency.mean.as_picos();
+        assert!(
+            mean_sum <= e2e && e2e - mean_sum < pulse_trace::PHASES as u64,
+            "phase means ({mean_sum} ps) must sum to the mean latency ({e2e} ps)"
+        );
+        // Per-mem-track occupancy windows never overlap: they all come
+        // from that node's serial DMA engine.
+        let mut per_track: HashMap<Track, Vec<(SimTime, SimTime)>> = HashMap::new();
+        for o in sink.occupancy() {
+            per_track.entry(o.track).or_default().push((o.start, o.end));
+        }
+        for (track, mut windows) in per_track {
+            windows.sort();
+            for pair in windows.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "overlapping occupancy on {track:?}: {pair:?}"
+                );
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn traced_flat_run_conserves_and_exports() {
+        let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                trace: Some(pulse_trace::TraceConfig::default()),
+                cpus: 2,
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let report = assert_traced_run(&mut cluster, reqs);
+        assert!(report.phase.unwrap().mean_of(pulse_trace::Phase::WireHop) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn traced_routed_crash_run_conserves() {
+        // The hardest path: leaf-spine fabric, replication, a mid-run
+        // crash with failovers and background re-replication — spans must
+        // still partition every completion exactly.
+        let faults = vec![FaultEvent::new(
+            SimTime::from_micros(30),
+            FaultKind::MemCrash(0),
+        )];
+        let (mut mem, reqs, _) = webservice_cluster_opts(4, 2_000, 4096, false);
+        mem.set_replication(2);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                faults,
+                trace: Some(pulse_trace::TraceConfig::default()),
+                topology: TopologySpec::LeafSpine {
+                    leaves: 2,
+                    spines: 2,
+                },
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let report = assert_traced_run(&mut cluster, reqs);
+        assert!(report.failovers > 0);
+        assert!(report.rereplication_bytes > 0);
+    }
+
+    #[test]
+    fn traced_run_exports_chrome_json_and_samples() {
+        let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                trace: Some(pulse_trace::TraceConfig::default()),
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let report = assert_traced_run(&mut cluster, reqs);
+        assert!(report.makespan > SimTime::from_micros(10), "samples due");
+        let sink = cluster.trace().unwrap();
+        assert!(!sink.samples().is_empty(), "counter samples recorded");
+        let json = cluster.trace_json().unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("nic-cpu0"), "flat NIC tracks named");
+        assert!(json.contains("\"ph\":\"C\""), "counter events present");
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_timing_and_none_is_default() {
+        // The traced report must be numerically identical to the untraced
+        // one, and `trace: None` must equal the default config exactly.
+        let run_with = |trace: Option<pulse_trace::TraceConfig>| {
+            let (mem, reqs, _) = webservice_cluster(2, 2_000, 1 << 20);
+            let mut cluster = PulseCluster::new(
+                ClusterConfig {
+                    trace,
+                    ..ClusterConfig::default()
+                },
+                mem,
+            );
+            cluster.run(reqs, 8)
+        };
+        let off = run_with(None);
+        let on = run_with(Some(pulse_trace::TraceConfig::default()));
+        assert_eq!(off.makespan, on.makespan);
+        assert_eq!(off.latency.mean, on.latency.mean);
+        assert_eq!(off.latency.p99, on.latency.p99);
+        assert_eq!(off.net_bytes, on.net_bytes);
+        assert_eq!(off.completed, on.completed);
+        assert!(off.phase.is_none());
+        assert!(on.phase.is_some());
+        let default_cfg = run_with(None);
+        assert_eq!(off.makespan, default_cfg.makespan);
     }
 
     #[test]

@@ -107,3 +107,4 @@ pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};
 pub use pulse_frontend::{CacheConfig, CacheStats, CpuFrontEnd, TraversalCache};
 pub use pulse_mem::{FaultEvent, FaultKind};
 pub use pulse_sim::{CpuDispatch, DispatchConfig};
+pub use pulse_trace::{LatencyBreakdown, Phase, PhaseAttribution, TraceConfig, TraceSink, PHASES};

@@ -11,7 +11,7 @@ use crate::cache::{CacheBus, CacheConfig, TraversalCache};
 use pulse_isa::{Interpreter, IterOutcome, IterState, Program};
 use pulse_mem::ClusterMemory;
 use pulse_net::{Endpoint, Fabric, Link, LinkConfig};
-use pulse_sim::{CpuDispatch, DispatchConfig, SimTime};
+use pulse_sim::{CpuDispatch, DispatchConfig, Grant, SimTime};
 
 /// Guard against a cycle living entirely inside the cache: the local walk
 /// gives up and goes remote after this many hops (the remote side then
@@ -58,7 +58,14 @@ impl CpuFrontEnd {
     /// Books one op on the node's serial dispatch engine; returns when the
     /// op clears the engine (equal to `now` for an uncontended config).
     pub fn book_dispatch(&mut self, now: SimTime) -> SimTime {
-        self.dispatch.book(now)
+        self.dispatch.book_grant(now).end
+    }
+
+    /// Books one op like [`Self::book_dispatch`], returning the full grant
+    /// so callers can split queueing delay (`now..start`) from occupancy
+    /// (`start..end`) — the tracing layer's Queued/Dispatch attribution.
+    pub fn book_dispatch_grant(&mut self, now: SimTime) -> Grant {
+        self.dispatch.book_grant(now)
     }
 
     /// Transmits `bytes` on the node's link; returns the arrival time at

@@ -147,6 +147,13 @@ impl Fabric {
             .fold(0.0, f64::max)
     }
 
+    /// Messages queued or in service at `link`'s egress FIFO at `now`
+    /// (entries whose service completes after `now`; the FIFO is pruned
+    /// lazily, so stale completed entries are filtered here).
+    pub fn queue_depth_at(&self, link: usize, now: SimTime) -> usize {
+        self.queues[link].iter().filter(|&&end| end > now).count()
+    }
+
     /// Deepest any link's egress FIFO ever got.
     pub fn max_queue_depth(&self) -> usize {
         self.max_depth.iter().copied().max().unwrap_or(0)

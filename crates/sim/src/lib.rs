@@ -49,5 +49,5 @@ mod time;
 pub use event::{Driver, EventQueue};
 pub use resource::{CpuDispatch, DispatchConfig, Grant, PoolGrant, SerialResource, ServerPool};
 pub use rng::SplitMix64;
-pub use stats::{LatencyHistogram, LatencySummary, OnlineStats, RateCounter};
+pub use stats::{quantile_rank, LatencyHistogram, LatencySummary, OnlineStats, RateCounter};
 pub use time::SimTime;

@@ -310,10 +310,23 @@ impl CpuDispatch {
     /// leaves the engine: after queueing for a free context plus the
     /// configured occupancy, or immediately (`now`) when uncontended.
     pub fn book(&mut self, now: SimTime) -> SimTime {
+        self.book_grant(now).end
+    }
+
+    /// [`Self::book`] exposing the full service window: `start` is when a
+    /// context came free (so `start - now` is the queueing delay tracing
+    /// attributes to `Queued`) and `end` is when the packet leaves.
+    /// Uncontended engines return the degenerate `[now, now]` grant —
+    /// identical state and arithmetic to [`Self::book`], so callers that
+    /// only read `end` stay bit-identical.
+    pub fn book_grant(&mut self, now: SimTime) -> Grant {
         self.ops += 1;
         match &mut self.pool {
-            Some(pool) => pool.acquire(now, self.cfg.occupancy).grant.end,
-            None => now,
+            Some(pool) => pool.acquire(now, self.cfg.occupancy).grant,
+            None => Grant {
+                start: now,
+                end: now,
+            },
         }
     }
 
@@ -426,6 +439,27 @@ mod tests {
         }
         assert_eq!(d.utilization(SimTime::from_micros(1)), 0.0);
         assert_eq!(d.ops(), 4);
+    }
+
+    #[test]
+    fn book_grant_exposes_queueing_and_matches_book() {
+        let occ = SimTime::from_nanos(100);
+        let mut d = CpuDispatch::new(DispatchConfig::contended(occ, 1));
+        let first = d.book_grant(SimTime::ZERO);
+        assert_eq!((first.start, first.end), (SimTime::ZERO, occ));
+        // The second booking queues: its grant exposes the wait.
+        let second = d.book_grant(SimTime::ZERO);
+        assert_eq!(second.start, occ);
+        assert_eq!(second.end, occ * 2);
+        assert_eq!(second.queueing(SimTime::ZERO), occ);
+        // Uncontended: a degenerate [now, now] grant, no queueing.
+        let mut free = CpuDispatch::new(DispatchConfig::default());
+        let g = free.book_grant(SimTime::from_micros(3));
+        assert_eq!(
+            (g.start, g.end),
+            (SimTime::from_micros(3), SimTime::from_micros(3))
+        );
+        assert_eq!(free.ops(), 1);
     }
 
     #[test]

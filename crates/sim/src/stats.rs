@@ -108,8 +108,7 @@ impl LatencyHistogram {
         if self.count == 0 {
             return SimTime::ZERO;
         }
-        let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = quantile_rank(self.count, p);
         let mut seen = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -144,6 +143,14 @@ impl LatencyHistogram {
         };
     }
 
+    /// The 99th percentile — the tail every SLO headline and every
+    /// degraded-window report quotes. One definition here (over
+    /// [`quantile_rank`]) serves [`LatencySummary`] and the
+    /// degraded-window paths alike.
+    pub fn p99(&self) -> SimTime {
+        self.percentile(99.0)
+    }
+
     /// Condensed summary (count/mean/p50/p95/p99/min/max).
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -151,11 +158,26 @@ impl LatencyHistogram {
             mean: self.mean(),
             p50: self.percentile(50.0),
             p95: self.percentile(95.0),
-            p99: self.percentile(99.0),
+            p99: self.p99(),
             min: self.min(),
             max: self.max(),
         }
     }
+}
+
+/// The 1-based rank of the `p`-th percentile among `count` ordered
+/// samples — the one quantile rule every percentile in the workspace
+/// follows (nearest-rank, ceiling convention). `p` is clamped to
+/// `[0, 100]`; the rank is clamped to `[1, count]`, so a one-sample
+/// population answers that sample for every `p` and `count == 0` is the
+/// caller's empty case to handle (rank 0 would index nothing).
+pub fn quantile_rank(count: u64, p: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+    rank.min(count)
 }
 
 /// A condensed latency summary, convenient for table rows.
@@ -420,6 +442,29 @@ mod tests {
         assert_eq!(both.percentile(99.0), SimTime::ZERO);
         assert_eq!(both.min(), SimTime::ZERO);
         assert_eq!(both.max(), SimTime::ZERO);
+    }
+
+    /// The shared quantile rule at its edges: an empty population ranks
+    /// nothing (callers return zero), and a one-sample population answers
+    /// that sample for every percentile.
+    #[test]
+    fn quantile_rank_edges() {
+        assert_eq!(quantile_rank(0, 50.0), 0);
+        assert_eq!(quantile_rank(0, 99.0), 0);
+        for p in [0.0, 0.1, 50.0, 99.0, 100.0, 250.0, -3.0] {
+            assert_eq!(quantile_rank(1, p), 1, "p={p}");
+        }
+        assert_eq!(quantile_rank(100, 99.0), 99);
+        assert_eq!(quantile_rank(100, 100.0), 100);
+        assert_eq!(quantile_rank(100, 0.0), 1);
+        // One-sample histogram: every percentile is the sample.
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_micros(7));
+        assert_eq!(h.p99(), SimTime::from_micros(7));
+        assert_eq!(h.percentile(0.0), SimTime::from_micros(7));
+        assert_eq!(h.percentile(100.0), SimTime::from_micros(7));
+        // Empty histogram: the quantile helper's rank-0 case maps to ZERO.
+        assert_eq!(LatencyHistogram::new().p99(), SimTime::ZERO);
     }
 
     #[test]

@@ -72,19 +72,28 @@
 //! simulator's own speed (sim-ops/sec per curve, wall-clock per rung) to
 //! `BENCH_simspeed.json`; CI greps both files and checks the
 //! cache-hit-rate and link-utilization invariants.
+//!
+//! `--trace <path>` additionally runs one fully-traced rung *after* the
+//! sweep (tracing stays off in every ladder curve, so `BENCH_sweep.json`
+//! is byte-identical with or without the flag): the routed leaf-spine
+//! WebService deployment with span recording on, exported as a
+//! Perfetto-loadable Chrome trace at `<path>` plus a one-curve
+//! `BENCH_traced_sweep.json` carrying the per-phase latency attribution
+//! (`"phase"` objects) that CI's trace gate validates.
 
 use pulse::baselines::{RpcConfig, SwapConfig};
 use pulse::sim::SimTime;
-use pulse::workloads::Distribution;
+use pulse::workloads::{Application, Distribution};
 use pulse::{
-    BaselineKind, CacheConfig, DispatchConfig, FaultEvent, FaultKind, TopologySpec, YcsbWorkload,
+    BaselineKind, CacheConfig, DispatchConfig, Engine, FaultEvent, FaultKind, Phase, TopologySpec,
+    TraceConfig, WebServiceConfig, YcsbWorkload,
 };
 use pulse_bench::{
     baseline_webservice_factory, baseline_ycsb_factory, cached_baseline_webservice_factory,
     cached_pulse_webservice_factory, crashed_pulse_webservice_factory,
     crashed_rpc_webservice_factory, fabric_pulse_webservice_factory, pulse_app_factory,
     pulse_ycsb_factory, simspeed_json, sweep, sweep_json, sweep_par_with, AppKind, CurveSpec,
-    SweepReport,
+    SweepPoint, SweepReport, DEFAULT_GRANULARITY,
 };
 
 const NODES: usize = 2;
@@ -121,7 +130,7 @@ fn crash_schedule() -> Vec<FaultEvent> {
 }
 
 fn main() -> Result<(), pulse::Error> {
-    let (loads_kops, requests, workers) = parse_args();
+    let (loads_kops, requests, workers, trace_path) = parse_args();
     let dispatch = DispatchConfig::contended(DISPATCH_OCCUPANCY, DISPATCH_CONTEXTS);
 
     println!("latency-vs-load sweep — {NODES} memory nodes, {CPUS} CPU nodes");
@@ -514,9 +523,7 @@ fn main() -> Result<(), pulse::Error> {
         println!(
             "  {:>18}: {}",
             curve.label,
-            curve
-                .max_load_under_p99(SLO_P99_US)
-                .map_or("-".into(), |k| format!("{k:.0}")),
+            fmt_kops(curve.max_load_under_p99(SLO_P99_US)),
         );
     }
     let pulse_sustained = curves[0].max_load_under_p99(SLO_P99_US);
@@ -552,8 +559,8 @@ fn main() -> Result<(), pulse::Error> {
         .and_then(|c| c.max_load_under_p99(SLO_P99_US));
     println!(
         "mixed YCSB-A sustained: pulse {} vs RPC {}",
-        mixed_pulse.map_or("-".into(), |k| format!("{k:.0}")),
-        mixed_rpc.map_or("-".into(), |k| format!("{k:.0}")),
+        fmt_kops(mixed_pulse),
+        fmt_kops(mixed_rpc),
     );
 
     // The routed-fabric invariants, measured: flat curves carry exactly
@@ -620,8 +627,8 @@ fn main() -> Result<(), pulse::Error> {
     let rpc_fab_sustained = rpc_fab.max_load_under_p99(SLO_P99_US);
     println!(
         "leaf-spine incast sustained at p99 <= {SLO_P99_US} us: pulse {} vs RPC {}",
-        pulse_fab_sustained.map_or("-".into(), |k| format!("{k:.0}")),
-        rpc_fab_sustained.map_or("-".into(), |k| format!("{k:.0}")),
+        fmt_kops(pulse_fab_sustained),
+        fmt_kops(rpc_fab_sustained),
     );
     match (pulse_fab_sustained, rpc_fab_sustained) {
         (Some(p), Some(r)) => assert!(
@@ -742,7 +749,86 @@ fn main() -> Result<(), pulse::Error> {
         speed_json.len(),
         workers
     );
+
+    if let Some(path) = trace_path {
+        run_traced_rung(&path, requests, loads_kops[0])?;
+    }
     Ok(())
+}
+
+/// One fully-traced rung, run after the sweep so tracing never touches the
+/// golden ladder: the routed leaf-spine WebService deployment with span
+/// recording on. Writes the Perfetto-loadable Chrome trace to `path` and a
+/// one-curve sweep document (with the `"phase"` attribution object) to
+/// `BENCH_traced_sweep.json`, then prints the per-phase breakdown.
+fn run_traced_rung(path: &str, requests: usize, load_kops: f64) -> Result<(), pulse::Error> {
+    let dispatch = DispatchConfig::contended(DISPATCH_OCCUPANCY, DISPATCH_CONTEXTS);
+    let (mut runtime, mut app) = pulse::PulseBuilder::new()
+        .nodes(FABRIC_NODES)
+        .cpus(CPUS)
+        .dispatch(dispatch)
+        .topology(FABRIC_TOPOLOGY)
+        .trace(Some(TraceConfig::default()))
+        .granularity(DEFAULT_GRANULARITY)
+        .app(WebServiceConfig {
+            keys: 6_000,
+            workload: YcsbWorkload::C,
+            distribution: Distribution::Zipfian,
+            ..Default::default()
+        })?;
+    let reqs: Vec<_> = (0..requests).map(|_| app.next_request()).collect();
+    let arrivals = pulse::ArrivalProcess::poisson(load_kops * 1e3, SEED);
+    let rep = runtime.execute_open_loop(&reqs, arrivals)?;
+
+    let chrome = runtime
+        .trace_json()
+        .expect("tracing was enabled on this runtime");
+    std::fs::write(path, &chrome)
+        .map_err(|e| pulse::Error::Config(format!("writing {path}: {e}")))?;
+    println!(
+        "\nwrote {path} ({} bytes of Chrome trace events)",
+        chrome.len()
+    );
+
+    let point = SweepPoint::from_open_loop(&rep);
+    let attribution = point
+        .phase
+        .clone()
+        .expect("a traced rung must carry phase attribution");
+    let curve = SweepReport {
+        label: "pulse-leafspine-traced".into(),
+        points: vec![point],
+    };
+    let doc = sweep_json(&[curve]);
+    std::fs::write("BENCH_traced_sweep.json", &doc)
+        .map_err(|e| pulse::Error::Config(format!("writing BENCH_traced_sweep.json: {e}")))?;
+    println!("wrote BENCH_traced_sweep.json ({} bytes)", doc.len());
+
+    println!(
+        "per-phase latency attribution over {} traced requests at {load_kops:.0} kops:",
+        attribution.count
+    );
+    println!("{:>16} {:>12} {:>12}", "phase", "mean us", "p99 us");
+    for (i, phase) in Phase::ALL.into_iter().enumerate() {
+        println!(
+            "{:>16} {:>12.3} {:>12.3}",
+            phase.key(),
+            attribution.mean_us[i],
+            attribution.p99_us[i]
+        );
+    }
+    println!(
+        "{:>16} {:>12.3} (phase means sum to the mean latency)",
+        "total",
+        attribution.mean_us.iter().sum::<f64>()
+    );
+    Ok(())
+}
+
+/// Renders an optional sustained-load headline for stdout tables; `-`
+/// when no rung qualified at the SLO.
+fn fmt_kops(v: Option<f64>) -> String {
+    v.map_or("-".into(), |k| format!("{k:.0} kops"))
 }
 
 fn print_curve(curve: &SweepReport) {
@@ -768,14 +854,16 @@ fn print_curve(curve: &SweepReport) {
     println!();
 }
 
-/// `--loads 20,60,120` (kops), `--requests 300`, and `--workers 4`, with
-/// full-ladder defaults sized for a release-build run. Workers default to
-/// the machine's available parallelism; `--workers 1` reproduces the
-/// serial schedule (the emitted JSON is byte-identical either way).
-fn parse_args() -> (Vec<f64>, usize, usize) {
+/// `--loads 20,60,120` (kops), `--requests 300`, `--workers 4`, and
+/// `--trace <path>` (off by default), with full-ladder defaults sized for
+/// a release-build run. Workers default to the machine's available
+/// parallelism; `--workers 1` reproduces the serial schedule (the emitted
+/// JSON is byte-identical either way).
+fn parse_args() -> (Vec<f64>, usize, usize, Option<String>) {
     let mut loads = vec![100.0, 400.0, 800.0, 1_600.0, 3_200.0];
     let mut requests = 2_000usize;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let value = args.next().unwrap_or_default();
@@ -788,12 +876,18 @@ fn parse_args() -> (Vec<f64>, usize, usize) {
             }
             "--requests" => requests = value.parse().expect("a request count"),
             "--workers" => workers = value.parse().expect("a worker count"),
-            other => panic!("unknown flag {other} (expected --loads, --requests, or --workers)"),
+            "--trace" => {
+                assert!(!value.is_empty(), "--trace needs an output path");
+                trace = Some(value);
+            }
+            other => {
+                panic!("unknown flag {other} (expected --loads, --requests, --workers, or --trace)")
+            }
         }
     }
     assert!(
         !loads.is_empty() && requests > 0 && workers > 0,
         "empty ladder"
     );
-    (loads, requests, workers)
+    (loads, requests, workers, trace)
 }

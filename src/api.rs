@@ -16,7 +16,7 @@ use pulse_baselines::{
     run_rpc, run_rpc_open_loop, run_swap_cache, run_swap_cache_open_loop, BaselineReport,
     RpcConfig, SwapConfig,
 };
-use pulse_core::ClusterReport;
+use pulse_core::{ClusterReport, PhaseAttribution};
 use pulse_dispatch::{DispatchEngine, OffloadDecision};
 use pulse_ds::{BuildCtx, DsError, Traversal};
 use pulse_isa::Program;
@@ -192,6 +192,9 @@ pub struct EngineReport {
     pub link_utilization: f64,
     /// Deepest any fabric link's egress FIFO ever got. 0 on flat.
     pub queue_depth: u64,
+    /// Per-phase latency attribution, present exactly when the engine ran
+    /// with tracing enabled.
+    pub phase: Option<PhaseAttribution>,
     /// End of the last completion.
     pub makespan: SimTime,
 }
@@ -209,6 +212,7 @@ impl EngineReport {
             cache_hit_rate: rep.cache_hit_rate,
             link_utilization: rep.link_utilization,
             queue_depth: rep.queue_depth,
+            phase: rep.phase,
             makespan: rep.makespan,
         }
     }
@@ -225,6 +229,7 @@ impl EngineReport {
             cache_hit_rate: rep.cache_hit_rate,
             link_utilization: rep.link_utilization,
             queue_depth: rep.queue_depth,
+            phase: rep.phase,
             makespan: rep.makespan,
         }
     }
@@ -380,6 +385,7 @@ impl Engine for BaselineEngine {
                 unavailable_completions: 0,
                 rereplication_bytes: 0,
                 degraded_p99: SimTime::ZERO,
+                phase: None,
             });
         }
         let rep = match self.kind.clone() {
@@ -417,6 +423,7 @@ impl Engine for BaselineEngine {
             // The RPC model never rebuilds lost extents.
             rereplication_bytes: 0,
             degraded_p99: rep.degraded_p99,
+            phase: rep.phase,
         })
     }
 }

@@ -83,6 +83,7 @@ pub use pulse_mem as mem;
 pub use pulse_mutation as mutation;
 pub use pulse_net as net;
 pub use pulse_sim as sim;
+pub use pulse_trace as trace;
 pub use pulse_workloads as workloads;
 
 mod api;
@@ -102,7 +103,7 @@ pub use ycsb::YcsbDriver;
 // and downstream code need one `use pulse::...` line per name.
 pub use pulse_core::{
     CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
-    FaultEvent, FaultKind, PulseCluster, PulseMode,
+    FaultEvent, FaultKind, Phase, PhaseAttribution, PulseCluster, PulseMode, TraceConfig,
 };
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;

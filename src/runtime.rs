@@ -23,7 +23,7 @@ use crate::api::{AppSpec, BaselineEngine, BaselineKind};
 use crate::error::Error;
 use pulse_core::{
     CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
-    FaultEvent, PulseCluster, PulseMode,
+    FaultEvent, PhaseAttribution, PulseCluster, PulseMode, TraceConfig, TraceSink,
 };
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
@@ -192,6 +192,19 @@ impl PulseBuilder {
         self
     }
 
+    /// Per-request span tracing and latency attribution. `None` (the
+    /// default) records nothing and keeps every report bit-identical to
+    /// the untraced rack; `Some` threads a `pulse-trace` sink through the
+    /// cluster — typed spans per request, per-phase latency attribution in
+    /// the reports ([`ClusterReport::phase`]), periodic link-utilization
+    /// counter samples, and a Perfetto-loadable Chrome trace via
+    /// [`Runtime::trace_json`]. Tracing observes timestamps but never
+    /// perturbs them.
+    pub fn trace(mut self, trace: Option<TraceConfig>) -> PulseBuilder {
+        self.config.trace = trace;
+        self
+    }
+
     /// Per-CPU-node hot-object cache over traversal cells. Disabled by
     /// default (bit-identical to the cache-less rack); when enabled, each
     /// node's front end walks cached, version-valid hops locally at
@@ -309,10 +322,18 @@ impl PulseBuilder {
     /// As [`PulseBuilder::build_with`] (no TCAM involved).
     pub fn baseline_with<A>(
         self,
-        kind: BaselineKind,
+        mut kind: BaselineKind,
         build: impl FnOnce(&mut BuildCtx<'_>) -> Result<A, DsError>,
     ) -> Result<(BaselineEngine, A), Error> {
         let concurrency = self.window;
+        // The builder's trace switch applies to baselines too, so one
+        // `.trace(..)` call traces whichever engine the comparison builds.
+        if self.config.trace.is_some() {
+            match &mut kind {
+                BaselineKind::SwapCache(cfg) => cfg.trace = true,
+                BaselineKind::Rpc(cfg) => cfg.trace = true,
+            }
+        }
         let (mut mem, mut alloc) = self.wire()?;
         let artifact = {
             let mut ctx = BuildCtx::new(&mut mem, &mut alloc);
@@ -473,6 +494,18 @@ impl Runtime {
         Ok(execute_functional(self.cluster.memory_mut(), req, 1 << 20)?)
     }
 
+    /// The trace sink, when the builder enabled tracing
+    /// ([`PulseBuilder::trace`]) — spans, occupancy, counter samples.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.cluster.trace()
+    }
+
+    /// The recorded trace as Chrome trace-event JSON (Perfetto-loadable),
+    /// or `None` when tracing is disabled.
+    pub fn trace_json(&self) -> Option<String> {
+        self.cluster.trace_json()
+    }
+
     /// The underlying cluster, for ablation-level access (accelerator
     /// stats, switch counters).
     pub fn cluster(&self) -> &PulseCluster {
@@ -555,6 +588,11 @@ pub struct OpenLoopReport {
     /// window (first fault to last repair, open-ended when nothing
     /// heals). [`SimTime::ZERO`] without faults.
     pub degraded_p99: SimTime,
+    /// Per-phase latency attribution, present exactly when the engine ran
+    /// with tracing enabled ([`PulseBuilder::trace`] for the rack, the
+    /// baseline configs' `trace` flag otherwise). Per-phase means sum to
+    /// the mean latency.
+    pub phase: Option<PhaseAttribution>,
 }
 
 impl OpenLoopReport {
@@ -712,8 +750,10 @@ impl OpenLoopDriver {
             rereplication_bytes: runtime.report().rereplication_bytes - base_rereplication,
             // p99s don't difference: this is the runtime-lifetime degraded
             // tail, which equals this stream's on a fresh runtime (the
-            // documented way to drive an open-loop run).
+            // documented way to drive an open-loop run). Likewise the
+            // phase attribution below.
             degraded_p99: runtime.report().degraded_p99,
+            phase: runtime.report().phase,
         })
     }
 }

@@ -1,0 +1,226 @@
+//! Span-conservation property tests for `pulse-trace`, at the façade
+//! level: over randomized deployments (structure, load, topology, fault
+//! schedule), every traced request's spans must partition its end-to-end
+//! latency exactly — no gaps, no overlaps — and no memory node's DMA
+//! engine may ever host two overlapping occupancy windows.
+//!
+//! The container image has no network access to crates.io, so instead of
+//! the `proptest` crate these run deterministic SplitMix64-generated
+//! cases — fully reproducible, no external dependency, same invariants.
+//! (The sink's own `finish()` debug assertion is the per-request oracle;
+//! these tests re-derive the same facts from the exported span stream so
+//! a release build would catch a violation too.)
+
+use pulse::sim::{SimTime, SplitMix64};
+use pulse::trace::Track;
+use pulse::trace::PHASES;
+use pulse::workloads::{Application, Distribution};
+use pulse::{
+    ArrivalProcess, BtrdbConfig, DispatchConfig, Engine, FaultEvent, FaultKind, Runtime,
+    TopologySpec, TraceConfig, WebServiceConfig, WiredTigerConfig, YcsbWorkload,
+};
+
+const CASES: u64 = 12;
+
+/// Builds a randomized traced runtime plus its request stream.
+fn random_case(rng: &mut SplitMix64) -> (Runtime, Vec<pulse::AppRequest>) {
+    let nodes = 2 + rng.next_below(3) as usize;
+    let cpus = 1 + rng.next_below(3) as usize;
+    let requests = 40 + rng.next_below(100) as usize;
+    let topology = match rng.next_below(3) {
+        0 => TopologySpec::Flat,
+        1 => TopologySpec::Tor { racks: 2 },
+        _ => TopologySpec::LeafSpine {
+            leaves: 2,
+            spines: 1 + rng.next_below(2) as usize,
+        },
+    };
+    let crashed = rng.next_below(2) == 1;
+    let mut builder = pulse::PulseBuilder::new()
+        .nodes(nodes)
+        .cpus(cpus)
+        .dispatch(DispatchConfig::contended(
+            SimTime::from_nanos(200 + rng.next_below(1_000)),
+            1 + rng.next_below(2) as usize,
+        ))
+        .topology(topology)
+        .trace(Some(TraceConfig::default()));
+    if crashed {
+        // Replicated, so the crash exercises failover + re-replication
+        // spans while every request still finishes.
+        builder = builder.replication(2).faults(vec![FaultEvent::new(
+            SimTime::from_micros(10 + rng.next_below(40)),
+            FaultKind::MemCrash(0),
+        )]);
+    }
+    let dist = if rng.next_below(2) == 0 {
+        Distribution::Uniform
+    } else {
+        Distribution::Zipfian
+    };
+    let (runtime, mut app): (Runtime, Box<dyn Application>) = match rng.next_below(3) {
+        0 => {
+            let (rt, app) = builder
+                .app(WebServiceConfig {
+                    keys: 500 + rng.next_below(3_000),
+                    workload: YcsbWorkload::C,
+                    distribution: dist,
+                    ..Default::default()
+                })
+                .expect("wire webservice");
+            (rt, Box::new(app))
+        }
+        1 => {
+            let (rt, app) = builder
+                .app(WiredTigerConfig {
+                    keys: 2_000 + rng.next_below(8_000),
+                    distribution: dist,
+                    ..Default::default()
+                })
+                .expect("wire wiredtiger");
+            (rt, Box::new(app))
+        }
+        _ => {
+            let (rt, app) = builder
+                .app(BtrdbConfig {
+                    duration_secs: 600,
+                    window_secs: 4 + rng.next_below(30),
+                    ..Default::default()
+                })
+                .expect("wire btrdb");
+            (rt, Box::new(app))
+        }
+    };
+    let reqs = (0..requests).map(|_| app.next_request()).collect();
+    (runtime, reqs)
+}
+
+#[test]
+fn random_traced_runs_conserve_spans() {
+    let mut rng = SplitMix64::new(0x5AA5);
+    for case in 0..CASES {
+        let (mut runtime, reqs) = random_case(&mut rng);
+        let n = reqs.len() as u64;
+        let load_kops = 50.0 + rng.next_below(500) as f64;
+        let arrivals = ArrivalProcess::poisson(load_kops * 1e3, 0xA0 + case);
+        let rep = runtime.execute_open_loop(&reqs, arrivals).expect("run");
+        assert_eq!(rep.completed + rep.faulted, n, "case {case}");
+
+        let sink = runtime.trace().expect("tracing enabled");
+        assert_eq!(sink.open_requests(), 0, "case {case}: requests left open");
+        assert_eq!(sink.completed(), n, "case {case}");
+
+        // Per-request partition: spans are contiguous from first start to
+        // last end, so their durations sum exactly to the request's
+        // end-to-end latency — no gap and no overlap can hide.
+        let mut per_req: std::collections::HashMap<_, Vec<_>> = std::collections::HashMap::new();
+        for s in sink.spans() {
+            per_req.entry(s.req).or_default().push((s.start, s.end));
+        }
+        assert_eq!(per_req.len() as u64, n, "case {case}");
+        let mut total_ps: u128 = 0;
+        for (req, windows) in &mut per_req {
+            windows.sort();
+            let first = windows.first().expect("nonempty").0;
+            let last = windows.last().expect("nonempty").1;
+            let mut cursor = first;
+            let mut sum_ps: u128 = 0;
+            for &(start, end) in windows.iter() {
+                assert_eq!(
+                    start, cursor,
+                    "case {case}: gap or overlap in request {req} at {start:?}"
+                );
+                assert!(end >= start, "case {case}");
+                sum_ps += (end - start).as_picos() as u128;
+                cursor = end;
+            }
+            assert_eq!(
+                sum_ps,
+                (last - first).as_picos() as u128,
+                "case {case}: request {req} spans do not tile its latency"
+            );
+            total_ps += sum_ps;
+        }
+
+        // Aggregate conservation: the per-phase means sum to the mean
+        // end-to-end latency, modulo one floor-rounding pico per phase.
+        let attr = sink.attribution().expect("completed requests");
+        assert_eq!(attr.count, n, "case {case}");
+        let mean_sum: u64 = attr.mean.iter().map(|t| t.as_picos()).sum();
+        let e2e_mean = (total_ps / n as u128) as u64;
+        assert!(
+            mean_sum <= e2e_mean && e2e_mean - mean_sum < PHASES as u64,
+            "case {case}: phase means {mean_sum} vs end-to-end {e2e_mean}"
+        );
+
+        // Resource sanity: a memory node's DMA engine is serial, so its
+        // occupancy windows must never overlap.
+        let mut by_track: std::collections::HashMap<_, Vec<_>> = std::collections::HashMap::new();
+        for o in sink.occupancy() {
+            if matches!(o.track, Track::Mem(_)) {
+                by_track.entry(o.track).or_default().push((o.start, o.end));
+            }
+        }
+        for (track, windows) in &mut by_track {
+            windows.sort();
+            for pair in windows.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "case {case}: overlapping DMA occupancy on {track:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Façade-level bit-identity: the default builder, `trace(None)`, and
+/// `trace(Some)` all produce the identical timing — tracing observes,
+/// never perturbs — and only the traced run carries attribution.
+#[test]
+fn trace_none_is_default_and_tracing_never_perturbs() {
+    let run = |trace: Option<Option<TraceConfig>>| {
+        let mut builder =
+            pulse::PulseBuilder::new()
+                .nodes(2)
+                .cpus(2)
+                .topology(TopologySpec::LeafSpine {
+                    leaves: 2,
+                    spines: 2,
+                });
+        if let Some(t) = trace {
+            builder = builder.trace(t);
+        }
+        let (mut runtime, mut app) = builder
+            .app(WebServiceConfig {
+                keys: 2_000,
+                workload: YcsbWorkload::C,
+                distribution: Distribution::Zipfian,
+                ..Default::default()
+            })
+            .expect("wire webservice");
+        let reqs: Vec<_> = (0..200).map(|_| app.next_request()).collect();
+        let arrivals = ArrivalProcess::poisson(200e3, 7);
+        let rep = runtime.execute_open_loop(&reqs, arrivals).expect("run");
+        let traced = runtime.trace().is_some();
+        (rep, traced)
+    };
+    let (default, default_traced) = run(None);
+    let (off, off_traced) = run(Some(None));
+    let (on, on_traced) = run(Some(Some(TraceConfig::default())));
+
+    assert!(!default_traced && !off_traced && on_traced);
+    assert!(default.phase.is_none() && off.phase.is_none());
+    assert!(on.phase.is_some(), "traced run must attribute phases");
+    for (label, rep) in [("trace(None)", &off), ("trace(Some)", &on)] {
+        assert_eq!(rep.completed, default.completed, "{label}");
+        assert_eq!(rep.faulted, default.faulted, "{label}");
+        assert_eq!(rep.latency.p50, default.latency.p50, "{label}");
+        assert_eq!(rep.latency.p95, default.latency.p95, "{label}");
+        assert_eq!(rep.latency.p99, default.latency.p99, "{label}");
+        assert_eq!(rep.retries, default.retries, "{label}");
+        assert!(
+            (rep.goodput_per_sec - default.goodput_per_sec).abs() < 1e-9,
+            "{label}"
+        );
+    }
+}
