@@ -15,7 +15,9 @@
 //! embed it unchanged.
 
 use crate::config::{AccelConfig, PipelineOrg};
-use pulse_isa::{CostModel, Fault, Interpreter, IterOutcome, IterTrace, MemFault};
+use pulse_isa::{
+    fused_hop_increment, CostModel, Fault, Interpreter, IterOutcome, IterTrace, MemFault,
+};
 use pulse_mem::{ClusterMemory, NodeId, RangeTable};
 use pulse_net::{IterPacket, IterStatus};
 use pulse_sim::{SerialResource, ServerPool, SimTime};
@@ -54,6 +56,11 @@ pub enum AccelOutput {
         at: SimTime,
         /// The outgoing packet (response or reroute; same format).
         pkt: IterPacket,
+        /// Memory-pipeline time this node visit wasted on squashed
+        /// speculative fetches (ISA v2); zero with speculation off. The
+        /// cluster attributes it as a `spec_squash` trace span inside the
+        /// accelerator-residency phase.
+        squash: SimTime,
     },
 }
 
@@ -72,6 +79,12 @@ pub struct ComponentTimes {
     pub dram: SimTime,
     /// Logic pipeline execution.
     pub logic: SimTime,
+    /// Memory-pipeline time wasted on squashed speculative fetches (ISA
+    /// v2): trips that were issued early and discarded on a version or
+    /// prediction mismatch. Also counted inside `dram`/`tcam`/
+    /// `interconnect` — the pipes really were busy — this line isolates
+    /// the mis-speculation tax.
+    pub spec_waste: SimTime,
 }
 
 /// Counters for one accelerator.
@@ -94,6 +107,16 @@ pub struct AccelStats {
     pub dram_bytes: u64,
     /// Instructions executed by logic pipelines.
     pub insns: u64,
+    /// Speculative next-hop fetches that validated and were consumed (ISA
+    /// v2): the next iteration started with its window already in flight.
+    pub spec_hits: u64,
+    /// Speculative next-hop fetches squashed on a prediction or
+    /// per-granule version mismatch (ISA v2), each a wasted memory trip.
+    pub mis_speculations: u64,
+    /// Extra iterations fused into an already-open same-node membus
+    /// transaction (ISA v2 hop batching): hops that skipped their own
+    /// TCAM + interconnect trip.
+    pub batched_hops: u64,
     /// Per-component busy time.
     pub components: ComponentTimes,
 }
@@ -103,11 +126,58 @@ struct Workspace {
     pkt: IterPacket,
     /// Pre-executed iteration awaiting its logic-pipeline completion.
     pending: Option<PendingIter>,
+    /// Seqlock input for speculation: (window base, len, granule version)
+    /// of the current hop's cell as of its pre-execution. A foreign write
+    /// to the cell after this point invalidates the predicted next pointer.
+    /// Only populated with `speculate` on.
+    seq_check: Option<(u64, u32, u64)>,
+    /// Speculative next-window fetch issued at `FetchDone`, awaiting
+    /// validation when the logic pipeline confirms the hop.
+    spec: Option<SpecIssue>,
+    /// Wasted speculative fetch time accumulated during this node visit,
+    /// reported on the departing packet for trace attribution.
+    squashed: SimTime,
+}
+
+impl Workspace {
+    fn new(pkt: IterPacket) -> Workspace {
+        Workspace {
+            pkt,
+            pending: None,
+            seq_check: None,
+            spec: None,
+            squashed: SimTime::ZERO,
+        }
+    }
+}
+
+/// A speculative next-hop fetch in flight (ISA v2).
+#[derive(Debug)]
+struct SpecIssue {
+    /// Predicted next `cur_ptr`.
+    ptr: u64,
+    /// Translated window base the fetch targeted.
+    base: u64,
+    /// Window length fetched.
+    len: u32,
+    /// `ClusterMemory` granule version of the window at issue time.
+    version: u64,
+    /// When the speculative fetch's pipe grant completes.
+    ready: SimTime,
+    /// Pipe service time booked — the waste if the fetch squashes.
+    cost: SimTime,
 }
 
 #[derive(Debug)]
 enum PendingIter {
-    Ok(IterTrace),
+    Ok {
+        /// Combined trace of the hop — or of the whole fused group when
+        /// same-node batching is on (`fused` > 1): instruction counts and
+        /// extra trips are summed, `outcome` is the last hop's.
+        trace: IterTrace,
+        /// Iterations this pending group executed (1 without batching).
+        fused: u32,
+    },
     /// The translate stage rejected `cur_ptr` itself: the pointer is remote
     /// or invalid — the switch's global table decides which — so the packet
     /// reroutes in-flight.
@@ -224,8 +294,8 @@ impl Accelerator {
                 let admit_at = now + self.cfg.timing.scheduler;
                 match self.free_ws() {
                     Some(ws) => {
-                        self.workspaces[ws] = Some(Workspace { pkt, pending: None });
-                        self.begin_iteration(admit_at, ws, mem)
+                        self.workspaces[ws] = Some(Workspace::new(pkt));
+                        self.begin_iteration(admit_at, ws, mem, None)
                     }
                     None => {
                         self.backlog.push_back(pkt);
@@ -245,7 +315,7 @@ impl Accelerator {
                 let (insns, extra_mem_ops) = {
                     let w = self.ws(ws);
                     match w.pending.as_ref().expect("fetch without pending") {
-                        PendingIter::Ok(trace) => (
+                        PendingIter::Ok { trace, .. } => (
                             trace.insns_executed,
                             CostModel::extra_memory_trips(trace) as u32,
                         ),
@@ -253,6 +323,12 @@ impl Accelerator {
                         PendingIter::Remote | PendingIter::Fail(_) => (0, 0),
                     }
                 };
+                // ISA v2: with the window data in hand, predict the next
+                // hop and issue its fetch before the logic pipeline
+                // validates this one.
+                if self.cfg.speculate {
+                    self.maybe_issue_spec(now, ws, mem);
+                }
                 if insns == 0 && extra_mem_ops == 0 {
                     if let Some(w) = &self.workspaces[ws] {
                         if matches!(
@@ -334,14 +410,71 @@ impl Accelerator {
         self.stats.dram_bytes += bytes as u64;
     }
 
+    /// Issues a speculative fetch for the predicted next hop of `ws` (ISA
+    /// v2): called when the current window fetch completes, before the
+    /// logic pipeline has validated the hop. Does nothing if the prediction
+    /// target is remote, speculation is inhibited, or the pending group
+    /// already ends the traversal.
+    fn maybe_issue_spec(&mut self, now: SimTime, ws: usize, mem: &ClusterMemory) {
+        let (predicted, window) = {
+            let w = self.ws(ws);
+            if w.spec.is_some() {
+                return;
+            }
+            let trace = match w.pending.as_ref() {
+                Some(PendingIter::Ok { trace, .. }) => trace,
+                _ => return,
+            };
+            if trace.spec_inhibit || !matches!(trace.outcome, IterOutcome::Continue) {
+                return;
+            }
+            // The continuation departs on the iteration budget; a prefetch
+            // would be pure waste.
+            if w.pkt.state.iters_done >= self.cfg.max_iters {
+                return;
+            }
+            // Default prediction rule: the traversal's own next pointer as
+            // pre-executed from the (possibly stale) fetched cell; a
+            // `SPEC_HINT` overrides it.
+            (
+                trace.spec_next.unwrap_or(w.pkt.state.cur_ptr),
+                w.pkt.code.program().window(),
+            )
+        };
+        let base = predicted.wrapping_add(window.off as i64 as u64);
+        // A remote prediction can't be fetched here; the hop will reroute.
+        if self.xlate.translate(base, window.len, false).is_err() {
+            return;
+        }
+        let t_d = self.cfg.timing.fetch_time(window.len);
+        let g = self.mem_pipes.acquire(now, t_d);
+        self.charge_fetch_components(window.len);
+        let version = mem.version_of(base, window.len as u64);
+        let w = self.workspaces[ws].as_mut().expect("occupied");
+        w.spec = Some(SpecIssue {
+            ptr: predicted,
+            base,
+            len: window.len,
+            version,
+            ready: g.grant.end,
+            cost: t_d,
+        });
+    }
+
     /// Starts one iteration for workspace `ws` at time `t`: translate,
     /// occupy a memory pipeline, and pre-execute the iteration functionally
     /// so the logic duration is known when the fetch completes.
+    ///
+    /// `prefetched` carries the completion time of a validated speculative
+    /// fetch for this window: the memory pipeline was already occupied and
+    /// the components charged at issue time, so the fetch completes at
+    /// `max(t, prefetched)` with no new pipe grant.
     fn begin_iteration(
         &mut self,
         t: SimTime,
         ws: usize,
         mem: &mut ClusterMemory,
+        prefetched: Option<SimTime>,
     ) -> Vec<AccelOutput> {
         let (window, cur_ptr) = {
             let w = self.ws(ws);
@@ -389,17 +522,97 @@ impl Accelerator {
         let result = self
             .interp
             .run_iteration(&program, &mut w.pkt.state, &mut bus);
-        let pending = match result {
-            Ok(trace) => PendingIter::Ok(trace),
+        let mut pending = match result {
+            Ok(trace) => PendingIter::Ok { trace, fused: 1 },
             Err(f) => PendingIter::Fail(f),
         };
-        w.pending = Some(pending);
 
-        let t_d = self.cfg.timing.fetch_time(window.len);
-        self.charge_fetch_components(window.len);
-        let g = self.mem_pipes.acquire(t, t_d);
+        // ISA v2 same-node hop batching: keep pre-executing consecutive
+        // iterations whose windows translate on this node, fusing them into
+        // the open membus transaction. Each extra hop skips its own TCAM +
+        // interconnect trip and is priced as `fused_hop_increment`. Fusion
+        // stops at RETURN, the iteration budget, or the first pointer that
+        // leaves this node — so `at_switch` crossing semantics (reroute on
+        // the packet's own `cur_ptr`) are untouched.
+        let mut batch_cost = SimTime::ZERO;
+        if self.cfg.batch_hops > 1 {
+            while let PendingIter::Ok { trace, fused } = &mut pending {
+                if *fused >= self.cfg.batch_hops
+                    || !matches!(trace.outcome, IterOutcome::Continue)
+                    || w.pkt.state.iters_done >= self.cfg.max_iters
+                {
+                    break;
+                }
+                let next_base = w.pkt.state.cur_ptr.wrapping_add(window.off as i64 as u64);
+                if self.xlate.translate(next_base, window.len, false).is_err() {
+                    break;
+                }
+                if self.cfg.collect_touched {
+                    let cell = (next_base, window.len);
+                    if !w.pkt.touched.contains(&cell) {
+                        w.pkt.touched.push(cell);
+                    }
+                }
+                match self
+                    .interp
+                    .run_iteration(&program, &mut w.pkt.state, &mut bus)
+                {
+                    Ok(t2) => {
+                        trace.insns_executed += t2.insns_executed;
+                        trace.extra_loads += t2.extra_loads;
+                        trace.stores += t2.stores;
+                        trace.store_bytes += t2.store_bytes;
+                        trace.window_bytes += t2.window_bytes;
+                        trace.outcome = t2.outcome;
+                        trace.spec_next = t2.spec_next;
+                        trace.spec_inhibit = t2.spec_inhibit;
+                        *fused += 1;
+                        let inc = fused_hop_increment(
+                            self.cfg.timing.dram_access,
+                            window.len,
+                            self.cfg.timing.dram_bytes_per_sec * 8,
+                        );
+                        batch_cost += inc;
+                        self.stats.components.dram += inc;
+                        self.stats.dram_bytes += window.len as u64;
+                        self.stats.batched_hops += 1;
+                    }
+                    // A mid-batch fault ends the request exactly as the
+                    // unfused execution of that hop would have.
+                    Err(f) => {
+                        pending = PendingIter::Fail(f);
+                        break;
+                    }
+                }
+            }
+        }
+        w.pending = Some(pending);
+        if self.cfg.speculate {
+            // Seqlock input: the version of the cell the prediction was
+            // derived from, *after* this hop's own stores — only foreign
+            // writes between now and validation invalidate it.
+            w.seq_check = Some((base, window.len, mem.version_of(base, window.len as u64)));
+        }
+
+        let fetch_end = match prefetched {
+            // Validated speculative fetch: pipe time and components were
+            // booked at issue; only the batching increments (if any) still
+            // need a pipe.
+            Some(ready) => {
+                let mut end = ready.max(t);
+                if batch_cost > SimTime::ZERO {
+                    end = end.max(self.mem_pipes.acquire(t, batch_cost).grant.end);
+                }
+                end
+            }
+            None => {
+                let t_d = self.cfg.timing.fetch_time(window.len) + batch_cost;
+                self.charge_fetch_components(window.len);
+                self.mem_pipes.acquire(t, t_d).grant.end
+            }
+        };
         vec![AccelOutput::Internal {
-            at: g.grant.end,
+            at: fetch_end,
             event: AccelEvent::FetchDone { ws },
         }]
     }
@@ -416,8 +629,8 @@ impl Accelerator {
             w.pending.take().expect("iteration pending")
         };
         match pending {
-            PendingIter::Ok(trace) => {
-                self.stats.iterations += 1;
+            PendingIter::Ok { trace, fused } => {
+                self.stats.iterations += fused as u64;
                 match trace.outcome {
                     IterOutcome::Done { code } => {
                         self.stats.done += 1;
@@ -431,7 +644,35 @@ impl Accelerator {
                         }
                         // Scheduler signals a memory pipeline (§4.2 step 3).
                         self.stats.components.scheduler += self.cfg.timing.scheduler;
-                        self.begin_iteration(now + self.cfg.timing.scheduler, ws, mem)
+                        // ISA v2: validate any speculative fetch against the
+                        // actual next pointer and the per-granule write
+                        // versions — both the cell the prediction came from
+                        // (the seqlock check) and the speculated window
+                        // itself must be untouched since issue.
+                        let spec = {
+                            let w = self.workspaces[ws].as_mut().expect("occupied");
+                            w.spec.take()
+                        };
+                        let prefetched = spec.and_then(|s| {
+                            let w = self.workspaces[ws].as_ref().expect("occupied");
+                            let seq_ok = w
+                                .seq_check
+                                .is_none_or(|(b, l, v)| mem.version_of(b, l as u64) == v);
+                            let valid = s.ptr == w.pkt.state.cur_ptr
+                                && seq_ok
+                                && mem.version_of(s.base, s.len as u64) == s.version;
+                            if valid {
+                                self.stats.spec_hits += 1;
+                                Some(s.ready)
+                            } else {
+                                self.stats.mis_speculations += 1;
+                                self.stats.components.spec_waste += s.cost;
+                                let w = self.workspaces[ws].as_mut().expect("occupied");
+                                w.squashed += s.cost;
+                                None
+                            }
+                        });
+                        self.begin_iteration(now + self.cfg.timing.scheduler, ws, mem, prefetched)
                     }
                 }
             }
@@ -462,20 +703,25 @@ impl Accelerator {
     ) -> Vec<AccelOutput> {
         let mut w = self.workspaces[ws].take().expect("occupied");
         w.pkt.status = status;
+        // A speculative fetch that never reached validation (the hop ended
+        // the traversal some other way) is a squash too.
+        if let Some(s) = w.spec.take() {
+            self.stats.mis_speculations += 1;
+            self.stats.components.spec_waste += s.cost;
+            w.squashed += s.cost;
+        }
         let g = self.net_tx.acquire_for(now, self.cfg.timing.net_stack);
         self.stats.components.net_stack += self.cfg.timing.net_stack;
         let mut out = vec![AccelOutput::Depart {
             at: g.end,
             pkt: w.pkt,
+            squash: w.squashed,
         }];
         if let Some(next) = self.backlog.pop_front() {
             self.stats.components.scheduler += self.cfg.timing.scheduler;
             let admit_at = now + self.cfg.timing.scheduler;
-            self.workspaces[ws] = Some(Workspace {
-                pkt: next,
-                pending: None,
-            });
-            out.extend(self.begin_iteration(admit_at, ws, mem));
+            self.workspaces[ws] = Some(Workspace::new(next));
+            out.extend(self.begin_iteration(admit_at, ws, mem, None));
         }
         out
     }
@@ -559,7 +805,7 @@ mod tests {
             for out in pending.drain(..) {
                 match out {
                     AccelOutput::Internal { at, event } => drv.schedule_at(at, event),
-                    AccelOutput::Depart { at, pkt } => departed.push((at, pkt)),
+                    AccelOutput::Depart { at, pkt, .. } => departed.push((at, pkt)),
                 }
             }
             match drv.next_event() {
@@ -836,6 +1082,237 @@ mod tests {
                 assert_eq!(pkt.status, IterStatus::Done { code: 0 });
                 assert_eq!(pkt.state.scratch_u64(8), pkt.id.seq * 30);
             }
+        }
+    }
+
+    /// A chain walk with an always-wrong `SPEC_HINT` (predicts the head on
+    /// every hop) — every speculative fetch must squash on the prediction
+    /// check.
+    fn bad_hint_packet(head: u64, seq: u64) -> IterPacket {
+        use pulse_dispatch::samples::hash_layout as hl;
+        use pulse_isa::{Cond, Operand, ProgramBuilder};
+        let mut b = ProgramBuilder::new("bad-hint", 24, 8);
+        b.spec_hint(Operand::Imm(head as i64));
+        let done = b.label();
+        b.cmp_jump(
+            Cond::Eq,
+            Operand::node_u64(hl::NEXT as u16),
+            Operand::Imm(0),
+            done,
+        );
+        b.next_iter(Operand::node_u64(hl::NEXT as u16));
+        b.bind(done);
+        b.ret(Operand::Imm(0));
+        let prog = Arc::new(b.finish().unwrap());
+        let code = CodeBlob::new(prog.clone());
+        IterPacket {
+            id: RequestId { cpu: 0, seq },
+            state: pulse_isa::IterState::new(&prog, head),
+            code,
+            status: IterStatus::InFlight,
+            piggyback_bytes: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn speculation_hits_on_stable_chain_and_is_faster() {
+        let (mut mem, head) = chain_memory(16);
+        let run = |speculate: bool, mem: &mut ClusterMemory| {
+            let cfg = AccelConfig {
+                speculate,
+                ..AccelConfig::default()
+            };
+            let mut accel = accel_for(mem, cfg);
+            let done = drive(
+                &mut accel,
+                mem,
+                vec![(SimTime::ZERO, find_packet(head, 12, 1))],
+            );
+            (done[0].0, done[0].1.clone(), *accel.stats())
+        };
+        let (t_off, pkt_off, s_off) = run(false, &mut mem);
+        let (t_on, pkt_on, s_on) = run(true, &mut mem);
+        // Answers identical; timing strictly better (each validated
+        // prefetch hides the logic + two scheduler trips of its hop).
+        assert_eq!(pkt_off.status, IterStatus::Done { code: 0 });
+        assert_eq!(pkt_on.status, pkt_off.status);
+        assert_eq!(pkt_on.state.scratch_u64(8), pkt_off.state.scratch_u64(8));
+        assert!(t_on < t_off, "spec {t_on} should beat base {t_off}");
+        // Nobody writes the chain: every Continue hop's prediction
+        // validates, nothing squashes.
+        assert_eq!(s_off.spec_hits, 0);
+        assert_eq!(s_off.mis_speculations, 0);
+        assert_eq!(s_on.iterations, 13); // keys 0..=12
+        assert_eq!(s_on.spec_hits, s_on.iterations - 1);
+        assert_eq!(s_on.mis_speculations, 0);
+        assert_eq!(s_on.components.spec_waste, SimTime::ZERO);
+    }
+
+    #[test]
+    fn wrong_hint_squashes_and_charges_waste() {
+        let (mut mem, head) = chain_memory(6);
+        let cfg = AccelConfig {
+            speculate: true,
+            ..AccelConfig::default()
+        };
+        let mut accel = accel_for(&mem, cfg);
+        let done = drive(
+            &mut accel,
+            &mut mem,
+            vec![(SimTime::ZERO, bad_hint_packet(head, 1))],
+        );
+        assert_eq!(done[0].1.status, IterStatus::Done { code: 0 });
+        let s = accel.stats();
+        // 6 hops, 5 of them Continue; every prediction pointed at the head
+        // and squashed on the pointer mismatch.
+        assert_eq!(s.iterations, 6);
+        assert_eq!(s.spec_hits, 0);
+        assert_eq!(s.mis_speculations, 5);
+        assert!(s.components.spec_waste > SimTime::ZERO);
+    }
+
+    #[test]
+    fn foreign_write_between_issue_and_validate_squashes() {
+        // Direct state-machine drive (no harness) so a foreign store can
+        // land exactly between FetchDone (spec issue) and LogicDone
+        // (validation) of one hop.
+        use pulse_isa::MemBus;
+        let (mut mem, head) = chain_memory(4);
+        let cfg = AccelConfig {
+            speculate: true,
+            ..AccelConfig::default()
+        };
+        let mut accel = accel_for(&mem, cfg);
+        let mut drv: Driver<AccelEvent> = Driver::new();
+        let mut departed = Vec::new();
+        let mut pending: Vec<AccelOutput> = accel.on_packet(SimTime::ZERO, find_packet(head, 3, 1));
+        let mut wrote = false;
+        loop {
+            for out in pending.drain(..) {
+                match out {
+                    AccelOutput::Internal { at, event } => drv.schedule_at(at, event),
+                    AccelOutput::Depart { at, pkt, squash } => departed.push((at, pkt, squash)),
+                }
+            }
+            match drv.next_event() {
+                Some(ev) => {
+                    if !wrote && matches!(ev, AccelEvent::LogicDone { .. }) {
+                        // Foreign CAS on the cell the prediction was read
+                        // from: bumps its granule version, so the seqlock
+                        // check must squash the in-flight prefetch.
+                        let cur = mem.read_word(head, 8).unwrap();
+                        mem.write_word(head, cur, 8).unwrap();
+                        wrote = true;
+                    }
+                    pending = accel.step(drv.now(), ev, &mut mem);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(departed.len(), 1);
+        let (_, pkt, squash) = &departed[0];
+        assert_eq!(pkt.status, IterStatus::Done { code: 0 });
+        assert_eq!(pkt.state.scratch_u64(8), 30);
+        assert!(
+            accel.stats().mis_speculations >= 1,
+            "foreign write must squash"
+        );
+        assert!(*squash > SimTime::ZERO, "squash time rides the departure");
+    }
+
+    #[test]
+    fn no_spec_instruction_inhibits_prefetch() {
+        use pulse_dispatch::samples::hash_layout as hl;
+        use pulse_isa::{Cond, Operand, ProgramBuilder};
+        let (mut mem, head) = chain_memory(6);
+        let mut b = ProgramBuilder::new("no-spec-walk", 24, 8);
+        b.no_spec();
+        let done = b.label();
+        b.cmp_jump(
+            Cond::Eq,
+            Operand::node_u64(hl::NEXT as u16),
+            Operand::Imm(0),
+            done,
+        );
+        b.next_iter(Operand::node_u64(hl::NEXT as u16));
+        b.bind(done);
+        b.ret(Operand::Imm(0));
+        let prog = Arc::new(b.finish().unwrap());
+        let pkt = IterPacket {
+            id: RequestId { cpu: 0, seq: 1 },
+            state: pulse_isa::IterState::new(&prog, head),
+            code: CodeBlob::new(prog.clone()),
+            status: IterStatus::InFlight,
+            piggyback_bytes: 0,
+            touched: Vec::new(),
+        };
+        let cfg = AccelConfig {
+            speculate: true,
+            ..AccelConfig::default()
+        };
+        let mut accel = accel_for(&mem, cfg);
+        let done = drive(&mut accel, &mut mem, vec![(SimTime::ZERO, pkt)]);
+        assert_eq!(done[0].1.status, IterStatus::Done { code: 0 });
+        assert_eq!(accel.stats().spec_hits, 0);
+        assert_eq!(accel.stats().mis_speculations, 0);
+    }
+
+    #[test]
+    fn batching_fuses_local_hops_and_is_faster() {
+        let (mut mem, head) = chain_memory(8);
+        let run = |batch_hops: u32, mem: &mut ClusterMemory| {
+            let cfg = AccelConfig {
+                batch_hops,
+                ..AccelConfig::default()
+            };
+            let mut accel = accel_for(mem, cfg);
+            let done = drive(
+                &mut accel,
+                mem,
+                vec![(SimTime::ZERO, find_packet(head, 5, 1))],
+            );
+            (done[0].0, done[0].1.clone(), *accel.stats())
+        };
+        let (t_base, pkt_base, s_base) = run(1, &mut mem);
+        let (t_fused, pkt_fused, s_fused) = run(4, &mut mem);
+        assert_eq!(pkt_base.status, IterStatus::Done { code: 0 });
+        assert_eq!(pkt_fused.status, pkt_base.status);
+        assert_eq!(pkt_fused.state.scratch_u64(8), 50);
+        // Same iteration count, but 6 hops fuse into 4+2 transactions: 4 of
+        // them ride an open membus transaction instead of paying full t_d.
+        assert_eq!(s_base.batched_hops, 0);
+        assert_eq!(s_fused.iterations, s_base.iterations);
+        assert_eq!(s_fused.batched_hops, 4);
+        assert!(
+            t_fused < t_base,
+            "batched {t_fused} should beat unbatched {t_base}"
+        );
+    }
+
+    #[test]
+    fn spec_and_batching_compose_without_changing_answers() {
+        let (mut mem, head) = chain_memory(32);
+        let run = |cfg: AccelConfig, mem: &mut ClusterMemory| {
+            let mut accel = accel_for(mem, cfg);
+            let arrivals = (0..8)
+                .map(|i| (SimTime::ZERO, find_packet(head, i * 3, i)))
+                .collect();
+            drive(&mut accel, mem, arrivals)
+        };
+        let base = run(AccelConfig::default(), &mut mem);
+        let fast = run(
+            AccelConfig {
+                speculate: true,
+                batch_hops: 4,
+                ..AccelConfig::default()
+            },
+            &mut mem,
+        );
+        for ((_, b), (_, f)) in base.iter().zip(&fast) {
+            assert_eq!(b.id, f.id);
+            assert_eq!(b.status, f.status);
+            assert_eq!(b.state.scratch_u64(8), f.state.scratch_u64(8));
         }
     }
 

@@ -117,6 +117,21 @@ pub struct AccelConfig {
     /// cells are priced on the wire, so collection must only run when a
     /// cache is actually consuming them.
     pub collect_touched: bool,
+    /// ISA v2 speculative next-hop issue: when a window fetch completes,
+    /// predict the next `cur_ptr` (from a `SPEC_HINT`, else the traversal's
+    /// own next pointer) and issue its window fetch before the logic
+    /// pipeline validates the hop. Validated against the per-granule write
+    /// versions in `ClusterMemory`; a mismatch squashes, with the wasted
+    /// trip charged to `mis_speculations` and `ComponentTimes::spec_waste`.
+    /// Off by default (golden-trace guarded).
+    pub speculate: bool,
+    /// ISA v2 same-node hop batching: fuse up to this many consecutive
+    /// iterations whose windows translate on this node into one membus
+    /// transaction — one full `t_d` plus a per-extra-hop increment
+    /// (`pulse_isa::fused_hop_increment`). `1` (the default) disables
+    /// fusion; crossing semantics are preserved because fusion stops at the
+    /// first pointer that does not translate locally.
+    pub batch_hops: u32,
 }
 
 impl Default for AccelConfig {
@@ -131,6 +146,8 @@ impl Default for AccelConfig {
             timing: AccelTiming::default(),
             max_iters: pulse_isa::DEFAULT_MAX_ITERS,
             collect_touched: false,
+            speculate: false,
+            batch_hops: 1,
         }
     }
 }

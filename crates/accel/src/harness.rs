@@ -62,7 +62,7 @@ pub fn run_closed_loop(
         for out in outs {
             match out {
                 AccelOutput::Internal { at, event } => drv.schedule_at(at, event),
-                AccelOutput::Depart { at, pkt } => departed.push((at, pkt)),
+                AccelOutput::Depart { at, pkt, .. } => departed.push((at, pkt)),
             }
         }
     };

@@ -274,6 +274,18 @@ pub struct SweepPoint {
     /// ([`pulse::PulseBuilder::trace`]); `None` keeps the default sweep
     /// document byte-identical to the pre-trace schema.
     pub phase: Option<PhasePoint>,
+    /// ISA-v2 speculative next-hop issues that validated wrong and were
+    /// squashed ([`pulse::PulseBuilder::speculation`]). Exactly 0 on every
+    /// curve that doesn't speculate — CI asserts it; the JSON emits the
+    /// ISA-v2 trailer only when some counter is nonzero, so default
+    /// documents stay byte-identical to the pre-ISA-v2 schema.
+    pub mis_speculations: u64,
+    /// ISA-v2 same-node hops fused into a preceding memory-bus transaction
+    /// ([`pulse::PulseBuilder::batching`]). 0 at the default batch window.
+    pub batched_hops: u64,
+    /// Traversal hops skipped by riding an identical in-flight offload
+    /// ([`pulse::PulseBuilder::coalescing`]). 0 with coalescing off.
+    pub coalesced_prefix_hops: u64,
 }
 
 /// Microsecond-domain view of a rung's [`PhaseAttribution`] — the sweep
@@ -354,6 +366,9 @@ impl SweepPoint {
             rereplication_bytes: rep.rereplication_bytes,
             degraded_p99_us: rep.degraded_p99.as_micros_f64(),
             phase: rep.phase.as_ref().map(PhasePoint::from_attribution),
+            mis_speculations: rep.mis_speculations,
+            batched_hops: rep.batched_hops,
+            coalesced_prefix_hops: rep.coalesced_prefix_hops,
         }
     }
 
@@ -453,6 +468,18 @@ impl SweepReport {
                     p.rereplication_bytes,
                     p.degraded_p99_us
                 );
+                // Optional ISA-v2 trailer, absent whenever the rung never
+                // speculated, batched, or coalesced — which keeps every
+                // default curve byte-identical to the pre-ISA-v2 schema
+                // (CI byte-compares the default document against the
+                // pinned golden).
+                if p.mis_speculations + p.batched_hops + p.coalesced_prefix_hops > 0 {
+                    row.push_str(&format!(
+                        ",\"mis_speculations\":{},\"batched_hops\":{},\
+                         \"coalesced_prefix_hops\":{}",
+                        p.mis_speculations, p.batched_hops, p.coalesced_prefix_hops
+                    ));
+                }
                 // Optional trailer, absent on untraced rungs so the
                 // default document stays byte-identical to the pre-trace
                 // schema (CI byte-compares it against the pinned golden).
@@ -667,6 +694,22 @@ impl<'a> JsonReader<'a> {
     }
 }
 
+/// Reads a point's optional ISA-v2 counter trailer: `None` when all three
+/// keys are absent (the rung never speculated, batched, or coalesced), the
+/// three counters when all are present, and an error — the same
+/// pruned-field rejection as any required key — when only some are.
+fn isa_v2_trailer(p: &Json) -> Result<Option<(u64, u64, u64)>, String> {
+    const KEYS: [&str; 3] = ["mis_speculations", "batched_hops", "coalesced_prefix_hops"];
+    if KEYS.iter().all(|k| p.get(k).is_none()) {
+        return Ok(None);
+    }
+    Ok(Some((
+        p.num(KEYS[0])? as u64,
+        p.num(KEYS[1])? as u64,
+        p.num(KEYS[2])? as u64,
+    )))
+}
+
 /// Parses a `BENCH_sweep.json` document back into [`SweepReport`]s. Every
 /// [`SweepPoint`] field must be present in every point — the schema
 /// round-trip guard that keeps new fields (like `cache_hit_rate`) from
@@ -703,6 +746,7 @@ pub fn parse_sweep_json(doc: &str) -> Result<Vec<SweepReport>, String> {
             let points = points
                 .iter()
                 .map(|p| {
+                    let isa_v2 = isa_v2_trailer(p)?;
                     Ok(SweepPoint {
                         offered_kops: p.num("offered_kops")?,
                         arrived_kops: p.num("arrived_kops")?,
@@ -721,6 +765,13 @@ pub fn parse_sweep_json(doc: &str) -> Result<Vec<SweepReport>, String> {
                         unavailable_completions: p.num("unavailable_completions")? as u64,
                         rereplication_bytes: p.num("rereplication_bytes")? as u64,
                         degraded_p99_us: p.num("degraded_p99_us")?,
+                        // Optional ISA-v2 trailer: absent means the rung
+                        // never speculated/batched/coalesced (all zero),
+                        // but a partially-present trailer is rejected like
+                        // any other pruned field.
+                        mis_speculations: isa_v2.map_or(0, |(m, _, _)| m),
+                        batched_hops: isa_v2.map_or(0, |(_, b, _)| b),
+                        coalesced_prefix_hops: isa_v2.map_or(0, |(_, _, c)| c),
                         // Optional (untraced rungs omit it) but complete
                         // when present: a traced rung missing any phase
                         // key is rejected like any other pruned field.
@@ -1341,6 +1392,119 @@ pub fn baseline_ycsb_factory(
     }
 }
 
+/// The ISA-v2 latency-hiding switches a spec curve enables, bundled so a
+/// factory takes one argument and a new speculation/batching/coalescing
+/// combination is a one-line change at the call site.
+#[derive(Debug, Clone, Copy)]
+pub struct IsaV2 {
+    /// [`pulse::PulseBuilder::speculation`]: speculative next-hop issue at
+    /// the accelerators, validated against per-granule write versions.
+    pub speculate: bool,
+    /// [`pulse::PulseBuilder::batching`] window: same-node hops fused per
+    /// memory-bus transaction (1 = off).
+    pub batch_hops: u32,
+    /// [`pulse::PulseBuilder::coalescing`], when `Some`: identical-plan
+    /// requests ride one offloaded packet.
+    pub coalesce: Option<pulse::CoalesceConfig>,
+}
+
+impl IsaV2 {
+    /// All three mechanisms on: speculation, a `hops`-wide batch window,
+    /// and coalescing at its default rider cap.
+    pub fn all(hops: u32) -> IsaV2 {
+        IsaV2 {
+            speculate: true,
+            batch_hops: hops,
+            coalesce: Some(pulse::CoalesceConfig {
+                enabled: true,
+                ..Default::default()
+            }),
+        }
+    }
+
+    fn apply(self, b: pulse::PulseBuilder) -> pulse::PulseBuilder {
+        let b = b.speculation(self.speculate).batching(self.batch_hops);
+        match self.coalesce {
+            Some(c) => b.coalescing(c),
+            None => b,
+        }
+    }
+}
+
+/// ISA-v2 counterpart of [`pulse_app_factory`] over the read-heavy
+/// WebService deployment: the identical rack with the given latency-hiding
+/// switches on — the `pulse-spec` curve whose knee-vs-`pulse` shift is the
+/// ISA-v2 headline.
+pub fn spec_pulse_webservice_factory(
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+    dispatch: DispatchConfig,
+    isa: IsaV2,
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
+    move || {
+        let (runtime, mut app) = isa
+            .apply(
+                pulse::PulseBuilder::new()
+                    .nodes(nodes)
+                    .cpus(cpus)
+                    .dispatch(dispatch)
+                    .granularity(DEFAULT_GRANULARITY),
+            )
+            .app(sweep_webservice_cfg(YcsbWorkload::C, Distribution::Zipfian))
+            .expect("wire pulse rack");
+        let reqs: Vec<AppRequest> = (0..requests).map(|_| app.next_request()).collect();
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
+/// ISA-v2 counterpart of [`pulse_ycsb_factory`]: the mixed read-write
+/// stream with the latency-hiding switches on, where concurrent updates
+/// invalidate speculated windows — the curve whose nonzero
+/// `mis_speculations` is the honest price of the speculation.
+///
+/// # Panics
+///
+/// As [`pulse_ycsb_factory`].
+pub fn spec_pulse_ycsb_factory(
+    workload: YcsbWorkload,
+    nodes: usize,
+    cpus: usize,
+    requests: usize,
+    dispatch: DispatchConfig,
+    isa: IsaV2,
+) -> impl Fn() -> (Box<dyn pulse::Engine>, Vec<AppRequest>) + Send + Sync {
+    assert!(
+        workload != YcsbWorkload::C,
+        "YCSB-C is read-only; use spec_pulse_webservice_factory"
+    );
+    move || {
+        let builder = isa.apply(
+            pulse::PulseBuilder::new()
+                .nodes(nodes)
+                .cpus(cpus)
+                .dispatch(dispatch)
+                .granularity(DEFAULT_GRANULARITY),
+        );
+        let (mut runtime, mut driver) = ycsb_engine_and_driver(
+            workload,
+            nodes,
+            builder,
+            |b, cfg| b.app(cfg).expect("wire pulse rack"),
+            |b, cfg| {
+                b.build_with(|ctx| {
+                    let app = WiredTiger::build(ctx, cfg)?;
+                    let arena = pulse_mutation::InsertArena::build(ctx, YCSB_ARENA_PER_NODE)?;
+                    Ok((app, arena))
+                })
+                .expect("wire pulse rack")
+            },
+        );
+        let reqs = mint_ycsb_stream(&mut driver, runtime.memory_mut(), requests);
+        (Box::new(runtime) as Box<dyn pulse::Engine>, reqs)
+    }
+}
+
 /// The cache-sensitivity counterpart of [`pulse_app_factory`]: the pulse
 /// rack over a WebService deployment with a per-CPU-node front-end cache
 /// and a caller-chosen key distribution — the (cache size × Zipf-θ) axes
@@ -1501,6 +1665,9 @@ mod tests {
             rereplication_bytes: 0,
             degraded_p99_us: 0.0,
             phase: None,
+            mis_speculations: 0,
+            batched_hops: 0,
+            coalesced_prefix_hops: 0,
         }
     }
 
@@ -1645,6 +1812,9 @@ mod tests {
                         mean_us: std::array::from_fn(|i| i as f64 * 1.5),
                         p99_us: std::array::from_fn(|i| i as f64 * 2.25),
                     }),
+                    mis_speculations: 23,
+                    batched_hops: 4_096,
+                    coalesced_prefix_hops: 57,
                 },
                 point(100.0, 99.0, 80.0),
             ],
@@ -1673,6 +1843,21 @@ mod tests {
         assert_eq!(phase.mean_us[1], 1.5);
         assert_eq!(phase.p99_us[2], 4.5);
         assert_eq!(parsed[0].points[1].phase, None);
+        // ISA-v2 trailer: field-exact on the point that carries it, all
+        // zero on the point that omits it.
+        assert_eq!(
+            (p.mis_speculations, p.batched_hops, p.coalesced_prefix_hops),
+            (23, 4_096, 57)
+        );
+        let plain = &parsed[0].points[1];
+        assert_eq!(
+            (
+                plain.mis_speculations,
+                plain.batched_hops,
+                plain.coalesced_prefix_hops
+            ),
+            (0, 0, 0)
+        );
         // Byte-for-byte: re-serializing the parse reproduces the document.
         assert_eq!(sweep_json(&parsed), doc);
 
@@ -1704,6 +1889,18 @@ mod tests {
         let pruned = doc.replace(",\"wire_p99_us\":4.5000", "");
         let err = parse_sweep_json(&pruned).unwrap_err();
         assert!(err.contains("wire_p99_us"), "{err}");
+        // Same for the ISA-v2 trailer: any key present makes all three
+        // required — a half-pruned trailer is a schema regression, not a
+        // zero.
+        let pruned = doc.replace(",\"mis_speculations\":23", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("mis_speculations"), "{err}");
+        let pruned = doc.replace(",\"batched_hops\":4096", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("batched_hops"), "{err}");
+        let pruned = doc.replace(",\"coalesced_prefix_hops\":57", "");
+        let err = parse_sweep_json(&pruned).unwrap_err();
+        assert!(err.contains("coalesced_prefix_hops"), "{err}");
         assert!(parse_sweep_json("{\"swoop\":[]}").is_err());
         assert!(parse_sweep_json("not json").is_err());
         // The real emitted file's shape, including escapes.

@@ -19,7 +19,7 @@
 //!   software overhead more expensive per crossing).
 
 use pulse_accel::{AccelConfig, AccelEvent, AccelOutput, Accelerator};
-use pulse_frontend::{prefix_walk, CacheConfig, CpuFrontEnd, WalkOutcome};
+use pulse_frontend::{prefix_walk, CacheConfig, CoalesceConfig, CpuFrontEnd, Role, WalkOutcome};
 use pulse_mem::{
     CapacityExceeded, ClusterMemory, FaultEvent, FaultKind, GlobalRangeMap, NodeId, Perms,
     RangeTable,
@@ -126,6 +126,14 @@ pub struct ClusterConfig {
     /// `Some` threads a [`TraceSink`] through the event loop without
     /// perturbing any simulated timestamp.
     pub trace: Option<TraceConfig>,
+    /// ISA-v2 shared-prefix coalescing at the CPU-node front ends:
+    /// requests whose traversal plans are identical (same compiled
+    /// program, entry pointer, and arguments) ride one offloaded packet
+    /// and fan back out when its response lands (see
+    /// `pulse_frontend::coalesce` for the exact matching and staleness
+    /// semantics). Disabled by default — golden traces stay
+    /// bit-identical.
+    pub coalesce: CoalesceConfig,
 }
 
 impl Default for ClusterConfig {
@@ -145,6 +153,7 @@ impl Default for ClusterConfig {
             cache: CacheConfig::default(),
             faults: Vec::new(),
             trace: None,
+            coalesce: CoalesceConfig::default(),
         }
     }
 }
@@ -217,6 +226,17 @@ pub struct ClusterReport {
     /// Phase means sum exactly to the mean end-to-end latency (span
     /// conservation).
     pub phase: Option<PhaseAttribution>,
+    /// ISA-v2 speculative next-hop fetches squashed on a prediction or
+    /// version mismatch, summed over every accelerator. Exactly 0 with
+    /// speculation off.
+    pub mis_speculations: u64,
+    /// ISA-v2 iterations fused into an open same-node membus transaction,
+    /// summed over every accelerator. Exactly 0 with `batch_hops <= 1`.
+    pub batched_hops: u64,
+    /// ISA-v2 traversal hops that rider requests skipped by sharing a
+    /// coalesced offload (riders × fanned-out stage iterations). Exactly
+    /// 0 with coalescing off.
+    pub coalesced_prefix_hops: u64,
 }
 
 impl ClusterReport {
@@ -395,6 +415,9 @@ pub struct PulseCluster {
     unavailable: u64,
     rereplication_bytes: u64,
     mem_bytes_extra: u64,
+    /// ISA-v2 coalescing: hops rider requests skipped by fanning out of a
+    /// shared offload (riders × stage iterations, summed at fan-out).
+    coalesced_prefix_hops: u64,
     makespan: SimTime,
 }
 
@@ -547,7 +570,13 @@ impl PulseCluster {
             fabric,
             links: (0..nodes).map(|_| Link::new(cfg.link)).collect(),
             frontends: (0..cfg.cpus)
-                .map(|_| CpuFrontEnd::new(cfg.link, cfg.dispatch, cfg.cache))
+                .map(|_| {
+                    let mut fe = CpuFrontEnd::new(cfg.link, cfg.dispatch, cfg.cache);
+                    if cfg.coalesce.enabled {
+                        fe.enable_coalescing(cfg.coalesce);
+                    }
+                    fe
+                })
                 .collect(),
             dma: (0..nodes)
                 .map(|_| SerialResource::new(cfg.accel.timing.dram_bytes_per_sec * 8))
@@ -574,6 +603,7 @@ impl PulseCluster {
             unavailable: 0,
             rereplication_bytes: 0,
             mem_bytes_extra: 0,
+            coalesced_prefix_hops: 0,
             makespan: SimTime::ZERO,
             cfg,
             mem,
@@ -895,6 +925,9 @@ impl PulseCluster {
             rereplication_bytes: self.rereplication_bytes,
             degraded_p99: self.degraded_hist.p99(),
             phase: self.sink.as_ref().and_then(TraceSink::attribution),
+            mis_speculations: self.accels.iter().map(|a| a.stats().mis_speculations).sum(),
+            batched_hops: self.accels.iter().map(|a| a.stats().batched_hops).sum(),
+            coalesced_prefix_hops: self.coalesced_prefix_hops,
         }
     }
 
@@ -1053,6 +1086,9 @@ impl PulseCluster {
         let arrive = self.frontends[id.cpu].rx(now, NOTICE_BYTES) + self.cfg.link.propagation;
         self.trace_push(id, SpanKind::Failover, Track::Cpu(id.cpu), arrive);
         drv.schedule_at(arrive, Ev::Finished(id, Done::Unavailable));
+        // Coalesced riders do not inherit the leader's unavailable
+        // completion: each re-issues and reaches its own verdict.
+        self.detach_riders(drv, arrive, id);
     }
 
     /// A packet was lost at (or in flight toward) a node that went dark:
@@ -1083,6 +1119,8 @@ impl PulseCluster {
         let restart = now + self.cfg.reissue_overhead;
         self.trace_push(id, SpanKind::Failover, Track::Cpu(id.cpu), restart);
         drv.schedule_at(restart, Ev::Start(id));
+        // The leader's flight is gone; riders re-plan individually too.
+        self.detach_riders(drv, restart, id);
     }
 
     /// Applies one scheduled fault. Crashes and partitions abort the
@@ -1253,6 +1291,10 @@ impl PulseCluster {
                 code: u64,
                 at: SimTime,
             },
+            /// An identical-plan offload is already in flight (ISA-v2
+            /// coalescing): send nothing and park until its response fans
+            /// out at this node.
+            Ride(SimTime),
             Finish(SimTime),
             Fault,
         }
@@ -1288,19 +1330,33 @@ impl PulseCluster {
                                 st.last_state = Some(state);
                                 Next::LocalDone { code, at: send_at }
                             }
-                            None => Next::Send(
-                                Packet::Iter(IterPacket {
-                                    id,
-                                    // Cheap: an Arc clone with a cached wire
-                                    // length — no per-request re-encode.
-                                    code: CodeBlob::new(stage.program.clone()),
-                                    state,
-                                    status: IterStatus::InFlight,
-                                    piggyback_bytes: 0,
-                                    touched: self.touched_pool.pop().unwrap_or_default(),
-                                }),
-                                send_at,
-                            ),
+                            None => {
+                                let role = self.frontends[id.cpu]
+                                    .coalescer_mut()
+                                    .map(|c| c.register(id, &stage.program, &state));
+                                if let Some(Role::Rider { .. }) = role {
+                                    // The rider's state is rebuilt from the
+                                    // leader's response at fan-out; recycle
+                                    // its scratch now.
+                                    self.scratch_pool.push(state.scratch);
+                                    Next::Ride(send_at)
+                                } else {
+                                    Next::Send(
+                                        Packet::Iter(IterPacket {
+                                            id,
+                                            // Cheap: an Arc clone with a
+                                            // cached wire length — no
+                                            // per-request re-encode.
+                                            code: CodeBlob::new(stage.program.clone()),
+                                            state,
+                                            status: IterStatus::InFlight,
+                                            piggyback_bytes: 0,
+                                            touched: self.touched_pool.pop().unwrap_or_default(),
+                                        }),
+                                        send_at,
+                                    )
+                                }
+                            }
                         }
                     }
                 }
@@ -1338,6 +1394,13 @@ impl PulseCluster {
             Next::LocalDone { code, at } => {
                 self.trace_push(id, SpanKind::CacheHit, Track::Cpu(id.cpu), at);
                 self.stage_done(drv, at, id, code, false, true)
+            }
+            Next::Ride(at) => {
+                // Coalesced rider: an identical plan is already in flight
+                // under a leader. Account the local walk, then park — the
+                // request resumes when the leader's response fans out (or
+                // is re-issued individually if that flight ends abnormally).
+                self.trace_push(id, SpanKind::CacheHit, Track::Cpu(id.cpu), at);
             }
             Next::Send(pkt, at) => {
                 // The dispatch engine first (queueing + occupancy under
@@ -1724,15 +1787,38 @@ impl PulseCluster {
         for out in outs {
             match out {
                 AccelOutput::Internal { at, event } => drv.schedule_at(at, Ev::Accel(n, event)),
-                AccelOutput::Depart { at, mut pkt } => {
+                AccelOutput::Depart {
+                    at,
+                    mut pkt,
+                    squash,
+                } => {
                     // Everything between the packet's arrival at this node
-                    // and its departure is accelerator traversal time.
-                    self.trace_push(
-                        pkt.id,
-                        SpanKind::AccelCompute { node: n },
-                        Track::Mem(n),
-                        at,
-                    );
+                    // and its departure is accelerator traversal time —
+                    // minus any membus time burned on squashed speculative
+                    // fetches, which is carved out as its own span. The
+                    // cursor-clamped push keeps the two spans an exact
+                    // partition of the node residency.
+                    if squash > SimTime::ZERO {
+                        self.trace_push(
+                            pkt.id,
+                            SpanKind::AccelCompute { node: n },
+                            Track::Mem(n),
+                            at.saturating_sub(squash),
+                        );
+                        self.trace_push(
+                            pkt.id,
+                            SpanKind::SpecSquash { node: n },
+                            Track::Mem(n),
+                            at,
+                        );
+                    } else {
+                        self.trace_push(
+                            pkt.id,
+                            SpanKind::AccelCompute { node: n },
+                            Track::Mem(n),
+                            at,
+                        );
+                    }
                     if let IterStatus::Done { code } = pkt.status {
                         if let Some(st) = self.inflight.get(&pkt.id) {
                             let is_final_stage = st.stage + 1 == st.req.traversals.len();
@@ -1801,6 +1887,46 @@ impl PulseCluster {
         }
     }
 
+    /// ISA-v2 coalescing fan-out: each rider of a completed leader offload
+    /// observes a clone of the returned state and advances its own request
+    /// from there. A fan-out completion books one dispatch op per rider
+    /// (`local = true` in `stage_done`), so coalesced requests still
+    /// saturate at the node's dispatch rate instead of scaling unboundedly.
+    fn fan_out_riders(
+        &mut self,
+        drv: &mut Driver<Ev>,
+        now: SimTime,
+        riders: Vec<RequestId>,
+        state: pulse_isa::IterState,
+        code: u64,
+    ) {
+        for rider in riders {
+            self.coalesced_prefix_hops += state.iters_done as u64;
+            self.trace_push(rider, SpanKind::Queued, Track::Cpu(rider.cpu), now);
+            let st = self.inflight.get_mut(&rider).expect("inflight");
+            let prev = st.last_state.replace(state.clone());
+            if let Some(old) = prev {
+                self.scratch_pool.push(old.scratch);
+            }
+            self.stage_done(drv, now, rider, code, false, true);
+        }
+    }
+
+    /// ISA-v2 coalescing detach: a leader's flight ended without a usable
+    /// response (fault, crash notice, unavailability). Its riders — which
+    /// never sent anything — re-issue their stage individually from here
+    /// (and may re-coalesce among themselves). Closing a request that led
+    /// no group is a no-op, so callers invoke this unconditionally.
+    fn detach_riders(&mut self, drv: &mut Driver<Ev>, now: SimTime, leader: RequestId) {
+        let riders = self.frontends[leader.cpu]
+            .coalescer_mut()
+            .map_or(Vec::new(), |c| c.close(leader));
+        for rider in riders {
+            self.trace_push(rider, SpanKind::Failover, Track::Cpu(rider.cpu), now);
+            self.send_stage(drv, now, rider);
+        }
+    }
+
     fn at_cpu(&mut self, drv: &mut Driver<Ev>, now: SimTime, pkt: Packet) {
         let id = pkt.id();
         match pkt {
@@ -1816,12 +1942,22 @@ impl PulseCluster {
                         touched.clear();
                         self.touched_pool.push(touched);
                     }
+                    // ISA-v2 coalescing: riders parked on this leader fan
+                    // out with a clone of the returned state once the
+                    // leader has advanced.
+                    let riders = self.frontends[id.cpu]
+                        .coalescer_mut()
+                        .map_or(Vec::new(), |c| c.close(id));
+                    let rider_state = (!riders.is_empty()).then(|| ip.state.clone());
                     let st = self.inflight.get_mut(&id).expect("inflight");
                     let prev = st.last_state.replace(ip.state);
                     if let Some(old) = prev {
                         self.scratch_pool.push(old.scratch);
                     }
                     self.stage_done(drv, now, id, code, gathered, false);
+                    if let Some(state) = rider_state {
+                        self.fan_out_riders(drv, now, riders, state, code);
+                    }
                 }
                 IterStatus::InFlight => {
                     // pulse-acc bounce: the owning CPU re-issues toward the
@@ -1847,6 +1983,10 @@ impl PulseCluster {
                 IterStatus::Faulted { .. } => {
                     self.scratch_pool.push(ip.state.scratch);
                     drv.schedule_at(now, Ev::Finished(id, Done::Fault));
+                    // The fault is the leader's own (bad pointer, budget);
+                    // its riders re-issue individually rather than
+                    // inheriting it.
+                    self.detach_riders(drv, now, id);
                 }
             },
             Packet::ReadReply { .. } | Packet::WriteAck { .. } => {
@@ -2288,6 +2428,82 @@ mod tests {
             assert!(report.link_utilization > 0.0, "{topology:?}");
             assert!(report.net_bytes > 0, "{topology:?}");
         }
+    }
+
+    #[test]
+    fn coalescing_rides_identical_hot_keys_and_preserves_answers() {
+        // A simultaneous zipfian burst repeats hot keys, so identical
+        // plans must ride one offload — without changing any answer.
+        let (mem, reqs, expected) = webservice_cluster(1, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                coalesce: CoalesceConfig {
+                    enabled: true,
+                    max_riders: 8,
+                },
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let n = reqs.len();
+        for r in reqs {
+            cluster.submit_at(SimTime::ZERO, r);
+        }
+        let mut done = Vec::new();
+        while cluster.step() {
+            done.extend(cluster.take_completions());
+        }
+        assert_eq!(done.len(), n);
+        for c in &done {
+            assert!(c.ok);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert!(
+            report.coalesced_prefix_hops > 0,
+            "hot zipfian keys must ride"
+        );
+        // The default engine reports every ISA-v2 counter as exactly zero.
+        let (mem, reqs, _) = webservice_cluster(1, 2_000, 1 << 20);
+        let rep = PulseCluster::new(ClusterConfig::default(), mem).run(reqs, 8);
+        assert_eq!(rep.mis_speculations, 0);
+        assert_eq!(rep.batched_hops, 0);
+        assert_eq!(rep.coalesced_prefix_hops, 0);
+    }
+
+    #[test]
+    fn speculation_and_batching_surface_in_cluster_report() {
+        // Accelerator-side ISA-v2 switches flow through to the cluster
+        // report; answers stay identical to ground truth.
+        let (mem, reqs, expected) = webservice_cluster(1, 2_000, 1 << 20);
+        let mut cluster = PulseCluster::new(
+            ClusterConfig {
+                accel: AccelConfig {
+                    speculate: true,
+                    batch_hops: 4,
+                    ..AccelConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+            mem,
+        );
+        let n = reqs.len();
+        for (i, r) in reqs.into_iter().enumerate() {
+            cluster.submit_at(SimTime::from_nanos(10 * i as u64), r);
+        }
+        let mut done = Vec::new();
+        while cluster.step() {
+            done.extend(cluster.take_completions());
+        }
+        assert_eq!(done.len(), n);
+        for c in &done {
+            assert!(c.ok);
+            let got = c.final_state.as_ref().unwrap().scratch_u64(8);
+            assert_eq!(got, expected[c.id.seq as usize]);
+        }
+        let report = cluster.report();
+        assert!(report.batched_hops > 0, "local hash chains must fuse");
     }
 
     #[test]

@@ -104,7 +104,10 @@ pub use cluster::{
     ClusterConfig, ClusterReport, Completion, CpuAssignment, PulseCluster, PulseMode,
 };
 pub use cxl::{cxl_study, CxlConfig, CxlSlowdown};
-pub use pulse_frontend::{CacheConfig, CacheStats, CpuFrontEnd, TraversalCache};
+pub use pulse_accel::AccelConfig;
+pub use pulse_frontend::{
+    CacheConfig, CacheStats, CoalesceConfig, CoalesceStats, CpuFrontEnd, TraversalCache,
+};
 pub use pulse_mem::{FaultEvent, FaultKind};
 pub use pulse_sim::{CpuDispatch, DispatchConfig};
 pub use pulse_trace::{LatencyBreakdown, Phase, PhaseAttribution, TraceConfig, TraceSink, PHASES};

@@ -8,6 +8,7 @@
 //! every engine at once.
 
 use crate::cache::{CacheBus, CacheConfig, TraversalCache};
+use crate::coalesce::{CoalesceConfig, PrefixCoalescer};
 use pulse_isa::{Interpreter, IterOutcome, IterState, Program};
 use pulse_mem::ClusterMemory;
 use pulse_net::{Endpoint, Fabric, Link, LinkConfig};
@@ -27,6 +28,7 @@ pub struct CpuFrontEnd {
     dispatch: CpuDispatch,
     next_seq: u64,
     cache: Option<TraversalCache>,
+    coalescer: Option<PrefixCoalescer>,
 }
 
 impl CpuFrontEnd {
@@ -39,7 +41,26 @@ impl CpuFrontEnd {
             dispatch: CpuDispatch::new(dispatch),
             next_seq: 0,
             cache: cache.enabled().then(|| TraversalCache::new(cache)),
+            coalescer: None,
         }
+    }
+
+    /// Attaches an ISA-v2 shared-prefix coalescer (see
+    /// [`crate::coalesce`]). Engines call this at construction when
+    /// [`CoalesceConfig::enabled`] is set; without it the issue path is
+    /// bit-identical to the pre-coalescing model.
+    pub fn enable_coalescing(&mut self, cfg: CoalesceConfig) {
+        self.coalescer = Some(PrefixCoalescer::new(cfg));
+    }
+
+    /// The node's coalescer, when one is attached.
+    pub fn coalescer(&self) -> Option<&PrefixCoalescer> {
+        self.coalescer.as_ref()
+    }
+
+    /// Mutable coalescer access.
+    pub fn coalescer_mut(&mut self) -> Option<&mut PrefixCoalescer> {
+        self.coalescer.as_mut()
     }
 
     /// Mints the next request sequence number for this node.

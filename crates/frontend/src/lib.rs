@@ -19,6 +19,11 @@
 //!   DRAM-hit cost, then offload the remainder from the last cached
 //!   pointer (resume-by-pointer, the continuation the PULSE ISA already
 //!   carries);
+//! * [`PrefixCoalescer`] — ISA-v2 shared-prefix coalescing: queued
+//!   requests whose traversal plans are identical ride one offloaded
+//!   packet and fan back out when its response lands (see the
+//!   [`coalesce`](crate::coalesce) module docs for the exact matching and
+//!   detachment semantics). Off by default;
 //! * [`replay`] — the FIFO multi-server closed-/open-loop admission
 //!   helpers the replay baselines price request streams through.
 
@@ -26,10 +31,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod coalesce;
 mod frontend;
 mod lru;
 pub mod replay;
 
 pub use cache::{CacheBus, CacheConfig, CacheStats, TraversalCache};
+pub use coalesce::{CoalesceConfig, CoalesceStats, PrefixCoalescer, Role};
 pub use frontend::{prefix_walk, CpuFrontEnd, WalkOutcome, WALK_HOP_CAP};
 pub use lru::LruSet;

@@ -205,6 +205,18 @@ impl ProgramBuilder {
         self.push(Instruction::Jump { target: u32::MAX })
     }
 
+    /// Emits `SPEC_HINT ptr` (ISA v2): advises the accelerator that `ptr`
+    /// is the likely next `cur_ptr`, enabling early next-window issue.
+    pub fn spec_hint(&mut self, ptr: impl Into<Operand>) -> &mut Self {
+        self.push(Instruction::SpecHint { ptr: ptr.into() })
+    }
+
+    /// Emits `NO_SPEC` (ISA v2): inhibits speculative next-hop issue for
+    /// the rest of this iteration.
+    pub fn no_spec(&mut self) -> &mut Self {
+        self.push(Instruction::NoSpec)
+    }
+
     /// Emits `NEXT_ITER next`.
     pub fn next_iter(&mut self, next: impl Into<Operand>) -> &mut Self {
         self.push(Instruction::NextIter { next: next.into() })

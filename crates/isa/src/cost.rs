@@ -70,6 +70,26 @@ impl CostModel {
     }
 }
 
+/// Divisor applied to the DRAM array-access time for each *extra* hop of a
+/// same-node fused membus transaction (ISA v2 hop batching). The first hop
+/// of a fused burst pays the full `t_d` (TCAM + interconnect + array +
+/// serialization); follow-on hops ride the already-open channel — no TCAM
+/// or interconnect crossing — and pay a fraction of the array access for
+/// the extra column activation plus their own serialization.
+pub const FUSED_HOP_DRAM_DIV: u64 = 4;
+
+/// Memory-pipeline occupancy added by one extra same-node hop fused into an
+/// open membus transaction (ISA v2 hop batching): `dram_access /`
+/// [`FUSED_HOP_DRAM_DIV`] plus the serialization of that hop's window.
+pub fn fused_hop_increment(
+    dram_access: SimTime,
+    window_bytes: u32,
+    dram_bits_per_sec: u64,
+) -> SimTime {
+    dram_access / FUSED_HOP_DRAM_DIV
+        + SimTime::serialization(window_bytes as u64, dram_bits_per_sec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,7 +141,26 @@ mod tests {
             store_bytes: 0,
             window_bytes: 64,
             outcome: IterOutcome::Continue,
+            spec_next: None,
+            spec_inhibit: false,
         };
         assert_eq!(m.runtime_iteration_cost(&trace), SimTime::from_nanos(20));
+    }
+
+    #[test]
+    fn fused_hop_costs_less_than_full_fetch() {
+        // A fused extra hop must be strictly cheaper than a fresh t_d for
+        // the same window — otherwise batching would never pay.
+        let dram = SimTime::from_nanos(110);
+        let bits = 25_000_000_000u64 * 8;
+        let inc = fused_hop_increment(dram, 64, bits);
+        let full = SimTime::from_nanos(47) // tcam
+            + SimTime::from_nanos(22) // interconnect
+            + dram
+            + SimTime::serialization(64, bits);
+        assert!(inc < full, "{inc:?} vs {full:?}");
+        assert!(inc > SimTime::ZERO);
+        // Serialization still scales with the window.
+        assert!(fused_hop_increment(dram, 256, bits) > inc);
     }
 }

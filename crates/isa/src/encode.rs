@@ -27,6 +27,8 @@ const OP_JUMP: u8 = 0x07;
 const OP_NEXT_ITER: u8 = 0x08;
 const OP_RETURN: u8 = 0x09;
 const OP_CAS: u8 = 0x0A;
+const OP_SPEC_HINT: u8 = 0x0B;
+const OP_NO_SPEC: u8 = 0x0C;
 
 // Operand tags.
 const T_IMM: u8 = 0;
@@ -160,6 +162,8 @@ pub(crate) fn wire_len_of(insns: &[Instruction]) -> usize {
                     + operand_wire_len(src)
                     + 1
             }
+            Instruction::SpecHint { ptr } => 1 + operand_wire_len(ptr),
+            Instruction::NoSpec => 1,
             Instruction::CmpJump { a, b, .. } => {
                 1 + 1 + operand_wire_len(a) + operand_wire_len(b) + 4
             }
@@ -388,6 +392,13 @@ pub fn encode_program(p: &Program) -> Bytes {
                 put_operand(&mut buf, src);
                 buf.put_u8(width.to_code());
             }
+            Instruction::SpecHint { ptr } => {
+                buf.put_u8(OP_SPEC_HINT);
+                put_operand(&mut buf, ptr);
+            }
+            Instruction::NoSpec => {
+                buf.put_u8(OP_NO_SPEC);
+            }
             Instruction::CmpJump { cond, a, b, target } => {
                 buf.put_u8(OP_CMPJUMP);
                 buf.put_u8(cond_code(cond));
@@ -481,6 +492,8 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
                     target: r.u32()?,
                 }
             }
+            OP_SPEC_HINT => Instruction::SpecHint { ptr: r.operand()? },
+            OP_NO_SPEC => Instruction::NoSpec,
             OP_JUMP => Instruction::Jump { target: r.u32()? },
             OP_NEXT_ITER => Instruction::NextIter { next: r.operand()? },
             OP_RETURN => Instruction::Return { code: r.operand()? },
@@ -541,6 +554,8 @@ mod tests {
             Reg::new(3),
             Width::B8,
         );
+        b.spec_hint(Operand::node_u64(40));
+        b.no_spec();
         b.cmp_jump(Cond::LtS, Reg::new(3), Operand::Imm(0), skip);
         b.jump(out);
         b.bind(skip);

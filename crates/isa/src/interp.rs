@@ -127,6 +127,13 @@ pub struct IterTrace {
     pub window_bytes: u32,
     /// How the iteration ended.
     pub outcome: IterOutcome,
+    /// Predicted next `cur_ptr` from a `SPEC_HINT`, if one executed (ISA
+    /// v2). `None` means the engine falls back to its default prediction
+    /// rule; the hint never changes architectural state.
+    pub spec_next: Option<u64>,
+    /// Whether a `NO_SPEC` fence executed, inhibiting speculative issue
+    /// after this iteration (ISA v2).
+    pub spec_inhibit: bool,
 }
 
 /// Result of running a traversal to completion (or to its iteration budget).
@@ -202,6 +209,8 @@ impl Interpreter {
         let mut extra_loads: u32 = 0;
         let mut stores: u32 = 0;
         let mut store_bytes: u32 = 0;
+        let mut spec_next: Option<u64> = None;
+        let mut spec_inhibit = false;
         let insns = program.insns();
 
         loop {
@@ -282,6 +291,12 @@ impl Interpreter {
                     stores += 1;
                     store_bytes += width.bytes();
                 }
+                Instruction::SpecHint { ptr } => {
+                    spec_next = Some(self.read_operand(ptr, &regs, state));
+                }
+                Instruction::NoSpec => {
+                    spec_inhibit = true;
+                }
                 Instruction::CmpJump { cond, a, b, target } => {
                     let av = self.read_operand(a, &regs, state);
                     let bv = self.read_operand(b, &regs, state);
@@ -304,6 +319,8 @@ impl Interpreter {
                         store_bytes,
                         window_bytes: window.len,
                         outcome: IterOutcome::Continue,
+                        spec_next,
+                        spec_inhibit,
                     });
                 }
                 Instruction::Return { code } => {
@@ -316,6 +333,8 @@ impl Interpreter {
                         store_bytes,
                         window_bytes: window.len,
                         outcome: IterOutcome::Done { code },
+                        spec_next,
+                        spec_inhibit,
                     });
                 }
             }
@@ -676,6 +695,37 @@ mod tests {
             .unwrap();
         assert_eq!(run.return_code, Some(0));
         assert_eq!(run.iterations, 2);
+    }
+
+    #[test]
+    fn spec_hint_records_prediction_without_state_change() {
+        let (mut m, head) = build_list(&[(1, 2), (3, 4)]);
+        let mut b = ProgramBuilder::new("hint", 24, 8);
+        b.spec_hint(Operand::node_u64(16)); // predict the `next` field
+        b.next_iter(Operand::node_u64(16));
+        let prog = b.finish().unwrap();
+        let mut st = IterState::new(&prog, head);
+        let trace = Interpreter::new()
+            .run_iteration(&prog, &mut st, &mut m)
+            .unwrap();
+        assert_eq!(trace.spec_next, Some(st.cur_ptr), "hint matches next ptr");
+        assert!(!trace.spec_inhibit);
+        assert_eq!(trace.insns_executed, 2);
+    }
+
+    #[test]
+    fn no_spec_sets_inhibit_flag() {
+        let (mut m, head) = build_list(&[(1, 2)]);
+        let mut b = ProgramBuilder::new("fence", 24, 8);
+        b.no_spec();
+        b.ret(Operand::Imm(0));
+        let prog = b.finish().unwrap();
+        let mut st = IterState::new(&prog, head);
+        let trace = Interpreter::new()
+            .run_iteration(&prog, &mut st, &mut m)
+            .unwrap();
+        assert!(trace.spec_inhibit);
+        assert_eq!(trace.spec_next, None);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod ops;
 mod program;
 
 pub use builder::{Label, ProgramBuilder};
-pub use cost::CostModel;
+pub use cost::{fused_hop_increment, CostModel, FUSED_HOP_DRAM_DIV};
 pub use encode::{decode_program, encode_program, encoded_len, DecodeError};
 pub use interp::{Fault, Interpreter, IterOutcome, IterState, IterTrace, TraversalRun};
 pub use membus::{MemBus, MemFault, VecMem};

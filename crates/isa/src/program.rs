@@ -108,6 +108,19 @@ pub enum Instruction {
         /// Absolute instruction index; must be `> pc` and `< len`.
         target: u32,
     },
+    /// ISA v2 speculation hint: tell the accelerator which pointer this
+    /// iteration will most likely follow, so the memory pipeline can issue
+    /// the next window fetch before the version check completes. Purely
+    /// advisory — no architectural state changes; a wrong hint costs a
+    /// squashed (wasted) memory trip, never a wrong answer.
+    SpecHint {
+        /// Predicted next `cur_ptr`.
+        ptr: Operand,
+    },
+    /// ISA v2 speculation fence: inhibit speculative next-hop issue for the
+    /// remainder of this iteration (used around seqlock-guarded reads whose
+    /// next pointer is too volatile to be worth predicting).
+    NoSpec,
     /// End this iteration: `cur_ptr = next`, hand back to the scheduler so
     /// the memory pipeline can begin the next fetch (§4.1 `NEXT_ITER`).
     NextIter {
@@ -157,6 +170,8 @@ impl fmt::Display for Instruction {
                 src,
                 width,
             } => write!(f, "cas.{width} {dst}, [{base}{off:+}], {expect}, {src}"),
+            Instruction::SpecHint { ptr } => write!(f, "spec_hint {ptr}"),
+            Instruction::NoSpec => write!(f, "no_spec"),
             Instruction::CmpJump { cond, a, b, target } => {
                 write!(f, "cmp.j{cond} {a}, {b} -> @{target}")
             }
@@ -421,6 +436,8 @@ impl Program {
                     self.check_operand(pc, expect)?;
                     self.check_operand(pc, src)?;
                 }
+                Instruction::SpecHint { ptr } => self.check_operand(pc, ptr)?,
+                Instruction::NoSpec => {}
                 Instruction::CmpJump { a, b, target, .. } => {
                     self.check_operand(pc, a)?;
                     self.check_operand(pc, b)?;

@@ -85,9 +85,10 @@ fn cond(rng: &mut SplitMix64) -> Cond {
 
 /// A non-terminal, non-jump instruction. Loads/stores are confined to the
 /// window so that execution can't fault (fault-freedom lets the interpreter
-/// properties focus on termination and state size).
+/// properties focus on termination and state size). Includes the ISA-v2
+/// speculation ops so the encode/decode and length properties cover them.
 fn body_insn(rng: &mut SplitMix64) -> Instruction {
-    match rng.next_below(3) {
+    match rng.next_below(5) {
         0 => Instruction::Alu {
             op: alu(rng),
             dst: place(rng),
@@ -98,6 +99,8 @@ fn body_insn(rng: &mut SplitMix64) -> Instruction {
             dst: place(rng),
             a: operand(rng),
         },
+        2 => Instruction::SpecHint { ptr: operand(rng) },
+        3 => Instruction::NoSpec,
         _ => Instruction::Move {
             dst: place(rng),
             src: operand(rng),
@@ -148,6 +151,22 @@ fn encode_decode_roundtrip() {
         assert_eq!(prog.insns(), back.insns(), "case {case}");
         assert_eq!(prog.window(), back.window(), "case {case}");
         assert_eq!(prog.scratch_len(), back.scratch_len(), "case {case}");
+    }
+}
+
+#[test]
+fn cached_wire_len_matches_real_encode() {
+    // PR 7's arithmetic-length catalog property, extended over programs
+    // drawn from the full ISA-v2 instruction set (including `SpecHint` with
+    // every operand shape and the zero-operand `NoSpec`).
+    let mut rng = SplitMix64::new(0x150_0006);
+    for case in 0..CASES {
+        let prog = program(&mut rng);
+        assert_eq!(
+            pulse_isa::encoded_len(&prog),
+            encode_program(&prog).len(),
+            "case {case}"
+        );
     }
 }
 

@@ -41,7 +41,7 @@ use pulse_sim::{LatencyHistogram, SimTime};
 use std::collections::{BTreeMap, HashMap};
 
 /// Number of latency phases a request's time is partitioned into.
-pub const PHASES: usize = 9;
+pub const PHASES: usize = 10;
 
 /// Configuration of the tracing layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +87,11 @@ pub enum Phase {
     /// the current engines — rebuild traffic is occupancy, not critical
     /// path — but the phase is part of the stable schema).
     Rereplication,
+    /// Wasted speculative window fetches: membus time burned on ISA-v2
+    /// next-hop predictions that a version check later squashed. Carved
+    /// out of the accelerator residency so the mis-speculation tax is
+    /// visible per request.
+    SpecSquash,
 }
 
 impl Phase {
@@ -102,6 +107,7 @@ impl Phase {
         Phase::Retry,
         Phase::Failover,
         Phase::Rereplication,
+        Phase::SpecSquash,
     ];
 
     /// Stable snake_case key for JSON field names.
@@ -116,6 +122,7 @@ impl Phase {
             Phase::Retry => "retry",
             Phase::Failover => "failover",
             Phase::Rereplication => "rereplication",
+            Phase::SpecSquash => "spec_squash",
         }
     }
 }
@@ -154,6 +161,11 @@ pub enum SpanKind {
         /// Memory-node index.
         node: usize,
     },
+    /// Squashed speculative fetch time at memory node `node`.
+    SpecSquash {
+        /// Memory-node index.
+        node: usize,
+    },
 }
 
 impl SpanKind {
@@ -169,6 +181,7 @@ impl SpanKind {
             SpanKind::Retry => Phase::Retry,
             SpanKind::Failover => Phase::Failover,
             SpanKind::Rereplication { .. } => Phase::Rereplication,
+            SpanKind::SpecSquash { .. } => Phase::SpecSquash,
         }
     }
 
@@ -184,6 +197,7 @@ impl SpanKind {
             SpanKind::Retry => "Retry",
             SpanKind::Failover => "Failover",
             SpanKind::Rereplication { .. } => "Rereplication",
+            SpanKind::SpecSquash { .. } => "SpecSquash",
         }
     }
 }

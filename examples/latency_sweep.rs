@@ -3,7 +3,7 @@
 //! CPU-side saturation and full workload coverage.
 //!
 //! A Poisson [`ArrivalProcess`] feeds `Runtime::submit_at` through the
-//! `pulse-bench` `sweep()` ladder. Seventeen curves run the identical
+//! `pulse-bench` `sweep()` ladder. Nineteen curves run the identical
 //! arrival schedule:
 //!
 //! * **pulse** — the rack (2 memory nodes, 2 CPU nodes) over WebService,
@@ -45,7 +45,15 @@
 //!   (`rereplication_bytes`), finishing every request; the replicated RPC
 //!   baseline fails over too (one timeout round trip per redirected
 //!   segment) but never rebuilds. Each crash curve's p99 over the
-//!   degraded window is emitted as `degraded_p99_us`.
+//!   degraded window is emitted as `degraded_p99_us`,
+//! * **pulse-spec** / **pulse-spec-ycsb-a** — the ISA-v2 curves: the same
+//!   rack with speculative next-hop issue, same-node hop batching, and
+//!   (read-heavy only) shared-prefix coalescing switched on. The
+//!   read-heavy curve moves the sustained-load knee; the 50%-update mix
+//!   prices the speculation honestly — concurrent updates bump granule
+//!   versions inside speculation windows, so `mis_speculations` is
+//!   nonzero. These two land in `BENCH_spec_sweep.json`, keeping the
+//!   default `BENCH_sweep.json` byte-identical to the pinned golden.
 //!
 //! Every engine runs the same contended dispatch model: each CPU node's
 //! issue path is a serial engine (`DISPATCH_OCCUPANCY` per packet on
@@ -62,16 +70,17 @@
 //! cargo run --release --example latency_sweep -- --workers 1   # serial schedule
 //! ```
 //!
-//! The seventeen curves run on `pulse_bench::sweep_par_with`'s bounded
+//! The nineteen curves run on `pulse_bench::sweep_par_with`'s bounded
 //! worker pool: every (curve, rung) pair is a deterministic closed world,
 //! so workers claim rungs in parallel and the results are stitched back in
 //! ladder order — `BENCH_sweep.json` is byte-identical for any worker
 //! count. Per-curve wall-clock prints as each curve finishes.
 //!
-//! The run writes all seventeen curves to `BENCH_sweep.json` and the
-//! simulator's own speed (sim-ops/sec per curve, wall-clock per rung) to
-//! `BENCH_simspeed.json`; CI greps both files and checks the
-//! cache-hit-rate and link-utilization invariants.
+//! The run writes the seventeen default curves to `BENCH_sweep.json`, the
+//! two ISA-v2 curves to `BENCH_spec_sweep.json`, and the simulator's own
+//! speed (sim-ops/sec per curve, wall-clock per rung) to
+//! `BENCH_simspeed.json`; CI greps all three files and checks the
+//! cache-hit-rate, link-utilization, and ISA-v2 invariants.
 //!
 //! `--trace <path>` additionally runs one fully-traced rung *after* the
 //! sweep (tracing stays off in every ladder curve, so `BENCH_sweep.json`
@@ -92,8 +101,9 @@ use pulse_bench::{
     baseline_webservice_factory, baseline_ycsb_factory, cached_baseline_webservice_factory,
     cached_pulse_webservice_factory, crashed_pulse_webservice_factory,
     crashed_rpc_webservice_factory, fabric_pulse_webservice_factory, pulse_app_factory,
-    pulse_ycsb_factory, simspeed_json, sweep, sweep_json, sweep_par_with, AppKind, CurveSpec,
-    SweepPoint, SweepReport, DEFAULT_GRANULARITY,
+    pulse_ycsb_factory, simspeed_json, spec_pulse_webservice_factory, spec_pulse_ycsb_factory,
+    sweep, sweep_json, sweep_par_with, AppKind, CurveFactory, CurveSpec, IsaV2, SweepPoint,
+    SweepReport, DEFAULT_GRANULARITY,
 };
 
 const NODES: usize = 2;
@@ -121,12 +131,28 @@ const CRASH_NODES: usize = 4;
 /// When node 0 dies on every crash rung — early enough that nearly the
 /// whole rung runs degraded at every offered load on the ladder.
 const CRASH_AT: SimTime = SimTime::from_micros(30);
+/// Batch window of the ISA-v2 curves: up to this many consecutive
+/// locally-translating hops fuse into one membus transaction.
+const SPEC_BATCH_HOPS: u32 = 4;
+/// Labels of the ISA-v2 curves, swept on the same ladder but written to
+/// `BENCH_spec_sweep.json` so the default `BENCH_sweep.json` stays
+/// byte-identical to the pinned golden.
+const SPEC_LABELS: [&str; 2] = ["pulse-spec", "pulse-spec-ycsb-a"];
 
 /// The crash curves' fault schedule: node 0 fail-stops at [`CRASH_AT`] and
 /// never comes back (the re-replication engine, not a repair, restores
 /// redundancy).
 fn crash_schedule() -> Vec<FaultEvent> {
     vec![FaultEvent::new(CRASH_AT, FaultKind::MemCrash(0))]
+}
+
+/// The contended-dispatch RPC baseline every RPC curve starts from; the
+/// cached and routed variants override one field each via struct update.
+fn rpc_cfg(dispatch: DispatchConfig) -> RpcConfig {
+    RpcConfig {
+        dispatch,
+        ..RpcConfig::rpc()
+    }
 }
 
 fn main() -> Result<(), pulse::Error> {
@@ -143,43 +169,33 @@ fn main() -> Result<(), pulse::Error> {
     );
     println!("parallel sweep harness: {workers} worker threads\n");
 
-    // Every curve below is the same call the serial `sweep()` ladder made,
-    // packaged as a spec so the worker pool can claim (curve, rung) pairs.
-    // Order matters: the assertions after the sweep index `curves[0]`
-    // (pulse) and `curves[1]` (RPC), and `sweep_par_with` stitches results
-    // back in exactly this order.
-    let specs = vec![
-        CurveSpec::new(
+    // Every curve is one `(label, factory)` row; the shared ladder and
+    // seed are applied once below, so adding a curve is a one-line entry
+    // instead of a copy-paste block. Order matters: the assertions after
+    // the sweep index `curves[0]` (pulse) and `curves[1]` (RPC),
+    // `sweep_par_with` stitches results back in exactly this order, and
+    // the `SPEC_LABELS` curves must stay last (the split below peels them
+    // off the tail into their own JSON document).
+    let webservice = AppKind::WebService(YcsbWorkload::C);
+    let table: Vec<(&str, CurveFactory)> = vec![
+        (
             "pulse",
-            &loads_kops,
-            SEED,
-            pulse_app_factory(
-                AppKind::WebService(YcsbWorkload::C),
-                NODES,
-                CPUS,
-                requests,
-                dispatch,
-            ),
+            Box::new(pulse_app_factory(
+                webservice, NODES, CPUS, requests, dispatch,
+            )),
         ),
-        CurveSpec::new(
+        (
             "RPC",
-            &loads_kops,
-            SEED,
-            baseline_webservice_factory(
+            Box::new(baseline_webservice_factory(
                 NODES,
-                BaselineKind::Rpc(RpcConfig {
-                    dispatch,
-                    ..RpcConfig::rpc()
-                }),
+                BaselineKind::Rpc(rpc_cfg(dispatch)),
                 BASELINE_CLIENTS,
                 requests,
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "Cache-based",
-            &loads_kops,
-            SEED,
-            baseline_webservice_factory(
+            Box::new(baseline_webservice_factory(
                 NODES,
                 BaselineKind::SwapCache(SwapConfig {
                     cache_bytes: 8 << 20,
@@ -188,192 +204,205 @@ fn main() -> Result<(), pulse::Error> {
                 }),
                 BASELINE_CLIENTS,
                 requests,
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-wiredtiger",
-            &loads_kops,
-            SEED,
-            pulse_app_factory(AppKind::WiredTiger, NODES, CPUS, requests, dispatch),
+            Box::new(pulse_app_factory(
+                AppKind::WiredTiger,
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-btrdb",
-            &loads_kops,
-            SEED,
-            pulse_app_factory(AppKind::Btrdb(4), NODES, CPUS, requests, dispatch),
+            Box::new(pulse_app_factory(
+                AppKind::Btrdb(4),
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-ycsb-a",
-            &loads_kops,
-            SEED,
-            pulse_ycsb_factory(
+            Box::new(pulse_ycsb_factory(
                 YcsbWorkload::A,
                 NODES,
                 CPUS,
                 requests,
                 dispatch,
                 CacheConfig::disabled(),
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-ycsb-b",
-            &loads_kops,
-            SEED,
-            pulse_ycsb_factory(
+            Box::new(pulse_ycsb_factory(
                 YcsbWorkload::B,
                 NODES,
                 CPUS,
                 requests,
                 dispatch,
                 CacheConfig::disabled(),
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-ycsb-e",
-            &loads_kops,
-            SEED,
-            pulse_ycsb_factory(
+            Box::new(pulse_ycsb_factory(
                 YcsbWorkload::E,
                 NODES,
                 CPUS,
                 requests,
                 dispatch,
                 CacheConfig::disabled(),
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "RPC-ycsb-a",
-            &loads_kops,
-            SEED,
-            baseline_ycsb_factory(
+            Box::new(baseline_ycsb_factory(
                 YcsbWorkload::A,
                 NODES,
-                BaselineKind::Rpc(RpcConfig {
-                    dispatch,
-                    ..RpcConfig::rpc()
-                }),
+                BaselineKind::Rpc(rpc_cfg(dispatch)),
                 BASELINE_CLIENTS,
                 requests,
-            ),
+            )),
         ),
         // The cache-sensitivity curves: the same skewed WebService
         // deployment with a coherent front-end cache at every CPU node
         // (pulse and RPC), plus the write-heavy YCSB-A mix with the same
         // cache — where invalidation-on-update collapses the benefit.
-        CurveSpec::new(
+        (
             "pulse+cache",
-            &loads_kops,
-            SEED,
-            cached_pulse_webservice_factory(
+            Box::new(cached_pulse_webservice_factory(
                 NODES,
                 CPUS,
                 requests,
                 dispatch,
                 CacheConfig::sized(CACHE_BYTES),
                 Distribution::Zipfian,
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "RPC+cache",
-            &loads_kops,
-            SEED,
-            cached_baseline_webservice_factory(
+            Box::new(cached_baseline_webservice_factory(
                 NODES,
                 BaselineKind::Rpc(RpcConfig {
-                    dispatch,
                     cache: CacheConfig::sized(CACHE_BYTES),
-                    ..RpcConfig::rpc()
+                    ..rpc_cfg(dispatch)
                 }),
                 BASELINE_CLIENTS,
                 requests,
                 Distribution::Zipfian,
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-ycsb-a+cache",
-            &loads_kops,
-            SEED,
-            pulse_ycsb_factory(
+            Box::new(pulse_ycsb_factory(
                 YcsbWorkload::A,
                 NODES,
                 CPUS,
                 requests,
                 dispatch,
                 CacheConfig::sized(CACHE_BYTES),
-            ),
+            )),
         ),
         // The multi-rack incast comparison: identical Zipf-skewed
         // WebService deployments on a routed 2-leaf/2-spine fabric.
-        CurveSpec::new(
+        (
             "pulse-leafspine-hot",
-            &loads_kops,
-            SEED,
-            fabric_pulse_webservice_factory(
+            Box::new(fabric_pulse_webservice_factory(
                 FABRIC_NODES,
                 CPUS,
                 requests,
                 dispatch,
                 FABRIC_TOPOLOGY,
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "RPC-leafspine-hot",
-            &loads_kops,
-            SEED,
-            baseline_webservice_factory(
+            Box::new(baseline_webservice_factory(
                 FABRIC_NODES,
                 BaselineKind::Rpc(RpcConfig {
-                    dispatch,
                     topology: FABRIC_TOPOLOGY,
-                    ..RpcConfig::rpc()
+                    ..rpc_cfg(dispatch)
                 }),
                 BASELINE_CLIENTS,
                 requests,
-            ),
+            )),
         ),
         // The SLO-under-failure comparison: identical flat deployments,
         // node 0 fail-stops 30 us into every rung. One axis varies per
         // curve: replication off, replication on, and the RPC baseline
         // with the same replica rule.
-        CurveSpec::new(
+        (
             "pulse-crash",
-            &loads_kops,
-            SEED,
-            crashed_pulse_webservice_factory(
+            Box::new(crashed_pulse_webservice_factory(
                 CRASH_NODES,
                 CPUS,
                 requests,
                 dispatch,
                 1,
                 crash_schedule(),
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "pulse-crash-replicated",
-            &loads_kops,
-            SEED,
-            crashed_pulse_webservice_factory(
+            Box::new(crashed_pulse_webservice_factory(
                 CRASH_NODES,
                 CPUS,
                 requests,
                 dispatch,
                 2,
                 crash_schedule(),
-            ),
+            )),
         ),
-        CurveSpec::new(
+        (
             "RPC-crash",
-            &loads_kops,
-            SEED,
-            crashed_rpc_webservice_factory(
+            Box::new(crashed_rpc_webservice_factory(
                 CRASH_NODES,
                 BASELINE_CLIENTS,
                 requests,
                 2,
                 crash_schedule(),
-            ),
+            )),
+        ),
+        // The ISA-v2 curves (`SPEC_LABELS`): the identical read-heavy
+        // WebService deployment with speculation, batching, and coalescing
+        // on, and the YCSB-A mix with speculation+batching — where
+        // concurrent updates invalidate speculated windows, so the
+        // mis-speculation tax is visible instead of assumed away.
+        (
+            SPEC_LABELS[0],
+            Box::new(spec_pulse_webservice_factory(
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                IsaV2::all(SPEC_BATCH_HOPS),
+            )),
+        ),
+        (
+            SPEC_LABELS[1],
+            Box::new(spec_pulse_ycsb_factory(
+                YcsbWorkload::A,
+                NODES,
+                CPUS,
+                requests,
+                dispatch,
+                IsaV2 {
+                    speculate: true,
+                    batch_hops: SPEC_BATCH_HOPS,
+                    coalesce: None,
+                },
+            )),
         ),
     ];
+    let specs: Vec<CurveSpec> = table
+        .into_iter()
+        .map(|(label, make)| CurveSpec::new(label, &loads_kops, SEED, make))
+        .collect();
 
     let par = sweep_par_with(&specs, workers, |timing| {
         println!(
@@ -390,9 +419,18 @@ fn main() -> Result<(), pulse::Error> {
         par.workers
     );
     let speed_json = simspeed_json(&par);
-    let curves = par.curves;
+    let mut curves = par.curves;
+    // Peel the ISA-v2 curves off the table's tail: they swept the same
+    // ladder, but they land in their own document (`BENCH_spec_sweep.json`)
+    // so the default `BENCH_sweep.json` stays byte-identical to the pinned
+    // golden with the latency-hiding switches off.
+    let spec_curves = curves.split_off(curves.len() - SPEC_LABELS.len());
+    assert!(
+        spec_curves.iter().map(|c| c.label.as_str()).eq(SPEC_LABELS),
+        "the ISA-v2 curves must be the table's tail"
+    );
 
-    for curve in &curves {
+    for curve in curves.iter().chain(&spec_curves) {
         print_curve(curve);
     }
 
@@ -453,7 +491,7 @@ fn main() -> Result<(), pulse::Error> {
             .map(|p| p.cache_hit_rate)
             .fold(f64::NAN, f64::max)
     };
-    for curve in &curves {
+    for curve in curves.iter().chain(&spec_curves) {
         if !curve.label.contains("+cache") {
             assert!(
                 curve.points.iter().all(|p| p.cache_hit_rate == 0.0),
@@ -461,6 +499,20 @@ fn main() -> Result<(), pulse::Error> {
                 curve.label
             );
         }
+    }
+
+    // The ISA-v2 negative space: every default curve runs with
+    // speculation, batching, and coalescing off, so it must report exactly
+    // zero ISA-v2 counters — the latency-hiding machinery cannot leak into
+    // the golden-trace path.
+    for curve in &curves {
+        assert!(
+            curve.points.iter().all(|p| p.mis_speculations == 0
+                && p.batched_hops == 0
+                && p.coalesced_prefix_hops == 0),
+            "{}: spec-off curves must carry zero ISA-v2 metrics",
+            curve.label
+        );
     }
     let read_hit = hit("pulse+cache");
     let rpc_hit = hit("RPC+cache");
@@ -519,7 +571,7 @@ fn main() -> Result<(), pulse::Error> {
     );
 
     println!("\nsustained load at p99 <= {SLO_P99_US} us (achieved goodput, kops):");
-    for curve in &curves {
+    for curve in curves.iter().chain(&spec_curves) {
         println!(
             "  {:>18}: {}",
             curve.label,
@@ -536,6 +588,52 @@ fn main() -> Result<(), pulse::Error> {
             "pulse should sustain at least the RPC load at equal p99 ({p} vs {r})"
         );
     }
+
+    // The ISA-v2 headline, measured: with speculation, batching, and
+    // coalescing on, the read-heavy rack must move the knee — strictly
+    // higher sustained load at the same SLO on the same ladder — and each
+    // mechanism must actually fire. On the 50%-update mix the speculation
+    // is priced honestly: concurrent updates bump granule versions inside
+    // the speculation window, so `mis_speculations` must be nonzero.
+    let spec = &spec_curves[0];
+    let spec_ycsb = &spec_curves[1];
+    let spec_sustained = spec.max_load_under_p99(SLO_P99_US);
+    println!(
+        "\nISA v2 — sustained at p99 <= {SLO_P99_US} us: pulse {} vs pulse-spec {}",
+        fmt_kops(pulse_sustained),
+        fmt_kops(spec_sustained),
+    );
+    let count =
+        |c: &SweepReport, f: fn(&SweepPoint) -> u64| -> u64 { c.points.iter().map(f).sum() };
+    for c in [spec, spec_ycsb] {
+        println!(
+            "  {:>18}: {} batched hops, {} coalesced prefix hops, {} mis-speculations",
+            c.label,
+            count(c, |p| p.batched_hops),
+            count(c, |p| p.coalesced_prefix_hops),
+            count(c, |p| p.mis_speculations),
+        );
+    }
+    let (p, s) = (
+        pulse_sustained.expect("pulse sustains some rung"),
+        spec_sustained.expect("pulse-spec sustains some rung"),
+    );
+    assert!(
+        s > p,
+        "ISA v2 must move the read-heavy knee: pulse-spec {s} vs pulse {p} kops"
+    );
+    assert!(
+        count(spec, |p| p.batched_hops) > 0,
+        "same-node hop batching must fuse some hops on the read-heavy curve"
+    );
+    assert!(
+        count(spec, |p| p.coalesced_prefix_hops) > 0,
+        "zipfian duplicates under load must coalesce some prefix hops"
+    );
+    assert!(
+        count(spec_ycsb, |p| p.mis_speculations) > 0,
+        "the 50%-update mix must invalidate some speculated windows"
+    );
     // Where caching *does* help: on the skewed read-only workload, the
     // cached rack's sustained-load knee must be at least the plain rack's
     // (hot hash chains resolve locally instead of crossing the wire).
@@ -566,7 +664,7 @@ fn main() -> Result<(), pulse::Error> {
     // The routed-fabric invariants, measured: flat curves carry exactly
     // zero fabric metrics (no fabric exists to produce them); both routed
     // curves show real downlink pressure.
-    for curve in &curves {
+    for curve in curves.iter().chain(&spec_curves) {
         if !curve.label.contains("leafspine") {
             assert!(
                 curve
@@ -644,7 +742,7 @@ fn main() -> Result<(), pulse::Error> {
     // request to unavailability, move a rebuild byte, or report a degraded
     // window — failure accounting leaking into healthy curves would mean
     // the default path is no longer the golden-trace path.
-    for curve in &curves {
+    for curve in curves.iter().chain(&spec_curves) {
         if !curve.label.contains("crash") {
             assert!(
                 curve.points.iter().all(|p| p.failovers == 0
@@ -741,6 +839,14 @@ fn main() -> Result<(), pulse::Error> {
         "\nwrote BENCH_sweep.json ({} bytes, {} curves)",
         json.len(),
         curves.len()
+    );
+    let spec_json = sweep_json(&spec_curves);
+    std::fs::write("BENCH_spec_sweep.json", &spec_json)
+        .map_err(|e| pulse::Error::Config(format!("writing BENCH_spec_sweep.json: {e}")))?;
+    println!(
+        "wrote BENCH_spec_sweep.json ({} bytes, {} ISA-v2 curves)",
+        spec_json.len(),
+        spec_curves.len()
     );
     std::fs::write("BENCH_simspeed.json", &speed_json)
         .map_err(|e| pulse::Error::Config(format!("writing BENCH_simspeed.json: {e}")))?;

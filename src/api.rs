@@ -386,6 +386,9 @@ impl Engine for BaselineEngine {
                 rereplication_bytes: 0,
                 degraded_p99: SimTime::ZERO,
                 phase: None,
+                mis_speculations: 0,
+                batched_hops: 0,
+                coalesced_prefix_hops: 0,
             });
         }
         let rep = match self.kind.clone() {
@@ -424,6 +427,11 @@ impl Engine for BaselineEngine {
             rereplication_bytes: 0,
             degraded_p99: rep.degraded_p99,
             phase: rep.phase,
+            // No accelerators, no offloads: the ISA-v2 latency-hiding
+            // machinery does not exist in the replay baselines.
+            mis_speculations: 0,
+            batched_hops: 0,
+            coalesced_prefix_hops: 0,
         })
     }
 }

@@ -102,8 +102,9 @@ pub use ycsb::YcsbDriver;
 // The façade's frequently-used vocabulary, re-exported flat so examples
 // and downstream code need one `use pulse::...` line per name.
 pub use pulse_core::{
-    CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
-    FaultEvent, FaultKind, Phase, PhaseAttribution, PulseCluster, PulseMode, TraceConfig,
+    CacheConfig, ClusterConfig, ClusterReport, CoalesceConfig, Completion, CpuAssignment,
+    DispatchConfig, FaultEvent, FaultKind, Phase, PhaseAttribution, PulseCluster, PulseMode,
+    TraceConfig,
 };
 pub use pulse_ds::{StagePlan, StageStart, Traversal};
 pub use pulse_mem::Placement;

@@ -22,8 +22,8 @@
 use crate::api::{AppSpec, BaselineEngine, BaselineKind};
 use crate::error::Error;
 use pulse_core::{
-    CacheConfig, ClusterConfig, ClusterReport, Completion, CpuAssignment, DispatchConfig,
-    FaultEvent, PhaseAttribution, PulseCluster, PulseMode, TraceConfig, TraceSink,
+    CacheConfig, ClusterConfig, ClusterReport, CoalesceConfig, Completion, CpuAssignment,
+    DispatchConfig, FaultEvent, PhaseAttribution, PulseCluster, PulseMode, TraceConfig, TraceSink,
 };
 use pulse_ds::{BuildCtx, DsError};
 use pulse_mem::{ClusterAllocator, ClusterMemory, Placement};
@@ -214,6 +214,45 @@ impl PulseBuilder {
     /// the `pulse-frontend` cache docs for the coherence semantics).
     pub fn cache(mut self, cache: CacheConfig) -> PulseBuilder {
         self.config.cache = cache;
+        self
+    }
+
+    /// ISA-v2 speculative next-hop issue at the accelerators: at each
+    /// window fetch the accelerator predicts the next pointer (current
+    /// pointer by default, a `SPEC_HINT` operand when the program carries
+    /// one) and issues its memory-bus load early, overlapping the hop's
+    /// scheduler + logic latency. Every speculation is validated against
+    /// the rack memory's per-granule write versions before use; a
+    /// mismatch squashes the prefetch, re-fetches architecturally, and is
+    /// charged as wasted bus occupancy — so answers never change, only
+    /// timing. Off by default (bit-identical to the non-speculating rack);
+    /// mis-speculations surface as `ClusterReport::mis_speculations`.
+    pub fn speculation(mut self, enabled: bool) -> PulseBuilder {
+        self.config.accel.speculate = enabled;
+        self
+    }
+
+    /// ISA-v2 same-node hop batching: up to `hops` consecutive traversal
+    /// hops whose pointers stay on the local memory node fuse into one
+    /// memory-bus transaction (full window latency for the first hop, a
+    /// pipelined increment per extra hop). Fusion stops at the first
+    /// pointer that leaves the node, so switch-crossing semantics are
+    /// unchanged. `1` (the default) disables fusion and is bit-identical;
+    /// fused hops surface as `ClusterReport::batched_hops`.
+    pub fn batching(mut self, hops: u32) -> PulseBuilder {
+        self.config.accel.batch_hops = hops.max(1);
+        self
+    }
+
+    /// ISA-v2 shared-prefix coalescing at the CPU front end: requests
+    /// about to offload an *identical* traversal plan (same compiled
+    /// program, entry pointer, and scratch arguments) ride one in-flight
+    /// packet and fan back out when its response lands — riders observe
+    /// the leader's snapshot, the staleness window every request-coalescing
+    /// layer accepts. Disabled by default (bit-identical); ridden hops
+    /// surface as `ClusterReport::coalesced_prefix_hops`.
+    pub fn coalescing(mut self, coalesce: CoalesceConfig) -> PulseBuilder {
+        self.config.coalesce = coalesce;
         self
     }
 
@@ -593,6 +632,19 @@ pub struct OpenLoopReport {
     /// baseline configs' `trace` flag otherwise). Per-phase means sum to
     /// the mean latency.
     pub phase: Option<PhaseAttribution>,
+    /// ISA-v2 speculative next-hop issues that validated *wrong* and were
+    /// squashed ([`PulseBuilder::speculation`]) during this stream. 0
+    /// whenever speculation is off — and for every baseline, which has no
+    /// accelerators to speculate in.
+    pub mis_speculations: u64,
+    /// ISA-v2 same-node hops fused into a preceding memory-bus transaction
+    /// ([`PulseBuilder::batching`]) during this stream. 0 at the default
+    /// batch window of 1, and for every baseline.
+    pub batched_hops: u64,
+    /// Traversal hops requests skipped by riding another request's
+    /// identical in-flight offload ([`PulseBuilder::coalescing`]) during
+    /// this stream. 0 with coalescing off, and for every baseline.
+    pub coalesced_prefix_hops: u64,
 }
 
 impl OpenLoopReport {
@@ -667,6 +719,11 @@ impl OpenLoopDriver {
         let base = runtime.report();
         let (base_retries, base_failovers, base_rereplication) =
             (base.retries, base.failovers, base.rereplication_bytes);
+        let (base_mis, base_batched, base_coalesced) = (
+            base.mis_speculations,
+            base.batched_hops,
+            base.coalesced_prefix_hops,
+        );
         let base_cache = cache_counters(runtime);
         let mut t = runtime.now();
         let mut first_arrival = None;
@@ -754,6 +811,9 @@ impl OpenLoopDriver {
             // phase attribution below.
             degraded_p99: runtime.report().degraded_p99,
             phase: runtime.report().phase,
+            mis_speculations: runtime.report().mis_speculations - base_mis,
+            batched_hops: runtime.report().batched_hops - base_batched,
+            coalesced_prefix_hops: runtime.report().coalesced_prefix_hops - base_coalesced,
         })
     }
 }

@@ -12,12 +12,12 @@
 //! a release build would catch a violation too.)
 
 use pulse::sim::{SimTime, SplitMix64};
-use pulse::trace::Track;
-use pulse::trace::PHASES;
+use pulse::trace::{TraceSink, Track, PHASES};
 use pulse::workloads::{Application, Distribution};
 use pulse::{
-    ArrivalProcess, BtrdbConfig, DispatchConfig, Engine, FaultEvent, FaultKind, Runtime,
-    TopologySpec, TraceConfig, WebServiceConfig, WiredTigerConfig, YcsbWorkload,
+    ArrivalProcess, BtrdbConfig, CoalesceConfig, DispatchConfig, Engine, FaultEvent, FaultKind,
+    MutationConfig, Runtime, TopologySpec, TraceConfig, WebServiceConfig, WiredTigerConfig,
+    YcsbDriver, YcsbWorkload,
 };
 
 const CASES: u64 = 12;
@@ -52,6 +52,21 @@ fn random_case(rng: &mut SplitMix64) -> (Runtime, Vec<pulse::AppRequest>) {
             SimTime::from_micros(10 + rng.next_below(40)),
             FaultKind::MemCrash(0),
         )]);
+    }
+    // Half the cases run with the ISA-v2 latency-hiding switches on:
+    // speculation, a random batch window, and shared-prefix coalescing.
+    // These workloads are read-only, so speculation never squashes here
+    // (the write-path squash case is its own test below), but batched
+    // hops' fused windows and coalesced riders' parked/fan-out spans must
+    // still tile every request's latency exactly.
+    if rng.next_below(2) == 1 {
+        builder = builder
+            .speculation(true)
+            .batching(2 + rng.next_below(4) as u32)
+            .coalescing(CoalesceConfig {
+                enabled: true,
+                ..Default::default()
+            });
     }
     let dist = if rng.next_below(2) == 0 {
         Distribution::Uniform
@@ -95,6 +110,41 @@ fn random_case(rng: &mut SplitMix64) -> (Runtime, Vec<pulse::AppRequest>) {
     (runtime, reqs)
 }
 
+/// Asserts every traced request's spans tile its end-to-end latency
+/// exactly — contiguous from first start to last end, no gap, no overlap —
+/// and returns the summed span picoseconds across all `n` requests.
+fn assert_spans_tile(sink: &TraceSink, n: u64, tag: &str) -> u128 {
+    let mut per_req: std::collections::HashMap<_, Vec<_>> = std::collections::HashMap::new();
+    for s in sink.spans() {
+        per_req.entry(s.req).or_default().push((s.start, s.end));
+    }
+    assert_eq!(per_req.len() as u64, n, "{tag}");
+    let mut total_ps: u128 = 0;
+    for (req, windows) in &mut per_req {
+        windows.sort();
+        let first = windows.first().expect("nonempty").0;
+        let last = windows.last().expect("nonempty").1;
+        let mut cursor = first;
+        let mut sum_ps: u128 = 0;
+        for &(start, end) in windows.iter() {
+            assert_eq!(
+                start, cursor,
+                "{tag}: gap or overlap in request {req} at {start:?}"
+            );
+            assert!(end >= start, "{tag}");
+            sum_ps += (end - start).as_picos() as u128;
+            cursor = end;
+        }
+        assert_eq!(
+            sum_ps,
+            (last - first).as_picos() as u128,
+            "{tag}: request {req} spans do not tile its latency"
+        );
+        total_ps += sum_ps;
+    }
+    total_ps
+}
+
 #[test]
 fn random_traced_runs_conserve_spans() {
     let mut rng = SplitMix64::new(0x5AA5);
@@ -113,34 +163,7 @@ fn random_traced_runs_conserve_spans() {
         // Per-request partition: spans are contiguous from first start to
         // last end, so their durations sum exactly to the request's
         // end-to-end latency — no gap and no overlap can hide.
-        let mut per_req: std::collections::HashMap<_, Vec<_>> = std::collections::HashMap::new();
-        for s in sink.spans() {
-            per_req.entry(s.req).or_default().push((s.start, s.end));
-        }
-        assert_eq!(per_req.len() as u64, n, "case {case}");
-        let mut total_ps: u128 = 0;
-        for (req, windows) in &mut per_req {
-            windows.sort();
-            let first = windows.first().expect("nonempty").0;
-            let last = windows.last().expect("nonempty").1;
-            let mut cursor = first;
-            let mut sum_ps: u128 = 0;
-            for &(start, end) in windows.iter() {
-                assert_eq!(
-                    start, cursor,
-                    "case {case}: gap or overlap in request {req} at {start:?}"
-                );
-                assert!(end >= start, "case {case}");
-                sum_ps += (end - start).as_picos() as u128;
-                cursor = end;
-            }
-            assert_eq!(
-                sum_ps,
-                (last - first).as_picos() as u128,
-                "case {case}: request {req} spans do not tile its latency"
-            );
-            total_ps += sum_ps;
-        }
+        let total_ps = assert_spans_tile(sink, n, &format!("case {case}"));
 
         // Aggregate conservation: the per-phase means sum to the mean
         // end-to-end latency, modulo one floor-rounding pico per phase.
@@ -223,4 +246,44 @@ fn trace_none_is_default_and_tracing_never_perturbs() {
             "{label}"
         );
     }
+}
+
+/// The write path's squash spans under conservation: a traced,
+/// speculation-enabled YCSB-A mix at load, where concurrent updates bump
+/// granule versions inside open speculation windows. Every squashed trip
+/// splits its accelerator window into a compute span plus a `spec_squash`
+/// span at the same visit — and the partition invariant must survive that
+/// split on every request, squashed or not.
+#[test]
+fn spec_squash_spans_still_tile_request_latency() {
+    let cfg = WebServiceConfig {
+        keys: 2_000,
+        workload: YcsbWorkload::A,
+        distribution: Distribution::Zipfian,
+        ..Default::default()
+    };
+    let (mut runtime, app) = pulse::PulseBuilder::new()
+        .nodes(2)
+        .cpus(2)
+        .speculation(true)
+        .batching(4)
+        .trace(Some(TraceConfig::default()))
+        .app(cfg)
+        .expect("wire webservice");
+    let mut driver = YcsbDriver::webservice(app, cfg, MutationConfig::default())
+        .expect("partitioned deployment");
+    let reqs: Vec<_> = (0..600)
+        .map(|_| driver.next_request(runtime.memory_mut()))
+        .collect();
+    let arrivals = ArrivalProcess::poisson(800e3, 11);
+    let rep = runtime.execute_open_loop(&reqs, arrivals).expect("run");
+    assert_eq!(rep.completed + rep.faulted, 600);
+    assert!(
+        rep.mis_speculations > 0,
+        "a hot-keyed 50%-update mix at load must squash some speculated windows"
+    );
+
+    let sink = runtime.trace().expect("tracing enabled");
+    assert_eq!(sink.open_requests(), 0, "requests left open");
+    assert_spans_tile(sink, 600, "spec-squash");
 }
